@@ -1,0 +1,69 @@
+//! Throughput-imbalance analysis (paper §5.2.3, Figure 12).
+//!
+//! The paper samples the throughput of the 4 uplinks of Leaf 0
+//! synchronously every 10 ms and reports the CDF of
+//! `(MAX − MIN) / AVG` across sample windows.
+
+/// Per-window imbalance values computed from synchronous cumulative byte
+/// counters: `tx[ch][row]` are cumulative bytes of channel `ch` at sample
+/// `row`. Windows where the average throughput is below `min_avg_bytes`
+/// are skipped (idle fabric tells us nothing about balance).
+pub fn throughput_imbalance(tx: &[Vec<u64>], min_avg_bytes: f64) -> Vec<f64> {
+    if tx.is_empty() {
+        return Vec::new();
+    }
+    let rows = tx[0].len();
+    let mut out = Vec::new();
+    for r in 1..rows {
+        let deltas: Vec<f64> = tx.iter().map(|col| (col[r] - col[r - 1]) as f64).collect();
+        let avg = deltas.iter().sum::<f64>() / deltas.len() as f64;
+        if avg < min_avg_bytes {
+            continue;
+        }
+        let max = deltas.iter().fold(f64::MIN, |a, &b| a.max(b));
+        let min = deltas.iter().fold(f64::MAX, |a, &b| a.min(b));
+        out.push((max - min) / avg);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfectly_balanced_is_zero() {
+        let tx = vec![vec![0, 100, 200, 300], vec![0, 100, 200, 300]];
+        let v = throughput_imbalance(&tx, 1.0);
+        assert_eq!(v, vec![0.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn computes_max_minus_min_over_avg() {
+        // Window deltas: [100, 300] -> avg 200, (300-100)/200 = 1.0.
+        let tx = vec![vec![0, 100], vec![0, 300]];
+        let v = throughput_imbalance(&tx, 1.0);
+        assert_eq!(v, vec![1.0]);
+    }
+
+    #[test]
+    fn idle_windows_are_skipped() {
+        let tx = vec![vec![0, 0, 100], vec![0, 1, 300]];
+        let v = throughput_imbalance(&tx, 10.0);
+        assert_eq!(v.len(), 1, "first (near-idle) window skipped");
+    }
+
+    #[test]
+    fn one_dead_uplink_gives_imbalance_of_n() {
+        // 4 uplinks, one carries nothing: (max-min)/avg = (4/3 x - 0)/x... with
+        // equal share x among 3: avg = 3x/4, max = x -> 4/3.
+        let tx = vec![
+            vec![0, 1000],
+            vec![0, 1000],
+            vec![0, 1000],
+            vec![0, 0],
+        ];
+        let v = throughput_imbalance(&tx, 1.0);
+        assert!((v[0] - 4.0 / 3.0).abs() < 1e-12);
+    }
+}

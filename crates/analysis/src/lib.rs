@@ -1,0 +1,19 @@
+//! # conga-analysis — statistics, FCT reporting, and the paper's math
+//!
+//! * [`stats`] — means, percentiles, empirical CDFs, histograms;
+//! * [`fct`] — flow-completion-time aggregation in the paper's reporting
+//!   format (overall normalized to optimal, small < 100 KB, large > 10 MB);
+//! * [`imbalance`] — the `(MAX − MIN)/AVG` uplink throughput-imbalance
+//!   metric of Figure 12;
+//! * [`poa`] — the §6.1 bottleneck routing game: exact best responses,
+//!   Nash dynamics, social optimum, Price-of-Anarchy experiments;
+//! * [`model`] — the §6.2 stochastic imbalance model (Theorem 2) with
+//!   Monte-Carlo validation.
+
+#![warn(missing_docs)]
+
+pub mod fct;
+pub mod imbalance;
+pub mod model;
+pub mod poa;
+pub mod stats;

@@ -1,0 +1,169 @@
+//! The stochastic load-balancing model of paper §6.2 (Theorem 2).
+//!
+//! Flows arrive Poisson(λ) and are assigned to one of `n` links uniformly
+//! at random (ECMP-style); sizes are i.i.d. from an arbitrary distribution.
+//! The traffic imbalance at time `t`,
+//!
+//! ```text
+//! χ(t) = (max_k A_k(t) − min_k A_k(t)) / (λ E[S] t / n)
+//! ```
+//!
+//! satisfies `E[χ(t)] ≤ 1/√(λ_e t) + O(1/t)` with the *effective rate*
+//!
+//! ```text
+//! λ_e = λ / (8 n log n (1 + (σ_S/E[S])²)).
+//! ```
+//!
+//! The punchline: imbalance decays like `1/√t`, but the heavier the flow
+//! size distribution (larger coefficient of variation), the longer it
+//! takes — which is exactly why flowlets (which slash the effective
+//! transfer-size CV) help heavy workloads and barely matter for light
+//! ones. [`imbalance_trial`] Monte-Carlo-samples E[χ(t)];
+//! [`theorem2_bound`] evaluates the bound.
+
+use conga_sim::SimRng;
+
+/// A sampled-size source for the model (kept as a trait so both the
+/// empirical workload distributions and synthetic ones plug in without a
+/// crate dependency cycle).
+pub trait SizeSource {
+    /// Draw one flow size in bytes.
+    fn draw(&self, rng: &mut SimRng) -> f64;
+    /// Mean size.
+    fn mean(&self) -> f64;
+    /// Coefficient of variation σ/μ.
+    fn cv(&self) -> f64;
+}
+
+/// A deterministic (CV = 0) size.
+pub struct FixedSize(pub f64);
+
+impl SizeSource for FixedSize {
+    fn draw(&self, _rng: &mut SimRng) -> f64 {
+        self.0
+    }
+    fn mean(&self) -> f64 {
+        self.0
+    }
+    fn cv(&self) -> f64 {
+        0.0
+    }
+}
+
+/// The effective arrival rate `λ_e` of Theorem 2.
+pub fn lambda_e(lambda: f64, n_links: usize, cv: f64) -> f64 {
+    lambda / (8.0 * n_links as f64 * (n_links as f64).ln() * (1.0 + cv * cv))
+}
+
+/// The Theorem 2 upper bound on `E[χ(t)]` (leading term).
+pub fn theorem2_bound(lambda: f64, n_links: usize, cv: f64, t: f64) -> f64 {
+    1.0 / (lambda_e(lambda, n_links, cv) * t).sqrt()
+}
+
+/// One Monte-Carlo estimate of `E[χ(t)]`: `trials` independent runs of
+/// randomized assignment of Poisson arrivals over `[0, t]`.
+pub fn imbalance_trial<S: SizeSource>(
+    src: &S,
+    lambda: f64,
+    n_links: usize,
+    t: f64,
+    trials: usize,
+    rng: &mut SimRng,
+) -> f64 {
+    let mean_per_link = lambda * src.mean() * t / n_links as f64;
+    let mut acc = 0.0;
+    for _ in 0..trials {
+        let mut a = vec![0.0f64; n_links];
+        let mut clock = 0.0;
+        loop {
+            clock += rng.exp(lambda);
+            if clock > t {
+                break;
+            }
+            let k = rng.below(n_links);
+            a[k] += src.draw(rng);
+        }
+        let max = a.iter().fold(f64::MIN, |x, &y| x.max(y));
+        let min = a.iter().fold(f64::MAX, |x, &y| x.min(y));
+        acc += (max - min) / mean_per_link;
+    }
+    acc / trials as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lambda_e_formula() {
+        // n = 4, cv = 1, lambda = 1000:
+        // 8 * 4 * ln4 * 2 = 88.72...; lambda_e = 1000 / 88.72.
+        let le = lambda_e(1000.0, 4, 1.0);
+        assert!((le - 1000.0 / (8.0 * 4.0 * 4.0f64.ln() * 2.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn bound_decays_like_inverse_sqrt_t() {
+        let b1 = theorem2_bound(1000.0, 4, 1.0, 1.0);
+        let b4 = theorem2_bound(1000.0, 4, 1.0, 4.0);
+        assert!((b1 / b4 - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn monte_carlo_respects_the_bound() {
+        // For fixed sizes the bound is loose; the MC estimate must sit
+        // below it across a time sweep.
+        let mut rng = SimRng::new(11);
+        let src = FixedSize(1.0);
+        for &t in &[0.5, 1.0, 2.0, 4.0] {
+            let est = imbalance_trial(&src, 2000.0, 4, t, 40, &mut rng);
+            let bound = theorem2_bound(2000.0, 4, 0.0, t);
+            assert!(
+                est <= bound,
+                "t={t}: estimate {est} exceeds bound {bound}"
+            );
+        }
+    }
+
+    #[test]
+    fn imbalance_shrinks_with_time() {
+        let mut rng = SimRng::new(12);
+        let src = FixedSize(1.0);
+        let early = imbalance_trial(&src, 5000.0, 4, 0.2, 60, &mut rng);
+        let late = imbalance_trial(&src, 5000.0, 4, 5.0, 60, &mut rng);
+        assert!(
+            late < early / 2.0,
+            "imbalance should decay with t: {early} -> {late}"
+        );
+    }
+
+    #[test]
+    fn heavier_sizes_imbalance_more() {
+        // Two-point heavy distribution vs fixed: same mean, higher CV.
+        struct Heavy;
+        impl SizeSource for Heavy {
+            fn draw(&self, rng: &mut SimRng) -> f64 {
+                if rng.chance(0.01) {
+                    91.0
+                } else {
+                    0.0909
+                }
+            }
+            fn mean(&self) -> f64 {
+                0.01 * 91.0 + 0.99 * 0.0909
+            }
+            fn cv(&self) -> f64 {
+                let m = self.mean();
+                let m2 = 0.01 * 91.0f64.powi(2) + 0.99 * 0.0909f64.powi(2);
+                (m2 - m * m).sqrt() / m
+            }
+        }
+        let mut rng = SimRng::new(13);
+        let fixed = imbalance_trial(&FixedSize(1.0), 3000.0, 4, 1.0, 60, &mut rng);
+        let heavy = imbalance_trial(&Heavy, 3000.0, 4, 1.0, 60, &mut rng);
+        assert!(
+            heavy > 2.0 * fixed,
+            "heavy tail must worsen imbalance: {fixed} vs {heavy}"
+        );
+    }
+}

@@ -1,0 +1,509 @@
+//! The bottleneck routing game of paper §6.1 (Banner & Orda's model,
+//! specialized to 2-tier Leaf-Spine as in Theorem 1).
+//!
+//! Players are (source leaf → destination leaf) demands; a strategy splits
+//! the demand across the spines; each unit placed on spine `s` loads both
+//! the uplink `(l, s)` and the downlink `(s, m)`. A player's cost is the
+//! utilization of the most congested link it uses; the *network bottleneck*
+//! is the most congested link overall.
+//!
+//! * [`BottleneckGame::best_response`] is exact: a water-filling split
+//!   computed by bisection on the player's achievable bottleneck level
+//!   (this mirrors CONGA's own rule — send on the paths whose `max(local,
+//!   remote)` metric is smallest).
+//! * [`BottleneckGame::nash`] iterates best responses to a fixed point —
+//!   the idealized CONGA of §6.1.
+//! * [`BottleneckGame::min_max_utilization`] computes the social optimum
+//!   (a convex min-max program) by projected coordinate descent with a
+//!   diminishing step, which converges on this piecewise-linear convex
+//!   objective; tests pin it against analytically solvable instances.
+
+use conga_sim::SimRng;
+
+/// One player: `demand` units from `src` leaf to `dst` leaf.
+#[derive(Clone, Copy, Debug)]
+pub struct User {
+    /// Source leaf.
+    pub src: usize,
+    /// Destination leaf.
+    pub dst: usize,
+    /// Traffic demand (same unit as capacities).
+    pub demand: f64,
+}
+
+/// A Leaf-Spine bottleneck routing game.
+#[derive(Clone, Debug)]
+pub struct BottleneckGame {
+    /// Uplink capacity `[leaf][spine]` (0 = absent link).
+    pub up_cap: Vec<Vec<f64>>,
+    /// Downlink capacity `[spine][leaf]`.
+    pub down_cap: Vec<Vec<f64>>,
+    /// The players.
+    pub users: Vec<User>,
+}
+
+/// A strategy profile: `x[user][spine]` ≥ 0 with rows summing to demands.
+pub type Flow = Vec<Vec<f64>>;
+
+impl BottleneckGame {
+    /// Number of spines.
+    pub fn n_spines(&self) -> usize {
+        self.down_cap.len()
+    }
+
+    /// Number of leaves.
+    pub fn n_leaves(&self) -> usize {
+        self.up_cap.len()
+    }
+
+    /// A fully symmetric game: every link has capacity `cap`.
+    pub fn symmetric(n_leaves: usize, n_spines: usize, cap: f64, users: Vec<User>) -> Self {
+        BottleneckGame {
+            up_cap: vec![vec![cap; n_spines]; n_leaves],
+            down_cap: vec![vec![cap; n_leaves]; n_spines],
+            users,
+        }
+    }
+
+    /// Per-link loads for a flow: `(up[l][s], down[s][m])`.
+    fn loads(&self, x: &Flow) -> (Vec<Vec<f64>>, Vec<Vec<f64>>) {
+        let mut up = vec![vec![0.0; self.n_spines()]; self.n_leaves()];
+        let mut down = vec![vec![0.0; self.n_leaves()]; self.n_spines()];
+        for (u, user) in self.users.iter().enumerate() {
+            for s in 0..self.n_spines() {
+                let v = x[u][s];
+                if v > 0.0 {
+                    up[user.src][s] += v;
+                    down[s][user.dst] += v;
+                }
+            }
+        }
+        (up, down)
+    }
+
+    /// Network bottleneck: utilization of the most congested link.
+    pub fn network_bottleneck(&self, x: &Flow) -> f64 {
+        let (up, down) = self.loads(x);
+        let mut b: f64 = 0.0;
+        for l in 0..self.n_leaves() {
+            for s in 0..self.n_spines() {
+                if self.up_cap[l][s] > 0.0 {
+                    b = b.max(up[l][s] / self.up_cap[l][s]);
+                }
+                if self.down_cap[s][l] > 0.0 {
+                    b = b.max(down[s][l] / self.down_cap[s][l]);
+                }
+            }
+        }
+        b
+    }
+
+    /// A player's bottleneck: the most congested link it places traffic on.
+    pub fn user_bottleneck(&self, x: &Flow, u: usize) -> f64 {
+        let (up, down) = self.loads(x);
+        let user = self.users[u];
+        let mut b: f64 = 0.0;
+        for s in 0..self.n_spines() {
+            if x[u][s] > 1e-12 {
+                b = b.max(up[user.src][s] / self.up_cap[user.src][s]);
+                b = b.max(down[s][user.dst] / self.down_cap[s][user.dst]);
+            }
+        }
+        b
+    }
+
+    /// The exact best response of player `u` against the rest of `x`:
+    /// water-filling by bisection on the achievable bottleneck level `B`
+    /// (at level `B`, spine `s` can absorb
+    /// `min(B·c_up − other_up, B·c_down − other_down)` of the player's
+    /// traffic). Returns the new row for `u`.
+    pub fn best_response(&self, x: &Flow, u: usize) -> Vec<f64> {
+        let user = self.users[u];
+        let (mut up, mut down) = self.loads(x);
+        // Remove the player's own contribution.
+        for s in 0..self.n_spines() {
+            up[user.src][s] -= x[u][s];
+            down[s][user.dst] -= x[u][s];
+        }
+        let room = |b: f64| -> f64 {
+            (0..self.n_spines())
+                .map(|s| {
+                    let cu = self.up_cap[user.src][s];
+                    let cd = self.down_cap[s][user.dst];
+                    if cu <= 0.0 || cd <= 0.0 {
+                        return 0.0;
+                    }
+                    (b * cu - up[user.src][s])
+                        .min(b * cd - down[s][user.dst])
+                        .max(0.0)
+                })
+                .sum()
+        };
+        // Bisection for the smallest B with enough room for the demand.
+        let mut lo = 0.0;
+        let mut hi = 1.0;
+        while room(hi) < user.demand {
+            hi *= 2.0;
+            assert!(hi < 1e12, "demand cannot be routed at any level");
+        }
+        for _ in 0..80 {
+            let mid = 0.5 * (lo + hi);
+            if room(mid) >= user.demand {
+                hi = mid;
+            } else {
+                lo = mid;
+            }
+        }
+        // Allocate at level hi, scaling down the slack so rows sum exactly.
+        let mut alloc: Vec<f64> = (0..self.n_spines())
+            .map(|s| {
+                let cu = self.up_cap[user.src][s];
+                let cd = self.down_cap[s][user.dst];
+                if cu <= 0.0 || cd <= 0.0 {
+                    return 0.0;
+                }
+                (hi * cu - up[user.src][s])
+                    .min(hi * cd - down[s][user.dst])
+                    .max(0.0)
+            })
+            .collect();
+        let total: f64 = alloc.iter().sum();
+        debug_assert!(total >= user.demand - 1e-9);
+        let scale = user.demand / total;
+        for a in &mut alloc {
+            *a *= scale;
+        }
+        alloc
+    }
+
+    /// Run best-response dynamics to (approximate) Nash equilibrium from a
+    /// given start; returns the flow and the number of sweeps used.
+    pub fn nash(&self, start: Flow, max_sweeps: usize, tol: f64) -> (Flow, usize) {
+        let mut x = start;
+        for sweep in 0..max_sweeps {
+            let mut moved = 0.0f64;
+            for u in 0..self.users.len() {
+                let before = self.user_bottleneck(&x, u);
+                let br = self.best_response(&x, u);
+                let after_cost = {
+                    let mut y = x.clone();
+                    y[u] = br.clone();
+                    self.user_bottleneck(&y, u)
+                };
+                if after_cost < before - tol {
+                    let delta: f64 = br
+                        .iter()
+                        .zip(&x[u])
+                        .map(|(a, b)| (a - b).abs())
+                        .sum();
+                    moved += delta;
+                    x[u] = br;
+                }
+            }
+            if moved < tol {
+                return (x, sweep + 1);
+            }
+        }
+        let n = max_sweeps;
+        (x, n)
+    }
+
+    /// Even-split starting profile (ECMP-like): demand spread uniformly
+    /// over spines with both links present.
+    pub fn even_split(&self) -> Flow {
+        self.users
+            .iter()
+            .map(|u| {
+                let valid: Vec<usize> = (0..self.n_spines())
+                    .filter(|&s| self.up_cap[u.src][s] > 0.0 && self.down_cap[s][u.dst] > 0.0)
+                    .collect();
+                let mut row = vec![0.0; self.n_spines()];
+                for &s in &valid {
+                    row[s] = u.demand / valid.len() as f64;
+                }
+                row
+            })
+            .collect()
+    }
+
+    /// All-on-one-spine adversarial start (spine chosen per user by `pick`).
+    pub fn concentrated(&self, pick: impl Fn(usize) -> usize) -> Flow {
+        self.users
+            .iter()
+            .enumerate()
+            .map(|(i, u)| {
+                let mut row = vec![0.0; self.n_spines()];
+                row[pick(i)] = u.demand;
+                row
+            })
+            .collect()
+    }
+
+    /// Social optimum: minimize the network bottleneck (convex min-max)
+    /// by projected coordinate descent — repeatedly shift a diminishing
+    /// step of traffic off the current bottleneck link onto the shifting
+    /// user's best alternative spine. Returns `(bottleneck, flow)`.
+    pub fn min_max_utilization(&self, iters: usize, rng: &mut SimRng) -> (f64, Flow) {
+        let mut x = self.even_split();
+        let mut best_b = self.network_bottleneck(&x);
+        let mut best_x = x.clone();
+        for it in 0..iters {
+            let (up, down) = self.loads(&x);
+            // Find the bottleneck link.
+            let mut bott = (0.0f64, None);
+            for l in 0..self.n_leaves() {
+                for s in 0..self.n_spines() {
+                    if self.up_cap[l][s] > 0.0 {
+                        let u = up[l][s] / self.up_cap[l][s];
+                        if u > bott.0 {
+                            bott = (u, Some((true, l, s)));
+                        }
+                    }
+                    if self.down_cap[s][l] > 0.0 {
+                        let u = down[s][l] / self.down_cap[s][l];
+                        if u > bott.0 {
+                            bott = (u, Some((false, l, s)));
+                        }
+                    }
+                }
+            }
+            let Some((is_up, l, s)) = bott.1 else { break };
+            // Users that load this link.
+            let users_on: Vec<usize> = self
+                .users
+                .iter()
+                .enumerate()
+                .filter(|(u, usr)| {
+                    x[*u][s] > 1e-12
+                        && if is_up {
+                            usr.src == l
+                        } else {
+                            usr.dst == l
+                        }
+                })
+                .map(|(u, _)| u)
+                .collect();
+            if users_on.is_empty() {
+                break;
+            }
+            let u = *rng.choose(&users_on);
+            let user = self.users[u];
+            // Best alternative spine for this user (lowest resulting util).
+            let mut best_alt: Option<(usize, f64)> = None;
+            for s2 in 0..self.n_spines() {
+                if s2 == s
+                    || self.up_cap[user.src][s2] <= 0.0
+                    || self.down_cap[s2][user.dst] <= 0.0
+                {
+                    continue;
+                }
+                let alt = (up[user.src][s2] / self.up_cap[user.src][s2])
+                    .max(down[s2][user.dst] / self.down_cap[s2][user.dst]);
+                if best_alt.map(|(_, b)| alt < b).unwrap_or(true) {
+                    best_alt = Some((s2, alt));
+                }
+            }
+            let Some((s2, alt_util)) = best_alt else { continue };
+            if alt_util >= bott.0 {
+                continue;
+            }
+            // Diminishing step.
+            let step = (x[u][s]).min(user.demand * 0.5 / (1.0 + it as f64 / 50.0));
+            x[u][s] -= step;
+            x[u][s2] += step;
+            let b = self.network_bottleneck(&x);
+            if b < best_b {
+                best_b = b;
+                best_x = x.clone();
+            }
+        }
+        (best_b, best_x)
+    }
+
+    /// Is `x` an (ε-approximate) Nash flow?
+    pub fn is_nash(&self, x: &Flow, eps: f64) -> bool {
+        (0..self.users.len()).all(|u| {
+            let cur = self.user_bottleneck(x, u);
+            let br = self.best_response(x, u);
+            let mut y = x.clone();
+            y[u] = br;
+            self.user_bottleneck(&y, u) >= cur - eps
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Single user, symmetric fabric: optimum is an even split.
+    #[test]
+    fn single_user_best_response_is_even_split() {
+        let g = BottleneckGame::symmetric(
+            2,
+            4,
+            1.0,
+            vec![User {
+                src: 0,
+                dst: 1,
+                demand: 2.0,
+            }],
+        );
+        let x = g.concentrated(|_| 0);
+        let br = g.best_response(&x, 0);
+        for s in 0..4 {
+            assert!((br[s] - 0.5).abs() < 1e-6, "spine {s}: {}", br[s]);
+        }
+    }
+
+    /// Figure 3(a): only L1→L2 traffic; optimal splits 50/50 over spines.
+    /// Figure 3(b): L0→L2 sends 40 via S0 only (its only choice given the
+    /// missing L0-S1 link); the L1→L2 user's best response shifts away
+    /// from S0.
+    #[test]
+    fn fig3_traffic_matrix_dependence() {
+        // 3 leaves, 2 spines, 40G links; leaf 0 lacks an uplink to spine 1.
+        let mut g = BottleneckGame::symmetric(3, 2, 40.0, Vec::new());
+        g.up_cap[0][1] = 0.0;
+        // (a) only user: L1->L2, demand 40: even split.
+        g.users = vec![User {
+            src: 1,
+            dst: 2,
+            demand: 40.0,
+        }];
+        let (x, _) = g.nash(g.even_split(), 100, 1e-9);
+        assert!((x[0][0] - 20.0).abs() < 0.5, "{:?}", x[0]);
+        // (b) add L0->L2 demand 40 (forced through S0).
+        g.users.push(User {
+            src: 0,
+            dst: 2,
+            demand: 40.0,
+        });
+        let (x, _) = g.nash(g.even_split(), 200, 1e-9);
+        // L1->L2 must avoid S0's loaded downlink: nearly all on S1.
+        assert!(
+            x[0][1] > 30.0,
+            "L1->L2 should shift toward spine 1: {:?}",
+            x[0]
+        );
+    }
+
+    #[test]
+    fn nash_reached_and_verified() {
+        let mut rng = SimRng::new(5);
+        let users = vec![
+            User {
+                src: 0,
+                dst: 1,
+                demand: 1.0,
+            },
+            User {
+                src: 1,
+                dst: 2,
+                demand: 1.0,
+            },
+            User {
+                src: 2,
+                dst: 0,
+                demand: 1.0,
+            },
+        ];
+        let g = BottleneckGame::symmetric(3, 3, 1.0, users);
+        let (x, sweeps) = g.nash(g.concentrated(|i| i % 3), 200, 1e-9);
+        assert!(g.is_nash(&x, 1e-6), "best-response fixed point after {sweeps}");
+        let _ = rng;
+    }
+
+    #[test]
+    fn optimum_matches_symmetric_analytic_value() {
+        // 3 users of demand 1 in a 3x3 unit fabric: spreading every user
+        // over all 3 spines gives every link 1/3 — the optimum.
+        let users = vec![
+            User {
+                src: 0,
+                dst: 1,
+                demand: 1.0,
+            },
+            User {
+                src: 1,
+                dst: 2,
+                demand: 1.0,
+            },
+            User {
+                src: 2,
+                dst: 0,
+                demand: 1.0,
+            },
+        ];
+        let g = BottleneckGame::symmetric(3, 3, 1.0, users);
+        let mut rng = SimRng::new(6);
+        let (b, _) = g.min_max_utilization(2000, &mut rng);
+        assert!((b - 1.0 / 3.0).abs() < 0.02, "optimum {b}, want 1/3");
+    }
+
+    #[test]
+    fn poa_bounded_by_two_on_random_instances() {
+        // Theorem 1: Nash bottleneck <= 2x optimal in Leaf-Spine games.
+        let mut rng = SimRng::new(7);
+        let mut worst: f64 = 0.0;
+        for trial in 0..30 {
+            let nl = 2 + rng.below(3);
+            let ns = 2 + rng.below(3);
+            let mut users = Vec::new();
+            for _ in 0..(2 + rng.below(4)) {
+                let src = rng.below(nl);
+                let mut dst = rng.below(nl);
+                while dst == src {
+                    dst = rng.below(nl);
+                }
+                users.push(User {
+                    src,
+                    dst,
+                    demand: 0.5 + rng.f64(),
+                });
+            }
+            let mut g = BottleneckGame::symmetric(nl, ns, 1.0, users);
+            // Random capacity asymmetry.
+            for l in 0..nl {
+                for s in 0..ns {
+                    if rng.chance(0.3) {
+                        g.up_cap[l][s] *= 0.5;
+                    }
+                    if rng.chance(0.3) {
+                        g.down_cap[s][l] *= 0.5;
+                    }
+                }
+            }
+            let start = g.concentrated(|i| i % ns);
+            let (x, _) = g.nash(start, 300, 1e-9);
+            let nash_b = g.network_bottleneck(&x);
+            let (opt_b, _) = g.min_max_utilization(3000, &mut rng);
+            let ratio = nash_b / opt_b.max(1e-12);
+            worst = worst.max(ratio);
+            assert!(
+                ratio <= 2.0 + 0.05,
+                "trial {trial}: PoA violated: {nash_b} vs {opt_b}"
+            );
+        }
+        // Typical case should be near-optimal (the paper's empirical claim).
+        assert!(worst >= 1.0);
+    }
+
+    #[test]
+    fn even_split_respects_missing_links() {
+        let mut g = BottleneckGame::symmetric(
+            2,
+            3,
+            1.0,
+            vec![User {
+                src: 0,
+                dst: 1,
+                demand: 1.0,
+            }],
+        );
+        g.up_cap[0][2] = 0.0;
+        let x = g.even_split();
+        assert_eq!(x[0][2], 0.0);
+        assert!((x[0][0] - 0.5).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,146 @@
+//! Small statistics toolkit shared by the experiments: means, percentiles,
+//! empirical CDFs, and a fixed-bin histogram.
+
+/// Mean of a slice (0 for empty input).
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        0.0
+    } else {
+        xs.iter().sum::<f64>() / xs.len() as f64
+    }
+}
+
+/// Population standard deviation.
+pub fn std_dev(xs: &[f64]) -> f64 {
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(xs);
+    (xs.iter().map(|x| (x - m).powi(2)).sum::<f64>() / xs.len() as f64).sqrt()
+}
+
+/// The `p`-th percentile (0–100) by linear interpolation on the sorted
+/// sample. Panics on empty input.
+pub fn percentile(xs: &[f64], p: f64) -> f64 {
+    assert!(!xs.is_empty(), "percentile of empty sample");
+    assert!((0.0..=100.0).contains(&p));
+    let mut s: Vec<f64> = xs.to_vec();
+    s.sort_by(|a, b| a.partial_cmp(b).expect("no NaN"));
+    let rank = p / 100.0 * (s.len() - 1) as f64;
+    let lo = rank.floor() as usize;
+    let hi = rank.ceil() as usize;
+    if lo == hi {
+        s[lo]
+    } else {
+        let f = rank - lo as f64;
+        s[lo] * (1.0 - f) + s[hi] * f
+    }
+}
+
+/// An empirical CDF: sorted `(value, cumulative probability)` points
+/// suitable for plotting.
+pub fn ecdf(xs: &[f64]) -> Vec<(f64, f64)> {
+    let mut s: Vec<f64> = xs.to_vec();
+    s.sort_by(|a, b| a.partial_cmp(b).expect("no NaN"));
+    let n = s.len() as f64;
+    s.into_iter()
+        .enumerate()
+        .map(|(i, x)| (x, (i + 1) as f64 / n))
+        .collect()
+}
+
+/// Evaluate an ECDF (as returned by [`ecdf`]) at chosen probe points,
+/// producing a compact plottable series.
+pub fn ecdf_at(cdf: &[(f64, f64)], probes: &[f64]) -> Vec<(f64, f64)> {
+    probes
+        .iter()
+        .map(|&x| {
+            let idx = cdf.partition_point(|&(v, _)| v <= x);
+            let p = if idx == 0 { 0.0 } else { cdf[idx - 1].1 };
+            (x, p)
+        })
+        .collect()
+}
+
+/// A fixed-width histogram over `[lo, hi)`.
+#[derive(Clone, Debug)]
+pub struct Histogram {
+    lo: f64,
+    width: f64,
+    /// Per-bin counts; the last bin absorbs values ≥ `hi`.
+    pub bins: Vec<u64>,
+    /// Values below `lo`.
+    pub underflow: u64,
+}
+
+impl Histogram {
+    /// `n` bins spanning `[lo, hi)`.
+    pub fn new(lo: f64, hi: f64, n: usize) -> Self {
+        assert!(hi > lo && n > 0);
+        Histogram {
+            lo,
+            width: (hi - lo) / n as f64,
+            bins: vec![0; n],
+            underflow: 0,
+        }
+    }
+
+    /// Add one observation.
+    pub fn add(&mut self, x: f64) {
+        if x < self.lo {
+            self.underflow += 1;
+            return;
+        }
+        let i = ((x - self.lo) / self.width) as usize;
+        let last = self.bins.len() - 1;
+        self.bins[i.min(last)] += 1;
+    }
+
+    /// Total observations in bins.
+    pub fn count(&self) -> u64 {
+        self.bins.iter().sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_and_std() {
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(mean(&[2.0, 4.0]), 3.0);
+        assert!((std_dev(&[2.0, 4.0]) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn percentiles_interpolate() {
+        let xs = [10.0, 20.0, 30.0, 40.0];
+        assert_eq!(percentile(&xs, 0.0), 10.0);
+        assert_eq!(percentile(&xs, 100.0), 40.0);
+        assert_eq!(percentile(&xs, 50.0), 25.0);
+        assert!((percentile(&xs, 90.0) - 37.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ecdf_shape() {
+        let c = ecdf(&[3.0, 1.0, 2.0]);
+        assert_eq!(c, vec![(1.0, 1.0 / 3.0), (2.0, 2.0 / 3.0), (3.0, 1.0)]);
+        let probed = ecdf_at(&c, &[0.5, 1.5, 5.0]);
+        assert_eq!(probed[0].1, 0.0);
+        assert!((probed[1].1 - 1.0 / 3.0).abs() < 1e-12);
+        assert_eq!(probed[2].1, 1.0);
+    }
+
+    #[test]
+    fn histogram_bins_and_overflow() {
+        let mut h = Histogram::new(0.0, 10.0, 5);
+        for x in [0.5, 1.5, 9.9, 10.5, -1.0] {
+            h.add(x);
+        }
+        assert_eq!(h.bins[0], 2);
+        assert_eq!(h.bins[4], 2, "overflow lands in the last bin");
+        assert_eq!(h.underflow, 1);
+        assert_eq!(h.count(), 4);
+    }
+}

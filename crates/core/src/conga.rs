@@ -1,0 +1,443 @@
+//! The CONGA dataplane (paper §3, Figure 6).
+//!
+//! One [`Conga`] instance models the dataplane logic of *every* switch in
+//! the fabric (the per-switch state is internally partitioned, exactly as
+//! each physical ASIC holds only its own tables):
+//!
+//! * per fabric link: a [`Dre`] congestion estimator;
+//! * per leaf: a [`FlowletTable`], a [`CongestionToLeaf`] table and a
+//!   [`CongestionFromLeaf`] table;
+//! * spine switches forward with standard ECMP hashing (paper footnote 3)
+//!   while their DREs stamp the CE field of passing packets.
+//!
+//! The decision rule (§3.5): on the first packet of a flowlet, pick the
+//! uplink minimizing `max(local DRE metric, remote Congestion-To-Leaf
+//! metric)`; break ties in favour of the port the flow's previous flowlet
+//! used (a flow only moves if a strictly better uplink exists), then
+//! randomly.
+
+use crate::dre::Dre;
+use crate::flowlet::{FlowletTable, Lookup};
+use crate::params::CongaParams;
+use crate::tables::{CongestionFromLeaf, CongestionToLeaf};
+use conga_net::{
+    ecmp_mix, ChannelId, Dataplane, Fib, LeafId, Packet, SpineId, Topology, MAX_LBTAG,
+};
+use conga_sim::{SimRng, SimTime};
+
+/// Per-leaf CONGA state.
+#[derive(Debug)]
+struct LeafState {
+    flowlets: FlowletTable,
+    to_leaf: CongestionToLeaf,
+    from_leaf: CongestionFromLeaf,
+}
+
+/// The CONGA dataplane: implements [`Dataplane`] for the whole fabric.
+#[derive(Debug)]
+pub struct Conga {
+    /// Parameters (public so experiments can report them).
+    pub params: CongaParams,
+    dres: Vec<Option<Dre>>,
+    lbtag_of: Vec<u8>,
+    leaves: Vec<LeafState>,
+    /// Decisions where the flow stayed on its previous port (tie-break).
+    pub sticky_decisions: u64,
+    /// Decisions that moved a flow to a strictly better port.
+    pub moved_decisions: u64,
+    label: &'static str,
+}
+
+impl Conga {
+    /// CONGA with the given parameters.
+    pub fn new(params: CongaParams) -> Self {
+        Conga {
+            params,
+            dres: Vec::new(),
+            lbtag_of: Vec::new(),
+            leaves: Vec::new(),
+            sticky_decisions: 0,
+            moved_decisions: 0,
+            label: "conga",
+        }
+    }
+
+    /// The paper's CONGA-Flow variant (one decision per flow).
+    pub fn conga_flow() -> Self {
+        let mut c = Conga::new(CongaParams::conga_flow());
+        c.label = "conga-flow";
+        c
+    }
+
+    /// Flowlet statistics for a leaf (hits / new flowlets).
+    pub fn flowlet_stats(&self, leaf: LeafId) -> crate::flowlet::FlowletStats {
+        self.leaves[leaf.idx()].flowlets.stats
+    }
+
+    /// Current quantized local DRE metric of a channel (for debugging and
+    /// the parameter-ablation experiments).
+    pub fn link_metric(&mut self, ch: ChannelId, now: SimTime) -> Option<u8> {
+        let q = self.params.q_bits;
+        self.dres[ch.idx()].as_mut().map(|d| d.quantized(now, q))
+    }
+
+    /// Decision core, shared by CONGA and (via `remote = 0`) the local-only
+    /// baseline: pick argmin over candidates of `max(local, remote)`.
+    fn decide(
+        dres: &mut [Option<Dre>],
+        to_leaf: Option<&CongestionToLeaf>,
+        lbtag_of: &[u8],
+        dst_leaf: usize,
+        candidates: &[ChannelId],
+        prev: Option<ChannelId>,
+        q_bits: u8,
+        now: SimTime,
+        rng: &mut SimRng,
+    ) -> (ChannelId, bool) {
+        debug_assert!(!candidates.is_empty());
+        let mut best: u16 = u16::MAX;
+        // Up to MAX_LBTAG candidates; collect ties on the stack.
+        let mut ties = [ChannelId(0); MAX_LBTAG];
+        let mut n_ties = 0;
+        for &u in candidates {
+            let local = dres[u.idx()]
+                .as_mut()
+                .expect("candidate uplink without DRE")
+                .quantized(now, q_bits);
+            let remote = to_leaf
+                .map(|t| t.read(dst_leaf, lbtag_of[u.idx()], now))
+                .unwrap_or(0);
+            let m = local.max(remote) as u16;
+            if m < best {
+                best = m;
+                ties[0] = u;
+                n_ties = 1;
+            } else if m == best && n_ties < MAX_LBTAG {
+                ties[n_ties] = u;
+                n_ties += 1;
+            }
+        }
+        let ties = &ties[..n_ties];
+        // Prefer the previous port if it is among the best.
+        if let Some(p) = prev {
+            if ties.contains(&p) {
+                return (p, true);
+            }
+        }
+        (*rng.choose(ties), false)
+    }
+}
+
+impl Dataplane for Conga {
+    fn install(&mut self, topo: &Topology, fib: &Fib) {
+        self.dres = topo
+            .channels
+            .iter()
+            .map(|c| {
+                c.kind
+                    .is_fabric()
+                    .then(|| Dre::new(c.rate_bps, self.params.tdre, self.params.alpha))
+            })
+            .collect();
+        self.lbtag_of = fib.lbtag_of.clone();
+        let nl = topo.n_leaves as usize;
+        self.leaves = (0..nl)
+            .map(|_| LeafState {
+                flowlets: FlowletTable::new(
+                    self.params.flowlet_entries,
+                    self.params.tfl,
+                    self.params.gap_mode,
+                ),
+                to_leaf: CongestionToLeaf::new(nl, MAX_LBTAG, self.params.metric_age),
+                from_leaf: CongestionFromLeaf::new(nl, MAX_LBTAG, self.params.metric_age),
+            })
+            .collect();
+    }
+
+    fn leaf_ingress(
+        &mut self,
+        leaf: LeafId,
+        pkt: &mut Packet,
+        candidates: &[ChannelId],
+        now: SimTime,
+        rng: &mut SimRng,
+    ) -> ChannelId {
+        let l = leaf.idx();
+        let dst = pkt.overlay.expect("ingress without overlay").dst_tep.idx();
+
+        // Opportunistically piggyback one feedback metric for the
+        // destination leaf (paper §3.3 step 4).
+        if let Some((tag, metric)) = self.leaves[l].from_leaf.select_feedback(dst, now) {
+            let o = pkt.overlay.as_mut().expect("checked above");
+            o.fb_lbtag = tag;
+            o.fb_metric = metric;
+            o.fb_valid = true;
+        }
+
+        // Flowlet lookup; decide only on the first packet of a flowlet.
+        let lookup = self.leaves[l].flowlets.lookup(pkt.flow_hash, now);
+        let chosen = match lookup {
+            Lookup::Active(port) if candidates.contains(&port) => port,
+            Lookup::Active(stale) => {
+                // Cached port can no longer reach this destination (link
+                // failure or a table collision across destinations):
+                // decide afresh.
+                let state = &mut self.leaves[l];
+                let (port, sticky) = Self::decide(
+                    &mut self.dres,
+                    Some(&state.to_leaf),
+                    &self.lbtag_of,
+                    dst,
+                    candidates,
+                    Some(stale).filter(|p| candidates.contains(p)),
+                    self.params.q_bits,
+                    now,
+                    rng,
+                );
+                if sticky {
+                    self.sticky_decisions += 1;
+                }
+                state.flowlets.commit(pkt.flow_hash, port, now);
+                port
+            }
+            Lookup::NewFlowlet { prev } => {
+                let state = &mut self.leaves[l];
+                let (port, sticky) = Self::decide(
+                    &mut self.dres,
+                    Some(&state.to_leaf),
+                    &self.lbtag_of,
+                    dst,
+                    candidates,
+                    prev.filter(|p| candidates.contains(p)),
+                    self.params.q_bits,
+                    now,
+                    rng,
+                );
+                if sticky {
+                    self.sticky_decisions += 1;
+                } else if prev.is_some() {
+                    self.moved_decisions += 1;
+                }
+                state.flowlets.commit(pkt.flow_hash, port, now);
+                port
+            }
+        };
+
+        pkt.overlay.as_mut().expect("checked above").lbtag = self.lbtag_of[chosen.idx()];
+        chosen
+    }
+
+    fn spine_forward(
+        &mut self,
+        spine: SpineId,
+        pkt: &mut Packet,
+        candidates: &[ChannelId],
+        _now: SimTime,
+        _rng: &mut SimRng,
+    ) -> ChannelId {
+        // Standard ECMP among the (parallel) downlinks, paper footnote 3.
+        let h = ecmp_mix(pkt.flow_hash, 0x5B1E_0000 + spine.0 as u64);
+        candidates[(h % candidates.len() as u64) as usize]
+    }
+
+    fn on_fabric_tx(&mut self, ch: ChannelId, pkt: &mut Packet, now: SimTime) {
+        let q = self.params.q_bits;
+        let dre = self.dres[ch.idx()].as_mut().expect("fabric channel has a DRE");
+        dre.on_send(pkt.size, now);
+        if let Some(o) = pkt.overlay.as_mut() {
+            // CE accumulates the maximum link congestion along the path.
+            o.ce = o.ce.max(dre.quantized(now, q));
+        }
+    }
+
+    fn leaf_egress(&mut self, leaf: LeafId, pkt: &Packet, now: SimTime) {
+        let Some(o) = pkt.overlay.as_ref() else {
+            return;
+        };
+        let state = &mut self.leaves[leaf.idx()];
+        // Store this packet's path congestion for later piggybacking...
+        state.from_leaf.record(o.src_tep.idx(), o.lbtag, o.ce, now);
+        // ...and absorb the feedback it carries into Congestion-To-Leaf.
+        if o.fb_valid {
+            state
+                .to_leaf
+                .update(o.src_tep.idx(), o.fb_lbtag, o.fb_metric, now);
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        self.label
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use conga_net::{HostId, LeafSpineBuilder, Overlay};
+
+    fn setup() -> (Topology, Fib, Conga) {
+        let topo = LeafSpineBuilder::new(2, 2, 2)
+            .host_rate_gbps(10)
+            .fabric_rate_gbps(40)
+            .parallel_links(2)
+            .build();
+        let fib = topo.fib();
+        let mut conga = Conga::new(CongaParams::paper_default());
+        conga.install(&topo, &fib);
+        (topo, fib, conga)
+    }
+
+    fn fabric_pkt(flow_hash: u64, src_leaf: u32, dst_leaf: u32) -> Packet {
+        let mut p = Packet::data(0, 0, flow_hash, HostId(0), HostId(2), 0, 1460, SimTime::ZERO);
+        p.overlay = Some(Overlay::new(LeafId(src_leaf), LeafId(dst_leaf)));
+        p
+    }
+
+    #[test]
+    fn ingress_sets_lbtag_of_chosen_uplink() {
+        let (_t, fib, mut c) = setup();
+        let mut rng = SimRng::new(1);
+        let mut p = fabric_pkt(77, 0, 1);
+        let cands = fib.up_candidates[0][1].clone();
+        let ch = c.leaf_ingress(LeafId(0), &mut p, &cands, SimTime::ZERO, &mut rng);
+        assert!(cands.contains(&ch));
+        assert_eq!(p.overlay.unwrap().lbtag, fib.lbtag_of[ch.idx()]);
+    }
+
+    #[test]
+    fn flowlet_keeps_packets_on_one_uplink() {
+        let (_t, fib, mut c) = setup();
+        let mut rng = SimRng::new(2);
+        let cands = fib.up_candidates[0][1].clone();
+        let mut first = fabric_pkt(99, 0, 1);
+        let ch0 = c.leaf_ingress(LeafId(0), &mut first, &cands, SimTime::ZERO, &mut rng);
+        for i in 1..50u64 {
+            let mut p = fabric_pkt(99, 0, 1);
+            let t = SimTime::from_micros(i * 10); // well under T_fl
+            let ch = c.leaf_ingress(LeafId(0), &mut p, &cands, t, &mut rng);
+            assert_eq!(ch, ch0, "flowlet must not switch paths mid-burst");
+        }
+        assert_eq!(c.flowlet_stats(LeafId(0)).new_flowlets, 1);
+    }
+
+    #[test]
+    fn decision_avoids_congested_uplink_via_remote_metric() {
+        let (_t, fib, mut c) = setup();
+        let mut rng = SimRng::new(3);
+        let cands = fib.up_candidates[0][1].clone();
+        let now = SimTime::from_micros(100);
+        // Feedback says: every uplink except tag 2 is badly congested.
+        for &u in &cands {
+            let tag = fib.lbtag_of[u.idx()];
+            let metric = if tag == 2 { 0 } else { 7 };
+            c.leaves[0].to_leaf.update(1, tag, metric, now);
+        }
+        // Many distinct flows: all must pick the uncongested uplink.
+        for f in 0..20u64 {
+            let mut p = fabric_pkt(1000 + f, 0, 1);
+            let ch = c.leaf_ingress(LeafId(0), &mut p, &cands, now, &mut rng);
+            assert_eq!(fib.lbtag_of[ch.idx()], 2, "flow {f} took a congested path");
+        }
+    }
+
+    #[test]
+    fn decision_avoids_congested_uplink_via_local_dre() {
+        let (_t, fib, mut c) = setup();
+        let mut rng = SimRng::new(4);
+        let cands = fib.up_candidates[0][1].clone();
+        let now = SimTime::from_micros(50);
+        // Blast the DRE of uplink 0 to saturation.
+        let hot = cands[0];
+        for _ in 0..10_000 {
+            c.on_fabric_tx(hot, &mut fabric_pkt(1, 0, 1), now);
+        }
+        for f in 0..20u64 {
+            let mut p = fabric_pkt(2000 + f, 0, 1);
+            let ch = c.leaf_ingress(LeafId(0), &mut p, &cands, now, &mut rng);
+            assert_ne!(ch, hot, "flow {f} picked the locally congested uplink");
+        }
+    }
+
+    #[test]
+    fn ce_field_accumulates_max_along_path() {
+        let (_t, fib, mut c) = setup();
+        let now = SimTime::from_micros(10);
+        let up = fib.leaf_uplinks[0][0];
+        // Pre-load the DRE so the quantized metric is nonzero.
+        for _ in 0..5_000 {
+            c.on_fabric_tx(up, &mut fabric_pkt(5, 0, 1), now);
+        }
+        let mut p = fabric_pkt(6, 0, 1);
+        c.on_fabric_tx(up, &mut p, now);
+        let ce1 = p.overlay.unwrap().ce;
+        assert!(ce1 > 0);
+        // A later hop with an idle DRE must not lower CE.
+        let down = fib.spine_down[0][1][0];
+        c.on_fabric_tx(down, &mut p, now);
+        assert!(p.overlay.unwrap().ce >= ce1, "CE must be a running max");
+    }
+
+    #[test]
+    fn egress_and_feedback_close_the_loop() {
+        let (_t, _fib, mut c) = setup();
+        let now = SimTime::from_micros(20);
+        // Leaf 1 receives a packet from leaf 0 with lbtag 3, CE 6.
+        let mut p = fabric_pkt(8, 0, 1);
+        {
+            let o = p.overlay.as_mut().unwrap();
+            o.lbtag = 3;
+            o.ce = 6;
+        }
+        c.leaf_egress(LeafId(1), &p, now);
+        // When leaf 1 later sends to leaf 0, the feedback must ride along.
+        let mut rng = SimRng::new(5);
+        let cands = c.lbtag_of.len(); // silence unused warnings below
+        let _ = cands;
+        let fib = LeafSpineBuilder::new(2, 2, 2)
+            .parallel_links(2)
+            .build()
+            .fib();
+        let mut rev = fabric_pkt(9, 1, 0);
+        let rcands = fib.up_candidates[1][0].clone();
+        c.leaf_ingress(LeafId(1), &mut rev, &rcands, now, &mut rng);
+        let o = rev.overlay.unwrap();
+        assert!(o.fb_valid);
+        assert_eq!(o.fb_lbtag, 3);
+        assert_eq!(o.fb_metric, 6);
+        // Leaf 0 receives the reverse packet: Congestion-To-Leaf updated.
+        c.leaf_egress(LeafId(0), &rev, now);
+        assert_eq!(c.leaves[0].to_leaf.read(1, 3, now), 6);
+    }
+
+    #[test]
+    fn flow_moves_only_for_strictly_better_path() {
+        let (_t, fib, mut c) = setup();
+        let mut rng = SimRng::new(6);
+        let cands = fib.up_candidates[0][1].clone();
+        // First flowlet decides at t=0 (all metrics equal -> random).
+        let mut p = fabric_pkt(55, 0, 1);
+        let ch0 = c.leaf_ingress(LeafId(0), &mut p, &cands, SimTime::ZERO, &mut rng);
+        // Let the flowlet expire with all metrics still equal: the flow
+        // must stay (tie-break prefers the cached port).
+        let later = SimTime::from_millis(5);
+        let mut p2 = fabric_pkt(55, 0, 1);
+        let ch1 = c.leaf_ingress(LeafId(0), &mut p2, &cands, later, &mut rng);
+        assert_eq!(ch0, ch1, "no strictly better path: flow must not move");
+        assert!(c.sticky_decisions >= 1);
+    }
+
+    #[test]
+    fn spine_ecmp_spreads_flows_across_parallel_downlinks() {
+        let (_t, fib, mut c) = setup();
+        let mut rng = SimRng::new(7);
+        let cands = fib.spine_down[0][1].clone();
+        assert_eq!(cands.len(), 2);
+        let mut hits = [0usize; 2];
+        for f in 0..1000u64 {
+            let mut p = fabric_pkt(ecmp_mix(f, 0xF00), 0, 1);
+            let ch = c.spine_forward(SpineId(0), &mut p, &cands, SimTime::ZERO, &mut rng);
+            hits[cands.iter().position(|&x| x == ch).unwrap()] += 1;
+        }
+        assert!(hits[0] > 350 && hits[1] > 350, "imbalanced: {hits:?}");
+    }
+}

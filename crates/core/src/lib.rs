@@ -1,0 +1,29 @@
+//! # conga-core — the CONGA dataplane and baseline load balancers
+//!
+//! Bit-faithful models of the mechanisms in *CONGA: Distributed
+//! Congestion-Aware Load Balancing for Datacenters* (SIGCOMM 2014, §3):
+//!
+//! * [`Dre`] — the Discounting Rate Estimator measuring per-link load;
+//! * [`FlowletTable`] — 64 K-entry hash table with age-bit gap detection;
+//! * [`CongestionToLeaf`] / [`CongestionFromLeaf`] — the leaf-to-leaf
+//!   feedback tables;
+//! * [`Conga`] — the full dataplane wiring them together, implementing the
+//!   `conga_net::Dataplane` trait;
+//! * baselines: [`Ecmp`], [`LocalAware`], [`PacketSpray`],
+//!   [`WeightedRandom`], and the scheme-selection enum [`FabricPolicy`].
+
+#![warn(missing_docs)]
+
+mod conga;
+mod dre;
+mod flowlet;
+mod params;
+mod policies;
+mod tables;
+
+pub use conga::Conga;
+pub use dre::Dre;
+pub use flowlet::{FlowletStats, FlowletTable, Lookup};
+pub use params::{CongaParams, GapMode};
+pub use policies::{Ecmp, FabricPolicy, Incremental, LocalAware, PacketSpray, WeightedRandom};
+pub use tables::{CongestionFromLeaf, CongestionToLeaf};

@@ -1,0 +1,677 @@
+//! Baseline load-balancing policies the paper compares against, plus the
+//! [`FabricPolicy`] enum that lets experiments swap schemes without generic
+//! plumbing.
+//!
+//! * [`Ecmp`] — static per-flow hashing (the deployed default CONGA
+//!   displaces).
+//! * [`LocalAware`] — the §2.4 strawman: flowlet granularity but decisions
+//!   from *local* DREs only. Provably mishandles asymmetry (Figure 2b).
+//! * [`PacketSpray`] — per-packet round-robin (DRB-style); optimal balance,
+//!   maximal reordering.
+//! * [`WeightedRandom`] — oblivious routing with static topology-derived
+//!   weights (§2.4's "can't handle traffic-matrix-dependent asymmetry").
+
+use crate::conga::Conga;
+use crate::dre::Dre;
+use crate::flowlet::{FlowletTable, Lookup};
+use crate::params::CongaParams;
+use conga_net::{
+    ecmp_mix, ChannelId, Dataplane, Fib, LeafId, NodeId, Packet, SpineId, Topology,
+};
+use conga_sim::{SimRng, SimTime};
+
+// ---------------------------------------------------------------------------
+// ECMP
+// ---------------------------------------------------------------------------
+
+/// Static per-flow Equal-Cost Multi-Path hashing.
+#[derive(Debug, Default)]
+pub struct Ecmp {
+    lbtag_of: Vec<u8>,
+}
+
+impl Dataplane for Ecmp {
+    fn install(&mut self, _topo: &Topology, fib: &Fib) {
+        self.lbtag_of = fib.lbtag_of.clone();
+    }
+
+    fn leaf_ingress(
+        &mut self,
+        leaf: LeafId,
+        pkt: &mut Packet,
+        candidates: &[ChannelId],
+        _now: SimTime,
+        _rng: &mut SimRng,
+    ) -> ChannelId {
+        let h = ecmp_mix(pkt.flow_hash, 0x1EAF_0000 + leaf.0 as u64);
+        let ch = candidates[(h % candidates.len() as u64) as usize];
+        pkt.overlay.as_mut().expect("ingress without overlay").lbtag =
+            self.lbtag_of[ch.idx()];
+        ch
+    }
+
+    fn spine_forward(
+        &mut self,
+        spine: SpineId,
+        pkt: &mut Packet,
+        candidates: &[ChannelId],
+        _now: SimTime,
+        _rng: &mut SimRng,
+    ) -> ChannelId {
+        let h = ecmp_mix(pkt.flow_hash, 0x5B1E_0000 + spine.0 as u64);
+        candidates[(h % candidates.len() as u64) as usize]
+    }
+
+    fn on_fabric_tx(&mut self, _ch: ChannelId, _pkt: &mut Packet, _now: SimTime) {}
+    fn leaf_egress(&mut self, _leaf: LeafId, _pkt: &Packet, _now: SimTime) {}
+    fn name(&self) -> &'static str {
+        "ecmp"
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Local congestion-aware (the strawman of §2.4)
+// ---------------------------------------------------------------------------
+
+/// Flowlet-granularity load balancing using only *local* uplink DREs —
+/// the paper's illustration of why global information is required.
+#[derive(Debug)]
+pub struct LocalAware {
+    params: CongaParams,
+    dres: Vec<Option<Dre>>,
+    lbtag_of: Vec<u8>,
+    flowlets: Vec<FlowletTable>,
+}
+
+impl LocalAware {
+    /// Local-only policy with CONGA's flowlet/DRE parameters.
+    pub fn new(params: CongaParams) -> Self {
+        LocalAware {
+            params,
+            dres: Vec::new(),
+            lbtag_of: Vec::new(),
+            flowlets: Vec::new(),
+        }
+    }
+
+    fn decide(
+        &mut self,
+        candidates: &[ChannelId],
+        prev: Option<ChannelId>,
+        now: SimTime,
+        rng: &mut SimRng,
+    ) -> ChannelId {
+        let q = self.params.q_bits;
+        let mut best = u8::MAX;
+        let mut ties: Vec<ChannelId> = Vec::with_capacity(candidates.len());
+        for &u in candidates {
+            let m = self.dres[u.idx()]
+                .as_mut()
+                .expect("uplink without DRE")
+                .quantized(now, q);
+            if m < best {
+                best = m;
+                ties.clear();
+                ties.push(u);
+            } else if m == best {
+                ties.push(u);
+            }
+        }
+        if let Some(p) = prev {
+            if ties.contains(&p) {
+                return p;
+            }
+        }
+        *rng.choose(&ties)
+    }
+}
+
+impl Dataplane for LocalAware {
+    fn install(&mut self, topo: &Topology, fib: &Fib) {
+        self.dres = topo
+            .channels
+            .iter()
+            .map(|c| {
+                c.kind
+                    .is_fabric()
+                    .then(|| Dre::new(c.rate_bps, self.params.tdre, self.params.alpha))
+            })
+            .collect();
+        self.lbtag_of = fib.lbtag_of.clone();
+        self.flowlets = (0..topo.n_leaves)
+            .map(|_| {
+                FlowletTable::new(self.params.flowlet_entries, self.params.tfl, self.params.gap_mode)
+            })
+            .collect();
+    }
+
+    fn leaf_ingress(
+        &mut self,
+        leaf: LeafId,
+        pkt: &mut Packet,
+        candidates: &[ChannelId],
+        now: SimTime,
+        rng: &mut SimRng,
+    ) -> ChannelId {
+        let l = leaf.idx();
+        let ch = match self.flowlets[l].lookup(pkt.flow_hash, now) {
+            Lookup::Active(port) if candidates.contains(&port) => port,
+            Lookup::Active(stale) => {
+                let port = self.decide(
+                    candidates,
+                    Some(stale).filter(|p| candidates.contains(p)),
+                    now,
+                    rng,
+                );
+                self.flowlets[l].commit(pkt.flow_hash, port, now);
+                port
+            }
+            Lookup::NewFlowlet { prev } => {
+                let port = self.decide(
+                    candidates,
+                    prev.filter(|p| candidates.contains(p)),
+                    now,
+                    rng,
+                );
+                self.flowlets[l].commit(pkt.flow_hash, port, now);
+                port
+            }
+        };
+        pkt.overlay.as_mut().expect("ingress without overlay").lbtag =
+            self.lbtag_of[ch.idx()];
+        ch
+    }
+
+    fn spine_forward(
+        &mut self,
+        spine: SpineId,
+        pkt: &mut Packet,
+        candidates: &[ChannelId],
+        _now: SimTime,
+        _rng: &mut SimRng,
+    ) -> ChannelId {
+        let h = ecmp_mix(pkt.flow_hash, 0x5B1E_0000 + spine.0 as u64);
+        candidates[(h % candidates.len() as u64) as usize]
+    }
+
+    fn on_fabric_tx(&mut self, ch: ChannelId, pkt: &mut Packet, now: SimTime) {
+        // DREs are maintained so local decisions see local load; CE is NOT
+        // stamped (that is CONGA's global machinery).
+        if let Some(d) = self.dres[ch.idx()].as_mut() {
+            d.on_send(pkt.size, now);
+        }
+    }
+
+    fn leaf_egress(&mut self, _leaf: LeafId, _pkt: &Packet, _now: SimTime) {}
+    fn name(&self) -> &'static str {
+        "local"
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Per-packet spray
+// ---------------------------------------------------------------------------
+
+/// Per-packet round-robin spraying (in the spirit of DRB / packet-spray).
+#[derive(Debug, Default)]
+pub struct PacketSpray {
+    lbtag_of: Vec<u8>,
+    /// Round-robin cursor per (leaf, dst leaf).
+    leaf_rr: Vec<Vec<usize>>,
+    /// Round-robin cursor per (spine, dst leaf).
+    spine_rr: Vec<Vec<usize>>,
+}
+
+impl Dataplane for PacketSpray {
+    fn install(&mut self, topo: &Topology, fib: &Fib) {
+        self.lbtag_of = fib.lbtag_of.clone();
+        let nl = topo.n_leaves as usize;
+        self.leaf_rr = vec![vec![0; nl]; nl];
+        self.spine_rr = vec![vec![0; nl]; topo.n_spines as usize];
+    }
+
+    fn leaf_ingress(
+        &mut self,
+        leaf: LeafId,
+        pkt: &mut Packet,
+        candidates: &[ChannelId],
+        _now: SimTime,
+        _rng: &mut SimRng,
+    ) -> ChannelId {
+        let dst = pkt.overlay.expect("ingress without overlay").dst_tep.idx();
+        let cur = &mut self.leaf_rr[leaf.idx()][dst];
+        let ch = candidates[*cur % candidates.len()];
+        *cur = (*cur + 1) % candidates.len();
+        pkt.overlay.as_mut().expect("checked").lbtag = self.lbtag_of[ch.idx()];
+        ch
+    }
+
+    fn spine_forward(
+        &mut self,
+        spine: SpineId,
+        pkt: &mut Packet,
+        candidates: &[ChannelId],
+        _now: SimTime,
+        _rng: &mut SimRng,
+    ) -> ChannelId {
+        let dst = pkt.overlay.expect("fabric packet").dst_tep.idx();
+        let cur = &mut self.spine_rr[spine.idx()][dst];
+        let ch = candidates[*cur % candidates.len()];
+        *cur = (*cur + 1) % candidates.len();
+        ch
+    }
+
+    fn on_fabric_tx(&mut self, _ch: ChannelId, _pkt: &mut Packet, _now: SimTime) {}
+    fn leaf_egress(&mut self, _leaf: LeafId, _pkt: &Packet, _now: SimTime) {}
+    fn name(&self) -> &'static str {
+        "spray"
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Weighted random (oblivious routing)
+// ---------------------------------------------------------------------------
+
+/// Static weighted-random load balancing: per-flow choice with weights
+/// proportional to each uplink's bottleneck path capacity. The best a
+/// topology-aware but traffic-oblivious scheme can do (§2.4, Figure 3).
+#[derive(Debug, Default)]
+pub struct WeightedRandom {
+    lbtag_of: Vec<u8>,
+    /// `weights[leaf][dst][i]` — cumulative weight of `up_candidates[leaf][dst][i]`.
+    cum_weights: Vec<Vec<Vec<f64>>>,
+}
+
+impl Dataplane for WeightedRandom {
+    fn install(&mut self, topo: &Topology, fib: &Fib) {
+        self.lbtag_of = fib.lbtag_of.clone();
+        let nl = topo.n_leaves as usize;
+        self.cum_weights = vec![vec![Vec::new(); nl]; nl];
+        for l in 0..nl {
+            for m in 0..nl {
+                let cands = &fib.up_candidates[l][m];
+                if cands.is_empty() {
+                    continue;
+                }
+                let mut cum = 0.0;
+                let mut v = Vec::with_capacity(cands.len());
+                for &u in cands {
+                    let up = topo.channel(u);
+                    let NodeId::Spine(s) = up.dst else { unreachable!() };
+                    // Capacity share through this uplink: bounded by the
+                    // uplink itself and by a fair share of the spine's
+                    // downlink capacity toward the destination.
+                    let down: u64 = fib.spine_down[s.idx()][m]
+                        .iter()
+                        .map(|&d| topo.channel(d).rate_bps)
+                        .sum();
+                    let into_spine: u64 = fib.leaf_uplinks[l]
+                        .iter()
+                        .filter(|&&x| topo.channel(x).dst == up.dst)
+                        .map(|&x| topo.channel(x).rate_bps)
+                        .sum();
+                    let share = down as f64 * up.rate_bps as f64 / into_spine as f64;
+                    let w = (up.rate_bps as f64).min(share);
+                    cum += w;
+                    v.push(cum);
+                }
+                self.cum_weights[l][m] = v;
+            }
+        }
+    }
+
+    fn leaf_ingress(
+        &mut self,
+        leaf: LeafId,
+        pkt: &mut Packet,
+        candidates: &[ChannelId],
+        _now: SimTime,
+        _rng: &mut SimRng,
+    ) -> ChannelId {
+        let dst = pkt.overlay.expect("ingress without overlay").dst_tep.idx();
+        let cum = &self.cum_weights[leaf.idx()][dst];
+        debug_assert_eq!(cum.len(), candidates.len());
+        let total = *cum.last().expect("non-empty candidates");
+        // Deterministic per-flow draw: hash to [0, total).
+        let u = (ecmp_mix(pkt.flow_hash, 0x3EED) as f64 / u64::MAX as f64) * total;
+        let i = cum.partition_point(|&c| c <= u).min(cum.len() - 1);
+        let ch = candidates[i];
+        pkt.overlay.as_mut().expect("checked").lbtag = self.lbtag_of[ch.idx()];
+        ch
+    }
+
+    fn spine_forward(
+        &mut self,
+        spine: SpineId,
+        pkt: &mut Packet,
+        candidates: &[ChannelId],
+        _now: SimTime,
+        _rng: &mut SimRng,
+    ) -> ChannelId {
+        let h = ecmp_mix(pkt.flow_hash, 0x5B1E_0000 + spine.0 as u64);
+        candidates[(h % candidates.len() as u64) as usize]
+    }
+
+    fn on_fabric_tx(&mut self, _ch: ChannelId, _pkt: &mut Packet, _now: SimTime) {}
+    fn leaf_egress(&mut self, _leaf: LeafId, _pkt: &Packet, _now: SimTime) {}
+    fn name(&self) -> &'static str {
+        "weighted"
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Incremental deployment: CONGA on a subset of leaves (paper §7)
+// ---------------------------------------------------------------------------
+
+/// Mixed deployment: leaves flagged in `conga_leaves` run CONGA; the rest
+/// run plain ECMP. The CONGA machinery (DREs, CE marking, feedback) runs
+/// fabric-wide — exactly as in a real rollout, where legacy ToRs simply
+/// ignore the overlay congestion fields. Traffic not controlled by CONGA
+/// just becomes bandwidth asymmetry that CONGA adapts around.
+#[derive(Debug)]
+pub struct Incremental {
+    conga: Conga,
+    ecmp: Ecmp,
+    conga_leaves: Vec<bool>,
+}
+
+impl Incremental {
+    /// CONGA on the leaves whose flag is true.
+    pub fn new(params: CongaParams, conga_leaves: Vec<bool>) -> Self {
+        Incremental {
+            conga: Conga::new(params),
+            ecmp: Ecmp::default(),
+            conga_leaves,
+        }
+    }
+}
+
+impl Dataplane for Incremental {
+    fn install(&mut self, topo: &Topology, fib: &Fib) {
+        assert_eq!(self.conga_leaves.len(), topo.n_leaves as usize);
+        self.conga.install(topo, fib);
+        self.ecmp.install(topo, fib);
+    }
+
+    fn leaf_ingress(
+        &mut self,
+        leaf: LeafId,
+        pkt: &mut Packet,
+        candidates: &[ChannelId],
+        now: SimTime,
+        rng: &mut SimRng,
+    ) -> ChannelId {
+        if self.conga_leaves[leaf.idx()] {
+            self.conga.leaf_ingress(leaf, pkt, candidates, now, rng)
+        } else {
+            self.ecmp.leaf_ingress(leaf, pkt, candidates, now, rng)
+        }
+    }
+
+    fn spine_forward(
+        &mut self,
+        spine: SpineId,
+        pkt: &mut Packet,
+        candidates: &[ChannelId],
+        now: SimTime,
+        rng: &mut SimRng,
+    ) -> ChannelId {
+        self.conga.spine_forward(spine, pkt, candidates, now, rng)
+    }
+
+    fn on_fabric_tx(&mut self, ch: ChannelId, pkt: &mut Packet, now: SimTime) {
+        // DREs and CE marking run fabric-wide (spine ASICs are upgraded
+        // first in a rollout); ECMP leaves simply never read them.
+        self.conga.on_fabric_tx(ch, pkt, now);
+    }
+
+    fn leaf_egress(&mut self, leaf: LeafId, pkt: &Packet, now: SimTime) {
+        self.conga.leaf_egress(leaf, pkt, now);
+    }
+
+    fn name(&self) -> &'static str {
+        "incremental"
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The policy enum
+// ---------------------------------------------------------------------------
+
+/// Any of the fabric load-balancing schemes, behind one concrete type so the
+/// engine stays monomorphic (`Network<FabricPolicy, _>`).
+#[derive(Debug)]
+pub enum FabricPolicy {
+    /// Static per-flow hashing.
+    Ecmp(Ecmp),
+    /// CONGA (or CONGA-Flow, depending on parameters).
+    Conga(Box<Conga>),
+    /// Local-DRE-only strawman.
+    Local(LocalAware),
+    /// Per-packet round-robin.
+    Spray(PacketSpray),
+    /// Static weighted random.
+    Weighted(WeightedRandom),
+    /// CONGA on a subset of leaves, ECMP elsewhere (incremental rollout).
+    Incremental(Box<Incremental>),
+}
+
+impl FabricPolicy {
+    /// ECMP baseline.
+    pub fn ecmp() -> Self {
+        FabricPolicy::Ecmp(Ecmp::default())
+    }
+    /// CONGA with the paper's default parameters.
+    pub fn conga() -> Self {
+        FabricPolicy::Conga(Box::new(Conga::new(CongaParams::paper_default())))
+    }
+    /// CONGA with custom parameters.
+    pub fn conga_with(params: CongaParams) -> Self {
+        FabricPolicy::Conga(Box::new(Conga::new(params)))
+    }
+    /// CONGA-Flow (13 ms flowlet timeout — one decision per flow).
+    pub fn conga_flow() -> Self {
+        FabricPolicy::Conga(Box::new(Conga::conga_flow()))
+    }
+    /// Local congestion-aware strawman.
+    pub fn local() -> Self {
+        FabricPolicy::Local(LocalAware::new(CongaParams::paper_default()))
+    }
+    /// Per-packet round-robin spray.
+    pub fn spray() -> Self {
+        FabricPolicy::Spray(PacketSpray::default())
+    }
+    /// Weighted-random oblivious routing.
+    pub fn weighted() -> Self {
+        FabricPolicy::Weighted(WeightedRandom::default())
+    }
+
+    /// CONGA on the flagged leaves only, ECMP on the rest (paper §7).
+    pub fn incremental(conga_leaves: Vec<bool>) -> Self {
+        FabricPolicy::Incremental(Box::new(Incremental::new(
+            CongaParams::paper_default(),
+            conga_leaves,
+        )))
+    }
+
+    /// Access the inner CONGA state, if this policy is CONGA.
+    pub fn as_conga(&self) -> Option<&Conga> {
+        match self {
+            FabricPolicy::Conga(c) => Some(c),
+            _ => None,
+        }
+    }
+}
+
+macro_rules! delegate {
+    ($self:ident, $inner:ident => $body:expr) => {
+        match $self {
+            FabricPolicy::Ecmp($inner) => $body,
+            FabricPolicy::Conga($inner) => $body,
+            FabricPolicy::Local($inner) => $body,
+            FabricPolicy::Spray($inner) => $body,
+            FabricPolicy::Weighted($inner) => $body,
+            FabricPolicy::Incremental($inner) => $body,
+        }
+    };
+}
+
+impl Dataplane for FabricPolicy {
+    fn install(&mut self, topo: &Topology, fib: &Fib) {
+        delegate!(self, p => p.install(topo, fib))
+    }
+    fn leaf_ingress(
+        &mut self,
+        leaf: LeafId,
+        pkt: &mut Packet,
+        candidates: &[ChannelId],
+        now: SimTime,
+        rng: &mut SimRng,
+    ) -> ChannelId {
+        delegate!(self, p => p.leaf_ingress(leaf, pkt, candidates, now, rng))
+    }
+    fn spine_forward(
+        &mut self,
+        spine: SpineId,
+        pkt: &mut Packet,
+        candidates: &[ChannelId],
+        now: SimTime,
+        rng: &mut SimRng,
+    ) -> ChannelId {
+        delegate!(self, p => p.spine_forward(spine, pkt, candidates, now, rng))
+    }
+    fn on_fabric_tx(&mut self, ch: ChannelId, pkt: &mut Packet, now: SimTime) {
+        delegate!(self, p => p.on_fabric_tx(ch, pkt, now))
+    }
+    fn leaf_egress(&mut self, leaf: LeafId, pkt: &Packet, now: SimTime) {
+        delegate!(self, p => p.leaf_egress(leaf, pkt, now))
+    }
+    fn name(&self) -> &'static str {
+        delegate!(self, p => p.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use conga_net::{HostId, LeafSpineBuilder, Overlay};
+
+    fn setup<P: Dataplane>(mut p: P) -> (Topology, Fib, P) {
+        let topo = LeafSpineBuilder::new(2, 2, 2)
+            .parallel_links(2)
+            .build();
+        let fib = topo.fib();
+        p.install(&topo, &fib);
+        (topo, fib, p)
+    }
+
+    fn fabric_pkt(flow_hash: u64) -> Packet {
+        let mut p = Packet::data(0, 0, flow_hash, HostId(0), HostId(2), 0, 1460, SimTime::ZERO);
+        p.overlay = Some(Overlay::new(LeafId(0), LeafId(1)));
+        p
+    }
+
+    #[test]
+    fn ecmp_is_deterministic_per_flow_and_spreads_across_flows() {
+        let (_t, fib, mut e) = setup(Ecmp::default());
+        let mut rng = SimRng::new(1);
+        let cands = fib.up_candidates[0][1].clone();
+        let mut counts = vec![0usize; cands.len()];
+        for f in 0..4000u64 {
+            let h = ecmp_mix(f, 99);
+            let c1 = e.leaf_ingress(LeafId(0), &mut fabric_pkt(h), &cands, SimTime::ZERO, &mut rng);
+            let c2 = e.leaf_ingress(LeafId(0), &mut fabric_pkt(h), &cands, SimTime::ZERO, &mut rng);
+            assert_eq!(c1, c2, "same flow must always hash to the same path");
+            counts[cands.iter().position(|&x| x == c1).unwrap()] += 1;
+        }
+        for (i, &c) in counts.iter().enumerate() {
+            assert!(
+                (800..=1200).contains(&c),
+                "uplink {i} got {c}/4000 flows"
+            );
+        }
+    }
+
+    #[test]
+    fn spray_round_robins_per_packet() {
+        let (_t, fib, mut s) = setup(PacketSpray::default());
+        let mut rng = SimRng::new(2);
+        let cands = fib.up_candidates[0][1].clone();
+        let picks: Vec<ChannelId> = (0..8)
+            .map(|_| s.leaf_ingress(LeafId(0), &mut fabric_pkt(7), &cands, SimTime::ZERO, &mut rng))
+            .collect();
+        // Perfect rotation: every candidate appears exactly twice in 8 picks.
+        for &c in &cands {
+            assert_eq!(picks.iter().filter(|&&x| x == c).count(), 2);
+        }
+        // And consecutive picks differ (maximal reordering).
+        assert_ne!(picks[0], picks[1]);
+    }
+
+    #[test]
+    fn local_aware_prefers_idle_uplink() {
+        let (_t, fib, mut p) = setup(LocalAware::new(CongaParams::paper_default()));
+        let mut rng = SimRng::new(3);
+        let cands = fib.up_candidates[0][1].clone();
+        let now = SimTime::from_micros(10);
+        // Saturate all but candidate 1.
+        for (i, &u) in cands.iter().enumerate() {
+            if i == 1 {
+                continue;
+            }
+            for _ in 0..10_000 {
+                p.on_fabric_tx(u, &mut fabric_pkt(1), now);
+            }
+        }
+        for f in 0..10u64 {
+            let ch = p.leaf_ingress(LeafId(0), &mut fabric_pkt(100 + f), &cands, now, &mut rng);
+            assert_eq!(ch, cands[1], "flow {f}");
+        }
+    }
+
+    #[test]
+    fn weighted_random_splits_by_capacity() {
+        // Figure 2 topology: single links, lower path at half rate.
+        let topo = LeafSpineBuilder::new(2, 2, 2)
+            .fabric_rate_gbps(80)
+            .parallel_links(1)
+            .override_link_rate_gbps(1, 1, 0, 40)
+            .build();
+        let fib = topo.fib();
+        let mut w = WeightedRandom::default();
+        w.install(&topo, &fib);
+        let mut rng = SimRng::new(4);
+        let cands = fib.up_candidates[0][1].clone();
+        let mut counts = vec![0usize; cands.len()];
+        for f in 0..30_000u64 {
+            let mut pkt = fabric_pkt(ecmp_mix(f, 5));
+            let ch = w.leaf_ingress(LeafId(0), &mut pkt, &cands, SimTime::ZERO, &mut rng);
+            counts[cands.iter().position(|&x| x == ch).unwrap()] += 1;
+        }
+        // Uplink to spine0 (80G path) should carry ~2/3; to spine1 ~1/3.
+        let to_s0 = counts[0] as f64 / 30_000.0;
+        assert!(
+            (to_s0 - 2.0 / 3.0).abs() < 0.03,
+            "80G-path share {to_s0}, expected ~0.667"
+        );
+    }
+
+    #[test]
+    fn policy_enum_delegates() {
+        for (mk, name) in [
+            (FabricPolicy::ecmp as fn() -> FabricPolicy, "ecmp"),
+            (FabricPolicy::conga, "conga"),
+            (FabricPolicy::conga_flow, "conga-flow"),
+            (FabricPolicy::local, "local"),
+            (FabricPolicy::spray, "spray"),
+            (FabricPolicy::weighted, "weighted"),
+        ] {
+            let (_t, fib, mut p) = setup(mk());
+            assert_eq!(p.name(), name);
+            let mut rng = SimRng::new(5);
+            let cands = fib.up_candidates[0][1].clone();
+            let ch = p.leaf_ingress(LeafId(0), &mut fabric_pkt(9), &cands, SimTime::ZERO, &mut rng);
+            assert!(cands.contains(&ch));
+        }
+    }
+}

@@ -1,0 +1,258 @@
+//! The leaf switches' congestion state tables (paper §3.3, Figure 6).
+//!
+//! * **Congestion-To-Leaf** (at the *source* leaf): for each destination
+//!   leaf and each local uplink (LBTag), the latest path congestion metric
+//!   fed back by that destination. Consulted on every load-balancing
+//!   decision.
+//! * **Congestion-From-Leaf** (at the *destination* leaf): for each source
+//!   leaf and LBTag, the latest CE seen on arriving packets — the metrics
+//!   waiting to be piggybacked back. Feedback is selected round-robin,
+//!   favouring entries whose value changed since they were last sent
+//!   (paper §3.3 step 4).
+//!
+//! Both tables age: a metric not refreshed within `metric_age` reads as
+//! zero, which both bounds staleness and guarantees a congested-looking
+//! path is eventually probed again.
+
+use conga_sim::{SimDuration, SimTime};
+
+#[derive(Clone, Copy, Debug, Default)]
+struct Cell {
+    value: u8,
+    updated_at: SimTime,
+    valid: bool,
+    /// From-Leaf only: value changed since last piggybacked.
+    changed: bool,
+}
+
+/// Congestion-To-Leaf: remote (path-wise) congestion metrics, indexed by
+/// `(destination leaf, LBTag)`.
+#[derive(Clone, Debug)]
+pub struct CongestionToLeaf {
+    cells: Vec<Cell>,
+    n_tags: usize,
+    age: SimDuration,
+}
+
+impl CongestionToLeaf {
+    /// Table for `n_leaves` possible destinations and `n_tags` local uplinks.
+    pub fn new(n_leaves: usize, n_tags: usize, age: SimDuration) -> Self {
+        CongestionToLeaf {
+            cells: vec![Cell::default(); n_leaves * n_tags],
+            n_tags,
+            age,
+        }
+    }
+
+    #[inline]
+    fn idx(&self, dst_leaf: usize, tag: u8) -> usize {
+        dst_leaf * self.n_tags + tag as usize
+    }
+
+    /// Store feedback: "path via your uplink `tag` toward `dst_leaf` has
+    /// congestion `metric`".
+    pub fn update(&mut self, dst_leaf: usize, tag: u8, metric: u8, now: SimTime) {
+        let i = self.idx(dst_leaf, tag);
+        self.cells[i] = Cell {
+            value: metric,
+            updated_at: now,
+            valid: true,
+            changed: false,
+        };
+    }
+
+    /// Read the remote metric for `(dst_leaf, tag)`. Unknown or aged-out
+    /// entries read as zero — optimistic, so unprobed paths get tried.
+    pub fn read(&self, dst_leaf: usize, tag: u8, now: SimTime) -> u8 {
+        let c = &self.cells[self.idx(dst_leaf, tag)];
+        if !c.valid || now.saturating_since(c.updated_at) > self.age {
+            0
+        } else {
+            c.value
+        }
+    }
+}
+
+/// Congestion-From-Leaf: CE metrics harvested from arriving packets,
+/// indexed by `(source leaf, LBTag)`, with round-robin feedback selection.
+#[derive(Clone, Debug)]
+pub struct CongestionFromLeaf {
+    cells: Vec<Cell>,
+    /// Round-robin cursor per source leaf.
+    cursor: Vec<u8>,
+    n_tags: usize,
+    age: SimDuration,
+}
+
+impl CongestionFromLeaf {
+    /// Table for `n_leaves` possible sources, each with up to `n_tags`
+    /// uplinks.
+    pub fn new(n_leaves: usize, n_tags: usize, age: SimDuration) -> Self {
+        CongestionFromLeaf {
+            cells: vec![Cell::default(); n_leaves * n_tags],
+            cursor: vec![0; n_leaves],
+            n_tags,
+            age,
+        }
+    }
+
+    #[inline]
+    fn idx(&self, src_leaf: usize, tag: u8) -> usize {
+        src_leaf * self.n_tags + tag as usize
+    }
+
+    /// Record the CE of a packet that arrived from `src_leaf` with `tag`.
+    pub fn record(&mut self, src_leaf: usize, tag: u8, ce: u8, now: SimTime) {
+        let i = self.idx(src_leaf, tag);
+        let c = &mut self.cells[i];
+        // "Changed" drives the feedback priority: flag transitions only.
+        if !c.valid || c.value != ce {
+            c.changed = true;
+        }
+        c.value = ce;
+        c.updated_at = now;
+        c.valid = true;
+    }
+
+    /// Pick one metric to piggyback on a packet heading to `src_leaf`.
+    /// Round-robin over the row, preferring changed entries; the chosen
+    /// entry's changed flag is cleared. Returns `(tag, metric)`.
+    pub fn select_feedback(&mut self, src_leaf: usize, now: SimTime) -> Option<(u8, u8)> {
+        let start = self.cursor[src_leaf] as usize;
+        let n = self.n_tags;
+        let fresh = |c: &Cell| c.valid && now.saturating_since(c.updated_at) <= self.age;
+
+        // First pass: changed entries, in round-robin order from the cursor.
+        let mut pick: Option<usize> = None;
+        for k in 0..n {
+            let tag = (start + k) % n;
+            let c = &self.cells[self.idx(src_leaf, tag as u8)];
+            if fresh(c) && c.changed {
+                pick = Some(tag);
+                break;
+            }
+        }
+        // Second pass: any fresh entry.
+        if pick.is_none() {
+            for k in 0..n {
+                let tag = (start + k) % n;
+                if fresh(&self.cells[self.idx(src_leaf, tag as u8)]) {
+                    pick = Some(tag);
+                    break;
+                }
+            }
+        }
+        let tag = pick?;
+        let i = self.idx(src_leaf, tag as u8);
+        self.cells[i].changed = false;
+        self.cursor[src_leaf] = ((tag + 1) % n) as u8;
+        Some((tag as u8, self.cells[i].value))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const AGE: SimDuration = SimDuration::from_millis(10);
+
+    #[test]
+    fn to_leaf_read_back() {
+        let mut t = CongestionToLeaf::new(4, 12, AGE);
+        t.update(2, 5, 6, SimTime::from_micros(50));
+        assert_eq!(t.read(2, 5, SimTime::from_micros(60)), 6);
+        assert_eq!(t.read(2, 4, SimTime::from_micros(60)), 0, "untouched tag");
+        assert_eq!(t.read(1, 5, SimTime::from_micros(60)), 0, "untouched leaf");
+    }
+
+    #[test]
+    fn to_leaf_ages_to_zero() {
+        let mut t = CongestionToLeaf::new(2, 4, AGE);
+        t.update(1, 0, 7, SimTime::ZERO);
+        assert_eq!(t.read(1, 0, SimTime::from_millis(9)), 7);
+        assert_eq!(
+            t.read(1, 0, SimTime::from_millis(11)),
+            0,
+            "stale metric must decay so the path is probed again"
+        );
+    }
+
+    #[test]
+    fn from_leaf_records_and_feeds_back() {
+        let mut t = CongestionFromLeaf::new(2, 4, AGE);
+        let now = SimTime::from_micros(5);
+        t.record(1, 2, 4, now);
+        let (tag, m) = t.select_feedback(1, now).unwrap();
+        assert_eq!((tag, m), (2, 4));
+    }
+
+    #[test]
+    fn feedback_prefers_changed_metrics() {
+        let mut t = CongestionFromLeaf::new(1, 4, AGE);
+        let now = SimTime::from_micros(1);
+        t.record(0, 0, 1, now);
+        t.record(0, 1, 2, now);
+        t.record(0, 2, 3, now);
+        // Send feedback for all three; all start as changed.
+        let mut sent: Vec<u8> = Vec::new();
+        for _ in 0..3 {
+            sent.push(t.select_feedback(0, now).unwrap().0);
+        }
+        sent.sort_unstable();
+        assert_eq!(sent, vec![0, 1, 2], "round-robin covers every tag");
+        // Now only tag 1 changes; it must be selected next even though the
+        // cursor points elsewhere.
+        t.record(0, 1, 5, now);
+        assert_eq!(t.select_feedback(0, now).unwrap(), (1, 5));
+    }
+
+    #[test]
+    fn feedback_round_robins_when_nothing_changed() {
+        let mut t = CongestionFromLeaf::new(1, 3, AGE);
+        let now = SimTime::from_micros(1);
+        for tag in 0..3 {
+            t.record(0, tag, tag + 1, now);
+        }
+        // Exhaust the changed flags.
+        for _ in 0..3 {
+            t.select_feedback(0, now);
+        }
+        // Unchanged entries still get cycled through (staleness refresh).
+        let a = t.select_feedback(0, now).unwrap().0;
+        let b = t.select_feedback(0, now).unwrap().0;
+        let c = t.select_feedback(0, now).unwrap().0;
+        let mut all = vec![a, b, c];
+        all.sort_unstable();
+        assert_eq!(all, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn feedback_skips_stale_rows() {
+        let mut t = CongestionFromLeaf::new(1, 2, AGE);
+        t.record(0, 0, 3, SimTime::ZERO);
+        assert_eq!(
+            t.select_feedback(0, SimTime::from_millis(20)),
+            None,
+            "everything aged out"
+        );
+    }
+
+    #[test]
+    fn no_feedback_without_any_traffic() {
+        let mut t = CongestionFromLeaf::new(3, 4, AGE);
+        assert_eq!(t.select_feedback(2, SimTime::from_micros(9)), None);
+    }
+
+    #[test]
+    fn record_same_value_does_not_set_changed() {
+        let mut t = CongestionFromLeaf::new(1, 2, AGE);
+        let now = SimTime::from_micros(1);
+        t.record(0, 0, 4, now);
+        let _ = t.select_feedback(0, now); // clears changed
+        t.record(0, 0, 4, now); // same value: no change flag
+        t.record(0, 1, 1, now); // a genuinely new entry
+        // The changed entry (tag 1) wins even though cursor is at tag 1...
+        // regardless of cursor position the changed one must be preferred.
+        assert_eq!(t.select_feedback(0, now).unwrap().0, 1);
+    }
+}

@@ -1,0 +1,150 @@
+//! Figure 3: the optimal traffic split in an asymmetric topology depends on
+//! the **traffic matrix** — so no static (oblivious) weighting can be right
+//! in both cases; only congestion-aware balancing adapts.
+//!
+//! Topology: 3 leaves, 2 spines, all 40 G links, except leaf 0 has no
+//! uplink to spine 1 (so L0→L2 traffic is pinned through S0).
+//!
+//! * Case (a): only L1→L2 demand (40 G). Both of its paths are symmetric:
+//!   optimal split 50/50, total 40 G.
+//! * Case (b): plus 40 G of L0→L2 demand through S0. Now S0→L2 carries the
+//!   pinned traffic, and the L1→L2 flows must shift to S1 to keep the
+//!   total at 80 G.
+//!
+//! We run both cases under every scheme and report the L1→L2 split and the
+//! aggregate throughput; the analytic game model (conga-analysis::poa)
+//! cross-checks the optimum.
+
+use conga_analysis::poa::{BottleneckGame, User};
+use conga_core::FabricPolicy;
+use conga_experiments::cli::banner;
+use conga_experiments::Args;
+use conga_net::{Dataplane, HostId, LeafSpineBuilder, Network, NodeId, SpineId};
+use conga_sim::{SimDuration, SimRng, SimTime};
+use conga_transport::{FlowSpec, TcpConfig, TransportKind, TransportLayer};
+
+/// Returns (L1->L2 via S0 Gbps, via S1 Gbps, total delivered Gbps).
+fn run(policy: FabricPolicy, with_l0_traffic: bool, args: &Args) -> (f64, f64, f64) {
+    // 8 hosts per leaf at 10G. Leaf 1 offers 40G to leaf 2 (4 flows); in
+    // case (b) leaf 0 offers another 40G — to *different* leaf-2 hosts so
+    // receiver access links never bottleneck the fabric comparison.
+    let topo = LeafSpineBuilder::new(3, 2, 8)
+        .host_rate_gbps(10)
+        .fabric_rate_gbps(40)
+        .parallel_links(1)
+        .fail_link(0, 1, 0)
+        .build();
+    let mut net = Network::new(topo, policy, TransportLayer::new(), args.seed);
+    let mut tcp = TcpConfig::standard().with_min_rto(SimDuration::from_millis(2));
+    tcp.rwnd = 4 << 20;
+    net.agent_call(|a, now, em| {
+        for i in 0..4u32 {
+            // L0 hosts are 0..8; L1 hosts 8..16; L2 hosts 16..24.
+            a.start_flow(
+                FlowSpec {
+                    src: HostId(8 + i),
+                    dst: HostId(16 + i),
+                    bytes: u64::MAX / 2,
+                    kind: TransportKind::Tcp(tcp),
+                },
+                now,
+                em,
+            );
+            if with_l0_traffic {
+                a.start_flow(
+                    FlowSpec {
+                        src: HostId(i),
+                        dst: HostId(20 + i),
+                        bytes: u64::MAX / 2,
+                        kind: TransportKind::Tcp(tcp),
+                    },
+                    now,
+                    em,
+                );
+            }
+        }
+    });
+    let warm = if args.quick { 30 } else { 80 };
+    let window = if args.quick { 30 } else { 120 };
+    net.run_until(SimTime::from_millis(warm));
+    let up1 = net.fib.leaf_uplinks[1].clone();
+    let start: Vec<u64> = up1.iter().map(|&c| net.port(c).tx_bytes).collect();
+    let del0 = net.stats.delivered_payload;
+    net.run_until(SimTime::from_millis(warm + window));
+    let mut via = [0.0f64; 2];
+    for (i, &c) in up1.iter().enumerate() {
+        let gbps =
+            (net.port(c).tx_bytes - start[i]) as f64 * 8.0 / (window as f64 * 1e-3) / 1e9;
+        let NodeId::Spine(SpineId(s)) = net.topo.channel(c).dst else {
+            unreachable!()
+        };
+        via[s as usize] += gbps;
+    }
+    let total =
+        (net.stats.delivered_payload - del0) as f64 * 8.0 / (window as f64 * 1e-3) / 1e9;
+    (via[0], via[1], total)
+}
+
+fn main() {
+    let args = Args::parse();
+    banner(
+        "Figure 3 — optimal split depends on the traffic matrix",
+        "3 leaves, 2 spines, 40G links; L0 has no uplink to S1.\n\
+         (a) only L1->L2 (40G): optimal L1 split 50/50.\n\
+         (b) plus 40G of L0->L2 pinned via S0: optimal L1 split ~0/100.",
+    );
+    for (case, with_l0) in [("(a) L0->L2 = 0", false), ("(b) L0->L2 = 40G", true)] {
+        println!("\n{case}");
+        println!(
+            "{:<22}{:>14}{:>14}{:>12}",
+            "scheme", "L1->L2 via S0", "L1->L2 via S1", "total Gbps"
+        );
+        for (label, policy) in [
+            ("ECMP (static)", FabricPolicy::ecmp()),
+            ("weighted-random", FabricPolicy::weighted()),
+            ("CONGA (adaptive)", FabricPolicy::conga()),
+        ] {
+            let name = policy.name();
+            let (s0, s1, total) = run(policy, with_l0, &args);
+            let _ = name;
+            println!("{label:<22}{s0:>14.1}{s1:>14.1}{total:>12.1}");
+        }
+    }
+
+    // Analytic cross-check with the bottleneck-game optimizer.
+    println!("\nAnalytic fluid optimum (bottleneck game, conga-analysis):");
+    let mut rng = SimRng::new(args.seed);
+    for (case, users) in [
+        (
+            "(a)",
+            vec![User {
+                src: 1,
+                dst: 2,
+                demand: 40.0,
+            }],
+        ),
+        (
+            "(b)",
+            vec![
+                User {
+                    src: 1,
+                    dst: 2,
+                    demand: 40.0,
+                },
+                User {
+                    src: 0,
+                    dst: 2,
+                    demand: 40.0,
+                },
+            ],
+        ),
+    ] {
+        let mut g = BottleneckGame::symmetric(3, 2, 40.0, users);
+        g.up_cap[0][1] = 0.0;
+        let (b, x) = g.min_max_utilization(4000, &mut rng);
+        println!(
+            "  case {case}: min-max utilization {:.3}; L1->L2 split S0/S1 = {:.1}/{:.1}",
+            b, x[0][0], x[0][1]
+        );
+    }
+}

@@ -1,0 +1,42 @@
+//! Figure 8: the empirical traffic distributions — flow-size CDF and
+//! byte-weighted CDF for the enterprise and data-mining workloads (plus
+//! the web-search workload used in Figures 15–16).
+
+use conga_experiments::cli::banner;
+use conga_experiments::Args;
+use conga_workloads::FlowSizeDist;
+
+fn main() {
+    let _args = Args::parse();
+    banner(
+        "Figure 8 — empirical flow-size distributions",
+        "P[S<=x] (\"Flow Size\") and byte-weighted fraction (\"Bytes\") at decade sizes",
+    );
+    let probes: Vec<f64> = (1..=9)
+        .flat_map(|e| [10f64.powi(e), 3.16 * 10f64.powi(e)])
+        .collect();
+    for dist in [
+        FlowSizeDist::enterprise(),
+        FlowSizeDist::data_mining(),
+        FlowSizeDist::web_search(),
+    ] {
+        println!(
+            "\n{} — mean {:.2} KB, coeff. of variation {:.2}",
+            dist.name(),
+            dist.mean() / 1e3,
+            dist.coeff_of_variation()
+        );
+        println!("{:>12} {:>10} {:>10}", "size (B)", "flow CDF", "byte CDF");
+        for &x in &probes {
+            let f = dist.cdf(x);
+            let b = dist.byte_fraction_below(x);
+            if f > 0.0005 && f < 0.9995 || (b > 0.0005 && b < 0.9995) {
+                println!("{:>12.0} {:>10.3} {:>10.3}", x, f, b);
+            }
+        }
+        println!(
+            "  bytes from flows <= 35MB: {:.0}% (paper: enterprise ~50%, data-mining ~5%)",
+            dist.byte_fraction_below(35e6) * 100.0
+        );
+    }
+}

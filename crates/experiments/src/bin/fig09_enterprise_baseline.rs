@@ -1,0 +1,18 @@
+//! Figure 9: FCT statistics for the **enterprise** workload on the baseline
+//! testbed (Figure 7a), loads 10–90 %, schemes ECMP / CONGA-Flow / CONGA /
+//! MPTCP. Three panels: overall avg FCT normalized to optimal; small-flow
+//! and large-flow averages normalized to ECMP.
+
+use conga_experiments::figures::run_baseline_figure;
+use conga_experiments::Args;
+use conga_workloads::FlowSizeDist;
+
+fn main() {
+    let args = Args::parse();
+    run_baseline_figure(
+        &args,
+        FlowSizeDist::enterprise(),
+        "Figure 9 — enterprise workload, baseline topology",
+        800,
+    );
+}

@@ -1,0 +1,17 @@
+//! Figure 10: FCT statistics for the **data-mining** workload on the
+//! baseline testbed — the heavy-tailed case where ECMP visibly loses to the
+//! adaptive schemes at high load.
+
+use conga_experiments::figures::run_baseline_figure;
+use conga_experiments::Args;
+use conga_workloads::FlowSizeDist;
+
+fn main() {
+    let args = Args::parse();
+    run_baseline_figure(
+        &args,
+        FlowSizeDist::data_mining(),
+        "Figure 10 — data-mining workload, baseline topology",
+        250,
+    );
+}

@@ -1,0 +1,168 @@
+//! Figure 11: impact of a link failure (Figure 7b — one of the two
+//! Leaf1–Spine1 40 G links down, bisection at 75 %).
+//!
+//! * Panels (a)/(b): overall average FCT (normalized to optimal) for the
+//!   enterprise and data-mining workloads at loads 10–70 %. The paper's
+//!   signature: ECMP goes unstable past 50 % load (half the L0→L1 traffic
+//!   still hashes through Spine 1, whose single remaining link must carry
+//!   2× its share), while the adaptive schemes degrade gracefully and
+//!   CONGA is the most robust.
+//! * Panel (c): CDF of queue depth at the hotspot port [Spine1→Leaf1] for
+//!   the data-mining workload at 60 % load.
+
+use conga_experiments::cli::banner;
+use conga_experiments::figures::{fct_sweep, loads_arg, print_fct_panels};
+use conga_experiments::{Args, FctRun, Scheme, TestbedOpts};
+use conga_net::{ChannelId, ChannelKind, NodeId};
+use conga_workloads::FlowSizeDist;
+
+fn main() {
+    let args = Args::parse();
+    banner(
+        "Figure 11 — impact of link failure (3x40G bisection, load ref. unchanged)",
+        "one Leaf1-Spine1 link down; ECMP still sends half of L0->L1 via Spine 1",
+    );
+    let loads = loads_arg(
+        &args,
+        if args.quick {
+            vec![0.4, 0.6]
+        } else {
+            (1..=7).map(|l| l as f64 / 10.0).collect()
+        },
+    );
+
+    for (dist, flows, title) in [
+        (FlowSizeDist::enterprise(), 800, "(a) enterprise workload"),
+        (FlowSizeDist::data_mining(), 250, "(b) data-mining workload"),
+    ] {
+        println!("\n{title}");
+        let sweep = fct_sweep(
+            &args,
+            TestbedOpts::paper_failure(),
+            &dist,
+            &loads,
+            &Scheme::PAPER,
+            flows,
+        );
+        print_fct_panels(&sweep);
+    }
+
+    // Panel (c): queue CDF at the hotspot, data-mining @ 60%.
+    println!("\n(c) queue length at hotspot [Spine1->Leaf1], data-mining @ 60% load");
+    println!(
+        "{:<12}{:>12}{:>12}{:>12}{:>12}",
+        "scheme", "p50 (KB)", "p90 (KB)", "p99 (KB)", "max (KB)"
+    );
+    for scheme in Scheme::PAPER {
+        let mut cfg = FctRun::new(
+            if args.quick {
+                TestbedOpts::paper_failure().quick()
+            } else {
+                TestbedOpts::paper_failure()
+            },
+            scheme,
+            FlowSizeDist::data_mining(),
+            0.6,
+        );
+        cfg.n_flows = if args.quick { 120 } else { 300 };
+        cfg.seed = args.seed;
+        cfg.sample_uplinks = true;
+        // Sample the hotspot channel instead of the leaf-0 uplinks: rebuild
+        // the channel list by hand.
+        let out = run_and_sample_hotspot(&cfg);
+        println!(
+            "{:<12}{:>12.0}{:>12.0}{:>12.0}{:>12.0}",
+            scheme.name(),
+            out.0 / 1024.0,
+            out.1 / 1024.0,
+            out.2 / 1024.0,
+            out.3 / 1024.0
+        );
+    }
+}
+
+/// Run the cell and return (p50, p90, p99, max) of the hotspot queue in
+/// bytes. The hotspot is the surviving Spine1→Leaf1 channel.
+fn run_and_sample_hotspot(cfg: &FctRun) -> (f64, f64, f64, f64) {
+    use conga_analysis::stats::percentile;
+    // Identify the hotspot channel id in the built topology: the channel
+    // from spine 1 to leaf 1.
+    let topo = conga_experiments::build_testbed(cfg.topo);
+    let hotspot: Vec<ChannelId> = topo
+        .channels
+        .iter()
+        .enumerate()
+        .filter(|(_, c)| {
+            c.kind == ChannelKind::SpineDown
+                && matches!(c.src, NodeId::Spine(s) if s.0 == 1)
+                && matches!(c.dst, NodeId::Leaf(l) if l.0 == 1)
+        })
+        .map(|(i, _)| ChannelId(i as u32))
+        .collect();
+    assert_eq!(hotspot.len(), 1, "exactly one surviving S1->L1 link");
+
+    // run_fct samples leaf-0 uplinks; we need the hotspot, so replicate the
+    // queue series from fabric mean/max stats: use the generic sampler by
+    // running a custom copy here.
+    let out = run_fct_sampling(cfg, hotspot[0]);
+    if out.is_empty() {
+        return (0.0, 0.0, 0.0, 0.0);
+    }
+    (
+        percentile(&out, 50.0),
+        percentile(&out, 90.0),
+        percentile(&out, 99.0),
+        percentile(&out, 100.0),
+    )
+}
+
+/// A copy of the runner's core loop that samples one specific channel's
+/// queue depth every 1 ms.
+fn run_fct_sampling(cfg: &FctRun, ch: ChannelId) -> Vec<f64> {
+    use conga_net::Network;
+    use conga_sim::{SimDuration, SimRng, SimTime};
+    use conga_transport::{ListSource, TransportLayer};
+    use conga_workloads::PoissonPlan;
+
+    let topo = conga_experiments::build_testbed(cfg.topo);
+    let baseline = TestbedOpts {
+        fail: None,
+        ..cfg.topo
+    };
+    let base_topo = conga_experiments::build_testbed(baseline);
+    let capacity = base_topo
+        .leaf_uplink_capacity(conga_net::LeafId(0))
+        .min(base_topo.access_capacity(conga_net::LeafId(0)));
+    let group_a = topo.hosts_under(conga_net::LeafId(0));
+    let group_b = topo.hosts_under(conga_net::LeafId(1));
+    let mut wl_rng = SimRng::new(cfg.seed.wrapping_mul(0x9E37_79B9) ^ 0xC04A);
+    let plan = PoissonPlan::generate(
+        &cfg.dist,
+        group_a.len() as u32,
+        group_b.len() as u32,
+        capacity,
+        cfg.load,
+        cfg.n_flows,
+        &mut wl_rng,
+    );
+    let tcp = cfg.tcp;
+    let scheme = cfg.scheme;
+    let arrivals =
+        conga_experiments::merged_arrivals(&plan, &group_a, &group_b, |_| scheme.transport(tcp));
+    let span: u64 = arrivals.iter().map(|(g, _)| g.as_nanos()).sum();
+    let mut net = Network::new(topo, cfg.scheme.policy(), TransportLayer::new(), cfg.seed);
+    net.enable_sampling(vec![ch], SimDuration::from_millis(1));
+    net.agent.attach_source(Box::new(ListSource::new(arrivals)));
+    if let Some((d, tok)) = net.agent.begin_source() {
+        net.schedule_timer(d, tok);
+    }
+    let bound = SimTime::from_nanos(span) + SimDuration::from_secs(8);
+    let total = cfg.n_flows * 2;
+    loop {
+        net.run_until(net.now() + SimDuration::from_millis(50));
+        if net.agent.completed_rx >= total || net.now() >= bound {
+            break;
+        }
+    }
+    net.samples.queue_bytes[0].iter().map(|&b| b as f64).collect()
+}

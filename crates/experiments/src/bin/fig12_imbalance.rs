@@ -1,0 +1,63 @@
+//! Figure 12: load-balancing efficiency — CDF of the throughput imbalance
+//! `(MAX − MIN)/AVG` across Leaf 0's four uplinks, from synchronous 10 ms
+//! samples, at 60 % load on the baseline topology, for both workloads.
+//!
+//! Paper: CONGA ≈ MPTCP ≪ ECMP; CONGA even beats MPTCP on the enterprise
+//! workload; CONGA-Flow sits between.
+
+use conga_analysis::imbalance::throughput_imbalance;
+use conga_analysis::stats::percentile;
+use conga_experiments::cli::banner;
+use conga_experiments::{run_fct, Args, FctRun, Scheme, TestbedOpts};
+use conga_workloads::FlowSizeDist;
+
+fn main() {
+    let args = Args::parse();
+    banner(
+        "Figure 12 — uplink throughput imbalance (MAX-MIN)/AVG at 60% load",
+        "synchronous 10ms samples of Leaf 0's four uplinks, baseline topology",
+    );
+    for (dist, flows) in [
+        (FlowSizeDist::enterprise(), 3000),
+        (FlowSizeDist::data_mining(), 600),
+    ] {
+        println!("\n({}) workload", dist.name());
+        println!(
+            "{:<12}{:>10}{:>10}{:>10}{:>10}",
+            "scheme", "p25 (%)", "p50 (%)", "p75 (%)", "p95 (%)"
+        );
+        for scheme in Scheme::PAPER {
+            let mut cfg = FctRun::new(
+                if args.quick {
+                    TestbedOpts::paper_baseline().quick()
+                } else {
+                    TestbedOpts::paper_baseline()
+                },
+                scheme,
+                dist.clone(),
+                0.6,
+            );
+            cfg.n_flows = if args.quick { 150 } else { flows };
+            cfg.seed = args.seed;
+            cfg.sample_uplinks = true;
+            let out = run_fct(&cfg);
+            // Only windows where the uplinks average at least 10% utilized
+            // say anything about balance (idle head/tail windows would
+            // otherwise dominate the percentiles).
+            let min_avg = 0.10 * 40e9 * 0.010 / 8.0;
+            let imb = throughput_imbalance(&out.uplink_tx_samples, min_avg);
+            if imb.is_empty() {
+                println!("{:<12}{:>10}{:>10}{:>10}{:>10}", scheme.name(), "-", "-", "-", "-");
+                continue;
+            }
+            println!(
+                "{:<12}{:>10.0}{:>10.0}{:>10.0}{:>10.0}",
+                scheme.name(),
+                percentile(&imb, 25.0) * 100.0,
+                percentile(&imb, 50.0) * 100.0,
+                percentile(&imb, 75.0) * 100.0,
+                percentile(&imb, 95.0) * 100.0,
+            );
+        }
+    }
+}

@@ -1,0 +1,83 @@
+//! Figure 15: large-scale simulations — overall average FCT (normalized to
+//! ECMP) for a web-search workload on 3:1-oversubscribed fabrics with
+//! 40 G fabric links:
+//!
+//! * (a) 384 hosts at 10 G (CONGA gains modest at low load: each fabric
+//!   link fits ≥4 edge flows, so hash collisions rarely hurt);
+//! * (b) 96 hosts at 40 G (edge rate = fabric rate: collisions are
+//!   immediately painful, CONGA's advantage is large even at 30 % load).
+//!
+//! Paper: ~5–10 % improvement at 30 % load for 10 G edges vs ~30 % for
+//! 40 G edges, growing with load.
+
+use conga_experiments::cli::banner;
+use conga_experiments::figures::{fct_sweep, loads_arg};
+use conga_experiments::{Args, Scheme, TestbedOpts};
+use conga_workloads::FlowSizeDist;
+
+fn main() {
+    let args = Args::parse();
+    banner(
+        "Figure 15 — large-scale web-search workload, 3:1 oversubscription",
+        "(a) 8 leaves x 48 x 10G hosts; (b) 8 leaves x 12 x 40G hosts; 4 spines x 40G",
+    );
+    let loads = loads_arg(
+        &args,
+        if args.quick {
+            vec![0.4, 0.7]
+        } else {
+            vec![0.3, 0.5, 0.7]
+        },
+    );
+    // 3:1 oversubscription: access 480G per leaf vs 4 x 40G = 160G uplinks.
+    let cases = [
+        (
+            "(a) 10G hosts",
+            TestbedOpts {
+                leaves: if args.quick { 2 } else { 4 },
+                spines: 4,
+                hosts_per_leaf: 48,
+                host_gbps: 10,
+                fabric_gbps: 40,
+                parallel: 1,
+                fail: None,
+            },
+        ),
+        (
+            "(b) 40G hosts",
+            TestbedOpts {
+                leaves: if args.quick { 2 } else { 4 },
+                spines: 4,
+                hosts_per_leaf: 12,
+                host_gbps: 40,
+                fabric_gbps: 40,
+                parallel: 1,
+                fail: None,
+            },
+        ),
+    ];
+    for (title, topo) in cases {
+        println!("\n{title}");
+        let sweep = fct_sweep(
+            &args,
+            topo,
+            &FlowSizeDist::web_search(),
+            &loads,
+            &[Scheme::Ecmp, Scheme::Conga],
+            500,
+        );
+        println!("{:<12}{}", "load", "FCT normalized to ECMP");
+        print!("{:<12}", "");
+        for l in &loads {
+            print!("{:>9.0}%", l * 100.0);
+        }
+        println!();
+        for (si, s) in sweep.schemes.iter().enumerate() {
+            print!("{:<12}", s.name());
+            for li in 0..loads.len() {
+                print!("{:>10.3}", sweep.overall[si][li] / sweep.overall[0][li]);
+            }
+            println!();
+        }
+    }
+}

@@ -1,0 +1,120 @@
+//! Minimal argument parsing shared by the experiment binaries (no external
+//! dependency needed for `--quick`-style flags).
+
+/// Parsed common arguments.
+#[derive(Clone, Debug)]
+pub struct Args {
+    /// Reduced problem sizes for smoke runs / CI.
+    pub quick: bool,
+    /// Base RNG seed.
+    pub seed: u64,
+    /// Number of independent runs to average where applicable.
+    pub runs: usize,
+    /// Leftover `--key value` pairs for experiment-specific options.
+    extra: Vec<(String, String)>,
+}
+
+impl Args {
+    /// Parse `std::env::args()`.
+    pub fn parse() -> Args {
+        Self::from_iter(std::env::args().skip(1))
+    }
+
+    /// Parse from an explicit iterator (testable).
+    pub fn from_iter<I: IntoIterator<Item = String>>(it: I) -> Args {
+        let mut quick = false;
+        let mut seed = 1u64;
+        let mut runs = 0usize;
+        let mut extra = Vec::new();
+        let mut iter = it.into_iter().peekable();
+        while let Some(a) = iter.next() {
+            match a.as_str() {
+                "--quick" => quick = true,
+                "--seed" => {
+                    seed = iter
+                        .next()
+                        .and_then(|v| v.parse().ok())
+                        .expect("--seed needs an integer");
+                }
+                "--runs" => {
+                    runs = iter
+                        .next()
+                        .and_then(|v| v.parse().ok())
+                        .expect("--runs needs an integer");
+                }
+                k if k.starts_with("--") => {
+                    let v = iter.next().unwrap_or_default();
+                    extra.push((k[2..].to_string(), v));
+                }
+                other => panic!("unexpected argument: {other}"),
+            }
+        }
+        Args {
+            quick,
+            seed,
+            runs,
+            extra,
+        }
+    }
+
+    /// Experiment-specific option with a default.
+    pub fn get<T: std::str::FromStr>(&self, key: &str, default: T) -> T {
+        self.extra
+            .iter()
+            .find(|(k, _)| k == key)
+            .and_then(|(_, v)| v.parse().ok())
+            .unwrap_or(default)
+    }
+
+    /// Number of runs, with experiment-chosen defaults for quick/full mode.
+    pub fn runs_or(&self, quick_default: usize, full_default: usize) -> usize {
+        if self.runs > 0 {
+            self.runs
+        } else if self.quick {
+            quick_default
+        } else {
+            full_default
+        }
+    }
+}
+
+/// Print a header banner for an experiment.
+pub fn banner(title: &str, detail: &str) {
+    println!("==============================================================");
+    println!("{title}");
+    println!("{detail}");
+    println!("==============================================================");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(s: &[&str]) -> Args {
+        Args::from_iter(s.iter().map(|x| x.to_string()))
+    }
+
+    #[test]
+    fn defaults() {
+        let a = parse(&[]);
+        assert!(!a.quick);
+        assert_eq!(a.seed, 1);
+        assert_eq!(a.runs_or(1, 5), 5);
+    }
+
+    #[test]
+    fn flags_and_extras() {
+        let a = parse(&["--quick", "--seed", "9", "--fanout", "32"]);
+        assert!(a.quick);
+        assert_eq!(a.seed, 9);
+        assert_eq!(a.get("fanout", 8u32), 32);
+        assert_eq!(a.get("missing", 3u32), 3);
+        assert_eq!(a.runs_or(1, 5), 1);
+    }
+
+    #[test]
+    fn explicit_runs_wins() {
+        let a = parse(&["--quick", "--runs", "7"]);
+        assert_eq!(a.runs_or(1, 5), 7);
+    }
+}

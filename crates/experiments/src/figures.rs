@@ -1,0 +1,143 @@
+//! Shared figure-generation code used by multiple binaries (Figures 9, 10,
+//! 11 share the FCT-vs-load sweep; Figure 15 reuses it at scale).
+
+use crate::cli::{banner, Args};
+use crate::runner::{run_fct, FctRun, Scheme, TestbedOpts};
+use conga_workloads::FlowSizeDist;
+
+/// Results of one FCT sweep: `cells[scheme][load]`.
+pub struct Sweep {
+    /// Load points.
+    pub loads: Vec<f64>,
+    /// Schemes, row order.
+    pub schemes: Vec<Scheme>,
+    /// Overall average FCT normalized to optimal.
+    pub overall: Vec<Vec<f64>>,
+    /// Small-flow (< 100 KB) average FCT, seconds.
+    pub small: Vec<Vec<f64>>,
+    /// Large-flow (> 10 MB) average FCT, seconds.
+    pub large: Vec<Vec<f64>>,
+    /// Flows not completed within the drain bound.
+    pub incomplete: Vec<Vec<usize>>,
+}
+
+/// Run an FCT sweep over the paper's scheme set.
+pub fn fct_sweep(
+    args: &Args,
+    topo: TestbedOpts,
+    dist: &FlowSizeDist,
+    loads: &[f64],
+    schemes: &[Scheme],
+    flows_full: usize,
+) -> Sweep {
+    let n_flows = if args.quick {
+        120
+    } else {
+        args.get("flows", flows_full)
+    };
+    let runs = args.runs_or(1, 2);
+    let topo = if args.quick { topo.quick() } else { topo };
+
+    let mut sweep = Sweep {
+        loads: loads.to_vec(),
+        schemes: schemes.to_vec(),
+        overall: vec![vec![0.0; loads.len()]; schemes.len()],
+        small: vec![vec![0.0; loads.len()]; schemes.len()],
+        large: vec![vec![0.0; loads.len()]; schemes.len()],
+        incomplete: vec![vec![0; loads.len()]; schemes.len()],
+    };
+    for (si, &scheme) in schemes.iter().enumerate() {
+        for (li, &load) in loads.iter().enumerate() {
+            let mut o = 0.0;
+            let mut s = 0.0;
+            let mut l = 0.0;
+            for r in 0..runs {
+                let mut cfg = FctRun::new(topo, scheme, dist.clone(), load);
+                cfg.n_flows = n_flows;
+                cfg.seed = args.seed + 1000 * r as u64;
+                let out = run_fct(&cfg);
+                o += out.summary.avg_norm_optimal;
+                s += out.summary.small_avg_s;
+                l += out.summary.large_avg_s;
+                sweep.incomplete[si][li] += out.summary.incomplete;
+            }
+            sweep.overall[si][li] = o / runs as f64;
+            sweep.small[si][li] = s / runs as f64;
+            sweep.large[si][li] = l / runs as f64;
+            eprintln!(
+                "[{}] load {:.0}%: {:.2}x optimal ({} incomplete)",
+                scheme.name(),
+                load * 100.0,
+                sweep.overall[si][li],
+                sweep.incomplete[si][li]
+            );
+        }
+    }
+    sweep
+}
+
+/// Print the three panels of a Figure-9-style sweep.
+pub fn print_fct_panels(sweep: &Sweep) {
+    let print_panel = |title: &str, cell: &dyn Fn(usize, usize) -> f64| {
+        println!("\n{title}");
+        print!("{:<12}", "load");
+        for l in &sweep.loads {
+            print!("{:>9.0}%", l * 100.0);
+        }
+        println!();
+        for (si, s) in sweep.schemes.iter().enumerate() {
+            print!("{:<12}", s.name());
+            for li in 0..sweep.loads.len() {
+                print!("{:>10.3}", cell(si, li));
+            }
+            println!();
+        }
+    };
+    print_panel(
+        "(a) Overall average FCT (normalized to optimal)",
+        &|si, li| sweep.overall[si][li],
+    );
+    print_panel("(b) Small flows < 100KB (normalized to ECMP)", &|si, li| {
+        sweep.small[si][li] / sweep.small[0][li].max(1e-12)
+    });
+    print_panel("(c) Large flows > 10MB (normalized to ECMP)", &|si, li| {
+        sweep.large[si][li] / sweep.large[0][li].max(1e-12)
+    });
+    let unfinished: usize = sweep.incomplete.iter().flatten().sum();
+    if unfinished > 0 {
+        println!("\nnote: {unfinished} flows total did not finish within the drain bound");
+    }
+}
+
+/// Parse `--loads 10,30,50` into fractions, or fall back to `default`.
+pub fn loads_arg(args: &Args, default: Vec<f64>) -> Vec<f64> {
+    let raw: String = args.get("loads", String::new());
+    if raw.is_empty() {
+        return default;
+    }
+    raw.split(',')
+        .map(|x| x.trim().parse::<f64>().expect("--loads wants percents") / 100.0)
+        .collect()
+}
+
+/// The Figure 9/10 driver shared by both workload binaries.
+pub fn run_baseline_figure(args: &Args, dist: FlowSizeDist, title: &str, flows_full: usize) {
+    banner(
+        title,
+        "testbed: 64 hosts, 2 leaves, 2 spines, 10G access / 2x40G uplinks (2:1 oversub)",
+    );
+    let loads = loads_arg(args, if args.quick {
+        vec![0.3, 0.6]
+    } else {
+        (1..=9).map(|l| l as f64 / 10.0).collect()
+    });
+    let sweep = fct_sweep(
+        args,
+        TestbedOpts::paper_baseline(),
+        &dist,
+        &loads,
+        &Scheme::PAPER,
+        flows_full,
+    );
+    print_fct_panels(&sweep);
+}

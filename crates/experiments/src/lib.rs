@@ -1,0 +1,21 @@
+//! # conga-experiments — the harness that regenerates every figure
+//!
+//! One binary per table/figure of the paper's evaluation lives in
+//! `src/bin/`; this library holds the shared machinery: the scheme matrix
+//! (fabric policy × transport), the paper's testbed topologies, the
+//! open-loop FCT runner, and small CLI/printing helpers.
+//!
+//! Every binary accepts `--quick` (CI-scale run), `--seed N`, and prints
+//! plain text tables with the same rows/series as the paper's plots.
+
+#![warn(missing_docs)]
+
+pub mod cli;
+pub mod figures;
+pub mod runner;
+
+pub use cli::Args;
+pub use runner::{
+    build_testbed, merged_arrivals, run_fct, run_fct_with_policy, uniform_arrivals, FctOutcome,
+    FctRun, Scheme, TestbedOpts,
+};

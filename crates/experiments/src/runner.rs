@@ -1,0 +1,477 @@
+//! The shared experiment runner: scheme matrix, testbed construction, and
+//! the open-loop FCT experiment of paper §5.2.
+
+use conga_analysis::fct::{ideal_fct_s, summarize, FctSample, FctSummary};
+use conga_core::FabricPolicy;
+use conga_net::{
+    ChannelId, HostId, LeafSpineBuilder, Network, Topology, WIRE_OVERHEAD,
+};
+use conga_sim::{SimDuration, SimRng, SimTime};
+use conga_transport::{
+    FlowSpec, ListSource, MptcpConfig, TcpConfig, TransportKind, TransportLayer,
+};
+use conga_workloads::{FlowSizeDist, PoissonPlan};
+
+/// The schemes compared throughout the evaluation (§5, "Schemes compared").
+/// MPTCP rides over ECMP hashing in the fabric, exactly as in the testbed.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Scheme {
+    /// Static per-flow ECMP + TCP.
+    Ecmp,
+    /// CONGA with the 13 ms flowlet timeout (one decision per flow) + TCP.
+    CongaFlow,
+    /// CONGA with default parameters + TCP.
+    Conga,
+    /// ECMP fabric + MPTCP with 8 subflows.
+    Mptcp,
+    /// Local congestion-aware strawman (§2.4) + TCP.
+    Local,
+    /// Per-packet round-robin spraying + TCP.
+    Spray,
+    /// Static weighted-random (oblivious) + TCP.
+    Weighted,
+}
+
+impl Scheme {
+    /// The four schemes of the main testbed figures.
+    pub const PAPER: [Scheme; 4] = [Scheme::Ecmp, Scheme::CongaFlow, Scheme::Conga, Scheme::Mptcp];
+
+    /// Display name matching the paper's legends.
+    pub fn name(self) -> &'static str {
+        match self {
+            Scheme::Ecmp => "ECMP",
+            Scheme::CongaFlow => "CONGA-Flow",
+            Scheme::Conga => "CONGA",
+            Scheme::Mptcp => "MPTCP",
+            Scheme::Local => "Local",
+            Scheme::Spray => "Spray",
+            Scheme::Weighted => "Weighted",
+        }
+    }
+
+    /// The fabric policy for this scheme.
+    pub fn policy(self) -> FabricPolicy {
+        match self {
+            Scheme::Ecmp | Scheme::Mptcp => FabricPolicy::ecmp(),
+            Scheme::CongaFlow => FabricPolicy::conga_flow(),
+            Scheme::Conga => FabricPolicy::conga(),
+            Scheme::Local => FabricPolicy::local(),
+            Scheme::Spray => FabricPolicy::spray(),
+            Scheme::Weighted => FabricPolicy::weighted(),
+        }
+    }
+
+    /// The transport for a flow under this scheme.
+    pub fn transport(self, tcp: TcpConfig) -> TransportKind {
+        match self {
+            Scheme::Mptcp => TransportKind::Mptcp(MptcpConfig {
+                tcp,
+                ..MptcpConfig::default()
+            }),
+            _ => TransportKind::Tcp(tcp),
+        }
+    }
+}
+
+/// Options for the paper's testbed topologies (Figure 7).
+#[derive(Clone, Copy, Debug)]
+pub struct TestbedOpts {
+    /// Leaves.
+    pub leaves: u32,
+    /// Spines.
+    pub spines: u32,
+    /// Hosts per leaf.
+    pub hosts_per_leaf: u32,
+    /// Host NIC rate, Gbps.
+    pub host_gbps: u64,
+    /// Fabric link rate, Gbps.
+    pub fabric_gbps: u64,
+    /// Parallel links per leaf-spine pair.
+    pub parallel: u32,
+    /// Fail one parallel link (leaf, spine, index) — Figure 7(b).
+    pub fail: Option<(u32, u32, u32)>,
+}
+
+impl TestbedOpts {
+    /// The baseline testbed of Figure 7(a): 2 leaves, 2 spines, 32 hosts
+    /// per leaf at 10 G, 2×40 G uplinks per pair (2:1 oversubscription).
+    pub fn paper_baseline() -> Self {
+        TestbedOpts {
+            leaves: 2,
+            spines: 2,
+            hosts_per_leaf: 32,
+            host_gbps: 10,
+            fabric_gbps: 40,
+            parallel: 2,
+            fail: None,
+        }
+    }
+
+    /// Figure 7(b): the baseline with one Leaf1–Spine1 link failed.
+    pub fn paper_failure() -> Self {
+        TestbedOpts {
+            fail: Some((1, 1, 0)),
+            ..Self::paper_baseline()
+        }
+    }
+
+    /// Shrink host counts for `--quick` runs (keeps the fabric shape).
+    pub fn quick(mut self) -> Self {
+        self.hosts_per_leaf = self.hosts_per_leaf.min(8);
+        self
+    }
+}
+
+/// Build the topology for the given options.
+pub fn build_testbed(o: TestbedOpts) -> Topology {
+    let mut b = LeafSpineBuilder::new(o.leaves, o.spines, o.hosts_per_leaf)
+        .host_rate_gbps(o.host_gbps)
+        .fabric_rate_gbps(o.fabric_gbps)
+        .parallel_links(o.parallel);
+    if let Some((l, s, p)) = o.fail {
+        b = b.fail_link(l, s, p);
+    }
+    b.build()
+}
+
+/// An FCT experiment specification.
+#[derive(Clone, Debug)]
+pub struct FctRun {
+    /// Topology options.
+    pub topo: TestbedOpts,
+    /// Scheme under test.
+    pub scheme: Scheme,
+    /// Flow-size distribution.
+    pub dist: FlowSizeDist,
+    /// Offered load as a fraction of the *baseline* bisection bandwidth
+    /// (the paper keeps the reference fixed when links fail).
+    pub load: f64,
+    /// Flows per direction.
+    pub n_flows: usize,
+    /// RNG seed.
+    pub seed: u64,
+    /// TCP parameters.
+    pub tcp: TcpConfig,
+    /// Enable 10 ms synchronous sampling of Leaf 0's uplinks (Figure 12) /
+    /// queue statistics.
+    pub sample_uplinks: bool,
+}
+
+impl FctRun {
+    /// Sensible defaults for a (scheme, load) cell.
+    pub fn new(topo: TestbedOpts, scheme: Scheme, dist: FlowSizeDist, load: f64) -> Self {
+        FctRun {
+            topo,
+            scheme,
+            dist,
+            load,
+            n_flows: 2000,
+            seed: 1,
+            tcp: TcpConfig::standard(),
+            sample_uplinks: false,
+        }
+    }
+}
+
+/// What an FCT run produced.
+#[derive(Clone, Debug)]
+pub struct FctOutcome {
+    /// The paper-format summary.
+    pub summary: FctSummary,
+    /// Total queue drops across the fabric.
+    pub drops: u64,
+    /// Total retransmitted bytes.
+    pub retx_bytes: u64,
+    /// Total RTO firings.
+    pub timeouts: u64,
+    /// Simulated time at which the run ended.
+    pub end_time: SimTime,
+    /// Leaf-0 uplink cumulative tx-byte samples (if sampling enabled).
+    pub uplink_tx_samples: Vec<Vec<u64>>,
+    /// Per-sampled-channel queue-depth samples (if sampling enabled).
+    pub uplink_queue_samples: Vec<Vec<u64>>,
+    /// Mean queue depth in bytes per fabric channel, by channel id.
+    pub fabric_mean_queues: Vec<(ChannelId, f64)>,
+}
+
+/// Convert a [`PoissonPlan`] into a single time-ordered arrival list over
+/// concrete hosts: group A = hosts under leaf 0, group B = hosts under
+/// leaf 1 (clients under one leaf use servers under the other, §5.2).
+pub fn merged_arrivals(
+    plan: &PoissonPlan,
+    group_a: &[HostId],
+    group_b: &[HostId],
+    kind_of: impl Fn(u64) -> TransportKind,
+) -> Vec<(SimDuration, FlowSpec)> {
+    // Convert per-direction gaps to absolute times.
+    let mut abs: Vec<(u64, FlowSpec)> = Vec::with_capacity(plan.forward.len() * 2);
+    let mut t = 0u64;
+    for a in &plan.forward {
+        t += a.gap.as_nanos();
+        abs.push((
+            t,
+            FlowSpec {
+                src: group_a[a.src as usize],
+                dst: group_b[a.dst as usize],
+                bytes: a.bytes,
+                kind: kind_of(a.bytes),
+            },
+        ));
+    }
+    let mut t = 0u64;
+    for a in &plan.reverse {
+        t += a.gap.as_nanos();
+        abs.push((
+            t,
+            FlowSpec {
+                src: group_b[a.src as usize],
+                dst: group_a[a.dst as usize],
+                bytes: a.bytes,
+                kind: kind_of(a.bytes),
+            },
+        ));
+    }
+    abs.sort_by_key(|&(t, _)| t);
+    // Back to gaps.
+    let mut prev = 0u64;
+    abs.into_iter()
+        .map(|(t, spec)| {
+            let gap = SimDuration::from_nanos(t - prev);
+            prev = t;
+            (gap, spec)
+        })
+        .collect()
+}
+
+/// Uniform all-to-all arrivals for fabrics with more than two leaves:
+/// every flow goes from a random host to a random host under a *different*
+/// leaf; the aggregate rate makes each leaf's uplinks `load` utilized in
+/// expectation.
+pub fn uniform_arrivals(
+    dist: &FlowSizeDist,
+    topo: &Topology,
+    per_leaf_capacity: u64,
+    load: f64,
+    n_flows: usize,
+    rng: &mut SimRng,
+    kind: TransportKind,
+) -> Vec<(SimDuration, FlowSpec)> {
+    let total_rate = load * (per_leaf_capacity as f64) * topo.n_leaves as f64 / (8.0 * dist.mean());
+    (0..n_flows)
+        .map(|_| {
+            let src = HostId(rng.below(topo.n_hosts as usize) as u32);
+            let dst = loop {
+                let d = HostId(rng.below(topo.n_hosts as usize) as u32);
+                if topo.leaf_of(d) != topo.leaf_of(src) {
+                    break d;
+                }
+            };
+            (
+                SimDuration::from_secs_f64(rng.exp(total_rate)),
+                FlowSpec {
+                    src,
+                    dst,
+                    bytes: dist.sample(rng),
+                    kind,
+                },
+            )
+        })
+        .collect()
+}
+
+/// Run one FCT experiment cell to completion (or a generous drain bound).
+pub fn run_fct(cfg: &FctRun) -> FctOutcome {
+    run_fct_with_policy(cfg, cfg.scheme.policy())
+}
+
+/// [`run_fct`] with an explicit fabric policy (for parameter ablations and
+/// mixed-deployment experiments; the transport still follows `cfg.scheme`).
+pub fn run_fct_with_policy(cfg: &FctRun, policy: FabricPolicy) -> FctOutcome {
+    let topo = build_testbed(cfg.topo);
+    // Load is relative to the *baseline* (unfailed) leaf-to-leaf capacity.
+    let baseline = TestbedOpts {
+        fail: None,
+        ..cfg.topo
+    };
+    let base_topo = build_testbed(baseline);
+    // The effective bisection is bounded by both the uplinks and the access
+    // capacity feeding them (matters for shrunken --quick topologies).
+    let capacity = base_topo
+        .leaf_uplink_capacity(conga_net::LeafId(0))
+        .min(base_topo.access_capacity(conga_net::LeafId(0)));
+
+    let mut wl_rng = SimRng::new(cfg.seed.wrapping_mul(0x9E37_79B9) ^ 0xC04A);
+    let tcp = cfg.tcp;
+    let scheme = cfg.scheme;
+    let arrivals = if topo.n_leaves == 2 {
+        // The paper's testbed pattern: clients under leaf 0 use servers
+        // under leaf 1 and vice-versa.
+        let group_a = topo.hosts_under(conga_net::LeafId(0));
+        let group_b = topo.hosts_under(conga_net::LeafId(1));
+        let plan = PoissonPlan::generate(
+            &cfg.dist,
+            group_a.len() as u32,
+            group_b.len() as u32,
+            capacity,
+            cfg.load,
+            cfg.n_flows,
+            &mut wl_rng,
+        );
+        merged_arrivals(&plan, &group_a, &group_b, |_| scheme.transport(tcp))
+    } else {
+        uniform_arrivals(
+            &cfg.dist,
+            &topo,
+            capacity,
+            cfg.load,
+            cfg.n_flows * 2,
+            &mut wl_rng,
+            scheme.transport(tcp),
+        )
+    };
+    let span_ns: u64 = arrivals.iter().map(|(g, _)| g.as_nanos()).sum();
+
+    let mut net = Network::new(topo, policy, TransportLayer::new(), cfg.seed);
+    if cfg.sample_uplinks {
+        let ups = net.fib.leaf_uplinks[0].clone();
+        net.enable_sampling(ups, SimDuration::from_millis(10));
+    }
+    net.agent
+        .attach_source(Box::new(ListSource::new(arrivals)));
+    if let Some((d, tok)) = net.agent.begin_source() {
+        net.schedule_timer(d, tok);
+    }
+
+    // Run in slices until every flow completes (or the drain bound).
+    let total_flows = cfg.n_flows * 2;
+    let drain_bound = SimTime::from_nanos(span_ns) + SimDuration::from_secs(8);
+    loop {
+        let t = net.now() + SimDuration::from_millis(50);
+        net.run_until(t);
+        if net.agent.flow_count() >= total_flows && net.agent.completed_rx >= total_flows {
+            break;
+        }
+        if net.now() >= drain_bound {
+            break;
+        }
+    }
+
+    // Ideal FCT model parameters from the topology.
+    let edge_bps = cfg.topo.host_gbps * 1_000_000_000;
+    let mss = cfg.tcp.mss;
+    let mut samples = Vec::new();
+    let mut incomplete = 0;
+    // Only flows that start while the offered load is still arriving are
+    // measured: flows arriving near or after the end of the Poisson window
+    // would finish in a draining (emptying) fabric and dilute every
+    // congestion effect. The last 30% of the window is the guard band.
+    let measure_until = SimTime::from_nanos((span_ns as f64 * 0.7) as u64);
+    for r in &net.agent.records {
+        if r.start > measure_until {
+            continue;
+        }
+        let cross_leaf = net.topo.leaf_of(r.src) != net.topo.leaf_of(r.dst);
+        let hops = if cross_leaf { 4 } else { 2 };
+        match r.fct() {
+            Some(f) => samples.push(FctSample {
+                bytes: r.bytes,
+                fct_s: f.as_secs_f64(),
+                ideal_s: ideal_fct_s(r.bytes, edge_bps, hops, 2.5e-6, mss, WIRE_OVERHEAD),
+            }),
+            None => incomplete += 1,
+        }
+    }
+    let summary = summarize(&samples, incomplete);
+
+    let retx_bytes = net.agent.records.iter().map(|r| r.retx_bytes).sum();
+    let timeouts = net.agent.records.iter().map(|r| r.timeouts).sum();
+    let fabric_mean_queues = {
+        let now = net.now();
+        let chans: Vec<ChannelId> = (0..net.topo.channels.len() as u32)
+            .map(ChannelId)
+            .filter(|c| net.topo.channel(*c).kind.is_fabric())
+            .collect();
+        chans
+            .into_iter()
+            .map(|c| (c, net.port_mut(c).mean_queue_bytes(now)))
+            .collect()
+    };
+    FctOutcome {
+        summary,
+        drops: net.total_drops(),
+        retx_bytes,
+        timeouts,
+        end_time: net.now(),
+        uplink_tx_samples: net.samples.tx_bytes.clone(),
+        uplink_queue_samples: net.samples.queue_bytes.clone(),
+        fabric_mean_queues,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scheme_matrix_is_consistent() {
+        for s in Scheme::PAPER {
+            let _ = s.policy();
+            let k = s.transport(TcpConfig::standard());
+            match (s, k) {
+                (Scheme::Mptcp, TransportKind::Mptcp(_)) => {}
+                (Scheme::Mptcp, _) => panic!("MPTCP scheme must use MPTCP"),
+                (_, TransportKind::Tcp(_)) => {}
+                _ => panic!("TCP schemes must use TCP"),
+            }
+        }
+        assert_eq!(Scheme::Conga.name(), "CONGA");
+    }
+
+    #[test]
+    fn testbed_opts_match_paper() {
+        let t = build_testbed(TestbedOpts::paper_baseline());
+        assert_eq!(t.n_hosts, 64);
+        assert_eq!(t.leaf_uplink_capacity(conga_net::LeafId(0)), 160_000_000_000);
+        let f = build_testbed(TestbedOpts::paper_failure());
+        assert_eq!(f.fib().leaf_uplinks[1].len(), 3);
+    }
+
+    #[test]
+    fn merged_arrivals_are_time_ordered_and_complete() {
+        let dist = FlowSizeDist::enterprise();
+        let mut rng = SimRng::new(2);
+        let plan = PoissonPlan::generate(&dist, 4, 4, 80_000_000_000, 0.5, 50, &mut rng);
+        let a: Vec<HostId> = (0..4).map(HostId).collect();
+        let b: Vec<HostId> = (4..8).map(HostId).collect();
+        let merged = merged_arrivals(&plan, &a, &b, |_| {
+            TransportKind::Tcp(TcpConfig::standard())
+        });
+        assert_eq!(merged.len(), 100);
+        // Forward flows go a->b, reverse b->a.
+        for (_, spec) in &merged {
+            let fwd = spec.src.0 < 4;
+            if fwd {
+                assert!(spec.dst.0 >= 4);
+            } else {
+                assert!(spec.dst.0 < 4);
+            }
+        }
+    }
+
+    #[test]
+    fn small_fct_run_completes_all_flows() {
+        let mut cfg = FctRun::new(
+            TestbedOpts::paper_baseline().quick(),
+            Scheme::Conga,
+            FlowSizeDist::enterprise(),
+            0.3,
+        );
+        cfg.n_flows = 40;
+        let out = run_fct(&cfg);
+        // Flows arriving in the drain guard band (last 30% of the window)
+        // are excluded from the summary.
+        assert!(out.summary.n >= 40 && out.summary.n <= 80, "n = {}", out.summary.n);
+        assert_eq!(out.summary.incomplete, 0);
+        assert!(out.summary.avg_norm_optimal >= 1.0, "can't beat optimal");
+    }
+}

@@ -1,0 +1,655 @@
+//! The network engine: an event-driven packet-level simulation of a fabric.
+//!
+//! The engine owns the topology, one [`TxPort`] per simplex channel, and the
+//! future-event list. Two plug-in points make it policy- and
+//! transport-agnostic:
+//!
+//! * [`Dataplane`] — the switch dataplane logic. Implementations live in
+//!   `conga-core`: CONGA itself plus the baselines (ECMP, local
+//!   congestion-aware, per-packet spray, weighted random). The engine tells
+//!   the dataplane *which* ports are valid (routing); the dataplane picks
+//!   *one* (load balancing) and maintains its own state (DREs, flowlet
+//!   table, congestion tables).
+//! * [`HostAgent`] — the end-host stack. Implementations live in
+//!   `conga-transport` (TCP, MPTCP, CBR senders).
+//!
+//! Forwarding pipeline for a fabric-crossing packet:
+//!
+//! ```text
+//! host --access--> source leaf --[leaf_ingress: encap + pick uplink]-->
+//!   spine --[spine_forward: pick downlink]--> dest leaf --[leaf_egress:
+//!   decap + harvest CE/feedback]--> host
+//! ```
+//!
+//! On every *fabric* transmission the engine calls
+//! [`Dataplane::on_fabric_tx`] so the policy can update that link's DRE and
+//! fold the link's congestion into the packet's CE field — exactly the
+//! hop-by-hop CE update of paper §3.3.
+
+use crate::ids::{ChannelId, LeafId, NodeId, SpineId};
+use crate::packet::{Overlay, Packet};
+use crate::port::{Enqueue, TxPort};
+use crate::topology::{Fib, Topology};
+use conga_sim::{EventQueue, SimDuration, SimRng, SimTime};
+
+/// Switch dataplane behaviour: load-balancing choice plus congestion-state
+/// maintenance. See the crate docs of `conga-core` for the implementations.
+pub trait Dataplane {
+    /// Called once before the simulation starts; size internal tables from
+    /// the topology (number of channels, leaves, uplinks, link rates...).
+    fn install(&mut self, topo: &Topology, fib: &Fib);
+
+    /// A packet is entering the fabric at its source leaf. `candidates` are
+    /// the uplink channels that can reach the packet's destination leaf
+    /// (never empty). The packet's overlay header is already initialized
+    /// with src/dst TEPs and CE = 0; the implementation must set
+    /// `overlay.lbtag`, may stamp feedback fields, and returns the chosen
+    /// uplink channel.
+    fn leaf_ingress(
+        &mut self,
+        leaf: LeafId,
+        pkt: &mut Packet,
+        candidates: &[ChannelId],
+        now: SimTime,
+        rng: &mut SimRng,
+    ) -> ChannelId;
+
+    /// A packet at a spine must be forwarded toward its destination leaf;
+    /// pick among the parallel downlinks (paper: spines use ECMP regardless
+    /// of the leaf policy, footnote 3).
+    fn spine_forward(
+        &mut self,
+        spine: SpineId,
+        pkt: &mut Packet,
+        candidates: &[ChannelId],
+        now: SimTime,
+        rng: &mut SimRng,
+    ) -> ChannelId;
+
+    /// A packet starts transmission on a fabric channel: update the
+    /// channel's congestion estimate and fold it into the packet's CE.
+    fn on_fabric_tx(&mut self, ch: ChannelId, pkt: &mut Packet, now: SimTime);
+
+    /// A packet reached its destination leaf: harvest its CE into the
+    /// Congestion-From-Leaf table and its feedback fields into the
+    /// Congestion-To-Leaf table.
+    fn leaf_egress(&mut self, leaf: LeafId, pkt: &Packet, now: SimTime);
+
+    /// Human-readable scheme name for experiment output.
+    fn name(&self) -> &'static str;
+}
+
+/// End-host stack: receives packets addressed to its hosts and timer
+/// callbacks, and emits packets/timers through the [`Emitter`].
+pub trait HostAgent {
+    /// A packet was delivered to `pkt.dst`.
+    fn on_packet(&mut self, pkt: Packet, now: SimTime, out: &mut Emitter);
+    /// A timer set through [`Emitter::set_timer`] fired.
+    fn on_timer(&mut self, token: u64, now: SimTime, out: &mut Emitter);
+}
+
+/// Collects the outputs of a [`HostAgent`] callback; the engine injects the
+/// packets at their source host's NIC and schedules the timers after the
+/// callback returns (avoiding re-entrancy).
+#[derive(Default, Debug)]
+pub struct Emitter {
+    packets: Vec<Packet>,
+    timers: Vec<(SimDuration, u64)>,
+}
+
+impl Emitter {
+    /// Transmit `pkt` from `pkt.src`'s NIC.
+    #[inline]
+    pub fn send(&mut self, pkt: Packet) {
+        self.packets.push(pkt);
+    }
+
+    /// Request `on_timer(token)` after `delay`.
+    #[inline]
+    pub fn set_timer(&mut self, delay: SimDuration, token: u64) {
+        self.timers.push((delay, token));
+    }
+}
+
+/// Engine events.
+#[derive(Debug)]
+enum Ev {
+    /// Packet finished wire traversal of `ch`; process at the channel dst.
+    Arrive { ch: ChannelId, pkt: Packet },
+    /// Serializer of `ch` finished.
+    TxDone { ch: ChannelId },
+    /// Host-agent timer.
+    Timer { token: u64 },
+    /// A host-emitted packet reaches its NIC queue (after emission jitter).
+    Inject { pkt: Packet },
+    /// Periodic statistics sample.
+    Sample,
+}
+
+/// Periodic per-channel sample log (queue depth and cumulative tx bytes),
+/// used for the throughput-imbalance and queue-CDF figures.
+#[derive(Debug, Default, Clone)]
+pub struct SampleLog {
+    /// Sampled channels, in column order.
+    pub channels: Vec<ChannelId>,
+    /// Sample timestamps.
+    pub times: Vec<SimTime>,
+    /// `queue_bytes[col][row]` — queue depth of channel `col` at sample `row`.
+    pub queue_bytes: Vec<Vec<u64>>,
+    /// `tx_bytes[col][row]` — cumulative bytes transmitted.
+    pub tx_bytes: Vec<Vec<u64>>,
+}
+
+/// Aggregate counters the engine maintains itself.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct EngineStats {
+    /// Packets handed to the host agent.
+    pub delivered_pkts: u64,
+    /// Payload bytes handed to the host agent.
+    pub delivered_payload: u64,
+    /// Packets dropped because a destination became unreachable (network
+    /// partition) — distinct from queue drops.
+    pub unroutable: u64,
+    /// Events processed.
+    pub events: u64,
+}
+
+/// The simulated network.
+pub struct Network<D: Dataplane, A: HostAgent> {
+    /// Fabric description (immutable during a run).
+    pub topo: Topology,
+    /// Forwarding tables.
+    pub fib: Fib,
+    /// The load-balancing dataplane.
+    pub dataplane: D,
+    /// The end-host stack.
+    pub agent: A,
+    /// Deterministic randomness shared by the engine and dataplane.
+    pub rng: SimRng,
+    /// Engine counters.
+    pub stats: EngineStats,
+    /// Periodic sample log (empty unless sampling was enabled).
+    pub samples: SampleLog,
+
+    ports: Vec<TxPort>,
+    events: EventQueue<Ev>,
+    now: SimTime,
+    next_pkt_id: u64,
+    sample_every: Option<SimDuration>,
+    scratch: Emitter,
+    /// Host emission jitter bound: each packet handed to the NIC is delayed
+    /// by a uniform random amount in `[0, jitter)`, never reordering a
+    /// host's own emissions. Models interrupt/scheduling noise and breaks
+    /// the artificial flow synchronization (drop-tail phase lockout) that a
+    /// perfectly deterministic simulation otherwise produces. Zero disables.
+    host_jitter: SimDuration,
+    nic_release: Vec<SimTime>,
+}
+
+impl<D: Dataplane, A: HostAgent> Network<D, A> {
+    /// Build a network over `topo` with the given dataplane and host agent.
+    pub fn new(topo: Topology, mut dataplane: D, agent: A, seed: u64) -> Self {
+        let fib = topo.fib();
+        dataplane.install(&topo, &fib);
+        let ports = topo
+            .channels
+            .iter()
+            .map(|c| TxPort::new(c.rate_bps, c.delay, c.queue_cap))
+            .collect();
+        Network {
+            topo,
+            fib,
+            dataplane,
+            agent,
+            rng: SimRng::new(seed),
+            stats: EngineStats::default(),
+            samples: SampleLog::default(),
+            ports,
+            events: EventQueue::with_capacity(1 << 16),
+            now: SimTime::ZERO,
+            next_pkt_id: 0,
+            sample_every: None,
+            scratch: Emitter::default(),
+            host_jitter: SimDuration::from_nanos(1_000),
+            nic_release: Vec::new(),
+        }
+    }
+
+    /// Override the host emission jitter (zero disables; see field docs).
+    pub fn set_host_jitter(&mut self, j: SimDuration) {
+        self.host_jitter = j;
+    }
+
+    /// Current simulation time.
+    #[inline]
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Read-only access to a port (for statistics).
+    #[inline]
+    pub fn port(&self, ch: ChannelId) -> &TxPort {
+        &self.ports[ch.idx()]
+    }
+
+    /// Mutable access to a port (for mean-queue finalization).
+    #[inline]
+    pub fn port_mut(&mut self, ch: ChannelId) -> &mut TxPort {
+        &mut self.ports[ch.idx()]
+    }
+
+    /// Enable periodic sampling of the given channels every `every`.
+    pub fn enable_sampling(&mut self, channels: Vec<ChannelId>, every: SimDuration) {
+        self.samples.queue_bytes = vec![Vec::new(); channels.len()];
+        self.samples.tx_bytes = vec![Vec::new(); channels.len()];
+        self.samples.channels = channels;
+        self.sample_every = Some(every);
+        self.events.push(self.now + every, Ev::Sample);
+    }
+
+    /// Total queue drops across all channels.
+    pub fn total_drops(&self) -> u64 {
+        self.ports.iter().map(|p| p.drops).sum()
+    }
+
+    /// Call into the host agent from outside the event loop (e.g. to start
+    /// flows); emissions are processed immediately.
+    pub fn agent_call<R>(&mut self, f: impl FnOnce(&mut A, SimTime, &mut Emitter) -> R) -> R {
+        let mut em = std::mem::take(&mut self.scratch);
+        let r = f(&mut self.agent, self.now, &mut em);
+        self.process_emissions(&mut em);
+        self.scratch = em;
+        r
+    }
+
+    /// Schedule an agent timer from outside the event loop.
+    pub fn schedule_timer(&mut self, delay: SimDuration, token: u64) {
+        self.events.push(self.now + delay, Ev::Timer { token });
+    }
+
+    /// Run the event loop until `t_end` (inclusive) or until no events
+    /// remain. Returns the number of events processed.
+    pub fn run_until(&mut self, t_end: SimTime) -> u64 {
+        let mut n = 0;
+        while let Some(t) = self.events.peek_time() {
+            if t > t_end {
+                break;
+            }
+            let (t, ev) = self.events.pop().expect("peeked");
+            debug_assert!(t >= self.now, "time went backwards");
+            self.now = t;
+            self.dispatch(ev);
+            n += 1;
+        }
+        if self.now < t_end {
+            self.now = t_end;
+        }
+        self.stats.events += n;
+        n
+    }
+
+    /// Run until the event list is empty (all traffic drained, all timers
+    /// fired). Only sensible when the agent stops rescheduling timers.
+    pub fn run_to_quiescence(&mut self) -> u64 {
+        self.run_until(SimTime::MAX - SimDuration::from_nanos(1))
+    }
+
+    fn dispatch(&mut self, ev: Ev) {
+        match ev {
+            Ev::Arrive { ch, pkt } => self.arrive(ch, pkt),
+            Ev::TxDone { ch } => {
+                if self.ports[ch.idx()].tx_done() {
+                    self.start_tx(ch);
+                }
+            }
+            Ev::Timer { token } => {
+                let mut em = std::mem::take(&mut self.scratch);
+                self.agent.on_timer(token, self.now, &mut em);
+                self.process_emissions(&mut em);
+                self.scratch = em;
+            }
+            Ev::Inject { pkt } => {
+                let access = self.fib.host_access[pkt.src.idx()];
+                self.enqueue(access, pkt);
+            }
+            Ev::Sample => self.take_sample(),
+        }
+    }
+
+    fn take_sample(&mut self) {
+        self.samples.times.push(self.now);
+        for (col, &ch) in self.samples.channels.iter().enumerate() {
+            let p = &self.ports[ch.idx()];
+            self.samples.queue_bytes[col].push(p.queued_bytes());
+            self.samples.tx_bytes[col].push(p.tx_bytes);
+        }
+        if let Some(every) = self.sample_every {
+            self.events.push(self.now + every, Ev::Sample);
+        }
+    }
+
+    /// Process packets/timers emitted by an agent callback.
+    fn process_emissions(&mut self, em: &mut Emitter) {
+        for (delay, token) in em.timers.drain(..) {
+            self.events.push(self.now + delay, Ev::Timer { token });
+        }
+        for mut pkt in em.packets.drain(..) {
+            pkt.id = self.next_pkt_id;
+            self.next_pkt_id += 1;
+            if self.host_jitter > SimDuration::ZERO {
+                // Per-host monotone release times: jitter never reorders a
+                // single host's emissions.
+                if self.nic_release.is_empty() {
+                    self.nic_release = vec![SimTime::ZERO; self.topo.n_hosts as usize];
+                }
+                let j = SimDuration::from_nanos(
+                    self.rng.range_u64(0, self.host_jitter.as_nanos().max(1)),
+                );
+                let release = (self.now + j).max(self.nic_release[pkt.src.idx()]);
+                self.nic_release[pkt.src.idx()] = release;
+                self.events.push(release, Ev::Inject { pkt });
+            } else {
+                let access = self.fib.host_access[pkt.src.idx()];
+                self.enqueue(access, pkt);
+            }
+        }
+    }
+
+    /// Packet finished traversing `ch`: process at the receiving node.
+    fn arrive(&mut self, ch: ChannelId, mut pkt: Packet) {
+        let channel = &self.topo.channels[ch.idx()];
+        match channel.dst {
+            NodeId::Host(_h) => {
+                self.stats.delivered_pkts += 1;
+                self.stats.delivered_payload += pkt.payload as u64;
+                let mut em = std::mem::take(&mut self.scratch);
+                self.agent.on_packet(pkt, self.now, &mut em);
+                self.process_emissions(&mut em);
+                self.scratch = em;
+            }
+            NodeId::Leaf(l) => {
+                if channel.kind.is_fabric() {
+                    // Fabric → leaf: decapsulate; harvest CE + feedback.
+                    self.dataplane.leaf_egress(l, &pkt, self.now);
+                    pkt.overlay = None;
+                }
+                let dst_leaf = self.topo.leaf_of(pkt.dst);
+                if dst_leaf == l {
+                    let down = self.fib.host_down[pkt.dst.idx()];
+                    self.enqueue(down, pkt);
+                } else {
+                    // Source leaf: encapsulate and load-balance.
+                    let cands = &self.fib.up_candidates[l.idx()][dst_leaf.idx()];
+                    if cands.is_empty() {
+                        self.stats.unroutable += 1;
+                        return;
+                    }
+                    pkt.overlay = Some(Overlay::new(l, dst_leaf));
+                    let chosen =
+                        self.dataplane
+                            .leaf_ingress(l, &mut pkt, cands, self.now, &mut self.rng);
+                    debug_assert!(cands.contains(&chosen), "dataplane chose a non-candidate");
+                    self.enqueue(chosen, pkt);
+                }
+            }
+            NodeId::Spine(s) => {
+                let dst_leaf = pkt
+                    .overlay
+                    .as_ref()
+                    .expect("fabric packet without overlay at spine")
+                    .dst_tep;
+                let cands = &self.fib.spine_down[s.idx()][dst_leaf.idx()];
+                if cands.is_empty() {
+                    self.stats.unroutable += 1;
+                    return;
+                }
+                let chosen =
+                    self.dataplane
+                        .spine_forward(s, &mut pkt, cands, self.now, &mut self.rng);
+                debug_assert!(cands.contains(&chosen), "dataplane chose a non-candidate");
+                self.enqueue(chosen, pkt);
+            }
+        }
+    }
+
+    fn enqueue(&mut self, ch: ChannelId, pkt: Packet) {
+        match self.ports[ch.idx()].enqueue(pkt, self.now) {
+            Enqueue::StartTx => self.start_tx(ch),
+            Enqueue::Queued | Enqueue::Dropped => {}
+        }
+    }
+
+    fn start_tx(&mut self, ch: ChannelId) {
+        let (mut pkt, ser) = self.ports[ch.idx()].begin_tx(self.now);
+        if self.topo.channels[ch.idx()].kind.is_fabric() {
+            self.dataplane.on_fabric_tx(ch, &mut pkt, self.now);
+        }
+        let delay = self.ports[ch.idx()].delay;
+        self.events.push(self.now + ser, Ev::TxDone { ch });
+        self.events.push(self.now + ser + delay, Ev::Arrive { ch, pkt });
+    }
+}
+
+/// A do-nothing host agent: packets are absorbed, timers ignored. Useful in
+/// tests that drive raw packets through the fabric.
+#[derive(Default, Debug)]
+pub struct SinkAgent {
+    /// Packets received, in arrival order.
+    pub received: Vec<(SimTime, Packet)>,
+}
+
+impl HostAgent for SinkAgent {
+    fn on_packet(&mut self, pkt: Packet, now: SimTime, _out: &mut Emitter) {
+        self.received.push((now, pkt));
+    }
+    fn on_timer(&mut self, _token: u64, _now: SimTime, _out: &mut Emitter) {}
+}
+
+/// Helper used across tests and benches: inject a raw packet from its
+/// source host.
+pub fn inject<D: Dataplane, A: HostAgent>(net: &mut Network<D, A>, pkt: Packet) {
+    net.agent_call(move |_a, _now, em| em.send(pkt));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::HostId;
+    use crate::packet::{ecmp_mix, PacketKind};
+    use crate::topology::LeafSpineBuilder;
+
+    /// Minimal ECMP-only dataplane for engine tests (the real policies live
+    /// in conga-core).
+    #[derive(Default)]
+    struct TestEcmp;
+
+    impl Dataplane for TestEcmp {
+        fn install(&mut self, _topo: &Topology, _fib: &Fib) {}
+        fn leaf_ingress(
+            &mut self,
+            leaf: LeafId,
+            pkt: &mut Packet,
+            candidates: &[ChannelId],
+            _now: SimTime,
+            _rng: &mut SimRng,
+        ) -> ChannelId {
+            let i = (ecmp_mix(pkt.flow_hash, leaf.0 as u64) % candidates.len() as u64) as usize;
+            candidates[i]
+        }
+        fn spine_forward(
+            &mut self,
+            spine: SpineId,
+            pkt: &mut Packet,
+            candidates: &[ChannelId],
+            _now: SimTime,
+            _rng: &mut SimRng,
+        ) -> ChannelId {
+            let i = (ecmp_mix(pkt.flow_hash, 1000 + spine.0 as u64) % candidates.len() as u64)
+                as usize;
+            candidates[i]
+        }
+        fn on_fabric_tx(&mut self, _ch: ChannelId, _pkt: &mut Packet, _now: SimTime) {}
+        fn leaf_egress(&mut self, _leaf: LeafId, _pkt: &Packet, _now: SimTime) {}
+        fn name(&self) -> &'static str {
+            "test-ecmp"
+        }
+    }
+
+    fn small_net() -> Network<TestEcmp, SinkAgent> {
+        let topo = LeafSpineBuilder::new(2, 2, 2)
+            .host_rate_gbps(10)
+            .fabric_rate_gbps(40)
+            .build();
+        Network::new(topo, TestEcmp, SinkAgent::default(), 1)
+    }
+
+    #[test]
+    fn packet_crosses_fabric_and_arrives() {
+        let mut net = small_net();
+        let pkt = Packet::data(0, 0, 7, HostId(0), HostId(2), 0, 1460, SimTime::ZERO);
+        inject(&mut net, pkt);
+        net.run_to_quiescence();
+        assert_eq!(net.agent.received.len(), 1);
+        let (t, p) = &net.agent.received[0];
+        assert_eq!(p.dst, HostId(2));
+        assert_eq!(p.payload, 1460);
+        // 4 hops of serialization + 4 propagation delays; must be non-zero.
+        assert!(t.as_nanos() > 4_000);
+        assert_eq!(net.stats.delivered_pkts, 1);
+        assert_eq!(net.stats.delivered_payload, 1460);
+    }
+
+    #[test]
+    fn same_leaf_traffic_skips_fabric() {
+        let mut net = small_net();
+        let pkt = Packet::data(0, 0, 7, HostId(0), HostId(1), 0, 1000, SimTime::ZERO);
+        inject(&mut net, pkt);
+        net.run_to_quiescence();
+        assert_eq!(net.agent.received.len(), 1);
+        // No fabric channel transmitted anything.
+        for (i, c) in net.topo.channels.clone().iter().enumerate() {
+            if c.kind.is_fabric() {
+                assert_eq!(net.port(ChannelId(i as u32)).tx_pkts, 0);
+            }
+        }
+    }
+
+    #[test]
+    fn overlay_is_stripped_at_destination_leaf() {
+        let mut net = small_net();
+        inject(
+            &mut net,
+            Packet::data(0, 0, 7, HostId(1), HostId(3), 0, 100, SimTime::ZERO),
+        );
+        net.run_to_quiescence();
+        assert!(net.agent.received[0].1.overlay.is_none());
+    }
+
+    #[test]
+    fn arrival_order_preserved_on_one_path() {
+        let mut net = small_net();
+        for seq in 0..50u64 {
+            inject(
+                &mut net,
+                Packet::data(0, 0, 7, HostId(0), HostId(2), seq, 1460, SimTime::ZERO),
+            );
+        }
+        net.run_to_quiescence();
+        let seqs: Vec<u64> = net.agent.received.iter().map(|(_, p)| p.seq).collect();
+        assert_eq!(seqs, (0..50).collect::<Vec<_>>(), "single flow must not reorder");
+    }
+
+    #[test]
+    fn timers_fire_in_order() {
+        struct TimerLog {
+            fired: Vec<(SimTime, u64)>,
+        }
+        impl HostAgent for TimerLog {
+            fn on_packet(&mut self, _p: Packet, _n: SimTime, _o: &mut Emitter) {}
+            fn on_timer(&mut self, token: u64, now: SimTime, _o: &mut Emitter) {
+                self.fired.push((now, token));
+            }
+        }
+        let topo = LeafSpineBuilder::new(2, 1, 1).build();
+        let mut net = Network::new(topo, TestEcmp, TimerLog { fired: Vec::new() }, 3);
+        net.schedule_timer(SimDuration::from_micros(30), 3);
+        net.schedule_timer(SimDuration::from_micros(10), 1);
+        net.schedule_timer(SimDuration::from_micros(20), 2);
+        net.run_to_quiescence();
+        let tokens: Vec<u64> = net.agent.fired.iter().map(|&(_, t)| t).collect();
+        assert_eq!(tokens, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn sampling_records_rows() {
+        let mut net = small_net();
+        let up0 = net.fib.leaf_uplinks[0].clone();
+        net.enable_sampling(up0, SimDuration::from_micros(100));
+        for _ in 0..10 {
+            inject(
+                &mut net,
+                Packet::data(0, 0, 9, HostId(0), HostId(2), 0, 1460, SimTime::ZERO),
+            );
+        }
+        net.run_until(SimTime::from_millis(1));
+        assert!(net.samples.times.len() >= 9, "got {}", net.samples.times.len());
+        assert_eq!(net.samples.queue_bytes.len(), 2);
+    }
+
+    #[test]
+    fn unroutable_counted_when_partitioned() {
+        // Fail every spine's link to leaf 1: leaf 0 cannot reach leaf 1.
+        let topo = LeafSpineBuilder::new(2, 2, 1)
+            .fail_link(1, 0, 0)
+            .fail_link(1, 1, 0)
+            .build();
+        let mut net = Network::new(topo, TestEcmp, SinkAgent::default(), 5);
+        inject(
+            &mut net,
+            Packet::data(0, 0, 7, HostId(0), HostId(1), 0, 100, SimTime::ZERO),
+        );
+        net.run_to_quiescence();
+        assert_eq!(net.stats.unroutable, 1);
+        assert!(net.agent.received.is_empty());
+    }
+
+    #[test]
+    fn ack_packets_flow_reverse() {
+        let mut net = small_net();
+        let ack = Packet::ack_for(0, 0, 7, HostId(2), HostId(0), 1460, SimTime::ZERO);
+        inject(&mut net, ack);
+        net.run_to_quiescence();
+        assert_eq!(net.agent.received.len(), 1);
+        assert_eq!(net.agent.received[0].1.kind, PacketKind::Ack);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let run = |seed: u64| -> Vec<u64> {
+            let mut net = small_net();
+            net.rng = SimRng::new(seed);
+            for f in 0..20u32 {
+                inject(
+                    &mut net,
+                    Packet::data(
+                        f,
+                        0,
+                        ecmp_mix(f as u64, 0xAB),
+                        HostId(0),
+                        HostId(2),
+                        0,
+                        1460,
+                        SimTime::ZERO,
+                    ),
+                );
+            }
+            net.run_to_quiescence();
+            net.agent
+                .received
+                .iter()
+                .map(|(t, _)| t.as_nanos())
+                .collect()
+        };
+        assert_eq!(run(11), run(11));
+    }
+}

@@ -1,0 +1,225 @@
+//! Per-channel transmit port: a byte-bounded drop-tail FIFO plus statistics.
+//!
+//! Each simplex [`crate::topology::Channel`] gets one `TxPort`. A packet that
+//! arrives while the serializer is busy waits in the FIFO; a packet that
+//! would push the queued byte count past the capacity is dropped (drop-tail,
+//! as in the paper's testbed switches). Occupancy is tracked as a
+//! time-weighted integral so experiments can report exact mean queue depths,
+//! and optionally sampled for CDFs (paper Figure 11c).
+
+use crate::packet::Packet;
+use conga_sim::{SimDuration, SimTime};
+use std::collections::VecDeque;
+
+/// Outcome of an enqueue attempt.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Enqueue {
+    /// Packet accepted and the serializer was idle: start transmitting now.
+    StartTx,
+    /// Packet accepted behind others (or behind the in-flight packet).
+    Queued,
+    /// Packet dropped: queue full.
+    Dropped,
+}
+
+/// Transmit side of one simplex channel.
+#[derive(Debug)]
+pub struct TxPort {
+    /// Line rate, bits per second.
+    pub rate_bps: u64,
+    /// Propagation delay to the far end.
+    pub delay: SimDuration,
+    /// Queue capacity in bytes.
+    pub cap: u64,
+    /// Whether a packet is currently being serialized.
+    pub busy: bool,
+    queue: VecDeque<Packet>,
+    queued_bytes: u64,
+
+    // ---- statistics ----
+    /// Total bytes transmitted (starts of transmission).
+    pub tx_bytes: u64,
+    /// Total packets transmitted.
+    pub tx_pkts: u64,
+    /// Packets dropped at the tail.
+    pub drops: u64,
+    /// Peak queued bytes observed.
+    pub max_queue: u64,
+    /// Time-weighted integral of queued bytes (bytes × ns), for mean depth.
+    occupancy_integral: u128,
+    last_change: SimTime,
+}
+
+impl TxPort {
+    /// Create a port for a channel with the given parameters.
+    pub fn new(rate_bps: u64, delay: SimDuration, cap: u64) -> Self {
+        TxPort {
+            rate_bps,
+            delay,
+            cap,
+            busy: false,
+            queue: VecDeque::new(),
+            queued_bytes: 0,
+            tx_bytes: 0,
+            tx_pkts: 0,
+            drops: 0,
+            max_queue: 0,
+            occupancy_integral: 0,
+            last_change: SimTime::ZERO,
+        }
+    }
+
+    fn account(&mut self, now: SimTime) {
+        let dt = now.saturating_since(self.last_change).as_nanos() as u128;
+        self.occupancy_integral += self.queued_bytes as u128 * dt;
+        self.last_change = now;
+    }
+
+    /// Try to enqueue `pkt`. On `StartTx` the caller must immediately call
+    /// [`TxPort::begin_tx`] to obtain the packet back and start serializing.
+    pub fn enqueue(&mut self, pkt: Packet, now: SimTime) -> Enqueue {
+        if self.queued_bytes + pkt.size as u64 > self.cap {
+            self.drops += 1;
+            return Enqueue::Dropped;
+        }
+        self.account(now);
+        self.queued_bytes += pkt.size as u64;
+        self.max_queue = self.max_queue.max(self.queued_bytes);
+        self.queue.push_back(pkt);
+        if self.busy {
+            Enqueue::Queued
+        } else {
+            Enqueue::StartTx
+        }
+    }
+
+    /// Pop the head packet and mark the serializer busy. Returns the packet
+    /// and its serialization time. Panics if the queue is empty or busy.
+    pub fn begin_tx(&mut self, now: SimTime) -> (Packet, SimDuration) {
+        assert!(!self.busy, "begin_tx on busy port");
+        self.account(now);
+        let pkt = self.queue.pop_front().expect("begin_tx on empty port");
+        self.queued_bytes -= pkt.size as u64;
+        self.busy = true;
+        self.tx_bytes += pkt.size as u64;
+        self.tx_pkts += 1;
+        let ser = SimDuration::serialization(pkt.size as u64, self.rate_bps);
+        (pkt, ser)
+    }
+
+    /// Serializer finished; returns true if another packet is waiting (the
+    /// caller should then `begin_tx` again).
+    pub fn tx_done(&mut self) -> bool {
+        debug_assert!(self.busy);
+        self.busy = false;
+        !self.queue.is_empty()
+    }
+
+    /// Bytes currently waiting (not counting the packet on the wire).
+    #[inline]
+    pub fn queued_bytes(&self) -> u64 {
+        self.queued_bytes
+    }
+
+    /// Packets currently waiting.
+    #[inline]
+    pub fn queued_pkts(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Mean queued bytes over `[0, now]`.
+    pub fn mean_queue_bytes(&mut self, now: SimTime) -> f64 {
+        self.account(now);
+        let t = now.as_nanos() as u128;
+        if t == 0 {
+            0.0
+        } else {
+            self.occupancy_integral as f64 / t as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::HostId;
+
+    fn pkt(bytes: u32) -> Packet {
+        let mut p = Packet::data(0, 0, 1, HostId(0), HostId(1), 0, 0, SimTime::ZERO);
+        p.size = bytes;
+        p
+    }
+
+    #[test]
+    fn idle_port_starts_tx_immediately() {
+        let mut p = TxPort::new(10_000_000_000, SimDuration::from_nanos(500), 10_000);
+        assert_eq!(p.enqueue(pkt(1500), SimTime::ZERO), Enqueue::StartTx);
+        let (pk, ser) = p.begin_tx(SimTime::ZERO);
+        assert_eq!(pk.size, 1500);
+        assert_eq!(ser.as_nanos(), 1200);
+        assert!(p.busy);
+        assert_eq!(p.queued_bytes(), 0);
+    }
+
+    #[test]
+    fn busy_port_queues_then_drains_fifo() {
+        let mut p = TxPort::new(10_000_000_000, SimDuration::ZERO, 10_000);
+        let t0 = SimTime::ZERO;
+        assert_eq!(p.enqueue(pkt(1000), t0), Enqueue::StartTx);
+        let _ = p.begin_tx(t0);
+        let mut a = pkt(100);
+        a.seq = 11;
+        let mut b = pkt(100);
+        b.seq = 22;
+        assert_eq!(p.enqueue(a, t0), Enqueue::Queued);
+        assert_eq!(p.enqueue(b, t0), Enqueue::Queued);
+        assert_eq!(p.queued_pkts(), 2);
+        assert!(p.tx_done());
+        let (first, _) = p.begin_tx(SimTime::from_nanos(800));
+        assert_eq!(first.seq, 11, "FIFO order");
+        assert!(p.tx_done());
+        let (second, _) = p.begin_tx(SimTime::from_nanos(880));
+        assert_eq!(second.seq, 22);
+        assert!(!p.tx_done());
+    }
+
+    #[test]
+    fn drop_tail_at_capacity() {
+        let mut p = TxPort::new(1_000_000_000, SimDuration::ZERO, 2500);
+        let t = SimTime::ZERO;
+        assert_eq!(p.enqueue(pkt(1500), t), Enqueue::StartTx);
+        let _ = p.begin_tx(t); // in flight, queue empty again
+        assert_eq!(p.enqueue(pkt(1500), t), Enqueue::Queued);
+        assert_eq!(p.enqueue(pkt(1500), t), Enqueue::Dropped, "2nd would exceed 2500B");
+        assert_eq!(p.drops, 1);
+        assert_eq!(p.enqueue(pkt(1000), t), Enqueue::Queued, "smaller one fits");
+        assert_eq!(p.queued_bytes(), 2500);
+    }
+
+    #[test]
+    fn occupancy_integral_tracks_time_weighted_mean() {
+        let mut p = TxPort::new(1_000_000_000, SimDuration::ZERO, 1 << 20);
+        // Occupy 1000 bytes for 100ns, then drain.
+        assert_eq!(p.enqueue(pkt(500), SimTime::ZERO), Enqueue::StartTx);
+        let _ = p.begin_tx(SimTime::ZERO);
+        p.enqueue(pkt(1000), SimTime::ZERO);
+        // At t=100ns the first finishes, second starts (queue empties).
+        p.tx_done();
+        let _ = p.begin_tx(SimTime::from_nanos(100));
+        // Mean over [0, 200ns]: 1000B * 100ns / 200ns = 500B.
+        assert!((p.mean_queue_bytes(SimTime::from_nanos(200)) - 500.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn counters_accumulate() {
+        let mut p = TxPort::new(40_000_000_000, SimDuration::ZERO, 1 << 20);
+        for _ in 0..5 {
+            assert_eq!(p.enqueue(pkt(1500), SimTime::ZERO), Enqueue::StartTx);
+            let _ = p.begin_tx(SimTime::ZERO);
+            p.tx_done();
+        }
+        assert_eq!(p.tx_pkts, 5);
+        assert_eq!(p.tx_bytes, 7500);
+        assert_eq!(p.max_queue, 1500);
+    }
+}

@@ -1,0 +1,554 @@
+//! Fabric topology description and forwarding tables.
+//!
+//! The primary deployment target of CONGA is the 2-tier Leaf-Spine (folded
+//! Clos) fabric of paper Figure 4: hosts attach to leaf switches, every leaf
+//! connects to every spine with one or more parallel links, and all
+//! leaf-to-leaf paths are exactly two fabric hops. [`LeafSpineBuilder`]
+//! constructs these, including the asymmetric variants the paper studies
+//! (failed links, degraded link rates, mixed speeds).
+//!
+//! After construction the [`Topology`] precomputes a forwarding information
+//! base ([`Fib`]): for every (leaf, destination-leaf) the candidate uplink
+//! channels, and for every (spine, destination-leaf) the candidate downlink
+//! channels. A candidate uplink is only valid for a destination if the spine
+//! it reaches still has at least one live link to that destination leaf —
+//! this is how routing (as opposed to load balancing) reacts to failures.
+
+use crate::ids::{ChannelId, HostId, LeafId, NodeId, SpineId};
+use crate::packet::MAX_LBTAG;
+use conga_sim::SimDuration;
+
+/// What role a channel plays in the fabric; used for statistics and to decide
+/// where DREs / CE marking apply (fabric links only).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ChannelKind {
+    /// Host NIC → leaf.
+    AccessUp,
+    /// Leaf → host NIC.
+    AccessDown,
+    /// Leaf → spine (a leaf *uplink*; carries an LBTag).
+    LeafUp,
+    /// Spine → leaf (a spine *downlink*).
+    SpineDown,
+}
+
+impl ChannelKind {
+    /// Fabric channels are the ones CONGA measures with DREs and marks CE on.
+    #[inline]
+    pub fn is_fabric(self) -> bool {
+        matches!(self, ChannelKind::LeafUp | ChannelKind::SpineDown)
+    }
+}
+
+/// One simplex channel: a directed (src → dst) wire with its own transmit
+/// queue, rate, and propagation delay.
+#[derive(Clone, Debug)]
+pub struct Channel {
+    /// Transmitting node.
+    pub src: NodeId,
+    /// Receiving node.
+    pub dst: NodeId,
+    /// Line rate in bits per second.
+    pub rate_bps: u64,
+    /// Propagation + pipeline delay.
+    pub delay: SimDuration,
+    /// Transmit queue capacity in bytes (drop-tail).
+    pub queue_cap: u64,
+    /// Role in the fabric.
+    pub kind: ChannelKind,
+}
+
+/// Buffer sizing profile applied when building a topology.
+#[derive(Clone, Copy, Debug)]
+pub struct QueueProfile {
+    /// Capacity of switch host-facing queues (leaf downlinks), bytes.
+    pub access_bytes: u64,
+    /// Capacity of fabric queues (leaf uplinks & spine ports), bytes.
+    pub fabric_bytes: u64,
+    /// Capacity of the host NIC transmit queue (the end-host qdisc), bytes.
+    /// Hosts buffer generously — drops belong to switches, not senders.
+    pub host_nic_bytes: u64,
+}
+
+impl Default for QueueProfile {
+    fn default() -> Self {
+        // Switch access ports are shallow (the paper leans on DCTCP-era
+        // shallow edge buffers for its Incast dynamics); fabric ports are
+        // deeper, matching the multi-MB occupancies of paper Figure 11(c).
+        QueueProfile {
+            // The testbed leaf ASIC has a ~12MB shared packet buffer with
+            // dynamic thresholds: a single hot access port can absorb a
+            // couple of MB before tail-dropping.
+            access_bytes: 2 * 1024 * 1024,
+            fabric_bytes: 12 * 1024 * 1024,
+            host_nic_bytes: 4 * 1024 * 1024,
+        }
+    }
+}
+
+/// A complete fabric: inventory of nodes plus the channel list.
+#[derive(Clone, Debug)]
+pub struct Topology {
+    /// Number of hosts.
+    pub n_hosts: u32,
+    /// Number of leaf switches.
+    pub n_leaves: u32,
+    /// Number of spine switches.
+    pub n_spines: u32,
+    /// The leaf each host attaches to.
+    pub host_leaf: Vec<LeafId>,
+    /// All simplex channels.
+    pub channels: Vec<Channel>,
+}
+
+impl Topology {
+    /// The leaf a host is attached to.
+    #[inline]
+    pub fn leaf_of(&self, h: HostId) -> LeafId {
+        self.host_leaf[h.idx()]
+    }
+
+    /// Channel lookup.
+    #[inline]
+    pub fn channel(&self, c: ChannelId) -> &Channel {
+        &self.channels[c.idx()]
+    }
+
+    /// Hosts attached to a given leaf.
+    pub fn hosts_under(&self, l: LeafId) -> Vec<HostId> {
+        (0..self.n_hosts)
+            .map(HostId)
+            .filter(|h| self.leaf_of(*h) == l)
+            .collect()
+    }
+
+    /// Build the forwarding tables for the current channel set.
+    pub fn fib(&self) -> Fib {
+        Fib::build(self)
+    }
+
+    /// Aggregate leaf-to-leaf bisection capacity in bits per second: the sum
+    /// of uplink rates of one leaf, bounded by the corresponding spine
+    /// downlink capacity toward each other leaf. Used to express offered
+    /// load as a fraction, matching the paper's load axis.
+    pub fn leaf_uplink_capacity(&self, l: LeafId) -> u64 {
+        self.channels
+            .iter()
+            .filter(|c| c.kind == ChannelKind::LeafUp && c.src == NodeId::Leaf(l))
+            .map(|c| c.rate_bps)
+            .sum()
+    }
+
+    /// Total access (host NIC) capacity under a leaf in bits per second.
+    pub fn access_capacity(&self, l: LeafId) -> u64 {
+        self.channels
+            .iter()
+            .filter(|c| c.kind == ChannelKind::AccessUp)
+            .filter(|c| matches!(c.src, NodeId::Host(h) if self.leaf_of(h) == l))
+            .map(|c| c.rate_bps)
+            .sum()
+    }
+}
+
+/// Forwarding information base: candidate channels per destination,
+/// precomputed once per topology so the per-packet path is just a vector
+/// index.
+#[derive(Clone, Debug)]
+pub struct Fib {
+    /// Host → its access uplink channel.
+    pub host_access: Vec<ChannelId>,
+    /// (leaf, local host) → downlink channel; indexed `[host]` globally.
+    pub host_down: Vec<ChannelId>,
+    /// All uplink channels of each leaf, ordered; the position of a channel
+    /// in this vector **is** its LBTag.
+    pub leaf_uplinks: Vec<Vec<ChannelId>>,
+    /// `up_candidates[leaf][dst_leaf]` — uplinks of `leaf` that can still
+    /// reach `dst_leaf` (spine has a live downlink to it).
+    pub up_candidates: Vec<Vec<Vec<ChannelId>>>,
+    /// `spine_down[spine][dst_leaf]` — live parallel channels spine→leaf.
+    pub spine_down: Vec<Vec<Vec<ChannelId>>>,
+    /// LBTag of each leaf-up channel (reverse map), indexed by channel.
+    pub lbtag_of: Vec<u8>,
+}
+
+impl Fib {
+    fn build(t: &Topology) -> Fib {
+        let nl = t.n_leaves as usize;
+        let ns = t.n_spines as usize;
+        let nc = t.channels.len();
+
+        let mut host_access = vec![ChannelId(u32::MAX); t.n_hosts as usize];
+        let mut host_down = vec![ChannelId(u32::MAX); t.n_hosts as usize];
+        let mut leaf_uplinks: Vec<Vec<ChannelId>> = vec![Vec::new(); nl];
+        let mut spine_down: Vec<Vec<Vec<ChannelId>>> = vec![vec![Vec::new(); nl]; ns];
+        let mut lbtag_of = vec![u8::MAX; nc];
+
+        for (i, c) in t.channels.iter().enumerate() {
+            let id = ChannelId(i as u32);
+            match (c.kind, c.src, c.dst) {
+                (ChannelKind::AccessUp, NodeId::Host(h), NodeId::Leaf(_)) => {
+                    host_access[h.idx()] = id;
+                }
+                (ChannelKind::AccessDown, NodeId::Leaf(_), NodeId::Host(h)) => {
+                    host_down[h.idx()] = id;
+                }
+                (ChannelKind::LeafUp, NodeId::Leaf(l), NodeId::Spine(_)) => {
+                    leaf_uplinks[l.idx()].push(id);
+                }
+                (ChannelKind::SpineDown, NodeId::Spine(s), NodeId::Leaf(m)) => {
+                    spine_down[s.idx()][m.idx()].push(id);
+                }
+                _ => panic!("inconsistent channel: {c:?}"),
+            }
+        }
+
+        for ups in &leaf_uplinks {
+            assert!(
+                ups.len() <= MAX_LBTAG,
+                "leaf has {} uplinks; LBTag is 4 bits (max {MAX_LBTAG})",
+                ups.len()
+            );
+        }
+        for (l, ups) in leaf_uplinks.iter().enumerate() {
+            for (tag, ch) in ups.iter().enumerate() {
+                let _ = l;
+                lbtag_of[ch.idx()] = tag as u8;
+            }
+        }
+
+        // An uplink leaf→spine s is a candidate for dst leaf m iff spine s
+        // still has at least one live channel to m.
+        let mut up_candidates = vec![vec![Vec::new(); nl]; nl];
+        for (l, ups) in leaf_uplinks.iter().enumerate() {
+            for m in 0..nl {
+                if m == l {
+                    continue;
+                }
+                for &u in ups {
+                    let NodeId::Spine(s) = t.channel(u).dst else {
+                        unreachable!()
+                    };
+                    if !spine_down[s.idx()][m].is_empty() {
+                        up_candidates[l][m].push(u);
+                    }
+                }
+            }
+        }
+
+        Fib {
+            host_access,
+            host_down,
+            leaf_uplinks,
+            up_candidates,
+            spine_down,
+            lbtag_of,
+        }
+    }
+
+    /// Number of distinct leaf-to-leaf paths from `l` to `m` (through any
+    /// spine and any parallel link pair).
+    pub fn path_count(&self, t: &Topology, l: LeafId, m: LeafId) -> usize {
+        self.up_candidates[l.idx()][m.idx()]
+            .iter()
+            .map(|&u| {
+                let NodeId::Spine(s) = t.channel(u).dst else {
+                    unreachable!()
+                };
+                self.spine_down[s.idx()][m.idx()].len()
+            })
+            .sum()
+    }
+}
+
+/// Builder for (possibly asymmetric) Leaf-Spine fabrics.
+///
+/// ```
+/// use conga_net::LeafSpineBuilder;
+///
+/// // The paper's testbed: 2 leaves, 2 spines, 32 hosts/leaf, 10G access,
+/// // 2x40G uplinks per leaf-spine pair (Figure 7a).
+/// let topo = LeafSpineBuilder::new(2, 2, 32)
+///     .host_rate_gbps(10)
+///     .fabric_rate_gbps(40)
+///     .parallel_links(2)
+///     .build();
+/// assert_eq!(topo.n_hosts, 64);
+/// let fib = topo.fib();
+/// assert_eq!(fib.leaf_uplinks[0].len(), 4); // 2 spines x 2 parallel links
+/// ```
+#[derive(Clone, Debug)]
+pub struct LeafSpineBuilder {
+    n_leaves: u32,
+    n_spines: u32,
+    hosts_per_leaf: u32,
+    host_rate: u64,
+    fabric_rate: u64,
+    parallel: u32,
+    host_delay: SimDuration,
+    fabric_delay: SimDuration,
+    queues: QueueProfile,
+    /// (leaf, spine, parallel index) links to delete entirely.
+    failed: Vec<(u32, u32, u32)>,
+    /// (leaf, spine, parallel index, new rate) rate overrides.
+    overrides: Vec<(u32, u32, u32, u64)>,
+}
+
+impl LeafSpineBuilder {
+    /// Start a fabric with the given switch counts and hosts per leaf.
+    pub fn new(n_leaves: u32, n_spines: u32, hosts_per_leaf: u32) -> Self {
+        LeafSpineBuilder {
+            n_leaves,
+            n_spines,
+            hosts_per_leaf,
+            host_rate: 10_000_000_000,
+            fabric_rate: 40_000_000_000,
+            parallel: 1,
+            // Host links carry the NIC + kernel stack latency (several us
+            // each way in the paper's era); fabric hops are cut-through
+            // switch pipelines (~1 us). Base leaf-to-leaf RTT ~ 25 us.
+            host_delay: SimDuration::from_nanos(4_000),
+            fabric_delay: SimDuration::from_nanos(1_000),
+            queues: QueueProfile::default(),
+            failed: Vec::new(),
+            overrides: Vec::new(),
+        }
+    }
+
+    /// Host NIC rate in Gbps.
+    pub fn host_rate_gbps(mut self, g: u64) -> Self {
+        self.host_rate = g * 1_000_000_000;
+        self
+    }
+
+    /// Fabric link rate in Gbps.
+    pub fn fabric_rate_gbps(mut self, g: u64) -> Self {
+        self.fabric_rate = g * 1_000_000_000;
+        self
+    }
+
+    /// Number of parallel links between each leaf-spine pair.
+    pub fn parallel_links(mut self, k: u32) -> Self {
+        self.parallel = k;
+        self
+    }
+
+    /// Per-hop propagation/pipeline delay for all links.
+    pub fn link_delay(mut self, d: SimDuration) -> Self {
+        self.host_delay = d;
+        self.fabric_delay = d;
+        self
+    }
+
+    /// Queue capacities.
+    pub fn queue_profile(mut self, q: QueueProfile) -> Self {
+        self.queues = q;
+        self
+    }
+
+    /// Remove one parallel link between `leaf` and `spine` (both directions)
+    /// — the paper's Figure 7(b) failure.
+    pub fn fail_link(mut self, leaf: u32, spine: u32, parallel_idx: u32) -> Self {
+        self.failed.push((leaf, spine, parallel_idx));
+        self
+    }
+
+    /// Override the rate of one parallel link (both directions), modelling a
+    /// degraded LAG or a mixed-speed fabric (paper Figure 2's half-rate link).
+    pub fn override_link_rate_gbps(
+        mut self,
+        leaf: u32,
+        spine: u32,
+        parallel_idx: u32,
+        gbps: u64,
+    ) -> Self {
+        self.overrides
+            .push((leaf, spine, parallel_idx, gbps * 1_000_000_000));
+        self
+    }
+
+    /// Construct the topology.
+    pub fn build(self) -> Topology {
+        let n_hosts = self.n_leaves * self.hosts_per_leaf;
+        let mut host_leaf = Vec::with_capacity(n_hosts as usize);
+        let mut channels = Vec::new();
+
+        for l in 0..self.n_leaves {
+            for _ in 0..self.hosts_per_leaf {
+                host_leaf.push(LeafId(l));
+            }
+        }
+
+        // Access links (both directions per host).
+        for h in 0..n_hosts {
+            let l = host_leaf[h as usize];
+            channels.push(Channel {
+                src: NodeId::Host(HostId(h)),
+                dst: NodeId::Leaf(l),
+                rate_bps: self.host_rate,
+                delay: self.host_delay,
+                queue_cap: self.queues.host_nic_bytes,
+                kind: ChannelKind::AccessUp,
+            });
+            channels.push(Channel {
+                src: NodeId::Leaf(l),
+                dst: NodeId::Host(HostId(h)),
+                rate_bps: self.host_rate,
+                delay: self.host_delay,
+                queue_cap: self.queues.access_bytes,
+                kind: ChannelKind::AccessDown,
+            });
+        }
+
+        // Fabric links: for each (leaf, spine, parallel idx) that survives.
+        for l in 0..self.n_leaves {
+            for s in 0..self.n_spines {
+                for p in 0..self.parallel {
+                    if self.failed.contains(&(l, s, p)) {
+                        continue;
+                    }
+                    let rate = self
+                        .overrides
+                        .iter()
+                        .find(|&&(ol, os, op, _)| (ol, os, op) == (l, s, p))
+                        .map(|&(_, _, _, r)| r)
+                        .unwrap_or(self.fabric_rate);
+                    channels.push(Channel {
+                        src: NodeId::Leaf(LeafId(l)),
+                        dst: NodeId::Spine(SpineId(s)),
+                        rate_bps: rate,
+                        delay: self.fabric_delay,
+                        queue_cap: self.queues.fabric_bytes,
+                        kind: ChannelKind::LeafUp,
+                    });
+                    channels.push(Channel {
+                        src: NodeId::Spine(SpineId(s)),
+                        dst: NodeId::Leaf(LeafId(l)),
+                        rate_bps: rate,
+                        delay: self.fabric_delay,
+                        queue_cap: self.queues.fabric_bytes,
+                        kind: ChannelKind::SpineDown,
+                    });
+                }
+            }
+        }
+
+        Topology {
+            n_hosts,
+            n_leaves: self.n_leaves,
+            n_spines: self.n_spines,
+            host_leaf,
+            channels,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn testbed() -> Topology {
+        LeafSpineBuilder::new(2, 2, 32)
+            .host_rate_gbps(10)
+            .fabric_rate_gbps(40)
+            .parallel_links(2)
+            .build()
+    }
+
+    #[test]
+    fn testbed_shape_matches_paper_fig7a() {
+        let t = testbed();
+        assert_eq!(t.n_hosts, 64);
+        assert_eq!(t.channels.len(), 64 * 2 + 2 * 2 * 2 * 2);
+        let fib = t.fib();
+        for l in 0..2 {
+            assert_eq!(fib.leaf_uplinks[l].len(), 4, "2 spines x 2 parallel");
+        }
+        // 2:1 oversubscription: 320G access vs 160G uplink per leaf.
+        assert_eq!(t.access_capacity(LeafId(0)), 320_000_000_000);
+        assert_eq!(t.leaf_uplink_capacity(LeafId(0)), 160_000_000_000);
+        assert_eq!(fib.path_count(&t, LeafId(0), LeafId(1)), 8);
+    }
+
+    #[test]
+    fn lbtags_are_dense_and_within_field_width() {
+        let t = testbed();
+        let fib = t.fib();
+        for l in 0..2usize {
+            let tags: Vec<u8> = fib.leaf_uplinks[l]
+                .iter()
+                .map(|c| fib.lbtag_of[c.idx()])
+                .collect();
+            assert_eq!(tags, vec![0, 1, 2, 3]);
+        }
+    }
+
+    #[test]
+    fn failed_link_removes_both_directions_and_prunes_candidates() {
+        let t = LeafSpineBuilder::new(2, 2, 4)
+            .parallel_links(2)
+            .fail_link(1, 1, 0)
+            .build();
+        let fib = t.fib();
+        // Leaf 1 lost one uplink.
+        assert_eq!(fib.leaf_uplinks[1].len(), 3);
+        assert_eq!(fib.leaf_uplinks[0].len(), 4);
+        // Spine 1 now has a single channel to leaf 1.
+        assert_eq!(fib.spine_down[1][1].len(), 1);
+        // All of leaf 0's uplinks still reach leaf 1 (spine 1 retains one link).
+        assert_eq!(fib.up_candidates[0][1].len(), 4);
+        assert_eq!(fib.path_count(&t, LeafId(0), LeafId(1)), 2 * 2 + 2);
+    }
+
+    #[test]
+    fn fully_failed_spine_is_not_a_candidate() {
+        // Kill both parallel links spine1<->leaf1: leaf0 must stop using
+        // spine 1 for traffic to leaf 1 entirely.
+        let t = LeafSpineBuilder::new(2, 2, 4)
+            .parallel_links(2)
+            .fail_link(1, 1, 0)
+            .fail_link(1, 1, 1)
+            .build();
+        let fib = t.fib();
+        let cands = &fib.up_candidates[0][1];
+        assert_eq!(cands.len(), 2);
+        for &u in cands {
+            assert_eq!(t.channel(u).dst, NodeId::Spine(SpineId(0)));
+        }
+    }
+
+    #[test]
+    fn rate_override_applies_to_both_directions() {
+        let t = LeafSpineBuilder::new(2, 2, 1)
+            .fabric_rate_gbps(80)
+            .override_link_rate_gbps(1, 1, 0, 40)
+            .build();
+        let slow: Vec<&Channel> = t
+            .channels
+            .iter()
+            .filter(|c| c.rate_bps == 40_000_000_000 && c.kind.is_fabric())
+            .collect();
+        assert_eq!(slow.len(), 2);
+    }
+
+    #[test]
+    fn hosts_map_to_leaves_in_blocks() {
+        let t = testbed();
+        assert_eq!(t.leaf_of(HostId(0)), LeafId(0));
+        assert_eq!(t.leaf_of(HostId(31)), LeafId(0));
+        assert_eq!(t.leaf_of(HostId(32)), LeafId(1));
+        assert_eq!(t.hosts_under(LeafId(1)).len(), 32);
+    }
+
+    #[test]
+    fn large_fabric_fig16_shape() {
+        // Paper Figure 16: 6 leaves x 4 spines x 3 parallel 40G links.
+        let t = LeafSpineBuilder::new(6, 4, 8)
+            .parallel_links(3)
+            .build();
+        let fib = t.fib();
+        for l in 0..6 {
+            assert_eq!(fib.leaf_uplinks[l].len(), 12);
+        }
+        assert_eq!(fib.path_count(&t, LeafId(0), LeafId(5)), 12 * 3);
+    }
+}

@@ -1,0 +1,129 @@
+//! Property tests for the network substrate.
+
+use conga_net::{
+    ecmp_mix, Channel, ChannelId, ChannelKind, Enqueue, HostId, LeafSpineBuilder, NodeId,
+    Packet, TxPort,
+};
+use conga_sim::{SimDuration, SimTime};
+use proptest::prelude::*;
+
+proptest! {
+    /// FIB invariants on arbitrary Leaf-Spine shapes: every candidate
+    /// uplink leaves the right leaf, reaches a spine that still serves the
+    /// destination, and LBTags stay within the 4-bit field.
+    #[test]
+    fn fib_candidates_are_sound(
+        leaves in 2u32..6,
+        spines in 1u32..5,
+        parallel in 1u32..4,
+        fail_bits in any::<u64>(),
+    ) {
+        prop_assume!(spines * parallel <= 16);
+        let mut b = LeafSpineBuilder::new(leaves, spines, 2).parallel_links(parallel);
+        // Fail a pseudo-random subset of links (never all of a leaf's).
+        let mut killed = 0;
+        'outer: for l in 0..leaves {
+            for s in 0..spines {
+                for p in 0..parallel {
+                    let bit = (l * 16 + s * 4 + p) % 64;
+                    if fail_bits >> bit & 1 == 1 && killed < (spines * parallel - 1) {
+                        b = b.fail_link(l, s, p);
+                        killed += 1;
+                        if killed > 6 { break 'outer; }
+                    }
+                }
+            }
+        }
+        let topo = b.build();
+        let fib = topo.fib();
+        for l in 0..leaves as usize {
+            for (tag, &u) in fib.leaf_uplinks[l].iter().enumerate() {
+                prop_assert!(tag < 16);
+                prop_assert_eq!(fib.lbtag_of[u.idx()] as usize, tag);
+                let c: &Channel = topo.channel(u);
+                prop_assert_eq!(c.kind, ChannelKind::LeafUp);
+                prop_assert!(matches!(c.src, NodeId::Leaf(x) if x.idx() == l));
+            }
+            for m in 0..leaves as usize {
+                if m == l { continue; }
+                for &u in &fib.up_candidates[l][m] {
+                    let NodeId::Spine(s) = topo.channel(u).dst else {
+                        return Err(TestCaseError::fail("uplink not to a spine"));
+                    };
+                    prop_assert!(
+                        !fib.spine_down[s.idx()][m].is_empty(),
+                        "candidate via a spine with no path to dst"
+                    );
+                }
+            }
+        }
+    }
+
+    /// The drop-tail port conserves packets: accepted == transmitted +
+    /// still queued (+ the in-flight one), and never exceeds capacity.
+    #[test]
+    fn txport_conserves_packets(sizes in proptest::collection::vec(64u32..9000, 1..100), cap in 5_000u64..50_000) {
+        let mut p = TxPort::new(10_000_000_000, SimDuration::ZERO, cap);
+        let mut accepted = 0u64;
+        let mut transmitted = 0u64;
+        let mut busy = false;
+        let now = SimTime::ZERO;
+        for (i, &sz) in sizes.iter().enumerate() {
+            let mut pkt = Packet::data(i as u32, 0, i as u64, HostId(0), HostId(1), 0, 0, now);
+            pkt.size = sz;
+            match p.enqueue(pkt, now) {
+                Enqueue::StartTx => {
+                    prop_assert!(!busy);
+                    let _ = p.begin_tx(now);
+                    busy = true;
+                    accepted += 1;
+                    transmitted += 1;
+                }
+                Enqueue::Queued => {
+                    accepted += 1;
+                    prop_assert!(p.queued_bytes() <= cap);
+                }
+                Enqueue::Dropped => {}
+            }
+            // Occasionally drain one.
+            if busy && i % 3 == 0 {
+                if p.tx_done() {
+                    let _ = p.begin_tx(now);
+                    transmitted += 1;
+                } else {
+                    busy = false;
+                }
+            }
+        }
+        prop_assert_eq!(accepted, transmitted + p.queued_pkts() as u64);
+        prop_assert_eq!(p.tx_pkts, transmitted);
+    }
+
+    /// ecmp_mix is a bijection-quality mixer: distinct inputs rarely
+    /// collide mod small n, and the same input always maps identically.
+    #[test]
+    fn ecmp_mix_uniformity(salt in any::<u64>()) {
+        let n = 4u64;
+        let mut counts = [0u32; 4];
+        for f in 0..2000u64 {
+            counts[(ecmp_mix(f, salt) % n) as usize] += 1;
+        }
+        for &c in &counts {
+            prop_assert!((350..=650).contains(&c), "bucket {c}/2000");
+        }
+    }
+
+    /// SACK blocks: push/iter round-trips up to three blocks, ignores more.
+    #[test]
+    fn sack_blocks_capacity(ranges in proptest::collection::vec((0u64..1000, 1u64..100), 0..6)) {
+        use conga_net::SackBlocks;
+        let mut b = SackBlocks::default();
+        for &(s, l) in &ranges {
+            b.push(s, s + l);
+        }
+        let got: Vec<(u64, u64)> = b.iter().collect();
+        let expect: Vec<(u64, u64)> =
+            ranges.iter().take(3).map(|&(s, l)| (s, s + l)).collect();
+        prop_assert_eq!(got, expect);
+    }
+}

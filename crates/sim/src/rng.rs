@@ -1,0 +1,219 @@
+//! Deterministic randomness for simulations.
+//!
+//! All stochastic behaviour in the workspace flows through [`SimRng`], a thin
+//! wrapper over a seeded PCG-64 generator, so an experiment is fully
+//! reproducible from `(code, seed)`. The wrapper also carries the handful of
+//! distributions the workload models need (exponential, lognormal,
+//! bounded-Pareto, discrete CDF sampling) implemented directly from their
+//! inverse CDFs / Box–Muller so we do not need the `rand_distr` crate.
+
+use rand::{Rng, RngCore, SeedableRng};
+use rand_pcg::Pcg64Mcg;
+
+/// A seeded, deterministic random number generator for simulation use.
+#[derive(Debug, Clone)]
+pub struct SimRng {
+    inner: Pcg64Mcg,
+    /// Cached second normal variate from Box–Muller.
+    spare_normal: Option<f64>,
+}
+
+impl SimRng {
+    /// Create a generator from a 64-bit seed.
+    pub fn new(seed: u64) -> Self {
+        SimRng {
+            inner: Pcg64Mcg::seed_from_u64(seed),
+            spare_normal: None,
+        }
+    }
+
+    /// Derive an independent child generator; useful for giving each
+    /// component its own stream so adding draws in one place does not perturb
+    /// another (a classic simulation-reproducibility pitfall).
+    pub fn fork(&mut self, label: u64) -> SimRng {
+        // Mix the label in so forks with different labels differ even when
+        // made back-to-back.
+        let seed = self.inner.next_u64() ^ label.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        SimRng::new(seed)
+    }
+
+    /// Uniform in `[0, 1)`.
+    #[inline]
+    pub fn f64(&mut self) -> f64 {
+        self.inner.gen::<f64>()
+    }
+
+    /// Uniform integer in `[0, n)`. Panics if `n == 0`.
+    #[inline]
+    pub fn below(&mut self, n: usize) -> usize {
+        self.inner.gen_range(0..n)
+    }
+
+    /// Uniform integer in `[lo, hi)`.
+    #[inline]
+    pub fn range_u64(&mut self, lo: u64, hi: u64) -> u64 {
+        self.inner.gen_range(lo..hi)
+    }
+
+    /// A raw 64-bit draw (e.g. for hash seeds).
+    #[inline]
+    pub fn u64(&mut self) -> u64 {
+        self.inner.next_u64()
+    }
+
+    /// Bernoulli trial with probability `p`.
+    #[inline]
+    pub fn chance(&mut self, p: f64) -> bool {
+        self.f64() < p
+    }
+
+    /// Exponential variate with the given rate (mean `1/rate`), via inverse CDF.
+    #[inline]
+    pub fn exp(&mut self, rate: f64) -> f64 {
+        debug_assert!(rate > 0.0);
+        // 1 - U is in (0, 1], avoiding ln(0).
+        -(1.0 - self.f64()).ln() / rate
+    }
+
+    /// Standard normal variate via Box–Muller (caches the paired draw).
+    pub fn std_normal(&mut self) -> f64 {
+        if let Some(z) = self.spare_normal.take() {
+            return z;
+        }
+        // Draw u in (0,1] to keep ln finite.
+        let u = 1.0 - self.f64();
+        let v = self.f64();
+        let r = (-2.0 * u.ln()).sqrt();
+        let theta = 2.0 * std::f64::consts::PI * v;
+        self.spare_normal = Some(r * theta.sin());
+        r * theta.cos()
+    }
+
+    /// Lognormal variate with the given parameters of the underlying normal.
+    #[inline]
+    pub fn lognormal(&mut self, mu: f64, sigma: f64) -> f64 {
+        (mu + sigma * self.std_normal()).exp()
+    }
+
+    /// Bounded Pareto variate on `[lo, hi]` with shape `alpha`, via inverse CDF.
+    pub fn bounded_pareto(&mut self, lo: f64, hi: f64, alpha: f64) -> f64 {
+        debug_assert!(lo > 0.0 && hi > lo && alpha > 0.0);
+        let u = self.f64();
+        let la = lo.powf(alpha);
+        let ha = hi.powf(alpha);
+        // Inverse CDF of the bounded Pareto.
+        (-(u * ha - u * la - ha) / (ha * la)).powf(-1.0 / alpha)
+    }
+
+    /// Sample an index from a discrete CDF given as non-decreasing cumulative
+    /// probabilities ending at (approximately) 1.0.
+    pub fn discrete_cdf(&mut self, cdf: &[f64]) -> usize {
+        debug_assert!(!cdf.is_empty());
+        let u = self.f64();
+        match cdf.binary_search_by(|p| p.partial_cmp(&u).expect("NaN in CDF")) {
+            Ok(i) => (i + 1).min(cdf.len() - 1),
+            Err(i) => i.min(cdf.len() - 1),
+        }
+    }
+
+    /// Fisher–Yates shuffle.
+    pub fn shuffle<T>(&mut self, xs: &mut [T]) {
+        for i in (1..xs.len()).rev() {
+            let j = self.below(i + 1);
+            xs.swap(i, j);
+        }
+    }
+
+    /// Choose a uniformly random element of a non-empty slice.
+    pub fn choose<'a, T>(&mut self, xs: &'a [T]) -> &'a T {
+        &xs[self.below(xs.len())]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_from_seed() {
+        let mut a = SimRng::new(42);
+        let mut b = SimRng::new(42);
+        for _ in 0..1000 {
+            assert_eq!(a.u64(), b.u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = SimRng::new(1);
+        let mut b = SimRng::new(2);
+        let same = (0..64).filter(|_| a.u64() == b.u64()).count();
+        assert_eq!(same, 0);
+    }
+
+    #[test]
+    fn fork_streams_are_independent_and_deterministic() {
+        let mut parent1 = SimRng::new(7);
+        let mut parent2 = SimRng::new(7);
+        let mut c1 = parent1.fork(1);
+        let mut c2 = parent2.fork(1);
+        for _ in 0..100 {
+            assert_eq!(c1.u64(), c2.u64());
+        }
+        let mut d1 = parent1.fork(2);
+        assert_ne!(c1.u64(), d1.u64());
+    }
+
+    #[test]
+    fn exp_mean_close() {
+        let mut rng = SimRng::new(3);
+        let n = 200_000;
+        let mean: f64 = (0..n).map(|_| rng.exp(2.0)).sum::<f64>() / n as f64;
+        assert!((mean - 0.5).abs() < 0.01, "mean was {mean}");
+    }
+
+    #[test]
+    fn normal_moments_close() {
+        let mut rng = SimRng::new(4);
+        let n = 200_000;
+        let xs: Vec<f64> = (0..n).map(|_| rng.std_normal()).collect();
+        let mean = xs.iter().sum::<f64>() / n as f64;
+        let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.01, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.02, "var {var}");
+    }
+
+    #[test]
+    fn bounded_pareto_respects_bounds() {
+        let mut rng = SimRng::new(5);
+        for _ in 0..10_000 {
+            let x = rng.bounded_pareto(1e3, 1e8, 0.5);
+            assert!((1e3..=1e8).contains(&x), "out of bounds: {x}");
+        }
+    }
+
+    #[test]
+    fn discrete_cdf_frequencies() {
+        let mut rng = SimRng::new(6);
+        let cdf = [0.1, 0.4, 1.0];
+        let mut counts = [0usize; 3];
+        let n = 100_000;
+        for _ in 0..n {
+            counts[rng.discrete_cdf(&cdf)] += 1;
+        }
+        let p: Vec<f64> = counts.iter().map(|&c| c as f64 / n as f64).collect();
+        assert!((p[0] - 0.1).abs() < 0.01);
+        assert!((p[1] - 0.3).abs() < 0.01);
+        assert!((p[2] - 0.6).abs() < 0.01);
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut rng = SimRng::new(8);
+        let mut xs: Vec<u32> = (0..100).collect();
+        rng.shuffle(&mut xs);
+        let mut sorted = xs.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..100).collect::<Vec<_>>());
+    }
+}

@@ -1,0 +1,593 @@
+//! The end-host stack: a [`conga_net::HostAgent`] that runs every flow in
+//! the simulation — plain TCP, MPTCP (N subflows with LIA coupling), and
+//! constant-bit-rate senders — and records per-flow completion times.
+//!
+//! Flow identities map directly onto packets: `Packet::flow` indexes
+//! [`TransportLayer::records`], and `Packet::subflow` selects the MPTCP
+//! subflow (0 for plain TCP). Each subflow has a distinct `flow_hash`
+//! (standing in for its 5-tuple), which is what lets ECMP place MPTCP
+//! subflows on distinct paths.
+
+use crate::config::{MptcpConfig, TcpConfig};
+use crate::tcp::{Lia, Segment, TcpRx, TcpTx};
+use conga_net::{flow_tuple_hash, Emitter, HostAgent, HostId, Packet, PacketKind};
+use conga_sim::{SimDuration, SimTime};
+
+/// Which transport a flow uses.
+#[derive(Clone, Copy, Debug)]
+pub enum TransportKind {
+    /// Single-path TCP.
+    Tcp(TcpConfig),
+    /// Multipath TCP with LIA coupled congestion control.
+    Mptcp(MptcpConfig),
+    /// Unreliable constant-bit-rate sender (for controlled experiments).
+    Cbr {
+        /// Sending rate, bits per second.
+        rate_bps: u64,
+        /// Payload bytes per packet.
+        pkt_bytes: u32,
+    },
+}
+
+/// A flow to start: who, to whom, how much, and over which transport.
+#[derive(Clone, Copy, Debug)]
+pub struct FlowSpec {
+    /// Sending host.
+    pub src: HostId,
+    /// Receiving host.
+    pub dst: HostId,
+    /// Application bytes to transfer (`u64::MAX` for an unbounded CBR).
+    pub bytes: u64,
+    /// Transport.
+    pub kind: TransportKind,
+}
+
+/// Completion record for one flow.
+#[derive(Clone, Copy, Debug)]
+pub struct FlowRecord {
+    /// Sending host.
+    pub src: HostId,
+    /// Receiving host.
+    pub dst: HostId,
+    /// Application bytes.
+    pub bytes: u64,
+    /// Start time.
+    pub start: SimTime,
+    /// When the receiver had every byte (the FCT endpoint used throughout
+    /// the experiments).
+    pub rx_done: Option<SimTime>,
+    /// When the sender had every byte ACKed.
+    pub tx_done: Option<SimTime>,
+    /// Total bytes retransmitted across subflows.
+    pub retx_bytes: u64,
+    /// Total RTO firings across subflows.
+    pub timeouts: u64,
+}
+
+impl FlowRecord {
+    /// Receiver-side flow completion time, if the flow finished.
+    pub fn fct(&self) -> Option<SimDuration> {
+        self.rx_done.map(|t| t.saturating_since(self.start))
+    }
+}
+
+/// An open-loop source of flow arrivals (implemented by the workload crate;
+/// adapted in the experiment harness).
+pub trait FlowSource {
+    /// The next arrival: delay after the *previous* arrival, plus the spec.
+    /// `None` ends the workload.
+    fn next_flow(&mut self) -> Option<(SimDuration, FlowSpec)>;
+}
+
+/// A pre-materialized list of arrivals.
+pub struct ListSource {
+    items: std::vec::IntoIter<(SimDuration, FlowSpec)>,
+}
+
+impl ListSource {
+    /// Wrap a list of `(inter-arrival gap, spec)` pairs.
+    pub fn new(items: Vec<(SimDuration, FlowSpec)>) -> Self {
+        ListSource {
+            items: items.into_iter(),
+        }
+    }
+}
+
+impl FlowSource for ListSource {
+    fn next_flow(&mut self) -> Option<(SimDuration, FlowSpec)> {
+        self.items.next()
+    }
+}
+
+// ---- timer token layout -----------------------------------------------
+// [63:28] flow | [27:12] subflow | [11:4] generation | [3:0] kind
+const KIND_ARRIVAL: u64 = 0;
+const KIND_RTO: u64 = 1;
+const KIND_CBR: u64 = 2;
+
+fn token(flow: usize, sub: usize, gen: u8, kind: u64) -> u64 {
+    ((flow as u64) << 28) | ((sub as u64) << 12) | ((gen as u64) << 4) | kind
+}
+
+fn untoken(t: u64) -> (usize, usize, u8, u64) {
+    (
+        (t >> 28) as usize,
+        ((t >> 12) & 0xFFFF) as usize,
+        ((t >> 4) & 0xFF) as u8,
+        t & 0xF,
+    )
+}
+
+#[derive(Debug)]
+struct SubflowRt {
+    tx: TcpTx,
+    rx: TcpRx,
+    flow_hash: u64,
+    /// The retransmission timer: a single pending event per subflow. Every
+    /// ACK pushes `rto_deadline` forward; when the event fires early it
+    /// simply re-sleeps until the current deadline (avoiding one event per
+    /// ACK, and the aliasing bugs of generation counters).
+    rto_deadline: SimTime,
+    rto_pending: bool,
+    rto_armed: bool,
+}
+
+#[derive(Debug)]
+struct FlowRt {
+    spec: FlowSpec,
+    subflows: Vec<SubflowRt>,
+    /// MPTCP: bytes not yet assigned to any subflow.
+    unassigned: u64,
+    /// CBR: bytes left to emit, and payload delivered.
+    cbr_remaining: u64,
+    cbr_delivered: u64,
+    rx_complete: bool,
+    tx_complete: bool,
+}
+
+/// The end-host transport stack for the whole simulation.
+#[derive(Default)]
+pub struct TransportLayer {
+    flows: Vec<FlowRt>,
+    /// One record per started flow, indexed by flow id.
+    pub records: Vec<FlowRecord>,
+    /// Flows whose receiver has every byte.
+    pub completed_rx: usize,
+    source: Option<Box<dyn FlowSource>>,
+    /// Spec pulled from the source, waiting for its arrival timer to fire.
+    pending_first: Option<FlowSpec>,
+}
+
+impl TransportLayer {
+    /// An empty stack; start flows with [`TransportLayer::start_flow`] or
+    /// attach a workload with [`TransportLayer::attach_source`].
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Attach an arrival source. The caller must kick it off by scheduling
+    /// the first arrival: `net.schedule_timer(delay0, 0)` where `delay0`
+    /// comes from the first `next_flow()` call — or more simply via
+    /// [`TransportLayer::begin_source`].
+    pub fn attach_source(&mut self, source: Box<dyn FlowSource>) {
+        self.source = Some(source);
+    }
+
+    /// Pull the first arrival's delay so the engine can schedule it
+    /// (token 0 = arrival timer). Returns `None` for an empty workload.
+    pub fn begin_source(&mut self) -> Option<(SimDuration, u64)> {
+        let (delay, spec) = self.source.as_mut()?.next_flow()?;
+        self.pending_first = Some(spec);
+        Some((delay, token(0, 0, 0, KIND_ARRIVAL)))
+    }
+
+    /// Number of flows started so far.
+    pub fn flow_count(&self) -> usize {
+        self.flows.len()
+    }
+
+    /// Whether all started flows have delivered every byte and the source
+    /// (if any) is exhausted.
+    pub fn all_done(&self) -> bool {
+        self.pending_first.is_none()
+            && self.source_done()
+            && self.flows.iter().all(|f| f.rx_complete)
+    }
+
+    fn source_done(&self) -> bool {
+        // The source is consumed lazily; `all_done` is used by harnesses
+        // after the arrival stream ended, at which point `source` is spent.
+        true
+    }
+
+    /// Direct access to a subflow's sender state (diagnostics, tests).
+    pub fn tx_state(&self, flow: usize, sub: usize) -> &TcpTx {
+        &self.flows[flow].subflows[sub].tx
+    }
+
+    /// Out-of-order segment arrivals observed by `flow`'s receiver(s) — a
+    /// direct measure of path-induced reordering.
+    pub fn rx_ooo_segments(&self, flow: usize) -> u64 {
+        self.flows[flow]
+            .subflows
+            .iter()
+            .map(|s| s.rx.ooo_segments)
+            .sum()
+    }
+
+    /// Payload bytes delivered so far for `flow` (across subflows; includes
+    /// CBR).
+    pub fn rx_bytes(&self, flow: usize) -> u64 {
+        let f = &self.flows[flow];
+        f.cbr_delivered + f.subflows.iter().map(|s| s.rx.bytes_received).sum::<u64>()
+    }
+
+    /// Start a flow immediately; returns its id.
+    pub fn start_flow(&mut self, spec: FlowSpec, now: SimTime, em: &mut Emitter) -> usize {
+        let id = self.flows.len();
+        self.records.push(FlowRecord {
+            src: spec.src,
+            dst: spec.dst,
+            bytes: spec.bytes,
+            start: now,
+            rx_done: None,
+            tx_done: None,
+            retx_bytes: 0,
+            timeouts: 0,
+        });
+        let mut flow = match spec.kind {
+            TransportKind::Tcp(cfg) => FlowRt {
+                spec,
+                subflows: vec![SubflowRt {
+                    tx: TcpTx::new(cfg, spec.bytes),
+                    rx: TcpRx::default(),
+                    flow_hash: flow_tuple_hash(id as u32, 0),
+                    rto_deadline: SimTime::ZERO,
+                    rto_pending: false,
+                    rto_armed: false,
+                }],
+                unassigned: 0,
+                cbr_remaining: 0,
+                cbr_delivered: 0,
+                rx_complete: false,
+                tx_complete: false,
+            },
+            TransportKind::Mptcp(cfg) => FlowRt {
+                spec,
+                subflows: (0..cfg.subflows)
+                    .map(|s| SubflowRt {
+                        tx: TcpTx::new_open_ended(cfg.tcp),
+                        rx: TcpRx::default(),
+                        flow_hash: flow_tuple_hash(id as u32, s),
+                        rto_deadline: SimTime::ZERO,
+                        rto_pending: false,
+                        rto_armed: false,
+                    })
+                    .collect(),
+                unassigned: spec.bytes,
+                cbr_remaining: 0,
+                cbr_delivered: 0,
+                rx_complete: false,
+                tx_complete: false,
+            },
+            TransportKind::Cbr { .. } => FlowRt {
+                spec,
+                subflows: Vec::new(),
+                unassigned: 0,
+                cbr_remaining: spec.bytes,
+                cbr_delivered: 0,
+                rx_complete: false,
+                tx_complete: false,
+            },
+        };
+        match spec.kind {
+            TransportKind::Tcp(_) => {
+                let mut segs = Vec::new();
+                flow.subflows[0].tx.pump(&mut segs);
+                self.flows.push(flow);
+                self.emit_segments(id, 0, &segs, now, em);
+                self.arm_rto(id, 0, now, true, em);
+            }
+            TransportKind::Mptcp(_) => {
+                self.flows.push(flow);
+                self.mp_allocate_and_pump(id, now, em);
+            }
+            TransportKind::Cbr { .. } => {
+                self.flows.push(flow);
+                // First packet immediately; the timer sustains the rate.
+                self.cbr_emit(id, now, em);
+            }
+        }
+        id
+    }
+
+    fn emit_segments(
+        &mut self,
+        flow: usize,
+        sub: usize,
+        segs: &[Segment],
+        now: SimTime,
+        em: &mut Emitter,
+    ) {
+        let f = &self.flows[flow];
+        let s = &f.subflows[sub];
+        for seg in segs {
+            let mut p = Packet::data(
+                flow as u32,
+                sub as u16,
+                s.flow_hash,
+                f.spec.src,
+                f.spec.dst,
+                seg.seq,
+                seg.len,
+                now,
+            );
+            if seg.retx {
+                p.kind = PacketKind::Retransmit;
+            }
+            em.send(p);
+        }
+    }
+
+    /// Arm or restart the retransmission timer. `restart` pushes the
+    /// deadline forward (done only when an ACK makes progress — a stalled
+    /// flow must eventually fire its RTO even while dupacks stream in);
+    /// otherwise the existing deadline is kept.
+    fn arm_rto(&mut self, flow: usize, sub: usize, now: SimTime, restart: bool, em: &mut Emitter) {
+        let s = &mut self.flows[flow].subflows[sub];
+        if s.tx.in_flight() == 0 || s.tx.done() {
+            s.rto_armed = false;
+            return;
+        }
+        if restart || !s.rto_armed {
+            s.rto_deadline = now + s.tx.rto();
+        }
+        s.rto_armed = true;
+        if !s.rto_pending {
+            s.rto_pending = true;
+            em.set_timer(
+                s.rto_deadline.saturating_since(now),
+                token(flow, sub, 0, KIND_RTO),
+            );
+        }
+    }
+
+    /// MPTCP LIA alpha over a flow's subflows (RFC 6356 formulation).
+    fn lia(&self, flow: usize) -> Lia {
+        const DEFAULT_RTT_S: f64 = 100e-6;
+        let f = &self.flows[flow];
+        let mut cwnd_total = 0.0;
+        let mut best = 0.0f64;
+        let mut denom = 0.0;
+        for s in &f.subflows {
+            let cw = s.tx.cwnd();
+            let rtt = s.tx.srtt().map(|ns| ns / 1e9).unwrap_or(DEFAULT_RTT_S);
+            cwnd_total += cw;
+            best = best.max(cw / (rtt * rtt));
+            denom += cw / rtt;
+        }
+        let alpha = if denom > 0.0 {
+            cwnd_total * best / (denom * denom)
+        } else {
+            1.0
+        };
+        Lia { alpha, cwnd_total }
+    }
+
+    /// MPTCP: hand unassigned bytes to subflows whose window is open, then
+    /// pump them.
+    fn mp_allocate_and_pump(&mut self, flow: usize, now: SimTime, em: &mut Emitter) {
+        let n_subs = self.flows[flow].subflows.len();
+        let (mss, conn_rwnd) = match self.flows[flow].spec.kind {
+            TransportKind::Mptcp(c) => (c.tcp.mss as u64, c.tcp.rwnd),
+            _ => unreachable!("mp pump on non-mptcp flow"),
+        };
+        for sub in 0..n_subs {
+            let mut segs = Vec::new();
+            {
+                let f = &mut self.flows[flow];
+                loop {
+                    // Connection-level receive window: the subflows share
+                    // one receive buffer, so aggregate unacknowledged data
+                    // is capped (this is what keeps real MPTCP from
+                    // self-incasting an idle path with 8 windows at once).
+                    let inflight_total: u64 =
+                        f.subflows.iter().map(|x| x.tx.in_flight()).sum();
+                    let s = &mut f.subflows[sub];
+                    // Assign while this subflow could send more right now.
+                    if f.unassigned > 0
+                        && s.tx.next_seq >= s.tx.total
+                        && s.tx.window_open()
+                        && inflight_total < conn_rwnd
+                    {
+                        let chunk = mss.min(f.unassigned);
+                        s.tx.assign(chunk);
+                        f.unassigned -= chunk;
+                    }
+                    let before = segs.len();
+                    s.tx.pump(&mut segs);
+                    if segs.len() == before {
+                        break;
+                    }
+                }
+            }
+            if self.flows[flow].unassigned == 0 {
+                for s in &mut self.flows[flow].subflows {
+                    s.tx.finalize();
+                }
+            }
+            if !segs.is_empty() {
+                self.emit_segments(flow, sub, &segs, now, em);
+                self.arm_rto(flow, sub, now, false, em);
+            }
+        }
+    }
+
+    fn cbr_emit(&mut self, flow: usize, now: SimTime, em: &mut Emitter) {
+        let TransportKind::Cbr { rate_bps, pkt_bytes } = self.flows[flow].spec.kind else {
+            return;
+        };
+        let f = &mut self.flows[flow];
+        if f.cbr_remaining == 0 {
+            return;
+        }
+        let len = (pkt_bytes as u64).min(f.cbr_remaining) as u32;
+        f.cbr_remaining -= len as u64;
+        let p = Packet::data(
+            flow as u32,
+            0,
+            flow_tuple_hash(flow as u32, 0),
+            f.spec.src,
+            f.spec.dst,
+            f.spec.bytes - f.cbr_remaining - len as u64,
+            len,
+            now,
+        );
+        em.send(p);
+        if f.cbr_remaining > 0 {
+            let gap = SimDuration::serialization(len as u64, rate_bps);
+            em.set_timer(gap, token(flow, 0, 0, KIND_CBR));
+        }
+    }
+
+    fn maybe_finish(&mut self, flow: usize, now: SimTime) {
+        let f = &mut self.flows[flow];
+        if !f.rx_complete {
+            let rx: u64 = f.cbr_delivered
+                + f.subflows.iter().map(|s| s.rx.bytes_received).sum::<u64>();
+            if rx >= f.spec.bytes {
+                f.rx_complete = true;
+                self.records[flow].rx_done = Some(now);
+                self.completed_rx += 1;
+            }
+        }
+        let f = &mut self.flows[flow];
+        if !f.tx_complete
+            && !f.subflows.is_empty()
+            && f.unassigned == 0
+            && f.subflows.iter().all(|s| s.tx.done())
+        {
+            f.tx_complete = true;
+            self.records[flow].tx_done = Some(now);
+            self.records[flow].retx_bytes =
+                f.subflows.iter().map(|s| s.tx.bytes_retx).sum();
+            self.records[flow].timeouts = f.subflows.iter().map(|s| s.tx.timeouts).sum();
+        }
+    }
+}
+
+impl HostAgent for TransportLayer {
+    fn on_packet(&mut self, pkt: Packet, now: SimTime, em: &mut Emitter) {
+        let flow = pkt.flow as usize;
+        if flow >= self.flows.len() {
+            return;
+        }
+        match pkt.kind {
+            PacketKind::Data | PacketKind::Retransmit => {
+                let is_cbr = matches!(self.flows[flow].spec.kind, TransportKind::Cbr { .. });
+                if is_cbr {
+                    self.flows[flow].cbr_delivered += pkt.payload as u64;
+                    self.maybe_finish(flow, now);
+                    return;
+                }
+                let sub = pkt.subflow as usize;
+                let f = &mut self.flows[flow];
+                let Some(s) = f.subflows.get_mut(sub) else {
+                    return;
+                };
+                let ack = s.rx.on_data(pkt.seq, pkt.payload);
+                let hash = s.flow_hash;
+                let sack = s.rx.sack_blocks();
+                // Cumulative ACK back to the sender, echoing the timestamp
+                // and advertising the first hole (SACK-lite).
+                let mut ackp = Packet::ack_for(
+                    pkt.flow,
+                    pkt.subflow,
+                    hash,
+                    pkt.dst,
+                    pkt.src,
+                    ack,
+                    pkt.ts_echo,
+                );
+                ackp.sack = sack;
+                em.send(ackp);
+                self.maybe_finish(flow, now);
+            }
+            PacketKind::Ack => {
+                let sub = pkt.subflow as usize;
+                let is_mp = matches!(self.flows[flow].spec.kind, TransportKind::Mptcp(_));
+                let lia = is_mp.then(|| self.lia(flow));
+                let mut segs = Vec::new();
+                let progressed;
+                {
+                    let f = &mut self.flows[flow];
+                    let Some(s) = f.subflows.get_mut(sub) else {
+                        return;
+                    };
+                    if s.tx.done() {
+                        return;
+                    }
+                    let prev_una = s.tx.snd_una;
+                    s.tx.on_ack(pkt.ack, pkt.ts_echo, now, lia, &pkt.sack, &mut segs);
+                    progressed = s.tx.snd_una > prev_una;
+                }
+                self.emit_segments(flow, sub, &segs, now, em);
+                if is_mp {
+                    self.mp_allocate_and_pump(flow, now, em);
+                }
+                self.arm_rto(flow, sub, now, progressed, em);
+                self.maybe_finish(flow, now);
+            }
+            PacketKind::Request => {}
+        }
+    }
+
+    fn on_timer(&mut self, t: u64, now: SimTime, em: &mut Emitter) {
+        let (flow, sub, gen, kind) = untoken(t);
+        match kind {
+            KIND_ARRIVAL => {
+                // Start the pending flow, then schedule the next arrival.
+                if let Some(spec) = self.pending_first.take() {
+                    self.start_flow(spec, now, em);
+                }
+                if let Some(src) = self.source.as_mut() {
+                    if let Some((delay, spec)) = src.next_flow() {
+                        self.pending_first = Some(spec);
+                        em.set_timer(delay, token(0, 0, 0, KIND_ARRIVAL));
+                    }
+                }
+            }
+            KIND_RTO => {
+                let _ = gen;
+                if flow >= self.flows.len() {
+                    return;
+                }
+                let mut segs = Vec::new();
+                {
+                    let f = &mut self.flows[flow];
+                    let Some(s) = f.subflows.get_mut(sub) else {
+                        return;
+                    };
+                    s.rto_pending = false;
+                    if !s.rto_armed || s.tx.done() {
+                        return; // timer was cancelled
+                    }
+                    if now < s.rto_deadline {
+                        // ACKs pushed the deadline forward; sleep the rest.
+                        s.rto_pending = true;
+                        em.set_timer(
+                            s.rto_deadline.saturating_since(now),
+                            token(flow, sub, 0, KIND_RTO),
+                        );
+                        return;
+                    }
+                    s.tx.on_rto(&mut segs);
+                }
+                self.emit_segments(flow, sub, &segs, now, em);
+                self.arm_rto(flow, sub, now, true, em);
+            }
+            KIND_CBR => self.cbr_emit(flow, now, em),
+            _ => {}
+        }
+    }
+}

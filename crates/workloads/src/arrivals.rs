@@ -1,0 +1,159 @@
+//! Open-loop flow arrival processes (the paper's §5.2 traffic generator).
+//!
+//! The testbed methodology: clients request flows according to a Poisson
+//! process from randomly chosen servers, with sizes sampled from an
+//! empirical distribution, and the request rate set by the target offered
+//! load. Clients under Leaf 0 use servers under Leaf 1 and vice-versa so
+//! all traffic crosses the spine.
+
+use crate::dist::FlowSizeDist;
+use conga_sim::{SimDuration, SimRng};
+
+/// One planned flow arrival.
+#[derive(Clone, Copy, Debug)]
+pub struct Arrival {
+    /// Gap after the previous arrival.
+    pub gap: SimDuration,
+    /// Index into the source host group.
+    pub src: u32,
+    /// Index into the destination host group.
+    pub dst: u32,
+    /// Flow size in bytes.
+    pub bytes: u64,
+}
+
+/// Poisson open-loop arrival plan between two host groups.
+///
+/// `load` is the fraction of `capacity_bps` the offered traffic should
+/// consume in each direction; the arrival rate is
+/// `load * capacity / (8 * E[S])` flows per second per direction.
+#[derive(Clone, Debug)]
+pub struct PoissonPlan {
+    /// Arrivals in time order (direction A→B and B→A interleaved).
+    pub forward: Vec<Arrival>,
+    /// Arrivals for the reverse direction.
+    pub reverse: Vec<Arrival>,
+    /// The arrival rate per direction, flows/sec.
+    pub rate_per_dir: f64,
+}
+
+impl PoissonPlan {
+    /// Generate `n_flows` arrivals per direction.
+    ///
+    /// * `group_a`, `group_b` — host counts of the two groups;
+    /// * `capacity_bps` — the bisection capacity the load is relative to;
+    /// * `load` — offered load fraction (0, 1];
+    /// * sources and destinations are chosen uniformly at random.
+    pub fn generate(
+        dist: &FlowSizeDist,
+        group_a: u32,
+        group_b: u32,
+        capacity_bps: u64,
+        load: f64,
+        n_flows: usize,
+        rng: &mut SimRng,
+    ) -> PoissonPlan {
+        assert!(load > 0.0 && load <= 1.2, "silly load {load}");
+        let rate = load * capacity_bps as f64 / (8.0 * dist.mean());
+        let gen_dir = |src_n: u32, dst_n: u32, rng: &mut SimRng| {
+            (0..n_flows)
+                .map(|_| Arrival {
+                    gap: SimDuration::from_secs_f64(rng.exp(rate)),
+                    src: rng.below(src_n as usize) as u32,
+                    dst: rng.below(dst_n as usize) as u32,
+                    bytes: dist.sample(rng),
+                })
+                .collect::<Vec<_>>()
+        };
+        let forward = gen_dir(group_a, group_b, rng);
+        let reverse = gen_dir(group_b, group_a, rng);
+        PoissonPlan {
+            forward,
+            reverse,
+            rate_per_dir: rate,
+        }
+    }
+}
+
+/// The synchronized Incast pattern (paper §5.3): a client requests a file
+/// striped over `fanout` servers; all servers respond at once with
+/// `total_bytes / fanout` each.
+#[derive(Clone, Debug)]
+pub struct IncastPattern {
+    /// Bytes each server sends.
+    pub per_server: u64,
+    /// Number of concurrent senders.
+    pub fanout: u32,
+}
+
+impl IncastPattern {
+    /// The paper's setup: a 10 MB file striped over `fanout` servers.
+    pub fn paper(fanout: u32) -> Self {
+        IncastPattern {
+            per_server: (10_000_000u64).div_ceil(fanout as u64),
+            fanout,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn poisson_rate_matches_load() {
+        let dist = FlowSizeDist::enterprise();
+        let mut rng = SimRng::new(3);
+        let cap = 160_000_000_000u64; // 160G bisection
+        let load = 0.6;
+        let plan = PoissonPlan::generate(&dist, 32, 32, cap, load, 20_000, &mut rng);
+        // Offered bits/sec ~= sum(bytes)*8 / duration.
+        let dur: f64 = plan
+            .forward
+            .iter()
+            .map(|a| a.gap.as_secs_f64())
+            .sum::<f64>();
+        let bits: f64 = plan.forward.iter().map(|a| a.bytes as f64 * 8.0).sum();
+        let offered = bits / dur;
+        let target = load * cap as f64;
+        assert!(
+            (offered - target).abs() / target < 0.15,
+            "offered {offered:.3e} vs target {target:.3e}"
+        );
+    }
+
+    #[test]
+    fn arrivals_cover_both_directions_and_all_hosts() {
+        let dist = FlowSizeDist::web_search();
+        let mut rng = SimRng::new(4);
+        let plan = PoissonPlan::generate(&dist, 8, 8, 80_000_000_000, 0.4, 4000, &mut rng);
+        assert_eq!(plan.forward.len(), 4000);
+        assert_eq!(plan.reverse.len(), 4000);
+        let used: std::collections::HashSet<u32> =
+            plan.forward.iter().map(|a| a.src).collect();
+        assert_eq!(used.len(), 8, "every source host participates");
+    }
+
+    #[test]
+    fn incast_stripes_the_file() {
+        let p = IncastPattern::paper(16);
+        assert_eq!(p.per_server, 625_000);
+        assert_eq!(p.fanout, 16);
+        // Striping never loses bytes.
+        assert!(p.per_server * 16 >= 10_000_000);
+    }
+
+    #[test]
+    fn deterministic_given_rng_seed() {
+        let dist = FlowSizeDist::data_mining();
+        let mk = || {
+            let mut rng = SimRng::new(9);
+            PoissonPlan::generate(&dist, 4, 4, 40_000_000_000, 0.5, 100, &mut rng)
+                .forward
+                .iter()
+                .map(|a| (a.gap.as_nanos(), a.src, a.dst, a.bytes))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(mk(), mk());
+    }
+}

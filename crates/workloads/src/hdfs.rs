@@ -1,0 +1,209 @@
+//! HDFS write-benchmark model (paper §5.4, Figure 14).
+//!
+//! The paper runs Hadoop `TestDFSIO`: a MapReduce job writing a large file
+//! into HDFS with 3-way replication, measuring job completion time. The
+//! network-visible structure is: each writer streams its share of the file
+//! in blocks; each block is replicated through a pipeline of three
+//! datanodes (writer → DN1 → DN2 → DN3, with DN1/DN2 forwarding as they
+//! receive). The job finishes when the last block's last replica lands.
+//!
+//! [`HdfsJob`] plans the block pipelines up front (deterministic given a
+//! seed) and exposes a closed-loop state machine: the experiment harness
+//! starts the flows of a writer's current block, and when all three
+//! pipeline flows complete, asks for the next block.
+
+use conga_sim::SimRng;
+
+/// One replication pipeline: three point-to-point transfers of one block.
+#[derive(Clone, Copy, Debug)]
+pub struct BlockPipeline {
+    /// writer → first datanode.
+    pub hop1: (u32, u32),
+    /// first → second datanode.
+    pub hop2: (u32, u32),
+    /// second → third datanode.
+    pub hop3: (u32, u32),
+    /// Block size in bytes.
+    pub bytes: u64,
+}
+
+/// Closed-loop HDFS write job.
+#[derive(Clone, Debug)]
+pub struct HdfsJob {
+    /// Per-writer queues of pending blocks (front = next to write).
+    plans: Vec<Vec<BlockPipeline>>,
+    /// Blocks currently in flight per writer.
+    in_flight: Vec<Option<usize>>,
+    /// Completed hop-flows of the in-flight block, per writer.
+    hops_done: Vec<u8>,
+    /// Total blocks completed.
+    pub blocks_done: usize,
+    /// Total blocks planned.
+    pub blocks_total: usize,
+}
+
+impl HdfsJob {
+    /// Plan a job: `writers` hosts each write `total_per_writer` bytes in
+    /// `block_size` blocks; replica datanodes are chosen uniformly from
+    /// `datanodes` excluding the writer (first replica remote, HDFS-style
+    /// rack-aware placement is approximated by pure random placement).
+    pub fn plan(
+        writers: &[u32],
+        datanodes: &[u32],
+        total_per_writer: u64,
+        block_size: u64,
+        rng: &mut SimRng,
+    ) -> HdfsJob {
+        assert!(datanodes.len() >= 4, "need enough datanodes for pipelines");
+        let mut plans = Vec::with_capacity(writers.len());
+        let mut total_blocks = 0;
+        for &w in writers {
+            let mut blocks = Vec::new();
+            let mut left = total_per_writer;
+            while left > 0 {
+                let bytes = left.min(block_size);
+                left -= bytes;
+                // Pick three distinct datanodes, none equal to the writer.
+                let mut picks = Vec::with_capacity(3);
+                while picks.len() < 3 {
+                    let d = *rng.choose(datanodes);
+                    if d != w && !picks.contains(&d) {
+                        picks.push(d);
+                    }
+                }
+                blocks.push(BlockPipeline {
+                    hop1: (w, picks[0]),
+                    hop2: (picks[0], picks[1]),
+                    hop3: (picks[1], picks[2]),
+                    bytes,
+                });
+                total_blocks += 1;
+            }
+            plans.push(blocks);
+        }
+        let n = plans.len();
+        HdfsJob {
+            plans,
+            in_flight: vec![None; n],
+            hops_done: vec![0; n],
+            blocks_done: 0,
+            blocks_total: total_blocks,
+        }
+    }
+
+    /// Number of writers.
+    pub fn writers(&self) -> usize {
+        self.plans.len()
+    }
+
+    /// If writer `w` is idle and has blocks left, start its next block:
+    /// returns the pipeline whose three hops the caller must launch.
+    pub fn next_block(&mut self, w: usize) -> Option<BlockPipeline> {
+        if self.in_flight[w].is_some() {
+            return None;
+        }
+        if self.plans[w].is_empty() {
+            return None;
+        }
+        let block = self.plans[w].remove(0);
+        self.in_flight[w] = Some(0);
+        self.hops_done[w] = 0;
+        Some(block)
+    }
+
+    /// One hop-flow of writer `w`'s in-flight block finished. Returns true
+    /// if the whole block (all three hops) is now complete.
+    pub fn hop_done(&mut self, w: usize) -> bool {
+        debug_assert!(self.in_flight[w].is_some(), "no block in flight");
+        self.hops_done[w] += 1;
+        if self.hops_done[w] == 3 {
+            self.in_flight[w] = None;
+            self.blocks_done += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// All blocks written.
+    pub fn done(&self) -> bool {
+        self.blocks_done == self.blocks_total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn job(seed: u64) -> HdfsJob {
+        let writers: Vec<u32> = (0..8).collect();
+        let datanodes: Vec<u32> = (0..32).collect();
+        let mut rng = SimRng::new(seed);
+        HdfsJob::plan(&writers, &datanodes, 256 << 20, 64 << 20, &mut rng)
+    }
+
+    #[test]
+    fn plan_covers_all_bytes_in_blocks() {
+        let mut j = job(1);
+        assert_eq!(j.blocks_total, 8 * 4, "256MB / 64MB = 4 blocks per writer");
+        let mut seen = 0u64;
+        for w in 0..8 {
+            while let Some(b) = j.next_block(w) {
+                seen += b.bytes;
+                for _ in 0..3 {
+                    j.hop_done(w);
+                }
+            }
+        }
+        assert_eq!(seen, 8 * (256 << 20));
+        assert!(j.done());
+    }
+
+    #[test]
+    fn pipelines_avoid_writer_and_repeat_nodes() {
+        let mut j = job(2);
+        for w in 0..8 {
+            while let Some(b) = j.next_block(w) {
+                let nodes = [b.hop1.1, b.hop2.1, b.hop3.1];
+                assert!(!nodes.contains(&(w as u32)), "replica on the writer");
+                assert_eq!(b.hop1.0, w as u32);
+                assert_eq!(b.hop1.1, b.hop2.0);
+                assert_eq!(b.hop2.1, b.hop3.0);
+                let mut uniq = nodes.to_vec();
+                uniq.dedup();
+                uniq.sort_unstable();
+                uniq.dedup();
+                assert_eq!(uniq.len(), 3, "replicas must be distinct");
+                for _ in 0..3 {
+                    j.hop_done(w);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn closed_loop_one_block_at_a_time() {
+        let mut j = job(3);
+        let b = j.next_block(0);
+        assert!(b.is_some());
+        assert!(j.next_block(0).is_none(), "writer busy until hops complete");
+        assert!(!j.hop_done(0));
+        assert!(!j.hop_done(0));
+        assert!(j.hop_done(0), "third hop completes the block");
+        assert!(j.next_block(0).is_some());
+    }
+
+    #[test]
+    fn uneven_totals_produce_short_tail_block() {
+        let mut rng = SimRng::new(4);
+        let j = HdfsJob::plan(&[0], &(0..8).collect::<Vec<_>>(), 100 << 20, 64 << 20, &mut rng);
+        assert_eq!(j.blocks_total, 2);
+    }
+
+    #[test]
+    fn deterministic_plans() {
+        let a = format!("{:?}", job(7).plans);
+        let b = format!("{:?}", job(7).plans);
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,24 @@
+//! # conga-workloads — datacenter workload models
+//!
+//! Everything the paper's evaluation throws at the fabric:
+//!
+//! * [`FlowSizeDist`] — the empirical enterprise / data-mining / web-search
+//!   flow-size distributions (paper Figure 8);
+//! * [`PoissonPlan`] — the §5.2 open-loop Poisson request generator with
+//!   load expressed as a fraction of bisection bandwidth;
+//! * [`IncastPattern`] — the §5.3 synchronized striped-read pattern;
+//! * [`HdfsJob`] — the §5.4 TestDFSIO write model (blocks, 3-way
+//!   replication pipelines, closed loop);
+//! * [`trace`] — synthetic bursty packet traces and the flowlet splitter
+//!   behind Figure 5.
+
+#![warn(missing_docs)]
+
+mod arrivals;
+mod dist;
+mod hdfs;
+pub mod trace;
+
+pub use arrivals::{Arrival, IncastPattern, PoissonPlan};
+pub use dist::FlowSizeDist;
+pub use hdfs::{BlockPipeline, HdfsJob};

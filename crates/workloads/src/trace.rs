@@ -1,0 +1,229 @@
+//! Synthetic bursty packet-trace generation and flowlet splitting — the
+//! substitute for the production packet captures behind paper Figure 5
+//! (§2.6.1).
+//!
+//! The paper's measurement: flows in production datacenters transmit as
+//! short line-rate *bursts* separated by sub-millisecond idle gaps (NIC
+//! offload, application pacing), so even small flowlet-inactivity gaps
+//! carve flows into much smaller flowlets. We reproduce the phenomenon
+//! with a generator that emits each flow as a sequence of offload-sized
+//! bursts at line rate with lognormal inter-burst gaps, then measure —
+//! exactly as the paper does — how the *bytes* distribute across transfer
+//! sizes when the trace is split at different inactivity gaps.
+
+use crate::dist::FlowSizeDist;
+use conga_sim::{SimDuration, SimRng, SimTime};
+
+/// One packet record of a synthetic trace.
+#[derive(Clone, Copy, Debug)]
+pub struct TracePkt {
+    /// Transmission timestamp.
+    pub at: SimTime,
+    /// Flow the packet belongs to.
+    pub flow: u32,
+    /// Payload bytes.
+    pub bytes: u32,
+}
+
+/// Parameters of the burst-structure model.
+#[derive(Clone, Copy, Debug)]
+pub struct BurstModel {
+    /// NIC line rate while bursting, bits/sec.
+    pub line_rate_bps: u64,
+    /// Mean burst size in bytes (TSO/GSO chunk trains; ~64 KB typical).
+    pub mean_burst_bytes: f64,
+    /// Lognormal σ of the inter-burst gap (in log-space).
+    pub gap_sigma: f64,
+    /// Median inter-burst gap.
+    pub median_gap: SimDuration,
+    /// Packet size on the wire.
+    pub pkt_bytes: u32,
+}
+
+impl Default for BurstModel {
+    fn default() -> Self {
+        BurstModel {
+            line_rate_bps: 10_000_000_000,
+            mean_burst_bytes: 64.0 * 1024.0,
+            gap_sigma: 1.2,
+            median_gap: SimDuration::from_micros(300),
+            pkt_bytes: 1460,
+        }
+    }
+}
+
+/// Generate a packet trace of `n_flows` flows drawn from `dist`, each
+/// transmitted as bursts per `model`, with flow start times spread by a
+/// Poisson process of `flow_rate` flows/sec.
+pub fn generate_trace(
+    dist: &FlowSizeDist,
+    model: &BurstModel,
+    n_flows: u32,
+    flow_rate: f64,
+    rng: &mut SimRng,
+) -> Vec<TracePkt> {
+    let mut pkts = Vec::new();
+    let mut start = SimTime::ZERO;
+    let gap_mu = (model.median_gap.as_nanos() as f64).ln();
+    for flow in 0..n_flows {
+        start += SimDuration::from_secs_f64(rng.exp(flow_rate));
+        let mut remaining = dist.sample(rng);
+        let mut t = start;
+        while remaining > 0 {
+            // One burst: an exponential-sized train of packets at line rate.
+            let burst = (rng.exp(1.0 / model.mean_burst_bytes) as u64)
+                .clamp(model.pkt_bytes as u64, 4 << 20)
+                .min(remaining);
+            let mut sent = 0u64;
+            while sent < burst {
+                let b = (burst - sent).min(model.pkt_bytes as u64) as u32;
+                pkts.push(TracePkt {
+                    at: t,
+                    flow,
+                    bytes: b,
+                });
+                t += SimDuration::serialization(b as u64, model.line_rate_bps);
+                sent += b as u64;
+            }
+            remaining -= burst;
+            if remaining > 0 {
+                // Idle gap before the next burst (lognormal, median as set).
+                let gap_ns = rng.lognormal(gap_mu, model.gap_sigma);
+                t += SimDuration::from_nanos(gap_ns as u64);
+            }
+        }
+    }
+    pkts.sort_by_key(|p| (p.at, p.flow));
+    pkts
+}
+
+/// Split a trace into transfers at inactivity gap `gap` (per flow) and
+/// return each transfer's size in bytes. `gap = None` returns whole-flow
+/// sizes (the paper's "Flow (250 ms)" reference curve is equivalent: no
+/// intra-flow gap exceeds 250 ms).
+pub fn split_flowlets(pkts: &[TracePkt], gap: Option<SimDuration>) -> Vec<u64> {
+    use std::collections::HashMap;
+    // (last packet time, current flowlet size)
+    let mut state: HashMap<u32, (SimTime, u64)> = HashMap::new();
+    let mut out = Vec::new();
+    for p in pkts {
+        let e = state.entry(p.flow).or_insert((p.at, 0));
+        if let Some(g) = gap {
+            if p.at.saturating_since(e.0) > g && e.1 > 0 {
+                out.push(e.1);
+                e.1 = 0;
+            }
+        }
+        e.0 = p.at;
+        e.1 += p.bytes as u64;
+    }
+    out.extend(state.values().map(|&(_, sz)| sz).filter(|&s| s > 0));
+    out
+}
+
+/// The byte-weighted CDF of transfer sizes: fraction of all bytes carried
+/// by transfers of size ≤ x, evaluated at each distinct size (paper
+/// Figure 5's y-axis). Returns sorted `(size, cumulative byte fraction)`.
+pub fn bytes_by_size_cdf(sizes: &[u64]) -> Vec<(u64, f64)> {
+    let mut s: Vec<u64> = sizes.to_vec();
+    s.sort_unstable();
+    let total: u128 = s.iter().map(|&x| x as u128).sum();
+    let mut acc: u128 = 0;
+    let mut out = Vec::with_capacity(s.len());
+    for x in s {
+        acc += x as u128;
+        out.push((x, acc as f64 / total as f64));
+    }
+    out
+}
+
+/// The size below which `frac` of the bytes live (inverse of
+/// [`bytes_by_size_cdf`]); the paper quotes the 50 % point.
+pub fn byte_weighted_quantile(sizes: &[u64], frac: f64) -> u64 {
+    let cdf = bytes_by_size_cdf(sizes);
+    cdf.iter()
+        .find(|&&(_, f)| f >= frac)
+        .map(|&(x, _)| x)
+        .unwrap_or_else(|| cdf.last().map(|&(x, _)| x).unwrap_or(0))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_trace(seed: u64) -> Vec<TracePkt> {
+        let mut rng = SimRng::new(seed);
+        generate_trace(
+            &FlowSizeDist::enterprise(),
+            &BurstModel::default(),
+            400,
+            2_000.0,
+            &mut rng,
+        )
+    }
+
+    #[test]
+    fn trace_is_time_sorted_and_conserves_bytes() {
+        let t = small_trace(1);
+        assert!(t.windows(2).all(|w| w[0].at <= w[1].at));
+        let total: u64 = t.iter().map(|p| p.bytes as u64).sum();
+        // Splitting with no gap must conserve bytes exactly.
+        let sizes = split_flowlets(&t, None);
+        assert_eq!(sizes.iter().sum::<u64>(), total);
+        assert_eq!(sizes.len(), 400, "one transfer per flow with no gap");
+    }
+
+    #[test]
+    fn smaller_gaps_make_smaller_flowlets() {
+        let t = small_trace(2);
+        let flows = split_flowlets(&t, None);
+        let fl500 = split_flowlets(&t, Some(SimDuration::from_micros(500)));
+        let fl100 = split_flowlets(&t, Some(SimDuration::from_micros(100)));
+        assert!(fl500.len() > flows.len());
+        assert!(fl100.len() >= fl500.len());
+        // Byte conservation under any split.
+        let total: u64 = flows.iter().sum();
+        assert_eq!(fl500.iter().sum::<u64>(), total);
+        assert_eq!(fl100.iter().sum::<u64>(), total);
+    }
+
+    #[test]
+    fn flowlet_split_shrinks_byte_weighted_median_by_orders_of_magnitude() {
+        // The headline of paper Figure 5: with a 500us gap, the size that
+        // covers half the bytes drops by ~2 orders of magnitude.
+        let t = small_trace(3);
+        let m_flow = byte_weighted_quantile(&split_flowlets(&t, None), 0.5);
+        let m_500 = byte_weighted_quantile(
+            &split_flowlets(&t, Some(SimDuration::from_micros(500))),
+            0.5,
+        );
+        assert!(
+            m_flow as f64 / m_500 as f64 > 10.0,
+            "median bytes-transfer {m_flow} -> {m_500}: expected >=10x reduction"
+        );
+    }
+
+    #[test]
+    fn burst_gaps_respect_line_rate() {
+        // Within a burst, packets are spaced at exactly the line rate.
+        let mut rng = SimRng::new(4);
+        let model = BurstModel::default();
+        let t = generate_trace(&FlowSizeDist::enterprise(), &model, 1, 1000.0, &mut rng);
+        let per_pkt = SimDuration::serialization(1460, model.line_rate_bps);
+        let mut in_burst = 0;
+        for w in t.windows(2) {
+            if w[1].at - w[0].at == per_pkt {
+                in_burst += 1;
+            }
+        }
+        assert!(in_burst > 0, "no back-to-back line-rate packets found");
+    }
+
+    #[test]
+    fn cdf_is_monotone_and_ends_at_one() {
+        let t = small_trace(5);
+        let cdf = bytes_by_size_cdf(&split_flowlets(&t, Some(SimDuration::from_micros(500))));
+        assert!(cdf.windows(2).all(|w| w[0].1 <= w[1].1 && w[0].0 <= w[1].0));
+        assert!((cdf.last().expect("non-empty").1 - 1.0).abs() < 1e-9);
+    }
+}

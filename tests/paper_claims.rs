@@ -1,0 +1,93 @@
+//! Small-scale assertions of the paper's headline qualitative claims —
+//! the fast-running distillation of what the experiment binaries measure.
+
+use conga::analysis::model::{imbalance_trial, theorem2_bound, FixedSize};
+use conga::sim::{SimDuration, SimRng};
+use conga::workloads::trace::{byte_weighted_quantile, generate_trace, split_flowlets, BurstModel};
+use conga::workloads::FlowSizeDist;
+
+/// §2.6 / Figure 5: flowlet splitting slashes the byte-weighted transfer
+/// size by at least an order of magnitude on bursty datacenter traffic.
+#[test]
+fn flowlets_shrink_transfers_by_orders_of_magnitude() {
+    let mut rng = SimRng::new(1);
+    let trace = generate_trace(
+        &FlowSizeDist::enterprise(),
+        &BurstModel::default(),
+        600,
+        5_000.0,
+        &mut rng,
+    );
+    let flows = byte_weighted_quantile(&split_flowlets(&trace, None), 0.5);
+    let flowlets = byte_weighted_quantile(
+        &split_flowlets(&trace, Some(SimDuration::from_micros(500))),
+        0.5,
+    );
+    assert!(
+        flows as f64 / flowlets as f64 > 10.0,
+        "{flows} -> {flowlets}"
+    );
+}
+
+/// Figure 8 / §5.2: the data-mining workload is much heavier than the
+/// enterprise one — the tail carries nearly all bytes.
+#[test]
+fn data_mining_is_heavier_than_enterprise() {
+    let e = FlowSizeDist::enterprise();
+    let d = FlowSizeDist::data_mining();
+    assert!(d.byte_fraction_below(35e6) < 0.15, "paper: ~5%");
+    assert!((0.35..0.65).contains(&e.byte_fraction_below(35e6)), "paper: ~50%");
+    assert!(e.coeff_of_variation() < d.coeff_of_variation());
+}
+
+/// Theorem 2: randomized assignment balances like 1/sqrt(t), and the MC
+/// estimate respects the analytic bound.
+#[test]
+fn theorem2_bound_holds() {
+    let mut rng = SimRng::new(2);
+    let src = FixedSize(1.0);
+    for &t in &[0.3, 1.0, 3.0] {
+        let est = imbalance_trial(&src, 3000.0, 4, t, 30, &mut rng);
+        assert!(est <= theorem2_bound(3000.0, 4, 0.0, t), "t={t}");
+    }
+}
+
+/// Theorem 1 consequence: on symmetric games, best-response dynamics from
+/// an adversarial start still lands within 2x of optimal (and typically
+/// at optimal).
+#[test]
+fn nash_is_near_optimal_on_symmetric_games() {
+    use conga::analysis::poa::{BottleneckGame, User};
+    let users = vec![
+        User { src: 0, dst: 1, demand: 1.0 },
+        User { src: 1, dst: 2, demand: 1.0 },
+        User { src: 2, dst: 0, demand: 1.0 },
+    ];
+    let g = BottleneckGame::symmetric(3, 3, 1.0, users);
+    let (x, _) = g.nash(g.concentrated(|_| 0), 200, 1e-9);
+    assert!(g.is_nash(&x, 1e-6));
+    let mut rng = SimRng::new(3);
+    let (opt, _) = g.min_max_utilization(3000, &mut rng);
+    let ratio = g.network_bottleneck(&x) / opt;
+    assert!(ratio <= 2.0 + 1e-6, "PoA bound");
+    assert!(ratio <= 1.2, "symmetric games should be near-optimal: {ratio}");
+}
+
+/// §3.2: the DRE tracks rate with its advertised time constant, so CONGA
+/// reacts within a few RTTs but filters sub-RTT bursts.
+#[test]
+fn dre_time_constant_behaviour() {
+    use conga::core::Dre;
+    use conga::sim::SimTime;
+    let mut d = Dre::new(10_000_000_000, SimDuration::from_micros(16), 0.1);
+    // Steady 5G for 1ms reads ~50% utilization...
+    let mut t = SimTime::ZERO;
+    while t < SimTime::from_millis(1) {
+        d.on_send(1500, t);
+        t = t + SimDuration::from_nanos(2400);
+    }
+    let u = d.utilization(t);
+    assert!((u - 0.5).abs() < 0.1, "{u}");
+    // ...and is forgotten a millisecond (≈6 tau) after the traffic stops.
+    assert!(d.utilization(t + SimDuration::from_millis(1)) < 0.02);
+}

@@ -1,0 +1,170 @@
+//! Property-based tests spanning the workspace: random fabrics, random
+//! traffic, invariants that must hold regardless.
+
+use conga::core::FabricPolicy;
+use conga::net::{HostId, LeafSpineBuilder, Network, QueueProfile};
+use conga::sim::{SimDuration, SimTime};
+use conga::transport::{FlowSpec, TcpConfig, TransportKind, TransportLayer};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Any random small fabric + random TCP flows: every flow completes
+    /// and delivers exactly its bytes (conservation), under CONGA and ECMP.
+    #[test]
+    fn random_fabric_conserves_bytes(
+        leaves in 2u32..4,
+        spines in 1u32..4,
+        hosts in 2u32..6,
+        parallel in 1u32..3,
+        seed in 0u64..1000,
+        flows in proptest::collection::vec((0u32..100, 0u32..100, 1_000u64..400_000), 1..8),
+        use_conga in any::<bool>(),
+    ) {
+        let topo = LeafSpineBuilder::new(leaves, spines, hosts)
+            .host_rate_gbps(10)
+            .fabric_rate_gbps(40)
+            .parallel_links(parallel)
+            .build();
+        let n = topo.n_hosts;
+        let policy = if use_conga { FabricPolicy::conga() } else { FabricPolicy::ecmp() };
+        let mut net = Network::new(topo, policy, TransportLayer::new(), seed);
+        let specs: Vec<FlowSpec> = flows
+            .iter()
+            .map(|&(s, d, bytes)| {
+                let src = HostId(s % n);
+                let mut dst = HostId(d % n);
+                if dst == src {
+                    dst = HostId((d + 1) % n);
+                }
+                FlowSpec {
+                    src,
+                    dst,
+                    bytes,
+                    kind: TransportKind::Tcp(TcpConfig::standard()),
+                }
+            })
+            .collect();
+        net.agent_call(|a, now, em| {
+            for &spec in &specs {
+                a.start_flow(spec, now, em);
+            }
+        });
+        net.run_until(SimTime::from_secs(3));
+        for (i, spec) in specs.iter().enumerate() {
+            prop_assert!(net.agent.records[i].rx_done.is_some(), "flow {i} incomplete");
+            prop_assert_eq!(net.agent.rx_bytes(i), spec.bytes);
+            // FCT is never faster than line-rate serialization.
+            let fct = net.agent.records[i].fct().unwrap().as_secs_f64();
+            prop_assert!(fct >= spec.bytes as f64 * 8.0 / 10e9);
+        }
+    }
+
+    /// With brutal queues and a failed link, TCP still delivers everything
+    /// (loss recovery terminates) and never delivers bytes it wasn't sent.
+    #[test]
+    fn lossy_fabric_recovery_terminates(
+        seed in 0u64..500,
+        q in 20_000u64..80_000,
+        nflows in 2usize..6,
+    ) {
+        let topo = LeafSpineBuilder::new(2, 2, 4)
+            .parallel_links(2)
+            .fail_link(0, 1, 1)
+            .queue_profile(QueueProfile {
+                access_bytes: q,
+                fabric_bytes: q,
+                host_nic_bytes: 4 << 20,
+            })
+            .build();
+        let mut net = Network::new(topo, FabricPolicy::conga(), TransportLayer::new(), seed);
+        let tcp = TcpConfig::standard().with_min_rto(SimDuration::from_millis(2));
+        net.agent_call(|a, now, em| {
+            for i in 0..nflows {
+                a.start_flow(
+                    FlowSpec {
+                        src: HostId(i as u32 % 4),
+                        dst: HostId(4 + (i as u32 % 4)),
+                        bytes: 200_000,
+                        kind: TransportKind::Tcp(tcp),
+                    },
+                    now,
+                    em,
+                );
+            }
+        });
+        net.run_until(SimTime::from_secs(3));
+        for i in 0..nflows {
+            prop_assert!(net.agent.records[i].rx_done.is_some(), "flow {i} stuck");
+            prop_assert_eq!(net.agent.rx_bytes(i), 200_000);
+        }
+    }
+
+    /// The engine never reorders packets of a single flow when the policy
+    /// pins flows to paths (ECMP): receiver sees zero out-of-order
+    /// segments on a clean network.
+    #[test]
+    fn single_path_flows_never_reorder(seed in 0u64..500, bytes in 10_000u64..2_000_000) {
+        let topo = LeafSpineBuilder::new(2, 2, 4).parallel_links(2).build();
+        let mut net = Network::new(topo, FabricPolicy::ecmp(), TransportLayer::new(), seed);
+        net.agent_call(|a, now, em| {
+            a.start_flow(
+                FlowSpec {
+                    src: HostId(0),
+                    dst: HostId(5),
+                    bytes,
+                    kind: TransportKind::Tcp(TcpConfig::standard()),
+                },
+                now,
+                em,
+            );
+        });
+        net.run_until(SimTime::from_secs(2));
+        prop_assert!(net.agent.records[0].rx_done.is_some());
+        prop_assert_eq!(net.agent.records[0].retx_bytes, 0, "clean single flow");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// The Price-of-Anarchy bound holds on arbitrary random games.
+    #[test]
+    fn poa_never_exceeds_two(seed in 0u64..10_000) {
+        use conga::analysis::poa::{BottleneckGame, User};
+        use conga::sim::SimRng;
+        let mut rng = SimRng::new(seed);
+        let nl = 2 + rng.below(3);
+        let ns = 2 + rng.below(3);
+        let mut users = Vec::new();
+        for _ in 0..(1 + rng.below(5)) {
+            let src = rng.below(nl);
+            let mut dst = rng.below(nl);
+            while dst == src {
+                dst = rng.below(nl);
+            }
+            users.push(User { src, dst, demand: 0.2 + rng.f64() });
+        }
+        let g = BottleneckGame::symmetric(nl, ns, 1.0, users);
+        let (x, _) = g.nash(g.concentrated(|i| i % ns), 300, 1e-9);
+        let nash = g.network_bottleneck(&x);
+        let (opt, _) = g.min_max_utilization(2500, &mut rng);
+        prop_assert!(nash <= 2.0 * opt + 1e-6, "PoA violated: {} vs {}", nash, opt);
+    }
+
+    /// Flow-size distributions: sampling respects published CDF points.
+    #[test]
+    fn dist_sampling_matches_cdf(seed in 0u64..10_000, u in 0.05f64..0.95) {
+        use conga::workloads::FlowSizeDist;
+        use conga::sim::SimRng;
+        for d in [FlowSizeDist::enterprise(), FlowSizeDist::data_mining(), FlowSizeDist::web_search()] {
+            let x = d.quantile(u);
+            let back = d.cdf(x);
+            prop_assert!((back - u).abs() < 0.02, "{}: u={} x={} back={}", d.name(), u, x, back);
+            let mut rng = SimRng::new(seed);
+            let s = d.sample(&mut rng) as f64;
+            prop_assert!(s >= d.quantile(0.0) && s <= d.quantile(1.0));
+        }
+    }
+}
