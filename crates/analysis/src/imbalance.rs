@@ -57,12 +57,7 @@ mod tests {
     fn one_dead_uplink_gives_imbalance_of_n() {
         // 4 uplinks, one carries nothing: (max-min)/avg = (4/3 x - 0)/x... with
         // equal share x among 3: avg = 3x/4, max = x -> 4/3.
-        let tx = vec![
-            vec![0, 1000],
-            vec![0, 1000],
-            vec![0, 1000],
-            vec![0, 0],
-        ];
+        let tx = vec![vec![0, 1000], vec![0, 1000], vec![0, 1000], vec![0, 0]];
         let v = throughput_imbalance(&tx, 1.0);
         assert!((v[0] - 4.0 / 3.0).abs() < 1e-12);
     }

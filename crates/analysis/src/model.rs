@@ -118,10 +118,7 @@ mod tests {
         for &t in &[0.5, 1.0, 2.0, 4.0] {
             let est = imbalance_trial(&src, 2000.0, 4, t, 40, &mut rng);
             let bound = theorem2_bound(2000.0, 4, 0.0, t);
-            assert!(
-                est <= bound,
-                "t={t}: estimate {est} exceeds bound {bound}"
-            );
+            assert!(est <= bound, "t={t}: estimate {est} exceeds bound {bound}");
         }
     }
 

@@ -191,11 +191,7 @@ impl BottleneckGame {
                     self.user_bottleneck(&y, u)
                 };
                 if after_cost < before - tol {
-                    let delta: f64 = br
-                        .iter()
-                        .zip(&x[u])
-                        .map(|(a, b)| (a - b).abs())
-                        .sum();
+                    let delta: f64 = br.iter().zip(&x[u]).map(|(a, b)| (a - b).abs()).sum();
                     moved += delta;
                     x[u] = br;
                 }
@@ -274,12 +270,7 @@ impl BottleneckGame {
                 .iter()
                 .enumerate()
                 .filter(|(u, usr)| {
-                    x[*u][s] > 1e-12
-                        && if is_up {
-                            usr.src == l
-                        } else {
-                            usr.dst == l
-                        }
+                    x[*u][s] > 1e-12 && if is_up { usr.src == l } else { usr.dst == l }
                 })
                 .map(|(u, _)| u)
                 .collect();
@@ -291,9 +282,7 @@ impl BottleneckGame {
             // Best alternative spine for this user (lowest resulting util).
             let mut best_alt: Option<(usize, f64)> = None;
             for s2 in 0..self.n_spines() {
-                if s2 == s
-                    || self.up_cap[user.src][s2] <= 0.0
-                    || self.down_cap[s2][user.dst] <= 0.0
+                if s2 == s || self.up_cap[user.src][s2] <= 0.0 || self.down_cap[s2][user.dst] <= 0.0
                 {
                     continue;
                 }
@@ -303,7 +292,9 @@ impl BottleneckGame {
                     best_alt = Some((s2, alt));
                 }
             }
-            let Some((s2, alt_util)) = best_alt else { continue };
+            let Some((s2, alt_util)) = best_alt else {
+                continue;
+            };
             if alt_util >= bott.0 {
                 continue;
             }
@@ -351,8 +342,8 @@ mod tests {
         );
         let x = g.concentrated(|_| 0);
         let br = g.best_response(&x, 0);
-        for s in 0..4 {
-            assert!((br[s] - 0.5).abs() < 1e-6, "spine {s}: {}", br[s]);
+        for (s, &v) in br.iter().enumerate().take(4) {
+            assert!((v - 0.5).abs() < 1e-6, "spine {s}: {v}");
         }
     }
 
@@ -390,7 +381,7 @@ mod tests {
 
     #[test]
     fn nash_reached_and_verified() {
-        let mut rng = SimRng::new(5);
+        let rng = SimRng::new(5);
         let users = vec![
             User {
                 src: 0,
@@ -410,7 +401,10 @@ mod tests {
         ];
         let g = BottleneckGame::symmetric(3, 3, 1.0, users);
         let (x, sweeps) = g.nash(g.concentrated(|i| i % 3), 200, 1e-9);
-        assert!(g.is_nash(&x, 1e-6), "best-response fixed point after {sweeps}");
+        assert!(
+            g.is_nash(&x, 1e-6),
+            "best-response fixed point after {sweeps}"
+        );
         let _ = rng;
     }
 

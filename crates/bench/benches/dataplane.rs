@@ -1,53 +1,50 @@
 //! Micro-benchmarks of CONGA's dataplane primitives — the operations the
 //! ASIC performs per packet or per flowlet.
 
+use conga_bench::{bench, black_box};
 use conga_core::{CongaParams, Dre, FlowletTable, GapMode};
 use conga_net::{ecmp_mix, ChannelId};
 use conga_sim::{SimDuration, SimTime};
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
 
-fn bench_dre(c: &mut Criterion) {
-    let mut g = c.benchmark_group("dre");
-    g.bench_function("on_send", |b| {
+fn bench_dre() {
+    {
         let mut d = Dre::new(40_000_000_000, SimDuration::from_micros(16), 0.1);
         let mut t = 0u64;
-        b.iter(|| {
+        bench("dre/on_send", || {
             t += 300;
             d.on_send(black_box(1560), SimTime::from_nanos(t));
         });
-    });
-    g.bench_function("quantized_read", |b| {
+    }
+    {
         let mut d = Dre::new(40_000_000_000, SimDuration::from_micros(16), 0.1);
         for i in 0..10_000 {
             d.on_send(1560, SimTime::from_nanos(i * 300));
         }
         let mut t = 10_000 * 300;
-        b.iter(|| {
+        bench("dre/quantized_read", || {
             t += 300;
             black_box(d.quantized(SimTime::from_nanos(t), 3));
         });
-    });
-    g.finish();
+    }
 }
 
-fn bench_flowlet_table(c: &mut Criterion) {
-    let mut g = c.benchmark_group("flowlet_table");
+fn bench_flowlet_table() {
     let p = CongaParams::paper_default();
-    g.bench_function("lookup_hit", |b| {
+    {
         let mut t = FlowletTable::new(p.flowlet_entries, p.tfl, GapMode::AgeBit);
         t.lookup(42, SimTime::ZERO);
         t.commit(42, ChannelId(1), SimTime::ZERO);
         let mut now = 0u64;
-        b.iter(|| {
+        bench("flowlet_table/lookup_hit", || {
             now += 100;
             black_box(t.lookup(black_box(42), SimTime::from_nanos(now)));
         });
-    });
-    g.bench_function("lookup_mixed_flows", |b| {
+    }
+    {
         let mut t = FlowletTable::new(p.flowlet_entries, p.tfl, GapMode::AgeBit);
         let mut now = 0u64;
         let mut f = 0u64;
-        b.iter(|| {
+        bench("flowlet_table/lookup_mixed_flows", || {
             now += 100;
             f = f.wrapping_add(0x9E37_79B9_7F4A_7C15);
             if let conga_core::Lookup::NewFlowlet { .. } =
@@ -56,19 +53,19 @@ fn bench_flowlet_table(c: &mut Criterion) {
                 t.commit(f, ChannelId((f % 4) as u32), SimTime::from_nanos(now));
             }
         });
-    });
-    g.finish();
+    }
 }
 
-fn bench_hash(c: &mut Criterion) {
-    c.bench_function("ecmp_mix", |b| {
-        let mut x = 0u64;
-        b.iter(|| {
-            x = x.wrapping_add(1);
-            black_box(ecmp_mix(black_box(x), 0x5B1E));
-        });
+fn bench_hash() {
+    let mut x = 0u64;
+    bench("ecmp_mix", || {
+        x = x.wrapping_add(1);
+        black_box(ecmp_mix(black_box(x), 0x5B1E));
     });
 }
 
-criterion_group!(benches, bench_dre, bench_flowlet_table, bench_hash);
-criterion_main!(benches);
+fn main() {
+    bench_dre();
+    bench_flowlet_table();
+    bench_hash();
+}

@@ -1,30 +1,22 @@
 //! Macro-benchmark: simulated-seconds-per-wall-second for a realistic FCT
 //! workload cell under each scheme — how fast the whole reproduction runs.
 
+use conga_bench::{bench_n, black_box};
 use conga_experiments::{run_fct, FctRun, Scheme, TestbedOpts};
 use conga_workloads::FlowSizeDist;
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
 
-fn bench_fct_cell(c: &mut Criterion) {
-    let mut g = c.benchmark_group("fct_cell");
-    g.sample_size(10);
+fn main() {
     for scheme in [Scheme::Ecmp, Scheme::Conga, Scheme::Mptcp] {
-        g.bench_function(scheme.name(), |b| {
-            b.iter(|| {
-                let mut cfg = FctRun::new(
-                    TestbedOpts::paper_baseline().quick(),
-                    scheme,
-                    FlowSizeDist::enterprise(),
-                    0.5,
-                );
-                cfg.n_flows = 60;
-                cfg.seed = 1;
-                black_box(run_fct(&cfg));
-            });
+        bench_n(&format!("fct_cell/{}", scheme.name()), 3, || {
+            let mut cfg = FctRun::new(
+                TestbedOpts::paper_baseline().quick(),
+                scheme,
+                FlowSizeDist::enterprise(),
+                0.5,
+            );
+            cfg.n_flows = 60;
+            cfg.seed = 1;
+            black_box(run_fct(&cfg));
         });
     }
-    g.finish();
 }
-
-criterion_group!(benches, bench_fct_cell);
-criterion_main!(benches);

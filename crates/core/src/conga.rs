@@ -24,6 +24,7 @@ use conga_net::{
     ecmp_mix, ChannelId, Dataplane, Fib, LeafId, Packet, SpineId, Topology, MAX_LBTAG,
 };
 use conga_sim::{SimRng, SimTime};
+use conga_telemetry::MetricsRegistry;
 
 /// Per-leaf CONGA state.
 #[derive(Debug)]
@@ -45,6 +46,16 @@ pub struct Conga {
     pub sticky_decisions: u64,
     /// Decisions that moved a flow to a strictly better port.
     pub moved_decisions: u64,
+    /// DRE updates (one per fabric transmission).
+    pub dre_updates: u64,
+    /// Fabric transmissions where the link's DRE raised the packet's CE.
+    pub ce_raised: u64,
+    /// Feedback metrics piggybacked onto outgoing packets (§3.3 step 4).
+    pub feedback_piggybacked: u64,
+    /// Feedback metrics harvested into Congestion-To-Leaf at egress.
+    pub feedback_harvested: u64,
+    /// Path-congestion observations recorded into Congestion-From-Leaf.
+    pub from_leaf_records: u64,
     label: &'static str,
 }
 
@@ -58,6 +69,11 @@ impl Conga {
             leaves: Vec::new(),
             sticky_decisions: 0,
             moved_decisions: 0,
+            dre_updates: 0,
+            ce_raised: 0,
+            feedback_piggybacked: 0,
+            feedback_harvested: 0,
+            from_leaf_records: 0,
             label: "conga",
         }
     }
@@ -83,6 +99,7 @@ impl Conga {
 
     /// Decision core, shared by CONGA and (via `remote = 0`) the local-only
     /// baseline: pick argmin over candidates of `max(local, remote)`.
+    #[allow(clippy::too_many_arguments)]
     fn decide(
         dres: &mut [Option<Dre>],
         to_leaf: Option<&CongestionToLeaf>,
@@ -172,6 +189,7 @@ impl Dataplane for Conga {
             o.fb_lbtag = tag;
             o.fb_metric = metric;
             o.fb_valid = true;
+            self.feedback_piggybacked += 1;
         }
 
         // Flowlet lookup; decide only on the first packet of a flowlet.
@@ -242,11 +260,18 @@ impl Dataplane for Conga {
 
     fn on_fabric_tx(&mut self, ch: ChannelId, pkt: &mut Packet, now: SimTime) {
         let q = self.params.q_bits;
-        let dre = self.dres[ch.idx()].as_mut().expect("fabric channel has a DRE");
+        let dre = self.dres[ch.idx()]
+            .as_mut()
+            .expect("fabric channel has a DRE");
         dre.on_send(pkt.size, now);
+        self.dre_updates += 1;
         if let Some(o) = pkt.overlay.as_mut() {
             // CE accumulates the maximum link congestion along the path.
-            o.ce = o.ce.max(dre.quantized(now, q));
+            let m = dre.quantized(now, q);
+            if m > o.ce {
+                o.ce = m;
+                self.ce_raised += 1;
+            }
         }
     }
 
@@ -257,16 +282,35 @@ impl Dataplane for Conga {
         let state = &mut self.leaves[leaf.idx()];
         // Store this packet's path congestion for later piggybacking...
         state.from_leaf.record(o.src_tep.idx(), o.lbtag, o.ce, now);
+        self.from_leaf_records += 1;
         // ...and absorb the feedback it carries into Congestion-To-Leaf.
         if o.fb_valid {
             state
                 .to_leaf
                 .update(o.src_tep.idx(), o.fb_lbtag, o.fb_metric, now);
+            self.feedback_harvested += 1;
         }
     }
 
     fn name(&self) -> &'static str {
         self.label
+    }
+
+    fn export_metrics(&self, reg: &mut MetricsRegistry) {
+        reg.set_counter("dataplane.sticky_decisions", self.sticky_decisions);
+        reg.set_counter("dataplane.moved_decisions", self.moved_decisions);
+        reg.set_counter("dataplane.dre_updates", self.dre_updates);
+        reg.set_counter("dataplane.ce_raised", self.ce_raised);
+        reg.set_counter("dataplane.feedback_piggybacked", self.feedback_piggybacked);
+        reg.set_counter("dataplane.feedback_harvested", self.feedback_harvested);
+        reg.set_counter("dataplane.from_leaf_records", self.from_leaf_records);
+        let (mut hits, mut new_flowlets) = (0u64, 0u64);
+        for leaf in &self.leaves {
+            hits += leaf.flowlets.stats.hits;
+            new_flowlets += leaf.flowlets.stats.new_flowlets;
+        }
+        reg.set_counter("dataplane.flowlet_hits", hits);
+        reg.set_counter("dataplane.flowlet_new", new_flowlets);
     }
 }
 
@@ -288,7 +332,16 @@ mod tests {
     }
 
     fn fabric_pkt(flow_hash: u64, src_leaf: u32, dst_leaf: u32) -> Packet {
-        let mut p = Packet::data(0, 0, flow_hash, HostId(0), HostId(2), 0, 1460, SimTime::ZERO);
+        let mut p = Packet::data(
+            0,
+            0,
+            flow_hash,
+            HostId(0),
+            HostId(2),
+            0,
+            1460,
+            SimTime::ZERO,
+        );
         p.overlay = Some(Overlay::new(LeafId(src_leaf), LeafId(dst_leaf)));
         p
     }

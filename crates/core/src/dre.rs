@@ -52,7 +52,7 @@ impl Dre {
             } else {
                 self.x_bytes *= self.one_minus_alpha.powi(k as i32);
             }
-            self.last_decay = self.last_decay + self.tdre.saturating_mul(k);
+            self.last_decay += self.tdre.saturating_mul(k);
         }
     }
 
@@ -105,7 +105,7 @@ mod tests {
         let mut t = SimTime::ZERO;
         while t < SimTime::ZERO + duration {
             d.on_send(pkt, t);
-            t = t + SimDuration::from_nanos(interval_ns);
+            t += SimDuration::from_nanos(interval_ns);
         }
         t
     }
@@ -129,10 +129,7 @@ mod tests {
             let mut d = dre();
             let t = drive(&mut d, load * GBPS10 as f64, SimDuration::from_millis(2));
             let u = d.utilization(t);
-            assert!(
-                (u - load).abs() < 0.1,
-                "load {load}: estimated {u}"
-            );
+            assert!((u - load).abs() < 0.1, "load {load}: estimated {u}");
         }
     }
 

@@ -97,9 +97,7 @@ impl FlowletTable {
             GapMode::Exact => SimTime::from_nanos(last_seen.as_nanos() + tfl),
             // Age bit: the sweep at the *second* period boundary after the
             // last packet finds the age bit still set and expires the entry.
-            GapMode::AgeBit => {
-                SimTime::from_nanos((last_seen.as_nanos() / tfl + 2) * tfl)
-            }
+            GapMode::AgeBit => SimTime::from_nanos((last_seen.as_nanos() / tfl + 2) * tfl),
         }
     }
 

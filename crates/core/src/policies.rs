@@ -15,10 +15,9 @@ use crate::conga::Conga;
 use crate::dre::Dre;
 use crate::flowlet::{FlowletTable, Lookup};
 use crate::params::CongaParams;
-use conga_net::{
-    ecmp_mix, ChannelId, Dataplane, Fib, LeafId, NodeId, Packet, SpineId, Topology,
-};
+use conga_net::{ecmp_mix, ChannelId, Dataplane, Fib, LeafId, NodeId, Packet, SpineId, Topology};
 use conga_sim::{SimRng, SimTime};
+use conga_telemetry::MetricsRegistry;
 
 // ---------------------------------------------------------------------------
 // ECMP
@@ -45,8 +44,7 @@ impl Dataplane for Ecmp {
     ) -> ChannelId {
         let h = ecmp_mix(pkt.flow_hash, 0x1EAF_0000 + leaf.0 as u64);
         let ch = candidates[(h % candidates.len() as u64) as usize];
-        pkt.overlay.as_mut().expect("ingress without overlay").lbtag =
-            self.lbtag_of[ch.idx()];
+        pkt.overlay.as_mut().expect("ingress without overlay").lbtag = self.lbtag_of[ch.idx()];
         ch
     }
 
@@ -140,7 +138,11 @@ impl Dataplane for LocalAware {
         self.lbtag_of = fib.lbtag_of.clone();
         self.flowlets = (0..topo.n_leaves)
             .map(|_| {
-                FlowletTable::new(self.params.flowlet_entries, self.params.tfl, self.params.gap_mode)
+                FlowletTable::new(
+                    self.params.flowlet_entries,
+                    self.params.tfl,
+                    self.params.gap_mode,
+                )
             })
             .collect();
     }
@@ -177,8 +179,7 @@ impl Dataplane for LocalAware {
                 port
             }
         };
-        pkt.overlay.as_mut().expect("ingress without overlay").lbtag =
-            self.lbtag_of[ch.idx()];
+        pkt.overlay.as_mut().expect("ingress without overlay").lbtag = self.lbtag_of[ch.idx()];
         ch
     }
 
@@ -205,6 +206,16 @@ impl Dataplane for LocalAware {
     fn leaf_egress(&mut self, _leaf: LeafId, _pkt: &Packet, _now: SimTime) {}
     fn name(&self) -> &'static str {
         "local"
+    }
+
+    fn export_metrics(&self, reg: &mut MetricsRegistry) {
+        let (mut hits, mut new_flowlets) = (0u64, 0u64);
+        for t in &self.flowlets {
+            hits += t.stats.hits;
+            new_flowlets += t.stats.new_flowlets;
+        }
+        reg.set_counter("dataplane.flowlet_hits", hits);
+        reg.set_counter("dataplane.flowlet_new", new_flowlets);
     }
 }
 
@@ -297,7 +308,9 @@ impl Dataplane for WeightedRandom {
                 let mut v = Vec::with_capacity(cands.len());
                 for &u in cands {
                     let up = topo.channel(u);
-                    let NodeId::Spine(s) = up.dst else { unreachable!() };
+                    let NodeId::Spine(s) = up.dst else {
+                        unreachable!()
+                    };
                     // Capacity share through this uplink: bounded by the
                     // uplink itself and by a fair share of the spine's
                     // downlink capacity toward the destination.
@@ -432,6 +445,14 @@ impl Dataplane for Incremental {
     fn name(&self) -> &'static str {
         "incremental"
     }
+
+    fn export_metrics(&self, reg: &mut MetricsRegistry) {
+        Dataplane::export_metrics(&self.conga, reg);
+        reg.set_counter(
+            "dataplane.conga_leaves",
+            self.conga_leaves.iter().filter(|&&b| b).count() as u64,
+        );
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -549,6 +570,9 @@ impl Dataplane for FabricPolicy {
     fn name(&self) -> &'static str {
         delegate!(self, p => p.name())
     }
+    fn export_metrics(&self, reg: &mut MetricsRegistry) {
+        delegate!(self, p => p.export_metrics(reg))
+    }
 }
 
 #[cfg(test)]
@@ -557,16 +581,23 @@ mod tests {
     use conga_net::{HostId, LeafSpineBuilder, Overlay};
 
     fn setup<P: Dataplane>(mut p: P) -> (Topology, Fib, P) {
-        let topo = LeafSpineBuilder::new(2, 2, 2)
-            .parallel_links(2)
-            .build();
+        let topo = LeafSpineBuilder::new(2, 2, 2).parallel_links(2).build();
         let fib = topo.fib();
         p.install(&topo, &fib);
         (topo, fib, p)
     }
 
     fn fabric_pkt(flow_hash: u64) -> Packet {
-        let mut p = Packet::data(0, 0, flow_hash, HostId(0), HostId(2), 0, 1460, SimTime::ZERO);
+        let mut p = Packet::data(
+            0,
+            0,
+            flow_hash,
+            HostId(0),
+            HostId(2),
+            0,
+            1460,
+            SimTime::ZERO,
+        );
         p.overlay = Some(Overlay::new(LeafId(0), LeafId(1)));
         p
     }
@@ -579,16 +610,25 @@ mod tests {
         let mut counts = vec![0usize; cands.len()];
         for f in 0..4000u64 {
             let h = ecmp_mix(f, 99);
-            let c1 = e.leaf_ingress(LeafId(0), &mut fabric_pkt(h), &cands, SimTime::ZERO, &mut rng);
-            let c2 = e.leaf_ingress(LeafId(0), &mut fabric_pkt(h), &cands, SimTime::ZERO, &mut rng);
+            let c1 = e.leaf_ingress(
+                LeafId(0),
+                &mut fabric_pkt(h),
+                &cands,
+                SimTime::ZERO,
+                &mut rng,
+            );
+            let c2 = e.leaf_ingress(
+                LeafId(0),
+                &mut fabric_pkt(h),
+                &cands,
+                SimTime::ZERO,
+                &mut rng,
+            );
             assert_eq!(c1, c2, "same flow must always hash to the same path");
             counts[cands.iter().position(|&x| x == c1).unwrap()] += 1;
         }
         for (i, &c) in counts.iter().enumerate() {
-            assert!(
-                (800..=1200).contains(&c),
-                "uplink {i} got {c}/4000 flows"
-            );
+            assert!((800..=1200).contains(&c), "uplink {i} got {c}/4000 flows");
         }
     }
 
@@ -598,7 +638,15 @@ mod tests {
         let mut rng = SimRng::new(2);
         let cands = fib.up_candidates[0][1].clone();
         let picks: Vec<ChannelId> = (0..8)
-            .map(|_| s.leaf_ingress(LeafId(0), &mut fabric_pkt(7), &cands, SimTime::ZERO, &mut rng))
+            .map(|_| {
+                s.leaf_ingress(
+                    LeafId(0),
+                    &mut fabric_pkt(7),
+                    &cands,
+                    SimTime::ZERO,
+                    &mut rng,
+                )
+            })
             .collect();
         // Perfect rotation: every candidate appears exactly twice in 8 picks.
         for &c in &cands {
@@ -670,7 +718,13 @@ mod tests {
             assert_eq!(p.name(), name);
             let mut rng = SimRng::new(5);
             let cands = fib.up_candidates[0][1].clone();
-            let ch = p.leaf_ingress(LeafId(0), &mut fabric_pkt(9), &cands, SimTime::ZERO, &mut rng);
+            let ch = p.leaf_ingress(
+                LeafId(0),
+                &mut fabric_pkt(9),
+                &cands,
+                SimTime::ZERO,
+                &mut rng,
+            );
             assert!(cands.contains(&ch));
         }
     }

@@ -251,8 +251,8 @@ mod tests {
         let _ = t.select_feedback(0, now); // clears changed
         t.record(0, 0, 4, now); // same value: no change flag
         t.record(0, 1, 1, now); // a genuinely new entry
-        // The changed entry (tag 1) wins even though cursor is at tag 1...
-        // regardless of cursor position the changed one must be preferred.
+                                // The changed entry (tag 1) wins even though cursor is at tag 1...
+                                // regardless of cursor position the changed one must be preferred.
         assert_eq!(t.select_feedback(0, now).unwrap().0, 1);
     }
 }

@@ -1,70 +1,92 @@
-//! Property tests for the CONGA dataplane components.
+//! Property-style tests for the CONGA dataplane components, driven by the
+//! in-tree deterministic RNG with fixed seeds.
 
-use conga_core::{CongaParams, CongestionFromLeaf, CongestionToLeaf, Dre, FlowletTable, GapMode, Lookup};
+use conga_core::{
+    CongaParams, CongestionFromLeaf, CongestionToLeaf, Dre, FlowletTable, GapMode, Lookup,
+};
 use conga_net::ChannelId;
 use conga_sim::{SimDuration, SimRng, SimTime};
-use proptest::prelude::*;
 
-proptest! {
-    /// The DRE register is proportional to the offered rate in steady
-    /// state, for arbitrary rates and packet sizes.
-    #[test]
-    fn dre_tracks_rate(load in 0.05f64..0.95, pkt in 200u32..9000) {
+/// The DRE register is proportional to the offered rate in steady state,
+/// for arbitrary rates and packet sizes.
+#[test]
+fn dre_tracks_rate() {
+    let mut rng = SimRng::new(0xD4E_4A7E);
+    let mut cases = 0;
+    while cases < 64 {
+        let load = 0.05 + 0.90 * rng.f64();
+        let pkt = rng.range_u64(200, 9000) as u32;
         let cap = 10_000_000_000u64;
-        let mut d = Dre::new(cap, SimDuration::from_micros(16), 0.1);
         let interval_ns = (pkt as f64 * 8.0 / (load * cap as f64) * 1e9) as u64;
-        prop_assume!(interval_ns > 0);
+        if interval_ns == 0 {
+            continue;
+        }
+        cases += 1;
+        let mut d = Dre::new(cap, SimDuration::from_micros(16), 0.1);
         let mut t = SimTime::ZERO;
         while t < SimTime::from_millis(2) {
             d.on_send(pkt, t);
-            t = t + SimDuration::from_nanos(interval_ns);
+            t += SimDuration::from_nanos(interval_ns);
         }
         let u = d.utilization(t);
-        prop_assert!((u - load).abs() < 0.12, "load {load} estimated {u}");
+        assert!((u - load).abs() < 0.12, "load {load} estimated {u}");
     }
+}
 
-    /// Quantization is monotone in utilization and bounded by 2^Q - 1.
-    #[test]
-    fn dre_quantization_monotone(q in 1u8..8) {
+/// Quantization is monotone in utilization and bounded by 2^Q - 1.
+#[test]
+fn dre_quantization_monotone() {
+    for q in 1u8..8 {
         let mut d = Dre::new(1_000_000_000, SimDuration::from_micros(16), 0.1);
         let mut prev = 0u8;
         let now = SimTime::from_micros(1);
         for _ in 0..2000 {
             d.on_send(1500, now);
             let v = d.quantized(now, q);
-            prop_assert!(v >= prev, "quantized metric went down while only adding bytes");
-            prop_assert!(v <= (1 << q) - 1);
+            assert!(
+                v >= prev,
+                "quantized metric went down while only adding bytes"
+            );
+            assert!(v < (1 << q));
             prev = v;
         }
-        prop_assert_eq!(prev, (1 << q) - 1, "should saturate");
+        assert_eq!(prev, (1 << q) - 1, "Q={q} should saturate");
     }
+}
 
-    /// Flowlet table: packets spaced closer than T_fl never change port,
-    /// for random hash values and spacings (Exact mode).
-    #[test]
-    fn flowlet_no_move_within_gap(
-        hash in any::<u64>(),
-        spacings in proptest::collection::vec(1u64..499_000, 1..50),
-    ) {
+/// Flowlet table: packets spaced closer than T_fl never change port, for
+/// random hash values and spacings (Exact mode).
+#[test]
+fn flowlet_no_move_within_gap() {
+    let mut rng = SimRng::new(0xF10_77E7);
+    for _case in 0..128 {
+        let hash = rng.u64();
+        let n = rng.range_u64(1, 50) as usize;
+        let spacings: Vec<u64> = (0..n).map(|_| rng.range_u64(1, 499_000)).collect();
         let tfl = SimDuration::from_micros(500);
         let mut t = FlowletTable::new(1 << 12, tfl, GapMode::Exact);
         let mut now = SimTime::from_micros(3);
         let first_is_new = matches!(t.lookup(hash, now), Lookup::NewFlowlet { .. });
-        prop_assert!(first_is_new);
+        assert!(first_is_new);
         t.commit(hash, ChannelId(7), now);
         for &gap in &spacings {
-            now = now + SimDuration::from_nanos(gap);
+            now += SimDuration::from_nanos(gap);
             match t.lookup(hash, now) {
-                Lookup::Active(p) => prop_assert_eq!(p, ChannelId(7)),
-                other => return Err(TestCaseError::fail(format!("gap {gap} expired: {other:?}"))),
+                Lookup::Active(p) => assert_eq!(p, ChannelId(7)),
+                other => panic!("gap {gap} expired: {other:?}"),
             }
         }
     }
+}
 
-    /// Age-bit mode detects gaps strictly within (T_fl, 2*T_fl] of the
-    /// last packet, for arbitrary phases.
-    #[test]
-    fn flowlet_agebit_gap_window(last_us in 0u64..10_000, extra_ns in 0u64..2_000_000) {
+/// Age-bit mode detects gaps strictly within (T_fl, 2*T_fl] of the last
+/// packet, for arbitrary phases.
+#[test]
+fn flowlet_agebit_gap_window() {
+    let mut rng = SimRng::new(0xA6E_B175);
+    for _case in 0..256 {
+        let last_us = rng.below(10_000) as u64;
+        let extra_ns = rng.below(2_000_000) as u64;
         let tfl_ns = 500_000u64;
         let mut t = FlowletTable::new(64, SimDuration::from_nanos(tfl_ns), GapMode::AgeBit);
         let last = SimTime::from_micros(last_us);
@@ -73,19 +95,26 @@ proptest! {
         let probe = SimTime::from_nanos(last.as_nanos() + extra_ns);
         let expired = matches!(t.lookup(9, probe), Lookup::NewFlowlet { .. });
         let expiry = (last.as_nanos() / tfl_ns + 2) * tfl_ns;
-        prop_assert_eq!(expired, probe.as_nanos() >= expiry);
+        assert_eq!(expired, probe.as_nanos() >= expiry);
         if expired {
-            prop_assert!(extra_ns > tfl_ns, "expired before one full T_fl of idle");
+            assert!(extra_ns > tfl_ns, "expired before one full T_fl of idle");
         }
         if extra_ns > 2 * tfl_ns {
-            prop_assert!(expired, "still active after 2*T_fl idle");
+            assert!(expired, "still active after 2*T_fl idle");
         }
     }
+}
 
-    /// Congestion tables: reads reflect the latest write until aging, and
-    /// feedback round-robin eventually reports every recorded tag.
-    #[test]
-    fn tables_roundtrip(writes in proptest::collection::vec((0usize..4, 0u8..12, 0u8..8), 1..40)) {
+/// Congestion tables: reads reflect the latest write until aging, and
+/// feedback round-robin eventually reports every recorded tag.
+#[test]
+fn tables_roundtrip() {
+    let mut rng = SimRng::new(0x7AB_1E57);
+    for _case in 0..128 {
+        let n = rng.range_u64(1, 40) as usize;
+        let writes: Vec<(usize, u8, u8)> = (0..n)
+            .map(|_| (rng.below(4), rng.below(12) as u8, rng.below(8) as u8))
+            .collect();
         let age = SimDuration::from_millis(10);
         let mut to = CongestionToLeaf::new(4, 12, age);
         let now = SimTime::from_micros(100);
@@ -95,8 +124,8 @@ proptest! {
             last.insert((leaf, tag), m);
         }
         for (&(leaf, tag), &m) in &last {
-            prop_assert_eq!(to.read(leaf, tag, now), m);
-            prop_assert_eq!(to.read(leaf, tag, now + SimDuration::from_millis(20)), 0);
+            assert_eq!(to.read(leaf, tag, now), m);
+            assert_eq!(to.read(leaf, tag, now + SimDuration::from_millis(20)), 0);
         }
 
         let mut from = CongestionFromLeaf::new(4, 12, age);
@@ -113,16 +142,21 @@ proptest! {
                     seen.insert(tag);
                 }
             }
-            prop_assert_eq!(&seen, tags, "round-robin must cover all recorded tags");
+            assert_eq!(&seen, tags, "round-robin must cover all recorded tags");
         }
     }
+}
 
-    /// The full CONGA decision is always one of the offered candidates
-    /// and the packet's LBTag matches the chosen uplink.
-    #[test]
-    fn conga_decisions_are_valid(seed in any::<u64>(), nflows in 1usize..40) {
-        use conga_core::Conga;
-        use conga_net::{Dataplane, LeafSpineBuilder, LeafId, Overlay, Packet, HostId};
+/// The full CONGA decision is always one of the offered candidates and
+/// the packet's LBTag matches the chosen uplink.
+#[test]
+fn conga_decisions_are_valid() {
+    use conga_core::Conga;
+    use conga_net::{Dataplane, HostId, LeafId, LeafSpineBuilder, Overlay, Packet};
+    let mut meta = SimRng::new(0xC09_6ADE);
+    for _case in 0..64 {
+        let seed = meta.u64();
+        let nflows = meta.range_u64(1, 40) as usize;
         let topo = LeafSpineBuilder::new(2, 2, 2).parallel_links(2).build();
         let fib = topo.fib();
         let mut c = Conga::new(CongaParams::paper_default());
@@ -130,12 +164,21 @@ proptest! {
         let mut rng = SimRng::new(seed);
         let cands = fib.up_candidates[0][1].clone();
         for f in 0..nflows {
-            let mut p = Packet::data(f as u32, 0, seed ^ f as u64, HostId(0), HostId(2), 0, 1460, SimTime::ZERO);
+            let mut p = Packet::data(
+                f as u32,
+                0,
+                seed ^ f as u64,
+                HostId(0),
+                HostId(2),
+                0,
+                1460,
+                SimTime::ZERO,
+            );
             p.overlay = Some(Overlay::new(LeafId(0), LeafId(1)));
             let t = SimTime::from_micros(f as u64 * 37);
             let ch = c.leaf_ingress(LeafId(0), &mut p, &cands, t, &mut rng);
-            prop_assert!(cands.contains(&ch));
-            prop_assert_eq!(p.overlay.unwrap().lbtag, fib.lbtag_of[ch.idx()]);
+            assert!(cands.contains(&ch));
+            assert_eq!(p.overlay.unwrap().lbtag, fib.lbtag_of[ch.idx()]);
             c.on_fabric_tx(ch, &mut p, t);
         }
     }

@@ -43,7 +43,10 @@ fn main() {
         "enterprise @ 60% load with link failure; overall FCT normalized to optimal",
     );
     let base = CongaParams::paper_default();
-    println!("baseline (Q=3, tau=160us, Tfl=500us): {:.3}\n", run_with(base, &args));
+    println!(
+        "baseline (Q=3, tau=160us, Tfl=500us): {:.3}\n",
+        run_with(base, &args)
+    );
 
     println!("Q (quantization bits):");
     for q in [1u8, 2, 3, 4, 6, 8] {
@@ -53,7 +56,13 @@ fn main() {
     }
 
     println!("tau = Tdre/alpha (DRE time constant):");
-    for (tdre_us, label) in [(5u64, "50us"), (16, "160us"), (50, "500us"), (200, "2ms"), (1000, "10ms")] {
+    for (tdre_us, label) in [
+        (5u64, "50us"),
+        (16, "160us"),
+        (50, "500us"),
+        (200, "2ms"),
+        (1000, "10ms"),
+    ] {
         let mut p = base;
         p.tdre = SimDuration::from_micros(tdre_us);
         println!("  tau={label}: {:.3}", run_with(p, &args));
@@ -73,7 +82,10 @@ fn main() {
     }
 
     println!("gap detection (Tfl=500us):");
-    for (mode, label) in [(GapMode::AgeBit, "age-bit (hardware)"), (GapMode::Exact, "exact timestamps")] {
+    for (mode, label) in [
+        (GapMode::AgeBit, "age-bit (hardware)"),
+        (GapMode::Exact, "exact timestamps"),
+    ] {
         let mut p = base;
         p.gap_mode = mode;
         println!("  {label}: {:.3}", run_with(p, &args));

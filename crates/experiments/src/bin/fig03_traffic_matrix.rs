@@ -73,15 +73,13 @@ fn run(policy: FabricPolicy, with_l0_traffic: bool, args: &Args) -> (f64, f64, f
     net.run_until(SimTime::from_millis(warm + window));
     let mut via = [0.0f64; 2];
     for (i, &c) in up1.iter().enumerate() {
-        let gbps =
-            (net.port(c).tx_bytes - start[i]) as f64 * 8.0 / (window as f64 * 1e-3) / 1e9;
+        let gbps = (net.port(c).tx_bytes - start[i]) as f64 * 8.0 / (window as f64 * 1e-3) / 1e9;
         let NodeId::Spine(SpineId(s)) = net.topo.channel(c).dst else {
             unreachable!()
         };
         via[s as usize] += gbps;
     }
-    let total =
-        (net.stats.delivered_payload - del0) as f64 * 8.0 / (window as f64 * 1e-3) / 1e9;
+    let total = (net.stats.delivered_payload - del0) as f64 * 8.0 / (window as f64 * 1e-3) / 1e9;
     (via[0], via[1], total)
 }
 

@@ -11,7 +11,7 @@
 //!   the data-mining workload at 60 % load.
 
 use conga_experiments::cli::banner;
-use conga_experiments::figures::{fct_sweep, loads_arg, print_fct_panels};
+use conga_experiments::figures::{fct_sweep, loads_arg, print_fct_panels, write_metrics_sidecar};
 use conga_experiments::{Args, FctRun, Scheme, TestbedOpts};
 use conga_net::{ChannelId, ChannelKind, NodeId};
 use conga_workloads::FlowSizeDist;
@@ -69,7 +69,11 @@ fn main() {
         cfg.sample_uplinks = true;
         // Sample the hotspot channel instead of the leaf-0 uplinks: rebuild
         // the channel list by hand.
-        let out = run_and_sample_hotspot(&cfg);
+        let (out, report) = run_and_sample_hotspot(&cfg);
+        match write_metrics_sidecar("fig11_link_failure", scheme.name(), &report) {
+            Ok(p) => eprintln!("metrics sidecar: {}", p.display()),
+            Err(e) => eprintln!("metrics sidecar write failed: {e}"),
+        }
         println!(
             "{:<12}{:>12.0}{:>12.0}{:>12.0}{:>12.0}",
             scheme.name(),
@@ -82,8 +86,9 @@ fn main() {
 }
 
 /// Run the cell and return (p50, p90, p99, max) of the hotspot queue in
-/// bytes. The hotspot is the surviving Spine1→Leaf1 channel.
-fn run_and_sample_hotspot(cfg: &FctRun) -> (f64, f64, f64, f64) {
+/// bytes plus the run's telemetry report. The hotspot is the surviving
+/// Spine1→Leaf1 channel.
+fn run_and_sample_hotspot(cfg: &FctRun) -> ((f64, f64, f64, f64), conga_telemetry::RunReport) {
     use conga_analysis::stats::percentile;
     // Identify the hotspot channel id in the built topology: the channel
     // from spine 1 to leaf 1.
@@ -104,21 +109,24 @@ fn run_and_sample_hotspot(cfg: &FctRun) -> (f64, f64, f64, f64) {
     // run_fct samples leaf-0 uplinks; we need the hotspot, so replicate the
     // queue series from fabric mean/max stats: use the generic sampler by
     // running a custom copy here.
-    let out = run_fct_sampling(cfg, hotspot[0]);
+    let (out, report) = run_fct_sampling(cfg, hotspot[0]);
     if out.is_empty() {
-        return (0.0, 0.0, 0.0, 0.0);
+        return ((0.0, 0.0, 0.0, 0.0), report);
     }
     (
-        percentile(&out, 50.0),
-        percentile(&out, 90.0),
-        percentile(&out, 99.0),
-        percentile(&out, 100.0),
+        (
+            percentile(&out, 50.0),
+            percentile(&out, 90.0),
+            percentile(&out, 99.0),
+            percentile(&out, 100.0),
+        ),
+        report,
     )
 }
 
 /// A copy of the runner's core loop that samples one specific channel's
 /// queue depth every 1 ms.
-fn run_fct_sampling(cfg: &FctRun, ch: ChannelId) -> Vec<f64> {
+fn run_fct_sampling(cfg: &FctRun, ch: ChannelId) -> (Vec<f64>, conga_telemetry::RunReport) {
     use conga_net::Network;
     use conga_sim::{SimDuration, SimRng, SimTime};
     use conga_transport::{ListSource, TransportLayer};
@@ -164,5 +172,10 @@ fn run_fct_sampling(cfg: &FctRun, ch: ChannelId) -> Vec<f64> {
             break;
         }
     }
-    net.samples.queue_bytes[0].iter().map(|&b| b as f64).collect()
+    let report = conga_experiments::build_report(&net, cfg);
+    let series = net.samples.queue_bytes[0]
+        .iter()
+        .map(|&b| b as f64)
+        .collect();
+    (series, report)
 }

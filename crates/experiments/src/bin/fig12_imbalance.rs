@@ -8,6 +8,7 @@
 use conga_analysis::imbalance::throughput_imbalance;
 use conga_analysis::stats::percentile;
 use conga_experiments::cli::banner;
+use conga_experiments::figures::write_metrics_sidecar;
 use conga_experiments::{run_fct, Args, FctRun, Scheme, TestbedOpts};
 use conga_workloads::FlowSizeDist;
 
@@ -41,13 +42,25 @@ fn main() {
             cfg.seed = args.seed;
             cfg.sample_uplinks = true;
             let out = run_fct(&cfg);
+            let label = format!("{}.{}", dist.name(), scheme.name());
+            match write_metrics_sidecar("fig12_imbalance", &label, &out.report) {
+                Ok(p) => eprintln!("metrics sidecar: {}", p.display()),
+                Err(e) => eprintln!("metrics sidecar write failed: {e}"),
+            }
             // Only windows where the uplinks average at least 10% utilized
             // say anything about balance (idle head/tail windows would
             // otherwise dominate the percentiles).
             let min_avg = 0.10 * 40e9 * 0.010 / 8.0;
             let imb = throughput_imbalance(&out.uplink_tx_samples, min_avg);
             if imb.is_empty() {
-                println!("{:<12}{:>10}{:>10}{:>10}{:>10}", scheme.name(), "-", "-", "-", "-");
+                println!(
+                    "{:<12}{:>10}{:>10}{:>10}{:>10}",
+                    scheme.name(),
+                    "-",
+                    "-",
+                    "-",
+                    "-"
+                );
                 continue;
             }
             println!(

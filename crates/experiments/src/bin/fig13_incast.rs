@@ -11,15 +11,18 @@
 //! dramatically worse.
 
 use conga_experiments::cli::banner;
+use conga_experiments::figures::write_metrics_sidecar;
 use conga_experiments::{Args, Scheme};
 use conga_net::{HostId, LeafSpineBuilder, Network};
-use conga_sim::{SimDuration, SimTime};
 use conga_sim::SimRng;
+use conga_sim::{SimDuration, SimTime};
+use conga_telemetry::RunReport;
 use conga_transport::{FlowSpec, ListSource, TcpConfig, TransportLayer};
 use conga_workloads::IncastPattern;
 
-/// Run one incast: returns goodput as a % of the 10G access line rate.
-fn run_incast(scheme: Scheme, fanout: u32, tcp: TcpConfig, seed: u64) -> f64 {
+/// Run one incast: returns goodput as a % of the 10G access line rate plus
+/// the run's telemetry report.
+fn run_incast(scheme: Scheme, fanout: u32, tcp: TcpConfig, seed: u64) -> (f64, RunReport) {
     let topo = LeafSpineBuilder::new(2, 2, 32)
         .host_rate_gbps(10)
         .fabric_rate_gbps(40)
@@ -79,8 +82,17 @@ fn run_incast(scheme: Scheme, fanout: u32, tcp: TcpConfig, seed: u64) -> f64 {
         .unwrap_or(net.now());
     let total_bytes: u64 = pat.per_server * fanout as u64;
     let goodput = total_bytes as f64 * 8.0 / last_done.as_secs_f64();
+    let mut report = RunReport::new();
+    report.set_meta("figure", "fig13_incast");
+    report.set_meta("scheme", scheme.name());
+    report.set_meta("fanout", fanout.to_string());
+    report.set_meta("seed", seed.to_string());
+    report.set_meta("mss", tcp.mss.to_string());
+    report.set_meta("min_rto_ns", tcp.min_rto.as_nanos().to_string());
+    report.set_meta("end_time_ns", net.now().as_nanos().to_string());
+    net.export_metrics(&mut report.metrics);
     // Percentage of the 10G access link (the paper's y-axis).
-    100.0 * goodput / 10e9
+    (100.0 * goodput / 10e9, report)
 }
 
 fn main() {
@@ -95,8 +107,10 @@ fn main() {
     } else {
         vec![1, 2, 4, 8, 16, 24, 32, 40, 48, 56, 63]
     };
-    for (mtu_name, cfg) in [("MTU 1500", TcpConfig::standard()), ("MTU 9000", TcpConfig::jumbo())]
-    {
+    for (mtu_name, cfg) in [
+        ("MTU 1500", TcpConfig::standard()),
+        ("MTU 9000", TcpConfig::jumbo()),
+    ] {
         println!("\n({mtu_name})");
         print!("{:<26}", "scheme / fanout");
         for f in &fanouts {
@@ -112,7 +126,11 @@ fn main() {
             let tcp = cfg.with_min_rto(SimDuration::from_millis(rto_ms));
             print!("{label:<26}");
             for &f in &fanouts {
-                let pct = run_incast(scheme, f, tcp, args.seed);
+                let (pct, report) = run_incast(scheme, f, tcp, args.seed);
+                let tag = format!("{mtu_name}.{label}.f{f:02}");
+                if let Err(e) = write_metrics_sidecar("fig13_incast", &tag, &report) {
+                    eprintln!("metrics sidecar write failed: {e}");
+                }
                 print!("{pct:>7.1}");
             }
             println!();

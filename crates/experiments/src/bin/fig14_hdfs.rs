@@ -71,9 +71,9 @@ fn run_trial(scheme: Scheme, failed: bool, seed: u64, args: &Args) -> f64 {
     use std::collections::HashMap;
     let mut flow_owner: HashMap<usize, usize> = HashMap::new();
     let launch = |net: &mut Network<_, _>,
-                      flow_owner: &mut HashMap<usize, usize>,
-                      job: &mut HdfsJob,
-                      w: usize| {
+                  flow_owner: &mut HashMap<usize, usize>,
+                  job: &mut HdfsJob,
+                  w: usize| {
         if let Some(b) = job.next_block(w) {
             for (src, dst) in [b.hop1, b.hop2, b.hop3] {
                 let id = net.agent_call(|a: &mut TransportLayer, now, em| {
@@ -143,7 +143,7 @@ fn main() {
         ("(b) with link failure", true),
     ] {
         println!("\n{case}");
-        println!("{:<12}{}", "scheme", "job completion times (s) per trial");
+        println!("{:<12}job completion times (s) per trial", "scheme");
         for scheme in [Scheme::Ecmp, Scheme::Conga, Scheme::Mptcp] {
             print!("{:<12}", scheme.name());
             let mut times = Vec::new();

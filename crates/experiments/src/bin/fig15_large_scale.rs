@@ -66,7 +66,7 @@ fn main() {
             &[Scheme::Ecmp, Scheme::Conga],
             500,
         );
-        println!("{:<12}{}", "load", "FCT normalized to ECMP");
+        println!("{:<12}FCT normalized to ECMP", "load");
         print!("{:<12}", "");
         for l in &loads {
             print!("{:>9.0}%", l * 100.0);

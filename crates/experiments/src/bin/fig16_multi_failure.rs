@@ -59,8 +59,7 @@ fn main() {
             .max(1);
         // Load reference: the *unfailed* per-leaf capacity (12 x 40G or the
         // access bound for --quick).
-        let unfailed_cap =
-            (12 * 40_000_000_000u64).min(hosts_per_leaf as u64 * 10_000_000_000);
+        let unfailed_cap = (12 * 40_000_000_000u64).min(hosts_per_leaf as u64 * 10_000_000_000);
         let _ = per_leaf_cap;
         let mut rng = SimRng::new(args.seed);
         let arrivals = uniform_arrivals(
@@ -134,6 +133,8 @@ fn main() {
         let (_, _, d_ecmp) = &results[0];
         let (_, _, d_conga) = &results[1];
         let ratio = mean(d_ecmp) / mean(d_conga).max(1e-9);
-        println!("\nECMP/CONGA mean spine-downlink queue ratio: {ratio:.1}x (paper: ~10x at hot ports)");
+        println!(
+            "\nECMP/CONGA mean spine-downlink queue ratio: {ratio:.1}x (paper: ~10x at hot ports)"
+        );
     }
 }

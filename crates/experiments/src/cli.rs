@@ -21,6 +21,7 @@ impl Args {
     }
 
     /// Parse from an explicit iterator (testable).
+    #[allow(clippy::should_implement_trait)]
     pub fn from_iter<I: IntoIterator<Item = String>>(it: I) -> Args {
         let mut quick = false;
         let mut seed = 1u64;

@@ -3,7 +3,27 @@
 
 use crate::cli::{banner, Args};
 use crate::runner::{run_fct, FctRun, Scheme, TestbedOpts};
+use conga_telemetry::RunReport;
 use conga_workloads::FlowSizeDist;
+use std::path::PathBuf;
+
+/// Write a run's telemetry artifact as `results/<figure>.<label>.metrics.json`
+/// and return the path. The label is slugified (lowercase, non-alphanumerics
+/// become `-`) so scheme names like `CONGA-Flow` give stable file names.
+pub fn write_metrics_sidecar(
+    figure: &str,
+    label: &str,
+    report: &RunReport,
+) -> std::io::Result<PathBuf> {
+    let slug: String = label
+        .to_ascii_lowercase()
+        .chars()
+        .map(|c| if c.is_ascii_alphanumeric() { c } else { '-' })
+        .collect();
+    let path = PathBuf::from("results").join(format!("{figure}.{slug}.metrics.json"));
+    report.write_to(&path)?;
+    Ok(path)
+}
 
 /// Results of one FCT sweep: `cells[scheme][load]`.
 pub struct Sweep {
@@ -126,11 +146,14 @@ pub fn run_baseline_figure(args: &Args, dist: FlowSizeDist, title: &str, flows_f
         title,
         "testbed: 64 hosts, 2 leaves, 2 spines, 10G access / 2x40G uplinks (2:1 oversub)",
     );
-    let loads = loads_arg(args, if args.quick {
-        vec![0.3, 0.6]
-    } else {
-        (1..=9).map(|l| l as f64 / 10.0).collect()
-    });
+    let loads = loads_arg(
+        args,
+        if args.quick {
+            vec![0.3, 0.6]
+        } else {
+            (1..=9).map(|l| l as f64 / 10.0).collect()
+        },
+    );
     let sweep = fct_sweep(
         args,
         TestbedOpts::paper_baseline(),

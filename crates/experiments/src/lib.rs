@@ -16,6 +16,6 @@ pub mod runner;
 
 pub use cli::Args;
 pub use runner::{
-    build_testbed, merged_arrivals, run_fct, run_fct_with_policy, uniform_arrivals, FctOutcome,
-    FctRun, Scheme, TestbedOpts,
+    build_report, build_testbed, merged_arrivals, run_fct, run_fct_with_policy, uniform_arrivals,
+    FctOutcome, FctRun, Scheme, TestbedOpts,
 };

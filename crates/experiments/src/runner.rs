@@ -3,10 +3,9 @@
 
 use conga_analysis::fct::{ideal_fct_s, summarize, FctSample, FctSummary};
 use conga_core::FabricPolicy;
-use conga_net::{
-    ChannelId, HostId, LeafSpineBuilder, Network, Topology, WIRE_OVERHEAD,
-};
+use conga_net::{ChannelId, HostId, LeafSpineBuilder, Network, Topology, WIRE_OVERHEAD};
 use conga_sim::{SimDuration, SimRng, SimTime};
+use conga_telemetry::RunReport;
 use conga_transport::{
     FlowSpec, ListSource, MptcpConfig, TcpConfig, TransportKind, TransportLayer,
 };
@@ -34,7 +33,12 @@ pub enum Scheme {
 
 impl Scheme {
     /// The four schemes of the main testbed figures.
-    pub const PAPER: [Scheme; 4] = [Scheme::Ecmp, Scheme::CongaFlow, Scheme::Conga, Scheme::Mptcp];
+    pub const PAPER: [Scheme; 4] = [
+        Scheme::Ecmp,
+        Scheme::CongaFlow,
+        Scheme::Conga,
+        Scheme::Mptcp,
+    ];
 
     /// Display name matching the paper's legends.
     pub fn name(self) -> &'static str {
@@ -192,6 +196,9 @@ pub struct FctOutcome {
     pub uplink_queue_samples: Vec<Vec<u64>>,
     /// Mean queue depth in bytes per fabric channel, by channel id.
     pub fabric_mean_queues: Vec<(ChannelId, f64)>,
+    /// The run-level telemetry artifact: every engine, port, dataplane and
+    /// transport counter, serializable to deterministic JSON.
+    pub report: RunReport,
 }
 
 /// Convert a [`PoissonPlan`] into a single time-ordered arrival list over
@@ -336,8 +343,7 @@ pub fn run_fct_with_policy(cfg: &FctRun, policy: FabricPolicy) -> FctOutcome {
         let ups = net.fib.leaf_uplinks[0].clone();
         net.enable_sampling(ups, SimDuration::from_millis(10));
     }
-    net.agent
-        .attach_source(Box::new(ListSource::new(arrivals)));
+    net.agent.attach_source(Box::new(ListSource::new(arrivals)));
     if let Some((d, tok)) = net.agent.begin_source() {
         net.schedule_timer(d, tok);
     }
@@ -396,6 +402,7 @@ pub fn run_fct_with_policy(cfg: &FctRun, policy: FabricPolicy) -> FctOutcome {
             .map(|c| (c, net.port_mut(c).mean_queue_bytes(now)))
             .collect()
     };
+    let report = build_report(&net, cfg);
     FctOutcome {
         summary,
         drops: net.total_drops(),
@@ -405,7 +412,38 @@ pub fn run_fct_with_policy(cfg: &FctRun, policy: FabricPolicy) -> FctOutcome {
         uplink_tx_samples: net.samples.tx_bytes.clone(),
         uplink_queue_samples: net.samples.queue_bytes.clone(),
         fabric_mean_queues,
+        report,
     }
+}
+
+/// Assemble the [`RunReport`] for a finished FCT run: configuration metadata
+/// plus every counter the network exports. Pure function of the simulation
+/// state — same seed, same bytes.
+pub fn build_report(net: &Network<FabricPolicy, TransportLayer>, cfg: &FctRun) -> RunReport {
+    let mut report = RunReport::new();
+    report.set_meta("scheme", cfg.scheme.name());
+    report.set_meta("policy", conga_net::Dataplane::name(&net.dataplane));
+    report.set_meta("seed", cfg.seed.to_string());
+    report.set_meta("load", format!("{}", cfg.load));
+    report.set_meta("n_flows", cfg.n_flows.to_string());
+    report.set_meta(
+        "topology",
+        format!(
+            "{}x{}x{}@{}G/{}G par{}",
+            cfg.topo.leaves,
+            cfg.topo.spines,
+            cfg.topo.hosts_per_leaf,
+            cfg.topo.host_gbps,
+            cfg.topo.fabric_gbps,
+            cfg.topo.parallel
+        ),
+    );
+    if let Some((l, s, p)) = cfg.topo.fail {
+        report.set_meta("failed_link", format!("leaf{l}-spine{s}#{p}"));
+    }
+    report.set_meta("end_time_ns", net.now().as_nanos().to_string());
+    net.export_metrics(&mut report.metrics);
+    report
 }
 
 #[cfg(test)]
@@ -431,7 +469,10 @@ mod tests {
     fn testbed_opts_match_paper() {
         let t = build_testbed(TestbedOpts::paper_baseline());
         assert_eq!(t.n_hosts, 64);
-        assert_eq!(t.leaf_uplink_capacity(conga_net::LeafId(0)), 160_000_000_000);
+        assert_eq!(
+            t.leaf_uplink_capacity(conga_net::LeafId(0)),
+            160_000_000_000
+        );
         let f = build_testbed(TestbedOpts::paper_failure());
         assert_eq!(f.fib().leaf_uplinks[1].len(), 3);
     }
@@ -443,9 +484,7 @@ mod tests {
         let plan = PoissonPlan::generate(&dist, 4, 4, 80_000_000_000, 0.5, 50, &mut rng);
         let a: Vec<HostId> = (0..4).map(HostId).collect();
         let b: Vec<HostId> = (4..8).map(HostId).collect();
-        let merged = merged_arrivals(&plan, &a, &b, |_| {
-            TransportKind::Tcp(TcpConfig::standard())
-        });
+        let merged = merged_arrivals(&plan, &a, &b, |_| TransportKind::Tcp(TcpConfig::standard()));
         assert_eq!(merged.len(), 100);
         // Forward flows go a->b, reverse b->a.
         for (_, spec) in &merged {
@@ -470,7 +509,11 @@ mod tests {
         let out = run_fct(&cfg);
         // Flows arriving in the drain guard band (last 30% of the window)
         // are excluded from the summary.
-        assert!(out.summary.n >= 40 && out.summary.n <= 80, "n = {}", out.summary.n);
+        assert!(
+            out.summary.n >= 40 && out.summary.n <= 80,
+            "n = {}",
+            out.summary.n
+        );
         assert_eq!(out.summary.incomplete, 0);
         assert!(out.summary.avg_norm_optimal >= 1.0, "can't beat optimal");
     }

@@ -31,6 +31,7 @@ use crate::packet::{Overlay, Packet};
 use crate::port::{Enqueue, TxPort};
 use crate::topology::{Fib, Topology};
 use conga_sim::{EventQueue, SimDuration, SimRng, SimTime};
+use conga_telemetry::MetricsRegistry;
 
 /// Switch dataplane behaviour: load-balancing choice plus congestion-state
 /// maintenance. See the crate docs of `conga-core` for the implementations.
@@ -77,6 +78,11 @@ pub trait Dataplane {
 
     /// Human-readable scheme name for experiment output.
     fn name(&self) -> &'static str;
+
+    /// Export the dataplane's internal counters (DREs, flowlet tables,
+    /// congestion tables...) into the run-level metrics registry under
+    /// stable `dataplane.*` names. Default: no metrics.
+    fn export_metrics(&self, _reg: &mut MetricsRegistry) {}
 }
 
 /// End-host stack: receives packets addressed to its hosts and timer
@@ -86,6 +92,11 @@ pub trait HostAgent {
     fn on_packet(&mut self, pkt: Packet, now: SimTime, out: &mut Emitter);
     /// A timer set through [`Emitter::set_timer`] fired.
     fn on_timer(&mut self, token: u64, now: SimTime, out: &mut Emitter);
+
+    /// Export the agent's transport counters (retransmits, RTOs,
+    /// reordering...) into the run-level metrics registry under stable
+    /// `transport.*` names. Default: no metrics.
+    fn export_metrics(&self, _reg: &mut MetricsRegistry) {}
 }
 
 /// Collects the outputs of a [`HostAgent`] callback; the engine injects the
@@ -143,6 +154,10 @@ pub struct SampleLog {
 /// Aggregate counters the engine maintains itself.
 #[derive(Debug, Default, Clone, Copy)]
 pub struct EngineStats {
+    /// Packets emitted by host agents (counted once, before NIC jitter).
+    pub injected_pkts: u64,
+    /// Wire bytes emitted by host agents.
+    pub injected_bytes: u64,
     /// Packets handed to the host agent.
     pub delivered_pkts: u64,
     /// Payload bytes handed to the host agent.
@@ -252,6 +267,49 @@ impl<D: Dataplane, A: HostAgent> Network<D, A> {
         self.ports.iter().map(|p| p.drops).sum()
     }
 
+    /// Export every engine-level metric into `reg`: the [`EngineStats`]
+    /// counters under `engine.*`, per-port counters under `port.NNNN.*`
+    /// (zero-padded channel index, so sorted keys follow channel order),
+    /// any enabled [`SampleLog`] columns as `port.NNNN.queue_bytes` /
+    /// `port.NNNN.tx_bytes` time series, and whatever the dataplane and
+    /// host agent export under `dataplane.*` / `transport.*`.
+    ///
+    /// The result is a pure function of the simulation state, so two runs
+    /// with identical seeds export identical registries.
+    pub fn export_metrics(&self, reg: &mut MetricsRegistry) {
+        reg.set_counter("engine.injected_pkts", self.stats.injected_pkts);
+        reg.set_counter("engine.injected_bytes", self.stats.injected_bytes);
+        reg.set_counter("engine.delivered_pkts", self.stats.delivered_pkts);
+        reg.set_counter(
+            "engine.delivered_payload_bytes",
+            self.stats.delivered_payload,
+        );
+        reg.set_counter("engine.unroutable_pkts", self.stats.unroutable);
+        reg.set_counter("engine.events", self.stats.events);
+        reg.set_counter("engine.queue_drops", self.total_drops());
+        // Conservation residue: packets injected but neither delivered,
+        // dropped, nor declared unroutable — i.e. still in flight. Zero at
+        // quiescence; the invariant tests assert exactly that.
+        let accounted = self.stats.delivered_pkts + self.stats.unroutable + self.total_drops();
+        reg.set_gauge(
+            "engine.inflight_pkts",
+            self.stats.injected_pkts as i64 - accounted as i64,
+        );
+        for (i, port) in self.ports.iter().enumerate() {
+            port.export_metrics(&format!("port.{i:04}"), reg);
+        }
+        for (col, &ch) in self.samples.channels.iter().enumerate() {
+            let qname = format!("port.{:04}.queue_bytes", ch.idx());
+            let tname = format!("port.{:04}.tx_bytes", ch.idx());
+            for (row, &t) in self.samples.times.iter().enumerate() {
+                reg.sample(&qname, t, self.samples.queue_bytes[col][row] as f64);
+                reg.sample(&tname, t, self.samples.tx_bytes[col][row] as f64);
+            }
+        }
+        self.dataplane.export_metrics(reg);
+        self.agent.export_metrics(reg);
+    }
+
     /// Call into the host agent from outside the event loop (e.g. to start
     /// flows); emissions are processed immediately.
     pub fn agent_call<R>(&mut self, f: impl FnOnce(&mut A, SimTime, &mut Emitter) -> R) -> R {
@@ -336,6 +394,8 @@ impl<D: Dataplane, A: HostAgent> Network<D, A> {
         for mut pkt in em.packets.drain(..) {
             pkt.id = self.next_pkt_id;
             self.next_pkt_id += 1;
+            self.stats.injected_pkts += 1;
+            self.stats.injected_bytes += pkt.size as u64;
             if self.host_jitter > SimDuration::ZERO {
                 // Per-host monotone release times: jitter never reorders a
                 // single host's emissions.
@@ -357,6 +417,11 @@ impl<D: Dataplane, A: HostAgent> Network<D, A> {
 
     /// Packet finished traversing `ch`: process at the receiving node.
     fn arrive(&mut self, ch: ChannelId, mut pkt: Packet) {
+        {
+            let p = &mut self.ports[ch.idx()];
+            p.rx_pkts += 1;
+            p.rx_bytes += pkt.size as u64;
+        }
         let channel = &self.topo.channels[ch.idx()];
         match channel.dst {
             NodeId::Host(_h) => {
@@ -426,7 +491,8 @@ impl<D: Dataplane, A: HostAgent> Network<D, A> {
         }
         let delay = self.ports[ch.idx()].delay;
         self.events.push(self.now + ser, Ev::TxDone { ch });
-        self.events.push(self.now + ser + delay, Ev::Arrive { ch, pkt });
+        self.events
+            .push(self.now + ser + delay, Ev::Arrive { ch, pkt });
     }
 }
 
@@ -484,8 +550,8 @@ mod tests {
             _now: SimTime,
             _rng: &mut SimRng,
         ) -> ChannelId {
-            let i = (ecmp_mix(pkt.flow_hash, 1000 + spine.0 as u64) % candidates.len() as u64)
-                as usize;
+            let i =
+                (ecmp_mix(pkt.flow_hash, 1000 + spine.0 as u64) % candidates.len() as u64) as usize;
             candidates[i]
         }
         fn on_fabric_tx(&mut self, _ch: ChannelId, _pkt: &mut Packet, _now: SimTime) {}
@@ -556,7 +622,11 @@ mod tests {
         }
         net.run_to_quiescence();
         let seqs: Vec<u64> = net.agent.received.iter().map(|(_, p)| p.seq).collect();
-        assert_eq!(seqs, (0..50).collect::<Vec<_>>(), "single flow must not reorder");
+        assert_eq!(
+            seqs,
+            (0..50).collect::<Vec<_>>(),
+            "single flow must not reorder"
+        );
     }
 
     #[test]
@@ -592,7 +662,11 @@ mod tests {
             );
         }
         net.run_until(SimTime::from_millis(1));
-        assert!(net.samples.times.len() >= 9, "got {}", net.samples.times.len());
+        assert!(
+            net.samples.times.len() >= 9,
+            "got {}",
+            net.samples.times.len()
+        );
         assert_eq!(net.samples.queue_bytes.len(), 2);
     }
 

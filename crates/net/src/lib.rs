@@ -15,8 +15,13 @@ mod packet;
 mod port;
 mod topology;
 
-pub use engine::{inject, Dataplane, Emitter, EngineStats, HostAgent, Network, SampleLog, SinkAgent};
+pub use engine::{
+    inject, Dataplane, Emitter, EngineStats, HostAgent, Network, SampleLog, SinkAgent,
+};
 pub use ids::{ChannelId, HostId, LeafId, NodeId, SpineId};
-pub use packet::{ecmp_mix, flow_tuple_hash, Overlay, Packet, PacketKind, SackBlocks, ACK_WIRE_BYTES, MAX_LBTAG, WIRE_OVERHEAD};
+pub use packet::{
+    ecmp_mix, flow_tuple_hash, Overlay, Packet, PacketKind, SackBlocks, ACK_WIRE_BYTES, MAX_LBTAG,
+    WIRE_OVERHEAD,
+};
 pub use port::{Enqueue, TxPort};
 pub use topology::{Channel, ChannelKind, Fib, LeafSpineBuilder, QueueProfile, Topology};

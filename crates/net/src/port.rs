@@ -9,6 +9,7 @@
 
 use crate::packet::Packet;
 use conga_sim::{SimDuration, SimTime};
+use conga_telemetry::MetricsRegistry;
 use std::collections::VecDeque;
 
 /// Outcome of an enqueue attempt.
@@ -43,6 +44,11 @@ pub struct TxPort {
     pub tx_pkts: u64,
     /// Packets dropped at the tail.
     pub drops: u64,
+    /// Bytes that completed traversal of this channel (maintained by the
+    /// engine on arrival at the far end).
+    pub rx_bytes: u64,
+    /// Packets that completed traversal of this channel.
+    pub rx_pkts: u64,
     /// Peak queued bytes observed.
     pub max_queue: u64,
     /// Time-weighted integral of queued bytes (bytes × ns), for mean depth.
@@ -63,6 +69,8 @@ impl TxPort {
             tx_bytes: 0,
             tx_pkts: 0,
             drops: 0,
+            rx_bytes: 0,
+            rx_pkts: 0,
             max_queue: 0,
             occupancy_integral: 0,
             last_change: SimTime::ZERO,
@@ -125,6 +133,17 @@ impl TxPort {
     #[inline]
     pub fn queued_pkts(&self) -> usize {
         self.queue.len()
+    }
+
+    /// Export this port's counters into `reg` under `{prefix}.{counter}`
+    /// names (e.g. `port.0007.drops`).
+    pub fn export_metrics(&self, prefix: &str, reg: &mut MetricsRegistry) {
+        reg.set_counter(&format!("{prefix}.tx_bytes"), self.tx_bytes);
+        reg.set_counter(&format!("{prefix}.tx_pkts"), self.tx_pkts);
+        reg.set_counter(&format!("{prefix}.rx_bytes"), self.rx_bytes);
+        reg.set_counter(&format!("{prefix}.rx_pkts"), self.rx_pkts);
+        reg.set_counter(&format!("{prefix}.drops"), self.drops);
+        reg.set_counter(&format!("{prefix}.max_queue_bytes"), self.max_queue);
     }
 
     /// Mean queued bytes over `[0, now]`.
@@ -190,7 +209,11 @@ mod tests {
         assert_eq!(p.enqueue(pkt(1500), t), Enqueue::StartTx);
         let _ = p.begin_tx(t); // in flight, queue empty again
         assert_eq!(p.enqueue(pkt(1500), t), Enqueue::Queued);
-        assert_eq!(p.enqueue(pkt(1500), t), Enqueue::Dropped, "2nd would exceed 2500B");
+        assert_eq!(
+            p.enqueue(pkt(1500), t),
+            Enqueue::Dropped,
+            "2nd would exceed 2500B"
+        );
         assert_eq!(p.drops, 1);
         assert_eq!(p.enqueue(pkt(1000), t), Enqueue::Queued, "smaller one fits");
         assert_eq!(p.queued_bytes(), 2500);
@@ -208,6 +231,33 @@ mod tests {
         let _ = p.begin_tx(SimTime::from_nanos(100));
         // Mean over [0, 200ns]: 1000B * 100ns / 200ns = 500B.
         assert!((p.mean_queue_bytes(SimTime::from_nanos(200)) - 500.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn drop_and_byte_accounting_reaches_telemetry() {
+        let mut p = TxPort::new(1_000_000_000, SimDuration::ZERO, 3000);
+        let t = SimTime::ZERO;
+        // One on the wire, two queued (3000B), then two tail drops.
+        assert_eq!(p.enqueue(pkt(1500), t), Enqueue::StartTx);
+        let _ = p.begin_tx(t);
+        assert_eq!(p.enqueue(pkt(1500), t), Enqueue::Queued);
+        assert_eq!(p.enqueue(pkt(1500), t), Enqueue::Queued);
+        assert_eq!(p.enqueue(pkt(64), t), Enqueue::Dropped);
+        assert_eq!(p.enqueue(pkt(9000), t), Enqueue::Dropped);
+        // The engine credits rx on far-end arrival; emulate one delivery.
+        p.rx_pkts += 1;
+        p.rx_bytes += 1500;
+        let mut reg = MetricsRegistry::new();
+        p.export_metrics("port.0003", &mut reg);
+        assert_eq!(reg.counter("port.0003.tx_pkts"), 1);
+        assert_eq!(reg.counter("port.0003.tx_bytes"), 1500);
+        assert_eq!(reg.counter("port.0003.drops"), 2);
+        assert_eq!(reg.counter("port.0003.rx_pkts"), 1);
+        assert_eq!(reg.counter("port.0003.rx_bytes"), 1500);
+        assert_eq!(reg.counter("port.0003.max_queue_bytes"), 3000);
+        // Dropped packets never count toward queued or transmitted bytes.
+        assert_eq!(p.queued_bytes(), 3000);
+        assert_eq!(p.tx_bytes + p.queued_bytes(), 4500);
     }
 
     #[test]

@@ -542,9 +542,7 @@ mod tests {
     #[test]
     fn large_fabric_fig16_shape() {
         // Paper Figure 16: 6 leaves x 4 spines x 3 parallel 40G links.
-        let t = LeafSpineBuilder::new(6, 4, 8)
-            .parallel_links(3)
-            .build();
+        let t = LeafSpineBuilder::new(6, 4, 8).parallel_links(3).build();
         let fib = t.fib();
         for l in 0..6 {
             assert_eq!(fib.leaf_uplinks[l].len(), 12);

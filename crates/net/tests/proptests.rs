@@ -1,24 +1,28 @@
-//! Property tests for the network substrate.
+//! Property-style tests for the network substrate. Cases are sampled from
+//! the in-tree deterministic RNG with fixed seeds (no external test-case
+//! generation crate), so every run explores the same inputs.
 
 use conga_net::{
-    ecmp_mix, Channel, ChannelId, ChannelKind, Enqueue, HostId, LeafSpineBuilder, NodeId,
-    Packet, TxPort,
+    ecmp_mix, Channel, ChannelKind, Enqueue, HostId, LeafSpineBuilder, NodeId, Packet, TxPort,
 };
-use conga_sim::{SimDuration, SimTime};
-use proptest::prelude::*;
+use conga_sim::{SimDuration, SimRng, SimTime};
 
-proptest! {
-    /// FIB invariants on arbitrary Leaf-Spine shapes: every candidate
-    /// uplink leaves the right leaf, reaches a spine that still serves the
-    /// destination, and LBTags stay within the 4-bit field.
-    #[test]
-    fn fib_candidates_are_sound(
-        leaves in 2u32..6,
-        spines in 1u32..5,
-        parallel in 1u32..4,
-        fail_bits in any::<u64>(),
-    ) {
-        prop_assume!(spines * parallel <= 16);
+/// FIB invariants on arbitrary Leaf-Spine shapes: every candidate uplink
+/// leaves the right leaf, reaches a spine that still serves the
+/// destination, and LBTags stay within the 4-bit field.
+#[test]
+fn fib_candidates_are_sound() {
+    let mut rng = SimRng::new(0xF1B_CAFE);
+    let mut cases = 0;
+    while cases < 64 {
+        let leaves = rng.range_u64(2, 6) as u32;
+        let spines = rng.range_u64(1, 5) as u32;
+        let parallel = rng.range_u64(1, 4) as u32;
+        if spines * parallel > 16 {
+            continue;
+        }
+        cases += 1;
+        let fail_bits = rng.u64();
         let mut b = LeafSpineBuilder::new(leaves, spines, 2).parallel_links(parallel);
         // Fail a pseudo-random subset of links (never all of a leaf's).
         let mut killed = 0;
@@ -29,7 +33,9 @@ proptest! {
                     if fail_bits >> bit & 1 == 1 && killed < (spines * parallel - 1) {
                         b = b.fail_link(l, s, p);
                         killed += 1;
-                        if killed > 6 { break 'outer; }
+                        if killed > 6 {
+                            break 'outer;
+                        }
                     }
                 }
             }
@@ -38,19 +44,21 @@ proptest! {
         let fib = topo.fib();
         for l in 0..leaves as usize {
             for (tag, &u) in fib.leaf_uplinks[l].iter().enumerate() {
-                prop_assert!(tag < 16);
-                prop_assert_eq!(fib.lbtag_of[u.idx()] as usize, tag);
+                assert!(tag < 16);
+                assert_eq!(fib.lbtag_of[u.idx()] as usize, tag);
                 let c: &Channel = topo.channel(u);
-                prop_assert_eq!(c.kind, ChannelKind::LeafUp);
-                prop_assert!(matches!(c.src, NodeId::Leaf(x) if x.idx() == l));
+                assert_eq!(c.kind, ChannelKind::LeafUp);
+                assert!(matches!(c.src, NodeId::Leaf(x) if x.idx() == l));
             }
             for m in 0..leaves as usize {
-                if m == l { continue; }
+                if m == l {
+                    continue;
+                }
                 for &u in &fib.up_candidates[l][m] {
                     let NodeId::Spine(s) = topo.channel(u).dst else {
-                        return Err(TestCaseError::fail("uplink not to a spine"));
+                        panic!("uplink not to a spine");
                     };
-                    prop_assert!(
+                    assert!(
                         !fib.spine_down[s.idx()][m].is_empty(),
                         "candidate via a spine with no path to dst"
                     );
@@ -58,11 +66,17 @@ proptest! {
             }
         }
     }
+}
 
-    /// The drop-tail port conserves packets: accepted == transmitted +
-    /// still queued (+ the in-flight one), and never exceeds capacity.
-    #[test]
-    fn txport_conserves_packets(sizes in proptest::collection::vec(64u32..9000, 1..100), cap in 5_000u64..50_000) {
+/// The drop-tail port conserves packets: accepted == transmitted + still
+/// queued (+ the in-flight one), and never exceeds capacity.
+#[test]
+fn txport_conserves_packets() {
+    let mut rng = SimRng::new(0x7890_9087);
+    for _case in 0..128 {
+        let cap = rng.range_u64(5_000, 50_000);
+        let n = rng.range_u64(1, 100) as usize;
+        let sizes: Vec<u32> = (0..n).map(|_| rng.range_u64(64, 9000) as u32).collect();
         let mut p = TxPort::new(10_000_000_000, SimDuration::ZERO, cap);
         let mut accepted = 0u64;
         let mut transmitted = 0u64;
@@ -73,7 +87,7 @@ proptest! {
             pkt.size = sz;
             match p.enqueue(pkt, now) {
                 Enqueue::StartTx => {
-                    prop_assert!(!busy);
+                    assert!(!busy);
                     let _ = p.begin_tx(now);
                     busy = true;
                     accepted += 1;
@@ -81,7 +95,7 @@ proptest! {
                 }
                 Enqueue::Queued => {
                     accepted += 1;
-                    prop_assert!(p.queued_bytes() <= cap);
+                    assert!(p.queued_bytes() <= cap);
                 }
                 Enqueue::Dropped => {}
             }
@@ -95,35 +109,45 @@ proptest! {
                 }
             }
         }
-        prop_assert_eq!(accepted, transmitted + p.queued_pkts() as u64);
-        prop_assert_eq!(p.tx_pkts, transmitted);
+        assert_eq!(accepted, transmitted + p.queued_pkts() as u64);
+        assert_eq!(p.tx_pkts, transmitted);
     }
+}
 
-    /// ecmp_mix is a bijection-quality mixer: distinct inputs rarely
-    /// collide mod small n, and the same input always maps identically.
-    #[test]
-    fn ecmp_mix_uniformity(salt in any::<u64>()) {
+/// ecmp_mix is a bijection-quality mixer: distinct inputs rarely collide
+/// mod small n, and the same input always maps identically.
+#[test]
+fn ecmp_mix_uniformity() {
+    let mut rng = SimRng::new(0xEC3_3713);
+    for _case in 0..64 {
+        let salt = rng.u64();
         let n = 4u64;
         let mut counts = [0u32; 4];
         for f in 0..2000u64 {
             counts[(ecmp_mix(f, salt) % n) as usize] += 1;
         }
         for &c in &counts {
-            prop_assert!((350..=650).contains(&c), "bucket {c}/2000");
+            assert!((350..=650).contains(&c), "bucket {c}/2000 (salt {salt:#x})");
         }
     }
+}
 
-    /// SACK blocks: push/iter round-trips up to three blocks, ignores more.
-    #[test]
-    fn sack_blocks_capacity(ranges in proptest::collection::vec((0u64..1000, 1u64..100), 0..6)) {
-        use conga_net::SackBlocks;
+/// SACK blocks: push/iter round-trips up to three blocks, ignores more.
+#[test]
+fn sack_blocks_capacity() {
+    use conga_net::SackBlocks;
+    let mut rng = SimRng::new(0x5AC_B10C);
+    for _case in 0..256 {
+        let n = rng.below(6);
+        let ranges: Vec<(u64, u64)> = (0..n)
+            .map(|_| (rng.below(1000) as u64, rng.range_u64(1, 100)))
+            .collect();
         let mut b = SackBlocks::default();
         for &(s, l) in &ranges {
             b.push(s, s + l);
         }
         let got: Vec<(u64, u64)> = b.iter().collect();
-        let expect: Vec<(u64, u64)> =
-            ranges.iter().take(3).map(|&(s, l)| (s, s + l)).collect();
-        prop_assert_eq!(got, expect);
+        let expect: Vec<(u64, u64)> = ranges.iter().take(3).map(|&(s, l)| (s, s + l)).collect();
+        assert_eq!(got, expect);
     }
 }

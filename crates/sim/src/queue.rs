@@ -162,6 +162,56 @@ mod tests {
     }
 
     #[test]
+    fn interleaved_ties_stay_fifo() {
+        // FIFO among ties must hold even when pops interleave with pushes
+        // at the same timestamp (the sequence number is global, not
+        // per-batch).
+        let mut q = EventQueue::new();
+        let t = SimTime::from_micros(9);
+        q.push(t, "a");
+        q.push(t, "b");
+        assert_eq!(q.pop().unwrap().1, "a");
+        q.push(t, "c");
+        assert_eq!(q.pop().unwrap().1, "b");
+        assert_eq!(q.pop().unwrap().1, "c");
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn with_capacity_behaves_like_new() {
+        let mut a = EventQueue::new();
+        let mut b = EventQueue::with_capacity(4); // deliberately smaller than the load
+        for &t in &[5u64, 1, 3, 3, 2, 9, 1] {
+            a.push(SimTime::from_nanos(t), t);
+            b.push(SimTime::from_nanos(t), t);
+        }
+        assert_eq!(a.total_pushed(), b.total_pushed());
+        loop {
+            let (x, y) = (a.pop(), b.pop());
+            assert_eq!(x, y);
+            if x.is_none() {
+                break;
+            }
+        }
+    }
+
+    #[test]
+    fn pushed_counts_every_push_not_net_occupancy() {
+        let mut q = EventQueue::with_capacity(8);
+        for i in 0..5u64 {
+            q.push(SimTime::from_nanos(i), i);
+        }
+        for _ in 0..3 {
+            q.pop();
+        }
+        for i in 0..2u64 {
+            q.push(SimTime::from_nanos(100 + i), i);
+        }
+        assert_eq!(q.total_pushed(), 7, "pops must not decrement the counter");
+        assert_eq!(q.len(), 4);
+    }
+
+    #[test]
     fn peek_and_counters() {
         let mut q = EventQueue::new();
         assert!(q.is_empty());

@@ -6,9 +6,73 @@
 //! distributions the workload models need (exponential, lognormal,
 //! bounded-Pareto, discrete CDF sampling) implemented directly from their
 //! inverse CDFs / Box–Muller so we do not need the `rand_distr` crate.
+//!
+//! The generator itself is a vendored PCG-64-MCG (XSL-RR 128/64, O'Neill
+//! 2014): a 128-bit multiplicative congruential state with an xor-shift /
+//! random-rotation output function. It is vendored rather than pulled from
+//! `rand_pcg` so the workspace builds with zero external dependencies and
+//! the byte stream is pinned by this file alone.
 
-use rand::{Rng, RngCore, SeedableRng};
-use rand_pcg::Pcg64Mcg;
+/// PCG-64-MCG: 128-bit MCG state, XSL-RR output to 64 bits.
+#[derive(Debug, Clone)]
+struct Pcg64Mcg {
+    state: u128,
+}
+
+/// The PCG default 128-bit multiplier.
+const PCG_MULTIPLIER: u128 = 0x2360_ed05_1fc6_5da4_4385_df64_9fcc_f645;
+
+impl Pcg64Mcg {
+    /// Expand a 64-bit seed into the 128-bit state with SplitMix64 so that
+    /// nearby seeds yield unrelated streams. MCG state must be odd.
+    fn seed_from_u64(seed: u64) -> Self {
+        let mut sm = seed;
+        let mut next = || {
+            sm = sm.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = sm;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
+        let lo = next();
+        let hi = next();
+        Pcg64Mcg {
+            state: (((hi as u128) << 64) | lo as u128) | 1,
+        }
+    }
+
+    /// Advance the MCG and apply the XSL-RR output permutation.
+    #[inline]
+    fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_mul(PCG_MULTIPLIER);
+        let rot = (self.state >> 122) as u32;
+        let xsl = ((self.state >> 64) as u64) ^ (self.state as u64);
+        xsl.rotate_right(rot)
+    }
+
+    /// Uniform in `[0, 1)` with 53 bits of precision.
+    #[inline]
+    fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Unbiased uniform integer in `[0, span)` (Lemire's method with
+    /// rejection).
+    #[inline]
+    fn next_below(&mut self, span: u64) -> u64 {
+        debug_assert!(span > 0);
+        let mut m = (self.next_u64() as u128) * (span as u128);
+        let mut lo = m as u64;
+        if lo < span {
+            let threshold = span.wrapping_neg() % span;
+            while lo < threshold {
+                m = (self.next_u64() as u128) * (span as u128);
+                lo = m as u64;
+            }
+        }
+        (m >> 64) as u64
+    }
+}
 
 /// A seeded, deterministic random number generator for simulation use.
 #[derive(Debug, Clone)]
@@ -40,19 +104,21 @@ impl SimRng {
     /// Uniform in `[0, 1)`.
     #[inline]
     pub fn f64(&mut self) -> f64 {
-        self.inner.gen::<f64>()
+        self.inner.next_f64()
     }
 
     /// Uniform integer in `[0, n)`. Panics if `n == 0`.
     #[inline]
     pub fn below(&mut self, n: usize) -> usize {
-        self.inner.gen_range(0..n)
+        assert!(n > 0, "below(0) is an empty range");
+        self.inner.next_below(n as u64) as usize
     }
 
-    /// Uniform integer in `[lo, hi)`.
+    /// Uniform integer in `[lo, hi)`. Panics if the range is empty.
     #[inline]
     pub fn range_u64(&mut self, lo: u64, hi: u64) -> u64 {
-        self.inner.gen_range(lo..hi)
+        assert!(hi > lo, "range_u64 requires lo < hi");
+        lo + self.inner.next_below(hi - lo)
     }
 
     /// A raw 64-bit draw (e.g. for hash seeds).

@@ -162,7 +162,7 @@ impl SimDuration {
         let bits = bytes * 8;
         // ceil(bits * 1e9 / rate) without overflow for realistic inputs:
         // bits < 2^40 and 1e9 < 2^30 keeps the product under 2^70 — use u128.
-        let ns = ((bits as u128 * 1_000_000_000u128) + rate_bps as u128 - 1) / rate_bps as u128;
+        let ns = (bits as u128 * 1_000_000_000u128).div_ceil(rate_bps as u128);
         SimDuration(ns as u64)
     }
 }

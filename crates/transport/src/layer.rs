@@ -12,6 +12,7 @@ use crate::config::{MptcpConfig, TcpConfig};
 use crate::tcp::{Lia, Segment, TcpRx, TcpTx};
 use conga_net::{flow_tuple_hash, Emitter, HostAgent, HostId, Packet, PacketKind};
 use conga_sim::{SimDuration, SimTime};
+use conga_telemetry::MetricsRegistry;
 
 /// Which transport a flow uses.
 #[derive(Clone, Copy, Debug)]
@@ -391,8 +392,7 @@ impl TransportLayer {
                     // one receive buffer, so aggregate unacknowledged data
                     // is capped (this is what keeps real MPTCP from
                     // self-incasting an idle path with 8 windows at once).
-                    let inflight_total: u64 =
-                        f.subflows.iter().map(|x| x.tx.in_flight()).sum();
+                    let inflight_total: u64 = f.subflows.iter().map(|x| x.tx.in_flight()).sum();
                     let s = &mut f.subflows[sub];
                     // Assign while this subflow could send more right now.
                     if f.unassigned > 0
@@ -424,7 +424,11 @@ impl TransportLayer {
     }
 
     fn cbr_emit(&mut self, flow: usize, now: SimTime, em: &mut Emitter) {
-        let TransportKind::Cbr { rate_bps, pkt_bytes } = self.flows[flow].spec.kind else {
+        let TransportKind::Cbr {
+            rate_bps,
+            pkt_bytes,
+        } = self.flows[flow].spec.kind
+        else {
             return;
         };
         let f = &mut self.flows[flow];
@@ -453,8 +457,8 @@ impl TransportLayer {
     fn maybe_finish(&mut self, flow: usize, now: SimTime) {
         let f = &mut self.flows[flow];
         if !f.rx_complete {
-            let rx: u64 = f.cbr_delivered
-                + f.subflows.iter().map(|s| s.rx.bytes_received).sum::<u64>();
+            let rx: u64 =
+                f.cbr_delivered + f.subflows.iter().map(|s| s.rx.bytes_received).sum::<u64>();
             if rx >= f.spec.bytes {
                 f.rx_complete = true;
                 self.records[flow].rx_done = Some(now);
@@ -469,14 +473,59 @@ impl TransportLayer {
         {
             f.tx_complete = true;
             self.records[flow].tx_done = Some(now);
-            self.records[flow].retx_bytes =
-                f.subflows.iter().map(|s| s.tx.bytes_retx).sum();
+            self.records[flow].retx_bytes = f.subflows.iter().map(|s| s.tx.bytes_retx).sum();
             self.records[flow].timeouts = f.subflows.iter().map(|s| s.tx.timeouts).sum();
         }
+    }
+
+    /// Aggregate transport counters across every flow and subflow into
+    /// `reg` under `transport.*` names: retransmission work (`bytes_retx`,
+    /// `fast_retx`, `rto_timeouts`), congestion-control state transitions
+    /// (`recovery_entries` / `recovery_exits`), path-induced reordering
+    /// (`rx_ooo_segments`), and flow lifecycle counts.
+    pub fn export_metrics(&self, reg: &mut MetricsRegistry) {
+        let mut bytes_retx = 0u64;
+        let mut rto_timeouts = 0u64;
+        let mut fast_retx = 0u64;
+        let mut recovery_entries = 0u64;
+        let mut recovery_exits = 0u64;
+        let mut rx_ooo = 0u64;
+        let mut rx_bytes = 0u64;
+        let mut subflows = 0u64;
+        let mut tx_complete = 0u64;
+        for f in &self.flows {
+            rx_bytes += f.cbr_delivered;
+            tx_complete += f.tx_complete as u64;
+            for s in &f.subflows {
+                subflows += 1;
+                bytes_retx += s.tx.bytes_retx;
+                rto_timeouts += s.tx.timeouts;
+                fast_retx += s.tx.fast_retx;
+                recovery_entries += s.tx.recovery_entries;
+                recovery_exits += s.tx.recovery_exits;
+                rx_ooo += s.rx.ooo_segments;
+                rx_bytes += s.rx.bytes_received;
+            }
+        }
+        reg.set_counter("transport.flows_started", self.flows.len() as u64);
+        reg.set_counter("transport.flows_rx_complete", self.completed_rx as u64);
+        reg.set_counter("transport.flows_tx_complete", tx_complete);
+        reg.set_counter("transport.subflows", subflows);
+        reg.set_counter("transport.bytes_retx", bytes_retx);
+        reg.set_counter("transport.rto_timeouts", rto_timeouts);
+        reg.set_counter("transport.fast_retx", fast_retx);
+        reg.set_counter("transport.recovery_entries", recovery_entries);
+        reg.set_counter("transport.recovery_exits", recovery_exits);
+        reg.set_counter("transport.rx_ooo_segments", rx_ooo);
+        reg.set_counter("transport.rx_bytes", rx_bytes);
     }
 }
 
 impl HostAgent for TransportLayer {
+    fn export_metrics(&self, reg: &mut MetricsRegistry) {
+        TransportLayer::export_metrics(self, reg);
+    }
+
     fn on_packet(&mut self, pkt: Packet, now: SimTime, em: &mut Emitter) {
         let flow = pkt.flow as usize;
         if flow >= self.flows.len() {

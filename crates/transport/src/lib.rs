@@ -21,9 +21,7 @@ mod layer;
 mod tcp;
 
 pub use config::{MptcpConfig, TcpConfig};
-pub use layer::{
-    FlowRecord, FlowSource, FlowSpec, ListSource, TransportKind, TransportLayer,
-};
+pub use layer::{FlowRecord, FlowSource, FlowSpec, ListSource, TransportKind, TransportLayer};
 pub use tcp::{Lia, Segment, TcpRx, TcpTx};
 
 #[cfg(test)]
@@ -111,7 +109,10 @@ mod e2e {
         // Ideal: 10 MB at 10 Gbps ~ 8 ms; slow start adds some RTTs.
         let ideal = bytes as f64 * 8.0 / 10e9;
         assert!(fct > ideal, "faster than line rate?! {fct}");
-        assert!(fct < ideal * 1.5, "too slow on an idle fabric: {fct} vs {ideal}");
+        assert!(
+            fct < ideal * 1.5,
+            "too slow on an idle fabric: {fct} vs {ideal}"
+        );
     }
 
     #[test]
@@ -147,7 +148,10 @@ mod e2e {
         let b0 = net.agent.rx_bytes(0) as f64 - s0;
         let b1 = net.agent.rx_bytes(1) as f64 - s1;
         let total_gbps = (b0 + b1) * 8.0 / 100e-3 / 1e9;
-        assert!(total_gbps > 8.0, "downlink underutilized: {total_gbps} Gbps");
+        assert!(
+            total_gbps > 8.0,
+            "downlink underutilized: {total_gbps} Gbps"
+        );
         assert!((b0 / b1).max(b1 / b0) < 2.0, "unfair split: {b0} vs {b1}");
     }
 
@@ -168,7 +172,10 @@ mod e2e {
             }
         });
         net.run_until(SimTime::from_secs(5));
-        assert!(net.total_drops() > 0, "test meant to exercise loss recovery");
+        assert!(
+            net.total_drops() > 0,
+            "test meant to exercise loss recovery"
+        );
         for i in 0..n as usize {
             let r = net.agent.records[i];
             assert!(

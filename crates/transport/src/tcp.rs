@@ -78,6 +78,10 @@ pub struct TcpTx {
     pub timeouts: u64,
     /// Fast retransmits triggered.
     pub fast_retx: u64,
+    /// State transitions Open → Recovery (== fast-recovery episodes).
+    pub recovery_entries: u64,
+    /// State transitions Recovery → Open (full ACK or RTO collapse).
+    pub recovery_exits: u64,
 }
 
 impl TcpTx {
@@ -102,6 +106,8 @@ impl TcpTx {
             bytes_retx: 0,
             timeouts: 0,
             fast_retx: 0,
+            recovery_entries: 0,
+            recovery_exits: 0,
         }
     }
 
@@ -243,6 +249,7 @@ impl TcpTx {
                 CcState::Recovery { recover } if ack >= recover => {
                     // Full ACK: leave recovery, deflate to ssthresh.
                     self.state = CcState::Open;
+                    self.recovery_exits += 1;
                     self.cwnd = self.ssthresh;
                 }
                 CcState::Recovery { .. } => {
@@ -290,6 +297,7 @@ impl TcpTx {
                     self.cwnd = self.ssthresh;
                     self.repair_cursor = self.snd_una;
                     self.fast_retx += 1;
+                    self.recovery_entries += 1;
                     self.sack_repair(2, out);
                 }
                 CcState::Recovery { .. } => {
@@ -302,7 +310,7 @@ impl TcpTx {
                     // a repair itself was dropped. Rescue the head hole, at
                     // most once per stall point (otherwise in-flight repairs
                     // get duplicated en masse).
-                    if out.len() == before && self.dup_acks % 32 == 0 {
+                    if out.len() == before && self.dup_acks.is_multiple_of(32) {
                         let save = self.repair_cursor;
                         self.repair_cursor = self.snd_una;
                         self.sack_repair(1, out);
@@ -404,6 +412,9 @@ impl TcpTx {
         let flight = self.in_flight() as f64;
         self.ssthresh = (flight / 2.0).max(2.0 * mss);
         self.cwnd = mss;
+        if matches!(self.state, CcState::Recovery { .. }) {
+            self.recovery_exits += 1;
+        }
         self.state = CcState::Open;
         self.dup_acks = 0;
         self.timeouts += 1;
@@ -565,7 +576,14 @@ mod tests {
         let t1 = SimTime::from_micros(100);
         // ACK all of the initial window: cwnd should roughly double.
         let before = tx.cwnd();
-        tx.on_ack(tx.in_flight(), t0, t1, None, &SackBlocks::default(), &mut out);
+        tx.on_ack(
+            tx.in_flight(),
+            t0,
+            t1,
+            None,
+            &SackBlocks::default(),
+            &mut out,
+        );
         assert!((tx.cwnd() - 2.0 * before).abs() < 1.0, "cwnd {}", tx.cwnd());
     }
 
@@ -582,7 +600,14 @@ mod tests {
         let mut acked = tx.snd_una;
         for _ in 0..20 {
             acked += 1460;
-            tx.on_ack(acked, SimTime::ZERO, SimTime::from_micros(50), None, &SackBlocks::default(), &mut out);
+            tx.on_ack(
+                acked,
+                SimTime::ZERO,
+                SimTime::from_micros(50),
+                None,
+                &SackBlocks::default(),
+                &mut out,
+            );
         }
         let growth = tx.cwnd() - w0;
         assert!(
@@ -598,10 +623,24 @@ mod tests {
         tx.pump(&mut out);
         out.clear();
         for _ in 0..2 {
-            tx.on_ack(0, SimTime::ZERO, SimTime::from_micros(10), None, &SackBlocks::default(), &mut out);
+            tx.on_ack(
+                0,
+                SimTime::ZERO,
+                SimTime::from_micros(10),
+                None,
+                &SackBlocks::default(),
+                &mut out,
+            );
             assert!(out.iter().all(|s| !s.retx));
         }
-        tx.on_ack(0, SimTime::ZERO, SimTime::from_micros(10), None, &SackBlocks::default(), &mut out);
+        tx.on_ack(
+            0,
+            SimTime::ZERO,
+            SimTime::from_micros(10),
+            None,
+            &SackBlocks::default(),
+            &mut out,
+        );
         let rtx: Vec<&Segment> = out.iter().filter(|s| s.retx).collect();
         assert_eq!(rtx.len(), 2, "repair budget is two segments per ACK");
         assert_eq!(rtx[0].seq, 0, "retransmit the lost head segment");
@@ -617,13 +656,30 @@ mod tests {
         tx.pump(&mut out);
         let recover = tx.next_seq;
         for _ in 0..3 {
-            tx.on_ack(0, SimTime::ZERO, SimTime::from_micros(10), None, &SackBlocks::default(), &mut out);
+            tx.on_ack(
+                0,
+                SimTime::ZERO,
+                SimTime::from_micros(10),
+                None,
+                &SackBlocks::default(),
+                &mut out,
+            );
         }
         assert_eq!(tx.state, CcState::Recovery { recover });
         out.clear();
-        tx.on_ack(recover, SimTime::ZERO, SimTime::from_micros(30), None, &SackBlocks::default(), &mut out);
+        tx.on_ack(
+            recover,
+            SimTime::ZERO,
+            SimTime::from_micros(30),
+            None,
+            &SackBlocks::default(),
+            &mut out,
+        );
         assert_eq!(tx.state, CcState::Open);
-        assert!((tx.cwnd() - 7300.0).abs() < 1.0, "cwnd = ssthresh after recovery");
+        assert!(
+            (tx.cwnd() - 7300.0).abs() < 1.0,
+            "cwnd = ssthresh after recovery"
+        );
     }
 
     #[test]
@@ -632,12 +688,26 @@ mod tests {
         let mut out = Vec::new();
         tx.pump(&mut out);
         for _ in 0..3 {
-            tx.on_ack(0, SimTime::ZERO, SimTime::from_micros(10), None, &SackBlocks::default(), &mut out);
+            tx.on_ack(
+                0,
+                SimTime::ZERO,
+                SimTime::from_micros(10),
+                None,
+                &SackBlocks::default(),
+                &mut out,
+            );
         }
         out.clear();
         // Partial ACK: the retransmissions filled [0,2920) only; the walk
         // continues from the repair cursor.
-        tx.on_ack(2920, SimTime::ZERO, SimTime::from_micros(40), None, &SackBlocks::default(), &mut out);
+        tx.on_ack(
+            2920,
+            SimTime::ZERO,
+            SimTime::from_micros(40),
+            None,
+            &SackBlocks::default(),
+            &mut out,
+        );
         let rtx: Vec<&Segment> = out.iter().filter(|s| s.retx).collect();
         assert!(!rtx.is_empty());
         assert_eq!(rtx[0].seq, 2920, "repair resumes at the next hole");
@@ -669,9 +739,14 @@ mod tests {
         let mut acked = 0;
         for i in 1..=5u64 {
             acked += 1460;
-            tx.on_ack(acked,
+            tx.on_ack(
+                acked,
                 SimTime::from_micros((i - 1) * 100),
-                SimTime::from_micros(i * 100 + 100), None, &SackBlocks::default(), &mut out);
+                SimTime::from_micros(i * 100 + 100),
+                None,
+                &SackBlocks::default(),
+                &mut out,
+            );
         }
         assert!(tx.srtt().unwrap() > 0.0);
         assert_eq!(tx.rto(), SimDuration::from_millis(1), "clamped to minRTO");
@@ -687,25 +762,42 @@ mod tests {
         }
         let mut out = Vec::new();
         // Uncoupled CA increase.
-        a.on_ack(1460, SimTime::ZERO, SimTime::from_micros(10), None, &SackBlocks::default(), &mut out);
-        // Coupled with a huge alpha: capped at the uncoupled increase.
-        b.on_ack(1460,
+        a.on_ack(
+            1460,
             SimTime::ZERO,
-            SimTime::from_micros(10), Some(Lia {
+            SimTime::from_micros(10),
+            None,
+            &SackBlocks::default(),
+            &mut out,
+        );
+        // Coupled with a huge alpha: capped at the uncoupled increase.
+        b.on_ack(
+            1460,
+            SimTime::ZERO,
+            SimTime::from_micros(10),
+            Some(Lia {
                 alpha: 1e9,
                 cwnd_total: 14_600.0 * 8.0,
-            }), &SackBlocks::default(), &mut out);
+            }),
+            &SackBlocks::default(),
+            &mut out,
+        );
         assert!((a.cwnd() - b.cwnd()).abs() < 1e-6);
         // Coupled with small alpha: strictly less aggressive.
         let mut c = TcpTx::new(cfg(), 100_000_000);
         c.ssthresh = 1460.0;
         c.cwnd = 14_600.0;
-        c.on_ack(1460,
+        c.on_ack(
+            1460,
             SimTime::ZERO,
-            SimTime::from_micros(10), Some(Lia {
+            SimTime::from_micros(10),
+            Some(Lia {
                 alpha: 0.1,
                 cwnd_total: 14_600.0 * 8.0,
-            }), &SackBlocks::default(), &mut out);
+            }),
+            &SackBlocks::default(),
+            &mut out,
+        );
         assert!(c.cwnd() < a.cwnd());
     }
 
@@ -720,7 +812,14 @@ mod tests {
         assert_eq!(out.len(), 2);
         assert!(!tx.done(), "not finalized");
         tx.finalize();
-        tx.on_ack(2920, SimTime::ZERO, SimTime::from_micros(10), None, &SackBlocks::default(), &mut out);
+        tx.on_ack(
+            2920,
+            SimTime::ZERO,
+            SimTime::from_micros(10),
+            None,
+            &SackBlocks::default(),
+            &mut out,
+        );
         assert!(tx.done());
     }
 
@@ -784,7 +883,14 @@ mod tests {
         assert_eq!(acks, vec![0, 0]);
         let mut out = Vec::new();
         for a in acks {
-            tx.on_ack(a, SimTime::ZERO, SimTime::from_micros(10), None, &SackBlocks::default(), &mut out);
+            tx.on_ack(
+                a,
+                SimTime::ZERO,
+                SimTime::from_micros(10),
+                None,
+                &SackBlocks::default(),
+                &mut out,
+            );
         }
         assert!(out.is_empty(), "only 2 dupacks: no fast retx");
         tx.on_rto(&mut out);
@@ -792,7 +898,14 @@ mod tests {
         let ack = rx.on_data(out[0].seq, out[0].len);
         assert_eq!(ack, 4380);
         let mut fin = Vec::new();
-        tx.on_ack(ack, SimTime::ZERO, SimTime::from_millis(1), None, &SackBlocks::default(), &mut fin);
+        tx.on_ack(
+            ack,
+            SimTime::ZERO,
+            SimTime::from_millis(1),
+            None,
+            &SackBlocks::default(),
+            &mut fin,
+        );
         assert!(tx.done());
     }
 }

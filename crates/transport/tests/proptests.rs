@@ -1,11 +1,11 @@
-//! Property tests for the TCP state machines: the sender/receiver pair
-//! must deliver exactly the application bytes under arbitrary loss,
-//! reordering, and duplication of the wire.
+//! Property-style tests for the TCP state machines: the sender/receiver
+//! pair must deliver exactly the application bytes under arbitrary loss,
+//! reordering, and duplication of the wire. Cases are sampled from the
+//! in-tree deterministic RNG with fixed seeds.
 
 use conga_net::SackBlocks;
-use conga_sim::{SimDuration, SimTime};
+use conga_sim::{SimDuration, SimRng, SimTime};
 use conga_transport::{Segment, TcpConfig, TcpRx, TcpTx};
-use proptest::prelude::*;
 use std::collections::VecDeque;
 
 /// Drive a TcpTx/TcpRx pair over an adversarial wire that drops, delays,
@@ -41,7 +41,14 @@ fn run_adversarial(total: u64, chaos: &[u8]) -> (bool, u64) {
                 }
                 let ack = rx.on_data(seg.seq, seg.len);
                 let sack = rx.sack_blocks();
-                tx.on_ack(ack, SimTime::from_nanos(now_ns.saturating_sub(5_000)), now, None, &sack, &mut out);
+                tx.on_ack(
+                    ack,
+                    SimTime::from_nanos(now_ns.saturating_sub(5_000)),
+                    now,
+                    None,
+                    &sack,
+                    &mut out,
+                );
                 if v % 3 == 0 {
                     // reorder: rotate the wire
                     if let Some(s2) = wire.pop_front() {
@@ -61,33 +68,43 @@ fn run_adversarial(total: u64, chaos: &[u8]) -> (bool, u64) {
     (tx.done(), tx.bytes_retx)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    /// Under arbitrary drop/duplicate/reorder patterns the transfer always
-    /// terminates with every byte delivered in order.
-    #[test]
-    fn tcp_survives_adversarial_wire(
-        total in 1_000u64..300_000,
-        chaos in proptest::collection::vec(any::<u8>(), 16..64),
-    ) {
+/// Under arbitrary drop/duplicate/reorder patterns the transfer always
+/// terminates with every byte delivered in order.
+#[test]
+fn tcp_survives_adversarial_wire() {
+    let mut rng = SimRng::new(0xADC_0517);
+    for _case in 0..48 {
+        let total = rng.range_u64(1_000, 300_000);
+        let n = rng.range_u64(16, 64) as usize;
+        let chaos: Vec<u8> = (0..n).map(|_| rng.below(256) as u8).collect();
         let (done, _retx) = run_adversarial(total, &chaos);
-        prop_assert!(done, "transfer did not complete");
+        assert!(done, "transfer of {total} bytes did not complete");
     }
+}
 
-    /// A clean wire (no chaos) never retransmits.
-    #[test]
-    fn tcp_clean_wire_no_retx(total in 1_000u64..300_000) {
+/// A clean wire (no chaos) never retransmits.
+#[test]
+fn tcp_clean_wire_no_retx() {
+    let mut rng = SimRng::new(0xC1EA_4313);
+    for _case in 0..64 {
+        let total = rng.range_u64(1_000, 300_000);
         // chaos value 1: never divisible by 3/5/7 -> lossless in-order wire.
         let (done, retx) = run_adversarial(total, &[1]);
-        prop_assert!(done);
-        prop_assert_eq!(retx, 0);
+        assert!(done);
+        assert_eq!(retx, 0, "clean wire retransmitted ({total} bytes)");
     }
+}
 
-    /// The receiver's cumulative ACK is monotone and its SACK blocks are
-    /// always above the ACK point and sorted.
-    #[test]
-    fn receiver_invariants(segs in proptest::collection::vec((0u64..40, 1u32..4), 1..60)) {
+/// The receiver's cumulative ACK is monotone and its SACK blocks are
+/// always above the ACK point and sorted.
+#[test]
+fn receiver_invariants() {
+    let mut rng = SimRng::new(0x4ECE_13E4);
+    for _case in 0..256 {
+        let n = rng.range_u64(1, 60) as usize;
+        let segs: Vec<(u64, u32)> = (0..n)
+            .map(|_| (rng.below(40) as u64, rng.range_u64(1, 4) as u32))
+            .collect();
         let mss = 1460u64;
         let mut rx = TcpRx::default();
         let mut prev_ack = 0;
@@ -95,23 +112,28 @@ proptest! {
             let seq = slot * mss;
             let len = (len_pkts as u64 * mss) as u32;
             let ack = rx.on_data(seq, len);
-            prop_assert!(ack >= prev_ack, "cumulative ACK went backwards");
+            assert!(ack >= prev_ack, "cumulative ACK went backwards");
             prev_ack = ack;
             let blocks: Vec<(u64, u64)> = rx.sack_blocks().iter().collect();
             for w in blocks.windows(2) {
-                prop_assert!(w[0].1 < w[1].0, "SACK blocks overlap or unsorted");
+                assert!(w[0].1 < w[1].0, "SACK blocks overlap or unsorted");
             }
             for &(s, e) in &blocks {
-                prop_assert!(s > ack, "SACK block at/below the ACK point");
-                prop_assert!(e > s);
+                assert!(s > ack, "SACK block at/below the ACK point");
+                assert!(e > s);
             }
         }
     }
+}
 
-    /// cwnd never goes below one MSS and in_flight never exceeds the
-    /// configured windows.
-    #[test]
-    fn sender_window_invariants(acks in proptest::collection::vec(any::<u8>(), 1..200)) {
+/// cwnd never goes below one MSS and in_flight never exceeds the
+/// configured windows.
+#[test]
+fn sender_window_invariants() {
+    let mut rng = SimRng::new(0x53D_714D);
+    for _case in 0..128 {
+        let n = rng.range_u64(1, 200) as usize;
+        let acks: Vec<u8> = (0..n).map(|_| rng.below(256) as u8).collect();
         let cfg = TcpConfig::standard();
         let mut tx = TcpTx::new(cfg, 10_000_000);
         let mut out = Vec::new();
@@ -121,15 +143,29 @@ proptest! {
             now_ns += 10_000;
             let now = SimTime::from_nanos(now_ns);
             // Random-ish ack: sometimes dup, sometimes progress.
-            let target = if a % 4 == 0 { tx.snd_una } else { (tx.snd_una + (a as u64 % 5) * 1460).min(tx.next_seq) };
+            let target = if a % 4 == 0 {
+                tx.snd_una
+            } else {
+                (tx.snd_una + (a as u64 % 5) * 1460).min(tx.next_seq)
+            };
             out.clear();
-            tx.on_ack(target, SimTime::from_nanos(now_ns - 5_000), now, None, &SackBlocks::default(), &mut out);
+            tx.on_ack(
+                target,
+                SimTime::from_nanos(now_ns - 5_000),
+                now,
+                None,
+                &SackBlocks::default(),
+                &mut out,
+            );
             if a % 11 == 0 {
                 tx.on_rto(&mut out);
             }
-            prop_assert!(tx.cwnd() >= 1460.0 - 1e-9, "cwnd collapsed below 1 MSS");
-            prop_assert!(tx.in_flight() <= 10 * 1460 + cfg.rwnd, "flight beyond window bound");
-            prop_assert!(tx.snd_una <= tx.next_seq);
+            assert!(tx.cwnd() >= 1460.0 - 1e-9, "cwnd collapsed below 1 MSS");
+            assert!(
+                tx.in_flight() <= 10 * 1460 + cfg.rwnd,
+                "flight beyond window bound"
+            );
+            assert!(tx.snd_una <= tx.next_seq);
         }
     }
 }

@@ -129,8 +129,7 @@ mod tests {
         let plan = PoissonPlan::generate(&dist, 8, 8, 80_000_000_000, 0.4, 4000, &mut rng);
         assert_eq!(plan.forward.len(), 4000);
         assert_eq!(plan.reverse.len(), 4000);
-        let used: std::collections::HashSet<u32> =
-            plan.forward.iter().map(|a| a.src).collect();
+        let used: std::collections::HashSet<u32> = plan.forward.iter().map(|a| a.src).collect();
         assert_eq!(used.len(), 8, "every source host participates");
     }
 

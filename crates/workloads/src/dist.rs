@@ -222,10 +222,7 @@ impl FlowSizeDist {
         if x >= self.points.last().expect("non-empty").0 {
             return 1.0;
         }
-        let i = self
-            .points
-            .partition_point(|&(s, _)| s <= x)
-            .max(1);
+        let i = self.points.partition_point(|&(s, _)| s <= x).max(1);
         let (x0, p0) = self.points[i - 1];
         let (x1, p1) = self.points[i];
         let f = (x.ln() - x0.ln()) / (x1.ln() - x0.ln());

@@ -196,7 +196,13 @@ mod tests {
     #[test]
     fn uneven_totals_produce_short_tail_block() {
         let mut rng = SimRng::new(4);
-        let j = HdfsJob::plan(&[0], &(0..8).collect::<Vec<_>>(), 100 << 20, 64 << 20, &mut rng);
+        let j = HdfsJob::plan(
+            &[0],
+            &(0..8).collect::<Vec<_>>(),
+            100 << 20,
+            64 << 20,
+            &mut rng,
+        );
         assert_eq!(j.blocks_total, 2);
     }
 

@@ -205,10 +205,13 @@ mod tests {
 
     #[test]
     fn burst_gaps_respect_line_rate() {
-        // Within a burst, packets are spaced at exactly the line rate.
+        // Within a burst, packets are spaced at exactly the line rate. A
+        // single flow can be a lone packet (most enterprise flows are
+        // tiny), so sample enough flows that at least one multi-packet
+        // burst is all but certain.
         let mut rng = SimRng::new(4);
         let model = BurstModel::default();
-        let t = generate_trace(&FlowSizeDist::enterprise(), &model, 1, 1000.0, &mut rng);
+        let t = generate_trace(&FlowSizeDist::enterprise(), &model, 40, 1000.0, &mut rng);
         let per_pkt = SimDuration::serialization(1460, model.line_rate_bps);
         let mut in_burst = 0;
         for w in t.windows(2) {

@@ -22,7 +22,11 @@ fn main() {
         .build();
 
     let fib = topo.fib();
-    println!("fabric: {} hosts, {} channels", topo.n_hosts, topo.channels.len());
+    println!(
+        "fabric: {} hosts, {} channels",
+        topo.n_hosts,
+        topo.channels.len()
+    );
     for l in 0..4 {
         println!(
             "  leaf {l}: {} uplinks; paths to other leaves: {:?}",
@@ -83,6 +87,11 @@ fn main() {
         net.total_drops(),
         net.dataplane.name()
     );
-    let completed = net.agent.records.iter().filter(|r| r.rx_done.is_some()).count();
+    let completed = net
+        .agent
+        .records
+        .iter()
+        .filter(|r| r.rx_done.is_some())
+        .count();
     println!("{completed}/32 elephants finished in 120ms of simulated time");
 }

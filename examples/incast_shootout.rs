@@ -8,7 +8,9 @@
 use conga::core::FabricPolicy;
 use conga::net::{HostId, LeafSpineBuilder, Network};
 use conga::sim::{SimDuration, SimRng, SimTime};
-use conga::transport::{FlowSpec, ListSource, MptcpConfig, TcpConfig, TransportKind, TransportLayer};
+use conga::transport::{
+    FlowSpec, ListSource, MptcpConfig, TcpConfig, TransportKind, TransportLayer,
+};
 use conga::workloads::IncastPattern;
 
 fn run(kind: impl Fn(TcpConfig) -> TransportKind, tcp: TcpConfig, fanout: u32) -> f64 {
@@ -68,7 +70,10 @@ fn run(kind: impl Fn(TcpConfig) -> TransportKind, tcp: TcpConfig, fanout: u32) -
 fn main() {
     println!("10MB striped over N synchronized senders into one 10G link");
     println!("goodput as % of line rate:\n");
-    println!("{:<28}{:>8}{:>8}{:>8}", "transport / fanout", "4", "16", "48");
+    println!(
+        "{:<28}{:>8}{:>8}{:>8}",
+        "transport / fanout", "4", "16", "48"
+    );
     for (label, rto_ms) in [("minRTO 200ms", 200u64), ("minRTO 1ms", 1)] {
         let tcp = TcpConfig::standard().with_min_rto(SimDuration::from_millis(rto_ms));
         print!("{:<28}", format!("TCP ({label})"));

@@ -22,7 +22,9 @@ fn main() {
     let mut net = Network::new(topo, FabricPolicy::conga(), TransportLayer::new(), 42);
 
     // Eight cross-fabric flows of assorted sizes.
-    let sizes = [50_000u64, 200_000, 1_000_000, 5_000_000, 64_000, 500_000, 2_000_000, 10_000_000];
+    let sizes = [
+        50_000u64, 200_000, 1_000_000, 5_000_000, 64_000, 500_000, 2_000_000, 10_000_000,
+    ];
     net.agent_call(|agent, now, em| {
         for (i, &bytes) in sizes.iter().enumerate() {
             agent.start_flow(

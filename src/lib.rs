@@ -14,7 +14,11 @@
 //! * [`workloads`] — empirical flow-size distributions and traffic
 //!   generators (Poisson, Incast, HDFS-write, bursty traces);
 //! * [`analysis`] — FCT statistics, throughput imbalance, the bottleneck
-//!   routing game (Price of Anarchy), the Theorem-2 imbalance model.
+//!   routing game (Price of Anarchy), the Theorem-2 imbalance model;
+//! * [`telemetry`] — run-level metrics registry and the deterministic
+//!   [`RunReport`](telemetry::RunReport) JSON artifact;
+//! * [`experiments`] — the figure harness (testbed topologies, the scheme
+//!   matrix, the open-loop FCT runner).
 //!
 //! ## Quickstart
 //!
@@ -49,7 +53,9 @@
 
 pub use conga_analysis as analysis;
 pub use conga_core as core;
+pub use conga_experiments as experiments;
 pub use conga_net as net;
 pub use conga_sim as sim;
+pub use conga_telemetry as telemetry;
 pub use conga_transport as transport;
 pub use conga_workloads as workloads;

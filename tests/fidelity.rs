@@ -3,8 +3,7 @@
 
 use conga::core::FabricPolicy;
 use conga::net::{
-    ChannelId, Dataplane, Fib, HostId, LeafId, LeafSpineBuilder, Network, Packet, SpineId,
-    Topology,
+    ChannelId, Dataplane, Fib, HostId, LeafId, LeafSpineBuilder, Network, Packet, SpineId, Topology,
 };
 use conga::sim::{SimRng, SimTime};
 use conga::transport::{FlowSpec, TcpConfig, TransportKind, TransportLayer};

@@ -36,7 +36,10 @@ fn data_mining_is_heavier_than_enterprise() {
     let e = FlowSizeDist::enterprise();
     let d = FlowSizeDist::data_mining();
     assert!(d.byte_fraction_below(35e6) < 0.15, "paper: ~5%");
-    assert!((0.35..0.65).contains(&e.byte_fraction_below(35e6)), "paper: ~50%");
+    assert!(
+        (0.35..0.65).contains(&e.byte_fraction_below(35e6)),
+        "paper: ~50%"
+    );
     assert!(e.coeff_of_variation() < d.coeff_of_variation());
 }
 
@@ -59,9 +62,21 @@ fn theorem2_bound_holds() {
 fn nash_is_near_optimal_on_symmetric_games() {
     use conga::analysis::poa::{BottleneckGame, User};
     let users = vec![
-        User { src: 0, dst: 1, demand: 1.0 },
-        User { src: 1, dst: 2, demand: 1.0 },
-        User { src: 2, dst: 0, demand: 1.0 },
+        User {
+            src: 0,
+            dst: 1,
+            demand: 1.0,
+        },
+        User {
+            src: 1,
+            dst: 2,
+            demand: 1.0,
+        },
+        User {
+            src: 2,
+            dst: 0,
+            demand: 1.0,
+        },
     ];
     let g = BottleneckGame::symmetric(3, 3, 1.0, users);
     let (x, _) = g.nash(g.concentrated(|_| 0), 200, 1e-9);
@@ -70,7 +85,10 @@ fn nash_is_near_optimal_on_symmetric_games() {
     let (opt, _) = g.min_max_utilization(3000, &mut rng);
     let ratio = g.network_bottleneck(&x) / opt;
     assert!(ratio <= 2.0 + 1e-6, "PoA bound");
-    assert!(ratio <= 1.2, "symmetric games should be near-optimal: {ratio}");
+    assert!(
+        ratio <= 1.2,
+        "symmetric games should be near-optimal: {ratio}"
+    );
 }
 
 /// §3.2: the DRE tracks rate with its advertised time constant, so CONGA
@@ -84,7 +102,7 @@ fn dre_time_constant_behaviour() {
     let mut t = SimTime::ZERO;
     while t < SimTime::from_millis(1) {
         d.on_send(1500, t);
-        t = t + SimDuration::from_nanos(2400);
+        t += SimDuration::from_nanos(2400);
     }
     let u = d.utilization(t);
     assert!((u - 0.5).abs() < 0.1, "{u}");

@@ -1,34 +1,47 @@
-//! Property-based tests spanning the workspace: random fabrics, random
-//! traffic, invariants that must hold regardless.
+//! Property-style tests spanning the workspace: random fabrics, random
+//! traffic, invariants that must hold regardless. Cases are sampled from
+//! the in-tree deterministic RNG with fixed seeds, so every run explores
+//! the same inputs.
 
 use conga::core::FabricPolicy;
 use conga::net::{HostId, LeafSpineBuilder, Network, QueueProfile};
-use conga::sim::{SimDuration, SimTime};
+use conga::sim::{SimDuration, SimRng, SimTime};
+use conga::telemetry::MetricsRegistry;
 use conga::transport::{FlowSpec, TcpConfig, TransportKind, TransportLayer};
-use proptest::prelude::*;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(12))]
-
-    /// Any random small fabric + random TCP flows: every flow completes
-    /// and delivers exactly its bytes (conservation), under CONGA and ECMP.
-    #[test]
-    fn random_fabric_conserves_bytes(
-        leaves in 2u32..4,
-        spines in 1u32..4,
-        hosts in 2u32..6,
-        parallel in 1u32..3,
-        seed in 0u64..1000,
-        flows in proptest::collection::vec((0u32..100, 0u32..100, 1_000u64..400_000), 1..8),
-        use_conga in any::<bool>(),
-    ) {
+/// Any random small fabric + random TCP flows: every flow completes and
+/// delivers exactly its bytes (conservation), under CONGA and ECMP.
+#[test]
+fn random_fabric_conserves_bytes() {
+    let mut rng = SimRng::new(0xFAB_21C5);
+    for case in 0..12 {
+        let leaves = rng.range_u64(2, 4) as u32;
+        let spines = rng.range_u64(1, 4) as u32;
+        let hosts = rng.range_u64(2, 6) as u32;
+        let parallel = rng.range_u64(1, 3) as u32;
+        let seed = rng.below(1000) as u64;
+        let nflows = rng.range_u64(1, 8) as usize;
+        let flows: Vec<(u32, u32, u64)> = (0..nflows)
+            .map(|_| {
+                (
+                    rng.below(100) as u32,
+                    rng.below(100) as u32,
+                    rng.range_u64(1_000, 400_000),
+                )
+            })
+            .collect();
+        let use_conga = rng.chance(0.5);
         let topo = LeafSpineBuilder::new(leaves, spines, hosts)
             .host_rate_gbps(10)
             .fabric_rate_gbps(40)
             .parallel_links(parallel)
             .build();
         let n = topo.n_hosts;
-        let policy = if use_conga { FabricPolicy::conga() } else { FabricPolicy::ecmp() };
+        let policy = if use_conga {
+            FabricPolicy::conga()
+        } else {
+            FabricPolicy::ecmp()
+        };
         let mut net = Network::new(topo, policy, TransportLayer::new(), seed);
         let specs: Vec<FlowSpec> = flows
             .iter()
@@ -53,22 +66,30 @@ proptest! {
         });
         net.run_until(SimTime::from_secs(3));
         for (i, spec) in specs.iter().enumerate() {
-            prop_assert!(net.agent.records[i].rx_done.is_some(), "flow {i} incomplete");
-            prop_assert_eq!(net.agent.rx_bytes(i), spec.bytes);
+            assert!(
+                net.agent.records[i].rx_done.is_some(),
+                "case {case}: flow {i} incomplete"
+            );
+            assert_eq!(net.agent.rx_bytes(i), spec.bytes);
             // FCT is never faster than line-rate serialization.
             let fct = net.agent.records[i].fct().unwrap().as_secs_f64();
-            prop_assert!(fct >= spec.bytes as f64 * 8.0 / 10e9);
+            assert!(fct >= spec.bytes as f64 * 8.0 / 10e9);
         }
     }
+}
 
-    /// With brutal queues and a failed link, TCP still delivers everything
-    /// (loss recovery terminates) and never delivers bytes it wasn't sent.
-    #[test]
-    fn lossy_fabric_recovery_terminates(
-        seed in 0u64..500,
-        q in 20_000u64..80_000,
-        nflows in 2usize..6,
-    ) {
+/// With brutal queues and a failed link, TCP still delivers everything
+/// (loss recovery terminates) and never delivers bytes it wasn't sent.
+/// The telemetry export must agree with the engine about drops: the
+/// `engine.queue_drops` counter and the per-port `port.NNNN.drops`
+/// counters both sum to `Network::total_drops()`.
+#[test]
+fn lossy_fabric_drop_accounting_is_consistent() {
+    let mut rng = SimRng::new(0x1055_ACC7);
+    for case in 0..12 {
+        let seed = rng.below(500) as u64;
+        let q = rng.range_u64(20_000, 80_000);
+        let nflows = rng.range_u64(2, 6) as usize;
         let topo = LeafSpineBuilder::new(2, 2, 4)
             .parallel_links(2)
             .fail_link(0, 1, 1)
@@ -96,16 +117,34 @@ proptest! {
         });
         net.run_until(SimTime::from_secs(3));
         for i in 0..nflows {
-            prop_assert!(net.agent.records[i].rx_done.is_some(), "flow {i} stuck");
-            prop_assert_eq!(net.agent.rx_bytes(i), 200_000);
+            assert!(
+                net.agent.records[i].rx_done.is_some(),
+                "case {case}: flow {i} stuck"
+            );
+            assert_eq!(net.agent.rx_bytes(i), 200_000);
         }
+        // Telemetry agrees with the engine's own drop accounting.
+        let mut reg = MetricsRegistry::new();
+        net.export_metrics(&mut reg);
+        let per_port_drops: u64 = reg
+            .counters()
+            .filter(|(k, _)| k.starts_with("port.") && k.ends_with(".drops"))
+            .map(|(_, v)| v)
+            .sum();
+        assert_eq!(per_port_drops, net.total_drops(), "case {case} (q={q})");
+        assert_eq!(reg.counter("engine.queue_drops"), net.total_drops());
     }
+}
 
-    /// The engine never reorders packets of a single flow when the policy
-    /// pins flows to paths (ECMP): receiver sees zero out-of-order
-    /// segments on a clean network.
-    #[test]
-    fn single_path_flows_never_reorder(seed in 0u64..500, bytes in 10_000u64..2_000_000) {
+/// The engine never reorders packets of a single flow when the policy
+/// pins flows to paths (ECMP): receiver sees zero out-of-order segments
+/// on a clean network.
+#[test]
+fn single_path_flows_never_reorder() {
+    let mut rng = SimRng::new(0x0001_F10C);
+    for _case in 0..16 {
+        let seed = rng.below(500) as u64;
+        let bytes = rng.range_u64(10_000, 2_000_000);
         let topo = LeafSpineBuilder::new(2, 2, 4).parallel_links(2).build();
         let mut net = Network::new(topo, FabricPolicy::ecmp(), TransportLayer::new(), seed);
         net.agent_call(|a, now, em| {
@@ -121,19 +160,18 @@ proptest! {
             );
         });
         net.run_until(SimTime::from_secs(2));
-        prop_assert!(net.agent.records[0].rx_done.is_some());
-        prop_assert_eq!(net.agent.records[0].retx_bytes, 0, "clean single flow");
+        assert!(net.agent.records[0].rx_done.is_some());
+        assert_eq!(net.agent.records[0].retx_bytes, 0, "clean single flow");
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(32))]
-
-    /// The Price-of-Anarchy bound holds on arbitrary random games.
-    #[test]
-    fn poa_never_exceeds_two(seed in 0u64..10_000) {
-        use conga::analysis::poa::{BottleneckGame, User};
-        use conga::sim::SimRng;
+/// The Price-of-Anarchy bound holds on arbitrary random games.
+#[test]
+fn poa_never_exceeds_two() {
+    use conga::analysis::poa::{BottleneckGame, User};
+    let mut meta = SimRng::new(0x90A_0F02);
+    for _case in 0..32 {
+        let seed = meta.below(10_000) as u64;
         let mut rng = SimRng::new(seed);
         let nl = 2 + rng.below(3);
         let ns = 2 + rng.below(3);
@@ -144,27 +182,46 @@ proptest! {
             while dst == src {
                 dst = rng.below(nl);
             }
-            users.push(User { src, dst, demand: 0.2 + rng.f64() });
+            users.push(User {
+                src,
+                dst,
+                demand: 0.2 + rng.f64(),
+            });
         }
         let g = BottleneckGame::symmetric(nl, ns, 1.0, users);
         let (x, _) = g.nash(g.concentrated(|i| i % ns), 300, 1e-9);
         let nash = g.network_bottleneck(&x);
         let (opt, _) = g.min_max_utilization(2500, &mut rng);
-        prop_assert!(nash <= 2.0 * opt + 1e-6, "PoA violated: {} vs {}", nash, opt);
+        assert!(nash <= 2.0 * opt + 1e-6, "PoA violated: {nash} vs {opt}");
     }
+}
 
-    /// Flow-size distributions: sampling respects published CDF points.
-    #[test]
-    fn dist_sampling_matches_cdf(seed in 0u64..10_000, u in 0.05f64..0.95) {
-        use conga::workloads::FlowSizeDist;
-        use conga::sim::SimRng;
-        for d in [FlowSizeDist::enterprise(), FlowSizeDist::data_mining(), FlowSizeDist::web_search()] {
+/// Flow-size distributions: sampling respects published CDF points.
+#[test]
+fn dist_sampling_matches_cdf() {
+    use conga::workloads::FlowSizeDist;
+    let mut meta = SimRng::new(0xD157_CDF1);
+    for _case in 0..32 {
+        let seed = meta.below(10_000) as u64;
+        let u = 0.05 + 0.90 * meta.f64();
+        for d in [
+            FlowSizeDist::enterprise(),
+            FlowSizeDist::data_mining(),
+            FlowSizeDist::web_search(),
+        ] {
             let x = d.quantile(u);
             let back = d.cdf(x);
-            prop_assert!((back - u).abs() < 0.02, "{}: u={} x={} back={}", d.name(), u, x, back);
+            assert!(
+                (back - u).abs() < 0.02,
+                "{}: u={} x={} back={}",
+                d.name(),
+                u,
+                x,
+                back
+            );
             let mut rng = SimRng::new(seed);
             let s = d.sample(&mut rng) as f64;
-            prop_assert!(s >= d.quantile(0.0) && s <= d.quantile(1.0));
+            assert!(s >= d.quantile(0.0) && s <= d.quantile(1.0));
         }
     }
 }
