@@ -113,9 +113,14 @@ impl Conga {
     ) -> (ChannelId, bool) {
         debug_assert!(!candidates.is_empty());
         let mut best: u16 = u16::MAX;
-        // Up to MAX_LBTAG candidates; collect ties on the stack.
-        let mut ties = [ChannelId(0); MAX_LBTAG];
-        let mut n_ties = 0;
+        // Single-pass reservoir over the tied minimum: the k-th candidate
+        // matching the best metric replaces the provisional pick with
+        // probability 1/k, so every tied uplink is equally likely no matter
+        // how many tie (a fixed-size tie buffer silently dropped ties past
+        // its capacity, biasing large fabrics toward low-indexed uplinks).
+        let mut pick = candidates[0];
+        let mut n_ties = 0u64;
+        let mut prev_tied = false;
         for &u in candidates {
             let local = dres[u.idx()]
                 .as_mut()
@@ -127,21 +132,22 @@ impl Conga {
             let m = local.max(remote) as u16;
             if m < best {
                 best = m;
-                ties[0] = u;
+                pick = u;
                 n_ties = 1;
-            } else if m == best && n_ties < MAX_LBTAG {
-                ties[n_ties] = u;
+                prev_tied = prev == Some(u);
+            } else if m == best {
                 n_ties += 1;
+                if rng.below(n_ties as usize) == 0 {
+                    pick = u;
+                }
+                prev_tied |= prev == Some(u);
             }
         }
-        let ties = &ties[..n_ties];
         // Prefer the previous port if it is among the best.
-        if let Some(p) = prev {
-            if ties.contains(&p) {
-                return (p, true);
-            }
+        if prev_tied {
+            return (prev.expect("tie with prev implies prev is set"), true);
         }
-        (*rng.choose(ties), false)
+        (pick, false)
     }
 }
 
@@ -432,7 +438,7 @@ mod tests {
 
     #[test]
     fn egress_and_feedback_close_the_loop() {
-        let (_t, _fib, mut c) = setup();
+        let (_t, fib, mut c) = setup();
         let now = SimTime::from_micros(20);
         // Leaf 1 receives a packet from leaf 0 with lbtag 3, CE 6.
         let mut p = fabric_pkt(8, 0, 1);
@@ -442,24 +448,99 @@ mod tests {
             o.ce = 6;
         }
         c.leaf_egress(LeafId(1), &p, now);
-        // When leaf 1 later sends to leaf 0, the feedback must ride along.
+        // When leaf 1 later sends to leaf 0, the feedback must ride along —
+        // using the same FIB the dataplane was installed with.
         let mut rng = SimRng::new(5);
-        let cands = c.lbtag_of.len(); // silence unused warnings below
-        let _ = cands;
-        let fib = LeafSpineBuilder::new(2, 2, 2)
-            .parallel_links(2)
-            .build()
-            .fib();
         let mut rev = fabric_pkt(9, 1, 0);
         let rcands = fib.up_candidates[1][0].clone();
-        c.leaf_ingress(LeafId(1), &mut rev, &rcands, now, &mut rng);
+        let chosen = c.leaf_ingress(LeafId(1), &mut rev, &rcands, now, &mut rng);
+        assert!(rcands.contains(&chosen));
         let o = rev.overlay.unwrap();
         assert!(o.fb_valid);
         assert_eq!(o.fb_lbtag, 3);
         assert_eq!(o.fb_metric, 6);
+        assert_eq!(
+            o.lbtag,
+            fib.lbtag_of[chosen.idx()],
+            "reverse packet must carry the chosen uplink's tag"
+        );
         // Leaf 0 receives the reverse packet: Congestion-To-Leaf updated.
         c.leaf_egress(LeafId(0), &rev, now);
         assert_eq!(c.leaves[0].to_leaf.read(1, 3, now), 6);
+    }
+
+    /// Synthetic decision inputs: `n` equal-cost uplinks with idle DREs and
+    /// no remote table, so every candidate ties at metric 0.
+    fn equal_cost_setup(n: usize) -> (Vec<Option<Dre>>, Vec<u8>, Vec<ChannelId>) {
+        let params = CongaParams::paper_default();
+        let dres = (0..n)
+            .map(|_| Some(Dre::new(40_000_000_000, params.tdre, params.alpha)))
+            .collect();
+        let lbtag_of = vec![0u8; n];
+        let candidates = (0..n).map(|i| ChannelId(i as u32)).collect();
+        (dres, lbtag_of, candidates)
+    }
+
+    #[test]
+    fn tie_break_is_uniform_beyond_max_lbtag_candidates() {
+        // More equal-cost candidates than the old fixed tie buffer held:
+        // the fixed [ChannelId; MAX_LBTAG] array silently dropped ties past
+        // MAX_LBTAG, so uplinks 16..24 could never win. The reservoir pick
+        // must select all 24 uniformly.
+        let n = MAX_LBTAG + 8;
+        let (mut dres, lbtag_of, candidates) = equal_cost_setup(n);
+        let mut rng = SimRng::new(42);
+        let q = CongaParams::paper_default().q_bits;
+        let rounds = 24_000usize;
+        let mut counts = vec![0usize; n];
+        for _ in 0..rounds {
+            let (ch, sticky) = Conga::decide(
+                &mut dres,
+                None,
+                &lbtag_of,
+                1,
+                &candidates,
+                None,
+                q,
+                SimTime::ZERO,
+                &mut rng,
+            );
+            assert!(!sticky);
+            counts[ch.idx()] += 1;
+        }
+        let expected = rounds / n; // 1000 per uplink
+        for (i, &c) in counts.iter().enumerate() {
+            assert!(
+                c >= expected * 6 / 10 && c <= expected * 14 / 10,
+                "uplink {i} won {c}/{rounds} decisions (expected ~{expected})"
+            );
+        }
+    }
+
+    #[test]
+    fn tie_break_stays_sticky_beyond_max_lbtag_candidates() {
+        // The previous port ties at a position past the old buffer bound:
+        // stickiness must still hold (the old code would have evicted it).
+        let n = MAX_LBTAG + 8;
+        let (mut dres, lbtag_of, candidates) = equal_cost_setup(n);
+        let mut rng = SimRng::new(43);
+        let q = CongaParams::paper_default().q_bits;
+        let prev = candidates[n - 1];
+        for _ in 0..100 {
+            let (ch, sticky) = Conga::decide(
+                &mut dres,
+                None,
+                &lbtag_of,
+                1,
+                &candidates,
+                Some(prev),
+                q,
+                SimTime::ZERO,
+                &mut rng,
+            );
+            assert_eq!(ch, prev, "equal metrics: flow must not move");
+            assert!(sticky);
+        }
     }
 
     #[test]

@@ -343,12 +343,20 @@ impl Dataplane for WeightedRandom {
     ) -> ChannelId {
         let dst = pkt.overlay.expect("ingress without overlay").dst_tep.idx();
         let cum = &self.cum_weights[leaf.idx()][dst];
-        debug_assert_eq!(cum.len(), candidates.len());
-        let total = *cum.last().expect("non-empty candidates");
-        // Deterministic per-flow draw: hash to [0, total).
-        let u = (ecmp_mix(pkt.flow_hash, 0x3EED) as f64 / u64::MAX as f64) * total;
-        let i = cum.partition_point(|&c| c <= u).min(cum.len() - 1);
-        let ch = candidates[i];
+        // Weights are static (oblivious routing): a runtime link fault
+        // changes the candidate list out from under them. Fall back to
+        // plain hashing until the install-time candidate set returns —
+        // exactly the paper's point that oblivious schemes cannot react.
+        let ch = if cum.len() == candidates.len() {
+            let total = *cum.last().expect("non-empty candidates");
+            // Deterministic per-flow draw: hash to [0, total).
+            let u = (ecmp_mix(pkt.flow_hash, 0x3EED) as f64 / u64::MAX as f64) * total;
+            let i = cum.partition_point(|&c| c <= u).min(cum.len() - 1);
+            candidates[i]
+        } else {
+            let h = ecmp_mix(pkt.flow_hash, 0x1EAF_0000 + leaf.0 as u64);
+            candidates[(h % candidates.len() as u64) as usize]
+        };
         pkt.overlay.as_mut().expect("checked").lbtag = self.lbtag_of[ch.idx()];
         ch
     }

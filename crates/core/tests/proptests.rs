@@ -105,6 +105,68 @@ fn flowlet_agebit_gap_window() {
     }
 }
 
+/// Age-bit boundary semantics, tested without referencing the expiry
+/// formula: the minimal idle gap that expires an entry is *discovered* by
+/// probing fresh tables and must lie in `(T_fl, 2*T_fl]` for every phase of
+/// the last packet within the sweep period — including a packet landing
+/// exactly on a sweep boundary, which gets the full `2*T_fl`.
+#[test]
+fn flowlet_agebit_boundary_semantics_discovered() {
+    let tfl_ns = 500_000u64;
+    let tfl = SimDuration::from_nanos(tfl_ns);
+    // Probe with a fresh table so the probe lookup itself cannot refresh
+    // state observed by a later probe.
+    let expired_after = |last: SimTime, gap_ns: u64| -> bool {
+        let mut t = FlowletTable::new(64, tfl, GapMode::AgeBit);
+        t.lookup(9, last);
+        t.commit(9, ChannelId(1), last);
+        matches!(
+            t.lookup(9, SimTime::from_nanos(last.as_nanos() + gap_ns)),
+            Lookup::NewFlowlet { .. }
+        )
+    };
+    let mut rng = SimRng::new(0xB0_DA17);
+    for case in 0..256u32 {
+        let period = rng.below(64) as u64;
+        // Every 4th case lands exactly on a sweep boundary (phase 0).
+        let phase = if case % 4 == 0 {
+            0
+        } else {
+            rng.below(tfl_ns as usize) as u64
+        };
+        let last = SimTime::from_nanos(period * tfl_ns + phase);
+        // "Expired at gap g" is monotone in g: binary-search the smallest
+        // expiring gap in [1, 2*T_fl + 1].
+        assert!(!expired_after(last, 1), "phase {phase}: instant expiry");
+        assert!(
+            expired_after(last, 2 * tfl_ns + 1),
+            "phase {phase}: survived past 2*T_fl"
+        );
+        let (mut lo, mut hi) = (1u64, 2 * tfl_ns + 1); // !expired(lo), expired(hi)
+        while hi - lo > 1 {
+            let mid = lo + (hi - lo) / 2;
+            if expired_after(last, mid) {
+                hi = mid;
+            } else {
+                lo = mid;
+            }
+        }
+        let min_gap = hi;
+        assert!(
+            min_gap > tfl_ns && min_gap <= 2 * tfl_ns,
+            "phase {phase}: minimal expiring gap {min_gap} outside (T_fl, 2*T_fl]"
+        );
+        if phase == 0 {
+            // A packet exactly on a sweep boundary belongs to the period it
+            // opens: the next sweep sets its age bit, the one after expires
+            // it — the full 2*T_fl.
+            assert_eq!(min_gap, 2 * tfl_ns, "boundary packet gets the full window");
+        }
+        // And the discovered gap is sharp: one nanosecond less stays active.
+        assert!(!expired_after(last, min_gap - 1));
+    }
+}
+
 /// Congestion tables: reads reflect the latest write until aging, and
 /// feedback round-robin eventually reports every recorded tag.
 #[test]

@@ -18,6 +18,7 @@ use conga_workloads::FlowSizeDist;
 
 fn main() {
     let args = Args::parse();
+    let mut sidecar_failed = false;
     banner(
         "Figure 11 — impact of link failure (3x40G bisection, load ref. unchanged)",
         "one Leaf1-Spine1 link down; ECMP still sends half of L0->L1 via Spine 1",
@@ -72,7 +73,10 @@ fn main() {
         let (out, report) = run_and_sample_hotspot(&cfg);
         match write_metrics_sidecar("fig11_link_failure", scheme.name(), &report) {
             Ok(p) => eprintln!("metrics sidecar: {}", p.display()),
-            Err(e) => eprintln!("metrics sidecar write failed: {e}"),
+            Err(e) => {
+                eprintln!("metrics sidecar write failed: {e}");
+                sidecar_failed = true;
+            }
         }
         println!(
             "{:<12}{:>12.0}{:>12.0}{:>12.0}{:>12.0}",
@@ -82,6 +86,9 @@ fn main() {
             out.2 / 1024.0,
             out.3 / 1024.0
         );
+    }
+    if sidecar_failed {
+        std::process::exit(1);
     }
 }
 

@@ -14,6 +14,7 @@ use conga_workloads::FlowSizeDist;
 
 fn main() {
     let args = Args::parse();
+    let mut sidecar_failed = false;
     banner(
         "Figure 12 — uplink throughput imbalance (MAX-MIN)/AVG at 60% load",
         "synchronous 10ms samples of Leaf 0's four uplinks, baseline topology",
@@ -45,7 +46,10 @@ fn main() {
             let label = format!("{}.{}", dist.name(), scheme.name());
             match write_metrics_sidecar("fig12_imbalance", &label, &out.report) {
                 Ok(p) => eprintln!("metrics sidecar: {}", p.display()),
-                Err(e) => eprintln!("metrics sidecar write failed: {e}"),
+                Err(e) => {
+                    eprintln!("metrics sidecar write failed: {e}");
+                    sidecar_failed = true;
+                }
             }
             // Only windows where the uplinks average at least 10% utilized
             // say anything about balance (idle head/tail windows would
@@ -72,5 +76,8 @@ fn main() {
                 percentile(&imb, 95.0) * 100.0,
             );
         }
+    }
+    if sidecar_failed {
+        std::process::exit(1);
     }
 }

@@ -97,6 +97,7 @@ fn run_incast(scheme: Scheme, fanout: u32, tcp: TcpConfig, seed: u64) -> (f64, R
 
 fn main() {
     let args = Args::parse();
+    let mut sidecar_failed = false;
     banner(
         "Figure 13 — Incast: client goodput vs fanout",
         "10MB striped over N synchronized senders into one 10G access link;\n\
@@ -130,10 +131,14 @@ fn main() {
                 let tag = format!("{mtu_name}.{label}.f{f:02}");
                 if let Err(e) = write_metrics_sidecar("fig13_incast", &tag, &report) {
                     eprintln!("metrics sidecar write failed: {e}");
+                    sidecar_failed = true;
                 }
                 print!("{pct:>7.1}");
             }
             println!();
         }
+    }
+    if sidecar_failed {
+        std::process::exit(1);
     }
 }

@@ -1,0 +1,295 @@
+//! The dynamic-failure experiment: fail a leaf–spine link *mid-run*,
+//! recover it later, and measure how fast each scheme's delivered
+//! throughput reconverges.
+//!
+//! This differs from the static Figure 11 harness (`fig11_link_failure`),
+//! where the link is absent from the start: here the run begins on the
+//! healthy baseline fabric, the failure fires through the engine's runtime
+//! fault-injection path (blackholing queued and in-flight packets, forcing
+//! the FIB to reconverge), and the link later comes back. The interesting
+//! outputs are the throughput timeline around the transitions, the
+//! time-to-reconverge, and whether any flow is permanently stranded.
+
+use crate::runner::{build_testbed, Scheme, TestbedOpts};
+use conga_net::Network;
+use conga_sim::{SimDuration, SimRng, SimTime};
+use conga_telemetry::RunReport;
+use conga_transport::{ListSource, TcpConfig, TransportLayer};
+use conga_workloads::{FlowSizeDist, PoissonPlan};
+
+/// Specification for one dynamic-failure run.
+#[derive(Clone, Debug)]
+pub struct DynFailSpec {
+    /// Topology options (the *healthy* fabric; do not pre-fail a link).
+    pub topo: TestbedOpts,
+    /// Scheme under test.
+    pub scheme: Scheme,
+    /// Flow-size distribution.
+    pub dist: FlowSizeDist,
+    /// Offered load as a fraction of baseline bisection bandwidth.
+    pub load: f64,
+    /// RNG seed.
+    pub seed: u64,
+    /// When the link fails.
+    pub fail_at: SimTime,
+    /// When the link recovers.
+    pub recover_at: SimTime,
+    /// The link to fail: (leaf, spine, parallel index).
+    pub link: (u32, u32, u32),
+    /// End of the offered-load window; arrivals are sized to span it.
+    pub window: SimTime,
+    /// Throughput-sampling slice width.
+    pub slice: SimDuration,
+}
+
+impl DynFailSpec {
+    /// The paper-shaped default: baseline testbed at 60 % load, fail the
+    /// Leaf1–Spine1 link at 50 % of the window (leaving the first half as
+    /// open-loop warm-up) and bring it back at 75 %.
+    pub fn paper(scheme: Scheme, quick: bool, seed: u64) -> Self {
+        let topo = if quick {
+            TestbedOpts::paper_baseline().quick()
+        } else {
+            TestbedOpts::paper_baseline()
+        };
+        let window = if quick {
+            SimTime::from_millis(160)
+        } else {
+            SimTime::from_millis(400)
+        };
+        let at = |f: f64| SimTime::from_nanos((window.as_nanos() as f64 * f) as u64);
+        DynFailSpec {
+            topo,
+            scheme,
+            dist: FlowSizeDist::enterprise(),
+            load: 0.6,
+            seed,
+            fail_at: at(0.50),
+            recover_at: at(0.75),
+            link: (1, 1, 0),
+            window,
+            slice: SimDuration::from_millis(10),
+        }
+    }
+}
+
+/// What a dynamic-failure run produced.
+#[derive(Clone, Debug)]
+pub struct DynFailOutcome {
+    /// Payload bytes delivered in each slice `((i)·slice, (i+1)·slice]`,
+    /// covering the offered-load window.
+    pub delivered_per_slice: Vec<u64>,
+    /// Mean delivered throughput (bps) over the second half of the
+    /// pre-failure phase (the first half is open-loop warm-up: long flows
+    /// are still ramping, so delivered throughput climbs toward the offered
+    /// rate for roughly a large-flow service time).
+    pub pre_bps: f64,
+    /// Mean delivered throughput (bps) over the failure window.
+    pub during_bps: f64,
+    /// Mean delivered throughput (bps) after recovery, to the window end.
+    pub post_bps: f64,
+    /// Time from the failure until delivered throughput first sustains
+    /// ≥ 85 % of the pre-failure mean over a 4-slice moving window.
+    /// `None` if the run never reconverged within the window.
+    pub reconverge: Option<SimDuration>,
+    /// Flows with no receive-side completion by the end of the run.
+    pub stranded: usize,
+    /// Total packets lost to the dead link.
+    pub blackholed: u64,
+    /// Packets blackholed *after* the recovery transition — must be zero:
+    /// once the link is back, nothing may keep falling into it.
+    pub post_recovery_blackholed: u64,
+    /// Simulated end of the run.
+    pub end_time: SimTime,
+    /// The deterministic telemetry artifact.
+    pub report: RunReport,
+}
+
+/// Run one dynamic-failure cell to completion (or a generous drain bound).
+pub fn run_dynamic_failure(spec: &DynFailSpec) -> DynFailOutcome {
+    assert!(spec.topo.fail.is_none(), "start from the healthy fabric");
+    assert!(spec.fail_at < spec.recover_at && spec.recover_at < spec.window);
+    let topo = build_testbed(spec.topo);
+    let capacity = topo
+        .leaf_uplink_capacity(conga_net::LeafId(0))
+        .min(topo.access_capacity(conga_net::LeafId(0)));
+
+    // Size the arrival plan to span the window with margin: the offered
+    // flow rate per direction is load·capacity / (8·mean size).
+    let rate = spec.load * capacity as f64 / (8.0 * spec.dist.mean());
+    let n_flows = (rate * spec.window.as_secs_f64() * 1.3).ceil() as usize;
+
+    let group_a = topo.hosts_under(conga_net::LeafId(0));
+    let group_b = topo.hosts_under(conga_net::LeafId(1));
+    let mut wl_rng = SimRng::new(spec.seed.wrapping_mul(0x9E37_79B9) ^ 0xC04A);
+    let plan = PoissonPlan::generate(
+        &spec.dist,
+        group_a.len() as u32,
+        group_b.len() as u32,
+        capacity,
+        spec.load,
+        n_flows,
+        &mut wl_rng,
+    );
+    let tcp = TcpConfig::standard();
+    let scheme = spec.scheme;
+    let arrivals =
+        crate::runner::merged_arrivals(&plan, &group_a, &group_b, |_| scheme.transport(tcp));
+    let span_ns: u64 = arrivals.iter().map(|(g, _)| g.as_nanos()).sum();
+    assert!(
+        SimTime::from_nanos(span_ns) >= spec.recover_at + spec.slice * 2,
+        "arrival span {span_ns}ns too short to cover the fault schedule"
+    );
+
+    let mut net = Network::new(topo, spec.scheme.policy(), TransportLayer::new(), spec.seed);
+    let (l, s, p) = spec.link;
+    net.schedule_link_fault(
+        spec.fail_at,
+        conga_net::LeafId(l),
+        conga_net::SpineId(s),
+        p as usize,
+    );
+    net.schedule_link_recovery(
+        spec.recover_at,
+        conga_net::LeafId(l),
+        conga_net::SpineId(s),
+        p as usize,
+    );
+    net.agent.attach_source(Box::new(ListSource::new(arrivals)));
+    if let Some((d, tok)) = net.agent.begin_source() {
+        net.schedule_timer(d, tok);
+    }
+
+    // Slice-by-slice over the offered-load window, recording the cumulative
+    // delivered-payload and blackhole counters at each boundary.
+    let n_slices = (spec.window.as_nanos() / spec.slice.as_nanos()) as usize;
+    let mut cum_delivered = Vec::with_capacity(n_slices + 1);
+    let mut blackholed_at_recovery = None;
+    cum_delivered.push(net.stats.delivered_payload);
+    for i in 1..=n_slices {
+        let t = SimTime::from_nanos(spec.slice.as_nanos() * i as u64);
+        net.run_until(t);
+        cum_delivered.push(net.stats.delivered_payload);
+        if blackholed_at_recovery.is_none() && t >= spec.recover_at {
+            blackholed_at_recovery = Some(net.stats.blackholed);
+        }
+    }
+    // Drain: let every flow finish (blackholed segments need RTOs).
+    let total_flows = n_flows * 2;
+    let drain_bound = SimTime::from_nanos(span_ns) + SimDuration::from_secs(8);
+    loop {
+        net.run_until(net.now() + SimDuration::from_millis(50));
+        if net.agent.flow_count() >= total_flows && net.agent.completed_rx >= total_flows {
+            break;
+        }
+        if net.now() >= drain_bound {
+            break;
+        }
+    }
+
+    let per_slice: Vec<u64> = cum_delivered.windows(2).map(|w| w[1] - w[0]).collect();
+    let slice_s = spec.slice.as_secs_f64();
+    let slice_end = |i: usize| SimTime::from_nanos(spec.slice.as_nanos() * (i as u64 + 1));
+    let mean_bps = |r: std::ops::Range<usize>| -> f64 {
+        let n = r.len().max(1) as f64;
+        per_slice[r].iter().map(|&b| b as f64 * 8.0).sum::<f64>() / (n * slice_s)
+    };
+    // Phase boundaries in slice indices (slices fully inside each phase).
+    let pre_end = per_slice
+        .iter()
+        .enumerate()
+        .take_while(|&(i, _)| slice_end(i) <= spec.fail_at)
+        .count();
+    let during_end = per_slice
+        .iter()
+        .enumerate()
+        .take_while(|&(i, _)| slice_end(i) <= spec.recover_at)
+        .count();
+    // Baseline over the *second half* of the pre-fail phase: the first half
+    // is warm-up (see `DynFailOutcome::pre_bps`).
+    let pre_bps = mean_bps(pre_end / 2..pre_end);
+    let during_bps = mean_bps(pre_end..during_end);
+    let post_bps = mean_bps(during_end..per_slice.len());
+
+    // Reconvergence: the first time after the failure that a 4-slice moving
+    // window of delivered throughput sustains ≥ 85 % of the pre-fail mean.
+    // (Per-slice byte counts of a heavy-tailed open-loop workload are noisy;
+    // the moving window keeps the detector from triggering on one lucky
+    // slice or missing recovery because of one unlucky one.)
+    const WIN: usize = 4;
+    const THRESH: f64 = 0.85;
+    let mut reconverge = None;
+    if pre_bps > 0.0 {
+        for i in pre_end..per_slice.len().saturating_sub(WIN - 1) {
+            let w_bps = mean_bps(i..i + WIN);
+            if w_bps >= THRESH * pre_bps {
+                reconverge = Some(slice_end(i + WIN - 1).saturating_since(spec.fail_at));
+                break;
+            }
+        }
+    }
+
+    let stranded = net
+        .agent
+        .records
+        .iter()
+        .filter(|r| r.rx_done.is_none())
+        .count();
+    let blackholed = net.stats.blackholed;
+    let post_recovery_blackholed =
+        blackholed - blackholed_at_recovery.expect("window covers the recovery");
+
+    let mut report = RunReport::new();
+    report.set_meta("figure", "fig11_dynamic_failure");
+    report.set_meta("scheme", spec.scheme.name());
+    report.set_meta("policy", conga_net::Dataplane::name(&net.dataplane));
+    report.set_meta("seed", spec.seed.to_string());
+    report.set_meta("load", format!("{}", spec.load));
+    report.set_meta("n_flows", n_flows.to_string());
+    report.set_meta(
+        "fault_schedule",
+        format!(
+            "fail@{}ns,recover@{}ns:leaf{}-spine{}#{}",
+            spec.fail_at.as_nanos(),
+            spec.recover_at.as_nanos(),
+            l,
+            s,
+            p
+        ),
+    );
+    report.set_meta("pre_bps", format!("{pre_bps:.0}"));
+    report.set_meta("during_bps", format!("{during_bps:.0}"));
+    report.set_meta("post_bps", format!("{post_bps:.0}"));
+    report.set_meta(
+        "reconverge_ns",
+        match reconverge {
+            Some(d) => d.as_nanos().to_string(),
+            None => "never".to_string(),
+        },
+    );
+    report.set_meta("stranded_flows", stranded.to_string());
+    report.set_meta(
+        "post_recovery_blackholed",
+        post_recovery_blackholed.to_string(),
+    );
+    report.set_meta("end_time_ns", net.now().as_nanos().to_string());
+    net.export_metrics(&mut report.metrics);
+    for (i, &b) in per_slice.iter().enumerate() {
+        report
+            .metrics
+            .sample("run.delivered_bytes_per_slice", slice_end(i), b as f64);
+    }
+
+    DynFailOutcome {
+        delivered_per_slice: per_slice,
+        pre_bps,
+        during_bps,
+        post_bps,
+        reconverge,
+        stranded,
+        blackholed,
+        post_recovery_blackholed,
+        end_time: net.now(),
+        report,
+    }
+}

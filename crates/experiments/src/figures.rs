@@ -2,7 +2,8 @@
 //! 11 share the FCT-vs-load sweep; Figure 15 reuses it at scale).
 
 use crate::cli::{banner, Args};
-use crate::runner::{run_fct, FctRun, Scheme, TestbedOpts};
+use crate::runner::{run_fct, FctRun, LinkFaultSpec, Scheme, TestbedOpts};
+use conga_sim::SimTime;
 use conga_telemetry::RunReport;
 use conga_workloads::FlowSizeDist;
 use std::path::PathBuf;
@@ -23,6 +24,55 @@ pub fn write_metrics_sidecar(
     let path = PathBuf::from("results").join(format!("{figure}.{slug}.metrics.json"));
     report.write_to(&path)?;
     Ok(path)
+}
+
+/// Parse the runtime fault-injection flags shared by every sweep binary
+/// into a fault schedule:
+///
+/// * `--fail-at-ms T` — fail a link T ms into the run,
+/// * `--recover-at-ms T` — recover it T ms in (optional; omit for a
+///   permanent failure),
+/// * `--fault-link l:s:p` — which link (default `1:1:0`, the paper's
+///   Figure 7(b) link).
+///
+/// Returns an empty schedule when `--fail-at-ms` is absent, so existing
+/// scenarios run unchanged.
+pub fn fault_args(args: &Args) -> Vec<LinkFaultSpec> {
+    let fail_ms: f64 = args.get("fail-at-ms", -1.0);
+    if fail_ms < 0.0 {
+        return Vec::new();
+    }
+    let link: String = args.get("fault-link", "1:1:0".to_string());
+    let parts: Vec<u32> = link
+        .split(':')
+        .map(|x| {
+            x.trim()
+                .parse()
+                .expect("--fault-link wants leaf:spine:parallel")
+        })
+        .collect();
+    assert_eq!(parts.len(), 3, "--fault-link wants leaf:spine:parallel");
+    let at_ns = |ms: f64| SimTime::from_nanos((ms * 1e6) as u64);
+    let mut sched = vec![LinkFaultSpec::fail(
+        at_ns(fail_ms),
+        parts[0],
+        parts[1],
+        parts[2],
+    )];
+    let recover_ms: f64 = args.get("recover-at-ms", -1.0);
+    if recover_ms >= 0.0 {
+        assert!(
+            recover_ms > fail_ms,
+            "--recover-at-ms must come after --fail-at-ms"
+        );
+        sched.push(LinkFaultSpec::recover(
+            at_ns(recover_ms),
+            parts[0],
+            parts[1],
+            parts[2],
+        ));
+    }
+    sched
 }
 
 /// Results of one FCT sweep: `cells[scheme][load]`.
@@ -57,6 +107,9 @@ pub fn fct_sweep(
     };
     let runs = args.runs_or(1, 2);
     let topo = if args.quick { topo.quick() } else { topo };
+    // Every sweep scenario accepts the runtime fault flags (empty when the
+    // flags are absent — see [`fault_args`]).
+    let faults = fault_args(args);
 
     let mut sweep = Sweep {
         loads: loads.to_vec(),
@@ -75,6 +128,7 @@ pub fn fct_sweep(
                 let mut cfg = FctRun::new(topo, scheme, dist.clone(), load);
                 cfg.n_flows = n_flows;
                 cfg.seed = args.seed + 1000 * r as u64;
+                cfg.faults = faults.clone();
                 let out = run_fct(&cfg);
                 o += out.summary.avg_norm_optimal;
                 s += out.summary.small_avg_s;

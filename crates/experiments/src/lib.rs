@@ -11,11 +11,13 @@
 #![warn(missing_docs)]
 
 pub mod cli;
+pub mod dynfail;
 pub mod figures;
 pub mod runner;
 
 pub use cli::Args;
+pub use dynfail::{run_dynamic_failure, DynFailOutcome, DynFailSpec};
 pub use runner::{
     build_report, build_testbed, merged_arrivals, run_fct, run_fct_with_policy, uniform_arrivals,
-    FctOutcome, FctRun, Scheme, TestbedOpts,
+    FctOutcome, FctRun, LinkFaultSpec, Scheme, TestbedOpts,
 };

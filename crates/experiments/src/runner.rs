@@ -138,6 +138,50 @@ pub fn build_testbed(o: TestbedOpts) -> Topology {
     b.build()
 }
 
+/// A scheduled runtime link transition: fail (or recover) one leaf–spine
+/// link — both simplex channels — at an absolute simulation time. Unlike
+/// [`TestbedOpts::fail`], which removes the link before the run starts,
+/// these fire *mid-run* through the engine's fault-injection path:
+/// queued and in-flight packets on a failing link are blackholed and the
+/// FIB reconverges at the transition instant.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct LinkFaultSpec {
+    /// When the transition fires.
+    pub at: SimTime,
+    /// Leaf side of the link.
+    pub leaf: u32,
+    /// Spine side of the link.
+    pub spine: u32,
+    /// Parallel-link index within the leaf–spine pair.
+    pub parallel: u32,
+    /// `false` = fail, `true` = recover.
+    pub up: bool,
+}
+
+impl LinkFaultSpec {
+    /// Fail link (leaf, spine, parallel) at `at`.
+    pub fn fail(at: SimTime, leaf: u32, spine: u32, parallel: u32) -> Self {
+        LinkFaultSpec {
+            at,
+            leaf,
+            spine,
+            parallel,
+            up: false,
+        }
+    }
+
+    /// Recover link (leaf, spine, parallel) at `at`.
+    pub fn recover(at: SimTime, leaf: u32, spine: u32, parallel: u32) -> Self {
+        LinkFaultSpec {
+            at,
+            leaf,
+            spine,
+            parallel,
+            up: true,
+        }
+    }
+}
+
 /// An FCT experiment specification.
 #[derive(Clone, Debug)]
 pub struct FctRun {
@@ -159,6 +203,8 @@ pub struct FctRun {
     /// Enable 10 ms synchronous sampling of Leaf 0's uplinks (Figure 12) /
     /// queue statistics.
     pub sample_uplinks: bool,
+    /// Runtime link fail/recover events, applied in order mid-run.
+    pub faults: Vec<LinkFaultSpec>,
 }
 
 impl FctRun {
@@ -173,6 +219,7 @@ impl FctRun {
             seed: 1,
             tcp: TcpConfig::standard(),
             sample_uplinks: false,
+            faults: Vec::new(),
         }
     }
 }
@@ -339,6 +386,14 @@ pub fn run_fct_with_policy(cfg: &FctRun, policy: FabricPolicy) -> FctOutcome {
     let span_ns: u64 = arrivals.iter().map(|(g, _)| g.as_nanos()).sum();
 
     let mut net = Network::new(topo, policy, TransportLayer::new(), cfg.seed);
+    for f in &cfg.faults {
+        let (leaf, spine) = (conga_net::LeafId(f.leaf), conga_net::SpineId(f.spine));
+        if f.up {
+            net.schedule_link_recovery(f.at, leaf, spine, f.parallel as usize);
+        } else {
+            net.schedule_link_fault(f.at, leaf, spine, f.parallel as usize);
+        }
+    }
     if cfg.sample_uplinks {
         let ups = net.fib.leaf_uplinks[0].clone();
         net.enable_sampling(ups, SimDuration::from_millis(10));
@@ -440,6 +495,23 @@ pub fn build_report(net: &Network<FabricPolicy, TransportLayer>, cfg: &FctRun) -
     );
     if let Some((l, s, p)) = cfg.topo.fail {
         report.set_meta("failed_link", format!("leaf{l}-spine{s}#{p}"));
+    }
+    if !cfg.faults.is_empty() {
+        let sched: Vec<String> = cfg
+            .faults
+            .iter()
+            .map(|f| {
+                format!(
+                    "{}@{}ns:leaf{}-spine{}#{}",
+                    if f.up { "recover" } else { "fail" },
+                    f.at.as_nanos(),
+                    f.leaf,
+                    f.spine,
+                    f.parallel
+                )
+            })
+            .collect();
+        report.set_meta("fault_schedule", sched.join(","));
     }
     report.set_meta("end_time_ns", net.now().as_nanos().to_string());
     net.export_metrics(&mut report.metrics);

@@ -126,7 +126,14 @@ impl Emitter {
 #[derive(Debug)]
 enum Ev {
     /// Packet finished wire traversal of `ch`; process at the channel dst.
-    Arrive { ch: ChannelId, pkt: Packet },
+    /// `epoch` is the channel's fail epoch when transmission started: if the
+    /// link failed while the packet was on the wire the epochs differ and
+    /// the packet is blackholed instead of delivered.
+    Arrive {
+        ch: ChannelId,
+        pkt: Packet,
+        epoch: u32,
+    },
     /// Serializer of `ch` finished.
     TxDone { ch: ChannelId },
     /// Host-agent timer.
@@ -135,6 +142,9 @@ enum Ev {
     Inject { pkt: Packet },
     /// Periodic statistics sample.
     Sample,
+    /// Scheduled link-state transition: `ch` goes down (`up = false`) or
+    /// comes back up.
+    Fault { ch: ChannelId, up: bool },
 }
 
 /// Periodic per-channel sample log (queue depth and cumulative tx bytes),
@@ -165,6 +175,11 @@ pub struct EngineStats {
     /// Packets dropped because a destination became unreachable (network
     /// partition) — distinct from queue drops.
     pub unroutable: u64,
+    /// Packets lost to a dead link: flushed from its queue at failure time,
+    /// caught on the wire by the transition, or enqueued while it was down.
+    pub blackholed: u64,
+    /// Link-state transitions applied (fail + recover).
+    pub fault_transitions: u64,
     /// Events processed.
     pub events: u64,
 }
@@ -190,6 +205,16 @@ pub struct Network<D: Dataplane, A: HostAgent> {
     events: EventQueue<Ev>,
     now: SimTime,
     next_pkt_id: u64,
+    /// Per-channel liveness; all true until a scheduled fault fires. The
+    /// FIB is recomputed from this mask on every transition — the one
+    /// controlled mutation of the otherwise-immutable topology state.
+    link_up: Vec<bool>,
+    /// Per-channel fail counter, bumped on every Fail transition; arrival
+    /// events compare it against the value captured at transmission start
+    /// to blackhole packets the failure caught on the wire.
+    fail_epoch: Vec<u32>,
+    /// Applied transitions `(time, channel, up)` in order, for telemetry.
+    fault_log: Vec<(SimTime, ChannelId, bool)>,
     sample_every: Option<SimDuration>,
     scratch: Emitter,
     /// Host emission jitter bound: each packet handed to the NIC is delayed
@@ -206,11 +231,12 @@ impl<D: Dataplane, A: HostAgent> Network<D, A> {
     pub fn new(topo: Topology, mut dataplane: D, agent: A, seed: u64) -> Self {
         let fib = topo.fib();
         dataplane.install(&topo, &fib);
-        let ports = topo
+        let ports: Vec<TxPort> = topo
             .channels
             .iter()
             .map(|c| TxPort::new(c.rate_bps, c.delay, c.queue_cap))
             .collect();
+        let nc = ports.len();
         Network {
             topo,
             fib,
@@ -223,6 +249,9 @@ impl<D: Dataplane, A: HostAgent> Network<D, A> {
             events: EventQueue::with_capacity(1 << 16),
             now: SimTime::ZERO,
             next_pkt_id: 0,
+            link_up: vec![true; nc],
+            fail_epoch: vec![0; nc],
+            fault_log: Vec::new(),
             sample_every: None,
             scratch: Emitter::default(),
             host_jitter: SimDuration::from_nanos(1_000),
@@ -287,14 +316,26 @@ impl<D: Dataplane, A: HostAgent> Network<D, A> {
         reg.set_counter("engine.unroutable_pkts", self.stats.unroutable);
         reg.set_counter("engine.events", self.stats.events);
         reg.set_counter("engine.queue_drops", self.total_drops());
+        reg.set_counter("net.blackholed_packets", self.stats.blackholed);
+        reg.set_counter("net.fault_transitions", self.stats.fault_transitions);
         // Conservation residue: packets injected but neither delivered,
-        // dropped, nor declared unroutable — i.e. still in flight. Zero at
-        // quiescence; the invariant tests assert exactly that.
-        let accounted = self.stats.delivered_pkts + self.stats.unroutable + self.total_drops();
+        // dropped, declared unroutable, nor blackholed by a dead link —
+        // i.e. still in flight. Zero at quiescence; the invariant tests
+        // assert exactly that.
+        let accounted = self.stats.delivered_pkts
+            + self.stats.unroutable
+            + self.total_drops()
+            + self.stats.blackholed;
         reg.set_gauge(
             "engine.inflight_pkts",
             self.stats.injected_pkts as i64 - accounted as i64,
         );
+        // Link-state transition series: one 0/1 series per faulted channel,
+        // in applied order (appends within a name stay time-ordered).
+        for &(t, ch, up) in &self.fault_log {
+            let name = format!("net.link_up.{:04}", ch.idx());
+            reg.sample(&name, t, if up { 1.0 } else { 0.0 });
+        }
         for (i, port) in self.ports.iter().enumerate() {
             port.export_metrics(&format!("port.{i:04}"), reg);
         }
@@ -323,6 +364,70 @@ impl<D: Dataplane, A: HostAgent> Network<D, A> {
     /// Schedule an agent timer from outside the event loop.
     pub fn schedule_timer(&mut self, delay: SimDuration, token: u64) {
         self.events.push(self.now + delay, Ev::Timer { token });
+    }
+
+    /// Schedule a single simplex channel to go down (`up = false`) or come
+    /// back up at absolute time `at`. Transitions are ordinary events:
+    /// equal-time events fire in scheduling order, so a fault schedule is
+    /// part of the deterministic run configuration.
+    pub fn schedule_channel_fault(&mut self, at: SimTime, ch: ChannelId, up: bool) {
+        assert!(at >= self.now, "fault scheduled in the past");
+        self.events.push(at, Ev::Fault { ch, up });
+    }
+
+    /// Schedule both directions of the `parallel_idx`-th surviving link
+    /// between `leaf` and `spine` to fail at `at` — the runtime analogue of
+    /// [`crate::LeafSpineBuilder::fail_link`]. Panics if no such link exists.
+    pub fn schedule_link_fault(&mut self, at: SimTime, leaf: LeafId, spine: SpineId, p: usize) {
+        let (upch, downch) = self.resolve_link(leaf, spine, p);
+        self.schedule_channel_fault(at, upch, false);
+        self.schedule_channel_fault(at, downch, false);
+    }
+
+    /// Schedule both directions of the `parallel_idx`-th surviving link
+    /// between `leaf` and `spine` to come back up at `at`.
+    pub fn schedule_link_recovery(&mut self, at: SimTime, leaf: LeafId, spine: SpineId, p: usize) {
+        let (upch, downch) = self.resolve_link(leaf, spine, p);
+        self.schedule_channel_fault(at, upch, true);
+        self.schedule_channel_fault(at, downch, true);
+    }
+
+    fn resolve_link(&self, leaf: LeafId, spine: SpineId, p: usize) -> (ChannelId, ChannelId) {
+        let pairs = self.topo.link_channels(leaf, spine);
+        assert!(
+            p < pairs.len(),
+            "leaf{}-spine{} has {} links, no parallel index {p}",
+            leaf.0,
+            spine.0,
+            pairs.len()
+        );
+        pairs[p]
+    }
+
+    /// Whether a channel is currently up.
+    #[inline]
+    pub fn link_is_up(&self, ch: ChannelId) -> bool {
+        self.link_up[ch.idx()]
+    }
+
+    /// Apply a link-state transition now: flip liveness, blackhole queued
+    /// packets on a failing link, and recompute the FIB from the liveness
+    /// mask. LBTags are stable across transitions (see
+    /// [`crate::Topology::fib_live`]), so dataplane congestion state keyed
+    /// by tag stays meaningful; only candidate lists shrink and grow.
+    fn apply_fault(&mut self, ch: ChannelId, up: bool) {
+        if self.link_up[ch.idx()] == up {
+            return; // redundant transition: nothing changed
+        }
+        self.link_up[ch.idx()] = up;
+        self.stats.fault_transitions += 1;
+        self.fault_log.push((self.now, ch, up));
+        if !up {
+            self.fail_epoch[ch.idx()] = self.fail_epoch[ch.idx()].wrapping_add(1);
+            let flushed = self.ports[ch.idx()].flush_dead(self.now);
+            self.stats.blackholed += flushed;
+        }
+        self.fib = self.topo.fib_live(&self.link_up);
     }
 
     /// Run the event loop until `t_end` (inclusive) or until no events
@@ -354,7 +459,7 @@ impl<D: Dataplane, A: HostAgent> Network<D, A> {
 
     fn dispatch(&mut self, ev: Ev) {
         match ev {
-            Ev::Arrive { ch, pkt } => self.arrive(ch, pkt),
+            Ev::Arrive { ch, pkt, epoch } => self.arrive(ch, pkt, epoch),
             Ev::TxDone { ch } => {
                 if self.ports[ch.idx()].tx_done() {
                     self.start_tx(ch);
@@ -371,6 +476,7 @@ impl<D: Dataplane, A: HostAgent> Network<D, A> {
                 self.enqueue(access, pkt);
             }
             Ev::Sample => self.take_sample(),
+            Ev::Fault { ch, up } => self.apply_fault(ch, up),
         }
     }
 
@@ -416,7 +522,13 @@ impl<D: Dataplane, A: HostAgent> Network<D, A> {
     }
 
     /// Packet finished traversing `ch`: process at the receiving node.
-    fn arrive(&mut self, ch: ChannelId, mut pkt: Packet) {
+    fn arrive(&mut self, ch: ChannelId, mut pkt: Packet, epoch: u32) {
+        if epoch != self.fail_epoch[ch.idx()] {
+            // The link failed while the packet was on the wire: lost.
+            self.ports[ch.idx()].blackholed += 1;
+            self.stats.blackholed += 1;
+            return;
+        }
         {
             let p = &mut self.ports[ch.idx()];
             p.rx_pkts += 1;
@@ -478,6 +590,14 @@ impl<D: Dataplane, A: HostAgent> Network<D, A> {
     }
 
     fn enqueue(&mut self, ch: ChannelId, pkt: Packet) {
+        if !self.link_up[ch.idx()] {
+            // The FIB excludes dead fabric channels, but a dead access
+            // link — or a race the dataplane cannot see — still swallows
+            // the packet.
+            self.ports[ch.idx()].blackholed += 1;
+            self.stats.blackholed += 1;
+            return;
+        }
         match self.ports[ch.idx()].enqueue(pkt, self.now) {
             Enqueue::StartTx => self.start_tx(ch),
             Enqueue::Queued | Enqueue::Dropped => {}
@@ -490,9 +610,10 @@ impl<D: Dataplane, A: HostAgent> Network<D, A> {
             self.dataplane.on_fabric_tx(ch, &mut pkt, self.now);
         }
         let delay = self.ports[ch.idx()].delay;
+        let epoch = self.fail_epoch[ch.idx()];
         self.events.push(self.now + ser, Ev::TxDone { ch });
         self.events
-            .push(self.now + ser + delay, Ev::Arrive { ch, pkt });
+            .push(self.now + ser + delay, Ev::Arrive { ch, pkt, epoch });
     }
 }
 
@@ -695,6 +816,138 @@ mod tests {
         net.run_to_quiescence();
         assert_eq!(net.agent.received.len(), 1);
         assert_eq!(net.agent.received[0].1.kind, PacketKind::Ack);
+    }
+
+    #[test]
+    fn fault_blackholes_queued_and_inflight_packets() {
+        // Long propagation delays keep packets on the wire for 50 us, so a
+        // mid-stream failure is guaranteed to catch some in flight.
+        let topo = LeafSpineBuilder::new(2, 2, 2)
+            .host_rate_gbps(10)
+            .fabric_rate_gbps(40)
+            .link_delay(SimDuration::from_micros(50))
+            .build();
+        let mut net = Network::new(topo, TestEcmp, SinkAgent::default(), 1);
+        let n = 30u64;
+        for seq in 0..n {
+            inject(
+                &mut net,
+                Packet::data(0, 0, 7, HostId(0), HostId(2), seq, 1460, SimTime::ZERO),
+            );
+        }
+        // The 10G access link feeds one packet every ~1.2 us from ~51 us on,
+        // and each rides an uplink wire for 50 us. Killing both uplinks at
+        // 70 us therefore catches packets mid-flight (blackholed) while the
+        // tail of the burst is still arriving at the leaf (unroutable).
+        for &u in &net.fib.leaf_uplinks[0].clone() {
+            net.schedule_channel_fault(SimTime::from_micros(70), u, false);
+        }
+        net.run_to_quiescence();
+        let s = net.stats;
+        assert!(s.blackholed >= 1, "no packet caught by the transition");
+        assert!(s.unroutable >= 1, "no packet stranded at the leaf");
+        assert_eq!(
+            s.injected_pkts,
+            s.delivered_pkts + s.unroutable + s.blackholed + net.total_drops(),
+            "conservation through a failure"
+        );
+        assert!((net.agent.received.len() as u64) < n);
+        // Per-port blackhole counters agree with the engine total.
+        let per_port: u64 = (0..net.topo.channels.len())
+            .map(|i| net.port(ChannelId(i as u32)).blackholed)
+            .sum();
+        assert_eq!(per_port, s.blackholed);
+    }
+
+    #[test]
+    fn link_recovery_restores_forwarding_and_keeps_lbtags() {
+        let mut net = small_net();
+        let before = (net.fib.up_candidates.clone(), net.fib.lbtag_of.clone());
+        // Kill both directions of leaf0-spine0 at 1 us via the leaf-spine
+        // convenience; recover at 1 ms.
+        net.schedule_link_fault(SimTime::from_micros(1), LeafId(0), SpineId(0), 0);
+        net.schedule_link_recovery(SimTime::from_millis(1), LeafId(0), SpineId(0), 0);
+        net.run_until(SimTime::from_micros(10));
+        // During the outage: spine0 is unusable in both directions, tags
+        // unchanged.
+        assert_eq!(net.fib.up_candidates[0][1].len(), 1);
+        assert_eq!(net.fib.up_candidates[1][0].len(), 1);
+        assert_eq!(net.fib.lbtag_of, before.1);
+        let up0 = net.fib.leaf_uplinks[0][0];
+        assert!(!net.link_is_up(up0));
+        // After recovery the original FIB is back and traffic flows.
+        net.run_until(SimTime::from_millis(2));
+        assert_eq!(net.fib.up_candidates, before.0);
+        assert!(net.link_is_up(up0));
+        inject(
+            &mut net,
+            Packet::data(0, 0, 7, HostId(0), HostId(2), 0, 1460, SimTime::ZERO),
+        );
+        net.run_to_quiescence();
+        assert_eq!(net.agent.received.len(), 1);
+        assert_eq!(net.stats.fault_transitions, 4, "2 fail + 2 recover");
+    }
+
+    #[test]
+    fn enqueue_into_dead_channel_is_blackholed() {
+        let mut net = small_net();
+        // Kill host 0's access uplink: its emissions die at the NIC.
+        let access = net.fib.host_access[0];
+        net.schedule_channel_fault(SimTime::from_nanos(1), access, false);
+        net.run_until(SimTime::from_micros(1));
+        inject(
+            &mut net,
+            Packet::data(0, 0, 7, HostId(0), HostId(2), 0, 1460, SimTime::ZERO),
+        );
+        net.run_to_quiescence();
+        assert_eq!(net.stats.blackholed, 1);
+        assert_eq!(net.port(access).blackholed, 1);
+        assert!(net.agent.received.is_empty());
+    }
+
+    #[test]
+    fn redundant_transitions_are_no_ops() {
+        let mut net = small_net();
+        let up0 = net.fib.leaf_uplinks[0][0];
+        net.schedule_channel_fault(SimTime::from_micros(1), up0, true); // already up
+        net.schedule_channel_fault(SimTime::from_micros(2), up0, false);
+        net.schedule_channel_fault(SimTime::from_micros(3), up0, false); // already down
+        net.run_until(SimTime::from_micros(10));
+        assert_eq!(net.stats.fault_transitions, 1);
+    }
+
+    #[test]
+    fn deterministic_through_fail_recover_cycle() {
+        let run = || -> (Vec<u64>, u64, u64) {
+            let mut net = small_net();
+            let up0 = net.fib.leaf_uplinks[0][0];
+            net.schedule_channel_fault(SimTime::from_micros(20), up0, false);
+            net.schedule_channel_fault(SimTime::from_micros(200), up0, true);
+            for f in 0..40u32 {
+                inject(
+                    &mut net,
+                    Packet::data(
+                        f,
+                        0,
+                        ecmp_mix(f as u64, 0xAB),
+                        HostId(0),
+                        HostId(2),
+                        0,
+                        1460,
+                        SimTime::ZERO,
+                    ),
+                );
+            }
+            net.run_to_quiescence();
+            let times = net
+                .agent
+                .received
+                .iter()
+                .map(|(t, _)| t.as_nanos())
+                .collect();
+            (times, net.stats.blackholed, net.stats.delivered_pkts)
+        };
+        assert_eq!(run(), run());
     }
 
     #[test]

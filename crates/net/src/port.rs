@@ -44,6 +44,10 @@ pub struct TxPort {
     pub tx_pkts: u64,
     /// Packets dropped at the tail.
     pub drops: u64,
+    /// Packets lost to this channel being down: flushed from the queue when
+    /// the link failed, enqueued while it was dead, or caught on the wire by
+    /// the transition. Maintained partly by the engine.
+    pub blackholed: u64,
     /// Bytes that completed traversal of this channel (maintained by the
     /// engine on arrival at the far end).
     pub rx_bytes: u64,
@@ -69,6 +73,7 @@ impl TxPort {
             tx_bytes: 0,
             tx_pkts: 0,
             drops: 0,
+            blackholed: 0,
             rx_bytes: 0,
             rx_pkts: 0,
             max_queue: 0,
@@ -123,6 +128,19 @@ impl TxPort {
         !self.queue.is_empty()
     }
 
+    /// The channel just went down: discard every queued packet, counting
+    /// each as blackholed. The serializer state is untouched — a packet
+    /// already on the wire is the engine's to account (by arrival epoch).
+    /// Returns the number of packets flushed.
+    pub fn flush_dead(&mut self, now: SimTime) -> u64 {
+        self.account(now);
+        let n = self.queue.len() as u64;
+        self.queue.clear();
+        self.queued_bytes = 0;
+        self.blackholed += n;
+        n
+    }
+
     /// Bytes currently waiting (not counting the packet on the wire).
     #[inline]
     pub fn queued_bytes(&self) -> u64 {
@@ -143,6 +161,7 @@ impl TxPort {
         reg.set_counter(&format!("{prefix}.rx_bytes"), self.rx_bytes);
         reg.set_counter(&format!("{prefix}.rx_pkts"), self.rx_pkts);
         reg.set_counter(&format!("{prefix}.drops"), self.drops);
+        reg.set_counter(&format!("{prefix}.blackholed"), self.blackholed);
         reg.set_counter(&format!("{prefix}.max_queue_bytes"), self.max_queue);
     }
 
@@ -258,6 +277,26 @@ mod tests {
         // Dropped packets never count toward queued or transmitted bytes.
         assert_eq!(p.queued_bytes(), 3000);
         assert_eq!(p.tx_bytes + p.queued_bytes(), 4500);
+    }
+
+    #[test]
+    fn flush_dead_empties_queue_and_counts_blackholes() {
+        let mut p = TxPort::new(1_000_000_000, SimDuration::ZERO, 1 << 20);
+        let t = SimTime::ZERO;
+        assert_eq!(p.enqueue(pkt(1000), t), Enqueue::StartTx);
+        let _ = p.begin_tx(t); // one on the wire
+        assert_eq!(p.enqueue(pkt(500), t), Enqueue::Queued);
+        assert_eq!(p.enqueue(pkt(500), t), Enqueue::Queued);
+        assert_eq!(p.flush_dead(SimTime::from_nanos(100)), 2);
+        assert_eq!(p.blackholed, 2);
+        assert_eq!(p.queued_bytes(), 0);
+        assert_eq!(p.queued_pkts(), 0);
+        // The in-flight packet's serializer completes normally afterwards.
+        assert!(p.busy);
+        assert!(!p.tx_done(), "queue must be empty after flush");
+        // Flushing an empty queue is a no-op.
+        assert_eq!(p.flush_dead(SimTime::from_nanos(200)), 0);
+        assert_eq!(p.blackholed, 2);
     }
 
     #[test]

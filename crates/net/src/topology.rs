@@ -122,9 +122,39 @@ impl Topology {
             .collect()
     }
 
-    /// Build the forwarding tables for the current channel set.
+    /// Build the forwarding tables for the current channel set, with every
+    /// channel considered live.
     pub fn fib(&self) -> Fib {
-        Fib::build(self)
+        Fib::build_live(self, None)
+    }
+
+    /// Build the forwarding tables with a liveness mask (`live[ch]` false ⇒
+    /// the channel exists but is administratively down). Dead uplinks keep
+    /// their position in [`Fib::leaf_uplinks`] — and therefore their LBTag —
+    /// but are excluded from every candidate list, so a runtime link-state
+    /// transition never renumbers the congestion tables.
+    pub fn fib_live(&self, live: &[bool]) -> Fib {
+        assert_eq!(live.len(), self.channels.len(), "liveness mask size");
+        Fib::build_live(self, Some(live))
+    }
+
+    /// The simplex channel pairs forming the parallel links between `leaf`
+    /// and `spine`, in parallel-link order: `(leaf→spine, spine→leaf)`.
+    /// Links removed at build time (static failures) do not appear.
+    pub fn link_channels(&self, leaf: LeafId, spine: SpineId) -> Vec<(ChannelId, ChannelId)> {
+        let ups = self.channels.iter().enumerate().filter_map(|(i, c)| {
+            (c.kind == ChannelKind::LeafUp
+                && c.src == NodeId::Leaf(leaf)
+                && c.dst == NodeId::Spine(spine))
+            .then_some(ChannelId(i as u32))
+        });
+        let downs = self.channels.iter().enumerate().filter_map(|(i, c)| {
+            (c.kind == ChannelKind::SpineDown
+                && c.src == NodeId::Spine(spine)
+                && c.dst == NodeId::Leaf(leaf))
+            .then_some(ChannelId(i as u32))
+        });
+        ups.zip(downs).collect()
     }
 
     /// Aggregate leaf-to-leaf bisection capacity in bits per second: the sum
@@ -160,7 +190,9 @@ pub struct Fib {
     /// (leaf, local host) → downlink channel; indexed `[host]` globally.
     pub host_down: Vec<ChannelId>,
     /// All uplink channels of each leaf, ordered; the position of a channel
-    /// in this vector **is** its LBTag.
+    /// in this vector **is** its LBTag. Uplinks that are administratively
+    /// down (runtime fault) stay listed so tags remain stable across
+    /// fail/recover transitions.
     pub leaf_uplinks: Vec<Vec<ChannelId>>,
     /// `up_candidates[leaf][dst_leaf]` — uplinks of `leaf` that can still
     /// reach `dst_leaf` (spine has a live downlink to it).
@@ -172,10 +204,11 @@ pub struct Fib {
 }
 
 impl Fib {
-    fn build(t: &Topology) -> Fib {
+    fn build_live(t: &Topology, live: Option<&[bool]>) -> Fib {
         let nl = t.n_leaves as usize;
         let ns = t.n_spines as usize;
         let nc = t.channels.len();
+        let is_live = |ch: ChannelId| live.map(|m| m[ch.idx()]).unwrap_or(true);
 
         let mut host_access = vec![ChannelId(u32::MAX); t.n_hosts as usize];
         let mut host_down = vec![ChannelId(u32::MAX); t.n_hosts as usize];
@@ -193,10 +226,14 @@ impl Fib {
                     host_down[h.idx()] = id;
                 }
                 (ChannelKind::LeafUp, NodeId::Leaf(l), NodeId::Spine(_)) => {
+                    // Dead uplinks keep their slot: the slot index is the
+                    // LBTag, which must survive fail/recover transitions.
                     leaf_uplinks[l.idx()].push(id);
                 }
                 (ChannelKind::SpineDown, NodeId::Spine(s), NodeId::Leaf(m)) => {
-                    spine_down[s.idx()][m.idx()].push(id);
+                    if is_live(id) {
+                        spine_down[s.idx()][m.idx()].push(id);
+                    }
                 }
                 _ => panic!("inconsistent channel: {c:?}"),
             }
@@ -216,8 +253,9 @@ impl Fib {
             }
         }
 
-        // An uplink leaf→spine s is a candidate for dst leaf m iff spine s
-        // still has at least one live channel to m.
+        // An uplink leaf→spine s is a candidate for dst leaf m iff the
+        // uplink itself is live and spine s still has at least one live
+        // channel to m.
         let mut up_candidates = vec![vec![Vec::new(); nl]; nl];
         for (l, ups) in leaf_uplinks.iter().enumerate() {
             for m in 0..nl {
@@ -225,6 +263,9 @@ impl Fib {
                     continue;
                 }
                 for &u in ups {
+                    if !is_live(u) {
+                        continue;
+                    }
                     let NodeId::Spine(s) = t.channel(u).dst else {
                         unreachable!()
                     };
@@ -537,6 +578,68 @@ mod tests {
         assert_eq!(t.leaf_of(HostId(31)), LeafId(0));
         assert_eq!(t.leaf_of(HostId(32)), LeafId(1));
         assert_eq!(t.hosts_under(LeafId(1)).len(), 32);
+    }
+
+    #[test]
+    fn fib_live_prunes_candidates_but_keeps_lbtags() {
+        let t = testbed();
+        let full = t.fib();
+        // Take down both directions of the first leaf1-spine1 parallel link.
+        let (up, down) = t.link_channels(LeafId(1), SpineId(1))[0];
+        let mut live = vec![true; t.channels.len()];
+        live[up.idx()] = false;
+        live[down.idx()] = false;
+        let fib = t.fib_live(&live);
+        // The dead uplink keeps its slot (and tag) but is not a candidate.
+        assert_eq!(fib.leaf_uplinks, full.leaf_uplinks);
+        assert_eq!(fib.lbtag_of, full.lbtag_of);
+        assert_eq!(fib.up_candidates[1][0].len(), 3);
+        assert!(!fib.up_candidates[1][0].contains(&up));
+        // Spine 1 lost one downlink to leaf 1; leaf 0 keeps all 4 uplinks.
+        assert_eq!(fib.spine_down[1][1].len(), 1);
+        assert!(!fib.spine_down[1][1].contains(&down));
+        assert_eq!(fib.up_candidates[0][1].len(), 4);
+        // An all-true mask reproduces the unconstrained FIB.
+        let all = t.fib_live(&vec![true; t.channels.len()]);
+        assert_eq!(all.up_candidates, full.up_candidates);
+        assert_eq!(all.spine_down, full.spine_down);
+    }
+
+    #[test]
+    fn fib_live_drops_spine_with_no_live_downlink() {
+        let t = testbed();
+        let mut live = vec![true; t.channels.len()];
+        for (up, down) in t.link_channels(LeafId(1), SpineId(1)) {
+            live[up.idx()] = false;
+            live[down.idx()] = false;
+        }
+        let fib = t.fib_live(&live);
+        // Spine 1 cannot reach leaf 1 at all: leaf 0 must avoid it.
+        assert_eq!(fib.up_candidates[0][1].len(), 2);
+        for &u in &fib.up_candidates[0][1] {
+            assert_eq!(t.channel(u).dst, NodeId::Spine(SpineId(0)));
+        }
+        assert_eq!(fib.up_candidates[1][0].len(), 2);
+    }
+
+    #[test]
+    fn link_channels_pairs_both_directions_in_parallel_order() {
+        let t = testbed();
+        let pairs = t.link_channels(LeafId(0), SpineId(1));
+        assert_eq!(pairs.len(), 2, "2 parallel links");
+        for (up, down) in pairs {
+            assert_eq!(t.channel(up).src, NodeId::Leaf(LeafId(0)));
+            assert_eq!(t.channel(up).dst, NodeId::Spine(SpineId(1)));
+            assert_eq!(t.channel(down).src, NodeId::Spine(SpineId(1)));
+            assert_eq!(t.channel(down).dst, NodeId::Leaf(LeafId(0)));
+        }
+        // Statically failed links are absent from the pair list.
+        let t2 = LeafSpineBuilder::new(2, 2, 4)
+            .parallel_links(2)
+            .fail_link(1, 1, 0)
+            .build();
+        assert_eq!(t2.link_channels(LeafId(1), SpineId(1)).len(), 1);
+        assert_eq!(t2.link_channels(LeafId(0), SpineId(1)).len(), 2);
     }
 
     #[test]

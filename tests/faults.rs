@@ -1,0 +1,226 @@
+//! End-to-end contracts of the runtime fault-injection subsystem:
+//!
+//! 1. **Determinism through transitions** — a fail-at-T / recover-at-T′
+//!    schedule leaves the run a pure function of `(code, seed, config)`:
+//!    same-seed runs produce byte-identical telemetry JSON, for every
+//!    fabric policy.
+//! 2. **Conservation with blackholes** — packets lost to a dead link are
+//!    counted, never silently dropped: at quiescence
+//!    `injected == delivered + queue_drops + unroutable + blackholed`,
+//!    with `blackholed > 0` when the failure catches traffic.
+//! 3. **No stranded flows** — transports retransmit across the blackhole
+//!    window and the reconverged FIB routes around the failure, so every
+//!    flow still completes (with or without recovery).
+//! 4. **RTO recovery across a partition** — a leaf fully cut off for less
+//!    than the retransmission timeout resumes and finishes its flows once
+//!    the links return.
+
+use conga::core::FabricPolicy;
+use conga::experiments::{run_fct_with_policy, FctRun, LinkFaultSpec, Scheme, TestbedOpts};
+use conga::net::{HostId, LeafId, LeafSpineBuilder, Network, SpineId};
+use conga::sim::SimTime;
+use conga::telemetry::MetricsRegistry;
+use conga::transport::{FlowSpec, TcpConfig, TransportKind, TransportLayer};
+use conga::workloads::FlowSizeDist;
+
+/// A named fabric-policy constructor (same matrix as `tests/telemetry.rs`).
+type PolicyCase = (&'static str, fn() -> FabricPolicy);
+
+fn all_policies() -> Vec<PolicyCase> {
+    vec![
+        ("ecmp", FabricPolicy::ecmp as fn() -> FabricPolicy),
+        ("conga", FabricPolicy::conga),
+        ("conga_flow", FabricPolicy::conga_flow),
+        ("local", FabricPolicy::local),
+        ("spray", FabricPolicy::spray),
+        ("weighted", FabricPolicy::weighted),
+        ("incremental", || {
+            FabricPolicy::incremental(vec![true, false])
+        }),
+    ]
+}
+
+/// A small FCT cell whose arrival span (~20 ms at this load) comfortably
+/// covers a fail-at-5 ms / recover-at-12 ms schedule.
+fn faulted_cell() -> FctRun {
+    let mut cfg = FctRun::new(
+        TestbedOpts::paper_baseline().quick(),
+        Scheme::Conga, // transport = plain TCP; the policy is overridden per case
+        FlowSizeDist::enterprise(),
+        0.5,
+    );
+    cfg.n_flows = 40;
+    cfg.seed = 7;
+    cfg.faults = vec![
+        LinkFaultSpec::fail(SimTime::from_millis(5), 1, 1, 0),
+        LinkFaultSpec::recover(SimTime::from_millis(12), 1, 1, 0),
+    ];
+    cfg
+}
+
+/// Same seed, same fault schedule → byte-identical telemetry, for every
+/// policy. The schedule must also be visible in the report metadata.
+#[test]
+fn same_seed_fault_runs_are_byte_identical_for_every_policy() {
+    let cfg = faulted_cell();
+    for (name, mk) in all_policies() {
+        let a = run_fct_with_policy(&cfg, mk()).report.to_json();
+        let b = run_fct_with_policy(&cfg, mk()).report.to_json();
+        assert_eq!(
+            a, b,
+            "policy {name}: reports diverged across same-seed fault runs"
+        );
+        assert!(
+            a.contains("fail@5000000ns") && a.contains("recover@12000000ns"),
+            "policy {name}: fault schedule missing from report meta"
+        );
+        assert!(
+            a.contains("net.fault_transitions"),
+            "policy {name}: fault transitions not exported"
+        );
+    }
+}
+
+/// The fault schedule must actually change the execution (guards against
+/// the determinism test passing because faults never fire).
+#[test]
+fn fault_schedule_changes_the_run() {
+    let faulted = faulted_cell();
+    let mut clean = faulted_cell();
+    clean.faults.clear();
+    let a = run_fct_with_policy(&faulted, FabricPolicy::conga())
+        .report
+        .to_json();
+    let b = run_fct_with_policy(&clean, FabricPolicy::conga())
+        .report
+        .to_json();
+    assert_ne!(a, b, "fault schedule is not reaching the run");
+}
+
+/// Conservation through a fail/recover cycle, proven from the exported
+/// counters: every injected packet is delivered, queue-dropped, unroutable,
+/// or blackholed — and the failure really blackholes something.
+#[test]
+fn fault_runs_conserve_packets_including_blackholes() {
+    for (name, mk) in all_policies() {
+        let out = run_fct_with_policy(&faulted_cell(), mk());
+        let reg = &out.report.metrics;
+        let injected = reg.counter("engine.injected_pkts");
+        let delivered = reg.counter("engine.delivered_pkts");
+        let dropped = reg.counter("engine.queue_drops");
+        let unroutable = reg.counter("engine.unroutable_pkts");
+        let blackholed = reg.counter("net.blackholed_packets");
+        assert!(injected > 0, "policy {name}: nothing ran");
+        assert_eq!(
+            injected,
+            delivered + dropped + unroutable + blackholed,
+            "policy {name}: conservation violated through fail/recover"
+        );
+        assert_eq!(
+            reg.counter("net.fault_transitions"),
+            4, // 2 simplex channels × (fail + recover)
+            "policy {name}: wrong number of applied transitions"
+        );
+        // The per-port blackhole account must agree with the engine total.
+        let port_bh: u64 = reg
+            .counters()
+            .filter(|(k, _)| k.starts_with("port.") && k.ends_with(".blackholed"))
+            .map(|(_, v)| v)
+            .sum();
+        assert!(
+            port_bh <= blackholed,
+            "policy {name}: port blackholes exceed engine total"
+        );
+    }
+}
+
+/// No flow is permanently stranded by a mid-run failure: with recovery —
+/// and even without it — every flow completes, because the FIB reconverges
+/// onto the surviving links and the transport retransmits whatever the
+/// dead link swallowed. The failure must be real (blackholes observed).
+#[test]
+fn no_flow_stranded_across_failure() {
+    for recovery in [true, false] {
+        let mut cfg = faulted_cell();
+        cfg.n_flows = 60;
+        cfg.load = 0.7;
+        // Two overlapping outages on different links: busier uplinks and
+        // several transition instants make it (deterministically) certain
+        // that some packets are caught on or queued for a dead link.
+        cfg.faults = vec![
+            LinkFaultSpec::fail(SimTime::from_millis(4), 1, 1, 0),
+            LinkFaultSpec::fail(SimTime::from_millis(6), 0, 0, 0),
+            LinkFaultSpec::recover(SimTime::from_millis(9), 1, 1, 0),
+            LinkFaultSpec::recover(SimTime::from_millis(11), 0, 0, 0),
+        ];
+        if !recovery {
+            cfg.faults.truncate(2); // both failures become permanent
+        }
+        let out = run_fct_with_policy(&cfg, FabricPolicy::conga());
+        assert_eq!(
+            out.summary.incomplete, 0,
+            "recovery={recovery}: flows stranded by the fault"
+        );
+        assert!(
+            out.report.metrics.counter("net.blackholed_packets") > 0,
+            "recovery={recovery}: schedule failed to blackhole anything — retune the cell"
+        );
+        assert_eq!(
+            out.report.metrics.gauge("engine.inflight_pkts"),
+            Some(0),
+            "recovery={recovery}: packets left in flight at quiescence"
+        );
+    }
+}
+
+/// A leaf completely partitioned for a blackhole window shorter than the
+/// minimum RTO: the flow's first window is lost to the dead links, the
+/// sender sits out the outage on its retransmission timer, and the
+/// retransmission after recovery completes the flow.
+#[test]
+fn rto_carries_a_flow_across_a_full_partition() {
+    let topo = LeafSpineBuilder::new(2, 2, 2).build(); // one uplink per spine
+    let mut net = Network::new(topo, FabricPolicy::conga(), TransportLayer::new(), 3);
+    net.agent_call(|a, now, em| {
+        a.start_flow(
+            FlowSpec {
+                src: HostId(0),
+                dst: HostId(2),
+                bytes: 120_000,
+                kind: TransportKind::Tcp(TcpConfig::standard()),
+            },
+            now,
+            em,
+        );
+    });
+    // Cut every Leaf0 uplink while the first window is on the wire; bring
+    // them back at 150 ms, before the ~200 ms minimum RTO fires.
+    for spine in 0..2 {
+        net.schedule_link_fault(SimTime::from_micros(40), LeafId(0), SpineId(spine), 0);
+        net.schedule_link_recovery(SimTime::from_millis(150), LeafId(0), SpineId(spine), 0);
+    }
+    net.run_until(SimTime::from_secs(5));
+
+    let rec = net.agent.records[0];
+    assert!(
+        rec.timeouts >= 1,
+        "the partition should have cost at least one RTO"
+    );
+    assert!(
+        rec.rx_done.is_some(),
+        "flow did not complete after the links returned"
+    );
+    let mut reg = MetricsRegistry::new();
+    net.export_metrics(&mut reg);
+    let lost = reg.counter("net.blackholed_packets") + reg.counter("engine.unroutable_pkts");
+    assert!(lost > 0, "the partition swallowed nothing");
+    assert_eq!(
+        reg.counter("engine.injected_pkts"),
+        reg.counter("engine.delivered_pkts")
+            + reg.counter("engine.queue_drops")
+            + reg.counter("engine.unroutable_pkts")
+            + reg.counter("net.blackholed_packets"),
+        "conservation violated across the partition"
+    );
+    assert_eq!(reg.gauge("engine.inflight_pkts"), Some(0));
+}

@@ -6,8 +6,11 @@
 //!    fabric policy.
 //! 2. **Conservation** — the exported counters alone prove that no packet
 //!    is created or lost by the engine: at quiescence,
-//!    `injected == delivered + queue_drops + unroutable` and the
-//!    `engine.inflight_pkts` gauge reads zero.
+//!    `injected == delivered + queue_drops + unroutable + blackholed` and
+//!    the `engine.inflight_pkts` gauge reads zero. (These runs are
+//!    fault-free, so `blackholed` is also asserted zero here; the
+//!    fault-injection suite in `tests/faults.rs` exercises the non-zero
+//!    case.)
 
 use conga::core::FabricPolicy;
 use conga::experiments::{run_fct_with_policy, FctRun, Scheme, TestbedOpts};
@@ -111,12 +114,14 @@ fn telemetry_counters_prove_packet_conservation() {
         let delivered = reg.counter("engine.delivered_pkts");
         let dropped = reg.counter("engine.queue_drops");
         let unroutable = reg.counter("engine.unroutable_pkts");
+        let blackholed = reg.counter("net.blackholed_packets");
         assert!(injected > 0, "policy {name}: nothing ran");
         assert_eq!(
             injected,
-            delivered + dropped + unroutable,
+            delivered + dropped + unroutable + blackholed,
             "policy {name}: conservation violated"
         );
+        assert_eq!(blackholed, 0, "policy {name}: blackholes without faults");
         assert_eq!(
             reg.gauge("engine.inflight_pkts"),
             Some(0),
