@@ -25,6 +25,7 @@ use conga_net::{
 };
 use conga_sim::{SimRng, SimTime};
 use conga_telemetry::MetricsRegistry;
+use conga_trace::{Candidate, TraceEvent, TraceHandle};
 
 /// Per-leaf CONGA state.
 #[derive(Debug)]
@@ -57,6 +58,7 @@ pub struct Conga {
     /// Path-congestion observations recorded into Congestion-From-Leaf.
     pub from_leaf_records: u64,
     label: &'static str,
+    tracer: TraceHandle,
 }
 
 impl Conga {
@@ -75,6 +77,7 @@ impl Conga {
             feedback_harvested: 0,
             from_leaf_records: 0,
             label: "conga",
+            tracer: TraceHandle::disabled(),
         }
     }
 
@@ -110,6 +113,7 @@ impl Conga {
         q_bits: u8,
         now: SimTime,
         rng: &mut SimRng,
+        mut capture: Option<&mut Vec<Candidate>>,
     ) -> (ChannelId, bool) {
         debug_assert!(!candidates.is_empty());
         let mut best: u16 = u16::MAX;
@@ -130,6 +134,15 @@ impl Conga {
                 .map(|t| t.read(dst_leaf, lbtag_of[u.idx()], now))
                 .unwrap_or(0);
             let m = local.max(remote) as u16;
+            if let Some(cap) = capture.as_deref_mut() {
+                cap.push(Candidate {
+                    ch: u.idx() as u32,
+                    lbtag: lbtag_of[u.idx()],
+                    local,
+                    remote,
+                    metric: local.max(remote),
+                });
+            }
             if m < best {
                 best = m;
                 pick = u;
@@ -187,6 +200,7 @@ impl Dataplane for Conga {
     ) -> ChannelId {
         let l = leaf.idx();
         let dst = pkt.overlay.expect("ingress without overlay").dst_tep.idx();
+        let traced = self.tracer.wants_flow(pkt.flow);
 
         // Opportunistically piggyback one feedback metric for the
         // destination leaf (paper §3.3 step 4).
@@ -196,6 +210,18 @@ impl Dataplane for Conga {
             o.fb_metric = metric;
             o.fb_valid = true;
             self.feedback_piggybacked += 1;
+            if traced {
+                self.tracer.emit(
+                    now,
+                    TraceEvent::FeedbackPiggyback {
+                        leaf: l as u32,
+                        flow: pkt.flow,
+                        dst_leaf: dst as u32,
+                        lbtag: tag,
+                        metric,
+                    },
+                );
+            }
         }
 
         // Flowlet lookup; decide only on the first packet of a flowlet.
@@ -207,6 +233,7 @@ impl Dataplane for Conga {
                 // failure or a table collision across destinations):
                 // decide afresh.
                 let state = &mut self.leaves[l];
+                let mut cap: Vec<Candidate> = Vec::new();
                 let (port, sticky) = Self::decide(
                     &mut self.dres,
                     Some(&state.to_leaf),
@@ -217,15 +244,45 @@ impl Dataplane for Conga {
                     self.params.q_bits,
                     now,
                     rng,
+                    traced.then_some(&mut cap),
                 );
                 if sticky {
                     self.sticky_decisions += 1;
                 }
                 state.flowlets.commit(pkt.flow_hash, port, now);
+                if traced {
+                    self.tracer.emit(
+                        now,
+                        TraceEvent::Decision {
+                            leaf: l as u32,
+                            flow: pkt.flow,
+                            dst_leaf: dst as u32,
+                            candidates: cap,
+                            chosen: port.idx() as u32,
+                            lbtag: self.lbtag_of[port.idx()],
+                            sticky,
+                        },
+                    );
+                }
                 port
             }
             Lookup::NewFlowlet { prev } => {
                 let state = &mut self.leaves[l];
+                if traced {
+                    // `prev` means the flow's previous flowlet aged out —
+                    // expiry is lazy, observable only at this lookup.
+                    if let Some(p) = prev {
+                        self.tracer.emit(
+                            now,
+                            TraceEvent::FlowletExpire {
+                                leaf: l as u32,
+                                flow: pkt.flow,
+                                ch: p.idx() as u32,
+                            },
+                        );
+                    }
+                }
+                let mut cap: Vec<Candidate> = Vec::new();
                 let (port, sticky) = Self::decide(
                     &mut self.dres,
                     Some(&state.to_leaf),
@@ -236,6 +293,7 @@ impl Dataplane for Conga {
                     self.params.q_bits,
                     now,
                     rng,
+                    traced.then_some(&mut cap),
                 );
                 if sticky {
                     self.sticky_decisions += 1;
@@ -243,6 +301,29 @@ impl Dataplane for Conga {
                     self.moved_decisions += 1;
                 }
                 state.flowlets.commit(pkt.flow_hash, port, now);
+                if traced {
+                    self.tracer.emit(
+                        now,
+                        TraceEvent::FlowletNew {
+                            leaf: l as u32,
+                            flow: pkt.flow,
+                            ch: port.idx() as u32,
+                            prev: prev.map(|p| p.idx() as u32),
+                        },
+                    );
+                    self.tracer.emit(
+                        now,
+                        TraceEvent::Decision {
+                            leaf: l as u32,
+                            flow: pkt.flow,
+                            dst_leaf: dst as u32,
+                            candidates: cap,
+                            chosen: port.idx() as u32,
+                            lbtag: self.lbtag_of[port.idx()],
+                            sticky,
+                        },
+                    );
+                }
                 port
             }
         };
@@ -271,6 +352,20 @@ impl Dataplane for Conga {
             .expect("fabric channel has a DRE");
         dre.on_send(pkt.size, now);
         self.dre_updates += 1;
+        if self.tracer.wants_flow(pkt.flow) {
+            // Quantization is lazy but idempotent at a fixed `now`, so the
+            // traced value matches what the CE update below reads.
+            let quantized = dre.quantized(now, q);
+            self.tracer.emit(
+                now,
+                TraceEvent::DreUpdate {
+                    ch: ch.idx() as u32,
+                    flow: pkt.flow,
+                    bytes: pkt.size,
+                    quantized,
+                },
+            );
+        }
         if let Some(o) = pkt.overlay.as_mut() {
             // CE accumulates the maximum link congestion along the path.
             let m = dre.quantized(now, q);
@@ -295,11 +390,27 @@ impl Dataplane for Conga {
                 .to_leaf
                 .update(o.src_tep.idx(), o.fb_lbtag, o.fb_metric, now);
             self.feedback_harvested += 1;
+            if self.tracer.wants_flow(pkt.flow) {
+                self.tracer.emit(
+                    now,
+                    TraceEvent::FeedbackApply {
+                        leaf: leaf.idx() as u32,
+                        flow: pkt.flow,
+                        src_leaf: o.src_tep.idx() as u32,
+                        lbtag: o.fb_lbtag,
+                        metric: o.fb_metric,
+                    },
+                );
+            }
         }
     }
 
     fn name(&self) -> &'static str {
         self.label
+    }
+
+    fn set_tracer(&mut self, tracer: TraceHandle) {
+        self.tracer = tracer;
     }
 
     fn export_metrics(&self, reg: &mut MetricsRegistry) {
@@ -504,6 +615,7 @@ mod tests {
                 q,
                 SimTime::ZERO,
                 &mut rng,
+                None,
             );
             assert!(!sticky);
             counts[ch.idx()] += 1;
@@ -537,6 +649,7 @@ mod tests {
                 q,
                 SimTime::ZERO,
                 &mut rng,
+                None,
             );
             assert_eq!(ch, prev, "equal metrics: flow must not move");
             assert!(sticky);

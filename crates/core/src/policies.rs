@@ -461,6 +461,11 @@ impl Dataplane for Incremental {
             self.conga_leaves.iter().filter(|&&b| b).count() as u64,
         );
     }
+
+    fn set_tracer(&mut self, tracer: conga_trace::TraceHandle) {
+        // Only the CONGA half has decision provenance to record.
+        self.conga.set_tracer(tracer);
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -580,6 +585,9 @@ impl Dataplane for FabricPolicy {
     }
     fn export_metrics(&self, reg: &mut MetricsRegistry) {
         delegate!(self, p => p.export_metrics(reg))
+    }
+    fn set_tracer(&mut self, tracer: conga_trace::TraceHandle) {
+        delegate!(self, p => p.set_tracer(tracer))
     }
 }
 

@@ -11,6 +11,7 @@ fn main() {
     let args = Args::parse();
     run_baseline_figure(
         &args,
+        "fig09_enterprise",
         FlowSizeDist::enterprise(),
         "Figure 9 — enterprise workload, baseline topology",
         800,

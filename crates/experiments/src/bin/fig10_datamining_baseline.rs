@@ -10,6 +10,7 @@ fn main() {
     let args = Args::parse();
     run_baseline_figure(
         &args,
+        "fig10_datamining",
         FlowSizeDist::data_mining(),
         "Figure 10 — data-mining workload, baseline topology",
         250,

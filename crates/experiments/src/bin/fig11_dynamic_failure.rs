@@ -13,10 +13,10 @@
 //! reconverges while traffic is flowing.
 //!
 //! Flags: `--quick`, `--seed N`, `--fail-at-ms T`, `--recover-at-ms T`,
-//! `--fault-link l:s:p`.
+//! `--fault-link l:s:p`, `--trace DIR` (+ `--trace-flows`, `--trace-ring`).
 
 use conga_experiments::cli::banner;
-use conga_experiments::figures::write_metrics_sidecar;
+use conga_experiments::figures::{trace_args, write_metrics_sidecar, write_trace_sidecars};
 use conga_experiments::{run_dynamic_failure, Args, DynFailSpec, Scheme};
 use conga_sim::SimTime;
 
@@ -27,6 +27,7 @@ fn main() {
         "baseline fabric at 60% load; y = delivered throughput around the fault window",
     );
 
+    let tracing = trace_args(&args);
     let mut sidecar_failed = false;
     println!(
         "{:<12}{:>12}{:>12}{:>12}{:>14}{:>12}{:>10}",
@@ -59,7 +60,17 @@ fn main() {
             spec.link = (parts[0], parts[1], parts[2]);
         }
 
+        spec.trace = tracing.as_ref().map(|t| t.spec.clone());
+
         let out = run_dynamic_failure(&spec);
+        if let (Some(t), Some(handle)) = (&tracing, &out.trace) {
+            if let Err(e) =
+                write_trace_sidecars(&t.dir, "fig11_dynamic_failure", scheme.name(), handle)
+            {
+                eprintln!("trace sidecar write failed: {e}");
+                sidecar_failed = true;
+            }
+        }
         match write_metrics_sidecar("fig11_dynamic_failure", scheme.name(), &out.report) {
             Ok(p) => eprintln!("metrics sidecar: {}", p.display()),
             Err(e) => {

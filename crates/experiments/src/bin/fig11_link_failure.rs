@@ -39,6 +39,7 @@ fn main() {
         println!("\n{title}");
         let sweep = fct_sweep(
             &args,
+            "fig11_link_failure",
             TestbedOpts::paper_failure(),
             &dist,
             &loads,

@@ -8,12 +8,13 @@
 use conga_analysis::imbalance::throughput_imbalance;
 use conga_analysis::stats::percentile;
 use conga_experiments::cli::banner;
-use conga_experiments::figures::write_metrics_sidecar;
+use conga_experiments::figures::{trace_args, write_metrics_sidecar, write_trace_sidecars};
 use conga_experiments::{run_fct, Args, FctRun, Scheme, TestbedOpts};
 use conga_workloads::FlowSizeDist;
 
 fn main() {
     let args = Args::parse();
+    let tracing = trace_args(&args);
     let mut sidecar_failed = false;
     banner(
         "Figure 12 — uplink throughput imbalance (MAX-MIN)/AVG at 60% load",
@@ -42,8 +43,15 @@ fn main() {
             cfg.n_flows = if args.quick { 150 } else { flows };
             cfg.seed = args.seed;
             cfg.sample_uplinks = true;
+            cfg.trace = tracing.as_ref().map(|t| t.spec.clone());
             let out = run_fct(&cfg);
             let label = format!("{}.{}", dist.name(), scheme.name());
+            if let (Some(t), Some(handle)) = (&tracing, &out.trace) {
+                if let Err(e) = write_trace_sidecars(&t.dir, "fig12_imbalance", &label, handle) {
+                    eprintln!("trace sidecar write failed: {e}");
+                    sidecar_failed = true;
+                }
+            }
             match write_metrics_sidecar("fig12_imbalance", &label, &out.report) {
                 Ok(p) => eprintln!("metrics sidecar: {}", p.display()),
                 Err(e) => {

@@ -11,8 +11,8 @@
 //! dramatically worse.
 
 use conga_experiments::cli::banner;
-use conga_experiments::figures::write_metrics_sidecar;
-use conga_experiments::{Args, Scheme};
+use conga_experiments::figures::{trace_args, write_metrics_sidecar, write_trace_sidecars};
+use conga_experiments::{Args, Scheme, TraceSpec};
 use conga_net::{HostId, LeafSpineBuilder, Network};
 use conga_sim::SimRng;
 use conga_sim::{SimDuration, SimTime};
@@ -20,15 +20,25 @@ use conga_telemetry::RunReport;
 use conga_transport::{FlowSpec, ListSource, TcpConfig, TransportLayer};
 use conga_workloads::IncastPattern;
 
-/// Run one incast: returns goodput as a % of the 10G access line rate plus
-/// the run's telemetry report.
-fn run_incast(scheme: Scheme, fanout: u32, tcp: TcpConfig, seed: u64) -> (f64, RunReport) {
+/// Run one incast: returns goodput as a % of the 10G access line rate, the
+/// run's telemetry report, and the trace handle (if tracing was requested).
+fn run_incast(
+    scheme: Scheme,
+    fanout: u32,
+    tcp: TcpConfig,
+    seed: u64,
+    trace: Option<&TraceSpec>,
+) -> (f64, RunReport, Option<conga_trace::TraceHandle>) {
     let topo = LeafSpineBuilder::new(2, 2, 32)
         .host_rate_gbps(10)
         .fabric_rate_gbps(40)
         .parallel_links(2)
         .build();
     let mut net = Network::new(topo, scheme.policy(), TransportLayer::new(), seed);
+    let trace = trace.map(|spec| spec.handle());
+    if let Some(t) = &trace {
+        net.set_tracer(t.clone());
+    }
     let pat = IncastPattern::paper(fanout);
     // Client = host 0 (leaf 0); servers spread over the remaining hosts,
     // mostly remote so responses cross the fabric like the testbed's.
@@ -92,11 +102,12 @@ fn run_incast(scheme: Scheme, fanout: u32, tcp: TcpConfig, seed: u64) -> (f64, R
     report.set_meta("end_time_ns", net.now().as_nanos().to_string());
     net.export_metrics(&mut report.metrics);
     // Percentage of the 10G access link (the paper's y-axis).
-    (100.0 * goodput / 10e9, report)
+    (100.0 * goodput / 10e9, report, trace)
 }
 
 fn main() {
     let args = Args::parse();
+    let tracing = trace_args(&args);
     let mut sidecar_failed = false;
     banner(
         "Figure 13 — Incast: client goodput vs fanout",
@@ -127,11 +138,21 @@ fn main() {
             let tcp = cfg.with_min_rto(SimDuration::from_millis(rto_ms));
             print!("{label:<26}");
             for &f in &fanouts {
-                let (pct, report) = run_incast(scheme, f, tcp, args.seed);
+                let (pct, report, trace) =
+                    run_incast(scheme, f, tcp, args.seed, tracing.as_ref().map(|t| &t.spec));
                 let tag = format!("{mtu_name}.{label}.f{f:02}");
-                if let Err(e) = write_metrics_sidecar("fig13_incast", &tag, &report) {
-                    eprintln!("metrics sidecar write failed: {e}");
-                    sidecar_failed = true;
+                if let (Some(t), Some(handle)) = (&tracing, &trace) {
+                    if let Err(e) = write_trace_sidecars(&t.dir, "fig13_incast", &tag, handle) {
+                        eprintln!("trace sidecar write failed: {e}");
+                        sidecar_failed = true;
+                    }
+                }
+                match write_metrics_sidecar("fig13_incast", &tag, &report) {
+                    Ok(p) => eprintln!("metrics sidecar: {}", p.display()),
+                    Err(e) => {
+                        eprintln!("metrics sidecar write failed: {e}");
+                        sidecar_failed = true;
+                    }
                 }
                 print!("{pct:>7.1}");
             }

@@ -60,6 +60,7 @@ fn main() {
         println!("\n{title}");
         let sweep = fct_sweep(
             &args,
+            "fig15_large_scale",
             topo,
             &FlowSizeDist::web_search(),
             &loads,

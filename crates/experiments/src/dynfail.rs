@@ -10,7 +10,7 @@
 //! outputs are the throughput timeline around the transitions, the
 //! time-to-reconverge, and whether any flow is permanently stranded.
 
-use crate::runner::{build_testbed, Scheme, TestbedOpts};
+use crate::runner::{build_testbed, Scheme, TestbedOpts, TraceSpec};
 use conga_net::Network;
 use conga_sim::{SimDuration, SimRng, SimTime};
 use conga_telemetry::RunReport;
@@ -40,6 +40,8 @@ pub struct DynFailSpec {
     pub window: SimTime,
     /// Throughput-sampling slice width.
     pub slice: SimDuration,
+    /// Structured event tracing (`None` = disabled; zero overhead).
+    pub trace: Option<TraceSpec>,
 }
 
 impl DynFailSpec {
@@ -69,6 +71,7 @@ impl DynFailSpec {
             link: (1, 1, 0),
             window,
             slice: SimDuration::from_millis(10),
+            trace: None,
         }
     }
 }
@@ -103,6 +106,8 @@ pub struct DynFailOutcome {
     pub end_time: SimTime,
     /// The deterministic telemetry artifact.
     pub report: RunReport,
+    /// The trace recorder handle, if tracing was requested.
+    pub trace: Option<conga_trace::TraceHandle>,
 }
 
 /// Run one dynamic-failure cell to completion (or a generous drain bound).
@@ -142,6 +147,10 @@ pub fn run_dynamic_failure(spec: &DynFailSpec) -> DynFailOutcome {
     );
 
     let mut net = Network::new(topo, spec.scheme.policy(), TransportLayer::new(), spec.seed);
+    let trace = spec.trace.as_ref().map(|t| t.handle());
+    if let Some(t) = &trace {
+        net.set_tracer(t.clone());
+    }
     let (l, s, p) = spec.link;
     net.schedule_link_fault(
         spec.fail_at,
@@ -291,5 +300,6 @@ pub fn run_dynamic_failure(spec: &DynFailSpec) -> DynFailOutcome {
         post_recovery_blackholed,
         end_time: net.now(),
         report,
+        trace,
     }
 }

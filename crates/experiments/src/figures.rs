@@ -2,9 +2,10 @@
 //! 11 share the FCT-vs-load sweep; Figure 15 reuses it at scale).
 
 use crate::cli::{banner, Args};
-use crate::runner::{run_fct, FctRun, LinkFaultSpec, Scheme, TestbedOpts};
+use crate::runner::{run_fct, FctRun, LinkFaultSpec, Scheme, TestbedOpts, TraceSpec};
 use conga_sim::SimTime;
 use conga_telemetry::RunReport;
+use conga_trace::TraceHandle;
 use conga_workloads::FlowSizeDist;
 use std::path::PathBuf;
 
@@ -24,6 +25,82 @@ pub fn write_metrics_sidecar(
     let path = PathBuf::from("results").join(format!("{figure}.{slug}.metrics.json"));
     report.write_to(&path)?;
     Ok(path)
+}
+
+/// Event-tracing options parsed from the CLI: where to write the artifacts
+/// and what to record.
+#[derive(Clone, Debug)]
+pub struct TraceArgs {
+    /// Output directory for the `.trace.jsonl` / `.trace.chrome.json` files.
+    pub dir: PathBuf,
+    /// What to record (flow sampling, ring bound).
+    pub spec: TraceSpec,
+}
+
+/// Parse the structured-tracing flags shared by every figure binary:
+///
+/// * `--trace DIR` — enable tracing and write artifacts under `DIR`,
+/// * `--trace-flows a,b,c` — sample only these flow ids (default: all),
+/// * `--trace-ring N` — flight-recorder mode, keep only the last N events.
+///
+/// Returns `None` when `--trace` is absent, so untraced runs pay nothing.
+pub fn trace_args(args: &Args) -> Option<TraceArgs> {
+    let dir: String = args.get("trace", String::new());
+    if dir.is_empty() {
+        return None;
+    }
+    let mut spec = TraceSpec::default();
+    let flows: String = args.get("trace-flows", String::new());
+    if !flows.is_empty() {
+        spec.flows = Some(
+            flows
+                .split(',')
+                .map(|x| x.trim().parse().expect("--trace-flows wants flow ids"))
+                .collect(),
+        );
+    }
+    let ring: i64 = args.get("trace-ring", -1);
+    if ring >= 0 {
+        spec.ring = Some(ring as usize);
+    }
+    Some(TraceArgs {
+        dir: PathBuf::from(dir),
+        spec,
+    })
+}
+
+/// Export a finished run's trace as `<dir>/<figure>.<label>.trace.jsonl`
+/// and `<dir>/<figure>.<label>.trace.chrome.json` (label slugified as in
+/// [`write_metrics_sidecar`]), print both paths to stderr, and return them.
+pub fn write_trace_sidecars(
+    dir: &std::path::Path,
+    figure: &str,
+    label: &str,
+    trace: &TraceHandle,
+) -> std::io::Result<(PathBuf, PathBuf)> {
+    let slug: String = label
+        .to_ascii_lowercase()
+        .chars()
+        .map(|c| if c.is_ascii_alphanumeric() { c } else { '-' })
+        .collect();
+    std::fs::create_dir_all(dir)?;
+    let jsonl = dir.join(format!("{figure}.{slug}.trace.jsonl"));
+    let chrome = dir.join(format!("{figure}.{slug}.trace.chrome.json"));
+    let jsonl_text = trace
+        .export_jsonl()
+        .expect("write_trace_sidecars wants an enabled trace handle");
+    let chrome_text = trace.export_chrome().expect("enabled handle");
+    std::fs::write(&jsonl, jsonl_text)?;
+    std::fs::write(&chrome, chrome_text)?;
+    eprintln!("trace: {} ({} events)", jsonl.display(), trace.len());
+    eprintln!("trace: {}", chrome.display());
+    if trace.dropped() > 0 {
+        eprintln!(
+            "trace: ring evicted {} earlier events (raise --trace-ring to keep more)",
+            trace.dropped()
+        );
+    }
+    Ok((jsonl, chrome))
 }
 
 /// Parse the runtime fault-injection flags shared by every sweep binary
@@ -91,9 +168,11 @@ pub struct Sweep {
     pub incomplete: Vec<Vec<usize>>,
 }
 
-/// Run an FCT sweep over the paper's scheme set.
+/// Run an FCT sweep over the paper's scheme set. `figure` names the trace
+/// artifacts when `--trace DIR` is given (see [`trace_args`]).
 pub fn fct_sweep(
     args: &Args,
+    figure: &str,
     topo: TestbedOpts,
     dist: &FlowSizeDist,
     loads: &[f64],
@@ -108,8 +187,10 @@ pub fn fct_sweep(
     let runs = args.runs_or(1, 2);
     let topo = if args.quick { topo.quick() } else { topo };
     // Every sweep scenario accepts the runtime fault flags (empty when the
-    // flags are absent — see [`fault_args`]).
+    // flags are absent — see [`fault_args`]) and the tracing flags (`None`
+    // when absent — see [`trace_args`]).
     let faults = fault_args(args);
+    let tracing = trace_args(args);
 
     let mut sweep = Sweep {
         loads: loads.to_vec(),
@@ -129,7 +210,13 @@ pub fn fct_sweep(
                 cfg.n_flows = n_flows;
                 cfg.seed = args.seed + 1000 * r as u64;
                 cfg.faults = faults.clone();
+                cfg.trace = tracing.as_ref().map(|t| t.spec.clone());
                 let out = run_fct(&cfg);
+                if let (Some(t), Some(handle)) = (&tracing, &out.trace) {
+                    let label = format!("{}.load{:02.0}.r{r}", scheme.name(), load * 100.0);
+                    write_trace_sidecars(&t.dir, figure, &label, handle)
+                        .expect("trace sidecar write");
+                }
                 o += out.summary.avg_norm_optimal;
                 s += out.summary.small_avg_s;
                 l += out.summary.large_avg_s;
@@ -194,8 +281,15 @@ pub fn loads_arg(args: &Args, default: Vec<f64>) -> Vec<f64> {
         .collect()
 }
 
-/// The Figure 9/10 driver shared by both workload binaries.
-pub fn run_baseline_figure(args: &Args, dist: FlowSizeDist, title: &str, flows_full: usize) {
+/// The Figure 9/10 driver shared by both workload binaries. `figure` names
+/// the trace artifacts when `--trace DIR` is given.
+pub fn run_baseline_figure(
+    args: &Args,
+    figure: &str,
+    dist: FlowSizeDist,
+    title: &str,
+    flows_full: usize,
+) {
     banner(
         title,
         "testbed: 64 hosts, 2 leaves, 2 spines, 10G access / 2x40G uplinks (2:1 oversub)",
@@ -210,6 +304,7 @@ pub fn run_baseline_figure(args: &Args, dist: FlowSizeDist, title: &str, flows_f
     );
     let sweep = fct_sweep(
         args,
+        figure,
         TestbedOpts::paper_baseline(),
         &dist,
         &loads,

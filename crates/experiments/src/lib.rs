@@ -19,5 +19,5 @@ pub use cli::Args;
 pub use dynfail::{run_dynamic_failure, DynFailOutcome, DynFailSpec};
 pub use runner::{
     build_report, build_testbed, merged_arrivals, run_fct, run_fct_with_policy, uniform_arrivals,
-    FctOutcome, FctRun, LinkFaultSpec, Scheme, TestbedOpts,
+    FctOutcome, FctRun, LinkFaultSpec, Scheme, TestbedOpts, TraceSpec,
 };

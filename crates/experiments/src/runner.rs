@@ -182,6 +182,30 @@ impl LinkFaultSpec {
     }
 }
 
+/// Structured event-tracing options for a run: which flows to sample and
+/// whether to bound the recorder to a flight-recorder ring.
+#[derive(Clone, Debug, Default)]
+pub struct TraceSpec {
+    /// Sample only these flow ids (`None` = every flow).
+    pub flows: Option<Vec<u32>>,
+    /// Keep only the most recent N events (`None` = unbounded).
+    pub ring: Option<usize>,
+}
+
+impl TraceSpec {
+    /// Build the corresponding recorder handle.
+    pub fn handle(&self) -> conga_trace::TraceHandle {
+        let mut cfg = match &self.flows {
+            Some(f) => conga_trace::TraceConfig::for_flows(f.iter().copied()),
+            None => conga_trace::TraceConfig::all(),
+        };
+        if let Some(n) = self.ring {
+            cfg = cfg.with_ring(n);
+        }
+        conga_trace::TraceHandle::recording(cfg)
+    }
+}
+
 /// An FCT experiment specification.
 #[derive(Clone, Debug)]
 pub struct FctRun {
@@ -205,6 +229,8 @@ pub struct FctRun {
     pub sample_uplinks: bool,
     /// Runtime link fail/recover events, applied in order mid-run.
     pub faults: Vec<LinkFaultSpec>,
+    /// Structured event tracing (`None` = disabled; zero overhead).
+    pub trace: Option<TraceSpec>,
 }
 
 impl FctRun {
@@ -220,6 +246,7 @@ impl FctRun {
             tcp: TcpConfig::standard(),
             sample_uplinks: false,
             faults: Vec::new(),
+            trace: None,
         }
     }
 }
@@ -246,6 +273,9 @@ pub struct FctOutcome {
     /// The run-level telemetry artifact: every engine, port, dataplane and
     /// transport counter, serializable to deterministic JSON.
     pub report: RunReport,
+    /// The trace recorder handle, if tracing was requested. Export with
+    /// [`conga_trace::TraceHandle::export_jsonl`] / `export_chrome`.
+    pub trace: Option<conga_trace::TraceHandle>,
 }
 
 /// Convert a [`PoissonPlan`] into a single time-ordered arrival list over
@@ -386,6 +416,10 @@ pub fn run_fct_with_policy(cfg: &FctRun, policy: FabricPolicy) -> FctOutcome {
     let span_ns: u64 = arrivals.iter().map(|(g, _)| g.as_nanos()).sum();
 
     let mut net = Network::new(topo, policy, TransportLayer::new(), cfg.seed);
+    let trace = cfg.trace.as_ref().map(|spec| spec.handle());
+    if let Some(t) = &trace {
+        net.set_tracer(t.clone());
+    }
     for f in &cfg.faults {
         let (leaf, spine) = (conga_net::LeafId(f.leaf), conga_net::SpineId(f.spine));
         if f.up {
@@ -468,6 +502,7 @@ pub fn run_fct_with_policy(cfg: &FctRun, policy: FabricPolicy) -> FctOutcome {
         uplink_queue_samples: net.samples.queue_bytes.clone(),
         fabric_mean_queues,
         report,
+        trace,
     }
 }
 

@@ -32,6 +32,7 @@ use crate::port::{Enqueue, TxPort};
 use crate::topology::{Fib, Topology};
 use conga_sim::{EventQueue, SimDuration, SimRng, SimTime};
 use conga_telemetry::MetricsRegistry;
+use conga_trace::{TraceEvent, TraceHandle};
 
 /// Switch dataplane behaviour: load-balancing choice plus congestion-state
 /// maintenance. See the crate docs of `conga-core` for the implementations.
@@ -83,6 +84,11 @@ pub trait Dataplane {
     /// congestion tables...) into the run-level metrics registry under
     /// stable `dataplane.*` names. Default: no metrics.
     fn export_metrics(&self, _reg: &mut MetricsRegistry) {}
+
+    /// Adopt a trace handle for structured event emission (decisions,
+    /// flowlet transitions, DRE updates...). Default: ignore it — only
+    /// dataplanes with provenance worth recording override this.
+    fn set_tracer(&mut self, _tracer: TraceHandle) {}
 }
 
 /// End-host stack: receives packets addressed to its hosts and timer
@@ -97,6 +103,10 @@ pub trait HostAgent {
     /// reordering...) into the run-level metrics registry under stable
     /// `transport.*` names. Default: no metrics.
     fn export_metrics(&self, _reg: &mut MetricsRegistry) {}
+
+    /// Adopt a trace handle for structured event emission (cwnd moves,
+    /// fast retransmits, RTOs). Default: ignore it.
+    fn set_tracer(&mut self, _tracer: TraceHandle) {}
 }
 
 /// Collects the outputs of a [`HostAgent`] callback; the engine injects the
@@ -224,6 +234,13 @@ pub struct Network<D: Dataplane, A: HostAgent> {
     /// perfectly deterministic simulation otherwise produces. Zero disables.
     host_jitter: SimDuration,
     nic_release: Vec<SimTime>,
+    /// Structured event tracing; disabled (one dead branch per emission
+    /// site) unless [`Network::set_tracer`] installed a recording handle.
+    tracer: TraceHandle,
+    /// Whether any fault was ever scheduled: the `net.blackholed_packets`
+    /// and `net.fault_transitions` counters are exported only for runs
+    /// with a fault schedule, keeping fault-free report diffs clean.
+    faults_scheduled: bool,
 }
 
 impl<D: Dataplane, A: HostAgent> Network<D, A> {
@@ -256,7 +273,18 @@ impl<D: Dataplane, A: HostAgent> Network<D, A> {
             scratch: Emitter::default(),
             host_jitter: SimDuration::from_nanos(1_000),
             nic_release: Vec::new(),
+            tracer: TraceHandle::disabled(),
+            faults_scheduled: false,
         }
+    }
+
+    /// Install a trace handle, sharing it with the dataplane and the host
+    /// agent so engine, policy, and transport events interleave into one
+    /// deterministic sequence. Call before running the event loop.
+    pub fn set_tracer(&mut self, tracer: TraceHandle) {
+        self.tracer = tracer.clone();
+        self.dataplane.set_tracer(tracer.clone());
+        self.agent.set_tracer(tracer);
     }
 
     /// Override the host emission jitter (zero disables; see field docs).
@@ -316,8 +344,13 @@ impl<D: Dataplane, A: HostAgent> Network<D, A> {
         reg.set_counter("engine.unroutable_pkts", self.stats.unroutable);
         reg.set_counter("engine.events", self.stats.events);
         reg.set_counter("engine.queue_drops", self.total_drops());
-        reg.set_counter("net.blackholed_packets", self.stats.blackholed);
-        reg.set_counter("net.fault_transitions", self.stats.fault_transitions);
+        // Fault-domain counters appear only in runs that scheduled faults:
+        // fault-free reports stay free of zero-valued noise and diff clean
+        // against pre-fault-subsystem baselines.
+        if self.faults_scheduled {
+            reg.set_counter("net.blackholed_packets", self.stats.blackholed);
+            reg.set_counter("net.fault_transitions", self.stats.fault_transitions);
+        }
         // Conservation residue: packets injected but neither delivered,
         // dropped, declared unroutable, nor blackholed by a dead link —
         // i.e. still in flight. Zero at quiescence; the invariant tests
@@ -372,6 +405,7 @@ impl<D: Dataplane, A: HostAgent> Network<D, A> {
     /// part of the deterministic run configuration.
     pub fn schedule_channel_fault(&mut self, at: SimTime, ch: ChannelId, up: bool) {
         assert!(at >= self.now, "fault scheduled in the past");
+        self.faults_scheduled = true;
         self.events.push(at, Ev::Fault { ch, up });
     }
 
@@ -422,10 +456,32 @@ impl<D: Dataplane, A: HostAgent> Network<D, A> {
         self.link_up[ch.idx()] = up;
         self.stats.fault_transitions += 1;
         self.fault_log.push((self.now, ch, up));
+        if self.tracer.enabled() {
+            self.tracer.emit(
+                self.now,
+                TraceEvent::FaultTransition {
+                    ch: ch.idx() as u32,
+                    up,
+                },
+            );
+        }
         if !up {
             self.fail_epoch[ch.idx()] = self.fail_epoch[ch.idx()].wrapping_add(1);
             let flushed = self.ports[ch.idx()].flush_dead(self.now);
-            self.stats.blackholed += flushed;
+            self.stats.blackholed += flushed.len() as u64;
+            for pkt in &flushed {
+                if self.tracer.wants_flow(pkt.flow) {
+                    self.tracer.emit(
+                        self.now,
+                        TraceEvent::PacketBlackhole {
+                            ch: ch.idx() as u32,
+                            pkt: pkt.id,
+                            flow: pkt.flow,
+                            size: pkt.size,
+                        },
+                    );
+                }
+            }
         }
         self.fib = self.topo.fib_live(&self.link_up);
     }
@@ -527,6 +583,17 @@ impl<D: Dataplane, A: HostAgent> Network<D, A> {
             // The link failed while the packet was on the wire: lost.
             self.ports[ch.idx()].blackholed += 1;
             self.stats.blackholed += 1;
+            if self.tracer.wants_flow(pkt.flow) {
+                self.tracer.emit(
+                    self.now,
+                    TraceEvent::PacketBlackhole {
+                        ch: ch.idx() as u32,
+                        pkt: pkt.id,
+                        flow: pkt.flow,
+                        size: pkt.size,
+                    },
+                );
+            }
             return;
         }
         {
@@ -536,9 +603,20 @@ impl<D: Dataplane, A: HostAgent> Network<D, A> {
         }
         let channel = &self.topo.channels[ch.idx()];
         match channel.dst {
-            NodeId::Host(_h) => {
+            NodeId::Host(h) => {
                 self.stats.delivered_pkts += 1;
                 self.stats.delivered_payload += pkt.payload as u64;
+                if self.tracer.wants_flow(pkt.flow) {
+                    self.tracer.emit(
+                        self.now,
+                        TraceEvent::PacketDeliver {
+                            host: h.0,
+                            pkt: pkt.id,
+                            flow: pkt.flow,
+                            payload: pkt.payload,
+                        },
+                    );
+                }
                 let mut em = std::mem::take(&mut self.scratch);
                 self.agent.on_packet(pkt, self.now, &mut em);
                 self.process_emissions(&mut em);
@@ -590,22 +668,64 @@ impl<D: Dataplane, A: HostAgent> Network<D, A> {
     }
 
     fn enqueue(&mut self, ch: ChannelId, pkt: Packet) {
+        let traced = self.tracer.wants_flow(pkt.flow);
+        // The port consumes the packet; capture identity first if traced.
+        let (pid, flow, size) = (pkt.id, pkt.flow, pkt.size);
         if !self.link_up[ch.idx()] {
             // The FIB excludes dead fabric channels, but a dead access
             // link — or a race the dataplane cannot see — still swallows
             // the packet.
             self.ports[ch.idx()].blackholed += 1;
             self.stats.blackholed += 1;
+            if traced {
+                self.tracer.emit(
+                    self.now,
+                    TraceEvent::PacketBlackhole {
+                        ch: ch.idx() as u32,
+                        pkt: pid,
+                        flow,
+                        size,
+                    },
+                );
+            }
             return;
         }
-        match self.ports[ch.idx()].enqueue(pkt, self.now) {
-            Enqueue::StartTx => self.start_tx(ch),
-            Enqueue::Queued | Enqueue::Dropped => {}
+        let outcome = self.ports[ch.idx()].enqueue(pkt, self.now);
+        if traced {
+            let ev = match outcome {
+                Enqueue::StartTx | Enqueue::Queued => TraceEvent::PacketEnqueue {
+                    ch: ch.idx() as u32,
+                    pkt: pid,
+                    flow,
+                    size,
+                },
+                Enqueue::Dropped => TraceEvent::PacketDrop {
+                    ch: ch.idx() as u32,
+                    pkt: pid,
+                    flow,
+                    size,
+                },
+            };
+            self.tracer.emit(self.now, ev);
+        }
+        if let Enqueue::StartTx = outcome {
+            self.start_tx(ch);
         }
     }
 
     fn start_tx(&mut self, ch: ChannelId) {
         let (mut pkt, ser) = self.ports[ch.idx()].begin_tx(self.now);
+        if self.tracer.wants_flow(pkt.flow) {
+            self.tracer.emit(
+                self.now,
+                TraceEvent::PacketTx {
+                    ch: ch.idx() as u32,
+                    pkt: pkt.id,
+                    flow: pkt.flow,
+                    size: pkt.size,
+                },
+            );
+        }
         if self.topo.channels[ch.idx()].kind.is_fabric() {
             self.dataplane.on_fabric_tx(ch, &mut pkt, self.now);
         }

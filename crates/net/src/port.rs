@@ -131,14 +131,14 @@ impl TxPort {
     /// The channel just went down: discard every queued packet, counting
     /// each as blackholed. The serializer state is untouched — a packet
     /// already on the wire is the engine's to account (by arrival epoch).
-    /// Returns the number of packets flushed.
-    pub fn flush_dead(&mut self, now: SimTime) -> u64 {
+    /// Returns the flushed packets in queue order so the engine can
+    /// account (and trace) each loss individually.
+    pub fn flush_dead(&mut self, now: SimTime) -> Vec<Packet> {
         self.account(now);
-        let n = self.queue.len() as u64;
-        self.queue.clear();
+        let flushed: Vec<Packet> = self.queue.drain(..).collect();
         self.queued_bytes = 0;
-        self.blackholed += n;
-        n
+        self.blackholed += flushed.len() as u64;
+        flushed
     }
 
     /// Bytes currently waiting (not counting the packet on the wire).
@@ -287,7 +287,7 @@ mod tests {
         let _ = p.begin_tx(t); // one on the wire
         assert_eq!(p.enqueue(pkt(500), t), Enqueue::Queued);
         assert_eq!(p.enqueue(pkt(500), t), Enqueue::Queued);
-        assert_eq!(p.flush_dead(SimTime::from_nanos(100)), 2);
+        assert_eq!(p.flush_dead(SimTime::from_nanos(100)).len(), 2);
         assert_eq!(p.blackholed, 2);
         assert_eq!(p.queued_bytes(), 0);
         assert_eq!(p.queued_pkts(), 0);
@@ -295,7 +295,7 @@ mod tests {
         assert!(p.busy);
         assert!(!p.tx_done(), "queue must be empty after flush");
         // Flushing an empty queue is a no-op.
-        assert_eq!(p.flush_dead(SimTime::from_nanos(200)), 0);
+        assert!(p.flush_dead(SimTime::from_nanos(200)).is_empty());
         assert_eq!(p.blackholed, 2);
     }
 

@@ -1,0 +1,425 @@
+//! Replay and validation of JSONL traces: the logic behind the
+//! `trace_explain` binary, kept in the library so tests and CI can call
+//! it directly.
+
+use crate::json::{self, Value};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Summary returned by a successful [`validate`] pass.
+#[derive(Clone, Debug, Default)]
+pub struct ValidateSummary {
+    /// Total events in the trace.
+    pub events: usize,
+    /// Event counts by type tag.
+    pub by_type: BTreeMap<String, usize>,
+    /// Distinct flow ids seen (events carrying a `flow` field).
+    pub flows: usize,
+    /// Timestamp of the last event, nanoseconds.
+    pub last_t_ns: u64,
+}
+
+/// Required fields per event type, beyond the envelope (`seq`, `t_ns`,
+/// `ev`). The schema check is exact: unknown types fail validation.
+fn required_fields(kind: &str) -> Option<&'static [&'static str]> {
+    Some(match kind {
+        "enqueue" | "tx" | "drop" | "blackhole" => &["ch", "pkt", "flow", "size"],
+        "deliver" => &["host", "pkt", "flow", "payload"],
+        "dre" => &["ch", "flow", "bytes", "q"],
+        "flowlet_new" => &["leaf", "flow", "ch", "prev"],
+        "flowlet_expire" => &["leaf", "flow", "ch"],
+        "decision" => &[
+            "leaf", "flow", "dst_leaf", "cand", "chosen", "lbtag", "sticky",
+        ],
+        "fb_piggyback" => &["leaf", "flow", "dst_leaf", "lbtag", "metric"],
+        "fb_apply" => &["leaf", "flow", "src_leaf", "lbtag", "metric"],
+        "cwnd" => &["flow", "sub", "cwnd"],
+        "fast_retx" | "rto" => &["flow", "sub"],
+        "fault" => &["ch", "up"],
+        _ => return None,
+    })
+}
+
+/// Validate a JSONL trace: every line must parse as JSON, carry the
+/// envelope fields, use a known event type with its required fields,
+/// have strictly increasing `seq`, and non-decreasing `t_ns`. Decision
+/// events must list their chosen channel among the candidates.
+pub fn validate(text: &str) -> Result<ValidateSummary, String> {
+    let mut summary = ValidateSummary::default();
+    let mut last_seq: Option<u64> = None;
+    let mut last_t: u64 = 0;
+    let mut flows = std::collections::BTreeSet::new();
+    for (i, line) in text.lines().enumerate() {
+        let ln = i + 1;
+        let v = json::parse(line).map_err(|e| format!("line {ln}: {e}"))?;
+        let seq = v
+            .get("seq")
+            .and_then(Value::as_u64)
+            .ok_or(format!("line {ln}: missing seq"))?;
+        let t = v
+            .get("t_ns")
+            .and_then(Value::as_u64)
+            .ok_or(format!("line {ln}: missing t_ns"))?;
+        let ev = v
+            .get("ev")
+            .and_then(Value::as_str)
+            .ok_or(format!("line {ln}: missing ev"))?;
+        if let Some(prev) = last_seq {
+            if seq <= prev {
+                return Err(format!("line {ln}: seq {seq} not above {prev}"));
+            }
+            if t < last_t {
+                return Err(format!("line {ln}: t_ns {t} went backwards from {last_t}"));
+            }
+        }
+        last_seq = Some(seq);
+        last_t = t;
+        let fields = required_fields(ev).ok_or(format!("line {ln}: unknown event type {ev:?}"))?;
+        for f in fields {
+            if v.get(f).is_none() {
+                return Err(format!("line {ln}: {ev} missing field {f:?}"));
+            }
+        }
+        if ev == "decision" {
+            let chosen = v
+                .get("chosen")
+                .and_then(Value::as_u64)
+                .ok_or(format!("line {ln}: decision chosen not a number"))?;
+            let cand = v
+                .get("cand")
+                .and_then(Value::as_arr)
+                .ok_or(format!("line {ln}: decision cand not an array"))?;
+            if cand.is_empty() {
+                return Err(format!("line {ln}: decision with no candidates"));
+            }
+            let mut found = false;
+            for c in cand {
+                for f in ["ch", "lbtag", "local", "remote", "metric"] {
+                    if c.get(f).and_then(Value::as_u64).is_none() {
+                        return Err(format!("line {ln}: candidate missing {f:?}"));
+                    }
+                }
+                if c.get("ch").and_then(Value::as_u64) == Some(chosen) {
+                    found = true;
+                }
+            }
+            if !found {
+                return Err(format!(
+                    "line {ln}: chosen channel {chosen} not among candidates"
+                ));
+            }
+        }
+        if let Some(f) = v.get("flow").and_then(Value::as_u64) {
+            flows.insert(f);
+        }
+        summary.events += 1;
+        *summary.by_type.entry(ev.to_string()).or_insert(0) += 1;
+    }
+    summary.flows = flows.len();
+    summary.last_t_ns = last_t;
+    Ok(summary)
+}
+
+fn ms(t_ns: u64) -> String {
+    format!("{:>10.3} ms", t_ns as f64 / 1e6)
+}
+
+/// Replay the trace and print the causal chain for one flow: flowlet
+/// transitions, every routing decision with its candidate congestion
+/// vector, feedback exchanges, losses, and transport reactions. Fault
+/// transitions are included for context (they are global events).
+///
+/// The trace must already pass [`validate`]; malformed lines are skipped
+/// here rather than re-reported.
+pub fn explain_flow(text: &str, flow: u64) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "causal chain for flow {flow}:");
+    let mut shown = 0usize;
+    let mut flow_specific = 0usize;
+    let mut pkts = 0usize;
+    for line in text.lines() {
+        let Ok(v) = json::parse(line) else { continue };
+        let Some(t) = v.get("t_ns").and_then(Value::as_u64) else {
+            continue;
+        };
+        let Some(ev) = v.get("ev").and_then(Value::as_str) else {
+            continue;
+        };
+        let ev_flow = v.get("flow").and_then(Value::as_u64);
+        if ev != "fault" && ev_flow != Some(flow) {
+            continue;
+        }
+        if ev_flow == Some(flow) {
+            flow_specific += 1;
+        }
+        let num = |k: &str| v.get(k).and_then(Value::as_u64).unwrap_or(0);
+        match ev {
+            "fault" => {
+                let up = v.get("up").and_then(Value::as_bool).unwrap_or(false);
+                let _ = writeln!(
+                    out,
+                    "{}  FAULT      channel {} {}",
+                    ms(t),
+                    num("ch"),
+                    if up { "recovered" } else { "FAILED" }
+                );
+                shown += 1;
+            }
+            "flowlet_new" => {
+                let prev = match v.get("prev") {
+                    Some(Value::Num(_)) => {
+                        format!(" (previous flowlet on channel {} aged out)", num("prev"))
+                    }
+                    _ => String::new(),
+                };
+                let _ = writeln!(
+                    out,
+                    "{}  FLOWLET    leaf {} committed new flowlet to channel {}{}",
+                    ms(t),
+                    num("leaf"),
+                    num("ch"),
+                    prev
+                );
+                shown += 1;
+            }
+            "flowlet_expire" => {
+                let _ = writeln!(
+                    out,
+                    "{}  FLOWLET    leaf {} flowlet on channel {} expired",
+                    ms(t),
+                    num("leaf"),
+                    num("ch")
+                );
+                shown += 1;
+            }
+            "decision" => {
+                let sticky = v.get("sticky").and_then(Value::as_bool).unwrap_or(false);
+                let _ = writeln!(
+                    out,
+                    "{}  DECISION   leaf {} -> leaf {}: chose channel {} (lbtag {}){}",
+                    ms(t),
+                    num("leaf"),
+                    num("dst_leaf"),
+                    num("chosen"),
+                    num("lbtag"),
+                    if sticky { " [sticky]" } else { "" }
+                );
+                if let Some(cand) = v.get("cand").and_then(Value::as_arr) {
+                    for c in cand {
+                        let g = |k: &str| c.get(k).and_then(Value::as_u64).unwrap_or(0);
+                        let mark = if Some(g("ch")) == v.get("chosen").and_then(Value::as_u64) {
+                            " <= chosen"
+                        } else {
+                            ""
+                        };
+                        let _ = writeln!(
+                            out,
+                            "                 candidate ch {:>3} lbtag {:>2}: local {} remote {} -> metric {}{}",
+                            g("ch"),
+                            g("lbtag"),
+                            g("local"),
+                            g("remote"),
+                            g("metric"),
+                            mark
+                        );
+                    }
+                }
+                shown += 1;
+            }
+            "fb_piggyback" => {
+                let _ = writeln!(
+                    out,
+                    "{}  FEEDBACK   leaf {} piggybacked lbtag {} metric {} toward leaf {}",
+                    ms(t),
+                    num("leaf"),
+                    num("lbtag"),
+                    num("metric"),
+                    num("dst_leaf")
+                );
+                shown += 1;
+            }
+            "fb_apply" => {
+                let _ = writeln!(
+                    out,
+                    "{}  FEEDBACK   leaf {} applied lbtag {} metric {} from leaf {}",
+                    ms(t),
+                    num("leaf"),
+                    num("lbtag"),
+                    num("metric"),
+                    num("src_leaf")
+                );
+                shown += 1;
+            }
+            "drop" => {
+                let _ = writeln!(
+                    out,
+                    "{}  LOSS       packet {} tail-dropped at channel {}",
+                    ms(t),
+                    num("pkt"),
+                    num("ch")
+                );
+                shown += 1;
+            }
+            "blackhole" => {
+                let _ = writeln!(
+                    out,
+                    "{}  LOSS       packet {} blackholed on dead channel {}",
+                    ms(t),
+                    num("pkt"),
+                    num("ch")
+                );
+                shown += 1;
+            }
+            "fast_retx" => {
+                let _ = writeln!(
+                    out,
+                    "{}  TRANSPORT  subflow {} entered fast retransmit",
+                    ms(t),
+                    num("sub")
+                );
+                shown += 1;
+            }
+            "rto" => {
+                let _ = writeln!(
+                    out,
+                    "{}  TRANSPORT  subflow {} retransmission timeout",
+                    ms(t),
+                    num("sub")
+                );
+                shown += 1;
+            }
+            "cwnd" => {
+                let cw = v.get("cwnd").and_then(Value::as_f64).unwrap_or(0.0);
+                let _ = writeln!(
+                    out,
+                    "{}  TRANSPORT  subflow {} cwnd -> {:.0} bytes",
+                    ms(t),
+                    num("sub"),
+                    cw
+                );
+                shown += 1;
+            }
+            // Per-packet queue/DRE/delivery events are summarized, not
+            // printed line by line.
+            _ => pkts += 1,
+        }
+    }
+    if flow_specific == 0 {
+        let _ = writeln!(
+            out,
+            "  (no events recorded for this flow — was it sampled?)"
+        );
+    } else {
+        let _ = writeln!(
+            out,
+            "  ({} decision/loss/transport events shown; {} per-packet events elided)",
+            shown, pkts
+        );
+    }
+    out
+}
+
+/// One-paragraph overview of a trace: event counts by type, flow count,
+/// and span. Used when `trace_explain` is run without `--flow`.
+pub fn summarize(text: &str) -> Result<String, String> {
+    let s = validate(text)?;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{} events over {:.3} ms across {} flows",
+        s.events,
+        s.last_t_ns as f64 / 1e6,
+        s.flows
+    );
+    for (k, n) in &s.by_type {
+        let _ = writeln!(out, "  {k:<14} {n}");
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Candidate, TraceConfig, TraceEvent, TraceHandle};
+    use conga_sim::SimTime;
+
+    fn sample_trace() -> String {
+        let h = TraceHandle::recording(TraceConfig::all());
+        h.emit(
+            SimTime::from_nanos(1000),
+            TraceEvent::FlowletNew {
+                leaf: 0,
+                flow: 1,
+                ch: 4,
+                prev: None,
+            },
+        );
+        h.emit(
+            SimTime::from_nanos(1000),
+            TraceEvent::Decision {
+                leaf: 0,
+                flow: 1,
+                dst_leaf: 1,
+                candidates: vec![Candidate {
+                    ch: 4,
+                    lbtag: 0,
+                    local: 0,
+                    remote: 0,
+                    metric: 0,
+                }],
+                chosen: 4,
+                lbtag: 0,
+                sticky: false,
+            },
+        );
+        h.emit(
+            SimTime::from_nanos(2000),
+            TraceEvent::FaultTransition { ch: 4, up: false },
+        );
+        h.emit(
+            SimTime::from_nanos(3000),
+            TraceEvent::PacketBlackhole {
+                ch: 4,
+                pkt: 9,
+                flow: 1,
+                size: 1500,
+            },
+        );
+        h.export_jsonl().unwrap()
+    }
+
+    #[test]
+    fn validate_accepts_generated_traces() {
+        let s = validate(&sample_trace()).expect("generated trace must validate");
+        assert_eq!(s.events, 4);
+        assert_eq!(s.by_type["decision"], 1);
+        assert_eq!(s.flows, 1);
+    }
+
+    #[test]
+    fn validate_rejects_malformed_lines() {
+        assert!(validate("not json\n").is_err());
+        assert!(validate("{\"seq\":0,\"t_ns\":1}\n").is_err());
+        // Regressing sequence numbers.
+        let bad = "{\"seq\":1,\"t_ns\":1,\"ev\":\"fault\",\"ch\":0,\"up\":true}\n\
+                   {\"seq\":1,\"t_ns\":2,\"ev\":\"fault\",\"ch\":0,\"up\":false}\n";
+        assert!(validate(bad).is_err());
+        // Chosen channel must be a candidate.
+        let bad = "{\"seq\":0,\"t_ns\":1,\"ev\":\"decision\",\"leaf\":0,\"flow\":0,\
+                   \"dst_leaf\":1,\"cand\":[{\"ch\":1,\"lbtag\":0,\"local\":0,\
+                   \"remote\":0,\"metric\":0}],\"chosen\":2,\"lbtag\":0,\"sticky\":false}\n";
+        assert!(validate(bad).is_err());
+    }
+
+    #[test]
+    fn explain_prints_the_causal_chain() {
+        let text = sample_trace();
+        let e = explain_flow(&text, 1);
+        assert!(e.contains("DECISION"), "{e}");
+        assert!(e.contains("candidate ch"), "{e}");
+        assert!(e.contains("FAULT"), "{e}");
+        assert!(e.contains("blackholed"), "{e}");
+        let none = explain_flow(&text, 99);
+        assert!(none.contains("no events"), "{none}");
+    }
+}

@@ -13,6 +13,7 @@ use crate::tcp::{Lia, Segment, TcpRx, TcpTx};
 use conga_net::{flow_tuple_hash, Emitter, HostAgent, HostId, Packet, PacketKind};
 use conga_sim::{SimDuration, SimTime};
 use conga_telemetry::MetricsRegistry;
+use conga_trace::{TraceEvent, TraceHandle};
 
 /// Which transport a flow uses.
 #[derive(Clone, Copy, Debug)]
@@ -157,6 +158,9 @@ pub struct TransportLayer {
     source: Option<Box<dyn FlowSource>>,
     /// Spec pulled from the source, waiting for its arrival timer to fire.
     pending_first: Option<FlowSpec>,
+    /// Structured event tracing (cwnd moves, fast retransmits, RTOs);
+    /// disabled by default.
+    tracer: TraceHandle,
 }
 
 impl TransportLayer {
@@ -526,6 +530,10 @@ impl HostAgent for TransportLayer {
         TransportLayer::export_metrics(self, reg);
     }
 
+    fn set_tracer(&mut self, tracer: TraceHandle) {
+        self.tracer = tracer;
+    }
+
     fn on_packet(&mut self, pkt: Packet, now: SimTime, em: &mut Emitter) {
         let flow = pkt.flow as usize;
         if flow >= self.flows.len() {
@@ -566,6 +574,7 @@ impl HostAgent for TransportLayer {
                 let sub = pkt.subflow as usize;
                 let is_mp = matches!(self.flows[flow].spec.kind, TransportKind::Mptcp(_));
                 let lia = is_mp.then(|| self.lia(flow));
+                let traced = self.tracer.wants_flow(pkt.flow);
                 let mut segs = Vec::new();
                 let progressed;
                 {
@@ -577,8 +586,35 @@ impl HostAgent for TransportLayer {
                         return;
                     }
                     let prev_una = s.tx.snd_una;
+                    let (prev_cwnd, prev_fr) = if traced {
+                        (s.tx.cwnd(), s.tx.fast_retx)
+                    } else {
+                        (0.0, 0)
+                    };
                     s.tx.on_ack(pkt.ack, pkt.ts_echo, now, lia, &pkt.sack, &mut segs);
                     progressed = s.tx.snd_una > prev_una;
+                    if traced {
+                        if s.tx.fast_retx > prev_fr {
+                            self.tracer.emit(
+                                now,
+                                TraceEvent::FastRetx {
+                                    flow: pkt.flow,
+                                    subflow: pkt.subflow,
+                                },
+                            );
+                        }
+                        let cwnd = s.tx.cwnd();
+                        if cwnd != prev_cwnd {
+                            self.tracer.emit(
+                                now,
+                                TraceEvent::CwndUpdate {
+                                    flow: pkt.flow,
+                                    subflow: pkt.subflow,
+                                    cwnd,
+                                },
+                            );
+                        }
+                    }
                 }
                 self.emit_segments(flow, sub, &segs, now, em);
                 if is_mp {
@@ -631,6 +667,23 @@ impl HostAgent for TransportLayer {
                         return;
                     }
                     s.tx.on_rto(&mut segs);
+                    if self.tracer.wants_flow(flow as u32) {
+                        self.tracer.emit(
+                            now,
+                            TraceEvent::Rto {
+                                flow: flow as u32,
+                                subflow: sub as u16,
+                            },
+                        );
+                        self.tracer.emit(
+                            now,
+                            TraceEvent::CwndUpdate {
+                                flow: flow as u32,
+                                subflow: sub as u16,
+                                cwnd: s.tx.cwnd(),
+                            },
+                        );
+                    }
                 }
                 self.emit_segments(flow, sub, &segs, now, em);
                 self.arm_rto(flow, sub, now, true, em);

@@ -17,6 +17,9 @@
 //!   routing game (Price of Anarchy), the Theorem-2 imbalance model;
 //! * [`telemetry`] — run-level metrics registry and the deterministic
 //!   [`RunReport`](telemetry::RunReport) JSON artifact;
+//! * [`trace`] — structured event tracing with decision provenance,
+//!   deterministic JSONL + Chrome `trace_event` exporters, and the
+//!   `trace_explain` replay tool;
 //! * [`experiments`] — the figure harness (testbed topologies, the scheme
 //!   matrix, the open-loop FCT runner).
 //!
@@ -57,5 +60,6 @@ pub use conga_experiments as experiments;
 pub use conga_net as net;
 pub use conga_sim as sim;
 pub use conga_telemetry as telemetry;
+pub use conga_trace as trace;
 pub use conga_transport as transport;
 pub use conga_workloads as workloads;

@@ -82,6 +82,21 @@ fn different_seeds_change_the_report() {
     assert_ne!(a, b, "seed is not reaching the run");
 }
 
+/// Fault-free runs must not export the fault-subsystem counters at all:
+/// `net.blackholed_packets` and `net.fault_transitions` are *absent* from
+/// the report (not merely zero), so their presence in an artifact is itself
+/// evidence that a fault schedule was installed. The gating lives in the
+/// engine, not the policy, so one policy suffices.
+#[test]
+fn fault_counters_absent_without_a_fault_schedule() {
+    let json = run_fct_with_policy(&small_cell(), FabricPolicy::conga())
+        .report
+        .to_json();
+    for key in ["net.blackholed_packets", "net.fault_transitions"] {
+        assert!(!json.contains(key), "fault-free report exports {key}");
+    }
+}
+
 /// Packet conservation, proven from the exported counters alone: whatever
 /// the engine injected is accounted for as delivered, dropped at a queue,
 /// or unroutable — and nothing remains in flight once the network is
