@@ -22,7 +22,7 @@ pub struct FctSample {
 }
 
 /// Aggregated FCT statistics for one (scheme, load) cell.
-#[derive(Clone, Copy, Debug, Default)]
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
 pub struct FctSummary {
     /// Number of flows.
     pub n: usize,

@@ -45,4 +45,5 @@ fn main() {
             label, out.summary.avg_norm_optimal, out.drops
         );
     }
+    conga_experiments::cli::exit_summary("ablation_incremental");
 }

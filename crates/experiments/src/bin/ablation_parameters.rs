@@ -90,4 +90,5 @@ fn main() {
         p.gap_mode = mode;
         println!("  {label}: {:.3}", run_with(p, &args));
     }
+    conga_experiments::cli::exit_summary("ablation_parameters");
 }

@@ -95,4 +95,5 @@ fn main() {
         let (total, s0, s1) = run(policy, &args);
         println!("{label:<22}{total:>12.1}{s0:>14.1}{s1:>14.1}");
     }
+    conga_experiments::cli::exit_summary("fig02_asymmetry");
 }

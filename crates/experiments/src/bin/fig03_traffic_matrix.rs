@@ -145,4 +145,5 @@ fn main() {
             b, x[0][0], x[0][1]
         );
     }
+    conga_experiments::cli::exit_summary("fig03_traffic_matrix");
 }

@@ -97,4 +97,5 @@ fn main() {
             per_ms.last().expect("non-empty")
         );
     }
+    conga_experiments::cli::exit_summary("fig05_flowlet_sizes");
 }

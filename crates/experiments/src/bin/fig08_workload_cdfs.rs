@@ -39,4 +39,5 @@ fn main() {
             dist.byte_fraction_below(35e6) * 100.0
         );
     }
+    conga_experiments::cli::exit_summary("fig08_workload_cdfs");
 }

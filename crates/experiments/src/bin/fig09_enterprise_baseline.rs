@@ -2,18 +2,15 @@
 //! testbed (Figure 7a), loads 10–90 %, schemes ECMP / CONGA-Flow / CONGA /
 //! MPTCP. Three panels: overall avg FCT normalized to optimal; small-flow
 //! and large-flow averages normalized to ECMP.
+//!
+//! The sweep routes through the fleet executor: `--jobs N` runs cells in
+//! parallel, completed cells are served from the result cache (disable
+//! with `--no-cache`), and the merged output is byte-identical either way.
 
-use conga_experiments::figures::run_baseline_figure;
-use conga_experiments::Args;
-use conga_workloads::FlowSizeDist;
+use conga_experiments::{fleet, suite, Args};
 
 fn main() {
     let args = Args::parse();
-    run_baseline_figure(
-        &args,
-        "fig09_enterprise",
-        FlowSizeDist::enterprise(),
-        "Figure 9 — enterprise workload, baseline topology",
-        800,
-    );
+    suite::fig09(&args);
+    fleet::finish("fig09_enterprise", &args);
 }

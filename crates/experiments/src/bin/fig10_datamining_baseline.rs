@@ -1,18 +1,15 @@
 //! Figure 10: FCT statistics for the **data-mining** workload on the
 //! baseline testbed — the heavy-tailed case where ECMP visibly loses to the
 //! adaptive schemes at high load.
+//!
+//! The sweep routes through the fleet executor: `--jobs N` runs cells in
+//! parallel, completed cells are served from the result cache (disable
+//! with `--no-cache`), and the merged output is byte-identical either way.
 
-use conga_experiments::figures::run_baseline_figure;
-use conga_experiments::Args;
-use conga_workloads::FlowSizeDist;
+use conga_experiments::{fleet, suite, Args};
 
 fn main() {
     let args = Args::parse();
-    run_baseline_figure(
-        &args,
-        "fig10_datamining",
-        FlowSizeDist::data_mining(),
-        "Figure 10 — data-mining workload, baseline topology",
-        250,
-    );
+    suite::fig10(&args);
+    fleet::finish("fig10_datamining", &args);
 }

@@ -12,87 +12,17 @@
 //! in-flight packets are blackholed at the transition and the FIB
 //! reconverges while traffic is flowing.
 //!
-//! Flags: `--quick`, `--seed N`, `--fail-at-ms T`, `--recover-at-ms T`,
-//! `--fault-link l:s:p`, `--trace DIR` (+ `--trace-flows`, `--trace-ring`).
+//! Flags: `--quick`, `--seed N`, `--jobs N`, `--no-cache`, `--fail-at-ms T`,
+//! `--recover-at-ms T`, `--fault-link l:s:p`, `--trace DIR`
+//! (+ `--trace-flows`, `--trace-ring`).
 
-use conga_experiments::cli::banner;
-use conga_experiments::figures::{trace_args, write_metrics_sidecar, write_trace_sidecars};
-use conga_experiments::{run_dynamic_failure, Args, DynFailSpec, Scheme};
-use conga_sim::SimTime;
+use conga_experiments::{fleet, suite, Args};
 
 fn main() {
     let args = Args::parse();
-    banner(
-        "Figure 11 (dynamic) — link fails mid-run, recovers later",
-        "baseline fabric at 60% load; y = delivered throughput around the fault window",
-    );
-
-    let tracing = trace_args(&args);
-    let mut sidecar_failed = false;
-    println!(
-        "{:<12}{:>12}{:>12}{:>12}{:>14}{:>12}{:>10}",
-        "scheme",
-        "pre (Gbps)",
-        "dip (Gbps)",
-        "post (Gbps)",
-        "reconv (ms)",
-        "blackholed",
-        "stranded"
-    );
-    for scheme in Scheme::PAPER {
-        let mut spec = DynFailSpec::paper(scheme, args.quick, args.seed);
-        // Optional overrides shared with the sweep binaries.
-        let fail_ms: f64 = args.get("fail-at-ms", -1.0);
-        if fail_ms >= 0.0 {
-            spec.fail_at = SimTime::from_nanos((fail_ms * 1e6) as u64);
-        }
-        let recover_ms: f64 = args.get("recover-at-ms", -1.0);
-        if recover_ms >= 0.0 {
-            spec.recover_at = SimTime::from_nanos((recover_ms * 1e6) as u64);
-        }
-        let link: String = args.get("fault-link", String::new());
-        if !link.is_empty() {
-            let parts: Vec<u32> = link
-                .split(':')
-                .map(|x| x.parse().expect("--fault-link wants leaf:spine:parallel"))
-                .collect();
-            assert_eq!(parts.len(), 3, "--fault-link wants leaf:spine:parallel");
-            spec.link = (parts[0], parts[1], parts[2]);
-        }
-
-        spec.trace = tracing.as_ref().map(|t| t.spec.clone());
-
-        let out = run_dynamic_failure(&spec);
-        if let (Some(t), Some(handle)) = (&tracing, &out.trace) {
-            if let Err(e) =
-                write_trace_sidecars(&t.dir, "fig11_dynamic_failure", scheme.name(), handle)
-            {
-                eprintln!("trace sidecar write failed: {e}");
-                sidecar_failed = true;
-            }
-        }
-        match write_metrics_sidecar("fig11_dynamic_failure", scheme.name(), &out.report) {
-            Ok(p) => eprintln!("metrics sidecar: {}", p.display()),
-            Err(e) => {
-                eprintln!("metrics sidecar write failed: {e}");
-                sidecar_failed = true;
-            }
-        }
-        println!(
-            "{:<12}{:>12.1}{:>12.1}{:>12.1}{:>14}{:>12}{:>10}",
-            scheme.name(),
-            out.pre_bps / 1e9,
-            out.during_bps / 1e9,
-            out.post_bps / 1e9,
-            match out.reconverge {
-                Some(d) => format!("{:.0}", d.as_secs_f64() * 1e3),
-                None => "never".to_string(),
-            },
-            out.blackholed,
-            out.stranded,
-        );
-    }
-    if sidecar_failed {
+    let ok = suite::fig11_dynamic(&args);
+    fleet::finish("fig11_dynamic_failure", &args);
+    if !ok {
         std::process::exit(1);
     }
 }

@@ -88,6 +88,7 @@ fn main() {
             out.3 / 1024.0
         );
     }
+    conga_experiments::cli::exit_summary("fig11_link_failure");
     if sidecar_failed {
         std::process::exit(1);
     }

@@ -4,88 +4,18 @@
 //!
 //! Paper: CONGA ≈ MPTCP ≪ ECMP; CONGA even beats MPTCP on the enterprise
 //! workload; CONGA-Flow sits between.
+//!
+//! Cells route through the fleet executor (`--jobs N`, result cache); the
+//! imbalance percentiles are derived in-worker so cache hits reproduce
+//! the table without re-simulating.
 
-use conga_analysis::imbalance::throughput_imbalance;
-use conga_analysis::stats::percentile;
-use conga_experiments::cli::banner;
-use conga_experiments::figures::{trace_args, write_metrics_sidecar, write_trace_sidecars};
-use conga_experiments::{run_fct, Args, FctRun, Scheme, TestbedOpts};
-use conga_workloads::FlowSizeDist;
+use conga_experiments::{fleet, suite, Args};
 
 fn main() {
     let args = Args::parse();
-    let tracing = trace_args(&args);
-    let mut sidecar_failed = false;
-    banner(
-        "Figure 12 — uplink throughput imbalance (MAX-MIN)/AVG at 60% load",
-        "synchronous 10ms samples of Leaf 0's four uplinks, baseline topology",
-    );
-    for (dist, flows) in [
-        (FlowSizeDist::enterprise(), 3000),
-        (FlowSizeDist::data_mining(), 600),
-    ] {
-        println!("\n({}) workload", dist.name());
-        println!(
-            "{:<12}{:>10}{:>10}{:>10}{:>10}",
-            "scheme", "p25 (%)", "p50 (%)", "p75 (%)", "p95 (%)"
-        );
-        for scheme in Scheme::PAPER {
-            let mut cfg = FctRun::new(
-                if args.quick {
-                    TestbedOpts::paper_baseline().quick()
-                } else {
-                    TestbedOpts::paper_baseline()
-                },
-                scheme,
-                dist.clone(),
-                0.6,
-            );
-            cfg.n_flows = if args.quick { 150 } else { flows };
-            cfg.seed = args.seed;
-            cfg.sample_uplinks = true;
-            cfg.trace = tracing.as_ref().map(|t| t.spec.clone());
-            let out = run_fct(&cfg);
-            let label = format!("{}.{}", dist.name(), scheme.name());
-            if let (Some(t), Some(handle)) = (&tracing, &out.trace) {
-                if let Err(e) = write_trace_sidecars(&t.dir, "fig12_imbalance", &label, handle) {
-                    eprintln!("trace sidecar write failed: {e}");
-                    sidecar_failed = true;
-                }
-            }
-            match write_metrics_sidecar("fig12_imbalance", &label, &out.report) {
-                Ok(p) => eprintln!("metrics sidecar: {}", p.display()),
-                Err(e) => {
-                    eprintln!("metrics sidecar write failed: {e}");
-                    sidecar_failed = true;
-                }
-            }
-            // Only windows where the uplinks average at least 10% utilized
-            // say anything about balance (idle head/tail windows would
-            // otherwise dominate the percentiles).
-            let min_avg = 0.10 * 40e9 * 0.010 / 8.0;
-            let imb = throughput_imbalance(&out.uplink_tx_samples, min_avg);
-            if imb.is_empty() {
-                println!(
-                    "{:<12}{:>10}{:>10}{:>10}{:>10}",
-                    scheme.name(),
-                    "-",
-                    "-",
-                    "-",
-                    "-"
-                );
-                continue;
-            }
-            println!(
-                "{:<12}{:>10.0}{:>10.0}{:>10.0}{:>10.0}",
-                scheme.name(),
-                percentile(&imb, 25.0) * 100.0,
-                percentile(&imb, 50.0) * 100.0,
-                percentile(&imb, 75.0) * 100.0,
-                percentile(&imb, 95.0) * 100.0,
-            );
-        }
-    }
-    if sidecar_failed {
+    let ok = suite::fig12(&args);
+    fleet::finish("fig12_imbalance", &args);
+    if !ok {
         std::process::exit(1);
     }
 }

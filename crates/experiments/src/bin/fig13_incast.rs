@@ -9,157 +9,17 @@
 //! shallow edge buffer, tiny subflow windows timing out) while plain TCP
 //! under CONGA degrades far more gracefully; jumbo frames make MPTCP
 //! dramatically worse.
+//!
+//! Cells route through the fleet executor (`--jobs N`, result cache);
+//! see [`conga_experiments::suite::fig13`].
 
-use conga_experiments::cli::banner;
-use conga_experiments::figures::{trace_args, write_metrics_sidecar, write_trace_sidecars};
-use conga_experiments::{Args, Scheme, TraceSpec};
-use conga_net::{HostId, LeafSpineBuilder, Network};
-use conga_sim::SimRng;
-use conga_sim::{SimDuration, SimTime};
-use conga_telemetry::RunReport;
-use conga_transport::{FlowSpec, ListSource, TcpConfig, TransportLayer};
-use conga_workloads::IncastPattern;
-
-/// Run one incast: returns goodput as a % of the 10G access line rate, the
-/// run's telemetry report, and the trace handle (if tracing was requested).
-fn run_incast(
-    scheme: Scheme,
-    fanout: u32,
-    tcp: TcpConfig,
-    seed: u64,
-    trace: Option<&TraceSpec>,
-) -> (f64, RunReport, Option<conga_trace::TraceHandle>) {
-    let topo = LeafSpineBuilder::new(2, 2, 32)
-        .host_rate_gbps(10)
-        .fabric_rate_gbps(40)
-        .parallel_links(2)
-        .build();
-    let mut net = Network::new(topo, scheme.policy(), TransportLayer::new(), seed);
-    let trace = trace.map(|spec| spec.handle());
-    if let Some(t) = &trace {
-        net.set_tracer(t.clone());
-    }
-    let pat = IncastPattern::paper(fanout);
-    // Client = host 0 (leaf 0); servers spread over the remaining hosts,
-    // mostly remote so responses cross the fabric like the testbed's.
-    // Server responses carry a small exponential service-time jitter
-    // (mean 200us) — disk/kernel latency in the real benchmark; perfectly
-    // clock-synchronized byte-identical senders would otherwise finish in
-    // lockstep and all tail-drop together, which no real testbed does.
-    let mut jit = SimRng::new(seed ^ 0x1CA5);
-    let mut starts: Vec<(u64, FlowSpec)> = (0..fanout)
-        .map(|i| {
-            let server = HostId(1 + (i * 63 / fanout.max(1)) % 63);
-            (
-                (jit.exp(1.0 / 200_000.0)) as u64,
-                FlowSpec {
-                    src: server,
-                    dst: HostId(0),
-                    bytes: pat.per_server,
-                    kind: scheme.transport(tcp),
-                },
-            )
-        })
-        .collect();
-    starts.sort_by_key(|&(t, _)| t);
-    let mut prev = 0;
-    let arrivals: Vec<(SimDuration, FlowSpec)> = starts
-        .into_iter()
-        .map(|(t, spec)| {
-            let gap = SimDuration::from_nanos(t - prev);
-            prev = t;
-            (gap, spec)
-        })
-        .collect();
-    net.agent.attach_source(Box::new(ListSource::new(arrivals)));
-    if let Some((d, tok)) = net.agent.begin_source() {
-        net.schedule_timer(d, tok);
-    }
-    // Run until every response is delivered (generous bound: many RTOs).
-    let bound = SimTime::from_secs(30);
-    loop {
-        net.run_until(net.now() + SimDuration::from_millis(100));
-        if net.agent.completed_rx as u32 >= fanout || net.now() >= bound {
-            break;
-        }
-    }
-    let last_done = net
-        .agent
-        .records
-        .iter()
-        .filter_map(|r| r.rx_done)
-        .max()
-        .unwrap_or(net.now());
-    let total_bytes: u64 = pat.per_server * fanout as u64;
-    let goodput = total_bytes as f64 * 8.0 / last_done.as_secs_f64();
-    let mut report = RunReport::new();
-    report.set_meta("figure", "fig13_incast");
-    report.set_meta("scheme", scheme.name());
-    report.set_meta("fanout", fanout.to_string());
-    report.set_meta("seed", seed.to_string());
-    report.set_meta("mss", tcp.mss.to_string());
-    report.set_meta("min_rto_ns", tcp.min_rto.as_nanos().to_string());
-    report.set_meta("end_time_ns", net.now().as_nanos().to_string());
-    net.export_metrics(&mut report.metrics);
-    // Percentage of the 10G access link (the paper's y-axis).
-    (100.0 * goodput / 10e9, report, trace)
-}
+use conga_experiments::{fleet, suite, Args};
 
 fn main() {
     let args = Args::parse();
-    let tracing = trace_args(&args);
-    let mut sidecar_failed = false;
-    banner(
-        "Figure 13 — Incast: client goodput vs fanout",
-        "10MB striped over N synchronized senders into one 10G access link;\n\
-         y = goodput as % of line rate (paper: CONGA+TCP 2-8x MPTCP)",
-    );
-    let fanouts: Vec<u32> = if args.quick {
-        vec![4, 16, 48]
-    } else {
-        vec![1, 2, 4, 8, 16, 24, 32, 40, 48, 56, 63]
-    };
-    for (mtu_name, cfg) in [
-        ("MTU 1500", TcpConfig::standard()),
-        ("MTU 9000", TcpConfig::jumbo()),
-    ] {
-        println!("\n({mtu_name})");
-        print!("{:<26}", "scheme / fanout");
-        for f in &fanouts {
-            print!("{:>7}", f);
-        }
-        println!();
-        for (label, scheme, rto_ms) in [
-            ("CONGA+TCP (minRTO 200ms)", Scheme::Conga, 200u64),
-            ("CONGA+TCP (minRTO 1ms)", Scheme::Conga, 1),
-            ("MPTCP (minRTO 200ms)", Scheme::Mptcp, 200),
-            ("MPTCP (minRTO 1ms)", Scheme::Mptcp, 1),
-        ] {
-            let tcp = cfg.with_min_rto(SimDuration::from_millis(rto_ms));
-            print!("{label:<26}");
-            for &f in &fanouts {
-                let (pct, report, trace) =
-                    run_incast(scheme, f, tcp, args.seed, tracing.as_ref().map(|t| &t.spec));
-                let tag = format!("{mtu_name}.{label}.f{f:02}");
-                if let (Some(t), Some(handle)) = (&tracing, &trace) {
-                    if let Err(e) = write_trace_sidecars(&t.dir, "fig13_incast", &tag, handle) {
-                        eprintln!("trace sidecar write failed: {e}");
-                        sidecar_failed = true;
-                    }
-                }
-                match write_metrics_sidecar("fig13_incast", &tag, &report) {
-                    Ok(p) => eprintln!("metrics sidecar: {}", p.display()),
-                    Err(e) => {
-                        eprintln!("metrics sidecar write failed: {e}");
-                        sidecar_failed = true;
-                    }
-                }
-                print!("{pct:>7.1}");
-            }
-            println!();
-        }
-    }
-    if sidecar_failed {
+    let ok = suite::fig13(&args);
+    fleet::finish("fig13_incast", &args);
+    if !ok {
         std::process::exit(1);
     }
 }

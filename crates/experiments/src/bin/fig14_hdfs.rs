@@ -156,4 +156,5 @@ fn main() {
             println!("   | mean {mean:.2}");
         }
     }
+    conga_experiments::cli::exit_summary("fig14_hdfs");
 }

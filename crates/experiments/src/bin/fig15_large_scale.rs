@@ -81,4 +81,5 @@ fn main() {
             println!();
         }
     }
+    conga_experiments::cli::exit_summary("fig15_large_scale");
 }

@@ -137,4 +137,5 @@ fn main() {
             "\nECMP/CONGA mean spine-downlink queue ratio: {ratio:.1}x (paper: ~10x at hot ports)"
         );
     }
+    conga_experiments::cli::exit_summary("fig16_multi_failure");
 }

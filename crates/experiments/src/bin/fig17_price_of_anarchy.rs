@@ -111,4 +111,5 @@ fn main() {
         opt,
         worst_nash / opt.max(1e-12)
     );
+    conga_experiments::cli::exit_summary("fig17_price_of_anarchy");
 }

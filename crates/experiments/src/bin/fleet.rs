@@ -1,0 +1,199 @@
+//! `fleet` — the figure-suite orchestrator.
+//!
+//! One binary drives the fleet-routed figure suite through the
+//! work-stealing executor and the content-addressed result cache:
+//!
+//! ```text
+//! fleet all   [--quick] [--jobs N] [--no-cache] ...   # every routed figure
+//! fleet fig09 | fig10 | fig11 | fig12 | fig13 ...     # one figure
+//! fleet bench [--quick] [--jobs N]                    # serial vs parallel vs
+//!                                                     # warm-cache timings ->
+//!                                                     # results/BENCH_fleet.json
+//! ```
+//!
+//! Unlike the per-figure binaries (which default to the historical serial
+//! path), `fleet` defaults `--jobs` to the machine's available
+//! parallelism. All flags of [`conga_experiments::Args`] apply.
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use conga_experiments::{fleet, suite, Args};
+
+const USAGE: &str = "usage: fleet <all|fig09|fig10|fig11|fig12|fig13|bench> [flags]
+
+subcommands:
+  all      run every fleet-routed figure (fig09, fig10, fig11-dynamic,
+           fig12, fig13); one manifest at results/fleet_all.fleet_manifest.json
+  fig09    Figure 9  — enterprise FCT sweep
+  fig10    Figure 10 — data-mining FCT sweep
+  fig11    Figure 11 (dynamic) — mid-run link failure/recovery
+  fig12    Figure 12 — uplink throughput imbalance
+  fig13    Figure 13 — incast goodput vs fanout
+  bench    time the quick suite serial / parallel / warm-cache and write
+           results/BENCH_fleet.json
+
+flags (after the subcommand) are the shared figure flags; see any figure
+binary's usage. `fleet` defaults --jobs to the available parallelism.";
+
+fn parallelism() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Parse the flags after the subcommand, defaulting `--jobs` to the
+/// machine parallelism (the per-figure binaries default to serial).
+fn fleet_args(argv: &[String]) -> Args {
+    match Args::from_iter(argv.iter().cloned()) {
+        Ok(mut args) => {
+            if args.jobs.is_none() {
+                args.jobs = Some(parallelism());
+            }
+            args
+        }
+        Err(e) => {
+            eprintln!("error: {e}\n{USAGE}");
+            std::process::exit(2);
+        }
+    }
+}
+
+/// Run every routed figure under one manifest. Returns `false` if any
+/// driver reported a sidecar failure.
+fn run_all(args: &Args) -> bool {
+    let mut ok = true;
+    suite::fig09(args);
+    suite::fig10(args);
+    ok &= suite::fig11_dynamic(args);
+    ok &= suite::fig12(args);
+    ok &= suite::fig13(args);
+    ok
+}
+
+/// `fleet bench`: the quick suite three ways — serial without the cache,
+/// parallel without the cache, then parallel against a cache warmed by
+/// the previous passes — written as deterministic-shaped (but
+/// wall-clock-valued) JSON to `results/BENCH_fleet.json`.
+fn bench(args: &Args) -> std::io::Result<()> {
+    let jobs = args.jobs_or_serial().max(2);
+    let cache_dir = "results/cache";
+
+    let pass = |label: &str, extra: &[&str]| -> (f64, bool) {
+        let mut argv: Vec<String> = vec!["--quick".into(), "--seed".into(), args.seed.to_string()];
+        argv.extend(extra.iter().map(|s| s.to_string()));
+        let a = Args::from_iter(argv).expect("bench flags parse");
+        eprintln!("bench: pass '{label}' (jobs={})", a.jobs_or_serial());
+        let t0 = Instant::now();
+        let ok = run_all(&a);
+        (t0.elapsed().as_secs_f64() * 1e3, ok)
+    };
+
+    let purged = conga_fleet::cache::purge(std::path::Path::new(cache_dir))?;
+    if purged > 0 {
+        eprintln!("bench: purged {purged} cached results for a cold start");
+    }
+    let (serial_ms, ok1) = pass("serial", &["--no-cache", "--jobs", "1"]);
+    let jobs_s = jobs.to_string();
+    let (parallel_ms, ok2) = pass("parallel", &["--no-cache", "--jobs", &jobs_s]);
+    // Warm the cache with one live pass, then time a fully-cached one.
+    let (_, ok3) = pass("cache warm-up", &["--jobs", &jobs_s]);
+    let (warm_ms, ok4) = pass("warm-cache", &["--jobs", &jobs_s]);
+
+    let mut out = String::new();
+    out.push_str("{\n");
+    let _ = writeln!(out, "  \"suite\": \"fleet_all --quick\",");
+    let _ = writeln!(out, "  \"jobs\": {jobs},");
+    let _ = writeln!(out, "  \"cores\": {},", parallelism());
+    let _ = writeln!(out, "  \"serial_ms\": {serial_ms:.1},");
+    let _ = writeln!(out, "  \"parallel_ms\": {parallel_ms:.1},");
+    let _ = writeln!(out, "  \"warm_cache_ms\": {warm_ms:.1},");
+    let _ = writeln!(
+        out,
+        "  \"parallel_speedup\": {:.2},",
+        serial_ms / parallel_ms.max(1e-9)
+    );
+    let _ = writeln!(
+        out,
+        "  \"warm_cache_speedup\": {:.2}",
+        serial_ms / warm_ms.max(1e-9)
+    );
+    out.push_str("}\n");
+    std::fs::create_dir_all("results")?;
+    std::fs::write("results/BENCH_fleet.json", &out)?;
+    eprintln!("bench: wrote results/BENCH_fleet.json");
+    print!("{out}");
+    if !(ok1 && ok2 && ok3 && ok4) {
+        std::process::exit(1);
+    }
+    Ok(())
+}
+
+fn main() {
+    conga_fleet::stats::mark_start();
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let Some(sub) = argv.first() else {
+        eprintln!("error: missing subcommand\n{USAGE}");
+        std::process::exit(2);
+    };
+    let rest = &argv[1..];
+    let ok = match sub.as_str() {
+        "all" => {
+            let args = fleet_args(rest);
+            let ok = run_all(&args);
+            fleet::finish("fleet_all", &args);
+            ok
+        }
+        "fig09" => {
+            let args = fleet_args(rest);
+            suite::fig09(&args);
+            fleet::finish("fig09_enterprise", &args);
+            true
+        }
+        "fig10" => {
+            let args = fleet_args(rest);
+            suite::fig10(&args);
+            fleet::finish("fig10_datamining", &args);
+            true
+        }
+        "fig11" => {
+            let args = fleet_args(rest);
+            let ok = suite::fig11_dynamic(&args);
+            fleet::finish("fig11_dynamic_failure", &args);
+            ok
+        }
+        "fig12" => {
+            let args = fleet_args(rest);
+            let ok = suite::fig12(&args);
+            fleet::finish("fig12_imbalance", &args);
+            ok
+        }
+        "fig13" => {
+            let args = fleet_args(rest);
+            let ok = suite::fig13(&args);
+            fleet::finish("fig13_incast", &args);
+            ok
+        }
+        "bench" => {
+            let args = fleet_args(rest);
+            match bench(&args) {
+                Ok(()) => true,
+                Err(e) => {
+                    eprintln!("bench failed: {e}");
+                    false
+                }
+            }
+        }
+        "--help" | "-h" | "help" => {
+            println!("{USAGE}");
+            true
+        }
+        other => {
+            eprintln!("error: unknown subcommand '{other}'\n{USAGE}");
+            std::process::exit(2);
+        }
+    };
+    if !ok {
+        std::process::exit(1);
+    }
+}

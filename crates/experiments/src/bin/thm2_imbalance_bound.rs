@@ -104,4 +104,5 @@ fn main() {
          (flowlet arrival rate is also higher, compounding the gain)",
         (1.0 + cv_flow * cv_flow) / (1.0 + cv_fl * cv_fl)
     );
+    conga_experiments::cli::exit_summary("thm2_imbalance_bound");
 }

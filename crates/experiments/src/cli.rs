@@ -1,5 +1,9 @@
 //! Minimal argument parsing shared by the experiment binaries (no external
 //! dependency needed for `--quick`-style flags).
+//!
+//! Malformed flags never panic: [`Args::from_iter`] returns `Err` with a
+//! message, and [`Args::parse`] prints the message plus a usage banner and
+//! exits nonzero.
 
 /// Parsed common arguments.
 #[derive(Clone, Debug)]
@@ -10,52 +14,89 @@ pub struct Args {
     pub seed: u64,
     /// Number of independent runs to average where applicable.
     pub runs: usize,
+    /// Fleet worker threads (`--jobs N`); `None` = serial.
+    pub jobs: Option<usize>,
+    /// Bypass the content-addressed result cache (`--no-cache`).
+    pub no_cache: bool,
     /// Leftover `--key value` pairs for experiment-specific options.
     extra: Vec<(String, String)>,
 }
 
+/// The usage banner printed on a parse error.
+pub const USAGE: &str = "\
+usage: <binary> [flags]
+  --quick             reduced problem sizes (CI-scale run)
+  --seed N            base RNG seed (default 1)
+  --runs N            independent runs to average where applicable
+  --jobs N            run independent cells on N worker threads (default 1)
+  --no-cache          bypass the content-addressed result cache
+  --cache-dir DIR     result-cache directory (default results/cache)
+  --trace DIR         write structured event traces under DIR
+  --key value         experiment-specific options (see the binary's docs)";
+
 impl Args {
-    /// Parse `std::env::args()`.
+    /// Parse `std::env::args()`; on error, print the message and usage to
+    /// stderr and exit with status 2.
     pub fn parse() -> Args {
-        Self::from_iter(std::env::args().skip(1))
+        conga_fleet::stats::mark_start();
+        match Self::from_iter(std::env::args().skip(1)) {
+            Ok(a) => a,
+            Err(msg) => {
+                eprintln!("error: {msg}\n{USAGE}");
+                std::process::exit(2);
+            }
+        }
     }
 
-    /// Parse from an explicit iterator (testable).
+    /// Parse from an explicit iterator (testable). Returns a message
+    /// describing the first malformed flag instead of panicking.
     #[allow(clippy::should_implement_trait)]
-    pub fn from_iter<I: IntoIterator<Item = String>>(it: I) -> Args {
+    pub fn from_iter<I: IntoIterator<Item = String>>(it: I) -> Result<Args, String> {
         let mut quick = false;
         let mut seed = 1u64;
         let mut runs = 0usize;
+        let mut jobs = None;
+        let mut no_cache = false;
         let mut extra = Vec::new();
         let mut iter = it.into_iter().peekable();
+        fn want<T: std::str::FromStr>(
+            iter: &mut impl Iterator<Item = String>,
+            flag: &str,
+            what: &str,
+        ) -> Result<T, String> {
+            iter.next()
+                .ok_or_else(|| format!("{flag} needs {what}"))?
+                .parse()
+                .map_err(|_| format!("{flag} needs {what}"))
+        }
         while let Some(a) = iter.next() {
             match a.as_str() {
                 "--quick" => quick = true,
-                "--seed" => {
-                    seed = iter
-                        .next()
-                        .and_then(|v| v.parse().ok())
-                        .expect("--seed needs an integer");
-                }
-                "--runs" => {
-                    runs = iter
-                        .next()
-                        .and_then(|v| v.parse().ok())
-                        .expect("--runs needs an integer");
+                "--no-cache" => no_cache = true,
+                "--seed" => seed = want(&mut iter, "--seed", "an integer")?,
+                "--runs" => runs = want(&mut iter, "--runs", "an integer")?,
+                "--jobs" => {
+                    let n: usize = want(&mut iter, "--jobs", "a worker count >= 1")?;
+                    if n == 0 {
+                        return Err("--jobs needs a worker count >= 1".into());
+                    }
+                    jobs = Some(n);
                 }
                 k if k.starts_with("--") => {
-                    let v = iter.next().unwrap_or_default();
+                    let v = iter.next().ok_or_else(|| format!("{k} needs a value"))?;
                     extra.push((k[2..].to_string(), v));
                 }
-                other => panic!("unexpected argument: {other}"),
+                other => return Err(format!("unexpected argument: {other}")),
             }
         }
-        Args {
+        Ok(Args {
             quick,
             seed,
             runs,
+            jobs,
+            no_cache,
             extra,
-        }
+        })
     }
 
     /// Experiment-specific option with a default.
@@ -77,6 +118,11 @@ impl Args {
             full_default
         }
     }
+
+    /// Fleet worker threads: `--jobs N`, defaulting to serial.
+    pub fn jobs_or_serial(&self) -> usize {
+        self.jobs.unwrap_or(1)
+    }
 }
 
 /// Print a header banner for an experiment.
@@ -87,19 +133,34 @@ pub fn banner(title: &str, detail: &str) {
     println!("==============================================================");
 }
 
+/// Print the one-line orchestration summary every figure binary emits on
+/// exit (cells run, cells cached, wall-clock), so `results/*.log` records
+/// orchestration stats. The line is wall-clock-bearing and therefore
+/// excluded from the byte-identity contract.
+pub fn exit_summary(name: &str) {
+    println!("{}", conga_fleet::stats::summary_line(name));
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
     fn parse(s: &[&str]) -> Args {
-        Args::from_iter(s.iter().map(|x| x.to_string()))
+        Args::from_iter(s.iter().map(|x| x.to_string())).expect("valid args")
+    }
+
+    fn parse_err(s: &[&str]) -> String {
+        Args::from_iter(s.iter().map(|x| x.to_string())).expect_err("must fail")
     }
 
     #[test]
     fn defaults() {
         let a = parse(&[]);
         assert!(!a.quick);
+        assert!(!a.no_cache);
         assert_eq!(a.seed, 1);
+        assert_eq!(a.jobs, None);
+        assert_eq!(a.jobs_or_serial(), 1);
         assert_eq!(a.runs_or(1, 5), 5);
     }
 
@@ -117,5 +178,40 @@ mod tests {
     fn explicit_runs_wins() {
         let a = parse(&["--quick", "--runs", "7"]);
         assert_eq!(a.runs_or(1, 5), 7);
+    }
+
+    #[test]
+    fn fleet_flags() {
+        let a = parse(&["--jobs", "4", "--no-cache"]);
+        assert_eq!(a.jobs, Some(4));
+        assert_eq!(a.jobs_or_serial(), 4);
+        assert!(a.no_cache);
+    }
+
+    #[test]
+    fn malformed_flags_are_errors_not_panics() {
+        assert_eq!(parse_err(&["--seed"]), "--seed needs an integer");
+        assert_eq!(parse_err(&["--seed", "banana"]), "--seed needs an integer");
+        assert_eq!(parse_err(&["--runs", "-3"]), "--runs needs an integer");
+        assert_eq!(
+            parse_err(&["--jobs", "0"]),
+            "--jobs needs a worker count >= 1"
+        );
+        assert_eq!(
+            parse_err(&["--jobs", "many"]),
+            "--jobs needs a worker count >= 1"
+        );
+        assert_eq!(
+            parse_err(&["positional"]),
+            "unexpected argument: positional"
+        );
+        assert_eq!(parse_err(&["--loads"]), "--loads needs a value");
+    }
+
+    #[test]
+    fn usage_names_every_first_class_flag() {
+        for flag in ["--quick", "--seed", "--runs", "--jobs", "--no-cache"] {
+            assert!(USAGE.contains(flag), "usage must document {flag}");
+        }
     }
 }

@@ -10,7 +10,10 @@
 //! outputs are the throughput timeline around the transitions, the
 //! time-to-reconverge, and whether any flow is permanently stranded.
 
+use crate::figures::{write_trace_sidecars, TraceArgs};
+use crate::fleet::FleetCell;
 use crate::runner::{build_testbed, Scheme, TestbedOpts, TraceSpec};
+use conga_fleet::{CellResult, FaultSpec, Scenario, TopoSpec};
 use conga_net::Network;
 use conga_sim::{SimDuration, SimRng, SimTime};
 use conga_telemetry::RunReport;
@@ -76,6 +79,94 @@ impl DynFailSpec {
     }
 }
 
+impl DynFailSpec {
+    /// The hashable [`Scenario`] describing this cell (for the fleet
+    /// executor and result cache).
+    pub fn scenario(&self, figure: &str, label: &str, quick: bool) -> Scenario {
+        let mut s = Scenario::new("dynfail", figure, label);
+        s.scheme = self.scheme.name().to_string();
+        s.dist = self.dist.name().to_string();
+        s.load = self.load;
+        s.seed = self.seed;
+        s.quick = quick;
+        s.topo = TopoSpec {
+            leaves: self.topo.leaves,
+            spines: self.topo.spines,
+            hosts_per_leaf: self.topo.hosts_per_leaf,
+            host_gbps: self.topo.host_gbps,
+            fabric_gbps: self.topo.fabric_gbps,
+            parallel: self.topo.parallel,
+            fail: self.topo.fail,
+        };
+        let (l, sp, p) = self.link;
+        s.faults = vec![
+            FaultSpec {
+                at_ns: self.fail_at.as_nanos(),
+                leaf: l,
+                spine: sp,
+                parallel: p,
+                up: false,
+            },
+            FaultSpec {
+                at_ns: self.recover_at.as_nanos(),
+                leaf: l,
+                spine: sp,
+                parallel: p,
+                up: true,
+            },
+        ];
+        s.with_extra("window_ns", self.window.as_nanos())
+            .with_extra("slice_ns", self.slice.as_nanos())
+    }
+}
+
+/// Build the fleet cell for one dynamic-failure run: executes
+/// [`run_dynamic_failure`] on a worker, exports trace sidecars in-worker
+/// when tracing is on, and returns the phase throughputs / reconvergence
+/// verdict as derived values so a cache hit can reproduce the figure row
+/// without re-simulating.
+pub fn dynfail_cell(
+    figure: &str,
+    label: &str,
+    spec: DynFailSpec,
+    quick: bool,
+    tracing: Option<TraceArgs>,
+) -> FleetCell {
+    let scenario = spec.scenario(figure, label, quick);
+    let figure = figure.to_string();
+    let label = label.to_string();
+    FleetCell {
+        scenario,
+        run: Box::new(move || {
+            let out = run_dynamic_failure(&spec);
+            if let (Some(t), Some(handle)) = (&tracing, &out.trace) {
+                write_trace_sidecars(&t.dir, &figure, &label, handle).expect("trace sidecar write");
+            }
+            let mut r = CellResult {
+                report_json: out.report.to_json(),
+                ..CellResult::default()
+            };
+            r.values.insert("pre_bps".into(), out.pre_bps);
+            r.values.insert("during_bps".into(), out.during_bps);
+            r.values.insert("post_bps".into(), out.post_bps);
+            r.values.insert("blackholed".into(), out.blackholed as f64);
+            r.values.insert("stranded".into(), out.stranded as f64);
+            r.values.insert(
+                "post_recovery_blackholed".into(),
+                out.post_recovery_blackholed as f64,
+            );
+            r.text.insert(
+                "reconverge_ms".into(),
+                match out.reconverge {
+                    Some(d) => format!("{:.0}", d.as_secs_f64() * 1e3),
+                    None => "never".to_string(),
+                },
+            );
+            r
+        }),
+    }
+}
+
 /// What a dynamic-failure run produced.
 #[derive(Clone, Debug)]
 pub struct DynFailOutcome {
@@ -112,6 +203,7 @@ pub struct DynFailOutcome {
 
 /// Run one dynamic-failure cell to completion (or a generous drain bound).
 pub fn run_dynamic_failure(spec: &DynFailSpec) -> DynFailOutcome {
+    conga_fleet::stats::note_cell_run();
     assert!(spec.topo.fail.is_none(), "start from the healthy fabric");
     assert!(spec.fail_at < spec.recover_at && spec.recover_at < spec.window);
     let topo = build_testbed(spec.topo);

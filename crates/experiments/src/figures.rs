@@ -2,11 +2,13 @@
 //! 11 share the FCT-vs-load sweep; Figure 15 reuses it at scale).
 
 use crate::cli::{banner, Args};
-use crate::runner::{run_fct, FctRun, LinkFaultSpec, Scheme, TestbedOpts, TraceSpec};
+use crate::fleet::{fct_cell, run_cells, FleetOpts};
+use crate::runner::{FctRun, LinkFaultSpec, Scheme, TestbedOpts, TraceSpec};
 use conga_sim::SimTime;
 use conga_telemetry::RunReport;
 use conga_trace::TraceHandle;
 use conga_workloads::FlowSizeDist;
+use std::fmt::Write as _;
 use std::path::PathBuf;
 
 /// Write a run's telemetry artifact as `results/<figure>.<label>.metrics.json`
@@ -17,13 +19,27 @@ pub fn write_metrics_sidecar(
     label: &str,
     report: &RunReport,
 ) -> std::io::Result<PathBuf> {
+    write_metrics_sidecar_text(figure, label, &report.to_json())
+}
+
+/// [`write_metrics_sidecar`] from pre-rendered artifact text — the cache
+/// stores a cell's `RunReport` JSON verbatim, so a cache hit re-emits a
+/// byte-identical sidecar without re-running the simulation.
+pub fn write_metrics_sidecar_text(
+    figure: &str,
+    label: &str,
+    json: &str,
+) -> std::io::Result<PathBuf> {
     let slug: String = label
         .to_ascii_lowercase()
         .chars()
         .map(|c| if c.is_ascii_alphanumeric() { c } else { '-' })
         .collect();
     let path = PathBuf::from("results").join(format!("{figure}.{slug}.metrics.json"));
-    report.write_to(&path)?;
+    if let Some(parent) = path.parent() {
+        std::fs::create_dir_all(parent)?;
+    }
+    std::fs::write(&path, json)?;
     Ok(path)
 }
 
@@ -200,27 +216,39 @@ pub fn fct_sweep(
         large: vec![vec![0.0; loads.len()]; schemes.len()],
         incomplete: vec![vec![0; loads.len()]; schemes.len()],
     };
-    for (si, &scheme) in schemes.iter().enumerate() {
-        for (li, &load) in loads.iter().enumerate() {
-            let mut o = 0.0;
-            let mut s = 0.0;
-            let mut l = 0.0;
+    // One fleet cell per (scheme, load, run): independent deterministic
+    // simulations, executed in parallel under `--jobs N` and skipped on
+    // result-cache hits. `run_cells` returns them in this build order, so
+    // the merge below — and every artifact — is byte-identical whatever
+    // the worker count or cache state.
+    let opts = FleetOpts::from_args(args, tracing.is_some());
+    let mut cells = Vec::with_capacity(schemes.len() * loads.len() * runs);
+    for &scheme in schemes {
+        for &load in loads {
             for r in 0..runs {
                 let mut cfg = FctRun::new(topo, scheme, dist.clone(), load);
                 cfg.n_flows = n_flows;
                 cfg.seed = args.seed + 1000 * r as u64;
                 cfg.faults = faults.clone();
                 cfg.trace = tracing.as_ref().map(|t| t.spec.clone());
-                let out = run_fct(&cfg);
-                if let (Some(t), Some(handle)) = (&tracing, &out.trace) {
-                    let label = format!("{}.load{:02.0}.r{r}", scheme.name(), load * 100.0);
-                    write_trace_sidecars(&t.dir, figure, &label, handle)
-                        .expect("trace sidecar write");
-                }
-                o += out.summary.avg_norm_optimal;
-                s += out.summary.small_avg_s;
-                l += out.summary.large_avg_s;
-                sweep.incomplete[si][li] += out.summary.incomplete;
+                let label = format!("{}.load{:02.0}.r{r}", scheme.name(), load * 100.0);
+                cells.push(fct_cell(figure, &label, cfg, args.quick, tracing.clone()));
+            }
+        }
+    }
+    let results = run_cells(cells, &opts);
+    let mut it = results.iter();
+    for (si, scheme) in schemes.iter().enumerate() {
+        for (li, &load) in loads.iter().enumerate() {
+            let mut o = 0.0;
+            let mut s = 0.0;
+            let mut l = 0.0;
+            for _ in 0..runs {
+                let cell = it.next().expect("one result per cell");
+                o += cell.summary.avg_norm_optimal;
+                s += cell.summary.small_avg_s;
+                l += cell.summary.large_avg_s;
+                sweep.incomplete[si][li] += cell.summary.incomplete;
             }
             sweep.overall[si][li] = o / runs as f64;
             sweep.small[si][li] = s / runs as f64;
@@ -234,7 +262,92 @@ pub fn fct_sweep(
             );
         }
     }
+    match write_sweep_sidecar(figure, &sweep) {
+        Ok(p) => eprintln!("sweep sidecar: {}", p.display()),
+        Err(e) => {
+            eprintln!("sweep sidecar write failed: {e}");
+            std::process::exit(1);
+        }
+    }
     sweep
+}
+
+/// Write the merged sweep matrices as deterministic JSON at
+/// `results/<figure>.sweep.json` and return the path. This is the
+/// byte-comparable "merged output" artifact of a sweep: identical for
+/// `--jobs 1`, `--jobs N`, and warm-cache re-runs (CI diffs it).
+pub fn write_sweep_sidecar(figure: &str, sweep: &Sweep) -> std::io::Result<PathBuf> {
+    let mut out = String::with_capacity(1024);
+    out.push_str("{\n  \"loads\": [");
+    for (i, l) in sweep.loads.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        write_json_f64(&mut out, *l);
+    }
+    out.push_str("],\n  \"schemes\": [");
+    for (i, s) in sweep.schemes.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        let _ = write!(out, "\"{}\"", s.name());
+    }
+    out.push_str("],");
+    for (name, m) in [
+        ("overall_norm_optimal", &sweep.overall),
+        ("small_avg_s", &sweep.small),
+        ("large_avg_s", &sweep.large),
+    ] {
+        let _ = write!(out, "\n  \"{name}\": [");
+        for (si, row) in m.iter().enumerate() {
+            if si > 0 {
+                out.push_str(", ");
+            }
+            out.push('[');
+            for (li, v) in row.iter().enumerate() {
+                if li > 0 {
+                    out.push_str(", ");
+                }
+                write_json_f64(&mut out, *v);
+            }
+            out.push(']');
+        }
+        out.push_str("],");
+    }
+    out.push_str("\n  \"incomplete\": [");
+    for (si, row) in sweep.incomplete.iter().enumerate() {
+        if si > 0 {
+            out.push_str(", ");
+        }
+        out.push('[');
+        for (li, v) in row.iter().enumerate() {
+            if li > 0 {
+                out.push_str(", ");
+            }
+            let _ = write!(out, "{v}");
+        }
+        out.push(']');
+    }
+    out.push_str("]\n}\n");
+    let path = PathBuf::from("results").join(format!("{figure}.sweep.json"));
+    if let Some(parent) = path.parent() {
+        std::fs::create_dir_all(parent)?;
+    }
+    std::fs::write(&path, out)?;
+    Ok(path)
+}
+
+fn write_json_f64(out: &mut String, v: f64) {
+    if v.is_finite() {
+        let s = format!("{v}");
+        let integral = !s.contains(['.', 'e', 'E']);
+        out.push_str(&s);
+        if integral {
+            out.push_str(".0");
+        }
+    } else {
+        out.push_str("null");
+    }
 }
 
 /// Print the three panels of a Figure-9-style sweep.

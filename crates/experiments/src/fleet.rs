@@ -1,0 +1,293 @@
+//! The bridge between the experiment harness and `conga-fleet`: scenario
+//! construction for FCT cells, the cell runner, and the batch driver that
+//! every sweep loop routes through.
+//!
+//! A sweep builds a list of [`FleetCell`]s (a hashable
+//! [`Scenario`] plus a closure that executes the cell), then calls
+//! [`run_cells`]: cache hits are resolved first, misses run on the
+//! work-stealing executor, and results come back **in sweep order** —
+//! merged output is byte-identical for any `--jobs N` and for warm-cache
+//! re-runs.
+//!
+//! Cells with structured tracing enabled are never cached: a trace
+//! artifact only exists if the cell actually ran, so traced sweeps bypass
+//! the cache entirely (see [`FleetOpts::from_args`]).
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use conga_fleet::manifest::{drain, CellRecord};
+use conga_fleet::{CellResult, FaultSpec, FleetManifest, ResultCache, Scenario, TopoSpec};
+
+use crate::cli::Args;
+use crate::figures::{write_trace_sidecars, TraceArgs};
+use crate::runner::{run_fct, FctRun};
+
+/// Orchestration options, parsed once per binary.
+#[derive(Clone, Debug)]
+pub struct FleetOpts {
+    /// Worker threads for independent cells (1 = the historical serial
+    /// path).
+    pub jobs: usize,
+    /// The content-addressed result cache (possibly disabled).
+    pub cache: ResultCache,
+}
+
+impl FleetOpts {
+    /// Build from the shared CLI flags: `--jobs N`, `--no-cache`,
+    /// `--cache-dir DIR`. When `tracing` is active the cache is disabled
+    /// outright — trace sidecars must come from live runs.
+    pub fn from_args(args: &Args, tracing: bool) -> Self {
+        let cache = if args.no_cache || tracing {
+            ResultCache::disabled()
+        } else {
+            ResultCache::at(args.get("cache-dir", "results/cache".to_string()))
+        };
+        FleetOpts {
+            jobs: args.jobs_or_serial(),
+            cache,
+        }
+    }
+
+    /// The same options with the cache forced off.
+    pub fn without_cache(mut self) -> Self {
+        self.cache = ResultCache::disabled();
+        self
+    }
+}
+
+/// One schedulable experiment cell: what it is (hashable) and how to run
+/// it. The closure executes on a worker thread; everything it needs must
+/// be owned and `Send`, and any sidecars it writes must go to
+/// cell-unique paths.
+pub struct FleetCell {
+    /// The declarative, hashable description.
+    pub scenario: Scenario,
+    /// Executes the cell and returns its contribution.
+    pub run: Box<dyn FnOnce() -> CellResult + Send>,
+}
+
+/// Run a batch of cells: resolve cache hits, execute misses on the
+/// work-stealing pool, store fresh results, and return everything in
+/// input order. Progress lines go to stderr in completion order (the one
+/// place ordering may vary with `--jobs`); all returned data and all
+/// artifacts are deterministic.
+pub fn run_cells(cells: Vec<FleetCell>, opts: &FleetOpts) -> Vec<CellResult> {
+    let n = cells.len();
+    let mut results: Vec<Option<CellResult>> = (0..n).map(|_| None).collect();
+    let mut jobs = Vec::new();
+    let mut pending: Vec<(usize, String, String, String)> = Vec::new(); // (slot, hash, figure, label)
+    let mut hits = 0usize;
+    for (i, cell) in cells.into_iter().enumerate() {
+        let hash = cell.scenario.content_hash();
+        let figure = cell.scenario.figure.clone();
+        let label = cell.scenario.label.clone();
+        if let Some(hit) = opts.cache.lookup(&hash) {
+            hits += 1;
+            conga_fleet::stats::note_cache_hit();
+            eprintln!("fleet: [{}/{}] {label} — cache hit ({hash})", i + 1, n);
+            conga_fleet::manifest::record(CellRecord {
+                figure,
+                label,
+                hash,
+                cached: true,
+                wall_us: 0,
+            });
+            results[i] = Some(hit);
+        } else {
+            pending.push((i, hash, figure, label));
+            jobs.push(cell.run);
+        }
+    }
+
+    let done = AtomicUsize::new(hits);
+    let labels: Vec<String> = pending.iter().map(|(_, _, _, l)| l.clone()).collect();
+    let timed = conga_fleet::run_ordered(jobs, opts.jobs, &|j, wall| {
+        let k = done.fetch_add(1, Ordering::SeqCst) + 1;
+        eprintln!(
+            "fleet: [{k}/{n}] {} — ran in {:.2}s",
+            labels[j],
+            wall.as_secs_f64()
+        );
+    });
+    for ((i, hash, figure, label), t) in pending.into_iter().zip(timed) {
+        if let Err(e) = opts.cache.store(&hash, &t.result) {
+            eprintln!("fleet: cache store failed for {label}: {e}");
+        }
+        conga_fleet::manifest::record(CellRecord {
+            figure,
+            label,
+            hash,
+            cached: false,
+            wall_us: t.wall.as_micros() as u64,
+        });
+        results[i] = Some(t.result);
+    }
+    results
+        .into_iter()
+        .map(|r| r.expect("every cell resolved by hit or run"))
+        .collect()
+}
+
+/// The [`Scenario`] describing an FCT cell (pure data; hashing covers
+/// every field that reaches the simulation).
+pub fn fct_scenario(figure: &str, label: &str, cfg: &FctRun, quick: bool) -> Scenario {
+    let mut s = Scenario::new("fct", figure, label);
+    s.scheme = cfg.scheme.name().to_string();
+    s.dist = cfg.dist.name().to_string();
+    s.load = cfg.load;
+    s.seed = cfg.seed;
+    s.n_flows = cfg.n_flows as u64;
+    s.quick = quick;
+    s.sample_uplinks = cfg.sample_uplinks;
+    s.topo = TopoSpec {
+        leaves: cfg.topo.leaves,
+        spines: cfg.topo.spines,
+        hosts_per_leaf: cfg.topo.hosts_per_leaf,
+        host_gbps: cfg.topo.host_gbps,
+        fabric_gbps: cfg.topo.fabric_gbps,
+        parallel: cfg.topo.parallel,
+        fail: cfg.topo.fail,
+    };
+    s.faults = cfg
+        .faults
+        .iter()
+        .map(|f| FaultSpec {
+            at_ns: f.at.as_nanos(),
+            leaf: f.leaf,
+            spine: f.spine,
+            parallel: f.parallel,
+            up: f.up,
+        })
+        .collect();
+    s.with_extra("tcp.mss", cfg.tcp.mss)
+        .with_extra("tcp.init_cwnd", cfg.tcp.init_cwnd)
+        .with_extra("tcp.min_rto_ns", cfg.tcp.min_rto.as_nanos())
+        .with_extra("tcp.max_rto_ns", cfg.tcp.max_rto.as_nanos())
+        .with_extra("tcp.dupack", cfg.tcp.dupack_thresh)
+        .with_extra("tcp.max_burst", cfg.tcp.max_burst)
+        .with_extra("tcp.rwnd", cfg.tcp.rwnd)
+}
+
+/// Build the standard FCT cell: runs [`run_fct`], exports trace sidecars
+/// in-worker when tracing is on (trace handles are thread-local by
+/// design), and returns the summary + telemetry artifact.
+pub fn fct_cell(
+    figure: &str,
+    label: &str,
+    cfg: FctRun,
+    quick: bool,
+    tracing: Option<TraceArgs>,
+) -> FleetCell {
+    let scenario = fct_scenario(figure, label, &cfg, quick);
+    let figure = figure.to_string();
+    let label = label.to_string();
+    FleetCell {
+        scenario,
+        run: Box::new(move || {
+            let out = run_fct(&cfg);
+            if let (Some(t), Some(handle)) = (&tracing, &out.trace) {
+                write_trace_sidecars(&t.dir, &figure, &label, handle).expect("trace sidecar write");
+            }
+            let mut r = CellResult {
+                summary: out.summary,
+                report_json: out.report.to_json(),
+                ..CellResult::default()
+            };
+            r.values.insert("drops".into(), out.drops as f64);
+            r.values.insert("retx_bytes".into(), out.retx_bytes as f64);
+            r.values.insert("timeouts".into(), out.timeouts as f64);
+            r
+        }),
+    }
+}
+
+/// Drain the per-cell records collected so far into one manifest, write
+/// it to `results/<suite>.fleet_manifest.json`, and print the one-line
+/// orchestration summary. Call once, at binary exit.
+pub fn finish(suite: &str, args: &Args) {
+    let cells = drain();
+    if !cells.is_empty() {
+        let manifest = FleetManifest {
+            suite: suite.to_string(),
+            jobs: args.jobs_or_serial(),
+            cells,
+            total_wall_us: (conga_fleet::stats::elapsed_s() * 1e6) as u64,
+        };
+        let path = format!("results/{suite}.fleet_manifest.json");
+        match manifest.write_to(&path) {
+            Ok(()) => eprintln!("fleet manifest: {path}"),
+            Err(e) => {
+                eprintln!("fleet manifest write failed: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+    crate::cli::exit_summary(suite);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runner::{Scheme, TestbedOpts};
+    use conga_workloads::FlowSizeDist;
+
+    fn tiny_cfg(seed: u64) -> FctRun {
+        let mut cfg = FctRun::new(
+            TestbedOpts::paper_baseline().quick(),
+            Scheme::Ecmp,
+            FlowSizeDist::enterprise(),
+            0.3,
+        );
+        cfg.n_flows = 30;
+        cfg.seed = seed;
+        cfg
+    }
+
+    #[test]
+    fn fct_scenario_hash_separates_cells() {
+        let a = fct_scenario("figX", "a", &tiny_cfg(1), true).content_hash();
+        let b = fct_scenario("figX", "a", &tiny_cfg(2), true).content_hash();
+        assert_ne!(a, b, "seed must reach the hash");
+        let c = {
+            let mut cfg = tiny_cfg(1);
+            cfg.load = 0.6;
+            fct_scenario("figX", "a", &cfg, true).content_hash()
+        };
+        assert_ne!(a, c, "load must reach the hash");
+        let d = {
+            let mut cfg = tiny_cfg(1);
+            cfg.tcp = cfg.tcp.with_min_rto(conga_sim::SimDuration::from_millis(1));
+            fct_scenario("figX", "a", &cfg, true).content_hash()
+        };
+        assert_ne!(a, d, "tcp overrides must reach the hash");
+    }
+
+    #[test]
+    fn run_cells_preserves_order_and_uses_cache() {
+        let dir = std::env::temp_dir().join("conga-fleet-bridge-test");
+        let _ = std::fs::remove_dir_all(&dir);
+        let opts = FleetOpts {
+            jobs: 2,
+            cache: ResultCache::at(&dir),
+        };
+        let cells = |n: u64| -> Vec<FleetCell> {
+            (0..n)
+                .map(|i| fct_cell("figtest", &format!("cell{i}"), tiny_cfg(i + 1), true, None))
+                .collect()
+        };
+        drain();
+        let first = run_cells(cells(3), &opts);
+        let rec1 = drain();
+        assert_eq!(rec1.len(), 3);
+        assert!(rec1.iter().all(|r| !r.cached), "cold cache: all misses");
+        let second = run_cells(cells(3), &opts);
+        let rec2 = drain();
+        assert!(rec2.iter().all(|r| r.cached), "warm cache: all hits");
+        for (a, b) in first.iter().zip(&second) {
+            assert_eq!(a.to_json(), b.to_json(), "hit must equal live run");
+        }
+        // Distinct seeds produced distinct cells, in input order.
+        assert_ne!(first[0].report_json, first[1].report_json);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

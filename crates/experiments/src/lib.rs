@@ -13,10 +13,13 @@
 pub mod cli;
 pub mod dynfail;
 pub mod figures;
+pub mod fleet;
 pub mod runner;
+pub mod suite;
 
 pub use cli::Args;
-pub use dynfail::{run_dynamic_failure, DynFailOutcome, DynFailSpec};
+pub use dynfail::{dynfail_cell, run_dynamic_failure, DynFailOutcome, DynFailSpec};
+pub use fleet::{fct_cell, fct_scenario, run_cells, FleetCell, FleetOpts};
 pub use runner::{
     build_report, build_testbed, merged_arrivals, run_fct, run_fct_with_policy, uniform_arrivals,
     FctOutcome, FctRun, LinkFaultSpec, Scheme, TestbedOpts, TraceSpec,

@@ -371,6 +371,7 @@ pub fn run_fct(cfg: &FctRun) -> FctOutcome {
 /// [`run_fct`] with an explicit fabric policy (for parameter ablations and
 /// mixed-deployment experiments; the transport still follows `cfg.scheme`).
 pub fn run_fct_with_policy(cfg: &FctRun, policy: FabricPolicy) -> FctOutcome {
+    conga_fleet::stats::note_cell_run();
     let topo = build_testbed(cfg.topo);
     // Load is relative to the *baseline* (unfailed) leaf-to-leaf capacity.
     let baseline = TestbedOpts {

@@ -1,0 +1,447 @@
+//! The figure-suite drivers: each routed `fig*` binary's body lives here
+//! so the `fleet` orchestrator can drive the same code paths
+//! (`fleet all`, `fleet fig12`, ...) that the standalone binaries use.
+//!
+//! Every driver routes its cell matrix through the fleet executor
+//! ([`crate::fleet::run_cells`]): cells run in parallel under `--jobs N`,
+//! completed cells are served from the content-addressed result cache,
+//! and the printed tables and sidecar artifacts are byte-identical
+//! whatever the worker count or cache state. Drivers return `false` when
+//! a sidecar write failed (the binaries exit nonzero on that).
+
+use crate::cli::{banner, Args};
+use crate::dynfail::{dynfail_cell, DynFailSpec};
+use crate::figures::{
+    run_baseline_figure, trace_args, write_metrics_sidecar_text, write_trace_sidecars,
+};
+use crate::fleet::{fct_scenario, run_cells, FleetCell, FleetOpts};
+use crate::runner::{FctRun, Scheme, TestbedOpts, TraceSpec};
+use conga_analysis::imbalance::throughput_imbalance;
+use conga_analysis::stats::percentile;
+use conga_fleet::{CellResult, Scenario, TopoSpec};
+use conga_net::{HostId, LeafSpineBuilder, Network};
+use conga_sim::{SimDuration, SimRng, SimTime};
+use conga_telemetry::RunReport;
+use conga_transport::{FlowSpec, ListSource, TcpConfig, TransportLayer};
+use conga_workloads::{FlowSizeDist, IncastPattern};
+
+/// Figure 9: enterprise workload FCT sweep on the baseline testbed.
+pub fn fig09(args: &Args) {
+    run_baseline_figure(
+        args,
+        "fig09_enterprise",
+        FlowSizeDist::enterprise(),
+        "Figure 9 — enterprise workload, baseline topology",
+        800,
+    );
+}
+
+/// Figure 10: data-mining workload FCT sweep on the baseline testbed.
+pub fn fig10(args: &Args) {
+    run_baseline_figure(
+        args,
+        "fig10_datamining",
+        FlowSizeDist::data_mining(),
+        "Figure 10 — data-mining workload, baseline topology",
+        250,
+    );
+}
+
+/// Figure 11 (dynamic): mid-run link failure and recovery, per scheme.
+/// Returns `false` if any sidecar write failed.
+pub fn fig11_dynamic(args: &Args) -> bool {
+    banner(
+        "Figure 11 (dynamic) — link fails mid-run, recovers later",
+        "baseline fabric at 60% load; y = delivered throughput around the fault window",
+    );
+
+    let tracing = trace_args(args);
+    let opts = FleetOpts::from_args(args, tracing.is_some());
+    let mut sidecar_failed = false;
+    let mut cells = Vec::new();
+    for scheme in Scheme::PAPER {
+        let mut spec = DynFailSpec::paper(scheme, args.quick, args.seed);
+        // Optional overrides shared with the sweep binaries.
+        let fail_ms: f64 = args.get("fail-at-ms", -1.0);
+        if fail_ms >= 0.0 {
+            spec.fail_at = SimTime::from_nanos((fail_ms * 1e6) as u64);
+        }
+        let recover_ms: f64 = args.get("recover-at-ms", -1.0);
+        if recover_ms >= 0.0 {
+            spec.recover_at = SimTime::from_nanos((recover_ms * 1e6) as u64);
+        }
+        let link: String = args.get("fault-link", String::new());
+        if !link.is_empty() {
+            let parts: Vec<u32> = link
+                .split(':')
+                .map(|x| x.parse().expect("--fault-link wants leaf:spine:parallel"))
+                .collect();
+            assert_eq!(parts.len(), 3, "--fault-link wants leaf:spine:parallel");
+            spec.link = (parts[0], parts[1], parts[2]);
+        }
+        spec.trace = tracing.as_ref().map(|t| t.spec.clone());
+        cells.push(dynfail_cell(
+            "fig11_dynamic_failure",
+            scheme.name(),
+            spec,
+            args.quick,
+            tracing.clone(),
+        ));
+    }
+    let results = run_cells(cells, &opts);
+
+    println!(
+        "{:<12}{:>12}{:>12}{:>12}{:>14}{:>12}{:>10}",
+        "scheme",
+        "pre (Gbps)",
+        "dip (Gbps)",
+        "post (Gbps)",
+        "reconv (ms)",
+        "blackholed",
+        "stranded"
+    );
+    for (scheme, out) in Scheme::PAPER.iter().zip(&results) {
+        match write_metrics_sidecar_text("fig11_dynamic_failure", scheme.name(), &out.report_json) {
+            Ok(p) => eprintln!("metrics sidecar: {}", p.display()),
+            Err(e) => {
+                eprintln!("metrics sidecar write failed: {e}");
+                sidecar_failed = true;
+            }
+        }
+        println!(
+            "{:<12}{:>12.1}{:>12.1}{:>12.1}{:>14}{:>12}{:>10}",
+            scheme.name(),
+            out.value("pre_bps") / 1e9,
+            out.value("during_bps") / 1e9,
+            out.value("post_bps") / 1e9,
+            out.text
+                .get("reconverge_ms")
+                .map(String::as_str)
+                .unwrap_or("?"),
+            out.value("blackholed") as u64,
+            out.value("stranded") as u64,
+        );
+    }
+    !sidecar_failed
+}
+
+/// Figure 12: uplink throughput imbalance at 60 % load, both workloads.
+/// Returns `false` if any sidecar write failed.
+pub fn fig12(args: &Args) -> bool {
+    let tracing = trace_args(args);
+    let opts = FleetOpts::from_args(args, tracing.is_some());
+    let mut sidecar_failed = false;
+    banner(
+        "Figure 12 — uplink throughput imbalance (MAX-MIN)/AVG at 60% load",
+        "synchronous 10ms samples of Leaf 0's four uplinks, baseline topology",
+    );
+    let workloads = [
+        (FlowSizeDist::enterprise(), 3000),
+        (FlowSizeDist::data_mining(), 600),
+    ];
+    let mut cells = Vec::new();
+    for (dist, flows) in &workloads {
+        for scheme in Scheme::PAPER {
+            let mut cfg = FctRun::new(
+                if args.quick {
+                    TestbedOpts::paper_baseline().quick()
+                } else {
+                    TestbedOpts::paper_baseline()
+                },
+                scheme,
+                dist.clone(),
+                0.6,
+            );
+            cfg.n_flows = if args.quick { 150 } else { *flows };
+            cfg.seed = args.seed;
+            cfg.sample_uplinks = true;
+            cfg.trace = tracing.as_ref().map(|t| t.spec.clone());
+            let label = format!("{}.{}", dist.name(), scheme.name());
+            cells.push(fig12_cell(label, cfg, args.quick, tracing.clone()));
+        }
+    }
+    let results = run_cells(cells, &opts);
+
+    let mut it = results.iter();
+    for (dist, _) in &workloads {
+        println!("\n({}) workload", dist.name());
+        println!(
+            "{:<12}{:>10}{:>10}{:>10}{:>10}",
+            "scheme", "p25 (%)", "p50 (%)", "p75 (%)", "p95 (%)"
+        );
+        for scheme in Scheme::PAPER {
+            let out = it.next().expect("one result per cell");
+            let label = format!("{}.{}", dist.name(), scheme.name());
+            match write_metrics_sidecar_text("fig12_imbalance", &label, &out.report_json) {
+                Ok(p) => eprintln!("metrics sidecar: {}", p.display()),
+                Err(e) => {
+                    eprintln!("metrics sidecar write failed: {e}");
+                    sidecar_failed = true;
+                }
+            }
+            if out.value("n_windows") == 0.0 {
+                println!(
+                    "{:<12}{:>10}{:>10}{:>10}{:>10}",
+                    scheme.name(),
+                    "-",
+                    "-",
+                    "-",
+                    "-"
+                );
+                continue;
+            }
+            println!(
+                "{:<12}{:>10.0}{:>10.0}{:>10.0}{:>10.0}",
+                scheme.name(),
+                out.value("p25"),
+                out.value("p50"),
+                out.value("p75"),
+                out.value("p95"),
+            );
+        }
+    }
+    !sidecar_failed
+}
+
+/// One Figure-12 cell: an uplink-sampling FCT run whose imbalance
+/// percentiles are derived in-worker (uplink samples are too bulky to
+/// cache; the four percentiles are what the figure needs).
+fn fig12_cell(
+    label: String,
+    cfg: FctRun,
+    quick: bool,
+    tracing: Option<crate::figures::TraceArgs>,
+) -> FleetCell {
+    let scenario = fct_scenario("fig12_imbalance", &label, &cfg, quick);
+    FleetCell {
+        scenario,
+        run: Box::new(move || {
+            let out = crate::runner::run_fct(&cfg);
+            if let (Some(t), Some(handle)) = (&tracing, &out.trace) {
+                write_trace_sidecars(&t.dir, "fig12_imbalance", &label, handle)
+                    .expect("trace sidecar write");
+            }
+            // Only windows where the uplinks average at least 10% utilized
+            // say anything about balance (idle head/tail windows would
+            // otherwise dominate the percentiles).
+            let min_avg = 0.10 * 40e9 * 0.010 / 8.0;
+            let imb = throughput_imbalance(&out.uplink_tx_samples, min_avg);
+            let mut r = CellResult {
+                summary: out.summary,
+                report_json: out.report.to_json(),
+                ..CellResult::default()
+            };
+            r.values.insert("n_windows".into(), imb.len() as f64);
+            if !imb.is_empty() {
+                for (k, p) in [("p25", 25.0), ("p50", 50.0), ("p75", 75.0), ("p95", 95.0)] {
+                    r.values.insert(k.into(), percentile(&imb, p) * 100.0);
+                }
+            }
+            r
+        }),
+    }
+}
+
+/// Figure 13: incast goodput vs fanout. Returns `false` if any sidecar
+/// write failed.
+pub fn fig13(args: &Args) -> bool {
+    let tracing = trace_args(args);
+    let opts = FleetOpts::from_args(args, tracing.is_some());
+    let mut sidecar_failed = false;
+    banner(
+        "Figure 13 — Incast: client goodput vs fanout",
+        "10MB striped over N synchronized senders into one 10G access link;\n\
+         y = goodput as % of line rate (paper: CONGA+TCP 2-8x MPTCP)",
+    );
+    let fanouts: Vec<u32> = if args.quick {
+        vec![4, 16, 48]
+    } else {
+        vec![1, 2, 4, 8, 16, 24, 32, 40, 48, 56, 63]
+    };
+    let rows = [
+        ("CONGA+TCP (minRTO 200ms)", Scheme::Conga, 200u64),
+        ("CONGA+TCP (minRTO 1ms)", Scheme::Conga, 1),
+        ("MPTCP (minRTO 200ms)", Scheme::Mptcp, 200),
+        ("MPTCP (minRTO 1ms)", Scheme::Mptcp, 1),
+    ];
+    let mtus = [
+        ("MTU 1500", TcpConfig::standard()),
+        ("MTU 9000", TcpConfig::jumbo()),
+    ];
+    let mut cells = Vec::new();
+    for (mtu_name, cfg) in &mtus {
+        for (label, scheme, rto_ms) in &rows {
+            let tcp = cfg.with_min_rto(SimDuration::from_millis(*rto_ms));
+            for &f in &fanouts {
+                let tag = format!("{mtu_name}.{label}.f{f:02}");
+                cells.push(incast_cell(
+                    tag,
+                    *scheme,
+                    f,
+                    tcp,
+                    args.seed,
+                    tracing.clone(),
+                ));
+            }
+        }
+    }
+    let results = run_cells(cells, &opts);
+
+    let mut it = results.iter();
+    for (mtu_name, _) in &mtus {
+        println!("\n({mtu_name})");
+        print!("{:<26}", "scheme / fanout");
+        for f in &fanouts {
+            print!("{:>7}", f);
+        }
+        println!();
+        for (label, _, _) in &rows {
+            print!("{label:<26}");
+            for &f in &fanouts {
+                let out = it.next().expect("one result per cell");
+                let tag = format!("{mtu_name}.{label}.f{f:02}");
+                match write_metrics_sidecar_text("fig13_incast", &tag, &out.report_json) {
+                    Ok(p) => eprintln!("metrics sidecar: {}", p.display()),
+                    Err(e) => {
+                        eprintln!("metrics sidecar write failed: {e}");
+                        sidecar_failed = true;
+                    }
+                }
+                print!("{:>7.1}", out.value("goodput_pct"));
+            }
+            println!();
+        }
+    }
+    !sidecar_failed
+}
+
+/// One incast cell: a custom synchronized-senders simulation (not an FCT
+/// sweep), hashed under `kind = "incast"`.
+fn incast_cell(
+    tag: String,
+    scheme: Scheme,
+    fanout: u32,
+    tcp: TcpConfig,
+    seed: u64,
+    tracing: Option<crate::figures::TraceArgs>,
+) -> FleetCell {
+    let mut scenario = Scenario::new("incast", "fig13_incast", &tag);
+    scenario.scheme = scheme.name().to_string();
+    scenario.seed = seed;
+    scenario.topo = TopoSpec {
+        leaves: 2,
+        spines: 2,
+        hosts_per_leaf: 32,
+        host_gbps: 10,
+        fabric_gbps: 40,
+        parallel: 2,
+        fail: None,
+    };
+    let scenario = scenario
+        .with_extra("fanout", fanout)
+        .with_extra("tcp.mss", tcp.mss)
+        .with_extra("tcp.min_rto_ns", tcp.min_rto.as_nanos());
+    FleetCell {
+        scenario,
+        run: Box::new(move || {
+            let spec = tracing.as_ref().map(|t| t.spec.clone());
+            let (pct, report, trace) = run_incast(scheme, fanout, tcp, seed, spec.as_ref());
+            if let (Some(t), Some(handle)) = (&tracing, &trace) {
+                write_trace_sidecars(&t.dir, "fig13_incast", &tag, handle)
+                    .expect("trace sidecar write");
+            }
+            let mut r = CellResult {
+                report_json: report.to_json(),
+                ..CellResult::default()
+            };
+            r.values.insert("goodput_pct".into(), pct);
+            r
+        }),
+    }
+}
+
+/// Run one incast: returns goodput as a % of the 10G access line rate, the
+/// run's telemetry report, and the trace handle (if tracing was requested).
+pub fn run_incast(
+    scheme: Scheme,
+    fanout: u32,
+    tcp: TcpConfig,
+    seed: u64,
+    trace: Option<&TraceSpec>,
+) -> (f64, RunReport, Option<conga_trace::TraceHandle>) {
+    conga_fleet::stats::note_cell_run();
+    let topo = LeafSpineBuilder::new(2, 2, 32)
+        .host_rate_gbps(10)
+        .fabric_rate_gbps(40)
+        .parallel_links(2)
+        .build();
+    let mut net = Network::new(topo, scheme.policy(), TransportLayer::new(), seed);
+    let trace = trace.map(|spec| spec.handle());
+    if let Some(t) = &trace {
+        net.set_tracer(t.clone());
+    }
+    let pat = IncastPattern::paper(fanout);
+    // Client = host 0 (leaf 0); servers spread over the remaining hosts,
+    // mostly remote so responses cross the fabric like the testbed's.
+    // Server responses carry a small exponential service-time jitter
+    // (mean 200us) — disk/kernel latency in the real benchmark; perfectly
+    // clock-synchronized byte-identical senders would otherwise finish in
+    // lockstep and all tail-drop together, which no real testbed does.
+    let mut jit = SimRng::new(seed ^ 0x1CA5);
+    let mut starts: Vec<(u64, FlowSpec)> = (0..fanout)
+        .map(|i| {
+            let server = HostId(1 + (i * 63 / fanout.max(1)) % 63);
+            (
+                (jit.exp(1.0 / 200_000.0)) as u64,
+                FlowSpec {
+                    src: server,
+                    dst: HostId(0),
+                    bytes: pat.per_server,
+                    kind: scheme.transport(tcp),
+                },
+            )
+        })
+        .collect();
+    starts.sort_by_key(|&(t, _)| t);
+    let mut prev = 0;
+    let arrivals: Vec<(SimDuration, FlowSpec)> = starts
+        .into_iter()
+        .map(|(t, spec)| {
+            let gap = SimDuration::from_nanos(t - prev);
+            prev = t;
+            (gap, spec)
+        })
+        .collect();
+    net.agent.attach_source(Box::new(ListSource::new(arrivals)));
+    if let Some((d, tok)) = net.agent.begin_source() {
+        net.schedule_timer(d, tok);
+    }
+    // Run until every response is delivered (generous bound: many RTOs).
+    let bound = SimTime::from_secs(30);
+    loop {
+        net.run_until(net.now() + SimDuration::from_millis(100));
+        if net.agent.completed_rx as u32 >= fanout || net.now() >= bound {
+            break;
+        }
+    }
+    let last_done = net
+        .agent
+        .records
+        .iter()
+        .filter_map(|r| r.rx_done)
+        .max()
+        .unwrap_or(net.now());
+    let total_bytes: u64 = pat.per_server * fanout as u64;
+    let goodput = total_bytes as f64 * 8.0 / last_done.as_secs_f64();
+    let mut report = RunReport::new();
+    report.set_meta("figure", "fig13_incast");
+    report.set_meta("scheme", scheme.name());
+    report.set_meta("fanout", fanout.to_string());
+    report.set_meta("seed", seed.to_string());
+    report.set_meta("mss", tcp.mss.to_string());
+    report.set_meta("min_rto_ns", tcp.min_rto.as_nanos().to_string());
+    report.set_meta("end_time_ns", net.now().as_nanos().to_string());
+    net.export_metrics(&mut report.metrics);
+    // Percentage of the 10G access link (the paper's y-axis).
+    (100.0 * goodput / 10e9, report, trace)
+}

@@ -1,0 +1,209 @@
+//! The work-stealing cell executor.
+//!
+//! Experiment cells are independent, single-threaded, CPU-bound
+//! simulations, so the pool is deliberately simple: each worker owns a
+//! deque of cell indices (dealt round-robin up front), pops from its own
+//! front, and when empty steals from the back of the most-loaded sibling.
+//! No cell spawns further cells, so an empty sweep of every deque is a
+//! correct termination condition.
+//!
+//! # Determinism contract
+//!
+//! Results are returned **in input order**, whatever the worker count or
+//! completion order: slot `i` of the returned vector always holds job
+//! `i`'s result. Jobs must not share mutable state (each cell builds its
+//! own simulator from its own seed), so the merged output of a sweep is a
+//! pure function of the job list — `--jobs 1` and `--jobs N` produce
+//! byte-identical artifacts. Only std threads are used.
+
+use std::collections::VecDeque;
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// A job's result plus how long it ran on its worker.
+#[derive(Debug, Clone)]
+pub struct Timed<R> {
+    /// What the job returned.
+    pub result: R,
+    /// Wall-clock the job spent executing (excludes queueing).
+    pub wall: Duration,
+}
+
+type Job<'a, R> = Box<dyn FnOnce() -> R + Send + 'a>;
+
+/// Run every job and return the results in input order.
+///
+/// `workers` is clamped to `[1, jobs.len()]`; with one worker the jobs
+/// run serially on the calling thread (no pool overhead, and `--jobs 1`
+/// is exactly the historical serial path). `on_done(i, wall)` fires as
+/// each job finishes — from worker threads, in completion order — for
+/// live progress reporting; keep it cheap and locked internally.
+pub fn run_ordered<'a, R: Send>(
+    jobs: Vec<Job<'a, R>>,
+    workers: usize,
+    on_done: &(dyn Fn(usize, Duration) + Sync),
+) -> Vec<Timed<R>> {
+    let n = jobs.len();
+    let workers = workers.max(1).min(n.max(1));
+    if workers <= 1 {
+        return jobs
+            .into_iter()
+            .enumerate()
+            .map(|(i, job)| {
+                let t0 = Instant::now();
+                let result = job();
+                let wall = t0.elapsed();
+                on_done(i, wall);
+                Timed { result, wall }
+            })
+            .collect();
+    }
+
+    // Job slots (taken once each) and per-worker index deques.
+    let slots: Vec<Mutex<Option<Job<'a, R>>>> =
+        jobs.into_iter().map(|j| Mutex::new(Some(j))).collect();
+    let queues: Vec<Mutex<VecDeque<usize>>> = (0..workers)
+        .map(|w| Mutex::new((w..n).step_by(workers).collect()))
+        .collect();
+    let results: Vec<Mutex<Option<Timed<R>>>> = (0..n).map(|_| Mutex::new(None)).collect();
+
+    std::thread::scope(|scope| {
+        for w in 0..workers {
+            let slots = &slots;
+            let queues = &queues;
+            let results = &results;
+            scope.spawn(move || loop {
+                // Own queue first (front)...
+                let mut idx = queues[w].lock().unwrap().pop_front();
+                if idx.is_none() {
+                    // ...then steal from the back of the fullest sibling.
+                    let mut best: Option<(usize, usize)> = None;
+                    for (q, queue) in queues.iter().enumerate() {
+                        if q == w {
+                            continue;
+                        }
+                        let len = queue.lock().unwrap().len();
+                        if len > 0 && best.map(|(_, l)| len > l).unwrap_or(true) {
+                            best = Some((q, len));
+                        }
+                    }
+                    if let Some((q, _)) = best {
+                        idx = queues[q].lock().unwrap().pop_back();
+                    }
+                }
+                let Some(i) = idx else { break };
+                let job = slots[i]
+                    .lock()
+                    .unwrap()
+                    .take()
+                    .expect("each job index is queued exactly once");
+                let t0 = Instant::now();
+                let result = job();
+                let wall = t0.elapsed();
+                on_done(i, wall);
+                *results[i].lock().unwrap() = Some(Timed { result, wall });
+            });
+        }
+    });
+
+    results
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .unwrap()
+                .expect("every queued job stores a result")
+        })
+        .collect()
+}
+
+/// [`run_ordered`] without progress reporting.
+pub fn run_ordered_quiet<'a, R: Send>(jobs: Vec<Job<'a, R>>, workers: usize) -> Vec<Timed<R>> {
+    run_ordered(jobs, workers, &|_, _| {})
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    fn squares(n: usize) -> Vec<Job<'static, usize>> {
+        (0..n)
+            .map(|i| Box::new(move || i * i) as Job<'static, usize>)
+            .collect()
+    }
+
+    #[test]
+    fn results_are_in_input_order_for_any_worker_count() {
+        for workers in [1, 2, 4, 9] {
+            let out = run_ordered_quiet(squares(25), workers);
+            let vals: Vec<usize> = out.into_iter().map(|t| t.result).collect();
+            let want: Vec<usize> = (0..25).map(|i| i * i).collect();
+            assert_eq!(vals, want, "workers={workers}");
+        }
+    }
+
+    #[test]
+    fn every_job_runs_exactly_once() {
+        let count = AtomicUsize::new(0);
+        let jobs: Vec<Job<usize>> = (0..40usize)
+            .map(|i| {
+                let count = &count;
+                Box::new(move || {
+                    count.fetch_add(1, Ordering::SeqCst);
+                    i
+                }) as Job<usize>
+            })
+            .collect();
+        let out = run_ordered_quiet(jobs, 4);
+        assert_eq!(count.load(Ordering::SeqCst), 40);
+        assert_eq!(out.len(), 40);
+    }
+
+    #[test]
+    fn stealing_drains_uneven_queues() {
+        // One slow job pinned to worker 0's queue head; the rest are fast
+        // and must be stolen by the idle workers.
+        let jobs: Vec<Job<u64>> = (0..12)
+            .map(|i| {
+                Box::new(move || {
+                    if i == 0 {
+                        std::thread::sleep(Duration::from_millis(30));
+                    }
+                    i as u64
+                }) as Job<u64>
+            })
+            .collect();
+        let t0 = Instant::now();
+        let out = run_ordered_quiet(jobs, 3);
+        assert_eq!(out.len(), 12);
+        assert!(
+            t0.elapsed() < Duration::from_secs(5),
+            "stealing should not deadlock"
+        );
+        let vals: Vec<u64> = out.into_iter().map(|t| t.result).collect();
+        assert_eq!(vals, (0..12).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn more_workers_than_jobs_is_fine() {
+        let out = run_ordered_quiet(squares(2), 16);
+        assert_eq!(out.len(), 2);
+        assert_eq!(out[1].result, 1);
+    }
+
+    #[test]
+    fn empty_job_list_is_fine() {
+        let out = run_ordered_quiet(Vec::<Job<u32>>::new(), 4);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn on_done_fires_once_per_job() {
+        let fired = AtomicUsize::new(0);
+        let out = run_ordered(squares(10), 4, &|_, _| {
+            fired.fetch_add(1, Ordering::SeqCst);
+        });
+        assert_eq!(out.len(), 10);
+        assert_eq!(fired.load(Ordering::SeqCst), 10);
+    }
+}

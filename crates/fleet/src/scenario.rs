@@ -1,0 +1,275 @@
+//! Scenario manifests: a declarative, hashable description of one
+//! experiment cell.
+//!
+//! Every evaluation figure is a sweep over a
+//! `scheme × load × seed × fault` matrix whose cells are independent,
+//! single-threaded, deterministic simulations. A [`Scenario`] captures
+//! everything that determines a cell's outputs — and *nothing else* — so
+//! its content hash can key a result cache: two cells with equal hashes
+//! produce byte-identical artifacts, and a cached result can stand in for
+//! a run.
+//!
+//! # Canonical serialization
+//!
+//! [`Scenario::canonical`] renders the spec as `key=value` lines in a
+//! fixed, documented order (extras sorted by key). The encoding is pure
+//! data — no floats formatted with locale, no map iteration order, no
+//! wall-clock — so it is stable across runs, worker threads, and
+//! machines. [`Scenario::content_hash`] is FNV-1a/64 over those bytes,
+//! rendered as 16 hex digits.
+//!
+//! The canonical form embeds [`CACHE_FORMAT_VERSION`]; bump it whenever
+//! simulation semantics change so stale cache entries can never be
+//! served for new code.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Version tag folded into every canonical serialization. Bump on any
+/// change to simulation semantics or to the cached result layout: old
+/// cache entries then miss instead of serving stale data.
+pub const CACHE_FORMAT_VERSION: u32 = 1;
+
+/// The topology of a cell, mirroring the experiment harness's testbed
+/// options as plain data.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TopoSpec {
+    /// Leaves.
+    pub leaves: u32,
+    /// Spines.
+    pub spines: u32,
+    /// Hosts per leaf.
+    pub hosts_per_leaf: u32,
+    /// Host NIC rate, Gbps.
+    pub host_gbps: u64,
+    /// Fabric link rate, Gbps.
+    pub fabric_gbps: u64,
+    /// Parallel links per leaf-spine pair.
+    pub parallel: u32,
+    /// Link failed from t = 0, as (leaf, spine, parallel index).
+    pub fail: Option<(u32, u32, u32)>,
+}
+
+/// One scheduled runtime link transition, as plain data.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FaultSpec {
+    /// Absolute simulation time of the transition, nanoseconds.
+    pub at_ns: u64,
+    /// Leaf side of the link.
+    pub leaf: u32,
+    /// Spine side of the link.
+    pub spine: u32,
+    /// Parallel-link index.
+    pub parallel: u32,
+    /// `false` = fail, `true` = recover.
+    pub up: bool,
+}
+
+/// A complete, hashable description of one experiment cell.
+///
+/// Cells that need knobs beyond the common fields (incast fanout, TCP
+/// overrides, ...) record them in [`extra`](Self::extra); the map is part
+/// of the canonical form, serialized in sorted key order.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Scenario {
+    /// Cell family: `"fct"`, `"dynfail"`, `"incast"`, ...
+    pub kind: String,
+    /// The figure this cell belongs to (`"fig09_enterprise"`, ...).
+    pub figure: String,
+    /// Human-readable cell label (also names sidecar artifacts).
+    pub label: String,
+    /// Scheme under test, by display name (`"ECMP"`, `"CONGA"`, ...).
+    pub scheme: String,
+    /// Flow-size distribution, by name (`""` when not applicable).
+    pub dist: String,
+    /// Offered load as a fraction of baseline bisection bandwidth.
+    pub load: f64,
+    /// RNG seed.
+    pub seed: u64,
+    /// Number of flows per direction (0 when not applicable).
+    pub n_flows: u64,
+    /// Reduced problem size (`--quick`)?
+    pub quick: bool,
+    /// Synchronous uplink sampling enabled?
+    pub sample_uplinks: bool,
+    /// The fabric.
+    pub topo: TopoSpec,
+    /// Scheduled runtime link transitions, in schedule order.
+    pub faults: Vec<FaultSpec>,
+    /// Cell-specific knobs, part of the hash (sorted by key).
+    pub extra: BTreeMap<String, String>,
+}
+
+impl Scenario {
+    /// A blank scenario for the given family/figure/label; callers fill
+    /// in the rest.
+    pub fn new(kind: &str, figure: &str, label: &str) -> Self {
+        Scenario {
+            kind: kind.to_string(),
+            figure: figure.to_string(),
+            label: label.to_string(),
+            scheme: String::new(),
+            dist: String::new(),
+            load: 0.0,
+            seed: 0,
+            n_flows: 0,
+            quick: false,
+            sample_uplinks: false,
+            topo: TopoSpec {
+                leaves: 0,
+                spines: 0,
+                hosts_per_leaf: 0,
+                host_gbps: 0,
+                fabric_gbps: 0,
+                parallel: 0,
+                fail: None,
+            },
+            faults: Vec::new(),
+            extra: BTreeMap::new(),
+        }
+    }
+
+    /// Attach a cell-specific knob (builder style).
+    pub fn with_extra(mut self, key: &str, value: impl ToString) -> Self {
+        self.extra.insert(key.to_string(), value.to_string());
+        self
+    }
+
+    /// The canonical `key=value` serialization: fixed field order, extras
+    /// sorted, floats in Rust's shortest round-trip form, `\n`-separated.
+    pub fn canonical(&self) -> String {
+        let mut out = String::with_capacity(256);
+        let _ = writeln!(out, "version={CACHE_FORMAT_VERSION}");
+        let _ = writeln!(out, "kind={}", self.kind);
+        let _ = writeln!(out, "figure={}", self.figure);
+        let _ = writeln!(out, "label={}", self.label);
+        let _ = writeln!(out, "scheme={}", self.scheme);
+        let _ = writeln!(out, "dist={}", self.dist);
+        let _ = writeln!(out, "load={}", self.load);
+        let _ = writeln!(out, "seed={}", self.seed);
+        let _ = writeln!(out, "n_flows={}", self.n_flows);
+        let _ = writeln!(out, "quick={}", self.quick);
+        let _ = writeln!(out, "sample_uplinks={}", self.sample_uplinks);
+        let t = &self.topo;
+        let _ = writeln!(
+            out,
+            "topo={}x{}x{}@{}G/{}G par{}",
+            t.leaves, t.spines, t.hosts_per_leaf, t.host_gbps, t.fabric_gbps, t.parallel
+        );
+        match t.fail {
+            Some((l, s, p)) => {
+                let _ = writeln!(out, "topo.fail={l}:{s}:{p}");
+            }
+            None => {
+                let _ = writeln!(out, "topo.fail=none");
+            }
+        }
+        for f in &self.faults {
+            let _ = writeln!(
+                out,
+                "fault={}@{}ns:{}:{}:{}",
+                if f.up { "recover" } else { "fail" },
+                f.at_ns,
+                f.leaf,
+                f.spine,
+                f.parallel
+            );
+        }
+        for (k, v) in &self.extra {
+            let _ = writeln!(out, "x.{k}={v}");
+        }
+        out
+    }
+
+    /// The content hash of the canonical serialization: FNV-1a/64 as 16
+    /// lowercase hex digits. Cache entries live at
+    /// `results/cache/<hash>.json`.
+    pub fn content_hash(&self) -> String {
+        format!("{:016x}", fnv1a64(self.canonical().as_bytes()))
+    }
+}
+
+/// FNV-1a, 64-bit. Not cryptographic — collision of two *distinct
+/// scenarios actually present in one repository's sweep matrix* is the
+/// relevant event, and at a few thousand cells the birthday bound is
+/// ~1e-13.
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Scenario {
+        let mut s = Scenario::new("fct", "fig09_enterprise", "CONGA.load30.r0");
+        s.scheme = "CONGA".into();
+        s.dist = "enterprise".into();
+        s.load = 0.3;
+        s.seed = 1;
+        s.n_flows = 120;
+        s.quick = true;
+        s.topo = TopoSpec {
+            leaves: 2,
+            spines: 2,
+            hosts_per_leaf: 8,
+            host_gbps: 10,
+            fabric_gbps: 40,
+            parallel: 2,
+            fail: None,
+        };
+        s
+    }
+
+    #[test]
+    fn hash_is_stable_for_equal_scenarios() {
+        assert_eq!(sample().content_hash(), sample().content_hash());
+        assert_eq!(sample().canonical(), sample().canonical());
+    }
+
+    #[test]
+    fn every_field_reaches_the_hash() {
+        let base = sample().content_hash();
+        let mut s = sample();
+        s.seed = 2;
+        assert_ne!(s.content_hash(), base);
+        let mut s = sample();
+        s.load = 0.6;
+        assert_ne!(s.content_hash(), base);
+        let mut s = sample();
+        s.topo.fail = Some((1, 1, 0));
+        assert_ne!(s.content_hash(), base);
+        let mut s = sample();
+        s.faults.push(FaultSpec {
+            at_ns: 80_000_000,
+            leaf: 1,
+            spine: 1,
+            parallel: 0,
+            up: false,
+        });
+        assert_ne!(s.content_hash(), base);
+        let s = sample().with_extra("fanout", 16u32);
+        assert_ne!(s.content_hash(), base);
+    }
+
+    #[test]
+    fn extras_serialize_sorted() {
+        let s = sample().with_extra("zeta", 1u32).with_extra("alpha", 2u32);
+        let c = s.canonical();
+        let a = c.find("x.alpha=2").expect("alpha present");
+        let z = c.find("x.zeta=1").expect("zeta present");
+        assert!(a < z, "extras must be sorted by key");
+    }
+
+    #[test]
+    fn hash_is_hex16() {
+        let h = sample().content_hash();
+        assert_eq!(h.len(), 16);
+        assert!(h.chars().all(|c| c.is_ascii_hexdigit()));
+    }
+}

@@ -20,6 +20,9 @@
 //! * [`trace`] — structured event tracing with decision provenance,
 //!   deterministic JSONL + Chrome `trace_event` exporters, and the
 //!   `trace_explain` replay tool;
+//! * [`fleet`] — the experiment orchestrator: hashable scenario specs, a
+//!   work-stealing parallel executor with deterministic merge, and the
+//!   content-addressed result cache behind the `fleet` binary;
 //! * [`experiments`] — the figure harness (testbed topologies, the scheme
 //!   matrix, the open-loop FCT runner).
 //!
@@ -57,6 +60,7 @@
 pub use conga_analysis as analysis;
 pub use conga_core as core;
 pub use conga_experiments as experiments;
+pub use conga_fleet as fleet;
 pub use conga_net as net;
 pub use conga_sim as sim;
 pub use conga_telemetry as telemetry;

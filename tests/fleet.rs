@@ -1,0 +1,167 @@
+//! The fleet executor's two contracts, asserted end-to-end through the
+//! real figure code paths:
+//!
+//! 1. **Merge determinism** — a sweep routed through the work-stealing
+//!    executor produces byte-identical merged artifacts (every
+//!    `results/<figure>*` file it writes) whatever the worker count:
+//!    `--jobs 1` and `--jobs 4` are indistinguishable from the artifacts
+//!    alone.
+//! 2. **Cache transparency** — re-running a sweep against a warm
+//!    content-addressed result cache serves every cell as a hit and still
+//!    emits byte-identical artifacts; the cache is an invisible
+//!    accelerator, never an observable state change.
+//!
+//! The tests use `testfleet*` figure names (gitignored) and a temp cache
+//! directory so they cannot collide with real figure artifacts.
+
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+
+use conga::experiments::figures::fct_sweep;
+use conga::experiments::{fct_cell, run_cells, Args, FctRun, FleetOpts, Scheme, TestbedOpts};
+use conga::fleet::ResultCache;
+use conga::workloads::FlowSizeDist;
+
+/// Parse figure-binary flags for a test sweep.
+fn test_args(extra: &[&str]) -> Args {
+    let mut argv: Vec<String> = vec!["--quick".into(), "--seed".into(), "11".into()];
+    argv.extend(extra.iter().map(|s| s.to_string()));
+    Args::from_iter(argv).expect("test flags parse")
+}
+
+/// Snapshot every artifact a figure wrote: `results/<figure>*` file names
+/// mapped to their bytes, then delete them so the next pass starts clean.
+fn take_artifacts(figure: &str) -> BTreeMap<String, Vec<u8>> {
+    let mut out = BTreeMap::new();
+    let dir = Path::new("results");
+    for entry in std::fs::read_dir(dir).expect("results dir exists") {
+        let entry = entry.expect("readable entry");
+        let name = entry.file_name().to_string_lossy().into_owned();
+        if name.starts_with(figure) {
+            out.insert(name, std::fs::read(entry.path()).expect("readable file"));
+            std::fs::remove_file(entry.path()).expect("removable file");
+        }
+    }
+    assert!(!out.is_empty(), "sweep must write artifacts for {figure}");
+    out
+}
+
+fn run_sweep(figure: &str, extra: &[&str]) -> BTreeMap<String, Vec<u8>> {
+    let args = test_args(extra);
+    fct_sweep(
+        &args,
+        figure,
+        TestbedOpts::paper_baseline(),
+        &FlowSizeDist::enterprise(),
+        &[0.3, 0.6],
+        &[Scheme::Ecmp, Scheme::Conga],
+        120,
+    );
+    take_artifacts(figure)
+}
+
+#[test]
+fn sweep_artifacts_byte_identical_across_jobs_and_cache_state() {
+    let figure = "testfleet_sweep";
+    let cache_dir = std::env::temp_dir().join("conga-testfleet-cache");
+    let _ = std::fs::remove_dir_all(&cache_dir);
+    let cache_flag = cache_dir.to_string_lossy().into_owned();
+
+    // Serial and 4-worker runs, cache bypassed: pure executor determinism.
+    let serial = run_sweep(figure, &["--no-cache", "--jobs", "1"]);
+    let parallel = run_sweep(figure, &["--no-cache", "--jobs", "4"]);
+    assert_eq!(
+        serial.keys().collect::<Vec<_>>(),
+        parallel.keys().collect::<Vec<_>>(),
+        "worker count must not change which artifacts exist"
+    );
+    for (name, bytes) in &serial {
+        assert_eq!(
+            bytes, &parallel[name],
+            "{name} must be byte-identical for --jobs 1 vs --jobs 4"
+        );
+    }
+
+    // Cold-cache run fills the cache; the warm run must be all hits and
+    // still byte-identical to the serial no-cache pass.
+    let hits_before = conga::fleet::stats::cache_hits();
+    let cold = run_sweep(figure, &["--jobs", "2", "--cache-dir", &cache_flag]);
+    assert_eq!(
+        conga::fleet::stats::cache_hits(),
+        hits_before,
+        "cold cache must not hit"
+    );
+    let n_entries = std::fs::read_dir(&cache_dir)
+        .expect("cache dir created")
+        .count();
+    assert_eq!(n_entries, 4, "2 schemes x 2 loads x 1 quick run cached");
+
+    let warm = run_sweep(figure, &["--jobs", "2", "--cache-dir", &cache_flag]);
+    assert_eq!(
+        conga::fleet::stats::cache_hits() - hits_before,
+        4,
+        "warm cache must serve every cell"
+    );
+    for (name, bytes) in &serial {
+        assert_eq!(bytes, &cold[name], "{name}: cold-cache run must match");
+        assert_eq!(bytes, &warm[name], "{name}: warm-cache run must match");
+    }
+    let _ = std::fs::remove_dir_all(&cache_dir);
+}
+
+#[test]
+fn run_reports_identical_across_worker_counts() {
+    // Below the artifact layer: the in-memory cell results (including the
+    // full RunReport JSON) must match between worker counts.
+    let cells = || -> Vec<_> {
+        (0..5)
+            .map(|i| {
+                let mut cfg = FctRun::new(
+                    TestbedOpts::paper_baseline().quick(),
+                    Scheme::CongaFlow,
+                    FlowSizeDist::data_mining(),
+                    0.4,
+                );
+                cfg.n_flows = 40;
+                cfg.seed = 100 + i;
+                fct_cell("testfleet_reports", &format!("cell{i}"), cfg, true, None)
+            })
+            .collect()
+    };
+    let opts = |jobs: usize| FleetOpts {
+        jobs,
+        cache: ResultCache::disabled(),
+    };
+    let one = run_cells(cells(), &opts(1));
+    let four = run_cells(cells(), &opts(4));
+    assert_eq!(one.len(), four.len());
+    for (a, b) in one.iter().zip(&four) {
+        assert_eq!(
+            a.report_json, b.report_json,
+            "RunReport must not depend on --jobs"
+        );
+        assert_eq!(
+            a.to_json(),
+            b.to_json(),
+            "cell result must not depend on --jobs"
+        );
+    }
+    // Sanity: distinct seeds really produced distinct reports.
+    assert_ne!(one[0].report_json, one[1].report_json);
+}
+
+#[test]
+fn traced_cells_never_cache() {
+    // A traced sweep must bypass the cache outright: trace sidecars only
+    // exist when the cell actually runs.
+    let args = test_args(&["--trace", "/tmp/conga-testfleet-trace"]);
+    let opts = FleetOpts::from_args(&args, true);
+    assert!(!opts.cache.is_enabled(), "tracing must disable the cache");
+    let untraced = FleetOpts::from_args(&test_args(&[]), false);
+    assert!(untraced.cache.is_enabled(), "default runs use the cache");
+    assert_eq!(
+        untraced.cache.path_for("abc"),
+        Some(PathBuf::from("results/cache/abc.json")),
+        "default cache location"
+    );
+}
