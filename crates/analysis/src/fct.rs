@@ -3,8 +3,6 @@
 //! (idle-network) FCT, plus small-flow (< 100 KB) and large-flow (> 10 MB)
 //! breakdowns normalized to a baseline scheme.
 
-use crate::stats::mean;
-
 /// Size boundaries used throughout the paper's FCT breakdowns.
 pub const SMALL_FLOW_BYTES: u64 = 100_000;
 /// Large-flow threshold (> 10 MB).
@@ -33,15 +31,35 @@ pub struct FctSummary {
     /// Mean per-flow slowdown (mean of FCT/optimal ratios) — a tail-
     /// sensitive companion metric.
     pub mean_slowdown: f64,
-    /// Mean FCT of flows < 100 KB, seconds.
-    pub small_avg_s: f64,
-    /// Mean FCT of flows > 10 MB, seconds.
-    pub large_avg_s: f64,
+    /// Mean FCT of flows < 100 KB, seconds (`None` when no such flow
+    /// completed — distinct from a genuine 0-second mean).
+    pub small_avg_s: Option<f64>,
+    /// Mean FCT of flows > 10 MB, seconds (`None` when the bucket is
+    /// empty).
+    pub large_avg_s: Option<f64>,
     /// Flows that never completed (counted, excluded from means).
     pub incomplete: usize,
 }
 
+impl FctSummary {
+    /// Small-flow mean with empty buckets reading as 0.0 (the historical
+    /// sentinel, still used by plain-text figure tables).
+    pub fn small_avg_or_zero(&self) -> f64 {
+        self.small_avg_s.unwrap_or(0.0)
+    }
+
+    /// Large-flow mean with empty buckets reading as 0.0.
+    pub fn large_avg_or_zero(&self) -> f64 {
+        self.large_avg_s.unwrap_or(0.0)
+    }
+}
+
 /// Aggregate samples (plus a count of flows that never finished).
+///
+/// Single pass: every mean is accumulated in sample order, which keeps
+/// the floating-point results bit-identical to the historical
+/// collect-then-average implementation (f64 addition is performed in the
+/// same order) while allocating nothing.
 pub fn summarize(samples: &[FctSample], incomplete: usize) -> FctSummary {
     if samples.is_empty() {
         return FctSummary {
@@ -49,29 +67,32 @@ pub fn summarize(samples: &[FctSample], incomplete: usize) -> FctSummary {
             ..FctSummary::default()
         };
     }
-    let all: Vec<f64> = samples.iter().map(|s| s.fct_s).collect();
-    let ideal: Vec<f64> = samples.iter().map(|s| s.ideal_s).collect();
-    let norm: Vec<f64> = samples
-        .iter()
-        .map(|s| s.fct_s / s.ideal_s.max(1e-12))
-        .collect();
-    let small: Vec<f64> = samples
-        .iter()
-        .filter(|s| s.bytes < SMALL_FLOW_BYTES)
-        .map(|s| s.fct_s)
-        .collect();
-    let large: Vec<f64> = samples
-        .iter()
-        .filter(|s| s.bytes > LARGE_FLOW_BYTES)
-        .map(|s| s.fct_s)
-        .collect();
+    let mut sum_all = 0.0f64;
+    let mut sum_ideal = 0.0f64;
+    let mut sum_norm = 0.0f64;
+    let (mut sum_small, mut n_small) = (0.0f64, 0usize);
+    let (mut sum_large, mut n_large) = (0.0f64, 0usize);
+    for s in samples {
+        sum_all += s.fct_s;
+        sum_ideal += s.ideal_s;
+        sum_norm += s.fct_s / s.ideal_s.max(1e-12);
+        if s.bytes < SMALL_FLOW_BYTES {
+            sum_small += s.fct_s;
+            n_small += 1;
+        }
+        if s.bytes > LARGE_FLOW_BYTES {
+            sum_large += s.fct_s;
+            n_large += 1;
+        }
+    }
+    let n = samples.len() as f64;
     FctSummary {
         n: samples.len(),
-        avg_s: mean(&all),
-        avg_norm_optimal: mean(&all) / mean(&ideal).max(1e-12),
-        mean_slowdown: mean(&norm),
-        small_avg_s: mean(&small),
-        large_avg_s: mean(&large),
+        avg_s: sum_all / n,
+        avg_norm_optimal: (sum_all / n) / (sum_ideal / n).max(1e-12),
+        mean_slowdown: sum_norm / n,
+        small_avg_s: (n_small > 0).then(|| sum_small / n_small as f64),
+        large_avg_s: (n_large > 0).then(|| sum_large / n_large as f64),
         incomplete,
     }
 }
@@ -143,8 +164,8 @@ mod tests {
         let s = summarize(&samples, 1);
         assert_eq!(s.n, 3);
         assert_eq!(s.incomplete, 1);
-        assert!((s.small_avg_s - 0.001).abs() < 1e-12);
-        assert!((s.large_avg_s - 0.05).abs() < 1e-12);
+        assert!((s.small_avg_s.unwrap() - 0.001).abs() < 1e-12);
+        assert!((s.large_avg_s.unwrap() - 0.05).abs() < 1e-12);
         // Ratio of means: mean(fct)/mean(ideal) = 0.053/3 / (0.0415/3).
         assert!((s.avg_norm_optimal - 0.053 / 0.0415).abs() < 1e-9);
         // Mean slowdown = mean(2, 1.25, 2) = 1.75.
@@ -157,6 +178,25 @@ mod tests {
         assert_eq!(s.n, 0);
         assert_eq!(s.incomplete, 4);
         assert_eq!(s.avg_s, 0.0);
+        assert_eq!(s.small_avg_s, None);
+        assert_eq!(s.large_avg_s, None);
+    }
+
+    #[test]
+    fn empty_size_buckets_are_none_not_zero() {
+        // One mid-sized flow: neither small (<100KB) nor large (>10MB).
+        let s = summarize(
+            &[FctSample {
+                bytes: 500_000,
+                fct_s: 0.002,
+                ideal_s: 0.001,
+            }],
+            0,
+        );
+        assert_eq!(s.small_avg_s, None);
+        assert_eq!(s.large_avg_s, None);
+        assert_eq!(s.small_avg_or_zero(), 0.0);
+        assert!(s.avg_s > 0.0);
     }
 
     #[test]

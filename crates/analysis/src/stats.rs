@@ -20,28 +20,33 @@ pub fn std_dev(xs: &[f64]) -> f64 {
 }
 
 /// The `p`-th percentile (0–100) by linear interpolation on the sorted
-/// sample. Panics on empty input.
-pub fn percentile(xs: &[f64], p: f64) -> f64 {
-    assert!(!xs.is_empty(), "percentile of empty sample");
-    assert!((0.0..=100.0).contains(&p));
+/// sample. Returns `None` for an empty sample (experiment cells can
+/// legitimately produce zero observations — e.g. no utilized windows, no
+/// completed flows — and must not take the whole run down). `p` outside
+/// [0, 100] is a caller bug and still asserts.
+pub fn percentile(xs: &[f64], p: f64) -> Option<f64> {
+    assert!((0.0..=100.0).contains(&p), "percentile rank out of range");
+    if xs.is_empty() {
+        return None;
+    }
     let mut s: Vec<f64> = xs.to_vec();
-    s.sort_by(|a, b| a.partial_cmp(b).expect("no NaN"));
+    s.sort_by(f64::total_cmp);
     let rank = p / 100.0 * (s.len() - 1) as f64;
     let lo = rank.floor() as usize;
     let hi = rank.ceil() as usize;
-    if lo == hi {
+    Some(if lo == hi {
         s[lo]
     } else {
         let f = rank - lo as f64;
         s[lo] * (1.0 - f) + s[hi] * f
-    }
+    })
 }
 
 /// An empirical CDF: sorted `(value, cumulative probability)` points
 /// suitable for plotting.
 pub fn ecdf(xs: &[f64]) -> Vec<(f64, f64)> {
     let mut s: Vec<f64> = xs.to_vec();
-    s.sort_by(|a, b| a.partial_cmp(b).expect("no NaN"));
+    s.sort_by(f64::total_cmp);
     let n = s.len() as f64;
     s.into_iter()
         .enumerate()
@@ -116,10 +121,16 @@ mod tests {
     #[test]
     fn percentiles_interpolate() {
         let xs = [10.0, 20.0, 30.0, 40.0];
-        assert_eq!(percentile(&xs, 0.0), 10.0);
-        assert_eq!(percentile(&xs, 100.0), 40.0);
-        assert_eq!(percentile(&xs, 50.0), 25.0);
-        assert!((percentile(&xs, 90.0) - 37.0).abs() < 1e-9);
+        assert_eq!(percentile(&xs, 0.0), Some(10.0));
+        assert_eq!(percentile(&xs, 100.0), Some(40.0));
+        assert_eq!(percentile(&xs, 50.0), Some(25.0));
+        assert!((percentile(&xs, 90.0).unwrap() - 37.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn percentile_of_empty_sample_is_none() {
+        assert_eq!(percentile(&[], 50.0), None);
+        assert_eq!(percentile(&[], 0.0), None);
     }
 
     #[test]

@@ -1,16 +1,107 @@
 //! A tiny self-timing benchmark harness.
 //!
 //! The workspace carries no external benchmark framework; each
-//! `[[bench]]` target sets `harness = false` and drives the two entry
+//! `[[bench]]` target sets `harness = false` and drives the entry
 //! points below from its own `main`. Numbers print as `ns/iter` (best of
 //! three passes) — indicative, not statistically rigorous.
+//!
+//! The `regression` bench target additionally collects its measurements
+//! into a [`BenchReport`] and writes `results/BENCH_engine.json`, so the
+//! engine's bench trajectory accumulates in-repo. The report's
+//! *structure* (schema tag, suite name, bench names and their order) is
+//! deterministic; only `iters` and `ns_per_iter` vary run-to-run.
 
+use std::fmt::Write as _;
 pub use std::hint::black_box;
 use std::time::{Duration, Instant};
 
 /// Benchmark `f`, auto-calibrating the iteration count so one pass runs
 /// for at least ~60 ms, then reporting the best of three passes.
 pub fn bench(name: &str, mut f: impl FnMut()) {
+    calibrate_and_run(name, 3, &mut f);
+}
+
+/// Benchmark `f` with a fixed iteration count per pass (for expensive
+/// bodies where doubling calibration would take too long).
+pub fn bench_n(name: &str, iters: u64, mut f: impl FnMut()) {
+    bench_passes(name, iters, 2, &mut f);
+}
+
+/// One measured benchmark: a stable name plus its (machine-dependent)
+/// iteration count and best-pass nanoseconds per iteration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchEntry {
+    /// Stable benchmark identifier, e.g. `event_queue/heap_hot`.
+    pub name: String,
+    /// Iterations per timing pass (calibrated or fixed).
+    pub iters: u64,
+    /// Best-of-passes nanoseconds per iteration.
+    pub ns_per_iter: f64,
+}
+
+/// An ordered collection of benchmark measurements destined for
+/// `results/BENCH_engine.json`.
+#[derive(Debug, Clone, Default)]
+pub struct BenchReport {
+    /// Entries in execution order (the order is part of the schema).
+    pub entries: Vec<BenchEntry>,
+}
+
+/// The schema tag stamped into every report; bump when the JSON layout
+/// changes incompatibly.
+pub const BENCH_SCHEMA: &str = "conga-bench-engine/v1";
+
+impl BenchReport {
+    /// Benchmark `f` with auto-calibration, print the usual line, and
+    /// record the measurement.
+    pub fn bench(&mut self, name: &str, mut f: impl FnMut()) {
+        let (iters, best) = calibrate_and_run(name, 3, &mut f);
+        self.entries.push(BenchEntry {
+            name: name.to_string(),
+            iters,
+            ns_per_iter: best,
+        });
+    }
+
+    /// Benchmark `f` with a fixed per-pass iteration count, print, and
+    /// record.
+    pub fn bench_n(&mut self, name: &str, iters: u64, mut f: impl FnMut()) {
+        let best = bench_passes(name, iters, 2, &mut f);
+        self.entries.push(BenchEntry {
+            name: name.to_string(),
+            iters,
+            ns_per_iter: best,
+        });
+    }
+
+    /// Render the deterministic-structure JSON document.
+    ///
+    /// Keys appear in a fixed order; entry order is execution order.
+    /// Timing values are rounded to 0.1 ns so the file stays readable.
+    pub fn to_json(&self, suite: &str) -> String {
+        let mut out = String::with_capacity(256 + self.entries.len() * 96);
+        out.push_str("{\n");
+        let _ = writeln!(out, "  \"schema\": \"{BENCH_SCHEMA}\",");
+        let _ = writeln!(out, "  \"suite\": \"{suite}\",");
+        out.push_str("  \"benches\": [\n");
+        for (i, e) in self.entries.iter().enumerate() {
+            let _ = write!(
+                out,
+                "    {{\"name\": \"{}\", \"iters\": {}, \"ns_per_iter\": {:.1}}}",
+                e.name, e.iters, e.ns_per_iter
+            );
+            out.push_str(if i + 1 < self.entries.len() {
+                ",\n"
+            } else {
+                "\n"
+            });
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+}
+
+fn calibrate_and_run(name: &str, passes: u32, f: &mut impl FnMut()) -> (u64, f64) {
     let budget = Duration::from_millis(60);
     let mut n: u64 = 1;
     loop {
@@ -23,16 +114,10 @@ pub fn bench(name: &str, mut f: impl FnMut()) {
         }
         n *= 2;
     }
-    bench_passes(name, n, 3, &mut f);
+    (n, bench_passes(name, n, passes, f))
 }
 
-/// Benchmark `f` with a fixed iteration count per pass (for expensive
-/// bodies where doubling calibration would take too long).
-pub fn bench_n(name: &str, iters: u64, mut f: impl FnMut()) {
-    bench_passes(name, iters, 2, &mut f);
-}
-
-fn bench_passes(name: &str, iters: u64, passes: u32, f: &mut impl FnMut()) {
+fn bench_passes(name: &str, iters: u64, passes: u32, f: &mut impl FnMut()) -> f64 {
     let mut best = f64::INFINITY;
     for _ in 0..passes {
         let t = Instant::now();
@@ -52,4 +137,5 @@ fn bench_passes(name: &str, iters: u64, passes: u32, f: &mut impl FnMut()) {
     } else {
         println!("{name:<32} {best:>14.1} ns/iter  ({iters} iters/pass)");
     }
+    best
 }

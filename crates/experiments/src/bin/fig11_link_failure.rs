@@ -119,18 +119,10 @@ fn run_and_sample_hotspot(cfg: &FctRun) -> ((f64, f64, f64, f64), conga_telemetr
     // queue series from fabric mean/max stats: use the generic sampler by
     // running a custom copy here.
     let (out, report) = run_fct_sampling(cfg, hotspot[0]);
-    if out.is_empty() {
-        return ((0.0, 0.0, 0.0, 0.0), report);
-    }
-    (
-        (
-            percentile(&out, 50.0),
-            percentile(&out, 90.0),
-            percentile(&out, 99.0),
-            percentile(&out, 100.0),
-        ),
-        report,
-    )
+    // `percentile` is None exactly when the sample is empty; report an
+    // all-zero hotspot profile rather than crash on a degenerate run.
+    let p = |rank: f64| percentile(&out, rank).unwrap_or(0.0);
+    ((p(50.0), p(90.0), p(99.0), p(100.0)), report)
 }
 
 /// A copy of the runner's core loop that samples one specific channel's

@@ -15,7 +15,7 @@ use crate::fleet::FleetCell;
 use crate::runner::{build_testbed, Scheme, TestbedOpts, TraceSpec};
 use conga_fleet::{CellResult, FaultSpec, Scenario, TopoSpec};
 use conga_net::Network;
-use conga_sim::{SimDuration, SimRng, SimTime};
+use conga_sim::{QueueKind, SimDuration, SimRng, SimTime};
 use conga_telemetry::RunReport;
 use conga_transport::{ListSource, TcpConfig, TransportLayer};
 use conga_workloads::{FlowSizeDist, PoissonPlan};
@@ -45,6 +45,10 @@ pub struct DynFailSpec {
     pub slice: SimDuration,
     /// Structured event tracing (`None` = disabled; zero overhead).
     pub trace: Option<TraceSpec>,
+    /// Future-event-list implementation. Purely a performance knob —
+    /// both kinds are observationally identical (`tests/hotpath.rs`) —
+    /// so it is deliberately *not* part of [`Self::scenario`]'s hash.
+    pub queue: QueueKind,
 }
 
 impl DynFailSpec {
@@ -75,6 +79,9 @@ impl DynFailSpec {
             window,
             slice: SimDuration::from_millis(10),
             trace: None,
+            // Calendar by default, as in FctRun::new: a pure performance
+            // knob, proven byte-identical to the heap in tests/hotpath.rs.
+            queue: QueueKind::Calendar,
         }
     }
 }
@@ -239,6 +246,7 @@ pub fn run_dynamic_failure(spec: &DynFailSpec) -> DynFailOutcome {
     );
 
     let mut net = Network::new(topo, spec.scheme.policy(), TransportLayer::new(), spec.seed);
+    net.set_queue_kind(spec.queue);
     let trace = spec.trace.as_ref().map(|t| t.handle());
     if let Some(t) = &trace {
         net.set_tracer(t.clone());

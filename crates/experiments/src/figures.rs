@@ -176,10 +176,11 @@ pub struct Sweep {
     pub schemes: Vec<Scheme>,
     /// Overall average FCT normalized to optimal.
     pub overall: Vec<Vec<f64>>,
-    /// Small-flow (< 100 KB) average FCT, seconds.
-    pub small: Vec<Vec<f64>>,
-    /// Large-flow (> 10 MB) average FCT, seconds.
-    pub large: Vec<Vec<f64>>,
+    /// Small-flow (< 100 KB) average FCT, seconds; `None` when no run of
+    /// the cell completed a small flow (serialized as JSON null).
+    pub small: Vec<Vec<Option<f64>>>,
+    /// Large-flow (> 10 MB) average FCT, seconds; `None` for empty buckets.
+    pub large: Vec<Vec<Option<f64>>>,
     /// Flows not completed within the drain bound.
     pub incomplete: Vec<Vec<usize>>,
 }
@@ -212,8 +213,8 @@ pub fn fct_sweep(
         loads: loads.to_vec(),
         schemes: schemes.to_vec(),
         overall: vec![vec![0.0; loads.len()]; schemes.len()],
-        small: vec![vec![0.0; loads.len()]; schemes.len()],
-        large: vec![vec![0.0; loads.len()]; schemes.len()],
+        small: vec![vec![None; loads.len()]; schemes.len()],
+        large: vec![vec![None; loads.len()]; schemes.len()],
         incomplete: vec![vec![0; loads.len()]; schemes.len()],
     };
     // One fleet cell per (scheme, load, run): independent deterministic
@@ -241,18 +242,27 @@ pub fn fct_sweep(
     for (si, scheme) in schemes.iter().enumerate() {
         for (li, &load) in loads.iter().enumerate() {
             let mut o = 0.0;
-            let mut s = 0.0;
-            let mut l = 0.0;
+            let (mut s, mut s_n) = (0.0, 0usize);
+            let (mut l, mut l_n) = (0.0, 0usize);
             for _ in 0..runs {
                 let cell = it.next().expect("one result per cell");
                 o += cell.summary.avg_norm_optimal;
-                s += cell.summary.small_avg_s;
-                l += cell.summary.large_avg_s;
+                // Runs whose size bucket is empty don't contribute a
+                // phantom 0.0 to the bucket mean; a cell where *every*
+                // run's bucket is empty stays `None` (JSON null).
+                if let Some(v) = cell.summary.small_avg_s {
+                    s += v;
+                    s_n += 1;
+                }
+                if let Some(v) = cell.summary.large_avg_s {
+                    l += v;
+                    l_n += 1;
+                }
                 sweep.incomplete[si][li] += cell.summary.incomplete;
             }
             sweep.overall[si][li] = o / runs as f64;
-            sweep.small[si][li] = s / runs as f64;
-            sweep.large[si][li] = l / runs as f64;
+            sweep.small[si][li] = (s_n > 0).then(|| s / s_n as f64);
+            sweep.large[si][li] = (l_n > 0).then(|| l / l_n as f64);
             eprintln!(
                 "[{}] load {:.0}%: {:.2}x optimal ({} incomplete)",
                 scheme.name(),
@@ -293,27 +303,34 @@ pub fn write_sweep_sidecar(figure: &str, sweep: &Sweep) -> std::io::Result<PathB
         let _ = write!(out, "\"{}\"", s.name());
     }
     out.push_str("],");
-    for (name, m) in [
-        ("overall_norm_optimal", &sweep.overall),
-        ("small_avg_s", &sweep.small),
-        ("large_avg_s", &sweep.large),
-    ] {
-        let _ = write!(out, "\n  \"{name}\": [");
-        for (si, row) in m.iter().enumerate() {
-            if si > 0 {
-                out.push_str(", ");
-            }
-            out.push('[');
-            for (li, v) in row.iter().enumerate() {
-                if li > 0 {
+    // Each matrix cell is Option<f64>: `None` (an empty size bucket) and
+    // non-finite values both render as JSON null, deterministically.
+    let write_matrix =
+        |out: &mut String, name: &str, cell: &dyn Fn(usize, usize) -> Option<f64>| {
+            let _ = write!(out, "\n  \"{name}\": [");
+            for si in 0..sweep.schemes.len() {
+                if si > 0 {
                     out.push_str(", ");
                 }
-                write_json_f64(&mut out, *v);
+                out.push('[');
+                for li in 0..sweep.loads.len() {
+                    if li > 0 {
+                        out.push_str(", ");
+                    }
+                    match cell(si, li) {
+                        Some(v) => write_json_f64(out, v),
+                        None => out.push_str("null"),
+                    }
+                }
+                out.push(']');
             }
-            out.push(']');
-        }
-        out.push_str("],");
-    }
+            out.push_str("],");
+        };
+    write_matrix(&mut out, "overall_norm_optimal", &|si, li| {
+        Some(sweep.overall[si][li])
+    });
+    write_matrix(&mut out, "small_avg_s", &|si, li| sweep.small[si][li]);
+    write_matrix(&mut out, "large_avg_s", &|si, li| sweep.large[si][li]);
     out.push_str("\n  \"incomplete\": [");
     for (si, row) in sweep.incomplete.iter().enumerate() {
         if si > 0 {
@@ -371,11 +388,13 @@ pub fn print_fct_panels(sweep: &Sweep) {
         "(a) Overall average FCT (normalized to optimal)",
         &|si, li| sweep.overall[si][li],
     );
+    // Empty buckets print as 0.000 in the plain-text panels (the
+    // historical sentinel); the JSON sidecar distinguishes them as null.
     print_panel("(b) Small flows < 100KB (normalized to ECMP)", &|si, li| {
-        sweep.small[si][li] / sweep.small[0][li].max(1e-12)
+        sweep.small[si][li].unwrap_or(0.0) / sweep.small[0][li].unwrap_or(0.0).max(1e-12)
     });
     print_panel("(c) Large flows > 10MB (normalized to ECMP)", &|si, li| {
-        sweep.large[si][li] / sweep.large[0][li].max(1e-12)
+        sweep.large[si][li].unwrap_or(0.0) / sweep.large[0][li].unwrap_or(0.0).max(1e-12)
     });
     let unfinished: usize = sweep.incomplete.iter().flatten().sum();
     if unfinished > 0 {

@@ -90,6 +90,7 @@ pub fn run_cells(cells: Vec<FleetCell>, opts: &FleetOpts) -> Vec<CellResult> {
                 label,
                 hash,
                 cached: true,
+                failed: false,
                 wall_us: 0,
             });
             results[i] = Some(hit);
@@ -110,17 +111,32 @@ pub fn run_cells(cells: Vec<FleetCell>, opts: &FleetOpts) -> Vec<CellResult> {
         );
     });
     for ((i, hash, figure, label), t) in pending.into_iter().zip(timed) {
-        if let Err(e) = opts.cache.store(&hash, &t.result) {
-            eprintln!("fleet: cache store failed for {label}: {e}");
-        }
+        // A panicked cell contributes an empty result tagged with the
+        // panic message; it is recorded as failed and never cached, and
+        // the rest of the batch proceeds normally.
+        let (result, failed) = match t.result {
+            Ok(r) => {
+                if let Err(e) = opts.cache.store(&hash, &r) {
+                    eprintln!("fleet: cache store failed for {label}: {e}");
+                }
+                (r, false)
+            }
+            Err(msg) => {
+                eprintln!("fleet: cell {label} PANICKED: {msg}");
+                let mut r = CellResult::default();
+                r.text.insert("failed".into(), msg);
+                (r, true)
+            }
+        };
         conga_fleet::manifest::record(CellRecord {
             figure,
             label,
             hash,
             cached: false,
+            failed,
             wall_us: t.wall.as_micros() as u64,
         });
-        results[i] = Some(t.result);
+        results[i] = Some(result);
     }
     results
         .into_iter()

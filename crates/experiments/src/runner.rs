@@ -4,7 +4,7 @@
 use conga_analysis::fct::{ideal_fct_s, summarize, FctSample, FctSummary};
 use conga_core::FabricPolicy;
 use conga_net::{ChannelId, HostId, LeafSpineBuilder, Network, Topology, WIRE_OVERHEAD};
-use conga_sim::{SimDuration, SimRng, SimTime};
+use conga_sim::{QueueKind, SimDuration, SimRng, SimTime};
 use conga_telemetry::RunReport;
 use conga_transport::{
     FlowSpec, ListSource, MptcpConfig, TcpConfig, TransportKind, TransportLayer,
@@ -231,6 +231,10 @@ pub struct FctRun {
     pub faults: Vec<LinkFaultSpec>,
     /// Structured event tracing (`None` = disabled; zero overhead).
     pub trace: Option<TraceSpec>,
+    /// Future-event-list implementation. Purely a performance knob —
+    /// both kinds are observationally identical (`tests/hotpath.rs`) —
+    /// so it is deliberately *not* part of the cell's scenario hash.
+    pub queue: QueueKind,
 }
 
 impl FctRun {
@@ -247,6 +251,10 @@ impl FctRun {
             sample_uplinks: false,
             faults: Vec::new(),
             trace: None,
+            // The calendar queue is the production default; the heap is
+            // the reference implementation (tests/hotpath.rs proves the
+            // two produce byte-identical artifacts).
+            queue: QueueKind::Calendar,
         }
     }
 }
@@ -417,6 +425,7 @@ pub fn run_fct_with_policy(cfg: &FctRun, policy: FabricPolicy) -> FctOutcome {
     let span_ns: u64 = arrivals.iter().map(|(g, _)| g.as_nanos()).sum();
 
     let mut net = Network::new(topo, policy, TransportLayer::new(), cfg.seed);
+    net.set_queue_kind(cfg.queue);
     let trace = cfg.trace.as_ref().map(|spec| spec.handle());
     if let Some(t) = &trace {
         net.set_tracer(t.clone());

@@ -232,9 +232,9 @@ fn fig12_cell(
                 ..CellResult::default()
             };
             r.values.insert("n_windows".into(), imb.len() as f64);
-            if !imb.is_empty() {
-                for (k, p) in [("p25", 25.0), ("p50", 50.0), ("p75", 75.0), ("p95", 95.0)] {
-                    r.values.insert(k.into(), percentile(&imb, p) * 100.0);
+            for (k, p) in [("p25", 25.0), ("p50", 50.0), ("p75", 75.0), ("p95", 95.0)] {
+                if let Some(v) = percentile(&imb, p) {
+                    r.values.insert(k.into(), v * 100.0);
                 }
             }
             r

@@ -51,15 +51,21 @@ impl CellResult {
         let s = &self.summary;
         let _ = write!(out, "\"n\": {}, ", s.n);
         let _ = write!(out, "\"incomplete\": {}, ", s.incomplete);
+        // Empty size buckets (`None`) and non-finite floats both serialize
+        // as JSON null; `parse` maps null back to `None` for the bucket
+        // fields and NaN elsewhere.
         for (k, v) in [
-            ("avg_s", s.avg_s),
-            ("avg_norm_optimal", s.avg_norm_optimal),
-            ("mean_slowdown", s.mean_slowdown),
+            ("avg_s", Some(s.avg_s)),
+            ("avg_norm_optimal", Some(s.avg_norm_optimal)),
+            ("mean_slowdown", Some(s.mean_slowdown)),
             ("small_avg_s", s.small_avg_s),
             ("large_avg_s", s.large_avg_s),
         ] {
             let _ = write!(out, "\"{k}\": ");
-            write_f64(&mut out, v);
+            match v {
+                Some(v) => write_f64(&mut out, v),
+                None => out.push_str("null"),
+            }
             if k != "large_avg_s" {
                 out.push_str(", ");
             }
@@ -101,6 +107,18 @@ impl CellResult {
                 None => Err(format!("missing summary.{k}")),
             }
         };
+        // Bucket means: null means "no flows in this bucket" (None), not
+        // NaN — the distinction survives a cache round-trip.
+        let opt = |k: &str| -> Result<Option<f64>, String> {
+            match s.get(k) {
+                Some(Value::Null) => Ok(None),
+                Some(v) => v
+                    .as_f64()
+                    .map(Some)
+                    .ok_or_else(|| format!("summary.{k} not a number")),
+                None => Err(format!("missing summary.{k}")),
+            }
+        };
         let summary = FctSummary {
             n: s.get("n")
                 .and_then(Value::as_u64)
@@ -108,8 +126,8 @@ impl CellResult {
             avg_s: f("avg_s")?,
             avg_norm_optimal: f("avg_norm_optimal")?,
             mean_slowdown: f("mean_slowdown")?,
-            small_avg_s: f("small_avg_s")?,
-            large_avg_s: f("large_avg_s")?,
+            small_avg_s: opt("small_avg_s")?,
+            large_avg_s: opt("large_avg_s")?,
             incomplete: s
                 .get("incomplete")
                 .and_then(Value::as_u64)
@@ -269,8 +287,8 @@ mod tests {
                 avg_s: 0.01234,
                 avg_norm_optimal: 1.5,
                 mean_slowdown: 2.25,
-                small_avg_s: 0.001,
-                large_avg_s: f64::NAN,
+                small_avg_s: Some(0.001),
+                large_avg_s: None,
                 incomplete: 1,
             },
             ..CellResult::default()
@@ -289,7 +307,8 @@ mod tests {
         let back = CellResult::parse(&j1).expect("parse");
         assert_eq!(back.summary.n, 80);
         assert_eq!(back.summary.avg_s, 0.01234);
-        assert!(back.summary.large_avg_s.is_nan());
+        assert_eq!(back.summary.small_avg_s, Some(0.001));
+        assert_eq!(back.summary.large_avg_s, None, "empty bucket survives");
         assert_eq!(back.values, r.values);
         assert_eq!(back.text, r.text);
         assert_eq!(back.report_json, r.report_json);

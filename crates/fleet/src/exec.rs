@@ -15,21 +15,58 @@
 //! own simulator from its own seed), so the merged output of a sweep is a
 //! pure function of the job list — `--jobs 1` and `--jobs N` produce
 //! byte-identical artifacts. Only std threads are used.
+//!
+//! # Panic containment
+//!
+//! A panicking job must not take the batch down with it: each job body
+//! runs under `catch_unwind`, the payload is captured as that slot's
+//! [`Timed::result`] `Err`, and the remaining workers keep draining.
+//! Every internal lock is acquired poison-tolerantly — a panic elsewhere
+//! (e.g. in a caller's `on_done`) can mark a mutex poisoned, but the
+//! guarded data (job slots, index deques, result slots) is always in a
+//! consistent state at the panic point, so recovering the inner value is
+//! sound.
 
 use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
-/// A job's result plus how long it ran on its worker.
+/// A job's outcome plus how long it ran on its worker.
 #[derive(Debug, Clone)]
 pub struct Timed<R> {
-    /// What the job returned.
-    pub result: R,
+    /// What the job returned, or the panic message if it panicked.
+    pub result: Result<R, String>,
     /// Wall-clock the job spent executing (excludes queueing).
     pub wall: Duration,
 }
 
 type Job<'a, R> = Box<dyn FnOnce() -> R + Send + 'a>;
+
+/// Render a `catch_unwind` payload as a human-readable message.
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Lock a mutex, tolerating poison: the executor's invariants hold at
+/// every await-free critical section, so a poisoned lock only records
+/// that *some* thread panicked — the data is still valid.
+fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Run one job with panic containment and timing.
+fn run_job<R>(job: Job<'_, R>) -> (Result<R, String>, Duration) {
+    let t0 = Instant::now();
+    let result = catch_unwind(AssertUnwindSafe(job)).map_err(panic_message);
+    (result, t0.elapsed())
+}
 
 /// Run every job and return the results in input order.
 ///
@@ -38,6 +75,9 @@ type Job<'a, R> = Box<dyn FnOnce() -> R + Send + 'a>;
 /// is exactly the historical serial path). `on_done(i, wall)` fires as
 /// each job finishes — from worker threads, in completion order — for
 /// live progress reporting; keep it cheap and locked internally.
+///
+/// A job that panics yields `Err(message)` in its slot; the other jobs
+/// still run and return in order, on both the serial and pooled paths.
 pub fn run_ordered<'a, R: Send>(
     jobs: Vec<Job<'a, R>>,
     workers: usize,
@@ -50,9 +90,7 @@ pub fn run_ordered<'a, R: Send>(
             .into_iter()
             .enumerate()
             .map(|(i, job)| {
-                let t0 = Instant::now();
-                let result = job();
-                let wall = t0.elapsed();
+                let (result, wall) = run_job(job);
                 on_done(i, wall);
                 Timed { result, wall }
             })
@@ -74,7 +112,7 @@ pub fn run_ordered<'a, R: Send>(
             let results = &results;
             scope.spawn(move || loop {
                 // Own queue first (front)...
-                let mut idx = queues[w].lock().unwrap().pop_front();
+                let mut idx = lock(&queues[w]).pop_front();
                 if idx.is_none() {
                     // ...then steal from the back of the fullest sibling.
                     let mut best: Option<(usize, usize)> = None;
@@ -82,26 +120,25 @@ pub fn run_ordered<'a, R: Send>(
                         if q == w {
                             continue;
                         }
-                        let len = queue.lock().unwrap().len();
+                        let len = lock(queue).len();
                         if len > 0 && best.map(|(_, l)| len > l).unwrap_or(true) {
                             best = Some((q, len));
                         }
                     }
                     if let Some((q, _)) = best {
-                        idx = queues[q].lock().unwrap().pop_back();
+                        idx = lock(&queues[q]).pop_back();
                     }
                 }
                 let Some(i) = idx else { break };
-                let job = slots[i]
-                    .lock()
-                    .unwrap()
-                    .take()
-                    .expect("each job index is queued exactly once");
-                let t0 = Instant::now();
-                let result = job();
-                let wall = t0.elapsed();
+                let Some(job) = lock(&slots[i]).take() else {
+                    // Unreachable by construction (each index is queued
+                    // once); skip rather than crash the worker if it
+                    // ever regresses.
+                    continue;
+                };
+                let (result, wall) = run_job(job);
                 on_done(i, wall);
-                *results[i].lock().unwrap() = Some(Timed { result, wall });
+                *lock(&results[i]) = Some(Timed { result, wall });
             });
         }
     });
@@ -110,7 +147,7 @@ pub fn run_ordered<'a, R: Send>(
         .into_iter()
         .map(|slot| {
             slot.into_inner()
-                .unwrap()
+                .unwrap_or_else(|e| e.into_inner())
                 .expect("every queued job stores a result")
         })
         .collect()
@@ -132,11 +169,16 @@ mod tests {
             .collect()
     }
 
+    fn values<R>(out: Vec<Timed<R>>) -> Vec<R> {
+        out.into_iter()
+            .map(|t| t.result.expect("job succeeded"))
+            .collect()
+    }
+
     #[test]
     fn results_are_in_input_order_for_any_worker_count() {
         for workers in [1, 2, 4, 9] {
-            let out = run_ordered_quiet(squares(25), workers);
-            let vals: Vec<usize> = out.into_iter().map(|t| t.result).collect();
+            let vals = values(run_ordered_quiet(squares(25), workers));
             let want: Vec<usize> = (0..25).map(|i| i * i).collect();
             assert_eq!(vals, want, "workers={workers}");
         }
@@ -180,15 +222,14 @@ mod tests {
             t0.elapsed() < Duration::from_secs(5),
             "stealing should not deadlock"
         );
-        let vals: Vec<u64> = out.into_iter().map(|t| t.result).collect();
-        assert_eq!(vals, (0..12).collect::<Vec<u64>>());
+        assert_eq!(values(out), (0..12).collect::<Vec<u64>>());
     }
 
     #[test]
     fn more_workers_than_jobs_is_fine() {
         let out = run_ordered_quiet(squares(2), 16);
         assert_eq!(out.len(), 2);
-        assert_eq!(out[1].result, 1);
+        assert_eq!(out[1].result, Ok(1));
     }
 
     #[test]
@@ -205,5 +246,49 @@ mod tests {
         });
         assert_eq!(out.len(), 10);
         assert_eq!(fired.load(Ordering::SeqCst), 10);
+    }
+
+    /// The ISSUE's panic-containment contract: one panicking cell out of
+    /// eight, seven results still returned in input order — on the pool
+    /// and on the serial path.
+    #[test]
+    fn one_panicking_cell_does_not_poison_the_batch() {
+        for workers in [1, 3, 8] {
+            let jobs: Vec<Job<usize>> = (0..8usize)
+                .map(|i| {
+                    Box::new(move || {
+                        if i == 3 {
+                            panic!("cell 3 exploded (seed 42)");
+                        }
+                        i * 10
+                    }) as Job<usize>
+                })
+                .collect();
+            let out = run_ordered_quiet(jobs, workers);
+            assert_eq!(out.len(), 8, "workers={workers}");
+            for (i, t) in out.iter().enumerate() {
+                if i == 3 {
+                    let msg = t.result.as_ref().unwrap_err();
+                    assert!(msg.contains("cell 3 exploded"), "workers={workers}: {msg}");
+                } else {
+                    assert_eq!(t.result, Ok(i * 10), "workers={workers}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn panic_payload_kinds_render_as_messages() {
+        let jobs: Vec<Job<u32>> = vec![
+            Box::new(|| panic!("static str")),
+            Box::new(|| panic!("formatted {}", 7)),
+            Box::new(|| std::panic::panic_any(99u32)),
+            Box::new(|| 5),
+        ];
+        let out = run_ordered_quiet(jobs, 2);
+        assert_eq!(out[0].result, Err("static str".to_string()));
+        assert_eq!(out[1].result, Err("formatted 7".to_string()));
+        assert_eq!(out[2].result, Err("non-string panic payload".to_string()));
+        assert_eq!(out[3].result, Ok(5));
     }
 }

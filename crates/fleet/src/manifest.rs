@@ -24,6 +24,9 @@ pub struct CellRecord {
     pub hash: String,
     /// Served from the result cache?
     pub cached: bool,
+    /// Did the cell body panic? Failed cells contribute an empty result
+    /// and are never cached; the batch keeps running.
+    pub failed: bool,
     /// Wall-clock microseconds spent executing (0 for cache hits).
     pub wall_us: u64,
 }
@@ -33,14 +36,16 @@ pub struct CellRecord {
 /// exit. A `Mutex<Vec>` because worker threads report concurrently.
 static RECORDS: Mutex<Vec<CellRecord>> = Mutex::new(Vec::new());
 
-/// Append one cell record to the process-global collector.
+/// Append one cell record to the process-global collector. Tolerates a
+/// poisoned lock: a panicking cell elsewhere must not lose the batch's
+/// records.
 pub fn record(rec: CellRecord) {
-    RECORDS.lock().unwrap().push(rec);
+    RECORDS.lock().unwrap_or_else(|e| e.into_inner()).push(rec);
 }
 
 /// Drain every collected record (in collection order).
 pub fn drain() -> Vec<CellRecord> {
-    std::mem::take(&mut RECORDS.lock().unwrap())
+    std::mem::take(&mut RECORDS.lock().unwrap_or_else(|e| e.into_inner()))
 }
 
 /// A complete manifest for one suite invocation.
@@ -67,6 +72,11 @@ impl FleetManifest {
         self.cells.len() - self.hits()
     }
 
+    /// Cells whose body panicked.
+    pub fn failures(&self) -> usize {
+        self.cells.iter().filter(|c| c.failed).count()
+    }
+
     /// Serialize as JSON (stable key order; timings are wall-clock and
     /// vary run to run by design).
     pub fn to_json(&self) -> String {
@@ -77,6 +87,7 @@ impl FleetManifest {
         let _ = writeln!(out, "  \"cells_total\": {},", self.cells.len());
         let _ = writeln!(out, "  \"cache_hits\": {},", self.hits());
         let _ = writeln!(out, "  \"cells_run\": {},", self.misses());
+        let _ = writeln!(out, "  \"cells_failed\": {},", self.failures());
         let _ = writeln!(out, "  \"total_wall_us\": {},", self.total_wall_us);
         out.push_str("  \"cells\": [");
         for (i, c) in self.cells.iter().enumerate() {
@@ -85,8 +96,8 @@ impl FleetManifest {
             }
             let _ = write!(
                 out,
-                "\n    {{\"figure\": \"{}\", \"label\": \"{}\", \"hash\": \"{}\", \"cached\": {}, \"wall_us\": {}}}",
-                c.figure, c.label, c.hash, c.cached, c.wall_us
+                "\n    {{\"figure\": \"{}\", \"label\": \"{}\", \"hash\": \"{}\", \"cached\": {}, \"failed\": {}, \"wall_us\": {}}}",
+                c.figure, c.label, c.hash, c.cached, c.failed, c.wall_us
             );
         }
         if !self.cells.is_empty() {
@@ -121,6 +132,7 @@ mod tests {
                     label: "a".into(),
                     hash: "1111".into(),
                     cached: true,
+                    failed: false,
                     wall_us: 0,
                 },
                 CellRecord {
@@ -128,6 +140,7 @@ mod tests {
                     label: "b".into(),
                     hash: "2222".into(),
                     cached: false,
+                    failed: true,
                     wall_us: 1234,
                 },
             ],
@@ -138,6 +151,8 @@ mod tests {
         let j = m.to_json();
         assert!(j.contains("\"cache_hits\": 1"));
         assert!(j.contains("\"cells_run\": 1"));
+        assert!(j.contains("\"cells_failed\": 1"));
+        assert_eq!(m.failures(), 1);
         assert!(j.contains("\"hash\": \"2222\""));
         // Must be valid JSON by the workspace's own parser.
         let doc = conga_trace::json::parse(&j).expect("manifest parses");
@@ -155,6 +170,7 @@ mod tests {
             label: "x".into(),
             hash: "h1".into(),
             cached: false,
+            failed: false,
             wall_us: 10,
         });
         record(CellRecord {
@@ -162,6 +178,7 @@ mod tests {
             label: "y".into(),
             hash: "h2".into(),
             cached: true,
+            failed: false,
             wall_us: 0,
         });
         let got = drain();

@@ -133,23 +133,30 @@ impl Emitter {
 }
 
 /// Engine events.
+///
+/// Deliberately small (12 bytes): every push/pop copies a whole
+/// `Scheduled<Ev>` inside the future-event list, so packets are *not*
+/// carried in the event. A packet in flight lives in its channel's wire
+/// FIFO (`Network::wire`) and a jittered host emission in its host's
+/// inject FIFO (`Network::inject_q`); the event stores only the index.
+/// This is sound because both sequences are FIFO by construction: arrival
+/// times on one channel are strictly increasing (the serializer is a
+/// non-preemptive unit and each packet's arrival is scheduled after the
+/// previous one's), and a host's NIC release times are monotone
+/// non-decreasing with equal-time events popping in scheduling order.
 #[derive(Debug)]
 enum Ev {
     /// Packet finished wire traversal of `ch`; process at the channel dst.
-    /// `epoch` is the channel's fail epoch when transmission started: if the
-    /// link failed while the packet was on the wire the epochs differ and
-    /// the packet is blackholed instead of delivered.
-    Arrive {
-        ch: ChannelId,
-        pkt: Packet,
-        epoch: u32,
-    },
+    /// The packet (and the channel fail epoch captured at transmission
+    /// start) is the head of `wire[ch]`.
+    Arrive { ch: ChannelId },
     /// Serializer of `ch` finished.
     TxDone { ch: ChannelId },
     /// Host-agent timer.
     Timer { token: u64 },
     /// A host-emitted packet reaches its NIC queue (after emission jitter).
-    Inject { pkt: Packet },
+    /// The packet is the head of `inject_q[host]`.
+    Inject { host: u32 },
     /// Periodic statistics sample.
     Sample,
     /// Scheduled link-state transition: `ch` goes down (`up = false`) or
@@ -227,6 +234,14 @@ pub struct Network<D: Dataplane, A: HostAgent> {
     fault_log: Vec<(SimTime, ChannelId, bool)>,
     sample_every: Option<SimDuration>,
     scratch: Emitter,
+    /// Reusable buffer for packets flushed off a failing link's queue.
+    scratch_flush: Vec<Packet>,
+    /// Per-channel FIFO of packets on the wire, with the fail epoch captured
+    /// at transmission start. Heads are consumed by `Ev::Arrive`.
+    wire: Vec<std::collections::VecDeque<(Packet, u32)>>,
+    /// Per-host FIFO of emitted packets awaiting their jittered NIC release.
+    /// Heads are consumed by `Ev::Inject`. Sized lazily with `nic_release`.
+    inject_q: Vec<std::collections::VecDeque<Packet>>,
     /// Host emission jitter bound: each packet handed to the NIC is delayed
     /// by a uniform random amount in `[0, jitter)`, never reordering a
     /// host's own emissions. Models interrupt/scheduling noise and breaks
@@ -271,11 +286,28 @@ impl<D: Dataplane, A: HostAgent> Network<D, A> {
             fault_log: Vec::new(),
             sample_every: None,
             scratch: Emitter::default(),
+            scratch_flush: Vec::new(),
+            wire: (0..nc).map(|_| std::collections::VecDeque::new()).collect(),
+            inject_q: Vec::new(),
             host_jitter: SimDuration::from_nanos(1_000),
             nic_release: Vec::new(),
             tracer: TraceHandle::disabled(),
             faults_scheduled: false,
         }
+    }
+
+    /// Select the future-event-list implementation (heap vs calendar).
+    ///
+    /// Purely a performance knob: both kinds implement the identical
+    /// stable `(time, seq)` ordering, so artifacts do not change. Call
+    /// right after construction, before anything is scheduled — the
+    /// queue is replaced, not migrated.
+    pub fn set_queue_kind(&mut self, kind: conga_sim::QueueKind) {
+        assert!(
+            self.events.is_empty() && self.events.total_pushed() == 0,
+            "select the queue kind before scheduling events"
+        );
+        self.events = EventQueue::with_kind(kind, 1 << 16);
     }
 
     /// Install a trace handle, sharing it with the dataplane and the host
@@ -467,8 +499,10 @@ impl<D: Dataplane, A: HostAgent> Network<D, A> {
         }
         if !up {
             self.fail_epoch[ch.idx()] = self.fail_epoch[ch.idx()].wrapping_add(1);
-            let flushed = self.ports[ch.idx()].flush_dead(self.now);
-            self.stats.blackholed += flushed.len() as u64;
+            let mut flushed = std::mem::take(&mut self.scratch_flush);
+            flushed.clear();
+            let n = self.ports[ch.idx()].flush_dead(self.now, &mut flushed);
+            self.stats.blackholed += n as u64;
             for pkt in &flushed {
                 if self.tracer.wants_flow(pkt.flow) {
                     self.tracer.emit(
@@ -482,8 +516,9 @@ impl<D: Dataplane, A: HostAgent> Network<D, A> {
                     );
                 }
             }
+            self.scratch_flush = flushed;
         }
-        self.fib = self.topo.fib_live(&self.link_up);
+        self.fib.refresh_live(&self.topo, &self.link_up);
     }
 
     /// Run the event loop until `t_end` (inclusive) or until no events
@@ -515,7 +550,12 @@ impl<D: Dataplane, A: HostAgent> Network<D, A> {
 
     fn dispatch(&mut self, ev: Ev) {
         match ev {
-            Ev::Arrive { ch, pkt, epoch } => self.arrive(ch, pkt, epoch),
+            Ev::Arrive { ch } => {
+                let (pkt, epoch) = self.wire[ch.idx()]
+                    .pop_front()
+                    .expect("arrive event without a packet on the wire");
+                self.arrive(ch, pkt, epoch);
+            }
             Ev::TxDone { ch } => {
                 if self.ports[ch.idx()].tx_done() {
                     self.start_tx(ch);
@@ -527,7 +567,10 @@ impl<D: Dataplane, A: HostAgent> Network<D, A> {
                 self.process_emissions(&mut em);
                 self.scratch = em;
             }
-            Ev::Inject { pkt } => {
+            Ev::Inject { host } => {
+                let pkt = self.inject_q[host as usize]
+                    .pop_front()
+                    .expect("inject event without a pending packet");
                 let access = self.fib.host_access[pkt.src.idx()];
                 self.enqueue(access, pkt);
             }
@@ -562,14 +605,18 @@ impl<D: Dataplane, A: HostAgent> Network<D, A> {
                 // Per-host monotone release times: jitter never reorders a
                 // single host's emissions.
                 if self.nic_release.is_empty() {
-                    self.nic_release = vec![SimTime::ZERO; self.topo.n_hosts as usize];
+                    let nh = self.topo.n_hosts as usize;
+                    self.nic_release = vec![SimTime::ZERO; nh];
+                    self.inject_q = (0..nh).map(|_| std::collections::VecDeque::new()).collect();
                 }
                 let j = SimDuration::from_nanos(
                     self.rng.range_u64(0, self.host_jitter.as_nanos().max(1)),
                 );
-                let release = (self.now + j).max(self.nic_release[pkt.src.idx()]);
-                self.nic_release[pkt.src.idx()] = release;
-                self.events.push(release, Ev::Inject { pkt });
+                let host = pkt.src.idx();
+                let release = (self.now + j).max(self.nic_release[host]);
+                self.nic_release[host] = release;
+                self.inject_q[host].push_back(pkt);
+                self.events.push(release, Ev::Inject { host: host as u32 });
             } else {
                 let access = self.fib.host_access[pkt.src.idx()];
                 self.enqueue(access, pkt);
@@ -732,8 +779,8 @@ impl<D: Dataplane, A: HostAgent> Network<D, A> {
         let delay = self.ports[ch.idx()].delay;
         let epoch = self.fail_epoch[ch.idx()];
         self.events.push(self.now + ser, Ev::TxDone { ch });
-        self.events
-            .push(self.now + ser + delay, Ev::Arrive { ch, pkt, epoch });
+        self.wire[ch.idx()].push_back((pkt, epoch));
+        self.events.push(self.now + ser + delay, Ev::Arrive { ch });
     }
 }
 

@@ -131,14 +131,17 @@ impl TxPort {
     /// The channel just went down: discard every queued packet, counting
     /// each as blackholed. The serializer state is untouched — a packet
     /// already on the wire is the engine's to account (by arrival epoch).
-    /// Returns the flushed packets in queue order so the engine can
-    /// account (and trace) each loss individually.
-    pub fn flush_dead(&mut self, now: SimTime) -> Vec<Packet> {
+    /// Appends the flushed packets in queue order to `out` (a reusable
+    /// buffer, so repeated faults allocate nothing) so the engine can
+    /// account (and trace) each loss individually; returns how many were
+    /// flushed.
+    pub fn flush_dead(&mut self, now: SimTime, out: &mut Vec<Packet>) -> usize {
         self.account(now);
-        let flushed: Vec<Packet> = self.queue.drain(..).collect();
+        let n = self.queue.len();
+        out.extend(self.queue.drain(..));
         self.queued_bytes = 0;
-        self.blackholed += flushed.len() as u64;
-        flushed
+        self.blackholed += n as u64;
+        n
     }
 
     /// Bytes currently waiting (not counting the packet on the wire).
@@ -287,15 +290,18 @@ mod tests {
         let _ = p.begin_tx(t); // one on the wire
         assert_eq!(p.enqueue(pkt(500), t), Enqueue::Queued);
         assert_eq!(p.enqueue(pkt(500), t), Enqueue::Queued);
-        assert_eq!(p.flush_dead(SimTime::from_nanos(100)).len(), 2);
+        let mut flushed = Vec::new();
+        assert_eq!(p.flush_dead(SimTime::from_nanos(100), &mut flushed), 2);
+        assert_eq!(flushed.len(), 2);
         assert_eq!(p.blackholed, 2);
         assert_eq!(p.queued_bytes(), 0);
         assert_eq!(p.queued_pkts(), 0);
         // The in-flight packet's serializer completes normally afterwards.
         assert!(p.busy);
         assert!(!p.tx_done(), "queue must be empty after flush");
-        // Flushing an empty queue is a no-op.
-        assert!(p.flush_dead(SimTime::from_nanos(200)).is_empty());
+        // Flushing an empty queue is a no-op (and appends nothing).
+        assert_eq!(p.flush_dead(SimTime::from_nanos(200), &mut flushed), 0);
+        assert_eq!(flushed.len(), 2);
         assert_eq!(p.blackholed, 2);
     }
 

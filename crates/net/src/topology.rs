@@ -286,6 +286,53 @@ impl Fib {
         }
     }
 
+    /// Recompute the liveness-dependent tables (`spine_down` and
+    /// `up_candidates`) in place for a new liveness mask, reusing every
+    /// existing allocation. The static tables — `host_access`, `host_down`,
+    /// `leaf_uplinks`, `lbtag_of` — do not depend on liveness and are left
+    /// untouched, so a runtime link-state transition never renumbers LBTags.
+    /// Produces candidate lists identical to a fresh
+    /// [`Topology::fib_live`] build.
+    pub fn refresh_live(&mut self, t: &Topology, live: &[bool]) {
+        assert_eq!(live.len(), t.channels.len(), "liveness mask size");
+        for per_spine in &mut self.spine_down {
+            for v in per_spine {
+                v.clear();
+            }
+        }
+        for per_leaf in &mut self.up_candidates {
+            for v in per_leaf {
+                v.clear();
+            }
+        }
+        for (i, c) in t.channels.iter().enumerate() {
+            if let (ChannelKind::SpineDown, NodeId::Spine(s), NodeId::Leaf(m)) =
+                (c.kind, c.src, c.dst)
+            {
+                if live[i] {
+                    self.spine_down[s.idx()][m.idx()].push(ChannelId(i as u32));
+                }
+            }
+        }
+        let nl = t.n_leaves as usize;
+        for l in 0..nl {
+            for k in 0..self.leaf_uplinks[l].len() {
+                let u = self.leaf_uplinks[l][k];
+                if !live[u.idx()] {
+                    continue;
+                }
+                let NodeId::Spine(s) = t.channel(u).dst else {
+                    unreachable!()
+                };
+                for m in 0..nl {
+                    if m != l && !self.spine_down[s.idx()][m].is_empty() {
+                        self.up_candidates[l][m].push(u);
+                    }
+                }
+            }
+        }
+    }
+
     /// Number of distinct leaf-to-leaf paths from `l` to `m` (through any
     /// spine and any parallel link pair).
     pub fn path_count(&self, t: &Topology, l: LeafId, m: LeafId) -> usize {
@@ -603,6 +650,33 @@ mod tests {
         let all = t.fib_live(&vec![true; t.channels.len()]);
         assert_eq!(all.up_candidates, full.up_candidates);
         assert_eq!(all.spine_down, full.spine_down);
+    }
+
+    #[test]
+    fn refresh_live_matches_fresh_build() {
+        let t = testbed();
+        let mut fib = t.fib();
+        // Fail, recover, and fail a different link: after every transition
+        // the in-place refresh must equal a from-scratch fib_live build.
+        let (up_a, down_a) = t.link_channels(LeafId(1), SpineId(1))[0];
+        let (up_b, down_b) = t.link_channels(LeafId(0), SpineId(0))[1];
+        let mut live = vec![true; t.channels.len()];
+        let transitions: [(&[ChannelId], bool); 3] = [
+            (&[up_a, down_a], false),
+            (&[up_a, down_a], true),
+            (&[up_b, down_b], false),
+        ];
+        for (chs, state) in transitions {
+            for ch in chs {
+                live[ch.idx()] = state;
+            }
+            fib.refresh_live(&t, &live);
+            let fresh = t.fib_live(&live);
+            assert_eq!(fib.up_candidates, fresh.up_candidates);
+            assert_eq!(fib.spine_down, fresh.spine_down);
+            assert_eq!(fib.leaf_uplinks, fresh.leaf_uplinks);
+            assert_eq!(fib.lbtag_of, fresh.lbtag_of);
+        }
     }
 
     #[test]

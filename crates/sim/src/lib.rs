@@ -20,6 +20,6 @@ mod queue;
 mod rng;
 mod time;
 
-pub use queue::EventQueue;
+pub use queue::{EventQueue, QueueKind};
 pub use rng::SimRng;
 pub use time::{SimDuration, SimTime};

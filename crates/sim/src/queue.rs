@@ -5,6 +5,22 @@
 //! monotonically increasing sequence number: events scheduled earlier fire
 //! earlier. `std::collections::BinaryHeap` alone is not stable, hence the
 //! explicit `(time, seq)` key.
+//!
+//! Two backends implement the same `(time, seq)` contract:
+//!
+//! * [`QueueKind::Heap`] — a `BinaryHeap<Reverse<Scheduled>>`; `O(log n)`
+//!   push/pop, the reference implementation.
+//! * [`QueueKind::Calendar`] — a calendar queue (Brown 1988): a ring of
+//!   1024 ns-wide buckets spanning a ~4.2 ms "year", a two-level occupancy
+//!   bitmap for skipping empty buckets, and an overflow heap for events
+//!   beyond the current year (RTO timers live there). Push and pop are
+//!   amortised `O(1)` because simulators schedule overwhelmingly into the
+//!   near future. A push earlier than the current scan position rewinds
+//!   the scan, so ordering holds for arbitrary push patterns, not just
+//!   monotone ones.
+//!
+//! The two are observationally identical — `tests::calendar_matches_heap`
+//! drives both with a seeded workload and asserts identical pop sequences.
 
 use crate::time::SimTime;
 use std::cmp::Reverse;
@@ -36,6 +52,222 @@ impl<E> Ord for Scheduled<E> {
     }
 }
 
+/// Which future-event-list implementation a queue uses.
+///
+/// Both kinds implement the identical stable `(time, seq)` ordering;
+/// the choice is purely a performance knob and must never change a
+/// simulation artifact (see `tests/hotpath.rs`).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum QueueKind {
+    /// Binary-heap future-event list (`O(log n)`, reference).
+    #[default]
+    Heap,
+    /// Calendar-queue future-event list (amortised `O(1)`).
+    Calendar,
+}
+
+// Calendar geometry: 4096 buckets of 1024 ns cover a ~4.2 ms year.
+// Anything scheduled past the current year waits in the overflow heap
+// and migrates into buckets as years advance.
+const CAL_SHIFT: u32 = 10;
+const CAL_BUCKETS: usize = 4096;
+const CAL_MASK: u64 = (CAL_BUCKETS as u64) - 1;
+const CAL_YEAR: u64 = (CAL_BUCKETS as u64) << CAL_SHIFT;
+
+/// The calendar backend.
+///
+/// Invariants:
+/// * no bucketed event is earlier than the scan position
+///   `epoch + cur·width` (pushes behind the scan rewind it), and
+/// * `far` only holds events at or beyond `epoch + YEAR` (the horizon
+///   only drops on a rewind, which keeps the property; wrapping a year
+///   migrates newly-near events back into buckets).
+///
+/// Together these mean the scan's first *eligible* bucket entry — one
+/// whose time is inside the bucket's current-year window — is the global
+/// minimum. A bucket can also hold events for future years (after a
+/// rewind); the eligibility check in [`Calendar::seek`] skips those.
+#[derive(Debug)]
+struct Calendar<E> {
+    /// Ring of buckets, each sorted descending by `(time, seq)` so the
+    /// minimum is `last()` and pop is `Vec::pop`.
+    buckets: Vec<Vec<Scheduled<E>>>,
+    /// Occupancy bitmap: bit `b & 63` of `occ[b >> 6]` set iff bucket
+    /// `b` is non-empty; `top` summarises the 64 words.
+    occ: [u64; CAL_BUCKETS / 64],
+    top: u64,
+    /// Scan position (bucket index) and the start time of its year (ns).
+    cur: usize,
+    epoch: u64,
+    /// Events at or beyond `epoch + CAL_YEAR`.
+    far: BinaryHeap<Reverse<Scheduled<E>>>,
+    /// Events currently bucketed.
+    near_len: usize,
+}
+
+impl<E> Calendar<E> {
+    fn new() -> Self {
+        Calendar {
+            buckets: (0..CAL_BUCKETS).map(|_| Vec::new()).collect(),
+            occ: [0; CAL_BUCKETS / 64],
+            top: 0,
+            cur: 0,
+            epoch: 0,
+            far: BinaryHeap::new(),
+            near_len: 0,
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.near_len + self.far.len()
+    }
+
+    fn insert_near(&mut self, s: Scheduled<E>) {
+        let b = ((s.time.as_nanos() >> CAL_SHIFT) & CAL_MASK) as usize;
+        let v = &mut self.buckets[b];
+        // Descending by (time, seq): find the first element strictly
+        // smaller and insert before it. Pushes trend later-in-time, so
+        // the insertion point is usually the tail and the memmove empty.
+        let key = (s.time, s.seq);
+        let i = v.partition_point(|x| (x.time, x.seq) > key);
+        v.insert(i, s);
+        self.occ[b >> 6] |= 1 << (b & 63);
+        self.top |= 1 << (b >> 6);
+        self.near_len += 1;
+    }
+
+    fn push(&mut self, s: Scheduled<E>) {
+        let t = s.time.as_nanos();
+        if t < self.epoch + ((self.cur as u64) << CAL_SHIFT) {
+            // Behind the scan (e.g. scheduled after a peek advanced it):
+            // rewind so the forward scan sees this event first.
+            self.epoch = t & !(CAL_YEAR - 1);
+            self.cur = ((t >> CAL_SHIFT) & CAL_MASK) as usize;
+        }
+        if t < self.epoch + CAL_YEAR {
+            self.insert_near(s);
+        } else {
+            self.far.push(Reverse(s));
+        }
+    }
+
+    /// Lowest occupied bucket index in `[from, CAL_BUCKETS)`, if any.
+    fn next_occupied(&self, from: usize) -> Option<usize> {
+        let w0 = from >> 6;
+        let bits = self.occ[w0] & (!0u64 << (from & 63));
+        if bits != 0 {
+            return Some((w0 << 6) + bits.trailing_zeros() as usize);
+        }
+        if w0 + 1 >= CAL_BUCKETS / 64 {
+            return None;
+        }
+        let words = self.top & (!0u64 << (w0 + 1));
+        if words == 0 {
+            return None;
+        }
+        let w = words.trailing_zeros() as usize;
+        Some((w << 6) + self.occ[w].trailing_zeros() as usize)
+    }
+
+    /// Pull every overflow event that now falls inside the current year.
+    fn migrate_far(&mut self) {
+        let horizon = self.epoch + CAL_YEAR;
+        while let Some(Reverse(s)) = self.far.peek() {
+            if s.time.as_nanos() >= horizon {
+                break;
+            }
+            let Reverse(s) = self.far.pop().expect("peeked");
+            self.insert_near(s);
+        }
+    }
+
+    /// With no bucketed events left, jump the scan straight to the
+    /// overflow minimum's year instead of stepping empty years.
+    fn fast_forward(&mut self) {
+        let t = self
+            .far
+            .peek()
+            .expect("fast_forward needs far events")
+            .0
+            .time
+            .as_nanos();
+        self.epoch = t & !(CAL_YEAR - 1);
+        self.cur = ((t >> CAL_SHIFT) & CAL_MASK) as usize;
+        self.migrate_far();
+    }
+
+    /// Advance the scan to the bucket holding the global minimum.
+    /// Returns `None` only when the queue is empty.
+    fn seek(&mut self) -> Option<usize> {
+        if self.near_len == 0 {
+            if self.far.is_empty() {
+                return None;
+            }
+            self.fast_forward();
+        }
+        let mut from = self.cur;
+        loop {
+            if let Some(b) = self.next_occupied(from) {
+                // Eligible only if the bucket's minimum falls inside the
+                // bucket's window for the scan's current year; an entry
+                // for a later year (bucketed before a rewind) waits.
+                let min_t = self.buckets[b].last().expect("occupied").time.as_nanos();
+                if min_t < self.epoch + ((b as u64 + 1) << CAL_SHIFT) {
+                    self.cur = b;
+                    return Some(b);
+                }
+                from = b + 1;
+                if from < CAL_BUCKETS {
+                    continue;
+                }
+            }
+            // Year boundary: wrap and admit newly-near overflow events.
+            from = 0;
+            self.cur = 0;
+            self.epoch += CAL_YEAR;
+            self.migrate_far();
+        }
+    }
+
+    fn pop(&mut self) -> Option<Scheduled<E>> {
+        let b = self.seek()?;
+        let s = self.buckets[b]
+            .pop()
+            .expect("seek found an occupied bucket");
+        if self.buckets[b].is_empty() {
+            self.occ[b >> 6] &= !(1 << (b & 63));
+            if self.occ[b >> 6] == 0 {
+                self.top &= !(1 << (b >> 6));
+            }
+        }
+        self.near_len -= 1;
+        Some(s)
+    }
+
+    fn peek_time(&mut self) -> Option<SimTime> {
+        let b = self.seek()?;
+        Some(self.buckets[b].last().expect("occupied").time)
+    }
+
+    fn clear(&mut self) {
+        for v in &mut self.buckets {
+            v.clear();
+        }
+        self.occ = [0; CAL_BUCKETS / 64];
+        self.top = 0;
+        self.cur = 0;
+        self.epoch = 0;
+        self.far.clear();
+        self.near_len = 0;
+    }
+}
+
+#[derive(Debug)]
+enum Backend<E> {
+    Heap(BinaryHeap<Reverse<Scheduled<E>>>),
+    Calendar(Box<Calendar<E>>),
+}
+
 /// A deterministic future-event list.
 ///
 /// Events popped from the queue are non-decreasing in time; equal-time events
@@ -55,7 +287,7 @@ impl<E> Ord for Scheduled<E> {
 /// ```
 #[derive(Debug)]
 pub struct EventQueue<E> {
-    heap: BinaryHeap<Reverse<Scheduled<E>>>,
+    backend: Backend<E>,
     next_seq: u64,
     /// Total number of events ever pushed (for engine statistics).
     pushed: u64,
@@ -68,21 +300,34 @@ impl<E> Default for EventQueue<E> {
 }
 
 impl<E> EventQueue<E> {
-    /// Create an empty queue.
+    /// Create an empty heap-backed queue.
     pub fn new() -> Self {
+        Self::with_kind(QueueKind::Heap, 0)
+    }
+
+    /// Create an empty heap-backed queue with pre-allocated capacity.
+    pub fn with_capacity(cap: usize) -> Self {
+        Self::with_kind(QueueKind::Heap, cap)
+    }
+
+    /// Create an empty queue with an explicit backend.
+    pub fn with_kind(kind: QueueKind, cap: usize) -> Self {
+        let backend = match kind {
+            QueueKind::Heap => Backend::Heap(BinaryHeap::with_capacity(cap)),
+            QueueKind::Calendar => Backend::Calendar(Box::new(Calendar::new())),
+        };
         EventQueue {
-            heap: BinaryHeap::new(),
+            backend,
             next_seq: 0,
             pushed: 0,
         }
     }
 
-    /// Create an empty queue with pre-allocated capacity.
-    pub fn with_capacity(cap: usize) -> Self {
-        EventQueue {
-            heap: BinaryHeap::with_capacity(cap),
-            next_seq: 0,
-            pushed: 0,
+    /// Which backend this queue runs on.
+    pub fn kind(&self) -> QueueKind {
+        match &self.backend {
+            Backend::Heap(_) => QueueKind::Heap,
+            Backend::Calendar(_) => QueueKind::Calendar,
         }
     }
 
@@ -92,31 +337,47 @@ impl<E> EventQueue<E> {
         let seq = self.next_seq;
         self.next_seq += 1;
         self.pushed += 1;
-        self.heap.push(Reverse(Scheduled { time, seq, event }));
+        let s = Scheduled { time, seq, event };
+        match &mut self.backend {
+            Backend::Heap(h) => h.push(Reverse(s)),
+            Backend::Calendar(c) => c.push(s),
+        }
     }
 
     /// Remove and return the earliest event, if any.
     #[inline]
     pub fn pop(&mut self) -> Option<(SimTime, E)> {
-        self.heap.pop().map(|Reverse(s)| (s.time, s.event))
+        match &mut self.backend {
+            Backend::Heap(h) => h.pop().map(|Reverse(s)| (s.time, s.event)),
+            Backend::Calendar(c) => c.pop().map(|s| (s.time, s.event)),
+        }
     }
 
     /// The time of the earliest pending event, if any.
+    ///
+    /// Takes `&mut self` because the calendar backend advances its scan
+    /// position to the answer (contents are untouched).
     #[inline]
-    pub fn peek_time(&self) -> Option<SimTime> {
-        self.heap.peek().map(|Reverse(s)| s.time)
+    pub fn peek_time(&mut self) -> Option<SimTime> {
+        match &mut self.backend {
+            Backend::Heap(h) => h.peek().map(|Reverse(s)| s.time),
+            Backend::Calendar(c) => c.peek_time(),
+        }
     }
 
     /// Number of pending events.
     #[inline]
     pub fn len(&self) -> usize {
-        self.heap.len()
+        match &self.backend {
+            Backend::Heap(h) => h.len(),
+            Backend::Calendar(c) => c.len(),
+        }
     }
 
     /// Whether the queue is empty.
     #[inline]
     pub fn is_empty(&self) -> bool {
-        self.heap.is_empty()
+        self.len() == 0
     }
 
     /// Total number of events pushed over the queue's lifetime.
@@ -127,37 +388,49 @@ impl<E> EventQueue<E> {
 
     /// Drop all pending events.
     pub fn clear(&mut self) {
-        self.heap.clear();
+        match &mut self.backend {
+            Backend::Heap(h) => h.clear(),
+            Backend::Calendar(c) => c.clear(),
+        }
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::rng::SimRng;
+
+    fn kinds() -> [QueueKind; 2] {
+        [QueueKind::Heap, QueueKind::Calendar]
+    }
 
     #[test]
     fn pops_in_time_order() {
-        let mut q = EventQueue::new();
-        for &t in &[50u64, 10, 40, 10, 30] {
-            q.push(SimTime::from_nanos(t), t);
+        for kind in kinds() {
+            let mut q = EventQueue::with_kind(kind, 0);
+            for &t in &[50u64, 10, 40, 10, 30] {
+                q.push(SimTime::from_nanos(t), t);
+            }
+            let mut out = Vec::new();
+            while let Some((t, e)) = q.pop() {
+                assert_eq!(t.as_nanos(), e);
+                out.push(e);
+            }
+            assert_eq!(out, vec![10, 10, 30, 40, 50], "{kind:?}");
         }
-        let mut out = Vec::new();
-        while let Some((t, e)) = q.pop() {
-            assert_eq!(t.as_nanos(), e);
-            out.push(e);
-        }
-        assert_eq!(out, vec![10, 10, 30, 40, 50]);
     }
 
     #[test]
     fn ties_are_fifo() {
-        let mut q = EventQueue::new();
-        let t = SimTime::from_micros(1);
-        for i in 0..100 {
-            q.push(t, i);
-        }
-        for i in 0..100 {
-            assert_eq!(q.pop().unwrap().1, i);
+        for kind in kinds() {
+            let mut q = EventQueue::with_kind(kind, 0);
+            let t = SimTime::from_micros(1);
+            for i in 0..100 {
+                q.push(t, i);
+            }
+            for i in 0..100 {
+                assert_eq!(q.pop().unwrap().1, i, "{kind:?}");
+            }
         }
     }
 
@@ -166,15 +439,17 @@ mod tests {
         // FIFO among ties must hold even when pops interleave with pushes
         // at the same timestamp (the sequence number is global, not
         // per-batch).
-        let mut q = EventQueue::new();
-        let t = SimTime::from_micros(9);
-        q.push(t, "a");
-        q.push(t, "b");
-        assert_eq!(q.pop().unwrap().1, "a");
-        q.push(t, "c");
-        assert_eq!(q.pop().unwrap().1, "b");
-        assert_eq!(q.pop().unwrap().1, "c");
-        assert_eq!(q.pop(), None);
+        for kind in kinds() {
+            let mut q = EventQueue::with_kind(kind, 0);
+            let t = SimTime::from_micros(9);
+            q.push(t, "a");
+            q.push(t, "b");
+            assert_eq!(q.pop().unwrap().1, "a");
+            q.push(t, "c");
+            assert_eq!(q.pop().unwrap().1, "b");
+            assert_eq!(q.pop().unwrap().1, "c");
+            assert_eq!(q.pop(), None, "{kind:?}");
+        }
     }
 
     #[test]
@@ -197,32 +472,104 @@ mod tests {
 
     #[test]
     fn pushed_counts_every_push_not_net_occupancy() {
-        let mut q = EventQueue::with_capacity(8);
-        for i in 0..5u64 {
-            q.push(SimTime::from_nanos(i), i);
+        for kind in kinds() {
+            let mut q = EventQueue::with_kind(kind, 8);
+            for i in 0..5u64 {
+                q.push(SimTime::from_nanos(i), i);
+            }
+            for _ in 0..3 {
+                q.pop();
+            }
+            for i in 0..2u64 {
+                q.push(SimTime::from_nanos(100 + i), i);
+            }
+            assert_eq!(q.total_pushed(), 7, "pops must not decrement the counter");
+            assert_eq!(q.len(), 4, "{kind:?}");
         }
-        for _ in 0..3 {
-            q.pop();
-        }
-        for i in 0..2u64 {
-            q.push(SimTime::from_nanos(100 + i), i);
-        }
-        assert_eq!(q.total_pushed(), 7, "pops must not decrement the counter");
-        assert_eq!(q.len(), 4);
     }
 
     #[test]
     fn peek_and_counters() {
-        let mut q = EventQueue::new();
-        assert!(q.is_empty());
-        assert_eq!(q.peek_time(), None);
-        q.push(SimTime::from_nanos(7), ());
-        q.push(SimTime::from_nanos(3), ());
-        assert_eq!(q.len(), 2);
-        assert_eq!(q.peek_time(), Some(SimTime::from_nanos(3)));
-        assert_eq!(q.total_pushed(), 2);
-        q.clear();
-        assert!(q.is_empty());
-        assert_eq!(q.total_pushed(), 2, "lifetime counter survives clear");
+        for kind in kinds() {
+            let mut q = EventQueue::with_kind(kind, 0);
+            assert!(q.is_empty());
+            assert_eq!(q.peek_time(), None);
+            q.push(SimTime::from_nanos(7), ());
+            q.push(SimTime::from_nanos(3), ());
+            assert_eq!(q.len(), 2);
+            assert_eq!(q.peek_time(), Some(SimTime::from_nanos(3)));
+            assert_eq!(q.total_pushed(), 2);
+            q.clear();
+            assert!(q.is_empty());
+            assert_eq!(q.total_pushed(), 2, "lifetime counter survives clear");
+        }
+    }
+
+    /// The calendar backend crosses year boundaries (4.2 ms) and parks
+    /// far-future events in its overflow heap; both paths must preserve
+    /// the global (time, seq) order.
+    #[test]
+    fn calendar_handles_year_crossings_and_far_events() {
+        let mut q = EventQueue::with_kind(QueueKind::Calendar, 0);
+        // An RTO-like event ~200 ms out, then a dense burst now.
+        q.push(SimTime::from_millis(200), 9999u64);
+        for i in 0..64u64 {
+            q.push(SimTime::from_nanos(i * 700), i);
+        }
+        // A second far event in a middle year.
+        q.push(SimTime::from_millis(30), 7777);
+        for i in 0..64u64 {
+            assert_eq!(q.pop().unwrap().1, i);
+        }
+        assert_eq!(q.pop().unwrap(), (SimTime::from_millis(30), 7777));
+        assert_eq!(q.pop().unwrap(), (SimTime::from_millis(200), 9999));
+        assert_eq!(q.pop(), None);
+    }
+
+    /// Seeded adversarial workload: interleaved pushes (always at or
+    /// after the last popped time, as the engine guarantees) and pops,
+    /// with heavy tie density and occasional multi-year jumps. The
+    /// calendar must reproduce the heap's pop sequence exactly.
+    #[test]
+    fn calendar_matches_heap() {
+        let mut rng = SimRng::new(0xCA1E_50DA);
+        let mut heap = EventQueue::with_kind(QueueKind::Heap, 0);
+        let mut cal = EventQueue::with_kind(QueueKind::Calendar, 0);
+        let mut now = 0u64;
+        let mut id = 0u64;
+        for _ in 0..20_000 {
+            match rng.u64() % 5 {
+                // Push: mostly near-future, sometimes far (RTO-like),
+                // often exactly `now` to stress tie-breaking.
+                0..=2 => {
+                    let dt = match rng.u64() % 10 {
+                        0 => 0,
+                        1..=6 => rng.u64() % 3_000,
+                        7 | 8 => rng.u64() % 300_000,
+                        _ => rng.u64() % 50_000_000,
+                    };
+                    let t = SimTime::from_nanos(now + dt);
+                    heap.push(t, id);
+                    cal.push(t, id);
+                    id += 1;
+                }
+                _ => {
+                    let (a, b) = (heap.pop(), cal.pop());
+                    assert_eq!(a, b, "pop sequences diverged");
+                    if let Some((t, _)) = a {
+                        now = t.as_nanos();
+                    }
+                }
+            }
+            assert_eq!(heap.len(), cal.len());
+            assert_eq!(heap.peek_time(), cal.peek_time());
+        }
+        loop {
+            let (a, b) = (heap.pop(), cal.pop());
+            assert_eq!(a, b, "drain diverged");
+            if a.is_none() {
+                break;
+            }
+        }
     }
 }

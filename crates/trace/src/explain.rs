@@ -40,10 +40,24 @@ fn required_fields(kind: &str) -> Option<&'static [&'static str]> {
     })
 }
 
+/// Format a validation error anchored to its offending line: the
+/// diagnostic plus the line's content (truncated for sanity), so a
+/// failure is actionable without opening the trace by hand.
+fn line_error(ln: usize, line: &str, msg: impl std::fmt::Display) -> String {
+    const SHOW: usize = 160;
+    let shown: String = line.chars().take(SHOW).collect();
+    let truncated = if shown.len() < line.len() { " ..." } else { "" };
+    format!("line {ln}: {msg}\n  offending line: {shown}{truncated}")
+}
+
 /// Validate a JSONL trace: every line must parse as JSON, carry the
 /// envelope fields, use a known event type with its required fields,
 /// have strictly increasing `seq`, and non-decreasing `t_ns`. Decision
 /// events must list their chosen channel among the candidates.
+///
+/// Errors name the offending line number and echo its content; malformed
+/// input of any shape (including invalid UTF-8 escapes and pathological
+/// nesting) yields `Err`, never a panic.
 pub fn validate(text: &str) -> Result<ValidateSummary, String> {
     let mut summary = ValidateSummary::default();
     let mut last_seq: Option<u64> = None;
@@ -51,52 +65,57 @@ pub fn validate(text: &str) -> Result<ValidateSummary, String> {
     let mut flows = std::collections::BTreeSet::new();
     for (i, line) in text.lines().enumerate() {
         let ln = i + 1;
-        let v = json::parse(line).map_err(|e| format!("line {ln}: {e}"))?;
+        let v = json::parse(line).map_err(|e| line_error(ln, line, e))?;
         let seq = v
             .get("seq")
             .and_then(Value::as_u64)
-            .ok_or(format!("line {ln}: missing seq"))?;
+            .ok_or_else(|| line_error(ln, line, "missing seq"))?;
         let t = v
             .get("t_ns")
             .and_then(Value::as_u64)
-            .ok_or(format!("line {ln}: missing t_ns"))?;
+            .ok_or_else(|| line_error(ln, line, "missing t_ns"))?;
         let ev = v
             .get("ev")
             .and_then(Value::as_str)
-            .ok_or(format!("line {ln}: missing ev"))?;
+            .ok_or_else(|| line_error(ln, line, "missing ev"))?;
         if let Some(prev) = last_seq {
             if seq <= prev {
-                return Err(format!("line {ln}: seq {seq} not above {prev}"));
+                return Err(line_error(ln, line, format!("seq {seq} not above {prev}")));
             }
             if t < last_t {
-                return Err(format!("line {ln}: t_ns {t} went backwards from {last_t}"));
+                return Err(line_error(
+                    ln,
+                    line,
+                    format!("t_ns {t} went backwards from {last_t}"),
+                ));
             }
         }
         last_seq = Some(seq);
         last_t = t;
-        let fields = required_fields(ev).ok_or(format!("line {ln}: unknown event type {ev:?}"))?;
+        let fields = required_fields(ev)
+            .ok_or_else(|| line_error(ln, line, format!("unknown event type {ev:?}")))?;
         for f in fields {
             if v.get(f).is_none() {
-                return Err(format!("line {ln}: {ev} missing field {f:?}"));
+                return Err(line_error(ln, line, format!("{ev} missing field {f:?}")));
             }
         }
         if ev == "decision" {
             let chosen = v
                 .get("chosen")
                 .and_then(Value::as_u64)
-                .ok_or(format!("line {ln}: decision chosen not a number"))?;
+                .ok_or_else(|| line_error(ln, line, "decision chosen not a number"))?;
             let cand = v
                 .get("cand")
                 .and_then(Value::as_arr)
-                .ok_or(format!("line {ln}: decision cand not an array"))?;
+                .ok_or_else(|| line_error(ln, line, "decision cand not an array"))?;
             if cand.is_empty() {
-                return Err(format!("line {ln}: decision with no candidates"));
+                return Err(line_error(ln, line, "decision with no candidates"));
             }
             let mut found = false;
             for c in cand {
                 for f in ["ch", "lbtag", "local", "remote", "metric"] {
                     if c.get(f).and_then(Value::as_u64).is_none() {
-                        return Err(format!("line {ln}: candidate missing {f:?}"));
+                        return Err(line_error(ln, line, format!("candidate missing {f:?}")));
                     }
                 }
                 if c.get("ch").and_then(Value::as_u64) == Some(chosen) {
@@ -104,8 +123,10 @@ pub fn validate(text: &str) -> Result<ValidateSummary, String> {
                 }
             }
             if !found {
-                return Err(format!(
-                    "line {ln}: chosen channel {chosen} not among candidates"
+                return Err(line_error(
+                    ln,
+                    line,
+                    format!("chosen channel {chosen} not among candidates"),
                 ));
             }
         }

@@ -75,11 +75,24 @@ impl Value {
     }
 }
 
+/// The maximum container-nesting depth [`parse`] accepts. Recursive
+/// descent means attacker-controlled nesting is attacker-controlled
+/// stack use; without a cap, a line of a few thousand `[`s aborts the
+/// whole process with a stack overflow that no caller can catch. Every
+/// exporter in this crate nests at most 4 deep.
+pub const MAX_DEPTH: usize = 128;
+
 /// Parse a complete JSON document. Trailing whitespace is allowed; any
-/// other trailing content is an error.
+/// other trailing content is an error. Malformed input of any shape —
+/// truncated escapes, invalid UTF-8, nesting deeper than [`MAX_DEPTH`]
+/// — returns `Err`, never panics.
 pub fn parse(text: &str) -> Result<Value, String> {
     let bytes = text.as_bytes();
-    let mut p = Parser { bytes, pos: 0 };
+    let mut p = Parser {
+        bytes,
+        pos: 0,
+        depth: 0,
+    };
     p.skip_ws();
     let v = p.value()?;
     p.skip_ws();
@@ -92,6 +105,7 @@ pub fn parse(text: &str) -> Result<Value, String> {
 struct Parser<'a> {
     bytes: &'a [u8],
     pos: usize,
+    depth: usize,
 }
 
 impl<'a> Parser<'a> {
@@ -140,12 +154,25 @@ impl<'a> Parser<'a> {
         }
     }
 
+    fn enter(&mut self) -> Result<(), String> {
+        self.depth += 1;
+        if self.depth > MAX_DEPTH {
+            return Err(format!(
+                "nesting deeper than {MAX_DEPTH} at byte {}",
+                self.pos
+            ));
+        }
+        Ok(())
+    }
+
     fn object(&mut self) -> Result<Value, String> {
         self.expect(b'{')?;
+        self.enter()?;
         let mut fields = Vec::new();
         self.skip_ws();
         if self.peek() == Some(b'}') {
             self.pos += 1;
+            self.depth -= 1;
             return Ok(Value::Obj(fields));
         }
         loop {
@@ -161,6 +188,7 @@ impl<'a> Parser<'a> {
                 Some(b',') => self.pos += 1,
                 Some(b'}') => {
                     self.pos += 1;
+                    self.depth -= 1;
                     return Ok(Value::Obj(fields));
                 }
                 _ => return Err(format!("expected ',' or '}}' at byte {}", self.pos)),
@@ -170,10 +198,12 @@ impl<'a> Parser<'a> {
 
     fn array(&mut self) -> Result<Value, String> {
         self.expect(b'[')?;
+        self.enter()?;
         let mut items = Vec::new();
         self.skip_ws();
         if self.peek() == Some(b']') {
             self.pos += 1;
+            self.depth -= 1;
             return Ok(Value::Arr(items));
         }
         loop {
@@ -184,6 +214,7 @@ impl<'a> Parser<'a> {
                 Some(b',') => self.pos += 1,
                 Some(b']') => {
                     self.pos += 1;
+                    self.depth -= 1;
                     return Ok(Value::Arr(items));
                 }
                 _ => return Err(format!("expected ',' or ']' at byte {}", self.pos)),
@@ -243,19 +274,16 @@ impl<'a> Parser<'a> {
                     // per character would make parsing quadratic.
                     let end = (self.pos + 4).min(self.bytes.len());
                     let window = &self.bytes[self.pos..end];
-                    let c = match std::str::from_utf8(window) {
-                        Ok(s) => s.chars().next().unwrap(),
-                        // A trailing multi-byte scalar can leave an
-                        // incomplete suffix in the window; the valid prefix
-                        // still holds the next scalar if there is one.
-                        Err(e) if e.valid_up_to() > 0 => {
-                            std::str::from_utf8(&window[..e.valid_up_to()])
-                                .unwrap()
-                                .chars()
-                                .next()
-                                .unwrap()
-                        }
-                        Err(_) => return Err("invalid UTF-8 in string".to_string()),
+                    // A trailing multi-byte scalar can leave an incomplete
+                    // suffix in the window; the valid prefix still holds
+                    // the next scalar if there is one.
+                    let valid = match std::str::from_utf8(window) {
+                        Ok(s) => s,
+                        Err(e) => std::str::from_utf8(&window[..e.valid_up_to()])
+                            .map_err(|_| "invalid UTF-8 in string".to_string())?,
+                    };
+                    let Some(c) = valid.chars().next() else {
+                        return Err("invalid UTF-8 in string".to_string());
                     };
                     out.push(c);
                     self.pos += c.len_utf8();
@@ -287,10 +315,13 @@ impl<'a> Parser<'a> {
                 self.pos += 1;
             }
         }
-        let s = std::str::from_utf8(&self.bytes[start..self.pos]).unwrap();
-        s.parse::<f64>()
+        // The scanned slice is ASCII by construction, but route through a
+        // fallible conversion anyway: this path must never panic.
+        std::str::from_utf8(&self.bytes[start..self.pos])
+            .ok()
+            .and_then(|s| s.parse::<f64>().ok())
             .map(Value::Num)
-            .map_err(|_| format!("bad number at byte {start}"))
+            .ok_or_else(|| format!("bad number at byte {start}"))
     }
 }
 
@@ -324,5 +355,36 @@ mod tests {
         assert!(parse("{\"a\":1} x").is_err());
         assert!(parse("{\"a\":").is_err());
         assert!(parse("[1,").is_err());
+    }
+
+    #[test]
+    fn rejects_truncated_and_invalid_escapes() {
+        assert!(parse("\"\\").is_err());
+        assert!(parse("\"\\u").is_err());
+        assert!(parse("\"\\u00").is_err());
+        assert!(parse("\"\\u12").is_err());
+        assert!(parse("\"\\uzzzz\"").is_err());
+        assert!(parse("\"\\ud800\"").is_err(), "lone surrogate");
+        assert!(parse("\"\\q\"").is_err());
+        assert_eq!(parse("\"\\u0041\"").unwrap().as_str(), Some("A"));
+    }
+
+    #[test]
+    fn caps_nesting_depth_instead_of_overflowing_the_stack() {
+        // Well past any real stack limit: without the cap this aborts the
+        // process, which no test harness can recover from.
+        let deep_arr = "[".repeat(100_000);
+        assert!(parse(&deep_arr).unwrap_err().contains("nesting deeper"));
+        let deep_obj = "{\"k\":".repeat(100_000);
+        assert!(parse(&deep_obj).unwrap_err().contains("nesting deeper"));
+        // Exactly at the cap still parses.
+        let ok = format!("{}{}", "[".repeat(MAX_DEPTH), "]".repeat(MAX_DEPTH));
+        assert!(parse(&ok).is_ok());
+        let over = format!("{}{}", "[".repeat(MAX_DEPTH + 1), "]".repeat(MAX_DEPTH + 1));
+        assert!(parse(&over).is_err());
+        // Depth is nesting, not total container count: siblings don't
+        // accumulate.
+        let wide = format!("[{}]", vec!["[]"; 10 * MAX_DEPTH].join(","));
+        assert!(parse(&wide).is_ok());
     }
 }

@@ -1,0 +1,144 @@
+//! Fuzz-ish corpus test: mangle valid trace JSONL lines with a
+//! fixed-seed RNG and assert the parser and validator return `Err` (or
+//! `Ok`) on every variant — never panic, never overflow the stack.
+//!
+//! The corpus is deterministic (seeded splitmix64, no wall clock), so a
+//! failure reproduces exactly; bump `ROUNDS` locally to widen the
+//! search.
+
+use conga_trace::explain;
+use conga_trace::json;
+
+const SEED: u64 = 0xC04A_5EED_0005;
+const ROUNDS: usize = 4_000;
+
+/// Minimal deterministic RNG; the workspace carries no external crates.
+struct SplitMix(u64);
+
+impl SplitMix {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, n: usize) -> usize {
+        (self.next() % n as u64) as usize
+    }
+}
+
+/// Realistic exporter output lines — one of each envelope shape,
+/// including the nested-candidate decision event.
+const BASE: &[&str] = &[
+    r#"{"seq":1,"t_ns":1000,"ev":"enqueue","ch":3,"pkt":7,"flow":42,"size":1500}"#,
+    r#"{"seq":2,"t_ns":1200,"ev":"deliver","host":5,"pkt":7,"flow":42,"payload":1460}"#,
+    r#"{"seq":3,"t_ns":1300,"ev":"dre","ch":3,"flow":42,"bytes":1500,"q":2}"#,
+    r#"{"seq":4,"t_ns":1400,"ev":"decision","leaf":0,"flow":42,"dst_leaf":1,"cand":[{"ch":4,"lbtag":0,"local":1,"remote":2,"metric":2}],"chosen":4,"lbtag":0,"sticky":false}"#,
+    r#"{"seq":5,"t_ns":1500,"ev":"fault","ch":4,"up":false}"#,
+    r#"{"seq":6,"t_ns":1600,"ev":"cwnd","flow":42,"sub":0,"cwnd":14600}"#,
+];
+
+/// Apply one random mangle to a line's bytes.
+fn mangle(rng: &mut SplitMix, line: &str) -> Vec<u8> {
+    let mut b = line.as_bytes().to_vec();
+    if b.is_empty() {
+        return b;
+    }
+    match rng.below(6) {
+        // Truncate at a random byte.
+        0 => b.truncate(rng.below(b.len() + 1)),
+        // Flip one byte to an arbitrary value (may break UTF-8).
+        1 => {
+            let i = rng.below(b.len());
+            b[i] = (rng.next() & 0xFF) as u8;
+        }
+        // Insert structural noise where it hurts the grammar most.
+        2 => {
+            let noise = br#""\{}[]:,u"#;
+            let i = rng.below(b.len() + 1);
+            b.insert(i, noise[rng.below(noise.len())]);
+        }
+        // Delete a random span.
+        3 => {
+            let i = rng.below(b.len());
+            let n = 1 + rng.below(8).min(b.len() - i - 1);
+            b.drain(i..i + n);
+        }
+        // Splice a truncated escape into the middle.
+        4 => {
+            let i = rng.below(b.len() + 1);
+            let frag: &[u8] = [&b"\\u00"[..], &b"\\"[..], &b"\\ud800"[..]][rng.below(3)];
+            for (k, &x) in frag.iter().enumerate() {
+                b.insert(i + k, x);
+            }
+        }
+        // Duplicate a chunk (yields trailing content / repeated keys).
+        _ => {
+            let i = rng.below(b.len());
+            let n = 1 + rng.below(16).min(b.len() - i - 1);
+            let chunk: Vec<u8> = b[i..i + n].to_vec();
+            b.extend_from_slice(&chunk);
+        }
+    }
+    b
+}
+
+#[test]
+fn mangled_jsonl_never_panics_parser_or_validator() {
+    let mut rng = SplitMix(SEED);
+    let mut rejected = 0usize;
+    for _ in 0..ROUNDS {
+        let base = BASE[rng.below(BASE.len())];
+        let mut bytes = mangle(&mut rng, base);
+        // Occasionally stack a second mangle for compound damage.
+        if rng.below(3) == 0 {
+            let s = String::from_utf8_lossy(&bytes).into_owned();
+            bytes = mangle(&mut rng, &s);
+        }
+        // The binary reads traces with `read_to_string`, which lossily
+        // never passes invalid UTF-8 through; mirror that boundary.
+        let text = String::from_utf8_lossy(&bytes);
+        // Surviving the next two calls IS the assertion: any panic or
+        // stack overflow fails the test (the latter aborts the harness).
+        let parsed = json::parse(&text);
+        let validated = explain::validate(&text);
+        // (An empty mangle validates Ok — zero JSONL lines — while
+        // failing document parse, so the two verdicts are independent.)
+        if parsed.is_err() || validated.is_err() {
+            rejected += 1;
+        }
+    }
+    // The corpus must actually exercise the error paths, not mutate
+    // whitespace into whitespace.
+    assert!(
+        rejected > ROUNDS / 2,
+        "corpus too tame: only {rejected}/{ROUNDS} rejected"
+    );
+}
+
+#[test]
+fn hostile_nesting_is_rejected_not_fatal() {
+    for doc in [
+        "[".repeat(1 << 20),
+        "{\"a\":".repeat(1 << 18),
+        format!("{}1{}", "[".repeat(1 << 16), "]".repeat(1 << 16)),
+    ] {
+        let err = json::parse(&doc).unwrap_err();
+        assert!(err.contains("nesting deeper"), "{err}");
+    }
+}
+
+#[test]
+fn validate_reports_the_offending_line() {
+    let good = r#"{"seq":1,"t_ns":1000,"ev":"fault","ch":4,"up":false}"#;
+    let bad = r#"{"seq":2,"t_ns":900,"ev":"fault","ch":4,"up":true}"#;
+    let err = explain::validate(&format!("{good}\n{bad}\n")).unwrap_err();
+    assert!(err.contains("line 2"), "{err}");
+    assert!(err.contains("went backwards"), "{err}");
+    assert!(
+        err.contains(bad),
+        "error must echo the offending line: {err}"
+    );
+}

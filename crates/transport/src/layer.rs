@@ -161,6 +161,10 @@ pub struct TransportLayer {
     /// Structured event tracing (cwnd moves, fast retransmits, RTOs);
     /// disabled by default.
     tracer: TraceHandle,
+    /// Reusable segment buffer for the ACK/RTO/pump paths (checked out with
+    /// `mem::take`, checked back in when the call finishes) — the hot path
+    /// would otherwise allocate a fresh `Vec` per ACK.
+    scratch_segs: Vec<Segment>,
 }
 
 impl TransportLayer {
@@ -287,10 +291,12 @@ impl TransportLayer {
         };
         match spec.kind {
             TransportKind::Tcp(_) => {
-                let mut segs = Vec::new();
+                let mut segs = std::mem::take(&mut self.scratch_segs);
+                segs.clear();
                 flow.subflows[0].tx.pump(&mut segs);
                 self.flows.push(flow);
                 self.emit_segments(id, 0, &segs, now, em);
+                self.scratch_segs = segs;
                 self.arm_rto(id, 0, now, true, em);
             }
             TransportKind::Mptcp(_) => {
@@ -387,8 +393,9 @@ impl TransportLayer {
             TransportKind::Mptcp(c) => (c.tcp.mss as u64, c.tcp.rwnd),
             _ => unreachable!("mp pump on non-mptcp flow"),
         };
+        let mut segs = std::mem::take(&mut self.scratch_segs);
         for sub in 0..n_subs {
-            let mut segs = Vec::new();
+            segs.clear();
             {
                 let f = &mut self.flows[flow];
                 loop {
@@ -425,6 +432,7 @@ impl TransportLayer {
                 self.arm_rto(flow, sub, now, false, em);
             }
         }
+        self.scratch_segs = segs;
     }
 
     fn cbr_emit(&mut self, flow: usize, now: SimTime, em: &mut Emitter) {
@@ -575,14 +583,17 @@ impl HostAgent for TransportLayer {
                 let is_mp = matches!(self.flows[flow].spec.kind, TransportKind::Mptcp(_));
                 let lia = is_mp.then(|| self.lia(flow));
                 let traced = self.tracer.wants_flow(pkt.flow);
-                let mut segs = Vec::new();
+                let mut segs = std::mem::take(&mut self.scratch_segs);
+                segs.clear();
                 let progressed;
                 {
                     let f = &mut self.flows[flow];
                     let Some(s) = f.subflows.get_mut(sub) else {
+                        self.scratch_segs = segs;
                         return;
                     };
                     if s.tx.done() {
+                        self.scratch_segs = segs;
                         return;
                     }
                     let prev_una = s.tx.snd_una;
@@ -617,6 +628,7 @@ impl HostAgent for TransportLayer {
                     }
                 }
                 self.emit_segments(flow, sub, &segs, now, em);
+                self.scratch_segs = segs;
                 if is_mp {
                     self.mp_allocate_and_pump(flow, now, em);
                 }
@@ -647,14 +659,17 @@ impl HostAgent for TransportLayer {
                 if flow >= self.flows.len() {
                     return;
                 }
-                let mut segs = Vec::new();
+                let mut segs = std::mem::take(&mut self.scratch_segs);
+                segs.clear();
                 {
                     let f = &mut self.flows[flow];
                     let Some(s) = f.subflows.get_mut(sub) else {
+                        self.scratch_segs = segs;
                         return;
                     };
                     s.rto_pending = false;
                     if !s.rto_armed || s.tx.done() {
+                        self.scratch_segs = segs;
                         return; // timer was cancelled
                     }
                     if now < s.rto_deadline {
@@ -664,6 +679,7 @@ impl HostAgent for TransportLayer {
                             s.rto_deadline.saturating_since(now),
                             token(flow, sub, 0, KIND_RTO),
                         );
+                        self.scratch_segs = segs;
                         return;
                     }
                     s.tx.on_rto(&mut segs);
@@ -686,6 +702,7 @@ impl HostAgent for TransportLayer {
                     }
                 }
                 self.emit_segments(flow, sub, &segs, now, em);
+                self.scratch_segs = segs;
                 self.arm_rto(flow, sub, now, true, em);
             }
             KIND_CBR => self.cbr_emit(flow, now, em),

@@ -482,6 +482,15 @@ impl TcpRx {
             // Entirely duplicate (e.g. spurious retransmission).
             return self.rcv_nxt;
         }
+        // Fast path: in-order data with no out-of-order ranges held. The
+        // general path below would insert the range into the map and
+        // immediately pop it back out — two B-tree node (de)allocations on
+        // every packet of a loss-free flow.
+        if seq <= self.rcv_nxt && self.ooo.is_empty() {
+            self.bytes_received += end - self.rcv_nxt;
+            self.rcv_nxt = end;
+            return self.rcv_nxt;
+        }
         let new_start = seq.max(self.rcv_nxt);
         if seq > self.rcv_nxt {
             self.ooo_segments += 1;
