@@ -37,6 +37,7 @@ const EXPECTED: &[&str] = &[
     "event_queue/calendar_churn",
     "forwarding/conga_100pkts_e2e",
     "fct_cell/conga_quick",
+    "fct_cell/conga_quick_shards2",
 ];
 
 fn main() {
@@ -172,7 +173,7 @@ fn bench_forwarding(r: &mut BenchReport) {
 }
 
 fn bench_cell(r: &mut BenchReport) {
-    r.bench_n("fct_cell/conga_quick", 3, || {
+    let cell = |shards: usize| {
         let mut cfg = FctRun::new(
             TestbedOpts::paper_baseline().quick(),
             Scheme::Conga,
@@ -181,7 +182,16 @@ fn bench_cell(r: &mut BenchReport) {
         );
         cfg.n_flows = 60;
         cfg.seed = 1;
-        black_box(run_fct(&cfg));
+        cfg.shards = shards;
+        cfg
+    };
+    r.bench_n("fct_cell/conga_quick", 3, || {
+        black_box(run_fct(&cell(1)));
+    });
+    // The shards axis: the same cell on two worker threads. Artifacts are
+    // byte-identical (tests/shards.rs); only the wall-clock may move.
+    r.bench_n("fct_cell/conga_quick_shards2", 3, || {
+        black_box(run_fct(&cell(2)));
     });
 }
 

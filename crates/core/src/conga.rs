@@ -28,7 +28,7 @@ use conga_telemetry::MetricsRegistry;
 use conga_trace::{Candidate, TraceEvent, TraceHandle};
 
 /// Per-leaf CONGA state.
-#[derive(Debug)]
+#[derive(Clone, Debug)]
 struct LeafState {
     flowlets: FlowletTable,
     to_leaf: CongestionToLeaf,
@@ -36,7 +36,7 @@ struct LeafState {
 }
 
 /// The CONGA dataplane: implements [`Dataplane`] for the whole fabric.
-#[derive(Debug)]
+#[derive(Clone, Debug)]
 pub struct Conga {
     /// Parameters (public so experiments can report them).
     pub params: CongaParams,

@@ -24,7 +24,7 @@ use conga_telemetry::MetricsRegistry;
 // ---------------------------------------------------------------------------
 
 /// Static per-flow Equal-Cost Multi-Path hashing.
-#[derive(Debug, Default)]
+#[derive(Clone, Debug, Default)]
 pub struct Ecmp {
     lbtag_of: Vec<u8>,
 }
@@ -44,7 +44,12 @@ impl Dataplane for Ecmp {
     ) -> ChannelId {
         let h = ecmp_mix(pkt.flow_hash, 0x1EAF_0000 + leaf.0 as u64);
         let ch = candidates[(h % candidates.len() as u64) as usize];
-        pkt.overlay.as_mut().expect("ingress without overlay").lbtag = self.lbtag_of[ch.idx()];
+        // The engine encapsulates before ingress, so the overlay is
+        // normally present — but a missing one only costs the LBTag stamp
+        // (ECMP carries no feedback), so degrade instead of panicking.
+        if let Some(ov) = pkt.overlay.as_mut() {
+            ov.lbtag = self.lbtag_of[ch.idx()];
+        }
         ch
     }
 
@@ -73,7 +78,7 @@ impl Dataplane for Ecmp {
 
 /// Flowlet-granularity load balancing using only *local* uplink DREs —
 /// the paper's illustration of why global information is required.
-#[derive(Debug)]
+#[derive(Clone, Debug)]
 pub struct LocalAware {
     params: CongaParams,
     dres: Vec<Option<Dre>>,
@@ -224,7 +229,7 @@ impl Dataplane for LocalAware {
 // ---------------------------------------------------------------------------
 
 /// Per-packet round-robin spraying (in the spirit of DRB / packet-spray).
-#[derive(Debug, Default)]
+#[derive(Clone, Debug, Default)]
 pub struct PacketSpray {
     lbtag_of: Vec<u8>,
     /// Round-robin cursor per (leaf, dst leaf).
@@ -286,7 +291,7 @@ impl Dataplane for PacketSpray {
 /// Static weighted-random load balancing: per-flow choice with weights
 /// proportional to each uplink's bottleneck path capacity. The best a
 /// topology-aware but traffic-oblivious scheme can do (§2.4, Figure 3).
-#[derive(Debug, Default)]
+#[derive(Clone, Debug, Default)]
 pub struct WeightedRandom {
     lbtag_of: Vec<u8>,
     /// `weights[leaf][dst][i]` — cumulative weight of `up_candidates[leaf][dst][i]`.
@@ -389,7 +394,7 @@ impl Dataplane for WeightedRandom {
 /// fabric-wide — exactly as in a real rollout, where legacy ToRs simply
 /// ignore the overlay congestion fields. Traffic not controlled by CONGA
 /// just becomes bandwidth asymmetry that CONGA adapts around.
-#[derive(Debug)]
+#[derive(Clone, Debug)]
 pub struct Incremental {
     conga: Conga,
     ecmp: Ecmp,
@@ -474,7 +479,7 @@ impl Dataplane for Incremental {
 
 /// Any of the fabric load-balancing schemes, behind one concrete type so the
 /// engine stays monomorphic (`Network<FabricPolicy, _>`).
-#[derive(Debug)]
+#[derive(Clone, Debug)]
 pub enum FabricPolicy {
     /// Static per-flow hashing.
     Ecmp(Ecmp),
@@ -646,6 +651,24 @@ mod tests {
         for (i, &c) in counts.iter().enumerate() {
             assert!((800..=1200).contains(&c), "uplink {i} got {c}/4000 flows");
         }
+    }
+
+    #[test]
+    fn ecmp_ingress_without_overlay_does_not_panic() {
+        // Regression: this used to `expect("ingress without overlay")`.
+        // A bare packet still gets a valid (and deterministic) candidate;
+        // only the LBTag stamp is skipped.
+        let (_t, fib, mut e) = setup(Ecmp::default());
+        let mut rng = SimRng::new(3);
+        let cands = fib.up_candidates[0][1].clone();
+        let mut bare = fabric_pkt(ecmp_mix(42, 99));
+        bare.overlay = None;
+        let c1 = e.leaf_ingress(LeafId(0), &mut bare, &cands, SimTime::ZERO, &mut rng);
+        assert!(cands.contains(&c1));
+        assert!(bare.overlay.is_none());
+        let mut with = fabric_pkt(ecmp_mix(42, 99));
+        let c2 = e.leaf_ingress(LeafId(0), &mut with, &cands, SimTime::ZERO, &mut rng);
+        assert_eq!(c1, c2, "overlay presence must not change the hash choice");
     }
 
     #[test]

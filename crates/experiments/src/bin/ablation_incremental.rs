@@ -39,6 +39,7 @@ fn main() {
         );
         cfg.n_flows = if args.quick { 150 } else { 600 };
         cfg.seed = args.seed;
+        cfg.shards = args.shards;
         let out = run_fct_with_policy(&cfg, FabricPolicy::incremental(flags));
         println!(
             "{:<28}{:>24.3}{:>12}",

@@ -32,6 +32,7 @@ fn run_with(params: CongaParams, args: &Args) -> f64 {
     );
     cfg.n_flows = if args.quick { 150 } else { 600 };
     cfg.seed = args.seed;
+    cfg.shards = args.shards;
     let out = run_fct_with_policy(&cfg, FabricPolicy::conga_with(params));
     out.summary.avg_norm_optimal
 }

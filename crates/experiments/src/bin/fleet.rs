@@ -6,8 +6,9 @@
 //! ```text
 //! fleet all   [--quick] [--jobs N] [--no-cache] ...   # every routed figure
 //! fleet fig09 | fig10 | fig11 | fig12 | fig13 ...     # one figure
-//! fleet bench [--quick] [--jobs N]                    # serial vs parallel vs
-//!                                                     # warm-cache timings ->
+//! fleet bench [--quick] [--jobs N] [--shards N]       # serial vs parallel vs
+//!                                                     # sharded vs warm-cache
+//!                                                     # timings ->
 //!                                                     # results/BENCH_fleet.json
 //! ```
 //!
@@ -30,8 +31,8 @@ subcommands:
   fig11    Figure 11 (dynamic) — mid-run link failure/recovery
   fig12    Figure 12 — uplink throughput imbalance
   fig13    Figure 13 — incast goodput vs fanout
-  bench    time the quick suite serial / parallel / warm-cache and write
-           results/BENCH_fleet.json
+  bench    time the quick suite serial / parallel / sharded / warm-cache
+           and write results/BENCH_fleet.json
 
 flags (after the subcommand) are the shared figure flags; see any figure
 binary's usage. `fleet` defaults --jobs to the available parallelism.";
@@ -77,6 +78,13 @@ fn run_all(args: &Args) -> bool {
 /// wall-clock-valued) JSON to `results/BENCH_fleet.json`.
 fn bench(args: &Args) -> std::io::Result<()> {
     let jobs = args.jobs_or_serial().max(2);
+    // The intra-run shard axis: honour an explicit --shards, else use the
+    // machine parallelism (capped: the quick testbed has two leaf domains).
+    let shards = if args.shards > 1 {
+        args.shards
+    } else {
+        parallelism().clamp(2, 4)
+    };
     let cache_dir = "results/cache";
 
     let pass = |label: &str, extra: &[&str]| -> (f64, bool) {
@@ -96,6 +104,12 @@ fn bench(args: &Args) -> std::io::Result<()> {
     let (serial_ms, ok1) = pass("serial", &["--no-cache", "--jobs", "1"]);
     let jobs_s = jobs.to_string();
     let (parallel_ms, ok2) = pass("parallel", &["--no-cache", "--jobs", &jobs_s]);
+    // The shards axis: serial cell order, parallelism *inside* each run.
+    let shards_s = shards.to_string();
+    let (sharded_ms, ok5) = pass(
+        "sharded",
+        &["--no-cache", "--jobs", "1", "--shards", &shards_s],
+    );
     // Warm the cache with one live pass, then time a fully-cached one.
     let (_, ok3) = pass("cache warm-up", &["--jobs", &jobs_s]);
     let (warm_ms, ok4) = pass("warm-cache", &["--jobs", &jobs_s]);
@@ -105,13 +119,20 @@ fn bench(args: &Args) -> std::io::Result<()> {
     let _ = writeln!(out, "  \"suite\": \"fleet_all --quick\",");
     let _ = writeln!(out, "  \"jobs\": {jobs},");
     let _ = writeln!(out, "  \"cores\": {},", parallelism());
+    let _ = writeln!(out, "  \"shards\": {shards},");
     let _ = writeln!(out, "  \"serial_ms\": {serial_ms:.1},");
     let _ = writeln!(out, "  \"parallel_ms\": {parallel_ms:.1},");
+    let _ = writeln!(out, "  \"sharded_ms\": {sharded_ms:.1},");
     let _ = writeln!(out, "  \"warm_cache_ms\": {warm_ms:.1},");
     let _ = writeln!(
         out,
         "  \"parallel_speedup\": {:.2},",
         serial_ms / parallel_ms.max(1e-9)
+    );
+    let _ = writeln!(
+        out,
+        "  \"shard_speedup\": {:.2},",
+        serial_ms / sharded_ms.max(1e-9)
     );
     let _ = writeln!(
         out,
@@ -123,7 +144,7 @@ fn bench(args: &Args) -> std::io::Result<()> {
     std::fs::write("results/BENCH_fleet.json", &out)?;
     eprintln!("bench: wrote results/BENCH_fleet.json");
     print!("{out}");
-    if !(ok1 && ok2 && ok3 && ok4) {
+    if !(ok1 && ok2 && ok3 && ok4 && ok5) {
         std::process::exit(1);
     }
     Ok(())

@@ -18,6 +18,9 @@ pub struct Args {
     pub jobs: Option<usize>,
     /// Bypass the content-addressed result cache (`--no-cache`).
     pub no_cache: bool,
+    /// Worker threads *inside* each simulation (`--shards N`); purely a
+    /// performance knob, never part of a scenario hash (default 1).
+    pub shards: usize,
     /// Leftover `--key value` pairs for experiment-specific options.
     extra: Vec<(String, String)>,
 }
@@ -29,6 +32,8 @@ usage: <binary> [flags]
   --seed N            base RNG seed (default 1)
   --runs N            independent runs to average where applicable
   --jobs N            run independent cells on N worker threads (default 1)
+  --shards N          worker threads inside each simulation (default 1;
+                      artifacts are byte-identical for any N)
   --no-cache          bypass the content-addressed result cache
   --cache-dir DIR     result-cache directory (default results/cache)
   --trace DIR         write structured event traces under DIR
@@ -57,6 +62,7 @@ impl Args {
         let mut runs = 0usize;
         let mut jobs = None;
         let mut no_cache = false;
+        let mut shards = 1usize;
         let mut extra = Vec::new();
         let mut iter = it.into_iter().peekable();
         fn want<T: std::str::FromStr>(
@@ -82,6 +88,13 @@ impl Args {
                     }
                     jobs = Some(n);
                 }
+                "--shards" => {
+                    let n: usize = want(&mut iter, "--shards", "a worker count >= 1")?;
+                    if n == 0 {
+                        return Err("--shards needs a worker count >= 1".into());
+                    }
+                    shards = n;
+                }
                 k if k.starts_with("--") => {
                     let v = iter.next().ok_or_else(|| format!("{k} needs a value"))?;
                     extra.push((k[2..].to_string(), v));
@@ -95,6 +108,7 @@ impl Args {
             runs,
             jobs,
             no_cache,
+            shards,
             extra,
         })
     }
@@ -186,6 +200,21 @@ mod tests {
         assert_eq!(a.jobs, Some(4));
         assert_eq!(a.jobs_or_serial(), 4);
         assert!(a.no_cache);
+        assert_eq!(a.shards, 1);
+    }
+
+    #[test]
+    fn shards_flag() {
+        let a = parse(&["--shards", "4"]);
+        assert_eq!(a.shards, 4);
+        assert_eq!(
+            parse_err(&["--shards", "0"]),
+            "--shards needs a worker count >= 1"
+        );
+        assert_eq!(
+            parse_err(&["--shards"]),
+            "--shards needs a worker count >= 1"
+        );
     }
 
     #[test]
@@ -210,7 +239,14 @@ mod tests {
 
     #[test]
     fn usage_names_every_first_class_flag() {
-        for flag in ["--quick", "--seed", "--runs", "--jobs", "--no-cache"] {
+        for flag in [
+            "--quick",
+            "--seed",
+            "--runs",
+            "--jobs",
+            "--shards",
+            "--no-cache",
+        ] {
             assert!(USAGE.contains(flag), "usage must document {flag}");
         }
     }

@@ -12,12 +12,11 @@
 
 use crate::figures::{write_trace_sidecars, TraceArgs};
 use crate::fleet::FleetCell;
-use crate::runner::{build_testbed, Scheme, TestbedOpts, TraceSpec};
+use crate::runner::{build_testbed, LinkFaultSpec, Scheme, ShardedRun, TestbedOpts, TraceSpec};
 use conga_fleet::{CellResult, FaultSpec, Scenario, TopoSpec};
-use conga_net::Network;
 use conga_sim::{QueueKind, SimDuration, SimRng, SimTime};
 use conga_telemetry::RunReport;
-use conga_transport::{ListSource, TcpConfig, TransportLayer};
+use conga_transport::TcpConfig;
 use conga_workloads::{FlowSizeDist, PoissonPlan};
 
 /// Specification for one dynamic-failure run.
@@ -49,6 +48,11 @@ pub struct DynFailSpec {
     /// both kinds are observationally identical (`tests/hotpath.rs`) —
     /// so it is deliberately *not* part of [`Self::scenario`]'s hash.
     pub queue: QueueKind,
+    /// Worker threads for the sharded engine. Like `queue`, purely a
+    /// performance knob: artifacts are byte-identical for any shard count
+    /// (`tests/shards.rs`), so it is deliberately *not* part of
+    /// [`Self::scenario`]'s hash.
+    pub shards: usize,
 }
 
 impl DynFailSpec {
@@ -82,6 +86,7 @@ impl DynFailSpec {
             // Calendar by default, as in FctRun::new: a pure performance
             // knob, proven byte-identical to the heap in tests/hotpath.rs.
             queue: QueueKind::Calendar,
+            shards: 1,
         }
     }
 }
@@ -245,56 +250,58 @@ pub fn run_dynamic_failure(spec: &DynFailSpec) -> DynFailOutcome {
         "arrival span {span_ns}ns too short to cover the fault schedule"
     );
 
-    let mut net = Network::new(topo, spec.scheme.policy(), TransportLayer::new(), spec.seed);
-    net.set_queue_kind(spec.queue);
-    let trace = spec.trace.as_ref().map(|t| t.handle());
-    if let Some(t) = &trace {
-        net.set_tracer(t.clone());
+    // Gap-encoded arrivals become absolute start times for preregistration
+    // (every domain must register the same flow list in the same order).
+    let mut abs_arrivals = Vec::with_capacity(arrivals.len());
+    let mut t_abs = SimTime::from_nanos(0);
+    for (gap, fspec) in &arrivals {
+        t_abs += *gap;
+        abs_arrivals.push((t_abs, *fspec));
     }
     let (l, s, p) = spec.link;
-    net.schedule_link_fault(
-        spec.fail_at,
-        conga_net::LeafId(l),
-        conga_net::SpineId(s),
-        p as usize,
+    let faults = vec![
+        LinkFaultSpec::fail(spec.fail_at, l, s, p),
+        LinkFaultSpec::recover(spec.recover_at, l, s, p),
+    ];
+    let mut run = ShardedRun::new(
+        &topo,
+        spec.scheme.policy(),
+        spec.seed,
+        spec.shards,
+        spec.queue,
+        spec.trace.as_ref(),
+        &faults,
+        &abs_arrivals,
     );
-    net.schedule_link_recovery(
-        spec.recover_at,
-        conga_net::LeafId(l),
-        conga_net::SpineId(s),
-        p as usize,
-    );
-    net.agent.attach_source(Box::new(ListSource::new(arrivals)));
-    if let Some((d, tok)) = net.agent.begin_source() {
-        net.schedule_timer(d, tok);
-    }
 
     // Slice-by-slice over the offered-load window, recording the cumulative
     // delivered-payload and blackhole counters at each boundary.
     let n_slices = (spec.window.as_nanos() / spec.slice.as_nanos()) as usize;
     let mut cum_delivered = Vec::with_capacity(n_slices + 1);
     let mut blackholed_at_recovery = None;
-    cum_delivered.push(net.stats.delivered_payload);
+    cum_delivered.push(run.stat(|s| s.delivered_payload));
     for i in 1..=n_slices {
         let t = SimTime::from_nanos(spec.slice.as_nanos() * i as u64);
-        net.run_until(t);
-        cum_delivered.push(net.stats.delivered_payload);
+        run.net.run_until(t);
+        cum_delivered.push(run.stat(|s| s.delivered_payload));
         if blackholed_at_recovery.is_none() && t >= spec.recover_at {
-            blackholed_at_recovery = Some(net.stats.blackholed);
+            blackholed_at_recovery = Some(run.stat(|s| s.blackholed));
         }
     }
     // Drain: let every flow finish (blackholed segments need RTOs).
     let total_flows = n_flows * 2;
     let drain_bound = SimTime::from_nanos(span_ns) + SimDuration::from_secs(8);
     loop {
-        net.run_until(net.now() + SimDuration::from_millis(50));
-        if net.agent.flow_count() >= total_flows && net.agent.completed_rx >= total_flows {
+        let t = run.net.now() + SimDuration::from_millis(50);
+        run.net.run_until(t);
+        if run.completed_rx() >= total_flows {
             break;
         }
-        if net.now() >= drain_bound {
+        if run.net.now() >= drain_bound {
             break;
         }
     }
+    let records = run.merged_records(&topo);
 
     let per_slice: Vec<u64> = cum_delivered.windows(2).map(|w| w[1] - w[0]).collect();
     let slice_s = spec.slice.as_secs_f64();
@@ -338,20 +345,18 @@ pub fn run_dynamic_failure(spec: &DynFailSpec) -> DynFailOutcome {
         }
     }
 
-    let stranded = net
-        .agent
-        .records
-        .iter()
-        .filter(|r| r.rx_done.is_none())
-        .count();
-    let blackholed = net.stats.blackholed;
+    let stranded = records.iter().filter(|r| r.rx_done.is_none()).count();
+    let blackholed = run.stat(|s| s.blackholed);
     let post_recovery_blackholed =
         blackholed - blackholed_at_recovery.expect("window covers the recovery");
 
     let mut report = RunReport::new();
     report.set_meta("figure", "fig11_dynamic_failure");
     report.set_meta("scheme", spec.scheme.name());
-    report.set_meta("policy", conga_net::Dataplane::name(&net.dataplane));
+    report.set_meta(
+        "policy",
+        conga_net::Dataplane::name(&run.net.domain(0).dataplane),
+    );
     report.set_meta("seed", spec.seed.to_string());
     report.set_meta("load", format!("{}", spec.load));
     report.set_meta("n_flows", n_flows.to_string());
@@ -381,8 +386,8 @@ pub fn run_dynamic_failure(spec: &DynFailSpec) -> DynFailOutcome {
         "post_recovery_blackholed",
         post_recovery_blackholed.to_string(),
     );
-    report.set_meta("end_time_ns", net.now().as_nanos().to_string());
-    net.export_metrics(&mut report.metrics);
+    report.set_meta("end_time_ns", run.net.now().as_nanos().to_string());
+    run.net.export_metrics(&mut report.metrics);
     for (i, &b) in per_slice.iter().enumerate() {
         report
             .metrics
@@ -398,8 +403,8 @@ pub fn run_dynamic_failure(spec: &DynFailSpec) -> DynFailOutcome {
         stranded,
         blackholed,
         post_recovery_blackholed,
-        end_time: net.now(),
+        end_time: run.net.now(),
         report,
-        trace,
+        trace: run.merged_trace(),
     }
 }

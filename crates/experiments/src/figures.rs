@@ -232,6 +232,7 @@ pub fn fct_sweep(
                 cfg.seed = args.seed + 1000 * r as u64;
                 cfg.faults = faults.clone();
                 cfg.trace = tracing.as_ref().map(|t| t.spec.clone());
+                cfg.shards = args.shards;
                 let label = format!("{}.load{:02.0}.r{r}", scheme.name(), load * 100.0);
                 cells.push(fct_cell(figure, &label, cfg, args.quick, tracing.clone()));
             }

@@ -3,11 +3,13 @@
 
 use conga_analysis::fct::{ideal_fct_s, summarize, FctSample, FctSummary};
 use conga_core::FabricPolicy;
-use conga_net::{ChannelId, HostId, LeafSpineBuilder, Network, Topology, WIRE_OVERHEAD};
+use conga_net::{
+    ChannelId, HostId, LeafSpineBuilder, Network, ShardedNetwork, Topology, WIRE_OVERHEAD,
+};
 use conga_sim::{QueueKind, SimDuration, SimRng, SimTime};
 use conga_telemetry::RunReport;
 use conga_transport::{
-    FlowSpec, ListSource, MptcpConfig, TcpConfig, TransportKind, TransportLayer,
+    FlowRecord, FlowSpec, MptcpConfig, TcpConfig, TransportKind, TransportLayer,
 };
 use conga_workloads::{FlowSizeDist, PoissonPlan};
 
@@ -193,8 +195,8 @@ pub struct TraceSpec {
 }
 
 impl TraceSpec {
-    /// Build the corresponding recorder handle.
-    pub fn handle(&self) -> conga_trace::TraceHandle {
+    /// The recorder configuration this spec describes.
+    pub fn config(&self) -> conga_trace::TraceConfig {
         let mut cfg = match &self.flows {
             Some(f) => conga_trace::TraceConfig::for_flows(f.iter().copied()),
             None => conga_trace::TraceConfig::all(),
@@ -202,7 +204,12 @@ impl TraceSpec {
         if let Some(n) = self.ring {
             cfg = cfg.with_ring(n);
         }
-        conga_trace::TraceHandle::recording(cfg)
+        cfg
+    }
+
+    /// Build the corresponding recorder handle.
+    pub fn handle(&self) -> conga_trace::TraceHandle {
+        conga_trace::TraceHandle::recording(self.config())
     }
 }
 
@@ -235,6 +242,13 @@ pub struct FctRun {
     /// both kinds are observationally identical (`tests/hotpath.rs`) —
     /// so it is deliberately *not* part of the cell's scenario hash.
     pub queue: QueueKind,
+    /// Worker threads for the sharded engine. Purely a performance knob,
+    /// exactly like `queue`: the run is always domain-decomposed (one
+    /// domain per leaf) and the conservative-window schedule is
+    /// independent of how many threads execute it, so it is deliberately
+    /// *not* part of the cell's scenario hash. `tests/shards.rs` pins
+    /// byte-identical artifacts across shard counts.
+    pub shards: usize,
 }
 
 impl FctRun {
@@ -255,6 +269,7 @@ impl FctRun {
             // the reference implementation (tests/hotpath.rs proves the
             // two produce byte-identical artifacts).
             queue: QueueKind::Calendar,
+            shards: 1,
         }
     }
 }
@@ -371,6 +386,132 @@ pub fn uniform_arrivals(
         .collect()
 }
 
+/// A domain-decomposed simulation run: one replicated [`Network`] per leaf
+/// domain, coordinated by [`ShardedNetwork`]'s conservative-window barrier.
+///
+/// Every domain sees the identical configuration (queue kind, fault
+/// schedule, preregistered flow list) so that replica state stays in
+/// lock-step; per-domain ownership masks ensure each metric is accumulated
+/// exactly once, which is what makes the counter-ADD merge exact and the
+/// artifacts byte-identical for any worker count.
+pub struct ShardedRun {
+    /// The coordinated per-domain networks.
+    pub net: ShardedNetwork<FabricPolicy, TransportLayer>,
+    tracer_parts: Vec<conga_trace::TraceHandle>,
+    trace_cfg: Option<conga_trace::TraceConfig>,
+}
+
+impl ShardedRun {
+    /// Build the per-domain networks: install the policy clone, queue kind,
+    /// tracer, and fault schedule everywhere, then preregister every flow in
+    /// every domain (ids align by position) with a start timer only in the
+    /// sender's domain.
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        topo: &Topology,
+        policy: FabricPolicy,
+        seed: u64,
+        shards: usize,
+        queue: QueueKind,
+        trace: Option<&TraceSpec>,
+        faults: &[LinkFaultSpec],
+        arrivals: &[(SimTime, FlowSpec)],
+    ) -> Self {
+        let trace_cfg = trace.map(|t| t.config());
+        let mut net = ShardedNetwork::new(topo, seed, shards, |_| {
+            (policy.clone(), TransportLayer::new())
+        });
+        let mut tracer_parts = Vec::new();
+        net.each(|d, n| {
+            n.set_queue_kind(queue);
+            if let Some(cfg) = &trace_cfg {
+                let h = conga_trace::TraceHandle::recording(cfg.clone());
+                n.set_tracer(h.clone());
+                tracer_parts.push(h);
+            }
+            for f in faults {
+                let (leaf, spine) = (conga_net::LeafId(f.leaf), conga_net::SpineId(f.spine));
+                if f.up {
+                    n.schedule_link_recovery(f.at, leaf, spine, f.parallel as usize);
+                } else {
+                    n.schedule_link_fault(f.at, leaf, spine, f.parallel as usize);
+                }
+            }
+            for (start, spec) in arrivals {
+                let tx_local = topo.leaf_of(spec.src).0 as usize == d;
+                let id = n.agent.preregister(*spec, *start, tx_local);
+                if tx_local {
+                    n.schedule_timer(
+                        SimDuration::from_nanos(start.as_nanos()),
+                        TransportLayer::start_token(id),
+                    );
+                }
+            }
+        });
+        ShardedRun {
+            net,
+            tracer_parts,
+            trace_cfg,
+        }
+    }
+
+    /// Flows fully received, summed across domains (each flow's receiver
+    /// lives in exactly one domain, so the sum is exact).
+    pub fn completed_rx(&self) -> usize {
+        (0..self.net.n_domains())
+            .map(|d| self.net.domain(d).agent.completed_rx)
+            .sum()
+    }
+
+    /// Flow records with sender-side counters from the sender's domain and
+    /// `rx_done` taken from the receiver's domain.
+    pub fn merged_records(&self, topo: &Topology) -> Vec<FlowRecord> {
+        let n = self.net.domain(0).agent.records.len();
+        let mut out = Vec::with_capacity(n);
+        for i in 0..n {
+            let probe = self.net.domain(0).agent.records[i];
+            let src_d = topo.leaf_of(probe.src).0 as usize;
+            let dst_d = topo.leaf_of(probe.dst).0 as usize;
+            let mut r = self.net.domain(src_d).agent.records[i];
+            if dst_d != src_d {
+                r.rx_done = self.net.domain(dst_d).agent.records[i].rx_done;
+            }
+            out.push(r);
+        }
+        out
+    }
+
+    /// Sum an [`EngineStats`] counter across domains (ownership gating in
+    /// the engine guarantees each event is counted in exactly one domain).
+    pub fn stat(&self, f: impl Fn(&conga_net::EngineStats) -> u64) -> u64 {
+        (0..self.net.n_domains())
+            .map(|d| f(&self.net.domain(d).stats))
+            .sum()
+    }
+
+    /// Total packet drops across domains.
+    pub fn total_drops(&self) -> u64 {
+        (0..self.net.n_domains())
+            .map(|d| self.net.domain(d).total_drops())
+            .sum()
+    }
+
+    /// The raw per-domain trace recorders (one per leaf domain, empty when
+    /// tracing is off) — the property battery inspects these for
+    /// within-shard event ordering before any merge.
+    pub fn trace_parts(&self) -> &[conga_trace::TraceHandle] {
+        &self.tracer_parts
+    }
+
+    /// Deterministically merge the per-domain trace streams, if tracing was
+    /// requested. Call after the run has finished.
+    pub fn merged_trace(&self) -> Option<conga_trace::TraceHandle> {
+        self.trace_cfg
+            .as_ref()
+            .map(|cfg| conga_trace::TraceHandle::merged(cfg.clone(), &self.tracer_parts))
+    }
+}
+
 /// Run one FCT experiment cell to completion (or a generous drain bound).
 pub fn run_fct(cfg: &FctRun) -> FctOutcome {
     run_fct_with_policy(cfg, cfg.scheme.policy())
@@ -424,42 +565,49 @@ pub fn run_fct_with_policy(cfg: &FctRun, policy: FabricPolicy) -> FctOutcome {
     };
     let span_ns: u64 = arrivals.iter().map(|(g, _)| g.as_nanos()).sum();
 
-    let mut net = Network::new(topo, policy, TransportLayer::new(), cfg.seed);
-    net.set_queue_kind(cfg.queue);
-    let trace = cfg.trace.as_ref().map(|spec| spec.handle());
-    if let Some(t) = &trace {
-        net.set_tracer(t.clone());
+    // Gap-encoded arrivals become absolute start times: preregistration
+    // needs the full schedule up front so every domain registers the same
+    // flow list in the same order.
+    let mut abs_arrivals = Vec::with_capacity(arrivals.len());
+    let mut t_abs = SimTime::from_nanos(0);
+    for (gap, spec) in &arrivals {
+        t_abs += *gap;
+        abs_arrivals.push((t_abs, *spec));
     }
-    for f in &cfg.faults {
-        let (leaf, spine) = (conga_net::LeafId(f.leaf), conga_net::SpineId(f.spine));
-        if f.up {
-            net.schedule_link_recovery(f.at, leaf, spine, f.parallel as usize);
-        } else {
-            net.schedule_link_fault(f.at, leaf, spine, f.parallel as usize);
-        }
-    }
+
+    let mut run = ShardedRun::new(
+        &topo,
+        policy,
+        cfg.seed,
+        cfg.shards,
+        cfg.queue,
+        cfg.trace.as_ref(),
+        &cfg.faults,
+        &abs_arrivals,
+    );
     if cfg.sample_uplinks {
-        let ups = net.fib.leaf_uplinks[0].clone();
-        net.enable_sampling(ups, SimDuration::from_millis(10));
-    }
-    net.agent.attach_source(Box::new(ListSource::new(arrivals)));
-    if let Some((d, tok)) = net.agent.begin_source() {
-        net.schedule_timer(d, tok);
+        // Leaf 0's uplinks are all owned by domain 0, so sampling there
+        // observes exactly what the monolithic engine would.
+        let ups = run.net.domain(0).fib.leaf_uplinks[0].clone();
+        run.net
+            .domain_mut(0)
+            .enable_sampling(ups, SimDuration::from_millis(10));
     }
 
     // Run in slices until every flow completes (or the drain bound).
     let total_flows = cfg.n_flows * 2;
     let drain_bound = SimTime::from_nanos(span_ns) + SimDuration::from_secs(8);
     loop {
-        let t = net.now() + SimDuration::from_millis(50);
-        net.run_until(t);
-        if net.agent.flow_count() >= total_flows && net.agent.completed_rx >= total_flows {
+        let t = run.net.now() + SimDuration::from_millis(50);
+        run.net.run_until(t);
+        if run.completed_rx() >= total_flows {
             break;
         }
-        if net.now() >= drain_bound {
+        if run.net.now() >= drain_bound {
             break;
         }
     }
+    let records = run.merged_records(&topo);
 
     // Ideal FCT model parameters from the topology.
     let edge_bps = cfg.topo.host_gbps * 1_000_000_000;
@@ -471,11 +619,11 @@ pub fn run_fct_with_policy(cfg: &FctRun, policy: FabricPolicy) -> FctOutcome {
     // would finish in a draining (emptying) fabric and dilute every
     // congestion effect. The last 30% of the window is the guard band.
     let measure_until = SimTime::from_nanos((span_ns as f64 * 0.7) as u64);
-    for r in &net.agent.records {
+    for r in &records {
         if r.start > measure_until {
             continue;
         }
-        let cross_leaf = net.topo.leaf_of(r.src) != net.topo.leaf_of(r.dst);
+        let cross_leaf = topo.leaf_of(r.src) != topo.leaf_of(r.dst);
         let hops = if cross_leaf { 4 } else { 2 };
         match r.fct() {
             Some(f) => samples.push(FctSample {
@@ -488,28 +636,37 @@ pub fn run_fct_with_policy(cfg: &FctRun, policy: FabricPolicy) -> FctOutcome {
     }
     let summary = summarize(&samples, incomplete);
 
-    let retx_bytes = net.agent.records.iter().map(|r| r.retx_bytes).sum();
-    let timeouts = net.agent.records.iter().map(|r| r.timeouts).sum();
+    let retx_bytes = records.iter().map(|r| r.retx_bytes).sum();
+    let timeouts = records.iter().map(|r| r.timeouts).sum();
     let fabric_mean_queues = {
-        let now = net.now();
-        let chans: Vec<ChannelId> = (0..net.topo.channels.len() as u32)
+        let now = run.net.now();
+        let chans: Vec<ChannelId> = (0..topo.channels.len() as u32)
             .map(ChannelId)
-            .filter(|c| net.topo.channel(*c).kind.is_fabric())
+            .filter(|c| topo.channel(*c).kind.is_fabric())
             .collect();
         chans
             .into_iter()
-            .map(|c| (c, net.port_mut(c).mean_queue_bytes(now)))
+            .map(|c| {
+                let d = run.net.tx_domain(c);
+                (c, run.net.domain_mut(d).port_mut(c).mean_queue_bytes(now))
+            })
             .collect()
     };
-    let report = build_report(&net, cfg);
+    let mut report = fct_meta(
+        cfg,
+        conga_net::Dataplane::name(&run.net.domain(0).dataplane),
+        run.net.now(),
+    );
+    run.net.export_metrics(&mut report.metrics);
+    let trace = run.merged_trace();
     FctOutcome {
         summary,
-        drops: net.total_drops(),
+        drops: run.total_drops(),
         retx_bytes,
         timeouts,
-        end_time: net.now(),
-        uplink_tx_samples: net.samples.tx_bytes.clone(),
-        uplink_queue_samples: net.samples.queue_bytes.clone(),
+        end_time: run.net.now(),
+        uplink_tx_samples: run.net.domain(0).samples.tx_bytes.clone(),
+        uplink_queue_samples: run.net.domain(0).samples.queue_bytes.clone(),
         fabric_mean_queues,
         report,
         trace,
@@ -520,9 +677,17 @@ pub fn run_fct_with_policy(cfg: &FctRun, policy: FabricPolicy) -> FctOutcome {
 /// plus every counter the network exports. Pure function of the simulation
 /// state — same seed, same bytes.
 pub fn build_report(net: &Network<FabricPolicy, TransportLayer>, cfg: &FctRun) -> RunReport {
+    let mut report = fct_meta(cfg, conga_net::Dataplane::name(&net.dataplane), net.now());
+    net.export_metrics(&mut report.metrics);
+    report
+}
+
+/// The configuration-metadata half of [`build_report`], shared between the
+/// monolithic and sharded paths (metrics are exported by the caller).
+fn fct_meta(cfg: &FctRun, policy_name: &str, end: SimTime) -> RunReport {
     let mut report = RunReport::new();
     report.set_meta("scheme", cfg.scheme.name());
-    report.set_meta("policy", conga_net::Dataplane::name(&net.dataplane));
+    report.set_meta("policy", policy_name);
     report.set_meta("seed", cfg.seed.to_string());
     report.set_meta("load", format!("{}", cfg.load));
     report.set_meta("n_flows", cfg.n_flows.to_string());
@@ -558,8 +723,7 @@ pub fn build_report(net: &Network<FabricPolicy, TransportLayer>, cfg: &FctRun) -
             .collect();
         report.set_meta("fault_schedule", sched.join(","));
     }
-    report.set_meta("end_time_ns", net.now().as_nanos().to_string());
-    net.export_metrics(&mut report.metrics);
+    report.set_meta("end_time_ns", end.as_nanos().to_string());
     report
 }
 

@@ -80,6 +80,7 @@ pub fn fig11_dynamic(args: &Args) -> bool {
             spec.link = (parts[0], parts[1], parts[2]);
         }
         spec.trace = tracing.as_ref().map(|t| t.spec.clone());
+        spec.shards = args.shards;
         cells.push(dynfail_cell(
             "fig11_dynamic_failure",
             scheme.name(),
@@ -156,6 +157,7 @@ pub fn fig12(args: &Args) -> bool {
             cfg.seed = args.seed;
             cfg.sample_uplinks = true;
             cfg.trace = tracing.as_ref().map(|t| t.spec.clone());
+            cfg.shards = args.shards;
             let label = format!("{}.{}", dist.name(), scheme.name());
             cells.push(fig12_cell(label, cfg, args.quick, tracing.clone()));
         }

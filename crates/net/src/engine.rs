@@ -178,6 +178,29 @@ pub struct SampleLog {
     pub tx_bytes: Vec<Vec<u64>>,
 }
 
+/// Shard identity installed on a [`Network`] that models one domain of a
+/// sharded run (see `crate::shard`). Every domain replicates the full
+/// topology but *owns* only the channels whose source node lies in it:
+/// transmissions on non-owned channels never happen here, and arrivals on
+/// channels whose destination lies elsewhere are diverted into the
+/// `outbox` for barrier delivery instead of being scheduled locally.
+#[derive(Debug)]
+pub struct ShardCtx {
+    /// This domain's index.
+    pub id: u8,
+    /// Domain that processes each channel's arrivals (the domain of the
+    /// channel's destination node), indexed by channel.
+    pub arrive_domain: Vec<u8>,
+    /// Whether this domain owns each channel's transmit side (the domain
+    /// of the channel's source node), indexed by channel. Fault-transition
+    /// accounting is gated on this so the merged telemetry counts each
+    /// transition exactly once.
+    pub owns_tx: Vec<bool>,
+    /// Cross-domain transmissions captured during the current window:
+    /// `(arrival time, channel, packet, fail epoch at tx start)`.
+    pub outbox: Vec<(SimTime, ChannelId, Packet, u32)>,
+}
+
 /// Aggregate counters the engine maintains itself.
 #[derive(Debug, Default, Clone, Copy)]
 pub struct EngineStats {
@@ -256,6 +279,9 @@ pub struct Network<D: Dataplane, A: HostAgent> {
     /// and `net.fault_transitions` counters are exported only for runs
     /// with a fault schedule, keeping fault-free report diffs clean.
     faults_scheduled: bool,
+    /// Shard identity when this network models one domain of a sharded
+    /// run; `None` for the classic monolithic engine.
+    shard: Option<ShardCtx>,
 }
 
 impl<D: Dataplane, A: HostAgent> Network<D, A> {
@@ -293,7 +319,23 @@ impl<D: Dataplane, A: HostAgent> Network<D, A> {
             nic_release: Vec::new(),
             tracer: TraceHandle::disabled(),
             faults_scheduled: false,
+            shard: None,
         }
+    }
+
+    /// Install a shard identity (see [`ShardCtx`]). Call right after
+    /// construction, before anything is scheduled.
+    pub fn set_shard(&mut self, ctx: ShardCtx) {
+        debug_assert_eq!(ctx.arrive_domain.len(), self.topo.channels.len());
+        debug_assert_eq!(ctx.owns_tx.len(), self.topo.channels.len());
+        self.shard = Some(ctx);
+    }
+
+    /// Offset the packet-id counter so each shard domain mints ids in a
+    /// disjoint range and merged traces stay collision-free.
+    pub fn set_pkt_id_base(&mut self, base: u64) {
+        assert_eq!(self.next_pkt_id, 0, "set the id base before injecting");
+        self.next_pkt_id = base;
     }
 
     /// Select the future-event-list implementation (heap vs calendar).
@@ -486,37 +528,49 @@ impl<D: Dataplane, A: HostAgent> Network<D, A> {
             return; // redundant transition: nothing changed
         }
         self.link_up[ch.idx()] = up;
-        self.stats.fault_transitions += 1;
-        self.fault_log.push((self.now, ch, up));
-        if self.tracer.enabled() {
-            self.tracer.emit(
-                self.now,
-                TraceEvent::FaultTransition {
-                    ch: ch.idx() as u32,
-                    up,
-                },
-            );
+        // In a sharded run every domain applies the full fault schedule
+        // (liveness masks, fail epochs, and FIBs must agree everywhere),
+        // but only the channel's transmit-side owner records the
+        // transition — merged telemetry counts each one exactly once,
+        // byte-identical to the monolithic run.
+        let owns = self.shard.as_ref().is_none_or(|s| s.owns_tx[ch.idx()]);
+        if owns {
+            self.stats.fault_transitions += 1;
+            self.fault_log.push((self.now, ch, up));
+            if self.tracer.enabled() {
+                self.tracer.emit(
+                    self.now,
+                    TraceEvent::FaultTransition {
+                        ch: ch.idx() as u32,
+                        up,
+                    },
+                );
+            }
         }
         if !up {
             self.fail_epoch[ch.idx()] = self.fail_epoch[ch.idx()].wrapping_add(1);
-            let mut flushed = std::mem::take(&mut self.scratch_flush);
-            flushed.clear();
-            let n = self.ports[ch.idx()].flush_dead(self.now, &mut flushed);
-            self.stats.blackholed += n as u64;
-            for pkt in &flushed {
-                if self.tracer.wants_flow(pkt.flow) {
-                    self.tracer.emit(
-                        self.now,
-                        TraceEvent::PacketBlackhole {
-                            ch: ch.idx() as u32,
-                            pkt: pkt.id,
-                            flow: pkt.flow,
-                            size: pkt.size,
-                        },
-                    );
+            if owns {
+                // A non-owner's replica port never transmits, so its queue
+                // is empty by construction; flushing is owner-only.
+                let mut flushed = std::mem::take(&mut self.scratch_flush);
+                flushed.clear();
+                let n = self.ports[ch.idx()].flush_dead(self.now, &mut flushed);
+                self.stats.blackholed += n as u64;
+                for pkt in &flushed {
+                    if self.tracer.wants_flow(pkt.flow) {
+                        self.tracer.emit(
+                            self.now,
+                            TraceEvent::PacketBlackhole {
+                                ch: ch.idx() as u32,
+                                pkt: pkt.id,
+                                flow: pkt.flow,
+                                size: pkt.size,
+                            },
+                        );
+                    }
                 }
+                self.scratch_flush = flushed;
             }
-            self.scratch_flush = flushed;
         }
         self.fib.refresh_live(&self.topo, &self.link_up);
     }
@@ -546,6 +600,68 @@ impl<D: Dataplane, A: HostAgent> Network<D, A> {
     /// fired). Only sensible when the agent stops rescheduling timers.
     pub fn run_to_quiescence(&mut self) -> u64 {
         self.run_until(SimTime::MAX - SimDuration::from_nanos(1))
+    }
+
+    /// Timestamp of the earliest pending event, if any (`&mut` because a
+    /// calendar queue rotates buckets to find its minimum). The barrier
+    /// coordinator reduces this across domains to find the global minimum
+    /// that anchors the next conservative window.
+    #[inline]
+    pub fn peek_time(&mut self) -> Option<SimTime> {
+        self.events.peek_time()
+    }
+
+    /// Run the event loop over one conservative window: process every
+    /// event with `t < bound` (strictly — the bound is exclusive) and
+    /// return the number processed. Unlike [`Network::run_until`] the
+    /// clock is *not* advanced to the bound afterwards: cross-domain
+    /// deliveries injected at the next barrier may land anywhere in
+    /// `[bound, ...)` and must not trip the monotonicity assertion.
+    pub fn run_window(&mut self, bound: SimTime) -> u64 {
+        let mut n = 0;
+        while let Some(t) = self.events.peek_time() {
+            if t >= bound {
+                break;
+            }
+            let (t, ev) = self.events.pop().expect("peeked");
+            debug_assert!(t >= self.now, "time went backwards");
+            self.now = t;
+            self.dispatch(ev);
+            n += 1;
+        }
+        self.stats.events += n;
+        n
+    }
+
+    /// Advance the clock to `t` without processing anything (no-op if the
+    /// clock is already past `t`). The coordinator calls this once per
+    /// `run_until` slice so every domain reports the same final time,
+    /// matching the serial engine's end-of-slice clock advance.
+    pub fn advance_to(&mut self, t: SimTime) {
+        if self.now < t {
+            self.now = t;
+        }
+    }
+
+    /// Schedule the arrival of a packet transmitted by a remote domain:
+    /// the barrier coordinator moves each outbox entry here, into the
+    /// owning domain of the channel's destination. `epoch` is the fail
+    /// epoch the *sender* captured at transmission start; the receiving
+    /// domain applies the same fault schedule, so a mismatch at arrival
+    /// blackholes the packet exactly as the monolithic engine would.
+    pub fn deliver_remote(&mut self, at: SimTime, ch: ChannelId, pkt: Packet, epoch: u32) {
+        debug_assert!(at >= self.now, "remote delivery inside the past window");
+        self.wire[ch.idx()].push_back((pkt, epoch));
+        self.events.push(at, Ev::Arrive { ch });
+    }
+
+    /// Move the accumulated cross-domain transmissions out of this
+    /// domain's outbox (empty for monolithic networks).
+    pub fn take_outbox(&mut self) -> Vec<(SimTime, ChannelId, Packet, u32)> {
+        match &mut self.shard {
+            Some(s) => std::mem::take(&mut s.outbox),
+            None => Vec::new(),
+        }
     }
 
     fn dispatch(&mut self, ev: Ev) {
@@ -779,8 +895,18 @@ impl<D: Dataplane, A: HostAgent> Network<D, A> {
         let delay = self.ports[ch.idx()].delay;
         let epoch = self.fail_epoch[ch.idx()];
         self.events.push(self.now + ser, Ev::TxDone { ch });
+        let arrival = self.now + ser + delay;
+        if let Some(s) = &mut self.shard {
+            if s.arrive_domain[ch.idx()] != s.id {
+                // Cross-domain channel: the arrival happens in the remote
+                // domain. Serializer occupancy and TxDone stay local (the
+                // port is owned here); the packet rides the barrier.
+                s.outbox.push((arrival, ch, pkt, epoch));
+                return;
+            }
+        }
         self.wire[ch.idx()].push_back((pkt, epoch));
-        self.events.push(self.now + ser + delay, Ev::Arrive { ch });
+        self.events.push(arrival, Ev::Arrive { ch });
     }
 }
 

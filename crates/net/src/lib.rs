@@ -13,10 +13,11 @@ mod engine;
 mod ids;
 mod packet;
 mod port;
+mod shard;
 mod topology;
 
 pub use engine::{
-    inject, Dataplane, Emitter, EngineStats, HostAgent, Network, SampleLog, SinkAgent,
+    inject, Dataplane, Emitter, EngineStats, HostAgent, Network, SampleLog, ShardCtx, SinkAgent,
 };
 pub use ids::{ChannelId, HostId, LeafId, NodeId, SpineId};
 pub use packet::{
@@ -24,4 +25,5 @@ pub use packet::{
     WIRE_OVERHEAD,
 };
 pub use port::{Enqueue, TxPort};
+pub use shard::ShardedNetwork;
 pub use topology::{Channel, ChannelKind, Fib, LeafSpineBuilder, QueueProfile, Topology};

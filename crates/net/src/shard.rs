@@ -1,0 +1,528 @@
+//! Sharded execution: one simulation partitioned by leaf domain, advanced
+//! in conservative time windows with a barrier exchange of cross-domain
+//! packets.
+//!
+//! ## Decomposition
+//!
+//! A run over a leaf-spine fabric is split into `n_leaves` *domains*.
+//! Domain `d` owns leaf `d`, every host under it, and the spines with
+//! `spine % n_leaves == d` (spines are stateless ECMP hops plus their DREs,
+//! so any fixed assignment works). Each domain holds a **full replica** of
+//! the [`crate::Network`] over the same topology — same FIB, same fault
+//! schedule — but with a [`ShardCtx`] mask: it only ever *transmits* on
+//! channels whose source node it owns, and an owned channel whose
+//! destination lies in another domain diverts its arrival into an outbox
+//! instead of the local event queue.
+//!
+//! Replication is what keeps the dataplane logic untouched: leaf `l`'s
+//! congestion tables and flowlet state are only ever exercised by events
+//! processed in domain `l`, spine DREs only in the spine's domain, and the
+//! replica counters elsewhere stay zero — so summing per-domain metric
+//! registries reproduces the monolithic totals exactly.
+//!
+//! ## Conservative windows
+//!
+//! Domains advance in lockstep windows bounded by
+//! [`conga_sim::conservative_window`] with lookahead equal to the minimum
+//! propagation delay over cross-domain channels. A packet transmitted at
+//! `t ≥ m` (the global minimum pending time) arrives remotely at
+//! `t + ser + delay ≥ m + lookahead`, so executing strictly below
+//! `m + lookahead` can never miss a cross-domain arrival. Outboxes are
+//! exchanged at the barrier between windows and injected — sorted by
+//! `(arrival time, channel, packet id)`, a total order — before the next
+//! window's minimum is computed.
+//!
+//! ## Determinism
+//!
+//! The window schedule is a pure function of the event timeline, the
+//! injection order is sorted, and each domain is single-threaded inside a
+//! window — so the run is a pure function of `(code, seed)` and, crucially,
+//! **independent of the worker count**: `workers = 1` executes the same
+//! logical schedule inline that `workers = n` executes on scoped threads.
+//! The differential battery in `tests/shards.rs` pins this byte-for-byte.
+
+use crate::engine::{Dataplane, HostAgent, Network, ShardCtx};
+use crate::ids::{ChannelId, NodeId};
+use crate::packet::Packet;
+use crate::topology::Topology;
+use conga_sim::{conservative_window, SimDuration, SimRng, SimTime};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Barrier, Mutex};
+
+/// A cross-domain packet in flight between barriers:
+/// `(arrival time, channel, packet, fail epoch at tx start)`.
+type Mail = (SimTime, ChannelId, Packet, u32);
+
+/// Domain that owns a node: hosts and leaves by leaf index, spines
+/// round-robin across leaves.
+fn domain_of(topo: &Topology, node: NodeId) -> u8 {
+    match node {
+        NodeId::Host(h) => topo.leaf_of(h).0 as u8,
+        NodeId::Leaf(l) => l.0 as u8,
+        NodeId::Spine(s) => (s.0 as usize % topo.n_leaves as usize) as u8,
+    }
+}
+
+/// A simulation partitioned into per-leaf domains that advance in
+/// conservative windows, exchanging cross-domain packets at barriers.
+///
+/// The domain decomposition is fixed by the topology (`n_leaves` domains,
+/// always); the `workers` knob only chooses how many OS threads execute
+/// the windows. Artifacts are therefore byte-identical for every worker
+/// count by construction — which is why `--shards` is excluded from
+/// scenario hashes.
+pub struct ShardedNetwork<D: Dataplane, A: HostAgent> {
+    nets: Vec<Network<D, A>>,
+    mailboxes: Vec<Mutex<Vec<Mail>>>,
+    arrive_domain: Vec<u8>,
+    src_domain: Vec<u8>,
+    lookahead: Option<SimDuration>,
+    workers: usize,
+    now: SimTime,
+}
+
+impl<D: Dataplane + Send, A: HostAgent + Send> ShardedNetwork<D, A> {
+    /// Partition `topo` into `n_leaves` domains executed by up to
+    /// `workers` threads (clamped to the domain count; 0 means 1).
+    /// `mk(d)` constructs domain `d`'s dataplane and host agent — every
+    /// domain gets an identical fresh replica.
+    ///
+    /// Per-domain determinism inputs are functions of `(seed, d)` only:
+    /// the RNG is forked from the run seed by domain index and packet ids
+    /// are minted in the disjoint range `d << 48 ..`.
+    pub fn new(
+        topo: &Topology,
+        seed: u64,
+        workers: usize,
+        mut mk: impl FnMut(usize) -> (D, A),
+    ) -> Self {
+        let n_domains = topo.n_leaves as usize;
+        assert!(n_domains >= 1, "topology has no leaves");
+        let arrive_domain: Vec<u8> = topo
+            .channels
+            .iter()
+            .map(|c| domain_of(topo, c.dst))
+            .collect();
+        let src_domain: Vec<u8> = topo
+            .channels
+            .iter()
+            .map(|c| domain_of(topo, c.src))
+            .collect();
+        let lookahead = topo
+            .channels
+            .iter()
+            .enumerate()
+            .filter(|&(i, _)| src_domain[i] != arrive_domain[i])
+            .map(|(_, c)| c.delay)
+            .min();
+        let mut parent = SimRng::new(seed);
+        let nets = (0..n_domains)
+            .map(|d| {
+                let (dp, agent) = mk(d);
+                let mut net = Network::new(topo.clone(), dp, agent, seed);
+                net.rng = parent.fork(d as u64);
+                net.set_pkt_id_base((d as u64) << 48);
+                net.set_shard(ShardCtx {
+                    id: d as u8,
+                    arrive_domain: arrive_domain.clone(),
+                    owns_tx: src_domain.iter().map(|&s| s as usize == d).collect(),
+                    outbox: Vec::new(),
+                });
+                net
+            })
+            .collect();
+        ShardedNetwork {
+            nets,
+            mailboxes: (0..n_domains).map(|_| Mutex::new(Vec::new())).collect(),
+            arrive_domain,
+            src_domain,
+            lookahead,
+            workers: workers.max(1).min(n_domains),
+            now: SimTime::ZERO,
+        }
+    }
+
+    /// Domain that owns `ch`'s transmit side — where its port counters
+    /// (tx bytes, queue occupancy) are maintained.
+    pub fn tx_domain(&self, ch: ChannelId) -> usize {
+        self.src_domain[ch.idx()] as usize
+    }
+
+    /// Domain that processes `ch`'s arrivals.
+    pub fn rx_domain(&self, ch: ChannelId) -> usize {
+        self.arrive_domain[ch.idx()] as usize
+    }
+
+    /// Number of domains (`n_leaves`, fixed by the topology).
+    pub fn n_domains(&self) -> usize {
+        self.nets.len()
+    }
+
+    /// Worker threads the windows execute on.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// The conservative lookahead: minimum propagation delay over
+    /// cross-domain channels (`None` when every channel is intra-domain).
+    pub fn lookahead(&self) -> Option<SimDuration> {
+        self.lookahead
+    }
+
+    /// Current simulation time (the end of the last `run_until` slice).
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Domain `d`'s network replica.
+    pub fn domain(&self, d: usize) -> &Network<D, A> {
+        &self.nets[d]
+    }
+
+    /// Mutable access to domain `d`'s replica (setup: tracers, sampling,
+    /// timers, fault schedules).
+    pub fn domain_mut(&mut self, d: usize) -> &mut Network<D, A> {
+        &mut self.nets[d]
+    }
+
+    /// Apply `f` to every domain in index order — for setup that must be
+    /// replicated everywhere, like the fault schedule.
+    pub fn each(&mut self, mut f: impl FnMut(usize, &mut Network<D, A>)) {
+        for (d, net) in self.nets.iter_mut().enumerate() {
+            f(d, net);
+        }
+    }
+
+    /// Export the merged run metrics: each domain exports into a scratch
+    /// registry which is absorbed (counters and gauges sum, series
+    /// concatenate) into `reg`. Replication makes the sums exact — every
+    /// monolithic counter is incremented in exactly the domain(s) that
+    /// process the corresponding events.
+    pub fn export_metrics(&self, reg: &mut conga_telemetry::MetricsRegistry) {
+        for net in &self.nets {
+            let mut part = conga_telemetry::MetricsRegistry::new();
+            net.export_metrics(&mut part);
+            reg.absorb(&part);
+        }
+    }
+
+    /// Run every domain to `t_end` (inclusive) in conservative windows,
+    /// exchanging cross-domain packets at the window barriers. Returns the
+    /// total number of events processed across domains.
+    pub fn run_until(&mut self, t_end: SimTime) -> u64 {
+        let n = if self.workers <= 1 {
+            self.run_inline(t_end)
+        } else {
+            self.run_parallel(t_end)
+        };
+        for net in &mut self.nets {
+            net.advance_to(t_end);
+        }
+        self.now = t_end;
+        n
+    }
+
+    /// Drain and inject one domain's mailbox, then report its minimum
+    /// pending event time. Injection order is sorted by
+    /// `(arrival time, channel, packet id)` — a total order (per-channel
+    /// arrival times strictly increase), so the event-queue scheduling
+    /// sequence is independent of which thread routed each entry.
+    fn drain_into(mailbox: &Mutex<Vec<Mail>>, net: &mut Network<D, A>) -> Option<SimTime> {
+        let mut mail = std::mem::take(&mut *mailbox.lock().expect("mailbox poisoned"));
+        mail.sort_by_key(|m| (m.0, (m.1).0, m.2.id));
+        for (t, ch, pkt, epoch) in mail {
+            net.deliver_remote(t, ch, pkt, epoch);
+        }
+        net.peek_time()
+    }
+
+    /// Route one domain's outbox into the target mailboxes.
+    fn route_outbox(mailboxes: &[Mutex<Vec<Mail>>], arrive_domain: &[u8], net: &mut Network<D, A>) {
+        for entry in net.take_outbox() {
+            let d = arrive_domain[entry.1.idx()] as usize;
+            mailboxes[d].lock().expect("mailbox poisoned").push(entry);
+        }
+    }
+
+    /// Single-threaded executor: the identical logical window schedule the
+    /// parallel path runs, without threads or barriers.
+    fn run_inline(&mut self, t_end: SimTime) -> u64 {
+        let mut total = 0;
+        loop {
+            let mut min_pending: Option<SimTime> = None;
+            for (d, net) in self.nets.iter_mut().enumerate() {
+                let m = Self::drain_into(&self.mailboxes[d], net);
+                min_pending = match (min_pending, m) {
+                    (Some(a), Some(b)) => Some(a.min(b)),
+                    (a, b) => a.or(b),
+                };
+            }
+            let Some(w) = conservative_window(min_pending, self.lookahead, t_end) else {
+                break;
+            };
+            for net in self.nets.iter_mut() {
+                total += net.run_window(w);
+                Self::route_outbox(&self.mailboxes, &self.arrive_domain, net);
+            }
+        }
+        total
+    }
+
+    /// Multi-threaded executor: persistent scoped workers over disjoint
+    /// domain chunks, three barrier phases per window.
+    ///
+    /// ```text
+    /// A: drain own mailboxes, contribute local min (atomic fetch_min)
+    /// ── barrier ── leader: compute window bound, reset the min
+    /// ── barrier ── all: read bound (or stop)
+    /// C: run the window, route outboxes into target mailboxes
+    /// ── barrier ── (routing complete before anyone drains again)
+    /// ```
+    fn run_parallel(&mut self, t_end: SimTime) -> u64 {
+        let workers = self.workers;
+        let n_domains = self.nets.len();
+        let chunk = n_domains.div_ceil(workers);
+        let barrier = Barrier::new(workers);
+        let min_ns = AtomicU64::new(u64::MAX);
+        let window_ns = AtomicU64::new(0);
+        let stop = AtomicBool::new(false);
+        let events = AtomicU64::new(0);
+        let mailboxes = &self.mailboxes;
+        let arrive_domain = &self.arrive_domain;
+        let lookahead = self.lookahead;
+
+        let worker = |base: usize, nets: &mut [Network<D, A>]| {
+            let mut local_events = 0u64;
+            loop {
+                // Phase A: inject barrier mail, contribute the local min.
+                for (i, net) in nets.iter_mut().enumerate() {
+                    if let Some(t) = Self::drain_into(&mailboxes[base + i], net) {
+                        min_ns.fetch_min(t.as_nanos(), Ordering::AcqRel);
+                    }
+                }
+                if barrier.wait().is_leader() {
+                    let m = min_ns.swap(u64::MAX, Ordering::AcqRel);
+                    let min_pending = (m != u64::MAX).then(|| SimTime::from_nanos(m));
+                    match conservative_window(min_pending, lookahead, t_end) {
+                        Some(w) => {
+                            window_ns.store(w.as_nanos(), Ordering::Release);
+                            stop.store(false, Ordering::Release);
+                        }
+                        None => stop.store(true, Ordering::Release),
+                    }
+                }
+                barrier.wait();
+                if stop.load(Ordering::Acquire) {
+                    break;
+                }
+                let w = SimTime::from_nanos(window_ns.load(Ordering::Acquire));
+                // Phase C: execute the window, route cross-domain mail.
+                for net in nets.iter_mut() {
+                    local_events += net.run_window(w);
+                    Self::route_outbox(mailboxes, arrive_domain, net);
+                }
+                barrier.wait();
+            }
+            events.fetch_add(local_events, Ordering::AcqRel);
+        };
+
+        std::thread::scope(|s| {
+            let mut chunks: Vec<(usize, &mut [Network<D, A>])> = Vec::with_capacity(workers);
+            let mut rest = self.nets.as_mut_slice();
+            let mut base = 0;
+            while !rest.is_empty() {
+                let take = chunk.min(rest.len());
+                let (head, tail) = rest.split_at_mut(take);
+                chunks.push((base, head));
+                base += take;
+                rest = tail;
+            }
+            let mut iter = chunks.into_iter();
+            let first = iter.next().expect("at least one domain chunk");
+            for (b, c) in iter {
+                s.spawn(move || worker(b, c));
+            }
+            worker(first.0, first.1);
+        });
+        events.load(Ordering::Acquire)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::SinkAgent;
+    use crate::ids::{HostId, LeafId, SpineId};
+    use crate::packet::{ecmp_mix, Packet};
+    use crate::topology::{Fib, LeafSpineBuilder};
+    use conga_sim::SimRng;
+
+    #[derive(Default)]
+    struct TestEcmp;
+
+    impl Dataplane for TestEcmp {
+        fn install(&mut self, _topo: &Topology, _fib: &Fib) {}
+        fn leaf_ingress(
+            &mut self,
+            leaf: LeafId,
+            pkt: &mut Packet,
+            candidates: &[ChannelId],
+            _now: SimTime,
+            _rng: &mut SimRng,
+        ) -> ChannelId {
+            let i = (ecmp_mix(pkt.flow_hash, leaf.0 as u64) % candidates.len() as u64) as usize;
+            candidates[i]
+        }
+        fn spine_forward(
+            &mut self,
+            spine: SpineId,
+            pkt: &mut Packet,
+            candidates: &[ChannelId],
+            _now: SimTime,
+            _rng: &mut SimRng,
+        ) -> ChannelId {
+            let i =
+                (ecmp_mix(pkt.flow_hash, 1000 + spine.0 as u64) % candidates.len() as u64) as usize;
+            candidates[i]
+        }
+        fn on_fabric_tx(&mut self, _ch: ChannelId, _pkt: &mut Packet, _now: SimTime) {}
+        fn leaf_egress(&mut self, _leaf: LeafId, _pkt: &Packet, _now: SimTime) {}
+        fn name(&self) -> &'static str {
+            "test-ecmp"
+        }
+    }
+
+    fn topo() -> Topology {
+        LeafSpineBuilder::new(2, 2, 2)
+            .host_rate_gbps(10)
+            .fabric_rate_gbps(40)
+            .build()
+    }
+
+    fn sharded(workers: usize) -> ShardedNetwork<TestEcmp, SinkAgent> {
+        ShardedNetwork::new(&topo(), 1, workers, |_| (TestEcmp, SinkAgent::default()))
+    }
+
+    /// A delivery observation: `(time, domain, packet id, seq)`.
+    type Delivery = (u64, usize, u64, u64);
+
+    /// Drive a burst of cross-leaf packets and collect every delivery.
+    fn run_burst(workers: usize) -> (Vec<Delivery>, u64, u64) {
+        let mut net = sharded(workers);
+        for f in 0..30u32 {
+            let pkt = Packet::data(
+                f,
+                0,
+                ecmp_mix(f as u64, 0xAB),
+                HostId(0),
+                HostId(2),
+                f as u64,
+                1460,
+                SimTime::ZERO,
+            );
+            // Source host 0 lives in domain 0: inject there.
+            crate::engine::inject(net.domain_mut(0), pkt);
+        }
+        net.run_until(SimTime::from_millis(10));
+        let mut got = Vec::new();
+        let mut injected = 0;
+        let mut delivered = 0;
+        for d in 0..net.n_domains() {
+            let dom = net.domain(d);
+            injected += dom.stats.injected_pkts;
+            delivered += dom.stats.delivered_pkts;
+            for (t, p) in &dom.agent.received {
+                got.push((t.as_nanos(), d, p.id, p.seq));
+            }
+        }
+        (got, injected, delivered)
+    }
+
+    #[test]
+    fn lookahead_is_min_cross_domain_delay() {
+        let net = sharded(1);
+        // Every fabric + access delay in the builder defaults apply; the
+        // cross-domain set is non-empty in a 2-leaf fabric.
+        assert!(net.lookahead().is_some());
+        let min_delay = topo()
+            .channels
+            .iter()
+            .map(|c| c.delay)
+            .min()
+            .expect("channels");
+        assert!(net.lookahead().unwrap() >= min_delay);
+    }
+
+    #[test]
+    fn cross_leaf_burst_fully_delivered() {
+        let (got, injected, delivered) = run_burst(1);
+        assert_eq!(injected, 30);
+        assert_eq!(delivered, 30);
+        // Deliveries land in domain 1 (host 2 is under leaf 1).
+        assert!(got.iter().all(|&(_, d, _, _)| d == 1));
+    }
+
+    #[test]
+    fn worker_count_does_not_change_the_run() {
+        let one = run_burst(1);
+        let two = run_burst(2);
+        assert_eq!(one, two);
+    }
+
+    #[test]
+    fn packet_ids_are_domain_disjoint() {
+        let mut net = sharded(1);
+        crate::engine::inject(
+            net.domain_mut(0),
+            Packet::data(0, 0, 7, HostId(0), HostId(2), 0, 100, SimTime::ZERO),
+        );
+        crate::engine::inject(
+            net.domain_mut(1),
+            Packet::data(1, 0, 9, HostId(2), HostId(0), 0, 100, SimTime::ZERO),
+        );
+        net.run_until(SimTime::from_millis(1));
+        let a = net.domain(1).agent.received[0].1.id;
+        let b = net.domain(0).agent.received[0].1.id;
+        assert_eq!(a >> 48, 0, "domain 0 mints ids in 0 << 48 ..");
+        assert_eq!(b >> 48, 1, "domain 1 mints ids in 1 << 48 ..");
+    }
+
+    #[test]
+    fn replicated_fault_schedule_counts_transitions_once() {
+        let run = |workers: usize| -> (u64, u64, u64) {
+            let mut net = sharded(workers);
+            // leaf0-spine1 is cross-domain (spine1 lives in domain 1).
+            net.each(|_, n| {
+                n.schedule_link_fault(SimTime::from_micros(20), LeafId(0), SpineId(1), 0);
+                n.schedule_link_recovery(SimTime::from_micros(400), LeafId(0), SpineId(1), 0);
+            });
+            for f in 0..20u32 {
+                let pkt = Packet::data(
+                    f,
+                    0,
+                    ecmp_mix(f as u64, 0xCD),
+                    HostId(0),
+                    HostId(2),
+                    0,
+                    1460,
+                    SimTime::ZERO,
+                );
+                crate::engine::inject(net.domain_mut(0), pkt);
+            }
+            net.run_until(SimTime::from_millis(5));
+            let mut transitions = 0;
+            let mut blackholed = 0;
+            let mut delivered = 0;
+            for d in 0..net.n_domains() {
+                transitions += net.domain(d).stats.fault_transitions;
+                blackholed += net.domain(d).stats.blackholed;
+                delivered += net.domain(d).stats.delivered_pkts;
+            }
+            (transitions, blackholed, delivered)
+        };
+        let (transitions, blackholed, delivered) = run(1);
+        assert_eq!(transitions, 4, "2 fail + 2 recover, owner-counted once");
+        assert_eq!(delivered + blackholed, 20, "conservation through the fault");
+        assert_eq!(run(1), run(2));
+    }
+}

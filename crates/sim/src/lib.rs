@@ -19,7 +19,9 @@
 mod queue;
 mod rng;
 mod time;
+mod window;
 
 pub use queue::{EventQueue, QueueKind};
 pub use rng::SimRng;
 pub use time::{SimDuration, SimTime};
+pub use window::conservative_window;

@@ -1,0 +1,114 @@
+//! Conservative time windows for sharded (parallel) simulation.
+//!
+//! A sharded run partitions the fabric into domains that each own a
+//! private event queue. Domains may execute concurrently only inside a
+//! *conservative window*: a half-open interval `[now, W)` chosen so that
+//! no cross-domain interaction scheduled by one domain during the window
+//! can land inside the window of another. The classic conservative
+//! (Chandy–Misra–Bryant style) argument gives the bound: if every
+//! cross-domain channel imposes at least `lookahead` of latency between a
+//! transmission and its remote arrival, and `m` is the global minimum
+//! pending event time, then every cross-domain arrival generated while
+//! executing events at `t ≥ m` lands at `t' ≥ m + lookahead`. Executing
+//! strictly below `W = m + lookahead` is therefore safe.
+//!
+//! [`conservative_window`] is the one place this bound is computed, kept
+//! as a pure function so the barrier coordinator in `conga-net` and the
+//! seeded property battery in `tests/properties.rs` exercise the same
+//! arithmetic.
+
+use crate::time::{SimDuration, SimTime};
+
+/// Compute the exclusive upper bound of the next conservative execution
+/// window.
+///
+/// * `min_pending` — the global minimum pending event time across every
+///   domain (`None` when all queues are empty).
+/// * `lookahead` — the minimum latency of any cross-domain channel
+///   (serialization excluded, so it is a strict lower bound on the gap
+///   between a transmit and its remote arrival). `None` means no
+///   cross-domain channel exists and the whole horizon is one window.
+/// * `t_end` — the inclusive horizon of the current `run_until` slice;
+///   events at exactly `t_end` still execute (matching the serial
+///   engine's `t <= t_end` loop).
+///
+/// Returns the window bound `W` such that executing events with `t < W`
+/// is safe, or `None` when there is nothing to execute in this slice
+/// (no pending events, or the earliest one lies beyond the horizon).
+pub fn conservative_window(
+    min_pending: Option<SimTime>,
+    lookahead: Option<SimDuration>,
+    t_end: SimTime,
+) -> Option<SimTime> {
+    let m = min_pending?;
+    if m > t_end {
+        return None;
+    }
+    // The horizon is inclusive: a window reaching the end of the slice
+    // must still execute events at exactly `t_end`.
+    let horizon = t_end.saturating_add(SimDuration::from_nanos(1));
+    let bound = match lookahead {
+        None => horizon,
+        Some(l) => m.saturating_add(l).min(horizon),
+    };
+    // Progress: the window always covers at least the minimum pending
+    // event, even with a degenerate zero lookahead.
+    Some(bound.max(m.saturating_add(SimDuration::from_nanos(1))))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(ns: u64) -> SimTime {
+        SimTime::from_nanos(ns)
+    }
+    fn d(ns: u64) -> SimDuration {
+        SimDuration::from_nanos(ns)
+    }
+
+    #[test]
+    fn empty_queue_or_future_event_yields_no_window() {
+        assert_eq!(conservative_window(None, Some(d(1000)), t(50)), None);
+        assert_eq!(conservative_window(Some(t(51)), Some(d(1000)), t(50)), None);
+    }
+
+    #[test]
+    fn window_is_min_pending_plus_lookahead_clamped_to_horizon() {
+        assert_eq!(
+            conservative_window(Some(t(10)), Some(d(1000)), t(1_000_000)),
+            Some(t(1010))
+        );
+        // Clamp: the slice end is inclusive, so the bound is t_end + 1.
+        assert_eq!(
+            conservative_window(Some(t(10)), Some(d(1000)), t(500)),
+            Some(t(501))
+        );
+        // Event exactly at the horizon still executes.
+        assert_eq!(
+            conservative_window(Some(t(500)), Some(d(1000)), t(500)),
+            Some(t(501))
+        );
+    }
+
+    #[test]
+    fn no_cross_channels_means_one_window_per_slice() {
+        assert_eq!(conservative_window(Some(t(3)), None, t(999)), Some(t(1000)));
+    }
+
+    #[test]
+    fn zero_lookahead_still_makes_progress() {
+        assert_eq!(
+            conservative_window(Some(t(7)), Some(d(0)), t(100)),
+            Some(t(8))
+        );
+    }
+
+    #[test]
+    fn saturating_near_the_time_ceiling() {
+        let huge = SimTime::from_nanos(u64::MAX - 1);
+        let w = conservative_window(Some(huge), Some(d(1_000)), SimTime::from_nanos(u64::MAX));
+        assert!(w.is_some());
+        assert!(w.unwrap() > huge);
+    }
+}

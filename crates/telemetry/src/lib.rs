@@ -127,6 +127,30 @@ impl MetricsRegistry {
         }
     }
 
+    /// Absorb a per-shard registry into this one: counters add, **gauges
+    /// add**, series concatenate.
+    ///
+    /// This is the merge rule for combining partial views of *one* run.
+    /// Shard-local gauges are partial sums (a shard's
+    /// `engine.inflight_pkts` can even be negative when it delivered more
+    /// packets than it injected), so unlike [`MetricsRegistry::merge`] —
+    /// which treats the incoming gauge as a fresher observation of the
+    /// same quantity — gauges must sum to reconstruct the whole-run value.
+    pub fn absorb(&mut self, other: &MetricsRegistry) {
+        for (k, v) in &other.counters {
+            *self.entry_counter(k) += v;
+        }
+        for (k, v) in &other.gauges {
+            *self.gauges.entry(k.clone()).or_insert(0) += v;
+        }
+        for (k, v) in &other.series {
+            self.series
+                .entry(k.clone())
+                .or_default()
+                .extend_from_slice(v);
+        }
+    }
+
     /// True if no metric of any kind has been recorded.
     pub fn is_empty(&self) -> bool {
         self.counters.is_empty() && self.gauges.is_empty() && self.series.is_empty()
@@ -336,6 +360,24 @@ mod tests {
         assert_eq!(a.counter("c"), 3);
         assert_eq!(a.counter("d"), 9);
         assert_eq!(a.series("s"), &[(5, 1.0), (6, 2.0)]);
+    }
+
+    #[test]
+    fn absorb_sums_gauges_where_merge_overwrites() {
+        let mut a = MetricsRegistry::new();
+        a.inc("c", 1);
+        a.set_gauge("g", -3);
+        let mut b = MetricsRegistry::new();
+        b.inc("c", 2);
+        b.set_gauge("g", 5);
+        b.set_gauge("h", 7);
+        let mut merged = a.clone();
+        merged.merge(&b);
+        assert_eq!(merged.gauge("g"), Some(5), "merge overwrites");
+        a.absorb(&b);
+        assert_eq!(a.counter("c"), 3);
+        assert_eq!(a.gauge("g"), Some(2), "absorb sums partial gauges");
+        assert_eq!(a.gauge("h"), Some(7));
     }
 
     #[test]

@@ -11,7 +11,7 @@
 //! Design constraints, in order:
 //!
 //! 1. **Zero overhead when disabled.** The instrumented crates hold a
-//!    [`TraceHandle`], a newtype over `Option<Rc<RefCell<..>>>`. The
+//!    [`TraceHandle`], a newtype over `Option<Arc<Mutex<..>>>`. The
 //!    default handle is `None`; every emission site guards on
 //!    [`TraceHandle::enabled`]/[`TraceHandle::wants_flow`] (one branch on
 //!    a local field) before building an event. No payload is constructed,
@@ -40,11 +40,10 @@ pub mod explain;
 pub mod json;
 
 use conga_sim::SimTime;
-use std::cell::RefCell;
 use std::collections::{BTreeSet, VecDeque};
 use std::fmt;
 use std::fmt::Write as _;
-use std::rc::Rc;
+use std::sync::{Arc, Mutex};
 
 /// One candidate uplink considered by a CONGA routing decision.
 ///
@@ -384,19 +383,29 @@ impl TraceSink for Recorder {
 /// guards every emission site on `wants_flow`/`enabled` so that the
 /// disabled path constructs no event payloads at all.
 ///
-/// All clones share one recorder (the simulator is single-threaded), so
-/// events from the engine, the fabric policy, and the transport interleave
-/// into a single sequence in simulation order.
+/// All clones within one shard share one recorder, so events from the
+/// engine, the fabric policy, and the transport interleave into a single
+/// sequence in simulation order. The recorder sits behind a mutex so a
+/// handle can move into a shard worker thread; emission is still
+/// effectively uncontended because every shard records into its own
+/// handle, merged deterministically afterwards with
+/// [`TraceHandle::merged`].
 #[derive(Clone, Default)]
-pub struct TraceHandle(Option<Rc<RefCell<Recorder>>>);
+pub struct TraceHandle(Option<Arc<Mutex<Recorder>>>);
 
 impl fmt::Debug for TraceHandle {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match &self.0 {
             None => write!(f, "TraceHandle(disabled)"),
-            Some(r) => write!(f, "TraceHandle({} events)", r.borrow().records.len()),
+            Some(r) => write!(f, "TraceHandle({} events)", lock(r).records.len()),
         }
     }
+}
+
+/// Lock a recorder; a poisoned mutex is unrecoverable for a deterministic
+/// artifact, so propagate the panic.
+fn lock(r: &Arc<Mutex<Recorder>>) -> std::sync::MutexGuard<'_, Recorder> {
+    r.lock().expect("trace recorder mutex poisoned")
 }
 
 impl TraceHandle {
@@ -407,11 +416,55 @@ impl TraceHandle {
 
     /// An enabled handle recording under the given configuration.
     pub fn recording(cfg: TraceConfig) -> Self {
-        Self(Some(Rc::new(RefCell::new(Recorder {
+        Self(Some(Arc::new(Mutex::new(Recorder {
             cfg,
             next_seq: 0,
             dropped: 0,
             records: VecDeque::new(),
+        }))))
+    }
+
+    /// Deterministically merge per-shard trace streams into one handle.
+    ///
+    /// Records are ordered by `(time, shard index, shard-local seq)` and
+    /// renumbered from zero; eviction counts sum. Because each shard's
+    /// stream is itself a pure function of `(code, seed, config)` — the
+    /// shard schedule does not depend on the worker count — the merged
+    /// stream is byte-stable for any `--shards N`.
+    pub fn merged(cfg: TraceConfig, parts: &[TraceHandle]) -> TraceHandle {
+        let mut all: Vec<(u64, usize, TraceRecord)> = Vec::new();
+        let mut dropped = 0u64;
+        for (idx, part) in parts.iter().enumerate() {
+            dropped += part.dropped();
+            for rec in part.records() {
+                all.push((rec.t.as_nanos(), idx, rec));
+            }
+        }
+        all.sort_by_key(|a| (a.0, a.1, a.2.seq));
+        // Re-apply the ring bound to the *merged* stream: each shard kept
+        // its own newest `cap` records, so the union can exceed the cap —
+        // evict the oldest of the union, exactly as one recorder would have.
+        if let Some(cap) = cfg.ring {
+            if all.len() > cap {
+                let evict = all.len() - cap;
+                dropped += evict as u64;
+                all.drain(..evict);
+            }
+        }
+        let records: VecDeque<TraceRecord> = all
+            .into_iter()
+            .enumerate()
+            .map(|(seq, (_, _, mut rec))| {
+                rec.seq = seq as u64;
+                rec
+            })
+            .collect();
+        let next_seq = records.len() as u64;
+        Self(Some(Arc::new(Mutex::new(Recorder {
+            cfg,
+            next_seq,
+            dropped,
+            records,
         }))))
     }
 
@@ -429,7 +482,7 @@ impl TraceHandle {
     pub fn wants_flow(&self, flow: u32) -> bool {
         match &self.0 {
             None => false,
-            Some(r) => match &r.borrow().cfg.flows {
+            Some(r) => match &lock(r).cfg.flows {
                 None => true,
                 Some(set) => set.contains(&flow),
             },
@@ -440,13 +493,13 @@ impl TraceHandle {
     /// applies the flow filter and ring bound when enabled.
     pub fn emit(&self, now: SimTime, event: TraceEvent) {
         if let Some(r) = &self.0 {
-            r.borrow_mut().record(now, event);
+            lock(r).record(now, event);
         }
     }
 
     /// Number of records currently held.
     pub fn len(&self) -> usize {
-        self.0.as_ref().map_or(0, |r| r.borrow().records.len())
+        self.0.as_ref().map_or(0, |r| lock(r).records.len())
     }
 
     /// True when no records are held (always true when disabled).
@@ -456,14 +509,14 @@ impl TraceHandle {
 
     /// Records evicted by the ring bound (0 when unbounded or disabled).
     pub fn dropped(&self) -> u64 {
-        self.0.as_ref().map_or(0, |r| r.borrow().dropped)
+        self.0.as_ref().map_or(0, |r| lock(r).dropped)
     }
 
     /// Snapshot of the recorded stream, in sequence order.
     pub fn records(&self) -> Vec<TraceRecord> {
         self.0
             .as_ref()
-            .map_or_else(Vec::new, |r| r.borrow().records.iter().cloned().collect())
+            .map_or_else(Vec::new, |r| lock(r).records.iter().cloned().collect())
     }
 
     /// Export the trace as newline-delimited JSON, one event per line,
@@ -471,7 +524,7 @@ impl TraceHandle {
     /// recorded stream.
     pub fn export_jsonl(&self) -> Option<String> {
         let r = self.0.as_ref()?;
-        let r = r.borrow();
+        let r = lock(r);
         let mut out = String::new();
         for rec in &r.records {
             write_jsonl_record(&mut out, rec);
@@ -490,7 +543,7 @@ impl TraceHandle {
     /// counter tracks. Deterministic: a pure function of the stream.
     pub fn export_chrome(&self) -> Option<String> {
         let r = self.0.as_ref()?;
-        let r = r.borrow();
+        let r = lock(r);
         Some(export_chrome_trace(&r.records))
     }
 }

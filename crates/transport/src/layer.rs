@@ -106,6 +106,9 @@ impl FlowSource for ListSource {
 const KIND_ARRIVAL: u64 = 0;
 const KIND_RTO: u64 = 1;
 const KIND_CBR: u64 = 2;
+/// Activation timer for a preregistered flow (sharded runs schedule one
+/// in the flow's sender domain; see [`TransportLayer::preregister`]).
+const KIND_START: u64 = 3;
 
 fn token(flow: usize, sub: usize, gen: u8, kind: u64) -> u64 {
     ((flow as u64) << 28) | ((sub as u64) << 12) | ((gen as u64) << 4) | kind
@@ -145,6 +148,12 @@ struct FlowRt {
     cbr_delivered: u64,
     rx_complete: bool,
     tx_complete: bool,
+    /// Whether this stack instance drives the flow's sender. Always true
+    /// in a monolithic run; in a sharded run only the sender domain's
+    /// replica activates the flow, and tx-side exports (the `subflows`
+    /// count) are gated on it so merged registries match the monolithic
+    /// totals.
+    tx_local: bool,
 }
 
 /// The end-host transport stack for the whole simulation.
@@ -155,7 +164,12 @@ pub struct TransportLayer {
     pub records: Vec<FlowRecord>,
     /// Flows whose receiver has every byte.
     pub completed_rx: usize,
-    source: Option<Box<dyn FlowSource>>,
+    /// Flows activated (kickoff emitted) by this stack instance — the
+    /// `transport.flows_started` export. Distinct from `flows.len()`:
+    /// sharded runs preregister every flow in every domain but activate
+    /// each exactly once, in its sender's domain.
+    activated: u64,
+    source: Option<Box<dyn FlowSource + Send>>,
     /// Spec pulled from the source, waiting for its arrival timer to fire.
     pending_first: Option<FlowSpec>,
     /// Structured event tracing (cwnd moves, fast retransmits, RTOs);
@@ -178,7 +192,7 @@ impl TransportLayer {
     /// the first arrival: `net.schedule_timer(delay0, 0)` where `delay0`
     /// comes from the first `next_flow()` call — or more simply via
     /// [`TransportLayer::begin_source`].
-    pub fn attach_source(&mut self, source: Box<dyn FlowSource>) {
+    pub fn attach_source(&mut self, source: Box<dyn FlowSource + Send>) {
         self.source = Some(source);
     }
 
@@ -233,18 +247,39 @@ impl TransportLayer {
 
     /// Start a flow immediately; returns its id.
     pub fn start_flow(&mut self, spec: FlowSpec, now: SimTime, em: &mut Emitter) -> usize {
+        let id = self.register(spec, now, true);
+        self.activate(id, now, em);
+        id
+    }
+
+    /// Register a flow that starts later, without emitting anything yet.
+    /// Sharded runs replicate every flow into every domain in the same
+    /// order (aligning flow ids), set `tx_local` only in the sender's
+    /// domain, and schedule a [`TransportLayer::start_token`] timer there
+    /// for the arrival time; the timer activates the flow. `start` is the
+    /// planned absolute start time recorded for FCT measurement.
+    pub fn preregister(&mut self, spec: FlowSpec, start: SimTime, tx_local: bool) -> usize {
+        self.register(spec, start, tx_local)
+    }
+
+    /// The timer token whose firing activates preregistered flow `flow`.
+    pub fn start_token(flow: usize) -> u64 {
+        token(flow, 0, 0, KIND_START)
+    }
+
+    fn register(&mut self, spec: FlowSpec, start: SimTime, tx_local: bool) -> usize {
         let id = self.flows.len();
         self.records.push(FlowRecord {
             src: spec.src,
             dst: spec.dst,
             bytes: spec.bytes,
-            start: now,
+            start,
             rx_done: None,
             tx_done: None,
             retx_bytes: 0,
             timeouts: 0,
         });
-        let mut flow = match spec.kind {
+        let flow = match spec.kind {
             TransportKind::Tcp(cfg) => FlowRt {
                 spec,
                 subflows: vec![SubflowRt {
@@ -260,6 +295,7 @@ impl TransportLayer {
                 cbr_delivered: 0,
                 rx_complete: false,
                 tx_complete: false,
+                tx_local,
             },
             TransportKind::Mptcp(cfg) => FlowRt {
                 spec,
@@ -278,6 +314,7 @@ impl TransportLayer {
                 cbr_delivered: 0,
                 rx_complete: false,
                 tx_complete: false,
+                tx_local,
             },
             TransportKind::Cbr { .. } => FlowRt {
                 spec,
@@ -287,29 +324,34 @@ impl TransportLayer {
                 cbr_delivered: 0,
                 rx_complete: false,
                 tx_complete: false,
+                tx_local,
             },
         };
-        match spec.kind {
+        self.flows.push(flow);
+        id
+    }
+
+    /// Emit a registered flow's kickoff: the initial window (TCP), the
+    /// first allocation round (MPTCP), or the first packet (CBR).
+    fn activate(&mut self, id: usize, now: SimTime, em: &mut Emitter) {
+        self.activated += 1;
+        match self.flows[id].spec.kind {
             TransportKind::Tcp(_) => {
                 let mut segs = std::mem::take(&mut self.scratch_segs);
                 segs.clear();
-                flow.subflows[0].tx.pump(&mut segs);
-                self.flows.push(flow);
+                self.flows[id].subflows[0].tx.pump(&mut segs);
                 self.emit_segments(id, 0, &segs, now, em);
                 self.scratch_segs = segs;
                 self.arm_rto(id, 0, now, true, em);
             }
             TransportKind::Mptcp(_) => {
-                self.flows.push(flow);
                 self.mp_allocate_and_pump(id, now, em);
             }
             TransportKind::Cbr { .. } => {
-                self.flows.push(flow);
                 // First packet immediately; the timer sustains the rate.
                 self.cbr_emit(id, now, em);
             }
         }
-        id
     }
 
     fn emit_segments(
@@ -509,7 +551,11 @@ impl TransportLayer {
             rx_bytes += f.cbr_delivered;
             tx_complete += f.tx_complete as u64;
             for s in &f.subflows {
-                subflows += 1;
+                // Sharded runs replicate flow state into every domain;
+                // only the sender's replica counts toward the subflow
+                // total (the other per-subflow counters stay zero in
+                // replicas and sum correctly without gating).
+                subflows += f.tx_local as u64;
                 bytes_retx += s.tx.bytes_retx;
                 rto_timeouts += s.tx.timeouts;
                 fast_retx += s.tx.fast_retx;
@@ -519,7 +565,7 @@ impl TransportLayer {
                 rx_bytes += s.rx.bytes_received;
             }
         }
-        reg.set_counter("transport.flows_started", self.flows.len() as u64);
+        reg.set_counter("transport.flows_started", self.activated);
         reg.set_counter("transport.flows_rx_complete", self.completed_rx as u64);
         reg.set_counter("transport.flows_tx_complete", tx_complete);
         reg.set_counter("transport.subflows", subflows);
@@ -706,6 +752,7 @@ impl HostAgent for TransportLayer {
                 self.arm_rto(flow, sub, now, true, em);
             }
             KIND_CBR => self.cbr_emit(flow, now, em),
+            KIND_START if flow < self.flows.len() => self.activate(flow, now, em),
             _ => {}
         }
     }

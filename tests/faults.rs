@@ -173,6 +173,54 @@ fn no_flow_stranded_across_failure() {
     }
 }
 
+/// Mid-run fail/recover on a **cross-shard** channel. In the sharded
+/// engine's domain map (host → its leaf, spine s → domain s mod leaves)
+/// the Leaf0–Spine1 link is owned by domain 0 on transmit and domain 1 on
+/// arrival, so its fault transitions and blackholes exercise the
+/// replicated fault schedule and the ownership-gated accounting across the
+/// barrier. Contract: byte-identical artifacts at `--shards 1` vs
+/// `--shards 4`, a real outage (blackholes observed), and zero packets
+/// blackholed after the recovery transition.
+#[test]
+fn cross_shard_link_fault_is_shard_count_invariant() {
+    use conga::experiments::{run_dynamic_failure, DynFailSpec};
+    use conga::sim::SimDuration;
+
+    let mk = |shards: usize| {
+        let mut spec = DynFailSpec::paper(Scheme::Conga, true, 9);
+        spec.window = SimTime::from_millis(40);
+        spec.fail_at = SimTime::from_millis(16);
+        spec.recover_at = SimTime::from_millis(28);
+        spec.slice = SimDuration::from_millis(4);
+        spec.link = (0, 1, 0); // Leaf0–Spine1: tx domain 0, rx domain 1
+        spec.shards = shards;
+        spec
+    };
+    let serial = run_dynamic_failure(&mk(1));
+    let sharded = run_dynamic_failure(&mk(4));
+    assert!(
+        serial.report.to_json() == sharded.report.to_json(),
+        "cross-shard fault: report diverged between --shards 1 and --shards 4"
+    );
+    assert!(
+        sharded.blackholed > 0,
+        "the cross-shard outage swallowed nothing — retune the cell"
+    );
+    assert_eq!(
+        sharded.post_recovery_blackholed, 0,
+        "packets kept falling into the link after it recovered"
+    );
+    assert_eq!(
+        sharded.stranded, 0,
+        "flows stranded by the cross-shard fault"
+    );
+    assert_eq!(
+        sharded.report.metrics.counter("net.fault_transitions"),
+        4, // 2 simplex channels × (fail + recover), counted once each
+        "replicated fault schedule double-counted a transition"
+    );
+}
+
 /// A leaf completely partitioned for a blackhole window shorter than the
 /// minimum RTO: the flow's first window is lost to the dead links, the
 /// sender sits out the outage on its retransmission timer, and the

@@ -196,6 +196,182 @@ fn poa_never_exceeds_two() {
     }
 }
 
+/// The conservative-window bound that schedules every sharded run, hammered
+/// over 1000 seeded rounds of random `(min_pending, lookahead, horizon)`
+/// triples. Invariants:
+///
+/// * a window exists iff something is pending inside the horizon;
+/// * progress — the window always covers the minimum pending event;
+/// * safety — the window never extends further than `lookahead` past the
+///   minimum pending event (beyond the 1 ns progress floor), so no
+///   cross-shard arrival can land inside a window already executing;
+/// * the horizon is inclusive but never exceeded by more than its
+///   exclusive-bound nanosecond.
+#[test]
+fn conservative_window_bound_invariants() {
+    use conga::sim::conservative_window;
+    let mut rng = SimRng::new(0xC025_E27A);
+    for case in 0..1000 {
+        let min_pending = rng
+            .chance(0.9)
+            .then(|| SimTime::from_nanos(rng.below(1_000_000) as u64));
+        let lookahead = rng
+            .chance(0.8)
+            .then(|| SimDuration::from_nanos(rng.below(10_000) as u64));
+        let t_end = SimTime::from_nanos(rng.below(1_000_000) as u64);
+        match conservative_window(min_pending, lookahead, t_end) {
+            None => {
+                let skippable = match min_pending {
+                    None => true,
+                    Some(m) => m > t_end,
+                };
+                assert!(skippable, "case {case}: window withheld with work pending");
+            }
+            Some(w) => {
+                let m = min_pending.expect("a window implies pending work");
+                assert!(m <= t_end, "case {case}: window admitted beyond horizon");
+                assert!(w > m, "case {case}: no progress");
+                let progress_floor = m.as_nanos() + 1;
+                if let Some(l) = lookahead {
+                    assert!(
+                        w.as_nanos() <= (m.as_nanos() + l.as_nanos()).max(progress_floor),
+                        "case {case}: window outruns the lookahead bound"
+                    );
+                }
+                assert!(
+                    w.as_nanos() <= (t_end.as_nanos() + 1).max(progress_floor),
+                    "case {case}: window outruns the slice horizon"
+                );
+                // Determinism: the bound is a pure function of its inputs.
+                assert_eq!(
+                    conservative_window(min_pending, lookahead, t_end),
+                    Some(w),
+                    "case {case}: bound not reproducible"
+                );
+            }
+        }
+    }
+}
+
+/// Within every shard, the recorded event stream is strictly ordered by
+/// `(time, seq)` — the barrier hands each domain contiguous conservative
+/// windows, so a domain must never observe time running backwards.
+#[test]
+fn per_shard_event_streams_are_time_ordered() {
+    use conga::experiments::{build_testbed, ShardedRun, TestbedOpts, TraceSpec};
+    use conga::net::LeafId;
+    use conga::sim::QueueKind;
+
+    let topo = build_testbed(TestbedOpts::paper_baseline().quick());
+    let a = topo.hosts_under(LeafId(0));
+    let b = topo.hosts_under(LeafId(1));
+    let mut arrivals = Vec::new();
+    for i in 0..12u64 {
+        let (src, dst) = if i % 2 == 0 {
+            (a[i as usize % a.len()], b[(i as usize + 1) % b.len()])
+        } else {
+            (b[i as usize % b.len()], a[(i as usize + 2) % a.len()])
+        };
+        arrivals.push((
+            SimTime::from_micros(5 * i),
+            FlowSpec {
+                src,
+                dst,
+                bytes: 40_000 + 9_000 * i,
+                kind: TransportKind::Tcp(TcpConfig::standard()),
+            },
+        ));
+    }
+    let trace = TraceSpec {
+        flows: None, // every flow
+        ring: None,
+    };
+    let mut run = ShardedRun::new(
+        &topo,
+        FabricPolicy::conga(),
+        42,
+        2,
+        QueueKind::Calendar,
+        Some(&trace),
+        &[],
+        &arrivals,
+    );
+    run.net.run_until(SimTime::from_secs(2));
+    assert_eq!(run.completed_rx(), arrivals.len(), "cell did not finish");
+
+    for (d, part) in run.trace_parts().iter().enumerate() {
+        let recs = part.records();
+        assert!(!recs.is_empty(), "shard {d} recorded nothing");
+        for w in recs.windows(2) {
+            assert!(
+                (w[0].t, w[0].seq) < (w[1].t, w[1].seq),
+                "shard {d}: events out of (time, seq) order"
+            );
+        }
+    }
+    // And the merged stream is globally time-ordered with dense seqs.
+    let merged = run.merged_trace().expect("tracing was on");
+    let recs = merged.records();
+    for (i, w) in recs.windows(2).enumerate() {
+        assert!(w[0].t <= w[1].t, "merged trace out of time order at {i}");
+        assert_eq!(w[1].seq, w[0].seq + 1, "merged seqs not dense at {i}");
+    }
+}
+
+/// Seeded sharded-vs-serial rounds: packet conservation holds across shard
+/// boundaries (every injected packet is delivered, queue-dropped,
+/// unroutable, or blackholed — nothing is lost in a mailbox), and the
+/// flowlet ledger is identical, so no barrier epoch ever split a flowlet
+/// gap decision (a split would surface as extra `flowlet_new` entries).
+#[test]
+fn sharded_rounds_conserve_packets_and_flowlet_decisions() {
+    use conga::experiments::{run_fct_with_policy, FctRun, Scheme, TestbedOpts};
+    use conga::workloads::FlowSizeDist;
+
+    let mut rng = SimRng::new(0x5A4D_C049);
+    for case in 0..6 {
+        let seed = rng.below(10_000) as u64;
+        let load = 0.25 + 0.1 * rng.below(4) as f64;
+        let mk = |shards: usize| {
+            let mut cfg = FctRun::new(
+                TestbedOpts::paper_baseline().quick(),
+                Scheme::Conga,
+                FlowSizeDist::enterprise(),
+                load,
+            );
+            cfg.n_flows = 30;
+            cfg.seed = seed;
+            cfg.shards = shards;
+            cfg
+        };
+        let sharded = run_fct_with_policy(&mk(2), FabricPolicy::conga());
+        let reg = &sharded.report.metrics;
+        let injected = reg.counter("engine.injected_pkts");
+        assert!(injected > 0, "case {case}: nothing ran");
+        assert_eq!(
+            injected,
+            reg.counter("engine.delivered_pkts")
+                + reg.counter("engine.queue_drops")
+                + reg.counter("engine.unroutable_pkts")
+                + reg.counter("net.blackholed_packets"),
+            "case {case}: conservation violated across shard boundaries"
+        );
+        assert_eq!(
+            reg.gauge("engine.inflight_pkts"),
+            Some(0),
+            "case {case}: packets stuck in a shard mailbox at quiescence"
+        );
+        let serial = run_fct_with_policy(&mk(1), FabricPolicy::conga());
+        for key in ["dataplane.flowlet_new", "dataplane.flowlet_hits"] {
+            assert_eq!(
+                reg.counter(key),
+                serial.report.metrics.counter(key),
+                "case {case}: {key} diverged — a barrier epoch split a flowlet gap"
+            );
+        }
+    }
+}
+
 /// Flow-size distributions: sampling respects published CDF points.
 #[test]
 fn dist_sampling_matches_cdf() {

@@ -1,0 +1,170 @@
+//! Differential determinism battery for the sharded parallel engine.
+//!
+//! The engine partitions every run by leaf domain and advances the domains
+//! in conservative time windows; `--shards N` only chooses how many worker
+//! threads execute that fixed schedule. The contract pinned here: for any
+//! shard count, the artifacts — RunReport JSON, the FCT summary/sample
+//! sidecar values, and the trace JSONL/Chrome exports — are **byte
+//! identical** to the single-threaded run. This is the tier-1 gate that
+//! lets `shards` stay out of every scenario hash.
+
+use conga::core::FabricPolicy;
+use conga::experiments::{
+    run_dynamic_failure, run_fct_with_policy, DynFailSpec, FctRun, Scheme, TestbedOpts, TraceSpec,
+};
+use conga::sim::{SimDuration, SimTime};
+use conga::workloads::FlowSizeDist;
+
+/// A small traced FCT cell on the quick baseline testbed (2 leaf domains).
+fn fct_cell(shards: usize) -> FctRun {
+    let mut cfg = FctRun::new(
+        TestbedOpts::paper_baseline().quick(),
+        Scheme::Conga,
+        FlowSizeDist::enterprise(),
+        0.4,
+    );
+    cfg.n_flows = 40;
+    cfg.seed = 11;
+    cfg.sample_uplinks = true;
+    cfg.trace = Some(TraceSpec {
+        flows: Some(vec![0, 1, 2, 3]),
+        ring: None,
+    });
+    cfg.shards = shards;
+    cfg
+}
+
+/// Everything an FCT cell can leave behind, rendered to comparable text:
+/// the RunReport JSON (the metrics sidecar is this string verbatim), the
+/// derived FCT values that feed the figure sidecars, and both trace
+/// exports.
+fn fct_artifacts(cfg: &FctRun) -> [String; 4] {
+    let out = run_fct_with_policy(cfg, FabricPolicy::conga());
+    let report = out.report.to_json();
+    let sidecar = format!(
+        "{:?}|drops={}|retx={}|timeouts={}|end={}|tx={:?}|q={:?}|fabq={:?}",
+        out.summary,
+        out.drops,
+        out.retx_bytes,
+        out.timeouts,
+        out.end_time.as_nanos(),
+        out.uplink_tx_samples,
+        out.uplink_queue_samples,
+        out.fabric_mean_queues,
+    );
+    let t = out.trace.expect("tracing was requested");
+    let jsonl = t.export_jsonl().expect("enabled handle");
+    let chrome = t.export_chrome().expect("enabled handle");
+    [report, sidecar, jsonl, chrome]
+}
+
+/// The quick FCT suite cell at `--shards 1/2/4`: byte-identical artifacts.
+/// (On the 2-leaf testbed shard counts above 2 clamp to the domain count —
+/// the clamp itself must not change a byte either.)
+#[test]
+fn fct_artifacts_identical_across_shard_counts() {
+    let base = fct_artifacts(&fct_cell(1));
+    for shards in [2, 4] {
+        let got = fct_artifacts(&fct_cell(shards));
+        for (i, kind) in ["report", "fct sidecar", "trace jsonl", "trace chrome"]
+            .iter()
+            .enumerate()
+        {
+            assert!(
+                got[i] == base[i],
+                "{kind} diverged between --shards 1 and --shards {shards}"
+            );
+        }
+    }
+}
+
+/// More than two domains: a 4-leaf testbed gives four shards real work and
+/// exercises the uniform (all-to-all) arrival path. Same contract.
+#[test]
+fn four_leaf_topology_is_shard_count_invariant() {
+    let mk = |shards: usize| {
+        let mut topo = TestbedOpts::paper_baseline().quick();
+        topo.leaves = 4;
+        let mut cfg = FctRun::new(topo, Scheme::Conga, FlowSizeDist::enterprise(), 0.3);
+        cfg.n_flows = 24; // ×2 in the uniform arrival plan
+        cfg.seed = 5;
+        cfg.shards = shards;
+        cfg
+    };
+    let base = run_fct_with_policy(&mk(1), FabricPolicy::conga())
+        .report
+        .to_json();
+    for shards in [2, 4] {
+        let got = run_fct_with_policy(&mk(shards), FabricPolicy::conga())
+            .report
+            .to_json();
+        assert!(
+            got == base,
+            "4-leaf report diverged between --shards 1 and --shards {shards}"
+        );
+    }
+}
+
+/// The dynamic-failure path (runtime fault transitions crossing the
+/// barrier) at `--shards 1/2/4`: byte-identical report and trace.
+#[test]
+fn dynfail_artifacts_identical_across_shard_counts() {
+    let mk = |shards: usize| {
+        let mut spec = DynFailSpec::paper(Scheme::Conga, true, 7);
+        spec.window = SimTime::from_millis(40);
+        spec.fail_at = SimTime::from_millis(20);
+        spec.recover_at = SimTime::from_millis(30);
+        spec.slice = SimDuration::from_millis(5);
+        spec.trace = Some(TraceSpec {
+            flows: Some(vec![0, 1, 2]),
+            ring: None,
+        });
+        spec.shards = shards;
+        spec
+    };
+    let run = |shards: usize| {
+        let out = run_dynamic_failure(&mk(shards));
+        let trace = out
+            .trace
+            .as_ref()
+            .and_then(|t| t.export_jsonl())
+            .expect("tracing was requested");
+        (out.report.to_json(), trace)
+    };
+    let (report_1, trace_1) = run(1);
+    for shards in [2, 4] {
+        let (report_n, trace_n) = run(shards);
+        assert!(
+            report_n == report_1,
+            "dynfail report diverged between --shards 1 and --shards {shards}"
+        );
+        assert!(
+            trace_n == trace_1,
+            "dynfail trace diverged between --shards 1 and --shards {shards}"
+        );
+    }
+}
+
+/// Every fabric policy survives the differential (the shard barrier must
+/// not interact with any dataplane's feedback or flowlet state).
+#[test]
+fn every_policy_is_shard_count_invariant() {
+    type PolicyCase = (&'static str, fn() -> FabricPolicy);
+    let policies: Vec<PolicyCase> = vec![
+        ("ecmp", FabricPolicy::ecmp as fn() -> FabricPolicy),
+        ("conga", FabricPolicy::conga),
+        ("conga_flow", FabricPolicy::conga_flow),
+        ("local", FabricPolicy::local),
+        ("spray", FabricPolicy::spray),
+        ("weighted", FabricPolicy::weighted),
+    ];
+    for (name, mk) in policies {
+        let mut serial = fct_cell(1);
+        serial.trace = None;
+        let mut sharded = fct_cell(2);
+        sharded.trace = None;
+        let a = run_fct_with_policy(&serial, mk()).report.to_json();
+        let b = run_fct_with_policy(&sharded, mk()).report.to_json();
+        assert!(a == b, "policy {name}: report diverged under --shards 2");
+    }
+}
