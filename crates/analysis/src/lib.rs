@@ -8,7 +8,9 @@
 //! * [`poa`] — the §6.1 bottleneck routing game: exact best responses,
 //!   Nash dynamics, social optimum, Price-of-Anarchy experiments;
 //! * [`model`] — the §6.2 stochastic imbalance model (Theorem 2) with
-//!   Monte-Carlo validation.
+//!   Monte-Carlo validation;
+//! * [`tournament`] — price-of-anarchy-style comparison tables for the
+//!   policy-zoo tournament.
 
 #![warn(missing_docs)]
 
@@ -17,3 +19,4 @@ pub mod imbalance;
 pub mod model;
 pub mod poa;
 pub mod stats;
+pub mod tournament;

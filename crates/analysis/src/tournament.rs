@@ -1,0 +1,243 @@
+//! Policy-tournament comparison tables: price-of-anarchy-style ratios of
+//! every load-balancing policy against the best policy in its group.
+//!
+//! The fleet's `tournament` subcommand runs the full policy zoo through
+//! identical (arena, load) cells and hands each group's per-policy
+//! [`FctSummary`] here. This module is pure math + deterministic text
+//! rendering: given the same inputs it produces byte-identical tables,
+//! which the CI tournament gate diffs across cold/warm-cache runs and
+//! shard counts.
+
+use crate::fct::FctSummary;
+use std::fmt::Write as _;
+
+/// One policy's aggregate result within a group (same arena, same load).
+#[derive(Clone, Debug)]
+pub struct PolicyCell {
+    /// Stable snake_case policy key (`ecmp`, `conga`, `letflow`, ...).
+    pub policy: String,
+    /// The cell's FCT summary.
+    pub summary: FctSummary,
+    /// Load-balancer re-routing decisions taken during the run (new
+    /// flowlets for flowlet-based policies; 0 for stateless ones).
+    pub decisions: u64,
+}
+
+/// One comparison row: a policy's metrics normalized to the group's best.
+#[derive(Clone, Debug)]
+pub struct Row {
+    /// Policy key.
+    pub policy: String,
+    /// Mean FCT divided by the best policy's mean FCT (>= 1.0).
+    pub mean_ratio: f64,
+    /// p95 FCT divided by the best policy's p95 FCT.
+    pub p95_ratio: f64,
+    /// p99 FCT divided by the best policy's p99 FCT.
+    pub p99_ratio: f64,
+    /// Throughput proxy: optimal FCT over achieved FCT (1.0 = ideal).
+    pub norm_throughput: f64,
+    /// Absolute mean FCT, seconds.
+    pub avg_s: f64,
+    /// Absolute p99 FCT, seconds.
+    pub p99_s: f64,
+    /// Re-routing decisions.
+    pub decisions: u64,
+    /// Flows that never completed.
+    pub incomplete: usize,
+}
+
+/// A rendered comparison group: every policy of one (arena, load) cell
+/// normalized against the group's best policy.
+#[derive(Clone, Debug)]
+pub struct GroupTable {
+    /// Group name, e.g. `enterprise/load60`.
+    pub group: String,
+    /// The policy with the lowest mean FCT (ties break in input order).
+    pub best: String,
+    /// The price of anarchy: the worst policy's mean-FCT ratio vs the
+    /// best — how much choosing the wrong policy can cost in this group.
+    pub poa: f64,
+    /// Per-policy rows, in input order.
+    pub rows: Vec<Row>,
+}
+
+/// Compare a group of policy cells against the group's best policy.
+///
+/// "Best" is the lowest mean FCT among policies that completed at least
+/// one flow; ties break toward the earlier cell so the result is
+/// independent of float noise in downstream consumers. Cells with `n == 0`
+/// get ratio 0.0 rows (nothing finished, nothing to normalize).
+pub fn compare(group: &str, cells: &[PolicyCell]) -> GroupTable {
+    let best_idx = cells
+        .iter()
+        .enumerate()
+        .filter(|(_, c)| c.summary.n > 0)
+        .min_by(|(_, a), (_, b)| a.summary.avg_s.total_cmp(&b.summary.avg_s))
+        .map(|(i, _)| i);
+    let best = best_idx.map(|i| &cells[i].summary);
+    let ratio = |v: f64, b: f64| if b > 0.0 { v / b } else { 0.0 };
+    let rows: Vec<Row> = cells
+        .iter()
+        .map(|c| {
+            let s = &c.summary;
+            let (mean_ratio, p95_ratio, p99_ratio) = match best {
+                Some(b) if s.n > 0 => (
+                    ratio(s.avg_s, b.avg_s),
+                    ratio(s.p95_s, b.p95_s),
+                    ratio(s.p99_s, b.p99_s),
+                ),
+                _ => (0.0, 0.0, 0.0),
+            };
+            Row {
+                policy: c.policy.clone(),
+                mean_ratio,
+                p95_ratio,
+                p99_ratio,
+                norm_throughput: if s.avg_norm_optimal > 0.0 {
+                    1.0 / s.avg_norm_optimal
+                } else {
+                    0.0
+                },
+                avg_s: s.avg_s,
+                p99_s: s.p99_s,
+                decisions: c.decisions,
+                incomplete: s.incomplete,
+            }
+        })
+        .collect();
+    let poa = rows.iter().map(|r| r.mean_ratio).fold(0.0f64, f64::max);
+    GroupTable {
+        group: group.to_string(),
+        best: best_idx
+            .map(|i| cells[i].policy.clone())
+            .unwrap_or_default(),
+        poa,
+        rows,
+    }
+}
+
+/// Render the comparison groups as one deterministic plain-text table
+/// (fixed decimals, fixed column widths — byte-identical for identical
+/// inputs; this is the artifact the CI gate compares).
+pub fn render(tables: &[GroupTable]) -> String {
+    let mut out = String::new();
+    for t in tables {
+        let _ = writeln!(
+            out,
+            "== {} (best: {}, price of anarchy {:.3}) ==",
+            t.group, t.best, t.poa
+        );
+        let _ = writeln!(
+            out,
+            "{:<14}{:>10}{:>10}{:>10}{:>10}{:>12}{:>12}{:>8}",
+            "policy",
+            "mean/best",
+            "p95/best",
+            "p99/best",
+            "norm-thr",
+            "avg (ms)",
+            "decisions",
+            "inc"
+        );
+        for r in &t.rows {
+            let _ = writeln!(
+                out,
+                "{:<14}{:>10.3}{:>10.3}{:>10.3}{:>10.3}{:>12.3}{:>12}{:>8}",
+                r.policy,
+                r.mean_ratio,
+                r.p95_ratio,
+                r.p99_ratio,
+                r.norm_throughput,
+                r.avg_s * 1e3,
+                r.decisions,
+                r.incomplete
+            );
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cell(policy: &str, avg_s: f64, p95_s: f64, p99_s: f64, decisions: u64) -> PolicyCell {
+        PolicyCell {
+            policy: policy.into(),
+            summary: FctSummary {
+                n: 100,
+                avg_s,
+                avg_norm_optimal: avg_s / 0.001,
+                mean_slowdown: 1.0,
+                small_avg_s: None,
+                large_avg_s: None,
+                p50_s: avg_s,
+                p95_s,
+                p99_s,
+                incomplete: 0,
+            },
+            decisions,
+        }
+    }
+
+    #[test]
+    fn best_policy_gets_unit_ratios_and_poa_tracks_the_worst() {
+        let t = compare(
+            "enterprise/load60",
+            &[
+                cell("ecmp", 0.004, 0.008, 0.010, 0),
+                cell("conga", 0.002, 0.004, 0.005, 37),
+                cell("spray", 0.003, 0.006, 0.008, 0),
+            ],
+        );
+        assert_eq!(t.best, "conga");
+        let conga = &t.rows[1];
+        assert_eq!(conga.mean_ratio, 1.0);
+        assert_eq!(conga.p99_ratio, 1.0);
+        assert_eq!(conga.decisions, 37);
+        let ecmp = &t.rows[0];
+        assert!((ecmp.mean_ratio - 2.0).abs() < 1e-12);
+        assert!((t.poa - 2.0).abs() < 1e-12, "poa = worst mean ratio");
+        // Throughput proxy inverts the optimal-normalized mean.
+        assert!((conga.norm_throughput - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_cells_do_not_win_or_divide_by_zero() {
+        let mut dead = cell("dead", 0.0, 0.0, 0.0, 0);
+        dead.summary.n = 0;
+        let t = compare("g", &[dead, cell("ecmp", 0.004, 0.008, 0.010, 0)]);
+        assert_eq!(t.best, "ecmp");
+        assert_eq!(t.rows[0].mean_ratio, 0.0);
+        assert!(t.rows.iter().all(|r| r.mean_ratio.is_finite()));
+    }
+
+    #[test]
+    fn ties_break_toward_the_earlier_policy() {
+        let t = compare(
+            "g",
+            &[
+                cell("a", 0.002, 0.004, 0.005, 0),
+                cell("b", 0.002, 0.004, 0.005, 0),
+            ],
+        );
+        assert_eq!(t.best, "a");
+    }
+
+    #[test]
+    fn render_is_deterministic_and_names_every_policy() {
+        let tables = [compare(
+            "g",
+            &[
+                cell("ecmp", 0.004, 0.008, 0.010, 0),
+                cell("conga", 0.002, 0.004, 0.005, 37),
+            ],
+        )];
+        let a = render(&tables);
+        let b = render(&tables);
+        assert_eq!(a, b);
+        assert!(a.contains("ecmp") && a.contains("conga"));
+        assert!(a.contains("price of anarchy"));
+    }
+}

@@ -19,6 +19,7 @@
 use crate::dre::Dre;
 use crate::flowlet::{FlowletTable, Lookup};
 use crate::params::CongaParams;
+use crate::policies::FallbackTable;
 use crate::tables::{CongestionFromLeaf, CongestionToLeaf};
 use conga_net::{
     ecmp_mix, ChannelId, Dataplane, Fib, LeafId, Packet, SpineId, Topology, MAX_LBTAG,
@@ -59,6 +60,7 @@ pub struct Conga {
     pub from_leaf_records: u64,
     label: &'static str,
     tracer: TraceHandle,
+    fallback: FallbackTable,
 }
 
 impl Conga {
@@ -78,6 +80,7 @@ impl Conga {
             from_leaf_records: 0,
             label: "conga",
             tracer: TraceHandle::disabled(),
+            fallback: FallbackTable::default(),
         }
     }
 
@@ -124,12 +127,15 @@ impl Conga {
         // its capacity, biasing large fabrics toward low-indexed uplinks).
         let mut pick = candidates[0];
         let mut n_ties = 0u64;
-        let mut prev_tied = false;
+        let mut tied_prev: Option<ChannelId> = None;
         for &u in candidates {
-            let local = dres[u.idx()]
-                .as_mut()
-                .expect("candidate uplink without DRE")
-                .quantized(now, q_bits);
+            // A candidate without a DRE (a channel surfaced by a FIB
+            // rebuild the dataplane was never re-installed for) reads as
+            // idle rather than panicking.
+            let local = match dres.get_mut(u.idx()).and_then(Option::as_mut) {
+                Some(d) => d.quantized(now, q_bits),
+                None => 0,
+            };
             let remote = to_leaf
                 .map(|t| t.read(dst_leaf, lbtag_of[u.idx()], now))
                 .unwrap_or(0);
@@ -147,18 +153,20 @@ impl Conga {
                 best = m;
                 pick = u;
                 n_ties = 1;
-                prev_tied = prev == Some(u);
+                tied_prev = if prev == Some(u) { prev } else { None };
             } else if m == best {
                 n_ties += 1;
                 if rng.below(n_ties as usize) == 0 {
                     pick = u;
                 }
-                prev_tied |= prev == Some(u);
+                if prev == Some(u) {
+                    tied_prev = prev;
+                }
             }
         }
         // Prefer the previous port if it is among the best.
-        if prev_tied {
-            return (prev.expect("tie with prev implies prev is set"), true);
+        if let Some(p) = tied_prev {
+            return (p, true);
         }
         (pick, false)
     }
@@ -188,6 +196,7 @@ impl Dataplane for Conga {
                 from_leaf: CongestionFromLeaf::new(nl, MAX_LBTAG, self.params.metric_age),
             })
             .collect();
+        self.fallback.install(topo);
     }
 
     fn leaf_ingress(
@@ -198,17 +207,28 @@ impl Dataplane for Conga {
         now: SimTime,
         rng: &mut SimRng,
     ) -> ChannelId {
+        if candidates.is_empty() {
+            // Total uplink failure mid-rebuild: deterministic fallback, the
+            // engine blackhole-accounts the packet on the dead channel.
+            return self.fallback.leaf(leaf);
+        }
         let l = leaf.idx();
-        let dst = pkt.overlay.expect("ingress without overlay").dst_tep.idx();
+        let Some(dst) = pkt.overlay.as_ref().map(|o| o.dst_tep.idx()) else {
+            // No overlay means no destination table and nowhere to stamp:
+            // degrade to stateless hashing without touching flowlet state.
+            let h = ecmp_mix(pkt.flow_hash, 0x1EAF_0000 + leaf.0 as u64);
+            return candidates[(h % candidates.len() as u64) as usize];
+        };
         let traced = self.tracer.wants_flow(pkt.flow);
 
         // Opportunistically piggyback one feedback metric for the
         // destination leaf (paper §3.3 step 4).
         if let Some((tag, metric)) = self.leaves[l].from_leaf.select_feedback(dst, now) {
-            let o = pkt.overlay.as_mut().expect("checked above");
-            o.fb_lbtag = tag;
-            o.fb_metric = metric;
-            o.fb_valid = true;
+            if let Some(o) = pkt.overlay.as_mut() {
+                o.fb_lbtag = tag;
+                o.fb_metric = metric;
+                o.fb_valid = true;
+            }
             self.feedback_piggybacked += 1;
             if traced {
                 self.tracer.emit(
@@ -328,7 +348,9 @@ impl Dataplane for Conga {
             }
         };
 
-        pkt.overlay.as_mut().expect("checked above").lbtag = self.lbtag_of[chosen.idx()];
+        if let Some(o) = pkt.overlay.as_mut() {
+            o.lbtag = self.lbtag_of[chosen.idx()];
+        }
         chosen
     }
 
@@ -340,6 +362,9 @@ impl Dataplane for Conga {
         _now: SimTime,
         _rng: &mut SimRng,
     ) -> ChannelId {
+        if candidates.is_empty() {
+            return self.fallback.spine(spine);
+        }
         // Standard ECMP among the (parallel) downlinks, paper footnote 3.
         let h = ecmp_mix(pkt.flow_hash, 0x5B1E_0000 + spine.0 as u64);
         candidates[(h % candidates.len() as u64) as usize]
@@ -347,9 +372,11 @@ impl Dataplane for Conga {
 
     fn on_fabric_tx(&mut self, ch: ChannelId, pkt: &mut Packet, now: SimTime) {
         let q = self.params.q_bits;
-        let dre = self.dres[ch.idx()]
-            .as_mut()
-            .expect("fabric channel has a DRE");
+        let Some(dre) = self.dres.get_mut(ch.idx()).and_then(Option::as_mut) else {
+            // Host-access channels (and any channel unknown to this
+            // install) carry no DRE; nothing to update.
+            return;
+        };
         dre.on_send(pkt.size, now);
         self.dre_updates += 1;
         if self.tracer.wants_flow(pkt.flow) {

@@ -10,7 +10,8 @@
 //! * [`Conga`] — the full dataplane wiring them together, implementing the
 //!   `conga_net::Dataplane` trait;
 //! * baselines: [`Ecmp`], [`LocalAware`], [`PacketSpray`],
-//!   [`WeightedRandom`], and the scheme-selection enum [`FabricPolicy`].
+//!   [`WeightedRandom`], [`LetFlow`], [`LatencyAware`], and the
+//!   scheme-selection enum [`FabricPolicy`].
 
 #![warn(missing_docs)]
 
@@ -25,5 +26,8 @@ pub use conga::Conga;
 pub use dre::Dre;
 pub use flowlet::{FlowletStats, FlowletTable, Lookup};
 pub use params::{CongaParams, GapMode};
-pub use policies::{Ecmp, FabricPolicy, Incremental, LocalAware, PacketSpray, WeightedRandom};
+pub use policies::{
+    Ecmp, FabricPolicy, FallbackTable, Incremental, LatencyAware, LatencyAwareParams, LetFlow,
+    LocalAware, PacketSpray, WeightedRandom,
+};
 pub use tables::{CongestionFromLeaf, CongestionToLeaf};

@@ -10,14 +10,84 @@
 //!   maximal reordering.
 //! * [`WeightedRandom`] — oblivious routing with static topology-derived
 //!   weights (§2.4's "can't handle traffic-matrix-dependent asymmetry").
+//! * [`LetFlow`] — flowlet detection with uniform-random path choice; no
+//!   congestion state at all (flowlet elasticity does the balancing).
+//! * [`LatencyAware`] — per-uplink EWMA of observed one-way fabric latency
+//!   with threshold-based exclusion, modeled on client-side latency-aware
+//!   replica selection (scylla's `LatencyAwareness`).
+//!
+//! Every policy honours the same degrade-don't-panic contract: a missing
+//! overlay costs only the optional header stamps, and an empty candidate
+//! slice (possible transiently while a FIB rebuild races a total uplink
+//! failure) yields the deterministic [`FallbackTable`] channel, where the
+//! engine blackhole-accounts the packet instead of the process dying.
 
 use crate::conga::Conga;
 use crate::dre::Dre;
 use crate::flowlet::{FlowletTable, Lookup};
 use crate::params::CongaParams;
-use conga_net::{ecmp_mix, ChannelId, Dataplane, Fib, LeafId, NodeId, Packet, SpineId, Topology};
-use conga_sim::{SimRng, SimTime};
-use conga_telemetry::MetricsRegistry;
+use conga_net::{
+    ecmp_mix, ChannelId, Dataplane, Fib, LeafId, NodeId, Packet, SpineId, Topology, MAX_LBTAG,
+};
+use conga_sim::{SimDuration, SimRng, SimTime};
+use conga_telemetry::{policy_series, MetricsRegistry};
+
+// ---------------------------------------------------------------------------
+// Shared degrade-don't-panic plumbing
+// ---------------------------------------------------------------------------
+
+/// Deterministic last-resort channels, one per leaf and per spine: each
+/// node's first fabric channel in the topology (falling back to the
+/// topology's first fabric channel, then channel 0). Returned by every
+/// policy when it is handed an empty candidate slice; if that channel is
+/// dead the engine's enqueue path blackhole-accounts the packet, so total
+/// uplink failure shows up as counted loss rather than a panic.
+#[derive(Clone, Debug, Default)]
+pub struct FallbackTable {
+    leaf: Vec<ChannelId>,
+    spine: Vec<ChannelId>,
+}
+
+impl FallbackTable {
+    /// Precompute the per-node fallback channels.
+    pub fn install(&mut self, topo: &Topology) {
+        let first_fabric = topo
+            .channels
+            .iter()
+            .position(|c| c.kind.is_fabric())
+            .map(|i| ChannelId(i as u32))
+            .unwrap_or(ChannelId(0));
+        let first_from = |node: NodeId| {
+            topo.channels
+                .iter()
+                .position(|c| c.kind.is_fabric() && c.src == node)
+                .map(|i| ChannelId(i as u32))
+                .unwrap_or(first_fabric)
+        };
+        self.leaf = (0..topo.n_leaves)
+            .map(|l| first_from(NodeId::Leaf(LeafId(l))))
+            .collect();
+        self.spine = (0..topo.n_spines)
+            .map(|s| first_from(NodeId::Spine(SpineId(s))))
+            .collect();
+    }
+
+    /// The fallback channel for a leaf's ingress path.
+    pub fn leaf(&self, leaf: LeafId) -> ChannelId {
+        self.leaf.get(leaf.idx()).copied().unwrap_or(ChannelId(0))
+    }
+
+    /// The fallback channel for a spine's forwarding path.
+    pub fn spine(&self, spine: SpineId) -> ChannelId {
+        self.spine.get(spine.idx()).copied().unwrap_or(ChannelId(0))
+    }
+}
+
+/// Deterministic per-flow hash pick among a non-empty candidate slice.
+#[inline]
+fn hash_pick(candidates: &[ChannelId], h: u64) -> ChannelId {
+    candidates[(h % candidates.len() as u64) as usize]
+}
 
 // ---------------------------------------------------------------------------
 // ECMP
@@ -27,11 +97,13 @@ use conga_telemetry::MetricsRegistry;
 #[derive(Clone, Debug, Default)]
 pub struct Ecmp {
     lbtag_of: Vec<u8>,
+    fallback: FallbackTable,
 }
 
 impl Dataplane for Ecmp {
-    fn install(&mut self, _topo: &Topology, fib: &Fib) {
+    fn install(&mut self, topo: &Topology, fib: &Fib) {
         self.lbtag_of = fib.lbtag_of.clone();
+        self.fallback.install(topo);
     }
 
     fn leaf_ingress(
@@ -42,8 +114,13 @@ impl Dataplane for Ecmp {
         _now: SimTime,
         _rng: &mut SimRng,
     ) -> ChannelId {
-        let h = ecmp_mix(pkt.flow_hash, 0x1EAF_0000 + leaf.0 as u64);
-        let ch = candidates[(h % candidates.len() as u64) as usize];
+        if candidates.is_empty() {
+            return self.fallback.leaf(leaf);
+        }
+        let ch = hash_pick(
+            candidates,
+            ecmp_mix(pkt.flow_hash, 0x1EAF_0000 + leaf.0 as u64),
+        );
         // The engine encapsulates before ingress, so the overlay is
         // normally present — but a missing one only costs the LBTag stamp
         // (ECMP carries no feedback), so degrade instead of panicking.
@@ -61,8 +138,13 @@ impl Dataplane for Ecmp {
         _now: SimTime,
         _rng: &mut SimRng,
     ) -> ChannelId {
-        let h = ecmp_mix(pkt.flow_hash, 0x5B1E_0000 + spine.0 as u64);
-        candidates[(h % candidates.len() as u64) as usize]
+        if candidates.is_empty() {
+            return self.fallback.spine(spine);
+        }
+        hash_pick(
+            candidates,
+            ecmp_mix(pkt.flow_hash, 0x5B1E_0000 + spine.0 as u64),
+        )
     }
 
     fn on_fabric_tx(&mut self, _ch: ChannelId, _pkt: &mut Packet, _now: SimTime) {}
@@ -84,6 +166,7 @@ pub struct LocalAware {
     dres: Vec<Option<Dre>>,
     lbtag_of: Vec<u8>,
     flowlets: Vec<FlowletTable>,
+    fallback: FallbackTable,
 }
 
 impl LocalAware {
@@ -94,6 +177,7 @@ impl LocalAware {
             dres: Vec::new(),
             lbtag_of: Vec::new(),
             flowlets: Vec::new(),
+            fallback: FallbackTable::default(),
         }
     }
 
@@ -104,14 +188,18 @@ impl LocalAware {
         now: SimTime,
         rng: &mut SimRng,
     ) -> ChannelId {
+        debug_assert!(!candidates.is_empty());
         let q = self.params.q_bits;
         let mut best = u8::MAX;
         let mut ties: Vec<ChannelId> = Vec::with_capacity(candidates.len());
         for &u in candidates {
-            let m = self.dres[u.idx()]
-                .as_mut()
-                .expect("uplink without DRE")
-                .quantized(now, q);
+            // A candidate without a DRE (a channel added by a FIB rebuild
+            // the policy was never re-installed for) reads as idle rather
+            // than panicking.
+            let m = match self.dres.get_mut(u.idx()).and_then(Option::as_mut) {
+                Some(d) => d.quantized(now, q),
+                None => 0,
+            };
             if m < best {
                 best = m;
                 ties.clear();
@@ -150,6 +238,7 @@ impl Dataplane for LocalAware {
                 )
             })
             .collect();
+        self.fallback.install(topo);
     }
 
     fn leaf_ingress(
@@ -160,6 +249,9 @@ impl Dataplane for LocalAware {
         now: SimTime,
         rng: &mut SimRng,
     ) -> ChannelId {
+        if candidates.is_empty() {
+            return self.fallback.leaf(leaf);
+        }
         let l = leaf.idx();
         let ch = match self.flowlets[l].lookup(pkt.flow_hash, now) {
             Lookup::Active(port) if candidates.contains(&port) => port,
@@ -184,7 +276,10 @@ impl Dataplane for LocalAware {
                 port
             }
         };
-        pkt.overlay.as_mut().expect("ingress without overlay").lbtag = self.lbtag_of[ch.idx()];
+        // Degrade on a missing overlay: only the LBTag stamp is lost.
+        if let Some(ov) = pkt.overlay.as_mut() {
+            ov.lbtag = self.lbtag_of[ch.idx()];
+        }
         ch
     }
 
@@ -196,14 +291,19 @@ impl Dataplane for LocalAware {
         _now: SimTime,
         _rng: &mut SimRng,
     ) -> ChannelId {
-        let h = ecmp_mix(pkt.flow_hash, 0x5B1E_0000 + spine.0 as u64);
-        candidates[(h % candidates.len() as u64) as usize]
+        if candidates.is_empty() {
+            return self.fallback.spine(spine);
+        }
+        hash_pick(
+            candidates,
+            ecmp_mix(pkt.flow_hash, 0x5B1E_0000 + spine.0 as u64),
+        )
     }
 
     fn on_fabric_tx(&mut self, ch: ChannelId, pkt: &mut Packet, now: SimTime) {
         // DREs are maintained so local decisions see local load; CE is NOT
         // stamped (that is CONGA's global machinery).
-        if let Some(d) = self.dres[ch.idx()].as_mut() {
+        if let Some(d) = self.dres.get_mut(ch.idx()).and_then(Option::as_mut) {
             d.on_send(pkt.size, now);
         }
     }
@@ -236,6 +336,7 @@ pub struct PacketSpray {
     leaf_rr: Vec<Vec<usize>>,
     /// Round-robin cursor per (spine, dst leaf).
     spine_rr: Vec<Vec<usize>>,
+    fallback: FallbackTable,
 }
 
 impl Dataplane for PacketSpray {
@@ -244,6 +345,7 @@ impl Dataplane for PacketSpray {
         let nl = topo.n_leaves as usize;
         self.leaf_rr = vec![vec![0; nl]; nl];
         self.spine_rr = vec![vec![0; nl]; topo.n_spines as usize];
+        self.fallback.install(topo);
     }
 
     fn leaf_ingress(
@@ -254,11 +356,23 @@ impl Dataplane for PacketSpray {
         _now: SimTime,
         _rng: &mut SimRng,
     ) -> ChannelId {
-        let dst = pkt.overlay.expect("ingress without overlay").dst_tep.idx();
+        if candidates.is_empty() {
+            return self.fallback.leaf(leaf);
+        }
+        // Without an overlay the per-destination cursor is unknowable:
+        // degrade to stateless hashing and leave the spray state untouched.
+        let Some(dst) = pkt.overlay.as_ref().map(|o| o.dst_tep.idx()) else {
+            return hash_pick(
+                candidates,
+                ecmp_mix(pkt.flow_hash, 0x1EAF_0000 + leaf.0 as u64),
+            );
+        };
         let cur = &mut self.leaf_rr[leaf.idx()][dst];
         let ch = candidates[*cur % candidates.len()];
         *cur = (*cur + 1) % candidates.len();
-        pkt.overlay.as_mut().expect("checked").lbtag = self.lbtag_of[ch.idx()];
+        if let Some(ov) = pkt.overlay.as_mut() {
+            ov.lbtag = self.lbtag_of[ch.idx()];
+        }
         ch
     }
 
@@ -270,7 +384,15 @@ impl Dataplane for PacketSpray {
         _now: SimTime,
         _rng: &mut SimRng,
     ) -> ChannelId {
-        let dst = pkt.overlay.expect("fabric packet").dst_tep.idx();
+        if candidates.is_empty() {
+            return self.fallback.spine(spine);
+        }
+        let Some(dst) = pkt.overlay.as_ref().map(|o| o.dst_tep.idx()) else {
+            return hash_pick(
+                candidates,
+                ecmp_mix(pkt.flow_hash, 0x5B1E_0000 + spine.0 as u64),
+            );
+        };
         let cur = &mut self.spine_rr[spine.idx()][dst];
         let ch = candidates[*cur % candidates.len()];
         *cur = (*cur + 1) % candidates.len();
@@ -296,11 +418,21 @@ pub struct WeightedRandom {
     lbtag_of: Vec<u8>,
     /// `weights[leaf][dst][i]` — cumulative weight of `up_candidates[leaf][dst][i]`.
     cum_weights: Vec<Vec<Vec<f64>>>,
+    fallback: FallbackTable,
+}
+
+impl WeightedRandom {
+    /// Install-time cumulative weights (testing hook: the tournament's
+    /// degraded-topology regression asserts these stay finite and monotone).
+    pub fn cum_weights(&self) -> &[Vec<Vec<f64>>] {
+        &self.cum_weights
+    }
 }
 
 impl Dataplane for WeightedRandom {
     fn install(&mut self, topo: &Topology, fib: &Fib) {
         self.lbtag_of = fib.lbtag_of.clone();
+        self.fallback.install(topo);
         let nl = topo.n_leaves as usize;
         self.cum_weights = vec![vec![Vec::new(); nl]; nl];
         for l in 0..nl {
@@ -328,7 +460,15 @@ impl Dataplane for WeightedRandom {
                         .filter(|&&x| topo.channel(x).dst == up.dst)
                         .map(|&x| topo.channel(x).rate_bps)
                         .sum();
-                    let share = down as f64 * up.rate_bps as f64 / into_spine as f64;
+                    // A spine whose uplinks are all down (or zero-rate) at
+                    // install time carries nothing: weight 0, keeping the
+                    // entry aligned with its candidate instead of poisoning
+                    // the cumulative sums with a 0/0 NaN.
+                    let share = if into_spine == 0 {
+                        0.0
+                    } else {
+                        down as f64 * up.rate_bps as f64 / into_spine as f64
+                    };
                     let w = (up.rate_bps as f64).min(share);
                     cum += w;
                     v.push(cum);
@@ -346,23 +486,37 @@ impl Dataplane for WeightedRandom {
         _now: SimTime,
         _rng: &mut SimRng,
     ) -> ChannelId {
-        let dst = pkt.overlay.expect("ingress without overlay").dst_tep.idx();
-        let cum = &self.cum_weights[leaf.idx()][dst];
+        if candidates.is_empty() {
+            return self.fallback.leaf(leaf);
+        }
+        let hashed = hash_pick(
+            candidates,
+            ecmp_mix(pkt.flow_hash, 0x1EAF_0000 + leaf.0 as u64),
+        );
         // Weights are static (oblivious routing): a runtime link fault
-        // changes the candidate list out from under them. Fall back to
-        // plain hashing until the install-time candidate set returns —
-        // exactly the paper's point that oblivious schemes cannot react.
-        let ch = if cum.len() == candidates.len() {
-            let total = *cum.last().expect("non-empty candidates");
-            // Deterministic per-flow draw: hash to [0, total).
-            let u = (ecmp_mix(pkt.flow_hash, 0x3EED) as f64 / u64::MAX as f64) * total;
-            let i = cum.partition_point(|&c| c <= u).min(cum.len() - 1);
-            candidates[i]
-        } else {
-            let h = ecmp_mix(pkt.flow_hash, 0x1EAF_0000 + leaf.0 as u64);
-            candidates[(h % candidates.len() as u64) as usize]
+        // changes the candidate list out from under them, and a fully
+        // degraded destination has zero total weight. Fall back to plain
+        // hashing in both cases — exactly the paper's point that oblivious
+        // schemes cannot react. A missing overlay also hashes (the weights
+        // are per-destination, which only the overlay names).
+        let ch = match pkt.overlay.as_ref().map(|o| o.dst_tep.idx()) {
+            Some(dst) => {
+                let cum = &self.cum_weights[leaf.idx()][dst];
+                let total = cum.last().copied().unwrap_or(0.0);
+                if cum.len() == candidates.len() && total > 0.0 {
+                    // Deterministic per-flow draw: hash to [0, total).
+                    let u = (ecmp_mix(pkt.flow_hash, 0x3EED) as f64 / u64::MAX as f64) * total;
+                    let i = cum.partition_point(|&c| c <= u).min(cum.len() - 1);
+                    candidates[i]
+                } else {
+                    hashed
+                }
+            }
+            None => hashed,
         };
-        pkt.overlay.as_mut().expect("checked").lbtag = self.lbtag_of[ch.idx()];
+        if let Some(ov) = pkt.overlay.as_mut() {
+            ov.lbtag = self.lbtag_of[ch.idx()];
+        }
         ch
     }
 
@@ -374,14 +528,477 @@ impl Dataplane for WeightedRandom {
         _now: SimTime,
         _rng: &mut SimRng,
     ) -> ChannelId {
-        let h = ecmp_mix(pkt.flow_hash, 0x5B1E_0000 + spine.0 as u64);
-        candidates[(h % candidates.len() as u64) as usize]
+        if candidates.is_empty() {
+            return self.fallback.spine(spine);
+        }
+        hash_pick(
+            candidates,
+            ecmp_mix(pkt.flow_hash, 0x5B1E_0000 + spine.0 as u64),
+        )
     }
 
     fn on_fabric_tx(&mut self, _ch: ChannelId, _pkt: &mut Packet, _now: SimTime) {}
     fn leaf_egress(&mut self, _leaf: LeafId, _pkt: &Packet, _now: SimTime) {}
     fn name(&self) -> &'static str {
         "weighted"
+    }
+}
+
+// ---------------------------------------------------------------------------
+// LetFlow: flowlet switching with uniform-random path choice
+// ---------------------------------------------------------------------------
+
+/// LetFlow-style load balancing: flowlet detection exactly as in CONGA, but
+/// the first packet of every flowlet picks a *uniformly random* uplink — no
+/// DREs, no feedback, no congestion state of any kind. The elasticity of
+/// flowlet sizes (congested paths emit fewer, shorter flowlets) is the whole
+/// balancing mechanism.
+#[derive(Clone, Debug)]
+pub struct LetFlow {
+    params: CongaParams,
+    lbtag_of: Vec<u8>,
+    flowlets: Vec<FlowletTable>,
+    fallback: FallbackTable,
+    /// Flowlet decisions that drew a fresh uniform-random uplink.
+    pub random_decisions: u64,
+}
+
+impl LetFlow {
+    /// LetFlow with the given flowlet parameters (only `tfl`,
+    /// `flowlet_entries` and `gap_mode` are consulted).
+    pub fn new(params: CongaParams) -> Self {
+        LetFlow {
+            params,
+            lbtag_of: Vec::new(),
+            flowlets: Vec::new(),
+            fallback: FallbackTable::default(),
+            random_decisions: 0,
+        }
+    }
+}
+
+impl Dataplane for LetFlow {
+    fn install(&mut self, topo: &Topology, fib: &Fib) {
+        self.lbtag_of = fib.lbtag_of.clone();
+        self.flowlets = (0..topo.n_leaves)
+            .map(|_| {
+                FlowletTable::new(
+                    self.params.flowlet_entries,
+                    self.params.tfl,
+                    self.params.gap_mode,
+                )
+            })
+            .collect();
+        self.fallback.install(topo);
+    }
+
+    fn leaf_ingress(
+        &mut self,
+        leaf: LeafId,
+        pkt: &mut Packet,
+        candidates: &[ChannelId],
+        now: SimTime,
+        rng: &mut SimRng,
+    ) -> ChannelId {
+        if candidates.is_empty() {
+            return self.fallback.leaf(leaf);
+        }
+        let l = leaf.idx();
+        let ch = match self.flowlets[l].lookup(pkt.flow_hash, now) {
+            Lookup::Active(port) if candidates.contains(&port) => port,
+            _ => {
+                // First packet of a flowlet (or the cached port can no
+                // longer reach the destination): draw uniformly.
+                let port = *rng.choose(candidates);
+                self.flowlets[l].commit(pkt.flow_hash, port, now);
+                self.random_decisions += 1;
+                port
+            }
+        };
+        if let Some(ov) = pkt.overlay.as_mut() {
+            ov.lbtag = self.lbtag_of[ch.idx()];
+        }
+        ch
+    }
+
+    fn spine_forward(
+        &mut self,
+        spine: SpineId,
+        pkt: &mut Packet,
+        candidates: &[ChannelId],
+        _now: SimTime,
+        _rng: &mut SimRng,
+    ) -> ChannelId {
+        if candidates.is_empty() {
+            return self.fallback.spine(spine);
+        }
+        hash_pick(
+            candidates,
+            ecmp_mix(pkt.flow_hash, 0x5B1E_0000 + spine.0 as u64),
+        )
+    }
+
+    fn on_fabric_tx(&mut self, _ch: ChannelId, _pkt: &mut Packet, _now: SimTime) {}
+    fn leaf_egress(&mut self, _leaf: LeafId, _pkt: &Packet, _now: SimTime) {}
+    fn name(&self) -> &'static str {
+        "letflow"
+    }
+
+    fn export_metrics(&self, reg: &mut MetricsRegistry) {
+        let (mut hits, mut new_flowlets) = (0u64, 0u64);
+        for t in &self.flowlets {
+            hits += t.stats.hits;
+            new_flowlets += t.stats.new_flowlets;
+        }
+        reg.set_counter("dataplane.flowlet_hits", hits);
+        reg.set_counter("dataplane.flowlet_new", new_flowlets);
+        reg.set_counter(
+            &policy_series("letflow", "random_decisions"),
+            self.random_decisions,
+        );
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Latency-aware EWMA exclusion (scylla-style LatencyAwareness)
+// ---------------------------------------------------------------------------
+
+/// Parameters for [`LatencyAware`], fabric-scaled from the scylla driver's
+/// `LatencyAwareness` defaults (`exclusion_threshold` 2.0, `retry_period`
+/// 10 s, `scale` 100 ms, `minimum_measurements` 50): datacenter fabric
+/// latencies sit ~5 orders of magnitude below the wide-area RTTs those
+/// defaults target, so the time constants shrink to flowlet scale while the
+/// dimensionless threshold carries over unchanged.
+#[derive(Clone, Copy, Debug)]
+pub struct LatencyAwareParams {
+    /// An uplink is excluded when its latency EWMA exceeds
+    /// `exclusion_threshold ×` the best measured candidate's EWMA.
+    pub exclusion_threshold: f64,
+    /// An excluded uplink is re-probed with one flowlet every
+    /// `retry_period`, so a recovered path can rejoin the rotation.
+    pub retry_period: SimDuration,
+    /// EWMA time scale: a sample arriving `dt` after the previous one
+    /// carries weight `1 − exp(−dt / scale)`.
+    pub scale: SimDuration,
+    /// Below this many samples a path is "unmeasured": it is never
+    /// excluded, and until at least one candidate is measured the decision
+    /// degrades to ECMP hashing (warmup).
+    pub min_measurements: u64,
+    /// Flowlet detection parameters (same machinery as CONGA).
+    pub flowlet: CongaParams,
+}
+
+impl LatencyAwareParams {
+    /// Defaults scaled for an intra-datacenter fabric.
+    pub fn fabric_default() -> Self {
+        LatencyAwareParams {
+            exclusion_threshold: 2.0,
+            retry_period: SimDuration::from_micros(500),
+            scale: SimDuration::from_micros(100),
+            min_measurements: 20,
+            flowlet: CongaParams::paper_default(),
+        }
+    }
+}
+
+impl Default for LatencyAwareParams {
+    fn default() -> Self {
+        Self::fabric_default()
+    }
+}
+
+/// One EWMA cell: the observed one-way fabric latency of a (destination
+/// leaf, source uplink LBTag) path.
+#[derive(Clone, Copy, Debug, Default)]
+struct LatCell {
+    ewma_ns: f64,
+    count: u64,
+    last: SimTime,
+    next_retry: SimTime,
+}
+
+/// Latency-aware flowlet load balancing. The source leaf stamps an ingress
+/// timestamp into the overlay; the destination leaf measures the one-way
+/// fabric latency at decapsulation and piggybacks one `(LBTag, latency)`
+/// feedback entry on reverse traffic — structurally the CONGA feedback loop
+/// with latency EWMAs in place of quantized DRE metrics. Decisions exclude
+/// uplinks whose EWMA exceeds a multiple of the best candidate's, choose
+/// uniformly among the rest, and periodically re-probe excluded paths.
+#[derive(Clone, Debug)]
+pub struct LatencyAware {
+    /// Parameters (public so experiments can report them).
+    pub params: LatencyAwareParams,
+    lbtag_of: Vec<u8>,
+    n_leaves: usize,
+    /// Per source leaf: EWMA cells indexed `dst_leaf * MAX_LBTAG + lbtag`.
+    to_leaf: Vec<Vec<LatCell>>,
+    /// Per destination leaf: pending one-way samples awaiting piggyback,
+    /// indexed `src_leaf * MAX_LBTAG + lbtag`.
+    pending: Vec<Vec<Option<u64>>>,
+    /// Per leaf: round-robin piggyback cursor per peer leaf.
+    cursor: Vec<Vec<u8>>,
+    flowlets: Vec<FlowletTable>,
+    fallback: FallbackTable,
+    /// Decisions made below the measurement warmup (ECMP hashing).
+    pub warmup_decisions: u64,
+    /// Candidate exclusions applied (EWMA over the threshold).
+    pub excluded: u64,
+    /// Re-probes of excluded uplinks after the retry period.
+    pub probes: u64,
+    /// Latency samples folded into EWMAs.
+    pub samples: u64,
+}
+
+impl LatencyAware {
+    /// Latency-aware policy with the given parameters.
+    pub fn new(params: LatencyAwareParams) -> Self {
+        LatencyAware {
+            params,
+            lbtag_of: Vec::new(),
+            n_leaves: 0,
+            to_leaf: Vec::new(),
+            pending: Vec::new(),
+            cursor: Vec::new(),
+            flowlets: Vec::new(),
+            fallback: FallbackTable::default(),
+            warmup_decisions: 0,
+            excluded: 0,
+            probes: 0,
+            samples: 0,
+        }
+    }
+
+    /// Pop the next pending latency sample this leaf owes `peer`, round-robin
+    /// across that peer's LBTags so every path's measurement gets through.
+    fn take_pending(&mut self, leaf: usize, peer: usize) -> Option<(u8, u64)> {
+        let start = self.cursor[leaf][peer] as usize;
+        for k in 0..MAX_LBTAG {
+            let tag = (start + k) % MAX_LBTAG;
+            if let Some(delay) = self.pending[leaf][peer * MAX_LBTAG + tag].take() {
+                self.cursor[leaf][peer] = ((tag + 1) % MAX_LBTAG) as u8;
+                return Some((tag as u8, delay));
+            }
+        }
+        None
+    }
+
+    /// Fold a feedback sample into the (peer, tag) EWMA cell of `leaf`.
+    fn observe(&mut self, leaf: usize, peer: usize, tag: u8, sample_ns: u64, now: SimTime) {
+        let cell = &mut self.to_leaf[leaf][peer * MAX_LBTAG + tag as usize];
+        let s = sample_ns as f64;
+        if cell.count == 0 {
+            cell.ewma_ns = s;
+        } else {
+            let dt = now.saturating_since(cell.last).as_secs_f64();
+            let w = (-dt / self.params.scale.as_secs_f64()).exp();
+            cell.ewma_ns = cell.ewma_ns * w + s * (1.0 - w);
+        }
+        cell.count += 1;
+        cell.last = now;
+        self.samples += 1;
+    }
+
+    /// Pick an uplink toward `dst`: warmup-hash until any candidate is
+    /// measured, otherwise reservoir-uniform over the non-excluded set.
+    #[allow(clippy::too_many_arguments)]
+    fn decide(
+        &mut self,
+        leaf: usize,
+        dst: usize,
+        flow_hash: u64,
+        candidates: &[ChannelId],
+        prev: Option<ChannelId>,
+        now: SimTime,
+        rng: &mut SimRng,
+    ) -> ChannelId {
+        debug_assert!(!candidates.is_empty());
+        let min_n = self.params.min_measurements;
+        // Best (lowest) EWMA among candidates with enough measurements.
+        let mut best: Option<f64> = None;
+        for &u in candidates {
+            let tag = self.lbtag_of[u.idx()] as usize;
+            let c = self.to_leaf[leaf][dst * MAX_LBTAG + tag];
+            if c.count >= min_n {
+                best = Some(best.map_or(c.ewma_ns, |b: f64| b.min(c.ewma_ns)));
+            }
+        }
+        let Some(best) = best else {
+            // Warmup: nothing trustworthy to compare yet. Hash like ECMP —
+            // deterministic and rng-free, so the warmup phase consumes no
+            // randomness.
+            self.warmup_decisions += 1;
+            return hash_pick(candidates, ecmp_mix(flow_hash, 0x1EAF_0000 + leaf as u64));
+        };
+        let threshold = best * self.params.exclusion_threshold;
+        let mut pick = candidates[0];
+        let mut included = 0usize;
+        let mut prev_in = false;
+        for &u in candidates {
+            let idx = dst * MAX_LBTAG + self.lbtag_of[u.idx()] as usize;
+            let c = self.to_leaf[leaf][idx];
+            let include = if c.count < min_n || c.ewma_ns <= threshold {
+                true
+            } else if now >= c.next_retry {
+                // Probe: let one flowlet through an excluded uplink so a
+                // recovered path can prove itself again.
+                self.to_leaf[leaf][idx].next_retry = now.saturating_add(self.params.retry_period);
+                self.probes += 1;
+                true
+            } else {
+                self.excluded += 1;
+                false
+            };
+            if include {
+                included += 1;
+                // Single-pass reservoir: uniform over the included set.
+                if rng.below(included) == 0 {
+                    pick = u;
+                }
+                prev_in |= prev == Some(u);
+            }
+        }
+        // Stay put when the previous port is still acceptable: flowlet
+        // moves only need to happen off excluded paths.
+        if prev_in {
+            if let Some(p) = prev {
+                return p;
+            }
+        }
+        pick
+    }
+}
+
+impl Dataplane for LatencyAware {
+    fn install(&mut self, topo: &Topology, fib: &Fib) {
+        self.lbtag_of = fib.lbtag_of.clone();
+        let nl = topo.n_leaves as usize;
+        self.n_leaves = nl;
+        self.to_leaf = vec![vec![LatCell::default(); nl * MAX_LBTAG]; nl];
+        self.pending = vec![vec![None; nl * MAX_LBTAG]; nl];
+        self.cursor = vec![vec![0; nl]; nl];
+        let fl = self.params.flowlet;
+        self.flowlets = (0..nl)
+            .map(|_| FlowletTable::new(fl.flowlet_entries, fl.tfl, fl.gap_mode))
+            .collect();
+        self.fallback.install(topo);
+    }
+
+    fn leaf_ingress(
+        &mut self,
+        leaf: LeafId,
+        pkt: &mut Packet,
+        candidates: &[ChannelId],
+        now: SimTime,
+        rng: &mut SimRng,
+    ) -> ChannelId {
+        if candidates.is_empty() {
+            return self.fallback.leaf(leaf);
+        }
+        let l = leaf.idx();
+        // No overlay: nowhere to stamp the timestamp or read the
+        // destination from. Degrade to hashing without touching any state.
+        let Some(dst) = pkt.overlay.as_ref().map(|o| o.dst_tep.idx()) else {
+            return hash_pick(
+                candidates,
+                ecmp_mix(pkt.flow_hash, 0x1EAF_0000 + leaf.0 as u64),
+            );
+        };
+        // Piggyback one pending latency sample for the destination leaf
+        // (the latency analogue of CONGA §3.3 step 4).
+        if dst < self.n_leaves {
+            if let Some((tag, delay)) = self.take_pending(l, dst) {
+                if let Some(o) = pkt.overlay.as_mut() {
+                    o.lat_fb = Some((tag, delay));
+                }
+            }
+        }
+        // Flowlet lookup; decide only on the first packet of a flowlet.
+        let ch = match self.flowlets[l].lookup(pkt.flow_hash, now) {
+            Lookup::Active(port) if candidates.contains(&port) => port,
+            Lookup::Active(stale) => {
+                let prev = Some(stale).filter(|p| candidates.contains(p));
+                let port = self.decide(l, dst, pkt.flow_hash, candidates, prev, now, rng);
+                self.flowlets[l].commit(pkt.flow_hash, port, now);
+                port
+            }
+            Lookup::NewFlowlet { prev } => {
+                let prev = prev.filter(|p| candidates.contains(p));
+                let port = self.decide(l, dst, pkt.flow_hash, candidates, prev, now, rng);
+                self.flowlets[l].commit(pkt.flow_hash, port, now);
+                port
+            }
+        };
+        if let Some(o) = pkt.overlay.as_mut() {
+            o.lbtag = self.lbtag_of[ch.idx()];
+            o.lat_sent = Some(now);
+        }
+        ch
+    }
+
+    fn spine_forward(
+        &mut self,
+        spine: SpineId,
+        pkt: &mut Packet,
+        candidates: &[ChannelId],
+        _now: SimTime,
+        _rng: &mut SimRng,
+    ) -> ChannelId {
+        if candidates.is_empty() {
+            return self.fallback.spine(spine);
+        }
+        hash_pick(
+            candidates,
+            ecmp_mix(pkt.flow_hash, 0x5B1E_0000 + spine.0 as u64),
+        )
+    }
+
+    fn on_fabric_tx(&mut self, _ch: ChannelId, _pkt: &mut Packet, _now: SimTime) {}
+
+    fn leaf_egress(&mut self, leaf: LeafId, pkt: &Packet, now: SimTime) {
+        let Some(o) = pkt.overlay.as_ref() else {
+            return;
+        };
+        let d = leaf.idx();
+        let src = o.src_tep.idx();
+        if d >= self.n_leaves || src >= self.n_leaves {
+            return;
+        }
+        // Measure the one-way fabric latency of the (src uplink = LBTag)
+        // path; the freshest sample per path wins the piggyback slot.
+        if let Some(sent) = o.lat_sent {
+            let delay = now.saturating_since(sent).as_nanos();
+            if (o.lbtag as usize) < MAX_LBTAG {
+                self.pending[d][src * MAX_LBTAG + o.lbtag as usize] = Some(delay);
+            }
+        }
+        // Harvest piggybacked feedback into this leaf's own EWMA table:
+        // `(tag, delay)` describes *our* uplink `tag` toward `src`.
+        if let Some((tag, delay)) = o.lat_fb {
+            if (tag as usize) < MAX_LBTAG {
+                self.observe(d, src, tag, delay, now);
+            }
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "latency-aware"
+    }
+
+    fn export_metrics(&self, reg: &mut MetricsRegistry) {
+        let (mut hits, mut new_flowlets) = (0u64, 0u64);
+        for t in &self.flowlets {
+            hits += t.stats.hits;
+            new_flowlets += t.stats.new_flowlets;
+        }
+        reg.set_counter("dataplane.flowlet_hits", hits);
+        reg.set_counter("dataplane.flowlet_new", new_flowlets);
+        reg.set_counter(&policy_series("latency", "samples"), self.samples);
+        reg.set_counter(
+            &policy_series("latency", "warmup_decisions"),
+            self.warmup_decisions,
+        );
+        reg.set_counter(&policy_series("latency", "excluded"), self.excluded);
+        reg.set_counter(&policy_series("latency", "probes"), self.probes);
     }
 }
 
@@ -491,6 +1108,10 @@ pub enum FabricPolicy {
     Spray(PacketSpray),
     /// Static weighted random.
     Weighted(WeightedRandom),
+    /// Flowlet switching with uniform-random choice (LetFlow).
+    LetFlow(LetFlow),
+    /// Latency-EWMA exclusion (scylla-style latency awareness).
+    LatencyAware(Box<LatencyAware>),
     /// CONGA on a subset of leaves, ECMP elsewhere (incremental rollout).
     Incremental(Box<Incremental>),
 }
@@ -524,6 +1145,16 @@ impl FabricPolicy {
     pub fn weighted() -> Self {
         FabricPolicy::Weighted(WeightedRandom::default())
     }
+    /// LetFlow with CONGA's flowlet parameters.
+    pub fn letflow() -> Self {
+        FabricPolicy::LetFlow(LetFlow::new(CongaParams::paper_default()))
+    }
+    /// Latency-aware EWMA exclusion with fabric-scaled defaults.
+    pub fn latency_aware() -> Self {
+        FabricPolicy::LatencyAware(Box::new(LatencyAware::new(
+            LatencyAwareParams::fabric_default(),
+        )))
+    }
 
     /// CONGA on the flagged leaves only, ECMP on the rest (paper §7).
     pub fn incremental(conga_leaves: Vec<bool>) -> Self {
@@ -550,6 +1181,8 @@ macro_rules! delegate {
             FabricPolicy::Local($inner) => $body,
             FabricPolicy::Spray($inner) => $body,
             FabricPolicy::Weighted($inner) => $body,
+            FabricPolicy::LetFlow($inner) => $body,
+            FabricPolicy::LatencyAware($inner) => $body,
             FabricPolicy::Incremental($inner) => $body,
         }
     };
@@ -744,6 +1377,356 @@ mod tests {
     }
 
     #[test]
+    fn spray_ingress_without_overlay_does_not_panic() {
+        // Regression: this used to `expect("ingress without overlay")`.
+        // The degraded pick must also leave the round-robin cursor alone,
+        // so the spray rotation is unperturbed by the odd bare packet.
+        let (_t, fib, mut s) = setup(PacketSpray::default());
+        let mut rng = SimRng::new(7);
+        let cands = fib.up_candidates[0][1].clone();
+        let mut bare = fabric_pkt(5);
+        bare.overlay = None;
+        let c = s.leaf_ingress(LeafId(0), &mut bare, &cands, SimTime::ZERO, &mut rng);
+        assert!(cands.contains(&c));
+        let mut bare2 = fabric_pkt(5);
+        bare2.overlay = None;
+        let c2 = s.spine_forward(SpineId(0), &mut bare2, &cands, SimTime::ZERO, &mut rng);
+        assert!(cands.contains(&c2));
+        // Cursor untouched: the first overlay packet starts the rotation
+        // at candidate 0 as if the bare packets never happened.
+        let first = s.leaf_ingress(
+            LeafId(0),
+            &mut fabric_pkt(5),
+            &cands,
+            SimTime::ZERO,
+            &mut rng,
+        );
+        assert_eq!(first, cands[0]);
+    }
+
+    #[test]
+    fn local_aware_ingress_without_overlay_does_not_panic() {
+        // Regression: LBTag stamping used to `expect("ingress without
+        // overlay")`. The decision itself must still be valid.
+        let (_t, fib, mut p) = setup(LocalAware::new(CongaParams::paper_default()));
+        let mut rng = SimRng::new(8);
+        let cands = fib.up_candidates[0][1].clone();
+        let mut bare = fabric_pkt(6);
+        bare.overlay = None;
+        let c = p.leaf_ingress(LeafId(0), &mut bare, &cands, SimTime::ZERO, &mut rng);
+        assert!(cands.contains(&c));
+        assert!(bare.overlay.is_none());
+    }
+
+    #[test]
+    fn weighted_ingress_without_overlay_does_not_panic() {
+        let (_t, fib, mut w) = setup(WeightedRandom::default());
+        let mut rng = SimRng::new(9);
+        let cands = fib.up_candidates[0][1].clone();
+        let mut bare = fabric_pkt(6);
+        bare.overlay = None;
+        let c = w.leaf_ingress(LeafId(0), &mut bare, &cands, SimTime::ZERO, &mut rng);
+        assert!(cands.contains(&c));
+    }
+
+    #[test]
+    fn empty_candidates_fall_back_deterministically() {
+        // Total uplink failure mid-run can transiently hand any policy an
+        // empty candidate slice. Every policy must return the same
+        // deterministic fallback channel rooted at the asking node — the
+        // engine blackhole-accounts the packet downstream.
+        let policies: Vec<FabricPolicy> = vec![
+            FabricPolicy::ecmp(),
+            FabricPolicy::conga(),
+            FabricPolicy::conga_flow(),
+            FabricPolicy::local(),
+            FabricPolicy::spray(),
+            FabricPolicy::weighted(),
+            FabricPolicy::letflow(),
+            FabricPolicy::latency_aware(),
+        ];
+        for p in policies {
+            let name = p.name();
+            let (topo, _fib, mut p) = setup(p);
+            let mut rng = SimRng::new(10);
+            let a = p.leaf_ingress(LeafId(0), &mut fabric_pkt(1), &[], SimTime::ZERO, &mut rng);
+            let b = p.leaf_ingress(LeafId(0), &mut fabric_pkt(2), &[], SimTime::ZERO, &mut rng);
+            assert_eq!(a, b, "{name}: leaf fallback must be deterministic");
+            assert_eq!(
+                topo.channel(a).src,
+                NodeId::Leaf(LeafId(0)),
+                "{name}: leaf fallback must leave the asking leaf"
+            );
+            let s = p.spine_forward(SpineId(1), &mut fabric_pkt(3), &[], SimTime::ZERO, &mut rng);
+            assert_eq!(
+                topo.channel(s).src,
+                NodeId::Spine(SpineId(1)),
+                "{name}: spine fallback must leave the asking spine"
+            );
+        }
+    }
+
+    #[test]
+    fn weighted_cum_weights_finite_and_monotone_on_degraded_topology() {
+        // Regression: a spine whose every uplink from a leaf is zero-rate
+        // made `into_spine == 0`, and the 0/0 division seeded NaN into the
+        // cumulative weights, silently skewing all later draws.
+        let topo = LeafSpineBuilder::new(2, 2, 2)
+            .parallel_links(1)
+            .override_link_rate_gbps(0, 1, 0, 0)
+            .build();
+        let fib = topo.fib();
+        let mut w = WeightedRandom::default();
+        w.install(&topo, &fib);
+        for (l, per_dst) in w.cum_weights().iter().enumerate() {
+            for (m, cum) in per_dst.iter().enumerate() {
+                let mut prev = 0.0f64;
+                for (i, &c) in cum.iter().enumerate() {
+                    assert!(c.is_finite(), "cum_weights[{l}][{m}][{i}] = {c}");
+                    assert!(c >= prev, "cum_weights[{l}][{m}] not monotone at {i}");
+                    prev = c;
+                }
+            }
+        }
+        // And the degraded leaf still picks valid candidates.
+        let mut rng = SimRng::new(11);
+        let cands = fib.up_candidates[0][1].clone();
+        for f in 0..200u64 {
+            let ch = w.leaf_ingress(
+                LeafId(0),
+                &mut fabric_pkt(ecmp_mix(f, 3)),
+                &cands,
+                SimTime::ZERO,
+                &mut rng,
+            );
+            assert!(cands.contains(&ch));
+        }
+    }
+
+    #[test]
+    fn letflow_spreads_new_flowlets_uniformly() {
+        // Mirrors the CONGA reservoir uniformity test: every distinct flow
+        // opens a fresh flowlet, and LetFlow must choose uniformly.
+        let (_t, fib, mut lf) = setup(LetFlow::new(CongaParams::paper_default()));
+        let mut rng = SimRng::new(12);
+        let cands = fib.up_candidates[0][1].clone();
+        let rounds = 8000usize;
+        let mut counts = vec![0usize; cands.len()];
+        for f in 0..rounds as u64 {
+            let ch = lf.leaf_ingress(
+                LeafId(0),
+                &mut fabric_pkt(ecmp_mix(f, 21)),
+                &cands,
+                SimTime::ZERO,
+                &mut rng,
+            );
+            counts[cands.iter().position(|&x| x == ch).unwrap()] += 1;
+        }
+        let expected = rounds / cands.len();
+        for (i, &c) in counts.iter().enumerate() {
+            assert!(
+                c >= expected * 8 / 10 && c <= expected * 12 / 10,
+                "uplink {i} got {c}/{rounds} flowlets (expected ~{expected})"
+            );
+        }
+        // Table collisions make a few flows inherit an active entry (paper
+        // Remark 1), so slightly fewer than `rounds` decisions are random.
+        assert!(
+            lf.random_decisions as usize >= rounds * 9 / 10,
+            "only {}/{rounds} decisions were random",
+            lf.random_decisions
+        );
+    }
+
+    #[test]
+    fn letflow_flowlet_stays_put_and_same_seed_is_deterministic() {
+        let run = |seed: u64| -> Vec<ChannelId> {
+            let (_t, fib, mut lf) = setup(LetFlow::new(CongaParams::paper_default()));
+            let mut rng = SimRng::new(seed);
+            let cands = fib.up_candidates[0][1].clone();
+            (0..64u64)
+                .map(|i| {
+                    // Packets of flow 9 arrive well inside T_fl: one flowlet.
+                    let t = SimTime::from_micros(i * 10);
+                    lf.leaf_ingress(LeafId(0), &mut fabric_pkt(9), &cands, t, &mut rng)
+                })
+                .collect()
+        };
+        let a = run(77);
+        assert!(
+            a.iter().all(|&c| c == a[0]),
+            "flowlet must not switch paths mid-burst"
+        );
+        let b = run(77);
+        assert_eq!(a, b, "same seed must reproduce the same picks");
+        // And the choice is genuinely random across flowlets: a different
+        // seed is allowed to (and across many flows, will) differ.
+        let mut any_diff = false;
+        for seed in 1..20u64 {
+            if run(seed)[0] != a[0] {
+                any_diff = true;
+                break;
+            }
+        }
+        assert!(any_diff, "letflow never varied its pick across 20 seeds");
+    }
+
+    /// Push `n` latency feedback samples for (peer leaf 1, `tag`) into leaf
+    /// 0's EWMA table by decapsulating crafted reverse packets.
+    fn feed_latency(la: &mut LatencyAware, tag: u8, delay_ns: u64, n: u64) {
+        for i in 0..n {
+            let mut p = fabric_pkt(1);
+            // Reverse direction: a packet from leaf 1 arriving at leaf 0.
+            let mut o = Overlay::new(LeafId(1), LeafId(0));
+            o.lat_fb = Some((tag, delay_ns));
+            p.overlay = Some(o);
+            la.leaf_egress(LeafId(0), &p, SimTime::from_micros(10 + i));
+        }
+    }
+
+    #[test]
+    fn latency_aware_warms_up_as_ecmp_without_consuming_rng() {
+        let (_t, fib, mut la) = setup(LatencyAware::new(LatencyAwareParams::fabric_default()));
+        let cands = fib.up_candidates[0][1].clone();
+        // Two differently seeded rngs: warmup decisions must not depend on
+        // the rng at all (pure hashing), so the picks agree.
+        let mut r1 = SimRng::new(1);
+        let mut r2 = SimRng::new(999);
+        let mut counts = vec![0usize; cands.len()];
+        for f in 0..4000u64 {
+            let h = ecmp_mix(f, 31);
+            let c1 = la.leaf_ingress(
+                LeafId(0),
+                &mut fabric_pkt(h),
+                &cands,
+                SimTime::ZERO,
+                &mut r1,
+            );
+            let c2 = la.leaf_ingress(
+                LeafId(0),
+                &mut fabric_pkt(h),
+                &cands,
+                SimTime::ZERO,
+                &mut r2,
+            );
+            assert_eq!(c1, c2, "warmup must be rng-free");
+            counts[cands.iter().position(|&x| x == c1).unwrap()] += 1;
+        }
+        for (i, &c) in counts.iter().enumerate() {
+            assert!((800..=1200).contains(&c), "uplink {i} got {c}/4000 flows");
+        }
+        assert!(la.warmup_decisions > 0);
+        assert_eq!(la.excluded, 0);
+    }
+
+    #[test]
+    fn latency_aware_excludes_slow_uplink_and_probes_it() {
+        let (_t, fib, mut la) = setup(LatencyAware::new(LatencyAwareParams::fabric_default()));
+        let cands = fib.up_candidates[0][1].clone();
+        let min_n = la.params.min_measurements;
+        // Tag 0 measures 10× slower than the rest (threshold is 2×).
+        for &u in &cands {
+            let tag = fib.lbtag_of[u.idx()];
+            let delay = if tag == 0 { 10_000 } else { 1_000 };
+            feed_latency(&mut la, tag, delay, min_n);
+        }
+        let slow: Vec<ChannelId> = cands
+            .iter()
+            .copied()
+            .filter(|&u| fib.lbtag_of[u.idx()] == 0)
+            .collect();
+        let now = SimTime::from_micros(100);
+        let mut rng = SimRng::new(13);
+        let mut slow_picks = 0usize;
+        let rounds = 3000u64;
+        for f in 0..rounds {
+            let ch = la.leaf_ingress(
+                LeafId(0),
+                &mut fabric_pkt(ecmp_mix(f, 41)),
+                &cands,
+                now,
+                &mut rng,
+            );
+            assert!(cands.contains(&ch));
+            if slow.contains(&ch) {
+                slow_picks += 1;
+            }
+        }
+        // The slow uplink is admitted once as a probe (its retry window
+        // then closes for 500 µs of simulated time), so it can win at most
+        // a handful of early decisions instead of its uniform ~1/4 share.
+        assert!(
+            slow_picks <= 5,
+            "slow uplink won {slow_picks}/{rounds} decisions despite exclusion"
+        );
+        assert!(la.excluded > 0, "no exclusions recorded");
+        assert!(la.probes >= 1, "the excluded uplink was never probed");
+        assert_eq!(la.samples, min_n * cands.len() as u64);
+    }
+
+    #[test]
+    fn latency_aware_same_seed_is_deterministic() {
+        let run = |seed: u64| -> Vec<ChannelId> {
+            let (_t, fib, mut la) = setup(LatencyAware::new(LatencyAwareParams::fabric_default()));
+            let cands = fib.up_candidates[0][1].clone();
+            let min_n = la.params.min_measurements;
+            for &u in &cands {
+                let tag = fib.lbtag_of[u.idx()];
+                let delay = if tag == 0 { 5_000 } else { 1_000 };
+                feed_latency(&mut la, tag, delay, min_n);
+            }
+            let mut rng = SimRng::new(seed);
+            (0..500u64)
+                .map(|f| {
+                    la.leaf_ingress(
+                        LeafId(0),
+                        &mut fabric_pkt(ecmp_mix(f, 51)),
+                        &cands,
+                        SimTime::from_micros(200),
+                        &mut rng,
+                    )
+                })
+                .collect()
+        };
+        assert_eq!(run(42), run(42), "same seed must reproduce the same picks");
+    }
+
+    #[test]
+    fn latency_aware_feedback_loop_round_trips() {
+        // A measured one-way delay at the destination leaf must ride a
+        // reverse packet home and land in the source's EWMA table.
+        let (_t, fib, mut la) = setup(LatencyAware::new(LatencyAwareParams::fabric_default()));
+        let mut rng = SimRng::new(14);
+        // Leaf 0 sends to leaf 1: the overlay gets a send timestamp.
+        let mut fwd = fabric_pkt(70);
+        let cands = fib.up_candidates[0][1].clone();
+        let sent_at = SimTime::from_micros(50);
+        let ch = la.leaf_ingress(LeafId(0), &mut fwd, &cands, sent_at, &mut rng);
+        let o = fwd.overlay.unwrap();
+        assert_eq!(o.lat_sent, Some(sent_at));
+        assert_eq!(o.lbtag, fib.lbtag_of[ch.idx()]);
+        // Leaf 1 decapsulates 7 µs later: a pending sample is recorded.
+        la.leaf_egress(LeafId(1), &fwd, SimTime::from_micros(57));
+        // Leaf 1 sends back to leaf 0: the sample rides along.
+        let mut rev = Packet::data(0, 0, 71, HostId(2), HostId(0), 0, 1460, SimTime::ZERO);
+        rev.overlay = Some(Overlay::new(LeafId(1), LeafId(0)));
+        let rcands = fib.up_candidates[1][0].clone();
+        la.leaf_ingress(
+            LeafId(1),
+            &mut rev,
+            &rcands,
+            SimTime::from_micros(60),
+            &mut rng,
+        );
+        let fb = rev.overlay.unwrap().lat_fb;
+        assert_eq!(fb, Some((o.lbtag, 7_000)), "sample must piggyback");
+        // Leaf 0 decapsulates the reverse packet: EWMA observed.
+        assert_eq!(la.samples, 0);
+        la.leaf_egress(LeafId(0), &rev, SimTime::from_micros(65));
+        assert_eq!(la.samples, 1);
+    }
+
+    #[test]
     fn policy_enum_delegates() {
         for (mk, name) in [
             (FabricPolicy::ecmp as fn() -> FabricPolicy, "ecmp"),
@@ -752,6 +1735,8 @@ mod tests {
             (FabricPolicy::local, "local"),
             (FabricPolicy::spray, "spray"),
             (FabricPolicy::weighted, "weighted"),
+            (FabricPolicy::letflow, "letflow"),
+            (FabricPolicy::latency_aware, "latency-aware"),
         ] {
             let (_t, fib, mut p) = setup(mk());
             assert_eq!(p.name(), name);

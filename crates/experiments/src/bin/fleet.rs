@@ -19,9 +19,9 @@
 use std::fmt::Write as _;
 use std::time::Instant;
 
-use conga_experiments::{fleet, suite, Args};
+use conga_experiments::{fleet, suite, tournament, Args};
 
-const USAGE: &str = "usage: fleet <all|fig09|fig10|fig11|fig12|fig13|bench> [flags]
+const USAGE: &str = "usage: fleet <all|fig09|fig10|fig11|fig12|fig13|tournament|bench> [flags]
 
 subcommands:
   all      run every fleet-routed figure (fig09, fig10, fig11-dynamic,
@@ -31,6 +31,10 @@ subcommands:
   fig11    Figure 11 (dynamic) — mid-run link failure/recovery
   fig12    Figure 12 — uplink throughput imbalance
   fig13    Figure 13 — incast goodput vs fanout
+  tournament
+           race every fabric policy (ECMP, CONGA, CONGA-Flow, Local, Spray,
+           Weighted, LetFlow, LatencyAware) through three arenas and write
+           results/tournament.json + results/tournament_table.txt
   bench    time the quick suite serial / parallel / sharded / warm-cache
            and write results/BENCH_fleet.json
 
@@ -193,6 +197,12 @@ fn main() {
             let args = fleet_args(rest);
             let ok = suite::fig13(&args);
             fleet::finish("fig13_incast", &args);
+            ok
+        }
+        "tournament" => {
+            let args = fleet_args(rest);
+            let ok = tournament::run(&args);
+            fleet::finish("tournament", &args);
             ok
         }
         "bench" => {

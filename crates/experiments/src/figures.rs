@@ -355,7 +355,7 @@ pub fn write_sweep_sidecar(figure: &str, sweep: &Sweep) -> std::io::Result<PathB
     Ok(path)
 }
 
-fn write_json_f64(out: &mut String, v: f64) {
+pub(crate) fn write_json_f64(out: &mut String, v: f64) {
     if v.is_finite() {
         let s = format!("{v}");
         let integral = !s.contains(['.', 'e', 'E']);

@@ -16,6 +16,7 @@ pub mod figures;
 pub mod fleet;
 pub mod runner;
 pub mod suite;
+pub mod tournament;
 
 pub use cli::Args;
 pub use dynfail::{dynfail_cell, run_dynamic_failure, DynFailOutcome, DynFailSpec};

@@ -31,6 +31,10 @@ pub enum Scheme {
     Spray,
     /// Static weighted-random (oblivious) + TCP.
     Weighted,
+    /// Flowlet switching with uniform-random choice (LetFlow) + TCP.
+    LetFlow,
+    /// Latency-EWMA exclusion (scylla-style) + TCP.
+    LatencyAware,
 }
 
 impl Scheme {
@@ -40,6 +44,20 @@ impl Scheme {
         Scheme::CongaFlow,
         Scheme::Conga,
         Scheme::Mptcp,
+    ];
+
+    /// The full single-transport policy zoo the `fleet tournament`
+    /// subcommand races (MPTCP is excluded: it changes the transport, not
+    /// the fabric policy, so its cells would not be like-for-like).
+    pub const TOURNAMENT: [Scheme; 8] = [
+        Scheme::Ecmp,
+        Scheme::CongaFlow,
+        Scheme::Conga,
+        Scheme::Local,
+        Scheme::Spray,
+        Scheme::Weighted,
+        Scheme::LetFlow,
+        Scheme::LatencyAware,
     ];
 
     /// Display name matching the paper's legends.
@@ -52,6 +70,24 @@ impl Scheme {
             Scheme::Local => "Local",
             Scheme::Spray => "Spray",
             Scheme::Weighted => "Weighted",
+            Scheme::LetFlow => "LetFlow",
+            Scheme::LatencyAware => "LatencyAware",
+        }
+    }
+
+    /// Stable snake_case key for machine-readable artifacts (the tournament
+    /// report keys its policy maps with this).
+    pub fn key(self) -> &'static str {
+        match self {
+            Scheme::Ecmp => "ecmp",
+            Scheme::CongaFlow => "conga_flow",
+            Scheme::Conga => "conga",
+            Scheme::Mptcp => "mptcp",
+            Scheme::Local => "local",
+            Scheme::Spray => "spray",
+            Scheme::Weighted => "weighted",
+            Scheme::LetFlow => "letflow",
+            Scheme::LatencyAware => "latency_aware",
         }
     }
 
@@ -64,6 +100,8 @@ impl Scheme {
             Scheme::Local => FabricPolicy::local(),
             Scheme::Spray => FabricPolicy::spray(),
             Scheme::Weighted => FabricPolicy::weighted(),
+            Scheme::LetFlow => FabricPolicy::letflow(),
+            Scheme::LatencyAware => FabricPolicy::latency_aware(),
         }
     }
 
@@ -733,7 +771,7 @@ mod tests {
 
     #[test]
     fn scheme_matrix_is_consistent() {
-        for s in Scheme::PAPER {
+        for s in Scheme::PAPER.into_iter().chain(Scheme::TOURNAMENT) {
             let _ = s.policy();
             let k = s.transport(TcpConfig::standard());
             match (s, k) {
@@ -744,6 +782,19 @@ mod tests {
             }
         }
         assert_eq!(Scheme::Conga.name(), "CONGA");
+        // Tournament keys are unique snake_case identifiers (they key JSON
+        // maps in results/tournament.json).
+        let keys: Vec<&str> = Scheme::TOURNAMENT.iter().map(|s| s.key()).collect();
+        let mut dedup = keys.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), keys.len(), "keys must be unique");
+        for k in keys {
+            assert!(
+                k.chars().all(|c| c.is_ascii_lowercase() || c == '_'),
+                "{k} must be snake_case"
+            );
+        }
     }
 
     #[test]

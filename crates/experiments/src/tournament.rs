@@ -1,0 +1,224 @@
+//! The `fleet tournament` subcommand: race the full policy zoo through a
+//! fixed arena matrix and emit a price-of-anarchy-style comparison.
+//!
+//! Three arenas (enterprise and data-mining workloads on the baseline
+//! testbed, plus the enterprise workload on the Figure-7(b) asymmetric
+//! fabric) × a load sweep × every policy in [`Scheme::TOURNAMENT`]. Each
+//! cell is an ordinary cached FCT cell, so warm re-runs are pure cache
+//! hits and the merged artifacts — `results/tournament.json` and
+//! `results/tournament_table.txt` — are byte-identical for any `--jobs`,
+//! `--shards`, or cache state.
+
+use crate::cli::{banner, Args};
+use crate::figures::{loads_arg, write_json_f64};
+use crate::fleet::{fct_scenario, run_cells, FleetCell, FleetOpts};
+use crate::runner::{run_fct, FctRun, Scheme, TestbedOpts};
+use conga_analysis::tournament::{compare, render, GroupTable, PolicyCell};
+use conga_fleet::CellResult;
+use conga_workloads::FlowSizeDist;
+use std::fmt::Write as _;
+use std::path::PathBuf;
+
+/// The arena matrix: (name, testbed, workload).
+fn arenas() -> Vec<(&'static str, TestbedOpts, FlowSizeDist)> {
+    vec![
+        (
+            "enterprise",
+            TestbedOpts::paper_baseline(),
+            FlowSizeDist::enterprise(),
+        ),
+        (
+            "datamining",
+            TestbedOpts::paper_baseline(),
+            FlowSizeDist::data_mining(),
+        ),
+        (
+            "asymmetry",
+            TestbedOpts::paper_failure(),
+            FlowSizeDist::enterprise(),
+        ),
+    ]
+}
+
+/// One tournament cell: a standard cached FCT run that also records the
+/// policy's re-routing decision count (so cache hits preserve it).
+fn tournament_cell(figure: &str, label: &str, cfg: FctRun, quick: bool) -> FleetCell {
+    let scenario = fct_scenario(figure, label, &cfg, quick);
+    FleetCell {
+        scenario,
+        run: Box::new(move || {
+            let out = run_fct(&cfg);
+            let mut r = CellResult {
+                summary: out.summary,
+                report_json: out.report.to_json(),
+                ..CellResult::default()
+            };
+            r.values.insert(
+                "decisions".into(),
+                out.report.metrics.counter("dataplane.flowlet_new") as f64,
+            );
+            r.values.insert("drops".into(), out.drops as f64);
+            r
+        }),
+    }
+}
+
+/// Run the tournament. Returns `false` if an artifact write failed.
+pub fn run(args: &Args) -> bool {
+    banner(
+        "Policy tournament — the full load-balancer zoo, like-for-like",
+        "arenas: enterprise/datamining on the baseline fabric + enterprise on the\n\
+         Figure-7(b) asymmetric fabric; table: FCT ratios vs the best policy",
+    );
+    let loads = loads_arg(
+        args,
+        if args.quick {
+            vec![0.3, 0.6]
+        } else {
+            vec![0.2, 0.4, 0.6, 0.8]
+        },
+    );
+    let n_flows = if args.quick {
+        80
+    } else {
+        args.get("flows", 400)
+    };
+    let opts = FleetOpts::from_args(args, false);
+
+    let arenas = arenas();
+    let mut cells = Vec::new();
+    for (arena, topo, dist) in &arenas {
+        let topo = if args.quick { topo.quick() } else { *topo };
+        for &load in &loads {
+            for scheme in Scheme::TOURNAMENT {
+                let mut cfg = FctRun::new(topo, scheme, dist.clone(), load);
+                cfg.n_flows = n_flows;
+                cfg.seed = args.seed;
+                cfg.shards = args.shards;
+                let figure = format!("tournament_{arena}");
+                let label = format!("{}.load{:02.0}", scheme.name(), load * 100.0);
+                cells.push(tournament_cell(&figure, &label, cfg, args.quick));
+            }
+        }
+    }
+    let results = run_cells(cells, &opts);
+
+    // Merge in build order: one comparison group per (arena, load).
+    let mut tables: Vec<GroupTable> = Vec::new();
+    let mut it = results.iter();
+    for (arena, _, _) in &arenas {
+        for &load in &loads {
+            let group: Vec<PolicyCell> = Scheme::TOURNAMENT
+                .iter()
+                .map(|s| {
+                    let cell = it.next().expect("one result per cell");
+                    PolicyCell {
+                        policy: s.key().to_string(),
+                        summary: cell.summary,
+                        decisions: cell.value("decisions") as u64,
+                    }
+                })
+                .collect();
+            tables.push(compare(
+                &format!("{arena}/load{:02.0}", load * 100.0),
+                &group,
+            ));
+        }
+    }
+
+    let table_text = render(&tables);
+    print!("{table_text}");
+    let json = to_json(&loads, &arenas, &tables);
+    let mut ok = true;
+    for (path, text) in [
+        (PathBuf::from("results/tournament.json"), &json),
+        (PathBuf::from("results/tournament_table.txt"), &table_text),
+    ] {
+        if let Some(parent) = path.parent() {
+            let _ = std::fs::create_dir_all(parent);
+        }
+        match std::fs::write(&path, text) {
+            Ok(()) => eprintln!("tournament artifact: {}", path.display()),
+            Err(e) => {
+                eprintln!("tournament artifact write failed ({}): {e}", path.display());
+                ok = false;
+            }
+        }
+    }
+    ok
+}
+
+/// Serialize the comparison groups as deterministic JSON (sorted structure
+/// is fixed by construction: arenas × loads × the tournament policy order).
+fn to_json(
+    loads: &[f64],
+    arenas: &[(&'static str, TestbedOpts, FlowSizeDist)],
+    tables: &[GroupTable],
+) -> String {
+    let mut out = String::with_capacity(4096);
+    out.push_str("{\n  \"policies\": [");
+    for (i, s) in Scheme::TOURNAMENT.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        let _ = write!(out, "\"{}\"", s.key());
+    }
+    out.push_str("],\n  \"loads\": [");
+    for (i, l) in loads.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        write_json_f64(&mut out, *l);
+    }
+    out.push_str("],\n  \"arenas\": [");
+    for (i, (a, _, _)) in arenas.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        let _ = write!(out, "\"{a}\"");
+    }
+    out.push_str("],\n  \"groups\": [");
+    for (gi, t) in tables.iter().enumerate() {
+        if gi > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "\n    {{\"group\": \"{}\", \"best\": \"{}\", \"poa\": ",
+            t.group, t.best
+        );
+        write_json_f64(&mut out, t.poa);
+        out.push_str(", \"rows\": {");
+        for (ri, r) in t.rows.iter().enumerate() {
+            if ri > 0 {
+                out.push_str(", ");
+            }
+            let _ = write!(out, "\"{}\": {{", r.policy);
+            for (i, (k, v)) in [
+                ("mean_ratio", r.mean_ratio),
+                ("p95_ratio", r.p95_ratio),
+                ("p99_ratio", r.p99_ratio),
+                ("norm_throughput", r.norm_throughput),
+                ("avg_s", r.avg_s),
+                ("p99_s", r.p99_s),
+            ]
+            .into_iter()
+            .enumerate()
+            {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                let _ = write!(out, "\"{k}\": ");
+                write_json_f64(&mut out, v);
+            }
+            let _ = write!(
+                out,
+                ", \"decisions\": {}, \"incomplete\": {}}}",
+                r.decisions, r.incomplete
+            );
+        }
+        out.push_str("}}");
+    }
+    out.push_str("\n  ]\n}\n");
+    out
+}

@@ -60,13 +60,16 @@ impl CellResult {
             ("mean_slowdown", Some(s.mean_slowdown)),
             ("small_avg_s", s.small_avg_s),
             ("large_avg_s", s.large_avg_s),
+            ("p50_s", Some(s.p50_s)),
+            ("p95_s", Some(s.p95_s)),
+            ("p99_s", Some(s.p99_s)),
         ] {
             let _ = write!(out, "\"{k}\": ");
             match v {
                 Some(v) => write_f64(&mut out, v),
                 None => out.push_str("null"),
             }
-            if k != "large_avg_s" {
+            if k != "p99_s" {
                 out.push_str(", ");
             }
         }
@@ -128,6 +131,9 @@ impl CellResult {
             mean_slowdown: f("mean_slowdown")?,
             small_avg_s: opt("small_avg_s")?,
             large_avg_s: opt("large_avg_s")?,
+            p50_s: f("p50_s")?,
+            p95_s: f("p95_s")?,
+            p99_s: f("p99_s")?,
             incomplete: s
                 .get("incomplete")
                 .and_then(Value::as_u64)
@@ -289,6 +295,9 @@ mod tests {
                 mean_slowdown: 2.25,
                 small_avg_s: Some(0.001),
                 large_avg_s: None,
+                p50_s: 0.009,
+                p95_s: 0.04,
+                p99_s: 0.11,
                 incomplete: 1,
             },
             ..CellResult::default()
@@ -309,6 +318,8 @@ mod tests {
         assert_eq!(back.summary.avg_s, 0.01234);
         assert_eq!(back.summary.small_avg_s, Some(0.001));
         assert_eq!(back.summary.large_avg_s, None, "empty bucket survives");
+        assert_eq!(back.summary.p95_s, 0.04);
+        assert_eq!(back.summary.p99_s, 0.11);
         assert_eq!(back.values, r.values);
         assert_eq!(back.text, r.text);
         assert_eq!(back.report_json, r.report_json);

@@ -60,6 +60,15 @@ pub struct Overlay {
     /// Whether the feedback fields are populated (in hardware an all-ones
     /// FB_LBTag can serve as the "no feedback" sentinel).
     pub fb_valid: bool,
+    /// Latency-aware policies only: ingress timestamp stamped by the source
+    /// leaf, so the destination leaf can measure the one-way fabric latency
+    /// of the (source uplink = `lbtag`) path. `None` for every other policy
+    /// — a stand-in for the switch hardware timestamp option.
+    pub lat_sent: Option<SimTime>,
+    /// Latency-aware policies only: one piggybacked latency-feedback entry,
+    /// `(lbtag, observed one-way fabric latency in ns)` — the latency
+    /// analogue of `fb_lbtag`/`fb_metric`.
+    pub lat_fb: Option<(u8, u64)>,
 }
 
 impl Overlay {
@@ -73,6 +82,8 @@ impl Overlay {
             fb_lbtag: 0,
             fb_metric: 0,
             fb_valid: false,
+            lat_sent: None,
+            lat_fb: None,
         }
     }
 }

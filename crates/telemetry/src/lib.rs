@@ -157,6 +157,15 @@ impl MetricsRegistry {
     }
 }
 
+/// The canonical name of a per-policy dataplane metric:
+/// `dataplane.<policy>.<metric>`. Policy-agnostic dataplane counters
+/// (`dataplane.flowlet_new`, ...) keep their short names; anything a single
+/// policy owns should be namespaced through this helper so the tournament
+/// report can enumerate them without colliding across policies.
+pub fn policy_series(policy: &str, metric: &str) -> String {
+    format!("dataplane.{policy}.{metric}")
+}
+
 /// A complete, per-run telemetry artifact: free-form metadata plus the
 /// aggregated [`MetricsRegistry`].
 #[derive(Debug, Clone, Default, PartialEq)]
@@ -400,6 +409,17 @@ mod tests {
         assert!(j1.contains("[10, 1.5]"));
         assert!(j1.contains("[20, 2.0]") || j1.contains("[20, 2]"));
         assert!(j1.ends_with("}\n"));
+    }
+
+    #[test]
+    fn policy_series_namespaces_under_dataplane() {
+        assert_eq!(
+            policy_series("letflow", "random_decisions"),
+            "dataplane.letflow.random_decisions"
+        );
+        let mut reg = MetricsRegistry::new();
+        reg.set_counter(&policy_series("latency", "probes"), 3);
+        assert_eq!(reg.sum_counters("dataplane.latency."), 3);
     }
 
     #[test]

@@ -34,6 +34,8 @@ fn all_policies() -> Vec<PolicyCase> {
         ("local", FabricPolicy::local),
         ("spray", FabricPolicy::spray),
         ("weighted", FabricPolicy::weighted),
+        ("letflow", FabricPolicy::letflow),
+        ("latency_aware", FabricPolicy::latency_aware),
         ("incremental", || {
             FabricPolicy::incremental(vec![true, false])
         }),
@@ -219,6 +221,71 @@ fn cross_shard_link_fault_is_shard_count_invariant() {
         4, // 2 simplex channels × (fail + recover), counted once each
         "replicated fault schedule double-counted a transition"
     );
+}
+
+/// Every uplink of one leaf fails at once — the candidate set a dataplane
+/// sees for cross-fabric traffic from that leaf goes **empty** mid-run.
+/// Contract, for every policy: no panic, deterministic byte-identical
+/// reports, the outage is real (packets blackholed or unroutable, and
+/// accounted), and after recovery every flow still completes.
+#[test]
+fn total_uplink_failure_of_one_leaf_degrades_without_panicking() {
+    for (name, mk) in all_policies() {
+        let mut cfg = faulted_cell();
+        cfg.n_flows = 50;
+        cfg.load = 0.6;
+        // The quick baseline fabric has 2 spines × 2 parallel links per
+        // leaf: fail all four Leaf1 uplinks inside the arrival span, then
+        // bring them back well before the minimum RTO gives up.
+        cfg.faults.clear();
+        for spine in 0..2 {
+            for parallel in 0..2 {
+                cfg.faults.push(LinkFaultSpec::fail(
+                    SimTime::from_millis(4),
+                    1,
+                    spine,
+                    parallel,
+                ));
+                cfg.faults.push(LinkFaultSpec::recover(
+                    SimTime::from_millis(11),
+                    1,
+                    spine,
+                    parallel,
+                ));
+            }
+        }
+        let a = run_fct_with_policy(&cfg, mk());
+        let b = run_fct_with_policy(&cfg, mk());
+        assert_eq!(
+            a.report.to_json(),
+            b.report.to_json(),
+            "policy {name}: reports diverged across the total-uplink outage"
+        );
+        let reg = &a.report.metrics;
+        let blackholed = reg.counter("net.blackholed_packets");
+        let unroutable = reg.counter("engine.unroutable_pkts");
+        assert!(
+            blackholed + unroutable > 0,
+            "policy {name}: cutting every Leaf1 uplink swallowed nothing — retune the cell"
+        );
+        assert_eq!(
+            reg.counter("engine.injected_pkts"),
+            reg.counter("engine.delivered_pkts")
+                + reg.counter("engine.queue_drops")
+                + unroutable
+                + blackholed,
+            "policy {name}: conservation violated through the total outage"
+        );
+        assert_eq!(
+            a.summary.incomplete, 0,
+            "policy {name}: flows stranded after the uplinks returned"
+        );
+        assert_eq!(
+            reg.gauge("engine.inflight_pkts"),
+            Some(0),
+            "policy {name}: packets left in flight at quiescence"
+        );
+    }
 }
 
 /// A leaf completely partitioned for a blackhole window shorter than the

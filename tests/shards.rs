@@ -157,6 +157,8 @@ fn every_policy_is_shard_count_invariant() {
         ("local", FabricPolicy::local),
         ("spray", FabricPolicy::spray),
         ("weighted", FabricPolicy::weighted),
+        ("letflow", FabricPolicy::letflow),
+        ("latency_aware", FabricPolicy::latency_aware),
     ];
     for (name, mk) in policies {
         let mut serial = fct_cell(1);
@@ -166,5 +168,61 @@ fn every_policy_is_shard_count_invariant() {
         let a = run_fct_with_policy(&serial, mk()).report.to_json();
         let b = run_fct_with_policy(&sharded, mk()).report.to_json();
         assert!(a == b, "policy {name}: report diverged under --shards 2");
+    }
+}
+
+/// The tournament's merged artifact is shard-count invariant: racing every
+/// [`Scheme::TOURNAMENT`] policy through one (arena, load) cell and
+/// rendering the comparison table produces byte-identical text — and
+/// byte-identical per-cell reports — at `--shards 1` and `--shards 2`.
+#[test]
+fn tournament_table_identical_across_shard_counts() {
+    use conga::analysis::tournament::{compare, render, PolicyCell};
+
+    let run = |shards: usize| -> (String, Vec<String>) {
+        let mut reports = Vec::new();
+        let cells: Vec<PolicyCell> = Scheme::TOURNAMENT
+            .iter()
+            .map(|&scheme| {
+                let mut cfg = FctRun::new(
+                    TestbedOpts::paper_baseline().quick(),
+                    scheme,
+                    FlowSizeDist::enterprise(),
+                    0.4,
+                );
+                cfg.n_flows = 30;
+                cfg.seed = 13;
+                cfg.shards = shards;
+                let out = run_fct_with_policy(&cfg, scheme.policy());
+                reports.push(out.report.to_json());
+                PolicyCell {
+                    policy: scheme.key().to_string(),
+                    summary: out.summary,
+                    decisions: out.report.metrics.counter("dataplane.flowlet_new"),
+                }
+            })
+            .collect();
+        (render(&[compare("enterprise/load40", &cells)]), reports)
+    };
+    let (table_1, reports_1) = run(1);
+    let (table_2, reports_2) = run(2);
+    assert!(
+        table_1 == table_2,
+        "tournament table diverged between --shards 1 and --shards 2"
+    );
+    for (scheme, (a, b)) in Scheme::TOURNAMENT
+        .iter()
+        .zip(reports_1.iter().zip(&reports_2))
+    {
+        assert!(
+            a == b,
+            "{}: tournament cell report diverged under --shards 2",
+            scheme.key()
+        );
+    }
+    // The table is a real comparison, not an empty render.
+    assert!(table_1.contains("price of anarchy"));
+    for scheme in Scheme::TOURNAMENT {
+        assert!(table_1.contains(scheme.key()), "{} missing", scheme.key());
     }
 }
