@@ -25,7 +25,7 @@ use conga_net::{
     ecmp_mix, ChannelId, Dataplane, Fib, LeafId, Packet, SpineId, Topology, MAX_LBTAG,
 };
 use conga_sim::{SimRng, SimTime};
-use conga_telemetry::MetricsRegistry;
+use conga_telemetry::{MetricsRegistry, SeriesRegistry};
 use conga_trace::{Candidate, TraceEvent, TraceHandle};
 
 /// Per-leaf CONGA state.
@@ -438,6 +438,28 @@ impl Dataplane for Conga {
 
     fn set_tracer(&mut self, tracer: TraceHandle) {
         self.tracer = tracer;
+    }
+
+    fn sample_series(&mut self, now: SimTime, out: &mut SeriesRegistry) {
+        // Shard rule: leaf L's tables and a link's DRE are only exercised
+        // in the domain that owns them; replica copies elsewhere read zero.
+        // Zero DRE readings are skipped (idle links and replicas alike), so
+        // the shard sum-merge reproduces the monolithic sample exactly.
+        let q = self.params.q_bits;
+        for (i, dre) in self.dres.iter_mut().enumerate() {
+            if let Some(d) = dre.as_mut() {
+                let m = d.quantized(now, q);
+                if m > 0 {
+                    out.record(&format!("dataplane.dre.{i:04}"), now, m as f64);
+                }
+            }
+        }
+        for (l, leaf) in self.leaves.iter().enumerate() {
+            let occ = leaf.flowlets.occupancy(now);
+            if occ > 0 {
+                out.record(&format!("dataplane.flowlets.leaf{l}"), now, occ as f64);
+            }
+        }
     }
 
     fn export_metrics(&self, reg: &mut MetricsRegistry) {

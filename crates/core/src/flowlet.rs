@@ -135,6 +135,16 @@ impl FlowletTable {
     pub fn capacity(&self) -> usize {
         self.entries.len()
     }
+
+    /// Entries holding a live (unexpired) flowlet at `now`. An O(capacity)
+    /// scan — only the telemetry sampler calls this, and only on sampled
+    /// runs, so the cost never touches the event hot path.
+    pub fn occupancy(&self, now: SimTime) -> usize {
+        self.entries
+            .iter()
+            .filter(|e| e.ever_used && now < self.expiry(e.last_seen))
+            .count()
+    }
 }
 
 #[cfg(test)]
@@ -270,6 +280,18 @@ mod tests {
     fn capacity_rounds_to_power_of_two() {
         let t = FlowletTable::new(60_000, SimDuration::from_micros(500), GapMode::Exact);
         assert_eq!(t.capacity(), 65_536);
+    }
+
+    #[test]
+    fn occupancy_counts_live_entries_only() {
+        let mut t = table(GapMode::Exact);
+        assert_eq!(t.occupancy(SimTime::ZERO), 0);
+        t.commit(1, ChannelId(0), SimTime::ZERO);
+        t.commit(2, ChannelId(1), SimTime::from_micros(300));
+        assert_eq!(t.occupancy(SimTime::from_micros(400)), 2);
+        // Entry 1 (last seen t=0, Tfl=500us) has expired by 600us.
+        assert_eq!(t.occupancy(SimTime::from_micros(600)), 1);
+        assert_eq!(t.occupancy(SimTime::from_micros(2000)), 0);
     }
 
     #[test]

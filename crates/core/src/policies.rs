@@ -30,7 +30,7 @@ use conga_net::{
     ecmp_mix, ChannelId, Dataplane, Fib, LeafId, NodeId, Packet, SpineId, Topology, MAX_LBTAG,
 };
 use conga_sim::{SimDuration, SimRng, SimTime};
-use conga_telemetry::{policy_series, MetricsRegistry};
+use conga_telemetry::{policy_series, MetricsRegistry, SeriesRegistry};
 
 // ---------------------------------------------------------------------------
 // Shared degrade-don't-panic plumbing
@@ -657,6 +657,18 @@ impl Dataplane for LetFlow {
             self.random_decisions,
         );
     }
+
+    fn sample_series(&mut self, now: SimTime, out: &mut SeriesRegistry) {
+        // Same shard rule as CONGA's tables: only the owning domain's
+        // table has live entries; zero occupancy is skipped everywhere so
+        // the shard merge reproduces the monolithic sample.
+        for (l, t) in self.flowlets.iter().enumerate() {
+            let occ = t.occupancy(now);
+            if occ > 0 {
+                out.record(&format!("dataplane.flowlets.leaf{l}"), now, occ as f64);
+            }
+        }
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -1084,6 +1096,12 @@ impl Dataplane for Incremental {
         );
     }
 
+    fn sample_series(&mut self, now: SimTime, out: &mut SeriesRegistry) {
+        // The CONGA half carries all the sampled state (DREs run
+        // fabric-wide; ECMP leaves keep no tables).
+        self.conga.sample_series(now, out);
+    }
+
     fn set_tracer(&mut self, tracer: conga_trace::TraceHandle) {
         // Only the CONGA half has decision provenance to record.
         self.conga.set_tracer(tracer);
@@ -1223,6 +1241,9 @@ impl Dataplane for FabricPolicy {
     }
     fn export_metrics(&self, reg: &mut MetricsRegistry) {
         delegate!(self, p => p.export_metrics(reg))
+    }
+    fn sample_series(&mut self, now: SimTime, out: &mut SeriesRegistry) {
+        delegate!(self, p => p.sample_series(now, out))
     }
     fn set_tracer(&mut self, tracer: conga_trace::TraceHandle) {
         delegate!(self, p => p.set_tracer(tracer))

@@ -21,7 +21,8 @@ use std::time::Instant;
 
 use conga_experiments::{fleet, suite, tournament, Args};
 
-const USAGE: &str = "usage: fleet <all|fig09|fig10|fig11|fig12|fig13|tournament|bench> [flags]
+const USAGE: &str =
+    "usage: fleet <all|fig09|fig10|fig11|fig12|fig13|tournament|bench|profile> [flags]
 
 subcommands:
   all      run every fleet-routed figure (fig09, fig10, fig11-dynamic,
@@ -36,10 +37,15 @@ subcommands:
            Weighted, LetFlow, LatencyAware) through three arenas and write
            results/tournament.json + results/tournament_table.txt
   bench    time the quick suite serial / parallel / sharded / warm-cache
-           and write results/BENCH_fleet.json
+           and write results/BENCH_fleet.json (includes events/s and
+           delivered packets/s for the serial pass)
+  profile  run the quick suite serially (cache bypassed) with the engine
+           self-profiler on, print a top-down wall-clock table, and write
+           results/PROFILE.json
 
 flags (after the subcommand) are the shared figure flags; see any figure
-binary's usage. `fleet` defaults --jobs to the available parallelism.";
+binary's usage (`tournament` also honours --loads 20,40,60). `fleet`
+defaults --jobs to the available parallelism.";
 
 fn parallelism() -> usize {
     std::thread::available_parallelism()
@@ -105,7 +111,15 @@ fn bench(args: &Args) -> std::io::Result<()> {
     if purged > 0 {
         eprintln!("bench: purged {purged} cached results for a cold start");
     }
+    // Engine throughput is measured over the serial pass: the counters are
+    // process-global, so the delta around one single-threaded pass is the
+    // clean events-per-wall-second reading.
+    let ev0 = conga_fleet::stats::engine_events();
+    let pk0 = conga_fleet::stats::delivered_pkts();
     let (serial_ms, ok1) = pass("serial", &["--no-cache", "--jobs", "1"]);
+    let events = conga_fleet::stats::engine_events() - ev0;
+    let delivered = conga_fleet::stats::delivered_pkts() - pk0;
+    let serial_s = (serial_ms / 1e3).max(1e-9);
     let jobs_s = jobs.to_string();
     let (parallel_ms, ok2) = pass("parallel", &["--no-cache", "--jobs", &jobs_s]);
     // The shards axis: serial cell order, parallelism *inside* each run.
@@ -124,6 +138,18 @@ fn bench(args: &Args) -> std::io::Result<()> {
     let _ = writeln!(out, "  \"jobs\": {jobs},");
     let _ = writeln!(out, "  \"cores\": {},", parallelism());
     let _ = writeln!(out, "  \"shards\": {shards},");
+    let _ = writeln!(out, "  \"serial_events\": {events},");
+    let _ = writeln!(out, "  \"serial_delivered_pkts\": {delivered},");
+    let _ = writeln!(
+        out,
+        "  \"events_per_sec\": {:.0},",
+        events as f64 / serial_s
+    );
+    let _ = writeln!(
+        out,
+        "  \"delivered_pkts_per_sec\": {:.0},",
+        delivered as f64 / serial_s
+    );
     let _ = writeln!(out, "  \"serial_ms\": {serial_ms:.1},");
     let _ = writeln!(out, "  \"parallel_ms\": {parallel_ms:.1},");
     let _ = writeln!(out, "  \"sharded_ms\": {sharded_ms:.1},");
@@ -149,6 +175,49 @@ fn bench(args: &Args) -> std::io::Result<()> {
     eprintln!("bench: wrote results/BENCH_fleet.json");
     print!("{out}");
     if !(ok1 && ok2 && ok3 && ok4 && ok5) {
+        std::process::exit(1);
+    }
+    Ok(())
+}
+
+/// `fleet profile`: the quick suite run *serially* with the engine
+/// self-profiler enabled — serial so the per-phase totals attribute
+/// exactly (parallel jobs interleave phase time across cells), and with
+/// the result cache bypassed: a cache hit skips the engine entirely, so
+/// a warm-cache profile would measure nothing but lookups. Prints a
+/// top-down wall-clock table and writes `results/PROFILE.json`; the JSON's
+/// structure is deterministic, its `wall_ns` values are quarantined
+/// timing fields (same contract as BENCH_fleet.json).
+fn profile_cmd(args: &Args) -> std::io::Result<()> {
+    use conga_telemetry::profile;
+    profile::enable();
+    profile::reset();
+    let mut argv: Vec<String> = vec![
+        "--quick".into(),
+        "--seed".into(),
+        args.seed.to_string(),
+        "--jobs".into(),
+        "1".into(),
+        "--no-cache".into(),
+    ];
+    if args.shards > 1 {
+        argv.push("--shards".into());
+        argv.push(args.shards.to_string());
+    }
+    let a = Args::from_iter(argv).expect("profile flags parse");
+    let ok = run_all(&a);
+    // The manifest from this run carries the per-cell phase breakdown
+    // (the profiler is on, and --jobs 1 makes the attribution exact).
+    fleet::finish("fleet_profile", &a);
+    let snap = profile::snapshot();
+    std::fs::create_dir_all("results")?;
+    std::fs::write(
+        "results/PROFILE.json",
+        snap.to_json("fleet_all --quick --jobs 1"),
+    )?;
+    eprintln!("profile: wrote results/PROFILE.json");
+    print!("{}", snap.table());
+    if !ok {
         std::process::exit(1);
     }
     Ok(())
@@ -211,6 +280,16 @@ fn main() {
                 Ok(()) => true,
                 Err(e) => {
                     eprintln!("bench failed: {e}");
+                    false
+                }
+            }
+        }
+        "profile" => {
+            let args = fleet_args(rest);
+            match profile_cmd(&args) {
+                Ok(()) => true,
+                Err(e) => {
+                    eprintln!("profile failed: {e}");
                     false
                 }
             }

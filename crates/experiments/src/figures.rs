@@ -43,6 +43,37 @@ pub fn write_metrics_sidecar_text(
     Ok(path)
 }
 
+/// Write a cell's time-series artifacts — `results/<figure>.<slug>.series.jsonl`
+/// and `.csv` — from the rendered text a [`conga_fleet::CellResult`] carries
+/// (`series_jsonl` / `series_csv` keys). The text rides in the result-cache
+/// entry, so warm-cache re-runs re-emit byte-identical sidecars without
+/// re-running the simulation. No-op (returns `None`) when the cell sampled
+/// no series.
+pub fn write_series_sidecars_from_text(
+    figure: &str,
+    label: &str,
+    result: &conga_fleet::CellResult,
+) -> std::io::Result<Option<(PathBuf, PathBuf)>> {
+    let (Some(jsonl), Some(csv)) = (
+        result.text.get("series_jsonl"),
+        result.text.get("series_csv"),
+    ) else {
+        return Ok(None);
+    };
+    let slug: String = label
+        .to_ascii_lowercase()
+        .chars()
+        .map(|c| if c.is_ascii_alphanumeric() { c } else { '-' })
+        .collect();
+    let dir = PathBuf::from("results");
+    std::fs::create_dir_all(&dir)?;
+    let jpath = dir.join(format!("{figure}.{slug}.series.jsonl"));
+    let cpath = dir.join(format!("{figure}.{slug}.series.csv"));
+    std::fs::write(&jpath, jsonl)?;
+    std::fs::write(&cpath, csv)?;
+    Ok(Some((jpath, cpath)))
+}
+
 /// Event-tracing options parsed from the CLI: where to write the artifacts
 /// and what to record.
 #[derive(Clone, Debug)]
@@ -238,7 +269,15 @@ pub fn fct_sweep(
             }
         }
     }
+    let labels: Vec<String> = cells.iter().map(|c| c.scenario.label.clone()).collect();
     let results = run_cells(cells, &opts);
+    // Cells that sampled time-series (e.g. under --sample-uplinks style
+    // configs) emit their windowed series as sidecars; others skip free.
+    for (label, cell) in labels.iter().zip(&results) {
+        if let Ok(Some((p, _))) = write_series_sidecars_from_text(figure, label, cell) {
+            eprintln!("series sidecar: {}", p.display());
+        }
+    }
     let mut it = results.iter();
     for (si, scheme) in schemes.iter().enumerate() {
         for (li, &load) in loads.iter().enumerate() {

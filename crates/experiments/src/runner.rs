@@ -7,7 +7,7 @@ use conga_net::{
     ChannelId, HostId, LeafSpineBuilder, Network, ShardedNetwork, Topology, WIRE_OVERHEAD,
 };
 use conga_sim::{QueueKind, SimDuration, SimRng, SimTime};
-use conga_telemetry::RunReport;
+use conga_telemetry::{RunReport, SeriesRegistry};
 use conga_transport::{
     FlowRecord, FlowSpec, MptcpConfig, TcpConfig, TransportKind, TransportLayer,
 };
@@ -334,6 +334,13 @@ pub struct FctOutcome {
     /// The run-level telemetry artifact: every engine, port, dataplane and
     /// transport counter, serializable to deterministic JSON.
     pub report: RunReport,
+    /// Windowed time-series sampled on simulated-time boundaries (empty
+    /// unless `sample_uplinks` was set): per-uplink queue depth and
+    /// utilization, DRE estimates, flowlet occupancy, active flows, and
+    /// the derived `imbalance.leaf0` (max−mean)/mean utilization series.
+    /// Merged across shard domains by window — byte-identical for any
+    /// `shards` value.
+    pub series: SeriesRegistry,
     /// The trace recorder handle, if tracing was requested. Export with
     /// [`conga_trace::TraceHandle::export_jsonl`] / `export_chrome`.
     pub trace: Option<conga_trace::TraceHandle>,
@@ -625,11 +632,17 @@ pub fn run_fct_with_policy(cfg: &FctRun, policy: FabricPolicy) -> FctOutcome {
     );
     if cfg.sample_uplinks {
         // Leaf 0's uplinks are all owned by domain 0, so sampling there
-        // observes exactly what the monolithic engine would.
+        // observes exactly what the monolithic engine would. Every other
+        // domain gets the same periodic tick with no port columns: the
+        // dataplane/transport sampling hooks must fire on identical
+        // window boundaries in the domains that own their state, so the
+        // by-window series merge reproduces a monolithic run.
+        let every = SimDuration::from_millis(10);
         let ups = run.net.domain(0).fib.leaf_uplinks[0].clone();
-        run.net
-            .domain_mut(0)
-            .enable_sampling(ups, SimDuration::from_millis(10));
+        run.net.domain_mut(0).enable_sampling(ups, every);
+        for d in 1..run.net.n_domains() {
+            run.net.domain_mut(d).enable_sampling(vec![], every);
+        }
     }
 
     // Run in slices until every flow completes (or the drain bound).
@@ -696,6 +709,21 @@ pub fn run_fct_with_policy(cfg: &FctRun, policy: FabricPolicy) -> FctOutcome {
         run.net.now(),
     );
     run.net.export_metrics(&mut report.metrics);
+    conga_fleet::stats::note_engine(run.stat(|s| s.events), run.stat(|s| s.delivered_pkts));
+    let mut series = run.net.export_series();
+    if cfg.sample_uplinks {
+        // The paper's Fig 12 imbalance score as a live observable:
+        // (max − mean)/mean utilization over leaf 0's uplinks, per window.
+        let inputs: Vec<String> = run.net.domain(0).fib.leaf_uplinks[0]
+            .iter()
+            .map(|c| format!("port.{:04}.util", c.idx()))
+            .collect();
+        series.derive("imbalance.leaf0", &inputs, |utils| {
+            let mean = utils.iter().sum::<f64>() / utils.len() as f64;
+            let max = utils.iter().cloned().fold(f64::MIN, f64::max);
+            (mean > 0.0).then(|| (max - mean) / mean)
+        });
+    }
     let trace = run.merged_trace();
     FctOutcome {
         summary,
@@ -707,6 +735,7 @@ pub fn run_fct_with_policy(cfg: &FctRun, policy: FabricPolicy) -> FctOutcome {
         uplink_queue_samples: run.net.domain(0).samples.queue_bytes.clone(),
         fabric_mean_queues,
         report,
+        series,
         trace,
     }
 }

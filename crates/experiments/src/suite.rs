@@ -181,6 +181,14 @@ pub fn fig12(args: &Args) -> bool {
                     sidecar_failed = true;
                 }
             }
+            match crate::figures::write_series_sidecars_from_text("fig12_imbalance", &label, out) {
+                Ok(Some((p, _))) => eprintln!("series sidecar: {}", p.display()),
+                Ok(None) => {}
+                Err(e) => {
+                    eprintln!("series sidecar write failed: {e}");
+                    sidecar_failed = true;
+                }
+            }
             if out.value("n_windows") == 0.0 {
                 println!(
                     "{:<12}{:>10}{:>10}{:>10}{:>10}",
@@ -238,6 +246,13 @@ fn fig12_cell(
                 if let Some(v) = percentile(&imb, p) {
                     r.values.insert(k.into(), v * 100.0);
                 }
+            }
+            // The windowed series (per-uplink util/queue, DRE estimates,
+            // imbalance-over-time) ride in the cache entry as rendered
+            // text so warm re-runs emit byte-identical sidecars.
+            if !out.series.is_empty() {
+                r.text.insert("series_jsonl".into(), out.series.to_jsonl());
+                r.text.insert("series_csv".into(), out.series.to_csv());
             }
             r
         }),

@@ -40,10 +40,28 @@ fn arenas() -> Vec<(&'static str, TestbedOpts, FlowSizeDist)> {
     ]
 }
 
+/// Canonical `--loads` encoding hashed into every tournament scenario:
+/// the full sweep list, as percents, comma-joined. Ratio tables compare
+/// cells *within* one sweep, so a cell's result must never be served for
+/// a sweep raced over a different load list.
+fn loads_key(loads: &[f64]) -> String {
+    loads
+        .iter()
+        .map(|l| format!("{}", l * 100.0))
+        .collect::<Vec<_>>()
+        .join(",")
+}
+
 /// One tournament cell: a standard cached FCT run that also records the
 /// policy's re-routing decision count (so cache hits preserve it).
-fn tournament_cell(figure: &str, label: &str, cfg: FctRun, quick: bool) -> FleetCell {
-    let scenario = fct_scenario(figure, label, &cfg, quick);
+fn tournament_cell(
+    figure: &str,
+    label: &str,
+    cfg: FctRun,
+    quick: bool,
+    loads: &[f64],
+) -> FleetCell {
+    let scenario = fct_scenario(figure, label, &cfg, quick).with_extra("loads", loads_key(loads));
     FleetCell {
         scenario,
         run: Box::new(move || {
@@ -97,7 +115,7 @@ pub fn run(args: &Args) -> bool {
                 cfg.shards = args.shards;
                 let figure = format!("tournament_{arena}");
                 let label = format!("{}.load{:02.0}", scheme.name(), load * 100.0);
-                cells.push(tournament_cell(&figure, &label, cfg, args.quick));
+                cells.push(tournament_cell(&figure, &label, cfg, args.quick, &loads));
             }
         }
     }
@@ -221,4 +239,41 @@ fn to_json(
     }
     out.push_str("\n  ]\n}\n");
     out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn loads_list_reaches_the_scenario_hash() {
+        let cfg = || {
+            FctRun::new(
+                TestbedOpts::paper_baseline().quick(),
+                Scheme::Conga,
+                FlowSizeDist::enterprise(),
+                0.3,
+            )
+        };
+        let a = tournament_cell(
+            "tournament_enterprise",
+            "conga.load30",
+            cfg(),
+            true,
+            &[0.3, 0.6],
+        );
+        let b = tournament_cell(
+            "tournament_enterprise",
+            "conga.load30",
+            cfg(),
+            true,
+            &[0.3, 0.8],
+        );
+        assert_ne!(
+            a.scenario.content_hash(),
+            b.scenario.content_hash(),
+            "same cell raced under a different --loads sweep must not share a cache entry"
+        );
+        assert!(a.scenario.canonical().contains("x.loads=30,60"));
+    }
 }

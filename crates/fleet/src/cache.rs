@@ -18,6 +18,7 @@ use std::io;
 use std::path::{Path, PathBuf};
 
 use conga_analysis::fct::FctSummary;
+use conga_telemetry::profile::{self, Phase};
 use conga_trace::json::{parse, Value};
 
 /// Everything a finished cell contributes to its figure.
@@ -240,6 +241,7 @@ impl ResultCache {
     /// Look a hash up. Missing, unreadable, or unparsable entries are
     /// misses.
     pub fn lookup(&self, hash: &str) -> Option<CellResult> {
+        let _t = profile::timer(Phase::CacheIo);
         let path = self.path_for(hash)?;
         let text = std::fs::read_to_string(path).ok()?;
         CellResult::parse(&text).ok()
@@ -250,6 +252,7 @@ impl ResultCache {
     /// The write goes through a worker-unique temp file and an atomic
     /// rename, so a concurrent reader can never observe a torn entry.
     pub fn store(&self, hash: &str, result: &CellResult) -> io::Result<()> {
+        let _t = profile::timer(Phase::CacheIo);
         let Some(path) = self.path_for(hash) else {
             return Ok(());
         };

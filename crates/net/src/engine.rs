@@ -31,7 +31,8 @@ use crate::packet::{Overlay, Packet};
 use crate::port::{Enqueue, TxPort};
 use crate::topology::{Fib, Topology};
 use conga_sim::{EventQueue, SimDuration, SimRng, SimTime};
-use conga_telemetry::MetricsRegistry;
+use conga_telemetry::profile::{self, Phase};
+use conga_telemetry::{MetricsRegistry, SeriesRegistry};
 use conga_trace::{TraceEvent, TraceHandle};
 
 /// Switch dataplane behaviour: load-balancing choice plus congestion-state
@@ -89,6 +90,16 @@ pub trait Dataplane {
     /// flowlet transitions, DRE updates...). Default: ignore it — only
     /// dataplanes with provenance worth recording override this.
     fn set_tracer(&mut self, _tracer: TraceHandle) {}
+
+    /// Record the dataplane's live congestion observables (DRE
+    /// estimates, flowlet-table occupancy, ...) into the windowed series
+    /// registry. Called on every sampling boundary when periodic
+    /// sampling is enabled. In a sharded run every domain is sampled on
+    /// the same boundaries; implementations must record only state this
+    /// domain *owns* (replica state is idle and reads zero), so the
+    /// shard-domain series merge reproduces the monolithic reading.
+    /// Default: no series.
+    fn sample_series(&mut self, _now: SimTime, _out: &mut SeriesRegistry) {}
 }
 
 /// End-host stack: receives packets addressed to its hosts and timer
@@ -107,6 +118,13 @@ pub trait HostAgent {
     /// Adopt a trace handle for structured event emission (cwnd moves,
     /// fast retransmits, RTOs). Default: ignore it.
     fn set_tracer(&mut self, _tracer: TraceHandle) {}
+
+    /// Record the agent's live observables (active flows, ...) into the
+    /// windowed series registry on every sampling boundary. The shard
+    /// rule of [`Dataplane::sample_series`] applies: count only what
+    /// this domain owns so partial values sum to the monolithic total.
+    /// Default: no series.
+    fn sample_series(&self, _now: SimTime, _out: &mut SeriesRegistry) {}
 }
 
 /// Collects the outputs of a [`HostAgent`] callback; the engine injects the
@@ -240,6 +258,11 @@ pub struct Network<D: Dataplane, A: HostAgent> {
     pub stats: EngineStats,
     /// Periodic sample log (empty unless sampling was enabled).
     pub samples: SampleLog,
+    /// Windowed time-series gauges recorded on sampling boundaries
+    /// (disabled unless sampling was enabled): per-channel queue depth
+    /// and utilization plus whatever the dataplane and host agent
+    /// contribute through their `sample_series` hooks.
+    pub series: SeriesRegistry,
 
     ports: Vec<TxPort>,
     events: EventQueue<Ev>,
@@ -303,6 +326,7 @@ impl<D: Dataplane, A: HostAgent> Network<D, A> {
             rng: SimRng::new(seed),
             stats: EngineStats::default(),
             samples: SampleLog::default(),
+            series: SeriesRegistry::disabled(),
             ports,
             events: EventQueue::with_capacity(1 << 16),
             now: SimTime::ZERO,
@@ -385,11 +409,18 @@ impl<D: Dataplane, A: HostAgent> Network<D, A> {
     }
 
     /// Enable periodic sampling of the given channels every `every`.
+    ///
+    /// Also arms the windowed [`SeriesRegistry`] on the same cadence.
+    /// `channels` may be empty: a sharded run enables *channel* sampling
+    /// only in the domain that owns the observed uplinks, but every
+    /// domain still needs the periodic tick so its dataplane/agent
+    /// `sample_series` hooks fire on identical boundaries.
     pub fn enable_sampling(&mut self, channels: Vec<ChannelId>, every: SimDuration) {
         self.samples.queue_bytes = vec![Vec::new(); channels.len()];
         self.samples.tx_bytes = vec![Vec::new(); channels.len()];
         self.samples.channels = channels;
         self.sample_every = Some(every);
+        self.series = SeriesRegistry::new(every);
         self.events.push(self.now + every, Ev::Sample);
     }
 
@@ -665,6 +696,7 @@ impl<D: Dataplane, A: HostAgent> Network<D, A> {
     }
 
     fn dispatch(&mut self, ev: Ev) {
+        let _t = profile::timer(Phase::Dispatch);
         match ev {
             Ev::Arrive { ch } => {
                 let (pkt, epoch) = self.wire[ch.idx()]
@@ -678,6 +710,7 @@ impl<D: Dataplane, A: HostAgent> Network<D, A> {
                 }
             }
             Ev::Timer { token } => {
+                let _t = profile::timer(Phase::Transport);
                 let mut em = std::mem::take(&mut self.scratch);
                 self.agent.on_timer(token, self.now, &mut em);
                 self.process_emissions(&mut em);
@@ -699,9 +732,27 @@ impl<D: Dataplane, A: HostAgent> Network<D, A> {
         self.samples.times.push(self.now);
         for (col, &ch) in self.samples.channels.iter().enumerate() {
             let p = &self.ports[ch.idx()];
+            // Utilization over the window that just closed: tx-byte
+            // delta against the previous sample (cumulative counters
+            // start at zero, so the first window needs no special case).
+            let prev_tx = self.samples.tx_bytes[col].last().copied().unwrap_or(0);
             self.samples.queue_bytes[col].push(p.queued_bytes());
             self.samples.tx_bytes[col].push(p.tx_bytes);
+            if let Some(every) = self.sample_every {
+                let rate = self.topo.channels[ch.idx()].rate_bps as f64;
+                let dt_s = every.as_secs_f64();
+                let util = ((p.tx_bytes - prev_tx) as f64 * 8.0) / (rate * dt_s).max(1e-12);
+                self.series.record(
+                    &format!("port.{:04}.queue_bytes", ch.idx()),
+                    self.now,
+                    p.queued_bytes() as f64,
+                );
+                self.series
+                    .record(&format!("port.{:04}.util", ch.idx()), self.now, util);
+            }
         }
+        self.dataplane.sample_series(self.now, &mut self.series);
+        self.agent.sample_series(self.now, &mut self.series);
         if let Some(every) = self.sample_every {
             self.events.push(self.now + every, Ev::Sample);
         }
@@ -780,6 +831,7 @@ impl<D: Dataplane, A: HostAgent> Network<D, A> {
                         },
                     );
                 }
+                let _t = profile::timer(Phase::Transport);
                 let mut em = std::mem::take(&mut self.scratch);
                 self.agent.on_packet(pkt, self.now, &mut em);
                 self.process_emissions(&mut em);
@@ -803,9 +855,11 @@ impl<D: Dataplane, A: HostAgent> Network<D, A> {
                         return;
                     }
                     pkt.overlay = Some(Overlay::new(l, dst_leaf));
-                    let chosen =
+                    let chosen = {
+                        let _t = profile::timer(Phase::Route);
                         self.dataplane
-                            .leaf_ingress(l, &mut pkt, cands, self.now, &mut self.rng);
+                            .leaf_ingress(l, &mut pkt, cands, self.now, &mut self.rng)
+                    };
                     debug_assert!(cands.contains(&chosen), "dataplane chose a non-candidate");
                     self.enqueue(chosen, pkt);
                 }
@@ -821,9 +875,11 @@ impl<D: Dataplane, A: HostAgent> Network<D, A> {
                     self.stats.unroutable += 1;
                     return;
                 }
-                let chosen =
+                let chosen = {
+                    let _t = profile::timer(Phase::Route);
                     self.dataplane
-                        .spine_forward(s, &mut pkt, cands, self.now, &mut self.rng);
+                        .spine_forward(s, &mut pkt, cands, self.now, &mut self.rng)
+                };
                 debug_assert!(cands.contains(&chosen), "dataplane chose a non-candidate");
                 self.enqueue(chosen, pkt);
             }

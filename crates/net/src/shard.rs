@@ -46,6 +46,8 @@ use crate::ids::{ChannelId, NodeId};
 use crate::packet::Packet;
 use crate::topology::Topology;
 use conga_sim::{conservative_window, SimDuration, SimRng, SimTime};
+use conga_telemetry::profile::{self, Phase};
+use conga_telemetry::SeriesRegistry;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Barrier, Mutex};
 
@@ -206,6 +208,19 @@ impl<D: Dataplane + Send, A: HostAgent + Send> ShardedNetwork<D, A> {
         }
     }
 
+    /// Merge every domain's time-series registry by window, in domain
+    /// index order. Ownership gating inside the sampling hooks means each
+    /// window value is observed by exactly the domain(s) that own the
+    /// underlying state, so the sum-merge reproduces the monolithic
+    /// reading — byte-identical for any worker count.
+    pub fn export_series(&self) -> SeriesRegistry {
+        let mut out = SeriesRegistry::disabled();
+        for net in &self.nets {
+            out.merge_domain(&net.series);
+        }
+        out
+    }
+
     /// Run every domain to `t_end` (inclusive) in conservative windows,
     /// exchanging cross-domain packets at the window barriers. Returns the
     /// total number of events processed across domains.
@@ -300,7 +315,11 @@ impl<D: Dataplane + Send, A: HostAgent + Send> ShardedNetwork<D, A> {
                         min_ns.fetch_min(t.as_nanos(), Ordering::AcqRel);
                     }
                 }
-                if barrier.wait().is_leader() {
+                let is_leader = {
+                    let _t = profile::timer(Phase::BarrierWait);
+                    barrier.wait().is_leader()
+                };
+                if is_leader {
                     let m = min_ns.swap(u64::MAX, Ordering::AcqRel);
                     let min_pending = (m != u64::MAX).then(|| SimTime::from_nanos(m));
                     match conservative_window(min_pending, lookahead, t_end) {
@@ -311,7 +330,10 @@ impl<D: Dataplane + Send, A: HostAgent + Send> ShardedNetwork<D, A> {
                         None => stop.store(true, Ordering::Release),
                     }
                 }
-                barrier.wait();
+                {
+                    let _t = profile::timer(Phase::BarrierWait);
+                    barrier.wait();
+                }
                 if stop.load(Ordering::Acquire) {
                     break;
                 }
@@ -321,7 +343,10 @@ impl<D: Dataplane + Send, A: HostAgent + Send> ShardedNetwork<D, A> {
                     local_events += net.run_window(w);
                     Self::route_outbox(mailboxes, arrive_domain, net);
                 }
-                barrier.wait();
+                {
+                    let _t = profile::timer(Phase::BarrierWait);
+                    barrier.wait();
+                }
             }
             events.fetch_add(local_events, Ordering::AcqRel);
         };

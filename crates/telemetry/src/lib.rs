@@ -22,6 +22,11 @@
 
 #![warn(missing_docs)]
 
+pub mod profile;
+pub mod series;
+
+pub use series::{SeriesRegistry, SERIES_SCHEMA};
+
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
 use std::io;
@@ -197,6 +202,7 @@ impl RunReport {
     /// Serialize the report to deterministic JSON (sorted keys, integer
     /// nanosecond timestamps, `\n`-terminated).
     pub fn to_json(&self) -> String {
+        let _t = profile::timer(profile::Phase::Serialize);
         let mut out = String::with_capacity(1024);
         out.push_str("{\n  \"meta\": {");
         write_string_map(&mut out, &self.meta);

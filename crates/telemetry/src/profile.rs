@@ -1,0 +1,305 @@
+//! The engine self-profiler: scoped wall-clock phase timers.
+//!
+//! Unlike everything else in this crate, the profiler measures **wall
+//! clock** — where real time goes: event dispatch, routing decisions,
+//! transport callbacks, the sharded barrier, artifact serialization, and
+//! result-cache I/O. Its output therefore follows the same quarantine
+//! contract as `BENCH_SCHEMA` in `conga-bench`: the JSON *structure*
+//! (schema tag, phase names, their order) is deterministic, while the
+//! measured values live only in the clearly-marked `wall_ns` / `calls`
+//! fields that no deterministic artifact may embed. The `obs-gate` CI
+//! job grep-gates exactly that.
+//!
+//! Profiling is **off by default** and costs one relaxed atomic load per
+//! instrumented site when off. [`enable`] turns it on process-wide (the
+//! `fleet profile` subcommand does); timers accumulate into global
+//! atomics so worker threads and shard barriers need no plumbing.
+//! Phases nest — [`Phase::Dispatch`] brackets the whole event loop body,
+//! so the routing/transport phases it contains are *also* counted inside
+//! it; the report is a where-does-time-go table, not a partition.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::time::Instant;
+
+/// The fixed phase set. Order here is the (deterministic) report order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Phase {
+    /// One engine event popped and handled (brackets the phases below).
+    Dispatch,
+    /// Dataplane load-balancing decisions (`leaf_ingress`/`spine_forward`).
+    Route,
+    /// Host-agent callbacks (`on_packet`/`on_timer`) + their emissions.
+    Transport,
+    /// Worker threads blocked on the sharded conservative-window barrier.
+    BarrierWait,
+    /// Deterministic artifact rendering (reports, series exporters).
+    Serialize,
+    /// Result-cache lookups and stores.
+    CacheIo,
+}
+
+/// Every phase, in report order.
+pub const PHASES: [Phase; 6] = [
+    Phase::Dispatch,
+    Phase::Route,
+    Phase::Transport,
+    Phase::BarrierWait,
+    Phase::Serialize,
+    Phase::CacheIo,
+];
+
+impl Phase {
+    /// Stable snake_case name used in `PROFILE.json` and manifests.
+    pub fn name(self) -> &'static str {
+        match self {
+            Phase::Dispatch => "event_dispatch",
+            Phase::Route => "routing",
+            Phase::Transport => "transport",
+            Phase::BarrierWait => "barrier_wait",
+            Phase::Serialize => "serialization",
+            Phase::CacheIo => "cache_io",
+        }
+    }
+
+    #[inline]
+    fn idx(self) -> usize {
+        self as usize
+    }
+}
+
+/// Schema tag of `results/PROFILE.json`; bump on layout changes.
+pub const PROFILE_SCHEMA: &str = "conga-profile/v1";
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+static NS: [AtomicU64; 6] = [const { AtomicU64::new(0) }; 6];
+static CALLS: [AtomicU64; 6] = [const { AtomicU64::new(0) }; 6];
+
+/// Turn profiling on process-wide (it stays on; callers [`reset`] between
+/// measured sections instead of toggling).
+pub fn enable() {
+    ENABLED.store(true, Ordering::Relaxed);
+}
+
+/// Is profiling on?
+#[inline]
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Zero every accumulator.
+pub fn reset() {
+    for i in 0..PHASES.len() {
+        NS[i].store(0, Ordering::Relaxed);
+        CALLS[i].store(0, Ordering::Relaxed);
+    }
+}
+
+/// A running phase timer; accumulates on drop.
+pub struct Timer {
+    phase: usize,
+    start: Instant,
+}
+
+impl Drop for Timer {
+    fn drop(&mut self) {
+        let ns = self.start.elapsed().as_nanos() as u64;
+        NS[self.phase].fetch_add(ns, Ordering::Relaxed);
+        CALLS[self.phase].fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+/// Start timing `phase` — `None` (no allocation, no clock read) when
+/// profiling is off. Bind the result: `let _t = profile::timer(...)`.
+#[inline]
+pub fn timer(phase: Phase) -> Option<Timer> {
+    if !enabled() {
+        return None;
+    }
+    Some(Timer {
+        phase: phase.idx(),
+        start: Instant::now(),
+    })
+}
+
+/// A point-in-time copy of every accumulator, in [`PHASES`] order.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Snapshot {
+    /// `(phase name, accumulated wall ns, timer count)` per phase.
+    pub entries: Vec<(&'static str, u64, u64)>,
+}
+
+/// Copy the current accumulators.
+pub fn snapshot() -> Snapshot {
+    Snapshot {
+        entries: PHASES
+            .iter()
+            .map(|p| {
+                (
+                    p.name(),
+                    NS[p.idx()].load(Ordering::Relaxed),
+                    CALLS[p.idx()].load(Ordering::Relaxed),
+                )
+            })
+            .collect(),
+    }
+}
+
+impl Snapshot {
+    /// The per-phase delta `self - earlier` (saturating), for bracketing
+    /// one cell or one suite between two snapshots.
+    pub fn delta_since(&self, earlier: &Snapshot) -> Snapshot {
+        Snapshot {
+            entries: self
+                .entries
+                .iter()
+                .zip(&earlier.entries)
+                .map(|(&(n, ns, c), &(_, ens, ec))| {
+                    (n, ns.saturating_sub(ens), c.saturating_sub(ec))
+                })
+                .collect(),
+        }
+    }
+
+    /// Accumulated nanoseconds of one phase (0 if absent).
+    pub fn wall_ns(&self, phase: Phase) -> u64 {
+        self.entries
+            .iter()
+            .find(|(n, _, _)| *n == phase.name())
+            .map(|&(_, ns, _)| ns)
+            .unwrap_or(0)
+    }
+
+    /// True if no phase recorded anything.
+    pub fn is_zero(&self) -> bool {
+        self.entries.iter().all(|&(_, ns, c)| ns == 0 && c == 0)
+    }
+
+    /// Render `results/PROFILE.json`: deterministic structure (schema,
+    /// suite, the six phases in fixed order), wall-clock values
+    /// quarantined in `wall_ns`/`calls`.
+    pub fn to_json(&self, suite: &str) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::with_capacity(256 + self.entries.len() * 80);
+        out.push_str("{\n");
+        let _ = writeln!(out, "  \"schema\": \"{PROFILE_SCHEMA}\",");
+        let _ = writeln!(out, "  \"suite\": \"{suite}\",");
+        out.push_str("  \"phases\": [\n");
+        for (i, (name, ns, calls)) in self.entries.iter().enumerate() {
+            let _ = write!(
+                out,
+                "    {{\"phase\": \"{name}\", \"wall_ns\": {ns}, \"calls\": {calls}}}"
+            );
+            out.push_str(if i + 1 < self.entries.len() {
+                ",\n"
+            } else {
+                "\n"
+            });
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+
+    /// A human top-down wall-clock table, largest phase first.
+    pub fn table(&self) -> String {
+        use std::fmt::Write as _;
+        let mut rows = self.entries.clone();
+        rows.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(b.0)));
+        let total_ms: f64 = self.wall_ns(Phase::Dispatch) as f64 / 1e6;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{:<16} {:>12} {:>12} {:>8}",
+            "phase", "wall_ms", "calls", "%disp"
+        );
+        for (name, ns, calls) in rows {
+            let ms = ns as f64 / 1e6;
+            let pct = if total_ms > 0.0 {
+                ms / total_ms * 100.0
+            } else {
+                0.0
+            };
+            let _ = writeln!(out, "{name:<16} {ms:>12.3} {calls:>12} {pct:>7.1}%");
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // One test exercises the whole module: the accumulators are process
+    // globals, so parallel #[test] threads would race each other's
+    // reset/enable if these were separate tests.
+    #[test]
+    fn profiler_lifecycle() {
+        // Disabled: timer is free and nothing accumulates.
+        assert!(!enabled());
+        assert!(timer(Phase::Dispatch).is_none());
+        assert!(snapshot().is_zero());
+
+        enable();
+        reset();
+        {
+            let _t = timer(Phase::Route);
+            std::hint::black_box(0);
+        }
+        let s = snapshot();
+        let route = s
+            .entries
+            .iter()
+            .find(|(n, _, _)| *n == "routing")
+            .expect("routing row");
+        assert_eq!(route.2, 1, "one timer dropped");
+
+        // Structure determinism: phase names and order are fixed.
+        let names: Vec<&str> = s.entries.iter().map(|e| e.0).collect();
+        assert_eq!(
+            names,
+            vec![
+                "event_dispatch",
+                "routing",
+                "transport",
+                "barrier_wait",
+                "serialization",
+                "cache_io"
+            ]
+        );
+        let j = s.to_json("unit");
+        assert!(j.contains(PROFILE_SCHEMA));
+        assert!(j.contains("\"phase\": \"barrier_wait\""));
+        // Zeroing values yields a byte-stable document regardless of
+        // the measured run — the structural determinism contract.
+        let zeroed = Snapshot {
+            entries: s.entries.iter().map(|&(n, _, _)| (n, 0, 0)).collect(),
+        };
+        assert_eq!(zeroed.to_json("unit"), zeroed.clone().to_json("unit"));
+
+        // Deltas bracket a section.
+        let before = snapshot();
+        {
+            let _t = timer(Phase::CacheIo);
+        }
+        let d = snapshot().delta_since(&before);
+        assert_eq!(
+            d.entries
+                .iter()
+                .find(|(n, _, _)| *n == "cache_io")
+                .unwrap()
+                .2,
+            1
+        );
+        assert_eq!(
+            d.entries
+                .iter()
+                .find(|(n, _, _)| *n == "routing")
+                .unwrap()
+                .2,
+            0,
+            "delta removes earlier counts"
+        );
+        assert!(!d.table().is_empty());
+        reset();
+        assert!(snapshot().is_zero());
+    }
+}

@@ -1,8 +1,10 @@
 //! Replay a JSONL trace and print its causal chains.
 //!
 //! ```text
-//! trace_explain <trace.jsonl>                summary (validates first)
+//! trace_explain <trace.jsonl>                overview (validates first)
 //! trace_explain <trace.jsonl> --validate     schema check only
+//! trace_explain <trace.jsonl> --summary      overview + per-flow event-type
+//!                                            counts and first/last timestamps
 //! trace_explain <trace.jsonl> --flow N       causal chain for flow N
 //! ```
 //!
@@ -11,7 +13,7 @@
 use conga_trace::explain;
 
 fn usage() -> ! {
-    eprintln!("usage: trace_explain <trace.jsonl> [--validate] [--flow N]");
+    eprintln!("usage: trace_explain <trace.jsonl> [--validate] [--summary] [--flow N]");
     std::process::exit(2);
 }
 
@@ -19,11 +21,13 @@ fn main() {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut path: Option<String> = None;
     let mut validate_only = false;
+    let mut summary = false;
     let mut flow: Option<u64> = None;
     let mut i = 0;
     while i < argv.len() {
         match argv[i].as_str() {
             "--validate" => validate_only = true,
+            "--summary" => summary = true,
             "--flow" => {
                 i += 1;
                 let v = argv.get(i).unwrap_or_else(|| usage());
@@ -66,12 +70,19 @@ fn main() {
     }
     match flow {
         Some(f) => print!("{}", explain::explain_flow(&text, f)),
-        None => match explain::summarize(&text) {
-            Ok(s) => print!("{s}"),
-            Err(e) => {
-                eprintln!("{path}: {e}");
-                std::process::exit(1);
+        None => {
+            let rendered = if summary {
+                explain::summarize_flows(&text)
+            } else {
+                explain::summarize(&text)
+            };
+            match rendered {
+                Ok(s) => print!("{s}"),
+                Err(e) => {
+                    eprintln!("{path}: {e}");
+                    std::process::exit(1);
+                }
             }
-        },
+        }
     }
 }

@@ -17,6 +17,22 @@ pub struct ValidateSummary {
     pub flows: usize,
     /// Timestamp of the last event, nanoseconds.
     pub last_t_ns: u64,
+    /// Per-flow breakdown, keyed by flow id (events carrying a `flow`
+    /// field only; global events such as faults are not attributed).
+    pub per_flow: BTreeMap<u64, FlowSummary>,
+}
+
+/// One flow's slice of a trace, collected during [`validate`].
+#[derive(Clone, Debug, Default)]
+pub struct FlowSummary {
+    /// Events carrying this flow id.
+    pub events: usize,
+    /// Timestamp of the flow's first event, nanoseconds.
+    pub first_t_ns: u64,
+    /// Timestamp of the flow's last event, nanoseconds.
+    pub last_t_ns: u64,
+    /// Event counts by type tag, for this flow only.
+    pub by_type: BTreeMap<String, usize>,
 }
 
 /// Required fields per event type, beyond the envelope (`seq`, `t_ns`,
@@ -132,6 +148,13 @@ pub fn validate(text: &str) -> Result<ValidateSummary, String> {
         }
         if let Some(f) = v.get("flow").and_then(Value::as_u64) {
             flows.insert(f);
+            let fs = summary.per_flow.entry(f).or_insert_with(|| FlowSummary {
+                first_t_ns: t,
+                ..FlowSummary::default()
+            });
+            fs.events += 1;
+            fs.last_t_ns = t;
+            *fs.by_type.entry(ev.to_string()).or_insert(0) += 1;
         }
         summary.events += 1;
         *summary.by_type.entry(ev.to_string()).or_insert(0) += 1;
@@ -345,6 +368,32 @@ pub fn explain_flow(text: &str, flow: u64) -> String {
 pub fn summarize(text: &str) -> Result<String, String> {
     let s = validate(text)?;
     let mut out = String::new();
+    overview(&mut out, &s);
+    Ok(out)
+}
+
+/// The detailed summary behind `trace_explain --summary`: the overview
+/// plus, per flow, event-type counts and first/last timestamps.
+pub fn summarize_flows(text: &str) -> Result<String, String> {
+    let s = validate(text)?;
+    let mut out = String::new();
+    overview(&mut out, &s);
+    for (flow, fs) in &s.per_flow {
+        let _ = writeln!(
+            out,
+            "flow {flow}: {} events, first {:.3} ms, last {:.3} ms",
+            fs.events,
+            fs.first_t_ns as f64 / 1e6,
+            fs.last_t_ns as f64 / 1e6
+        );
+        for (k, n) in &fs.by_type {
+            let _ = writeln!(out, "    {k:<14} {n}");
+        }
+    }
+    Ok(out)
+}
+
+fn overview(out: &mut String, s: &ValidateSummary) {
     let _ = writeln!(
         out,
         "{} events over {:.3} ms across {} flows",
@@ -355,7 +404,6 @@ pub fn summarize(text: &str) -> Result<String, String> {
     for (k, n) in &s.by_type {
         let _ = writeln!(out, "  {k:<14} {n}");
     }
-    Ok(out)
 }
 
 #[cfg(test)]
@@ -430,6 +478,24 @@ mod tests {
                    \"dst_leaf\":1,\"cand\":[{\"ch\":1,\"lbtag\":0,\"local\":0,\
                    \"remote\":0,\"metric\":0}],\"chosen\":2,\"lbtag\":0,\"sticky\":false}\n";
         assert!(validate(bad).is_err());
+    }
+
+    #[test]
+    fn summary_breaks_down_per_flow() {
+        let text = sample_trace();
+        let s = validate(&text).expect("trace validates");
+        let fs = &s.per_flow[&1];
+        assert_eq!(fs.events, 3, "flowlet_new + decision + blackhole");
+        assert_eq!(fs.first_t_ns, 1000);
+        assert_eq!(fs.last_t_ns, 3000);
+        assert_eq!(fs.by_type["decision"], 1);
+        assert_eq!(fs.by_type["blackhole"], 1);
+        let rendered = summarize_flows(&text).expect("summary renders");
+        assert!(
+            rendered.contains("flow 1: 3 events, first 0.001 ms, last 0.003 ms"),
+            "{rendered}"
+        );
+        assert!(rendered.contains("decision"), "{rendered}");
     }
 
     #[test]

@@ -12,7 +12,7 @@ use crate::config::{MptcpConfig, TcpConfig};
 use crate::tcp::{Lia, Segment, TcpRx, TcpTx};
 use conga_net::{flow_tuple_hash, Emitter, HostAgent, HostId, Packet, PacketKind};
 use conga_sim::{SimDuration, SimTime};
-use conga_telemetry::MetricsRegistry;
+use conga_telemetry::{MetricsRegistry, SeriesRegistry};
 use conga_trace::{TraceEvent, TraceHandle};
 
 /// Which transport a flow uses.
@@ -582,6 +582,22 @@ impl TransportLayer {
 impl HostAgent for TransportLayer {
     fn export_metrics(&self, reg: &mut MetricsRegistry) {
         TransportLayer::export_metrics(self, reg);
+    }
+
+    fn sample_series(&self, now: SimTime, out: &mut SeriesRegistry) {
+        // A flow is active from its planned start until its sender has
+        // every byte ACKed. Gating on `tx_local` counts each flow in
+        // exactly one shard domain, so the by-window sum-merge equals the
+        // monolithic count.
+        let active = self
+            .flows
+            .iter()
+            .zip(&self.records)
+            .filter(|(f, r)| f.tx_local && r.start <= now && !f.tx_complete)
+            .count();
+        if active > 0 {
+            out.record("transport.active_flows", now, active as f64);
+        }
     }
 
     fn set_tracer(&mut self, tracer: TraceHandle) {
