@@ -38,6 +38,9 @@ const EXPECTED: &[&str] = &[
     "forwarding/conga_100pkts_e2e",
     "fct_cell/conga_quick",
     "fct_cell/conga_quick_shards2",
+    "fct_cell/conga_quick_dctcp",
+    "fct_cell/conga_quick_cubic",
+    "fct_cell/conga_quick_bbr",
 ];
 
 fn main() {
@@ -173,7 +176,7 @@ fn bench_forwarding(r: &mut BenchReport) {
 }
 
 fn bench_cell(r: &mut BenchReport) {
-    let cell = |shards: usize| {
+    let cell = |shards: usize, cc: conga_transport::CcKind| {
         let mut cfg = FctRun::new(
             TestbedOpts::paper_baseline().quick(),
             Scheme::Conga,
@@ -183,16 +186,31 @@ fn bench_cell(r: &mut BenchReport) {
         cfg.n_flows = 60;
         cfg.seed = 1;
         cfg.shards = shards;
+        cfg.cc = cc;
         cfg
     };
+    use conga_transport::CcKind;
     r.bench_n("fct_cell/conga_quick", 3, || {
-        black_box(run_fct(&cell(1)));
+        black_box(run_fct(&cell(1, CcKind::Aimd)));
     });
     // The shards axis: the same cell on two worker threads. Artifacts are
     // byte-identical (tests/shards.rs); only the wall-clock may move.
     r.bench_n("fct_cell/conga_quick_shards2", 3, || {
-        black_box(run_fct(&cell(2)));
+        black_box(run_fct(&cell(2, CcKind::Aimd)));
     });
+    // The congestion-controller axis: the same cell under each non-default
+    // controller, so per-controller event-loop cost (ECN marking for
+    // DCTCP, cubic window math, pacing timers for BBR) accumulates a
+    // trajectory next to the AIMD baseline.
+    for (name, cc) in [
+        ("fct_cell/conga_quick_dctcp", CcKind::Dctcp),
+        ("fct_cell/conga_quick_cubic", CcKind::Cubic),
+        ("fct_cell/conga_quick_bbr", CcKind::Bbr),
+    ] {
+        r.bench_n(name, 3, || {
+            black_box(run_fct(&cell(1, cc)));
+        });
+    }
 }
 
 /// Validate one report, or compare the non-timing keys of two.

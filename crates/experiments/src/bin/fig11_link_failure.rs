@@ -68,6 +68,8 @@ fn main() {
         );
         cfg.n_flows = if args.quick { 120 } else { 300 };
         cfg.seed = args.seed;
+        cfg.cc = args.primary_cc();
+        cfg.ecn_threshold_pkts = args.ecn_threshold;
         cfg.sample_uplinks = true;
         // Sample the hotspot channel instead of the leaf-0 uplinks: rebuild
         // the channel list by hand.
@@ -154,12 +156,15 @@ fn run_fct_sampling(cfg: &FctRun, ch: ChannelId) -> (Vec<f64>, conga_telemetry::
         cfg.n_flows,
         &mut wl_rng,
     );
-    let tcp = cfg.tcp;
+    let tcp = cfg.tcp.with_cc(cfg.cc);
     let scheme = cfg.scheme;
     let arrivals =
         conga_experiments::merged_arrivals(&plan, &group_a, &group_b, |_| scheme.transport(tcp));
     let span: u64 = arrivals.iter().map(|(g, _)| g.as_nanos()).sum();
     let mut net = Network::new(topo, cfg.scheme.policy(), TransportLayer::new(), cfg.seed);
+    if let Some(e) = cfg.ecn_config() {
+        net.set_ecn(e);
+    }
     net.enable_sampling(vec![ch], SimDuration::from_millis(1));
     net.agent.attach_source(Box::new(ListSource::new(arrivals)));
     if let Some((d, tok)) = net.agent.begin_source() {

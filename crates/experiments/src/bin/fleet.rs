@@ -35,7 +35,8 @@ subcommands:
   tournament
            race every fabric policy (ECMP, CONGA, CONGA-Flow, Local, Spray,
            Weighted, LetFlow, LatencyAware) through three arenas and write
-           results/tournament.json + results/tournament_table.txt
+           results/tournament.json + results/tournament_table.txt; add
+           --cc a,b,... to race each congestion controller as an axis
   bench    time the quick suite serial / parallel / sharded / warm-cache
            and write results/BENCH_fleet.json (includes events/s and
            delivered packets/s for the serial pass)

@@ -5,6 +5,13 @@
 //! message, and [`Args::parse`] prints the message plus a usage banner and
 //! exits nonzero.
 
+use conga_transport::CcKind;
+
+/// Upper bound accepted for `--ecn-threshold`, in packets: the default
+/// 2 MiB access-queue capacity divided by the 1560 B wire size of a
+/// full-MSS segment. A threshold deeper than the queue can never mark.
+pub const ECN_THRESHOLD_MAX_PKTS: u32 = (2 << 20) / 1560;
+
 /// Parsed common arguments.
 #[derive(Clone, Debug)]
 pub struct Args {
@@ -21,6 +28,14 @@ pub struct Args {
     /// Worker threads *inside* each simulation (`--shards N`); purely a
     /// performance knob, never part of a scenario hash (default 1).
     pub shards: usize,
+    /// Congestion controllers to run (`--cc a,b,...`; default `[aimd]`).
+    /// Single-controller binaries use the first entry; the tournament
+    /// races every entry as an axis.
+    pub cc: Vec<CcKind>,
+    /// ECN marking threshold in packets (`--ecn-threshold N`); `None`
+    /// leaves the per-controller default in force (off for loss-based
+    /// controllers, ~65 packets for DCTCP).
+    pub ecn_threshold: Option<u32>,
     /// Leftover `--key value` pairs for experiment-specific options.
     extra: Vec<(String, String)>,
 }
@@ -34,6 +49,10 @@ usage: <binary> [flags]
   --jobs N            run independent cells on N worker threads (default 1)
   --shards N          worker threads inside each simulation (default 1;
                       artifacts are byte-identical for any N)
+  --cc LIST           congestion controllers, comma-separated from
+                      aimd|dctcp|cubic|bbr (default aimd)
+  --ecn-threshold N   ECN marking threshold in packets (>= 1, <= queue
+                      capacity; default: controller-specific)
   --no-cache          bypass the content-addressed result cache
   --cache-dir DIR     result-cache directory (default results/cache)
   --trace DIR         write structured event traces under DIR
@@ -63,6 +82,8 @@ impl Args {
         let mut jobs = None;
         let mut no_cache = false;
         let mut shards = 1usize;
+        let mut cc = vec![CcKind::Aimd];
+        let mut ecn_threshold = None;
         let mut extra = Vec::new();
         let mut iter = it.into_iter().peekable();
         fn want<T: std::str::FromStr>(
@@ -95,6 +116,32 @@ impl Args {
                     }
                     shards = n;
                 }
+                "--cc" => {
+                    let list = iter
+                        .next()
+                        .ok_or("--cc needs a comma-separated controller list")?;
+                    let parsed: Vec<CcKind> = list
+                        .split(',')
+                        .map(CcKind::parse)
+                        .collect::<Result<_, _>>()?;
+                    if parsed.is_empty() {
+                        return Err("--cc needs a comma-separated controller list".into());
+                    }
+                    cc = parsed;
+                }
+                "--ecn-threshold" => {
+                    let n: u32 = want(&mut iter, "--ecn-threshold", "a packet count >= 1")?;
+                    if n == 0 {
+                        return Err("--ecn-threshold needs a packet count >= 1".into());
+                    }
+                    if n > ECN_THRESHOLD_MAX_PKTS {
+                        return Err(format!(
+                            "--ecn-threshold must be <= {ECN_THRESHOLD_MAX_PKTS} packets \
+                             (the access-queue capacity)"
+                        ));
+                    }
+                    ecn_threshold = Some(n);
+                }
                 k if k.starts_with("--") => {
                     let v = iter.next().ok_or_else(|| format!("{k} needs a value"))?;
                     extra.push((k[2..].to_string(), v));
@@ -109,6 +156,8 @@ impl Args {
             jobs,
             no_cache,
             shards,
+            cc,
+            ecn_threshold,
             extra,
         })
     }
@@ -136,6 +185,12 @@ impl Args {
     /// Fleet worker threads: `--jobs N`, defaulting to serial.
     pub fn jobs_or_serial(&self) -> usize {
         self.jobs.unwrap_or(1)
+    }
+
+    /// The congestion controller for single-controller binaries: the first
+    /// `--cc` entry (the default list is `[aimd]`, so this never panics).
+    pub fn primary_cc(&self) -> CcKind {
+        self.cc.first().copied().unwrap_or(CcKind::Aimd)
     }
 }
 
@@ -245,9 +300,61 @@ mod tests {
             "--runs",
             "--jobs",
             "--shards",
+            "--cc",
+            "--ecn-threshold",
             "--no-cache",
         ] {
             assert!(USAGE.contains(flag), "usage must document {flag}");
         }
+    }
+
+    #[test]
+    fn cc_flag_parses_lists() {
+        let a = parse(&[]);
+        assert_eq!(a.cc, vec![CcKind::Aimd]);
+        assert_eq!(a.primary_cc(), CcKind::Aimd);
+        let a = parse(&["--cc", "dctcp"]);
+        assert_eq!(a.cc, vec![CcKind::Dctcp]);
+        assert_eq!(a.primary_cc(), CcKind::Dctcp);
+        let a = parse(&["--cc", "dctcp,aimd,cubic,bbr"]);
+        assert_eq!(
+            a.cc,
+            vec![CcKind::Dctcp, CcKind::Aimd, CcKind::Cubic, CcKind::Bbr]
+        );
+        assert_eq!(
+            parse_err(&["--cc"]),
+            "--cc needs a comma-separated controller list"
+        );
+        assert_eq!(
+            parse_err(&["--cc", "reno"]),
+            "unknown congestion controller 'reno' (expected aimd|dctcp|cubic|bbr)"
+        );
+    }
+
+    #[test]
+    fn ecn_threshold_is_validated_at_parse_time() {
+        let a = parse(&[]);
+        assert_eq!(a.ecn_threshold, None);
+        let a = parse(&["--ecn-threshold", "65"]);
+        assert_eq!(a.ecn_threshold, Some(65));
+        assert_eq!(
+            parse_err(&["--ecn-threshold", "0"]),
+            "--ecn-threshold needs a packet count >= 1"
+        );
+        assert_eq!(
+            parse_err(&["--ecn-threshold"]),
+            "--ecn-threshold needs a packet count >= 1"
+        );
+        assert_eq!(
+            parse_err(&["--ecn-threshold", "shallow"]),
+            "--ecn-threshold needs a packet count >= 1"
+        );
+        assert_eq!(
+            parse_err(&["--ecn-threshold", "9999"]),
+            format!(
+                "--ecn-threshold must be <= {ECN_THRESHOLD_MAX_PKTS} packets \
+                 (the access-queue capacity)"
+            )
+        );
     }
 }

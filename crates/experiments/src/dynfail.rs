@@ -269,6 +269,7 @@ pub fn run_dynamic_failure(spec: &DynFailSpec) -> DynFailOutcome {
         spec.seed,
         spec.shards,
         spec.queue,
+        None,
         spec.trace.as_ref(),
         &faults,
         &abs_arrivals,

@@ -264,7 +264,20 @@ pub fn fct_sweep(
                 cfg.faults = faults.clone();
                 cfg.trace = tracing.as_ref().map(|t| t.spec.clone());
                 cfg.shards = args.shards;
-                let label = format!("{}.load{:02.0}.r{r}", scheme.name(), load * 100.0);
+                cfg.cc = args.primary_cc();
+                cfg.ecn_threshold_pkts = args.ecn_threshold;
+                // The default controller keeps historical labels (and so
+                // sidecar paths) unchanged; alternates are called out.
+                let label = if cfg.cc == conga_transport::CcKind::Aimd {
+                    format!("{}.load{:02.0}.r{r}", scheme.name(), load * 100.0)
+                } else {
+                    format!(
+                        "{}.{}.load{:02.0}.r{r}",
+                        scheme.name(),
+                        cfg.cc.name(),
+                        load * 100.0
+                    )
+                };
                 cells.push(fct_cell(figure, &label, cfg, args.quick, tracing.clone()));
             }
         }

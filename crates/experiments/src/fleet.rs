@@ -205,13 +205,23 @@ pub fn fct_scenario(figure: &str, label: &str, cfg: &FctRun, quick: bool) -> Sce
             up: f.up,
         })
         .collect();
-    s.with_extra("tcp.mss", cfg.tcp.mss)
+    let mut s = s
+        .with_extra("tcp.mss", cfg.tcp.mss)
         .with_extra("tcp.init_cwnd", cfg.tcp.init_cwnd)
         .with_extra("tcp.min_rto_ns", cfg.tcp.min_rto.as_nanos())
         .with_extra("tcp.max_rto_ns", cfg.tcp.max_rto.as_nanos())
         .with_extra("tcp.dupack", cfg.tcp.dupack_thresh)
         .with_extra("tcp.max_burst", cfg.tcp.max_burst)
-        .with_extra("tcp.rwnd", cfg.tcp.rwnd)
+        .with_extra("tcp.rwnd", cfg.tcp.rwnd);
+    // Controller and marking knobs reach the hash only when they change
+    // behavior, mirroring the report-meta policy.
+    if cfg.cc != conga_transport::CcKind::Aimd {
+        s = s.with_extra("cc", cfg.cc.name());
+    }
+    if let Some(pkts) = cfg.effective_ecn_pkts() {
+        s = s.with_extra("ecn_threshold_pkts", pkts);
+    }
+    s
 }
 
 /// Build the standard FCT cell: runs [`run_fct`], exports trace sidecars
@@ -312,6 +322,29 @@ mod tests {
             fct_scenario("figX", "a", &cfg, true).content_hash()
         };
         assert_ne!(a, d, "tcp overrides must reach the hash");
+    }
+
+    #[test]
+    fn cc_and_ecn_reach_the_scenario_hash() {
+        let a = fct_scenario("figX", "a", &tiny_cfg(1), true).content_hash();
+        let b = {
+            let mut cfg = tiny_cfg(1);
+            cfg.cc = conga_transport::CcKind::Dctcp;
+            fct_scenario("figX", "a", &cfg, true).content_hash()
+        };
+        assert_ne!(a, b, "cc must reach the hash");
+        let c = {
+            let mut cfg = tiny_cfg(1);
+            cfg.cc = conga_transport::CcKind::Dctcp;
+            cfg.ecn_threshold_pkts = Some(20);
+            fct_scenario("figX", "a", &cfg, true).content_hash()
+        };
+        assert_ne!(b, c, "ecn threshold must reach the hash");
+        // The AIMD default stamps no extra keys, so the pre-subsystem
+        // canonical form is unchanged apart from the version line.
+        let canon = fct_scenario("figX", "a", &tiny_cfg(1), true).canonical();
+        assert!(!canon.contains("x.cc="));
+        assert!(!canon.contains("x.ecn_threshold_pkts="));
     }
 
     #[test]

@@ -4,12 +4,13 @@
 use conga_analysis::fct::{ideal_fct_s, summarize, FctSample, FctSummary};
 use conga_core::FabricPolicy;
 use conga_net::{
-    ChannelId, HostId, LeafSpineBuilder, Network, ShardedNetwork, Topology, WIRE_OVERHEAD,
+    ChannelId, EcnConfig, HostId, LeafSpineBuilder, Network, ShardedNetwork, Topology,
+    WIRE_OVERHEAD,
 };
 use conga_sim::{QueueKind, SimDuration, SimRng, SimTime};
 use conga_telemetry::{RunReport, SeriesRegistry};
 use conga_transport::{
-    FlowRecord, FlowSpec, MptcpConfig, TcpConfig, TransportKind, TransportLayer,
+    CcKind, FlowRecord, FlowSpec, MptcpConfig, TcpConfig, TransportKind, TransportLayer,
 };
 use conga_workloads::{FlowSizeDist, PoissonPlan};
 
@@ -269,6 +270,12 @@ pub struct FctRun {
     pub seed: u64,
     /// TCP parameters.
     pub tcp: TcpConfig,
+    /// Congestion controller every flow runs (`cc.with_cc` is applied to
+    /// `tcp` at run time, so `tcp.cc` need not be kept in sync).
+    pub cc: CcKind,
+    /// ECN marking threshold in packets; `None` = the controller default
+    /// ([`DCTCP_DEFAULT_ECN_PKTS`] for DCTCP, ECN off otherwise).
+    pub ecn_threshold_pkts: Option<u32>,
     /// Enable 10 ms synchronous sampling of Leaf 0's uplinks (Figure 12) /
     /// queue statistics.
     pub sample_uplinks: bool,
@@ -300,6 +307,8 @@ impl FctRun {
             n_flows: 2000,
             seed: 1,
             tcp: TcpConfig::standard(),
+            cc: CcKind::Aimd,
+            ecn_threshold_pkts: None,
             sample_uplinks: false,
             faults: Vec::new(),
             trace: None,
@@ -310,7 +319,30 @@ impl FctRun {
             shards: 1,
         }
     }
+
+    /// The ECN threshold actually in force for this run, in packets:
+    /// the explicit `ecn_threshold_pkts` if set, the DCTCP default when
+    /// running DCTCP, `None` (marking off) otherwise.
+    pub fn effective_ecn_pkts(&self) -> Option<u32> {
+        self.ecn_threshold_pkts.or(match self.cc {
+            CcKind::Dctcp => Some(DCTCP_DEFAULT_ECN_PKTS),
+            _ => None,
+        })
+    }
+
+    /// The [`EcnConfig`] this run installs on every domain, if any: the
+    /// packet threshold scaled by the full wire size of an MSS segment.
+    pub fn ecn_config(&self) -> Option<EcnConfig> {
+        self.effective_ecn_pkts().map(|pkts| EcnConfig {
+            threshold_bytes: pkts as u64 * (self.tcp.mss + WIRE_OVERHEAD) as u64,
+        })
+    }
 }
+
+/// The DCTCP marking threshold used when `--ecn-threshold` is not given:
+/// 65 full-MSS packets, the K the paper's testbed uses for 10 G edges
+/// (DCTCP paper §3; ~100 KB of queue).
+pub const DCTCP_DEFAULT_ECN_PKTS: u32 = 65;
 
 /// What an FCT run produced.
 #[derive(Clone, Debug)]
@@ -458,6 +490,7 @@ impl ShardedRun {
         seed: u64,
         shards: usize,
         queue: QueueKind,
+        ecn: Option<EcnConfig>,
         trace: Option<&TraceSpec>,
         faults: &[LinkFaultSpec],
         arrivals: &[(SimTime, FlowSpec)],
@@ -469,6 +502,11 @@ impl ShardedRun {
         let mut tracer_parts = Vec::new();
         net.each(|d, n| {
             n.set_queue_kind(queue);
+            // Every domain marks the enqueues it owns; installing the same
+            // config everywhere keeps replicas in lock-step.
+            if let Some(e) = ecn {
+                n.set_ecn(e);
+            }
             if let Some(cfg) = &trace_cfg {
                 let h = conga_trace::TraceHandle::recording(cfg.clone());
                 n.set_tracer(h.clone());
@@ -580,7 +618,7 @@ pub fn run_fct_with_policy(cfg: &FctRun, policy: FabricPolicy) -> FctOutcome {
         .min(base_topo.access_capacity(conga_net::LeafId(0)));
 
     let mut wl_rng = SimRng::new(cfg.seed.wrapping_mul(0x9E37_79B9) ^ 0xC04A);
-    let tcp = cfg.tcp;
+    let tcp = cfg.tcp.with_cc(cfg.cc);
     let scheme = cfg.scheme;
     let arrivals = if topo.n_leaves == 2 {
         // The paper's testbed pattern: clients under leaf 0 use servers
@@ -626,6 +664,7 @@ pub fn run_fct_with_policy(cfg: &FctRun, policy: FabricPolicy) -> FctOutcome {
         cfg.seed,
         cfg.shards,
         cfg.queue,
+        cfg.ecn_config(),
         cfg.trace.as_ref(),
         &cfg.faults,
         &abs_arrivals,
@@ -758,6 +797,14 @@ fn fct_meta(cfg: &FctRun, policy_name: &str, end: SimTime) -> RunReport {
     report.set_meta("seed", cfg.seed.to_string());
     report.set_meta("load", format!("{}", cfg.load));
     report.set_meta("n_flows", cfg.n_flows.to_string());
+    // Only non-default controller setups stamp extra keys, so pre-existing
+    // AIMD reports (and their goldens) are byte-identical.
+    if cfg.cc != CcKind::Aimd {
+        report.set_meta("cc", cfg.cc.name());
+    }
+    if let Some(pkts) = cfg.effective_ecn_pkts() {
+        report.set_meta("ecn_threshold_pkts", pkts.to_string());
+    }
     report.set_meta(
         "topology",
         format!(

@@ -3,11 +3,11 @@
 //!
 //! Three arenas (enterprise and data-mining workloads on the baseline
 //! testbed, plus the enterprise workload on the Figure-7(b) asymmetric
-//! fabric) × a load sweep × every policy in [`Scheme::TOURNAMENT`]. Each
-//! cell is an ordinary cached FCT cell, so warm re-runs are pure cache
-//! hits and the merged artifacts — `results/tournament.json` and
-//! `results/tournament_table.txt` — are byte-identical for any `--jobs`,
-//! `--shards`, or cache state.
+//! fabric) × a load sweep × every `--cc` congestion controller × every
+//! policy in [`Scheme::TOURNAMENT`]. Each cell is an ordinary cached FCT
+//! cell, so warm re-runs are pure cache hits and the merged artifacts —
+//! `results/tournament.json` and `results/tournament_table.txt` — are
+//! byte-identical for any `--jobs`, `--shards`, or cache state.
 
 use crate::cli::{banner, Args};
 use crate::figures::{loads_arg, write_json_f64};
@@ -104,49 +104,57 @@ pub fn run(args: &Args) -> bool {
     let opts = FleetOpts::from_args(args, false);
 
     let arenas = arenas();
+    let ccs = &args.cc;
     let mut cells = Vec::new();
     for (arena, topo, dist) in &arenas {
         let topo = if args.quick { topo.quick() } else { *topo };
         for &load in &loads {
-            for scheme in Scheme::TOURNAMENT {
-                let mut cfg = FctRun::new(topo, scheme, dist.clone(), load);
-                cfg.n_flows = n_flows;
-                cfg.seed = args.seed;
-                cfg.shards = args.shards;
-                let figure = format!("tournament_{arena}");
-                let label = format!("{}.load{:02.0}", scheme.name(), load * 100.0);
-                cells.push(tournament_cell(&figure, &label, cfg, args.quick, &loads));
+            for &cc in ccs {
+                for scheme in Scheme::TOURNAMENT {
+                    let mut cfg = FctRun::new(topo, scheme, dist.clone(), load);
+                    cfg.n_flows = n_flows;
+                    cfg.seed = args.seed;
+                    cfg.shards = args.shards;
+                    cfg.cc = cc;
+                    cfg.ecn_threshold_pkts = args.ecn_threshold;
+                    let figure = format!("tournament_{arena}");
+                    let label =
+                        format!("{}.{}.load{:02.0}", scheme.name(), cc.name(), load * 100.0);
+                    cells.push(tournament_cell(&figure, &label, cfg, args.quick, &loads));
+                }
             }
         }
     }
     let results = run_cells(cells, &opts);
 
-    // Merge in build order: one comparison group per (arena, load).
+    // Merge in build order: one comparison group per (arena, load, cc).
     let mut tables: Vec<GroupTable> = Vec::new();
     let mut it = results.iter();
     for (arena, _, _) in &arenas {
         for &load in &loads {
-            let group: Vec<PolicyCell> = Scheme::TOURNAMENT
-                .iter()
-                .map(|s| {
-                    let cell = it.next().expect("one result per cell");
-                    PolicyCell {
-                        policy: s.key().to_string(),
-                        summary: cell.summary,
-                        decisions: cell.value("decisions") as u64,
-                    }
-                })
-                .collect();
-            tables.push(compare(
-                &format!("{arena}/load{:02.0}", load * 100.0),
-                &group,
-            ));
+            for &cc in ccs {
+                let group: Vec<PolicyCell> = Scheme::TOURNAMENT
+                    .iter()
+                    .map(|s| {
+                        let cell = it.next().expect("one result per cell");
+                        PolicyCell {
+                            policy: s.key().to_string(),
+                            summary: cell.summary,
+                            decisions: cell.value("decisions") as u64,
+                        }
+                    })
+                    .collect();
+                tables.push(compare(
+                    &format!("{arena}/{}/load{:02.0}", cc.name(), load * 100.0),
+                    &group,
+                ));
+            }
         }
     }
 
     let table_text = render(&tables);
     print!("{table_text}");
-    let json = to_json(&loads, &arenas, &tables);
+    let json = to_json(&loads, ccs, &arenas, &tables);
     let mut ok = true;
     for (path, text) in [
         (PathBuf::from("results/tournament.json"), &json),
@@ -170,6 +178,7 @@ pub fn run(args: &Args) -> bool {
 /// is fixed by construction: arenas × loads × the tournament policy order).
 fn to_json(
     loads: &[f64],
+    ccs: &[conga_transport::CcKind],
     arenas: &[(&'static str, TestbedOpts, FlowSizeDist)],
     tables: &[GroupTable],
 ) -> String {
@@ -180,6 +189,13 @@ fn to_json(
             out.push_str(", ");
         }
         let _ = write!(out, "\"{}\"", s.key());
+    }
+    out.push_str("],\n  \"ccs\": [");
+    for (i, c) in ccs.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        let _ = write!(out, "\"{}\"", c.name());
     }
     out.push_str("],\n  \"loads\": [");
     for (i, l) in loads.iter().enumerate() {

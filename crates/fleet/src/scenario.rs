@@ -28,7 +28,10 @@ use std::fmt::Write as _;
 /// Version tag folded into every canonical serialization. Bump on any
 /// change to simulation semantics or to the cached result layout: old
 /// cache entries then miss instead of serving stale data.
-pub const CACHE_FORMAT_VERSION: u32 = 4;
+///
+/// v5: pluggable congestion controllers (`x.cc`) and ECN marking
+/// (`x.ecn_threshold_pkts`) reach the dataplane.
+pub const CACHE_FORMAT_VERSION: u32 = 5;
 
 /// The topology of a cell, mirroring the experiment harness's testbed
 /// options as plain data.

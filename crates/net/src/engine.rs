@@ -242,6 +242,31 @@ pub struct EngineStats {
     pub events: u64,
 }
 
+/// ECN marking configuration: a data packet that joins a queue already
+/// holding at least `threshold_bytes` gets its CE bit set (instantaneous
+/// queue-length marking on enqueue, as DCTCP prescribes). Applies to every
+/// queue in the fabric; disabled unless installed with
+/// [`Network::set_ecn`].
+#[derive(Clone, Copy, Debug)]
+pub struct EcnConfig {
+    /// Mark when the target queue holds at least this many bytes.
+    pub threshold_bytes: u64,
+}
+
+/// Marking state + counters (one per engine; in a sharded run each domain
+/// marks only the enqueues it owns, so the counters merge by sum).
+#[derive(Clone, Copy, Debug)]
+struct EcnState {
+    threshold_bytes: u64,
+    /// Data-packet enqueues that newly set the CE mark.
+    marked: u64,
+    /// Data-packet enqueues examined for marking.
+    seen: u64,
+    /// Counter values at the previous sampling boundary (windowed series).
+    last_marked: u64,
+    last_seen: u64,
+}
+
 /// The simulated network.
 pub struct Network<D: Dataplane, A: HostAgent> {
     /// Fabric description (immutable during a run).
@@ -305,6 +330,10 @@ pub struct Network<D: Dataplane, A: HostAgent> {
     /// Shard identity when this network models one domain of a sharded
     /// run; `None` for the classic monolithic engine.
     shard: Option<ShardCtx>,
+    /// ECN marking; `None` (the default) leaves every CE bit untouched and
+    /// exports no ECN counters, keeping non-ECN reports byte-identical to
+    /// pre-ECN baselines.
+    ecn: Option<EcnState>,
 }
 
 impl<D: Dataplane, A: HostAgent> Network<D, A> {
@@ -344,7 +373,21 @@ impl<D: Dataplane, A: HostAgent> Network<D, A> {
             tracer: TraceHandle::disabled(),
             faults_scheduled: false,
             shard: None,
+            ecn: None,
         }
+    }
+
+    /// Enable ECN marking at every queue. Call before injecting traffic;
+    /// sharded runs install the same config in every domain (each domain
+    /// marks only the enqueues it owns, so counters merge by sum).
+    pub fn set_ecn(&mut self, cfg: EcnConfig) {
+        self.ecn = Some(EcnState {
+            threshold_bytes: cfg.threshold_bytes,
+            marked: 0,
+            seen: 0,
+            last_marked: 0,
+            last_seen: 0,
+        });
     }
 
     /// Install a shard identity (see [`ShardCtx`]). Call right after
@@ -455,6 +498,12 @@ impl<D: Dataplane, A: HostAgent> Network<D, A> {
         if self.faults_scheduled {
             reg.set_counter("net.blackholed_packets", self.stats.blackholed);
             reg.set_counter("net.fault_transitions", self.stats.fault_transitions);
+        }
+        // ECN counters appear only when marking was enabled, for the same
+        // reason as the fault-domain counters above.
+        if let Some(e) = &self.ecn {
+            reg.set_counter("net.ecn_marked_pkts", e.marked);
+            reg.set_counter("net.ecn_seen_pkts", e.seen);
         }
         // Conservation residue: packets injected but neither delivered,
         // dropped, declared unroutable, nor blackholed by a dead link —
@@ -751,6 +800,17 @@ impl<D: Dataplane, A: HostAgent> Network<D, A> {
                     .record(&format!("port.{:04}.util", ch.idx()), self.now, util);
             }
         }
+        // Windowed ECN mark counts (deltas, so domain merges stay additive;
+        // the mark *fraction* is derived after merging). Recorded every
+        // tick — zeros included — so windows align across shard domains.
+        if let Some(e) = &mut self.ecn {
+            let dm = (e.marked - e.last_marked) as f64;
+            let ds = (e.seen - e.last_seen) as f64;
+            e.last_marked = e.marked;
+            e.last_seen = e.seen;
+            self.series.record("ecn.marked_pkts", self.now, dm);
+            self.series.record("ecn.enqueued_pkts", self.now, ds);
+        }
         self.dataplane.sample_series(self.now, &mut self.series);
         self.agent.sample_series(self.now, &mut self.series);
         if let Some(every) = self.sample_every {
@@ -886,7 +946,19 @@ impl<D: Dataplane, A: HostAgent> Network<D, A> {
         }
     }
 
-    fn enqueue(&mut self, ch: ChannelId, pkt: Packet) {
+    fn enqueue(&mut self, ch: ChannelId, mut pkt: Packet) {
+        // ECN: mark on enqueue against the instantaneous queue depth. This
+        // runs in whichever domain owns the target port, exactly once per
+        // hop, so marking decisions and counters are shard-invariant.
+        if let Some(e) = &mut self.ecn {
+            if pkt.is_data() {
+                e.seen += 1;
+                if !pkt.ecn_ce && self.ports[ch.idx()].queued_bytes() >= e.threshold_bytes {
+                    pkt.ecn_ce = true;
+                    e.marked += 1;
+                }
+            }
+        }
         let traced = self.tracer.wants_flow(pkt.flow);
         // The port consumes the packet; capture identity first if traced.
         let (pid, flow, size) = (pkt.id, pkt.flow, pkt.size);

@@ -17,7 +17,8 @@ mod shard;
 mod topology;
 
 pub use engine::{
-    inject, Dataplane, Emitter, EngineStats, HostAgent, Network, SampleLog, ShardCtx, SinkAgent,
+    inject, Dataplane, EcnConfig, Emitter, EngineStats, HostAgent, Network, SampleLog, ShardCtx,
+    SinkAgent,
 };
 pub use ids::{ChannelId, HostId, LeafId, NodeId, SpineId};
 pub use packet::{

@@ -154,6 +154,13 @@ pub struct Packet {
     /// Overlay encapsulation; `None` until the source leaf encapsulates, and
     /// for traffic that never crosses the fabric.
     pub overlay: Option<Overlay>,
+    /// ECN congestion-experienced mark: set by a switch when this data
+    /// packet joined a queue deeper than the marking threshold (distinct
+    /// from the CONGA overlay's `ce` congestion-extent field).
+    pub ecn_ce: bool,
+    /// ECN echo on ACKs: the receiver copies the data packet's `ecn_ce`
+    /// here so the sender's controller sees the mark.
+    pub ecn_echo: bool,
 }
 
 impl Packet {
@@ -184,6 +191,8 @@ impl Packet {
             ts_echo: now,
             sack: SackBlocks::default(),
             overlay: None,
+            ecn_ce: false,
+            ecn_echo: false,
         }
     }
 
@@ -212,6 +221,8 @@ impl Packet {
             ts_echo: ts,
             sack: SackBlocks::default(),
             overlay: None,
+            ecn_ce: false,
+            ecn_echo: false,
         }
     }
 

@@ -1,0 +1,132 @@
+//! NewReno-style AIMD — the arithmetic extracted verbatim from the
+//! pre-refactor `TcpTx`, so that `CcKind::Aimd` runs are byte-identical
+//! to the historical goldens (pinned by `tests/hotpath.rs`).
+
+use super::{AckCtx, CongestionController};
+use crate::config::TcpConfig;
+
+/// Additive-increase/multiplicative-decrease with byte-counting slow
+/// start, NewReno recovery deflation, and optional MPTCP LIA coupling.
+#[derive(Clone, Debug)]
+pub struct Aimd {
+    cwnd: f64,
+    ssthresh: f64,
+    mss: f64,
+}
+
+impl Aimd {
+    /// The initial window the config prescribes.
+    pub fn new(cfg: &TcpConfig) -> Self {
+        Aimd {
+            cwnd: (cfg.init_cwnd * cfg.mss) as f64,
+            ssthresh: f64::MAX,
+            mss: cfg.mss as f64,
+        }
+    }
+}
+
+impl CongestionController for Aimd {
+    fn name(&self) -> &'static str {
+        "aimd"
+    }
+
+    fn cwnd(&self) -> f64 {
+        self.cwnd
+    }
+
+    fn ssthresh(&self) -> f64 {
+        self.ssthresh
+    }
+
+    fn on_bytes_acked(&mut self, _ctx: &AckCtx) {}
+
+    fn on_ack(&mut self, ctx: &AckCtx) {
+        if self.cwnd < self.ssthresh {
+            // Slow start: byte-counting increase.
+            self.cwnd += ctx.acked;
+            if self.cwnd > self.ssthresh {
+                self.cwnd = self.ssthresh;
+            }
+        } else {
+            // Congestion avoidance.
+            let inc = match ctx.lia {
+                // LIA: min(alpha·acked·mss / cwnd_total, acked·mss / cwnd_i)
+                Some(l) => {
+                    let coupled = l.alpha * ctx.acked * self.mss / l.cwnd_total;
+                    let uncoupled = ctx.acked * self.mss / self.cwnd;
+                    coupled.min(uncoupled)
+                }
+                None => ctx.acked * self.mss / self.cwnd,
+            };
+            self.cwnd += inc;
+        }
+    }
+
+    fn on_ecn(&mut self, _ctx: &AckCtx) {
+        // Loss-based: congestion marks are ignored (the historical
+        // behaviour; DCTCP is the ECN-reactive controller).
+    }
+
+    fn on_loss(&mut self, flight: f64) {
+        self.ssthresh = (flight / 2.0).max(2.0 * self.mss);
+        self.cwnd = self.ssthresh;
+    }
+
+    fn on_partial_ack(&mut self, acked: f64) {
+        // NewReno deflation: shrink by the amount ACKed, inflate by one
+        // MSS for the segment that left the network.
+        self.cwnd = (self.cwnd - acked + self.mss).max(self.mss);
+    }
+
+    fn on_recovery_exit(&mut self) {
+        self.cwnd = self.ssthresh;
+    }
+
+    fn on_rto(&mut self, flight: f64) {
+        self.ssthresh = (flight / 2.0).max(2.0 * self.mss);
+        self.cwnd = self.mss;
+    }
+
+    fn force_window(&mut self, cwnd: f64, ssthresh: f64) {
+        self.cwnd = cwnd;
+        self.ssthresh = ssthresh;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use conga_sim::SimTime;
+
+    fn ctx(acked: f64) -> AckCtx {
+        AckCtx {
+            acked,
+            ack: acked as u64,
+            next_seq: acked as u64,
+            now: SimTime::from_micros(50),
+            rtt_ns: Some(50_000.0),
+            ecn_echo: false,
+            lia: None,
+        }
+    }
+
+    #[test]
+    fn slow_start_counts_bytes_and_caps_at_ssthresh() {
+        let mut c = Aimd::new(&TcpConfig::standard());
+        c.force_window(1460.0, 4000.0);
+        c.on_ack(&ctx(1460.0));
+        assert_eq!(c.cwnd(), 2920.0);
+        c.on_ack(&ctx(2920.0));
+        assert_eq!(c.cwnd(), 4000.0, "capped at ssthresh");
+    }
+
+    #[test]
+    fn loss_halves_flight_and_rto_collapses() {
+        let mut c = Aimd::new(&TcpConfig::standard());
+        c.on_loss(14_600.0);
+        assert_eq!(c.ssthresh(), 7300.0);
+        assert_eq!(c.cwnd(), 7300.0);
+        c.on_rto(14_600.0);
+        assert_eq!(c.cwnd(), 1460.0);
+    }
+}

@@ -1,0 +1,297 @@
+//! A BBR-style model-based controller (Cardwell et al., CACM 2017):
+//! instead of reacting to loss or marks, continuously estimate the path's
+//! bottleneck bandwidth and round-trip propagation delay, then run the
+//! pipe at their product.
+//!
+//! Simplifications relative to production BBR (deliberate, to stay
+//! deterministic and reviewable):
+//!
+//! * Delivery-rate samples are taken once per *round* (a round ends when
+//!   the cumulative ACK passes the `next_seq` captured at the previous
+//!   round's end), not per ACK, and fed to a max-filter over the last
+//!   [`BW_FILTER_LEN`] rounds.
+//! * `min_rtt` is a running minimum of the RTT samples — experiment
+//!   timescales here are milliseconds, so there is no 10-second
+//!   re-probe.
+//! * Two phases: **startup** (pacing gain 2/ln 2 until the bandwidth
+//!   estimate stops growing for three rounds) and **cruise**, which walks
+//!   the classic eight-slot gain cycle `[1.25, 0.75, 1, 1, 1, 1, 1, 1]`
+//!   one slot per round to probe and then drain.
+//!
+//! The pacing rate ([`CongestionController::pacing_rate_bps`]) is
+//! enforced by the transport layer through the event queue; `cwnd` acts
+//! only as a BDP-proportional cap on outstanding data. Loss leaves the
+//! model untouched (ssthresh tracks cwnd so the recovery state machine
+//! stays well-formed); RTO collapses to one segment like every other
+//! controller so go-back-N restarts cleanly.
+
+use super::{AckCtx, CongestionController};
+use crate::config::TcpConfig;
+use conga_sim::SimTime;
+
+/// Rounds of history the bottleneck-bandwidth max-filter keeps.
+const BW_FILTER_LEN: usize = 10;
+/// Startup pacing gain, 2/ln 2 — doubles the sending rate each round.
+const STARTUP_GAIN: f64 = 2.885;
+/// Cruise-phase pacing-gain cycle, one slot per round.
+const GAIN_CYCLE: [f64; 8] = [1.25, 0.75, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0];
+/// Startup ends when bandwidth grows less than this across a round…
+const FULL_BW_GROWTH: f64 = 1.25;
+/// …for this many consecutive rounds.
+const FULL_BW_ROUNDS: u32 = 3;
+/// The cwnd is this many BDPs (headroom for ACK aggregation).
+const CWND_GAIN: f64 = 2.0;
+
+/// BBR-style: delivery-rate model, min-RTT floor, paced sending.
+#[derive(Clone, Debug)]
+pub struct Bbr {
+    cwnd: f64,
+    ssthresh: f64,
+    mss: f64,
+    /// Max-filter ring over per-round delivery-rate samples, bits/sec.
+    bw_samples: [f64; BW_FILTER_LEN],
+    bw_head: usize,
+    /// Running minimum RTT, seconds (`f64::MAX` until the first sample).
+    min_rtt_s: f64,
+    /// The round closes when the cumulative ACK reaches this sequence.
+    round_end_seq: u64,
+    /// Bytes delivered (cum-ACKed) during the current round.
+    round_delivered: f64,
+    /// When the current round started.
+    round_start: SimTime,
+    /// True until startup detects the bandwidth plateau.
+    in_startup: bool,
+    /// Plateau detection: best bandwidth seen and rounds without growth.
+    full_bw: f64,
+    full_bw_rounds: u32,
+    /// Cruise gain-cycle position.
+    cycle_idx: usize,
+}
+
+impl Bbr {
+    /// A fresh model; behaves like slow start until the first round of
+    /// delivery-rate data arrives.
+    pub fn new(cfg: &TcpConfig) -> Self {
+        Bbr {
+            cwnd: (cfg.init_cwnd * cfg.mss) as f64,
+            ssthresh: f64::MAX,
+            mss: cfg.mss as f64,
+            bw_samples: [0.0; BW_FILTER_LEN],
+            bw_head: 0,
+            min_rtt_s: f64::MAX,
+            round_end_seq: 0,
+            round_delivered: 0.0,
+            round_start: SimTime::ZERO,
+            in_startup: true,
+            full_bw: 0.0,
+            full_bw_rounds: 0,
+            cycle_idx: 0,
+        }
+    }
+
+    /// Best bandwidth estimate across the filter window, bits/sec.
+    fn btl_bw(&self) -> f64 {
+        self.bw_samples.iter().cloned().fold(0.0, f64::max)
+    }
+
+    /// The current pacing gain for the phase the model is in.
+    fn pacing_gain(&self) -> f64 {
+        if self.in_startup {
+            STARTUP_GAIN
+        } else {
+            GAIN_CYCLE[self.cycle_idx]
+        }
+    }
+
+    /// Bandwidth-delay product in bytes, if both estimates exist.
+    fn bdp_bytes(&self) -> Option<f64> {
+        let bw = self.btl_bw();
+        if bw <= 0.0 || self.min_rtt_s == f64::MAX {
+            return None;
+        }
+        Some(bw * self.min_rtt_s / 8.0)
+    }
+
+    /// Close a round: record the delivery-rate sample, advance the phase
+    /// machinery, and re-derive the window.
+    fn end_round(&mut self, ctx: &AckCtx) {
+        let dt = ctx.now.saturating_since(self.round_start).as_nanos() as f64 / 1e9;
+        if dt > 0.0 && self.round_delivered > 0.0 {
+            let sample_bps = self.round_delivered * 8.0 / dt;
+            self.bw_samples[self.bw_head] = sample_bps;
+            self.bw_head = (self.bw_head + 1) % BW_FILTER_LEN;
+        }
+        if self.in_startup {
+            // Plateau detection: three rounds without 1.25x growth.
+            let bw = self.btl_bw();
+            if bw > self.full_bw * FULL_BW_GROWTH {
+                self.full_bw = bw;
+                self.full_bw_rounds = 0;
+            } else {
+                self.full_bw_rounds += 1;
+                if self.full_bw_rounds >= FULL_BW_ROUNDS {
+                    self.in_startup = false;
+                    self.cycle_idx = 0;
+                }
+            }
+        } else {
+            self.cycle_idx = (self.cycle_idx + 1) % GAIN_CYCLE.len();
+        }
+        if let Some(bdp) = self.bdp_bytes() {
+            self.cwnd = (CWND_GAIN * bdp).max(4.0 * self.mss);
+        }
+        self.round_delivered = 0.0;
+        self.round_start = ctx.now;
+        self.round_end_seq = ctx.next_seq;
+    }
+}
+
+impl CongestionController for Bbr {
+    fn name(&self) -> &'static str {
+        "bbr"
+    }
+
+    fn cwnd(&self) -> f64 {
+        self.cwnd
+    }
+
+    fn ssthresh(&self) -> f64 {
+        self.ssthresh
+    }
+
+    fn on_bytes_acked(&mut self, ctx: &AckCtx) {
+        self.round_delivered += ctx.acked;
+        if let Some(rtt) = ctx.rtt_ns {
+            let rtt_s = rtt / 1e9;
+            if rtt_s < self.min_rtt_s {
+                self.min_rtt_s = rtt_s;
+            }
+        }
+        if ctx.ack >= self.round_end_seq {
+            self.end_round(ctx);
+        }
+    }
+
+    fn on_ack(&mut self, ctx: &AckCtx) {
+        // Until the model produces its first bandwidth sample, open the
+        // window exponentially so delivery-rate data exists to measure.
+        if self.btl_bw() <= 0.0 {
+            self.cwnd += ctx.acked;
+        }
+    }
+
+    fn on_ecn(&mut self, _ctx: &AckCtx) {
+        // Rate-based: marks don't move the model.
+    }
+
+    fn on_loss(&mut self, _flight: f64) {
+        // The model, not the loss event, sets the rate; keep ssthresh
+        // consistent so the recovery state machine's bookkeeping holds.
+        self.ssthresh = self.cwnd;
+    }
+
+    fn on_partial_ack(&mut self, _acked: f64) {}
+
+    fn on_recovery_exit(&mut self) {}
+
+    fn on_rto(&mut self, _flight: f64) {
+        // Total loss of the ACK clock: restart from one segment and
+        // forget the in-progress round (its sample would be garbage).
+        self.ssthresh = self.cwnd;
+        self.cwnd = self.mss;
+        self.round_delivered = 0.0;
+    }
+
+    fn pacing_rate_bps(&self) -> Option<f64> {
+        let bw = self.btl_bw();
+        if bw > 0.0 {
+            Some(self.pacing_gain() * bw)
+        } else {
+            None
+        }
+    }
+
+    fn force_window(&mut self, cwnd: f64, ssthresh: f64) {
+        self.cwnd = cwnd;
+        self.ssthresh = ssthresh;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ctx(acked: f64, ack: u64, next_seq: u64, now_us: u64, rtt_ns: f64) -> AckCtx {
+        AckCtx {
+            acked,
+            ack,
+            next_seq,
+            now: SimTime::from_micros(now_us),
+            rtt_ns: Some(rtt_ns),
+            ecn_echo: false,
+            lia: None,
+        }
+    }
+
+    /// Drive `n` more rounds of a steady 1 MB-per-10ms delivery pattern,
+    /// continuing from the caller's (seq, time) cursor so consecutive
+    /// calls extend one contiguous delivery trace.
+    fn steady_rounds(b: &mut Bbr, seq: &mut u64, t_us: &mut u64, n: usize) {
+        for _ in 0..n {
+            *seq += 1_000_000;
+            *t_us += 10_000;
+            b.on_bytes_acked(&ctx(1_000_000.0, *seq, *seq + 1_000_000, *t_us, 100_000.0));
+        }
+    }
+
+    #[test]
+    fn delivery_rate_reaches_the_max_filter() {
+        let mut b = Bbr::new(&TcpConfig::standard());
+        let (mut seq, mut t) = (0u64, 0u64);
+        steady_rounds(&mut b, &mut seq, &mut t, 3);
+        // 1 MB / 10 ms = 800 Mbit/s.
+        assert!((b.btl_bw() - 800e6).abs() / 800e6 < 1e-9);
+        assert_eq!(b.min_rtt_s, 1e-4);
+    }
+
+    #[test]
+    fn startup_exits_after_three_flat_rounds_and_cycles_gain() {
+        let mut b = Bbr::new(&TcpConfig::standard());
+        let (mut seq, mut t) = (0u64, 0u64);
+        assert!(b.pacing_rate_bps().is_none(), "no model, no pacing");
+        steady_rounds(&mut b, &mut seq, &mut t, 2);
+        assert!(b.in_startup);
+        // Flat bandwidth: the third no-growth round trips the plateau
+        // detector, landing on cycle slot 0 (probe).
+        steady_rounds(&mut b, &mut seq, &mut t, 2);
+        assert!(!b.in_startup, "plateau ends startup");
+        let r0 = b.pacing_rate_bps().expect("model built");
+        assert!((r0 - GAIN_CYCLE[0] * 800e6).abs() / 800e6 < 1e-6);
+        steady_rounds(&mut b, &mut seq, &mut t, 1);
+        let r1 = b.pacing_rate_bps().expect("model built");
+        assert!(r1 < r0, "probe then drain: {r1} !< {r0}");
+    }
+
+    #[test]
+    fn cwnd_tracks_the_bdp() {
+        let mut b = Bbr::new(&TcpConfig::standard());
+        let (mut seq, mut t) = (0u64, 0u64);
+        steady_rounds(&mut b, &mut seq, &mut t, 6);
+        // BDP = 800e6 bps * 100us / 8 = 10 kB; cwnd = 2 BDP.
+        assert!((b.cwnd() - 2.0 * 10_000.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn loss_keeps_the_model_but_rto_restarts() {
+        let mut b = Bbr::new(&TcpConfig::standard());
+        let (mut seq, mut t) = (0u64, 0u64);
+        steady_rounds(&mut b, &mut seq, &mut t, 6);
+        let bw = b.btl_bw();
+        let w = b.cwnd();
+        b.on_loss(w);
+        assert_eq!(b.cwnd(), w, "loss does not cut a model-based window");
+        b.on_rto(w);
+        assert_eq!(b.cwnd(), 1460.0);
+        assert_eq!(b.btl_bw(), bw, "the bandwidth history survives an RTO");
+    }
+}

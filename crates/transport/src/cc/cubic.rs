@@ -1,0 +1,214 @@
+//! CUBIC (Ha, Rhee, Xu, 2008 / RFC 8312): window growth as a cubic
+//! function of the time since the last decrease, independent of RTT.
+//!
+//! After a loss at window `W_max` the window is cut to `β·W_max` and then
+//! grows along
+//!
+//! ```text
+//! W(t) = C·(t − K)³ + W_max,     K = ∛(W_max·(1 − β)/C)
+//! ```
+//!
+//! (windows in segments, `t` in seconds): concave recovery toward the old
+//! plateau, a flat region around it, then convex probing. Fast
+//! convergence releases bandwidth to newer flows by remembering a
+//! *reduced* `W_max` when a flow is cut twice without regaining its
+//! previous plateau. Slow start and the recovery deflation mechanics are
+//! shared with AIMD; epochs reset on loss and RTO.
+
+use super::{AckCtx, CongestionController};
+use crate::config::TcpConfig;
+use conga_sim::SimTime;
+
+/// The CUBIC aggressiveness constant, segments per second cubed.
+const C: f64 = 0.4;
+/// The multiplicative-decrease factor (`cwnd ← β·cwnd` on loss).
+const BETA: f64 = 0.7;
+
+/// CUBIC: cubic-function congestion avoidance with loss epochs.
+#[derive(Clone, Debug)]
+pub struct Cubic {
+    cwnd: f64,
+    ssthresh: f64,
+    mss: f64,
+    /// The window plateau (segments) the current epoch grows toward.
+    w_max: f64,
+    /// Time offset of the plateau within the epoch, seconds.
+    k: f64,
+    /// When the current congestion-avoidance epoch began.
+    epoch_start: Option<SimTime>,
+}
+
+impl Cubic {
+    /// The initial window the config prescribes.
+    pub fn new(cfg: &TcpConfig) -> Self {
+        Cubic {
+            cwnd: (cfg.init_cwnd * cfg.mss) as f64,
+            ssthresh: f64::MAX,
+            mss: cfg.mss as f64,
+            w_max: 0.0,
+            k: 0.0,
+            epoch_start: None,
+        }
+    }
+
+    /// Register a multiplicative decrease at the current window: remember
+    /// the plateau (with fast convergence), recompute `K`, cut, and end
+    /// the epoch.
+    fn decrease(&mut self) {
+        let w = self.cwnd / self.mss;
+        // Fast convergence: a flow cut again *below* its old plateau
+        // remembers an even lower one, ceding bandwidth to new flows.
+        self.w_max = if w < self.w_max {
+            w * (2.0 - BETA) / 2.0
+        } else {
+            w
+        };
+        self.k = (self.w_max * (1.0 - BETA) / C).cbrt();
+        self.cwnd = (self.cwnd * BETA).max(2.0 * self.mss);
+        self.ssthresh = self.cwnd;
+        self.epoch_start = None;
+    }
+}
+
+impl CongestionController for Cubic {
+    fn name(&self) -> &'static str {
+        "cubic"
+    }
+
+    fn cwnd(&self) -> f64 {
+        self.cwnd
+    }
+
+    fn ssthresh(&self) -> f64 {
+        self.ssthresh
+    }
+
+    fn on_bytes_acked(&mut self, _ctx: &AckCtx) {}
+
+    fn on_ack(&mut self, ctx: &AckCtx) {
+        if self.cwnd < self.ssthresh {
+            // Slow start: byte-counting increase, capped at ssthresh.
+            self.cwnd += ctx.acked;
+            if self.cwnd > self.ssthresh {
+                self.cwnd = self.ssthresh;
+            }
+            return;
+        }
+        let start = *self.epoch_start.get_or_insert(ctx.now);
+        if self.w_max == 0.0 {
+            // No loss yet: grow from the current window.
+            self.w_max = self.cwnd / self.mss;
+            self.k = 0.0;
+        }
+        let t = ctx.now.saturating_since(start).as_nanos() as f64 / 1e9;
+        let target = C * (t - self.k).powi(3) + self.w_max;
+        let w = self.cwnd / self.mss;
+        // Per-ACK step toward the cubic target, scaled by bytes acked; in
+        // the plateau region fall back to a slow reno-like probe so the
+        // window never stalls entirely.
+        let step = if target > w {
+            (target - w) / w
+        } else {
+            0.01 / w
+        };
+        self.cwnd += step * (ctx.acked / self.mss) * self.mss;
+    }
+
+    fn on_ecn(&mut self, _ctx: &AckCtx) {
+        // Loss-based: marks are ignored (DCTCP is the ECN controller).
+    }
+
+    fn on_loss(&mut self, _flight: f64) {
+        self.decrease();
+    }
+
+    fn on_partial_ack(&mut self, acked: f64) {
+        // Shared NewReno deflation keeps the recovery machinery stable.
+        self.cwnd = (self.cwnd - acked + self.mss).max(self.mss);
+    }
+
+    fn on_recovery_exit(&mut self) {
+        self.cwnd = self.ssthresh;
+    }
+
+    fn on_rto(&mut self, _flight: f64) {
+        self.decrease();
+        self.cwnd = self.mss;
+    }
+
+    fn force_window(&mut self, cwnd: f64, ssthresh: f64) {
+        self.cwnd = cwnd;
+        self.ssthresh = ssthresh;
+        self.epoch_start = None;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ctx(acked: f64, now_us: u64) -> AckCtx {
+        AckCtx {
+            acked,
+            ack: 0,
+            next_seq: 0,
+            now: SimTime::from_micros(now_us),
+            rtt_ns: Some(50_000.0),
+            ecn_echo: false,
+            lia: None,
+        }
+    }
+
+    #[test]
+    fn loss_cuts_to_beta_and_sets_epoch() {
+        let mut c = Cubic::new(&TcpConfig::standard());
+        c.force_window(100.0 * 1460.0, 1.0);
+        c.on_loss(100.0 * 1460.0);
+        assert!((c.cwnd() - 70.0 * 1460.0).abs() < 1e-6, "β = 0.7 cut");
+        assert!((c.k - (100.0 * (1.0 - BETA) / C).cbrt()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn growth_is_concave_then_convex_around_the_plateau() {
+        let mut c = Cubic::new(&TcpConfig::standard());
+        c.force_window(100.0 * 1460.0, 1.0);
+        c.on_loss(100.0 * 1460.0);
+        // Ack a full window per 40 ms tick: the per-ACK step then closes
+        // the whole gap to the cubic target, so the sampled window traces
+        // W(t) itself. K = ∛(100·0.3/0.4) ≈ 4.2 s sits mid-trace.
+        let mut t_us = 0;
+        let mut deltas = Vec::new();
+        let mut prev = c.cwnd();
+        for _ in 0..200 {
+            t_us += 40_000;
+            c.on_ack(&ctx(c.cwnd(), t_us));
+            deltas.push(c.cwnd() - prev);
+            prev = c.cwnd();
+        }
+        // Early steps (far below the plateau) outpace mid steps (near it).
+        let early: f64 = deltas[..20].iter().sum();
+        let mid: f64 = deltas[90..110].iter().sum();
+        let late: f64 = deltas[180..].iter().sum();
+        assert!(early > mid, "concave approach: {early} vs {mid}");
+        assert!(late > mid, "convex probing: {late} vs {mid}");
+    }
+
+    #[test]
+    fn fast_convergence_lowers_the_plateau() {
+        let mut c = Cubic::new(&TcpConfig::standard());
+        c.force_window(100.0 * 1460.0, 1.0);
+        c.on_loss(100.0 * 1460.0);
+        let w_max_1 = c.w_max;
+        // Cut again before regaining the plateau.
+        c.on_loss(c.cwnd());
+        assert!(c.w_max < w_max_1, "plateau must shrink");
+    }
+
+    #[test]
+    fn rto_resets_to_one_segment() {
+        let mut c = Cubic::new(&TcpConfig::standard());
+        c.force_window(50.0 * 1460.0, 1.0);
+        c.on_rto(50.0 * 1460.0);
+        assert_eq!(c.cwnd(), 1460.0);
+    }
+}

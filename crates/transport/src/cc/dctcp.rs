@@ -1,0 +1,177 @@
+//! DCTCP (Alizadeh et al., SIGCOMM 2010): keep queues short by cutting
+//! the window *in proportion to the fraction of ECN-marked packets*
+//! rather than halving on any sign of congestion.
+//!
+//! The dataplane marks a data packet's CE bit when the egress queue it
+//! joins is deeper than the marking threshold; the receiver echoes the
+//! bit on the cumulative ACK; the sender maintains
+//!
+//! ```text
+//! alpha ← (1 − g)·alpha + g·F      (per window of data)
+//! cwnd  ← cwnd · (1 − alpha/2)     (when the window saw any mark)
+//! ```
+//!
+//! where `F` is the marked fraction of the just-completed window and
+//! `g = 1/16`. Growth (slow start, additive increase) and the loss/RTO
+//! paths are shared with [`Aimd`] — DCTCP falls back to NewReno exactly
+//! when packets are dropped rather than marked.
+
+use super::{AckCtx, Aimd, CongestionController};
+use crate::config::TcpConfig;
+
+/// The alpha-estimation EWMA gain (RFC 8257's recommended 1/16).
+const G: f64 = 1.0 / 16.0;
+
+/// DCTCP: ECN-proportional decrease over AIMD growth.
+#[derive(Clone, Debug)]
+pub struct Dctcp {
+    win: Aimd,
+    mss: f64,
+    /// EWMA of the marked fraction, in `[0, 1]`.
+    alpha: f64,
+    /// Bytes acknowledged in the current observation window.
+    acked_bytes: f64,
+    /// Of those, bytes acknowledged by marked ACKs.
+    marked_bytes: f64,
+    /// The window rolls when the cumulative ACK passes this sequence.
+    window_end: u64,
+}
+
+impl Dctcp {
+    /// A fresh estimator; `alpha` starts at 1 (RFC 8257 §4.2) so an
+    /// immediately-congested flow reacts like Reno until the EWMA adapts.
+    pub fn new(cfg: &TcpConfig) -> Self {
+        Dctcp {
+            win: Aimd::new(cfg),
+            mss: cfg.mss as f64,
+            alpha: 1.0,
+            acked_bytes: 0.0,
+            marked_bytes: 0.0,
+            window_end: 0,
+        }
+    }
+}
+
+impl CongestionController for Dctcp {
+    fn name(&self) -> &'static str {
+        "dctcp"
+    }
+
+    fn cwnd(&self) -> f64 {
+        self.win.cwnd()
+    }
+
+    fn ssthresh(&self) -> f64 {
+        self.win.ssthresh()
+    }
+
+    fn on_bytes_acked(&mut self, ctx: &AckCtx) {
+        self.acked_bytes += ctx.acked;
+        if ctx.ack < self.window_end {
+            return;
+        }
+        // One window of data fully acknowledged: fold the observed
+        // fraction into alpha, cut if anything was marked, and start the
+        // next observation window at the current send point.
+        if self.acked_bytes > 0.0 {
+            let f = self.marked_bytes / self.acked_bytes;
+            self.alpha = (1.0 - G) * self.alpha + G * f;
+            if self.marked_bytes > 0.0 {
+                let cut = self.cwnd() * (1.0 - self.alpha / 2.0);
+                self.win.force_window(cut.max(self.mss), self.ssthresh());
+            }
+        }
+        self.acked_bytes = 0.0;
+        self.marked_bytes = 0.0;
+        self.window_end = ctx.next_seq;
+    }
+
+    fn on_ack(&mut self, ctx: &AckCtx) {
+        self.win.on_ack(ctx);
+    }
+
+    fn on_ecn(&mut self, ctx: &AckCtx) {
+        self.marked_bytes += ctx.acked;
+    }
+
+    fn on_loss(&mut self, flight: f64) {
+        self.win.on_loss(flight);
+    }
+
+    fn on_partial_ack(&mut self, acked: f64) {
+        self.win.on_partial_ack(acked);
+    }
+
+    fn on_recovery_exit(&mut self) {
+        self.win.on_recovery_exit();
+    }
+
+    fn on_rto(&mut self, flight: f64) {
+        self.win.on_rto(flight);
+    }
+
+    fn alpha(&self) -> Option<f64> {
+        Some(self.alpha)
+    }
+
+    fn force_window(&mut self, cwnd: f64, ssthresh: f64) {
+        self.win.force_window(cwnd, ssthresh);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use conga_sim::SimTime;
+
+    fn ctx(acked: f64, ack: u64, next_seq: u64, echo: bool) -> AckCtx {
+        AckCtx {
+            acked,
+            ack,
+            next_seq,
+            now: SimTime::from_micros(50),
+            rtt_ns: Some(50_000.0),
+            ecn_echo: echo,
+            lia: None,
+        }
+    }
+
+    #[test]
+    fn unmarked_windows_decay_alpha_without_cutting() {
+        let mut c = Dctcp::new(&TcpConfig::standard());
+        c.force_window(14_600.0, f64::MAX);
+        let w0 = c.cwnd();
+        // A full unmarked window: alpha decays by (1 - g), cwnd untouched
+        // by the roll (growth hooks are exercised separately).
+        c.on_bytes_acked(&ctx(14_600.0, 14_600, 29_200, false));
+        assert_eq!(c.cwnd(), w0);
+        assert!((c.alpha().expect("dctcp exposes alpha") - (1.0 - G)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fully_marked_window_cuts_proportionally() {
+        let mut c = Dctcp::new(&TcpConfig::standard());
+        c.force_window(14_600.0, f64::MAX);
+        // Roll the first (empty-history) window out of the way.
+        c.on_bytes_acked(&ctx(1460.0, 1460, 16_060, false));
+        let alpha0 = c.alpha().expect("alpha");
+        let w0 = c.cwnd();
+        // Every ACK in the next window carries an echo.
+        let a = ctx(14_600.0, 16_060, 30_660, true);
+        c.on_ecn(&a);
+        c.on_bytes_acked(&a);
+        let alpha1 = c.alpha().expect("alpha");
+        assert!(alpha1 > alpha0 * (1.0 - G), "marked window raises alpha");
+        let expect = w0 * (1.0 - alpha1 / 2.0);
+        assert!((c.cwnd() - expect).abs() < 1e-9, "proportional cut");
+    }
+
+    #[test]
+    fn loss_path_is_newreno() {
+        let mut c = Dctcp::new(&TcpConfig::standard());
+        c.on_loss(14_600.0);
+        assert_eq!(c.cwnd(), 7300.0);
+        c.on_rto(14_600.0);
+        assert_eq!(c.cwnd(), 1460.0);
+    }
+}

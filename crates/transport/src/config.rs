@@ -1,5 +1,6 @@
 //! Transport configuration.
 
+use crate::cc::CcKind;
 use conga_sim::SimDuration;
 
 /// TCP sender/receiver parameters.
@@ -29,6 +30,8 @@ pub struct TcpConfig {
     /// `min(cwnd, rwnd)`. Bounds slow-start overshoot exactly as receive
     /// buffer autotuning does on real datacenter hosts.
     pub rwnd: u64,
+    /// The congestion controller each flow runs (see [`crate::cc`]).
+    pub cc: CcKind,
 }
 
 impl TcpConfig {
@@ -42,6 +45,7 @@ impl TcpConfig {
             dupack_thresh: 3,
             max_burst: 10,
             rwnd: 512 * 1024,
+            cc: CcKind::Aimd,
         }
     }
 
@@ -56,6 +60,12 @@ impl TcpConfig {
     /// Replace the minimum RTO (e.g. the 1 ms Incast mitigation).
     pub fn with_min_rto(mut self, rto: SimDuration) -> Self {
         self.min_rto = rto;
+        self
+    }
+
+    /// Replace the congestion controller.
+    pub fn with_cc(mut self, cc: CcKind) -> Self {
+        self.cc = cc;
         self
     }
 }

@@ -8,12 +8,14 @@
 //! (standing in for its 5-tuple), which is what lets ECMP place MPTCP
 //! subflows on distinct paths.
 
+use crate::cc::CongestionController;
 use crate::config::{MptcpConfig, TcpConfig};
 use crate::tcp::{Lia, Segment, TcpRx, TcpTx};
-use conga_net::{flow_tuple_hash, Emitter, HostAgent, HostId, Packet, PacketKind};
+use conga_net::{flow_tuple_hash, Emitter, HostAgent, HostId, Packet, PacketKind, WIRE_OVERHEAD};
 use conga_sim::{SimDuration, SimTime};
 use conga_telemetry::{MetricsRegistry, SeriesRegistry};
 use conga_trace::{TraceEvent, TraceHandle};
+use std::collections::{BTreeMap, VecDeque};
 
 /// Which transport a flow uses.
 #[derive(Clone, Copy, Debug)]
@@ -109,6 +111,9 @@ const KIND_CBR: u64 = 2;
 /// Activation timer for a preregistered flow (sharded runs schedule one
 /// in the flow's sender domain; see [`TransportLayer::preregister`]).
 const KIND_START: u64 = 3;
+/// Pacing-release timer for controllers that pace (the BBR-style one):
+/// fires when the subflow's next paced segment may go on the wire.
+const KIND_PACE: u64 = 4;
 
 fn token(flow: usize, sub: usize, gen: u8, kind: u64) -> u64 {
     ((flow as u64) << 28) | ((sub as u64) << 12) | ((gen as u64) << 4) | kind
@@ -135,6 +140,13 @@ struct SubflowRt {
     rto_deadline: SimTime,
     rto_pending: bool,
     rto_armed: bool,
+    /// Segments awaiting their paced release (empty for window-driven
+    /// controllers, which emit ACK-clocked bursts directly).
+    pace_q: VecDeque<Segment>,
+    /// Earliest time the next paced segment may be emitted.
+    pace_next: SimTime,
+    /// Whether a [`KIND_PACE`] timer is outstanding.
+    pace_pending: bool,
 }
 
 #[derive(Debug)]
@@ -289,6 +301,9 @@ impl TransportLayer {
                     rto_deadline: SimTime::ZERO,
                     rto_pending: false,
                     rto_armed: false,
+                    pace_q: VecDeque::new(),
+                    pace_next: SimTime::ZERO,
+                    pace_pending: false,
                 }],
                 unassigned: 0,
                 cbr_remaining: 0,
@@ -307,6 +322,9 @@ impl TransportLayer {
                         rto_deadline: SimTime::ZERO,
                         rto_pending: false,
                         rto_armed: false,
+                        pace_q: VecDeque::new(),
+                        pace_next: SimTime::ZERO,
+                        pace_pending: false,
                     })
                     .collect(),
                 unassigned: spec.bytes,
@@ -340,7 +358,7 @@ impl TransportLayer {
                 let mut segs = std::mem::take(&mut self.scratch_segs);
                 segs.clear();
                 self.flows[id].subflows[0].tx.pump(&mut segs);
-                self.emit_segments(id, 0, &segs, now, em);
+                self.dispatch_segments(id, 0, &segs, now, em);
                 self.scratch_segs = segs;
                 self.arm_rto(id, 0, now, true, em);
             }
@@ -379,6 +397,80 @@ impl TransportLayer {
                 p.kind = PacketKind::Retransmit;
             }
             em.send(p);
+        }
+    }
+
+    /// Route fresh segments to the wire: window-driven controllers (no
+    /// pacing rate) emit immediately — the historical ACK-clocked hot path,
+    /// untouched — while pacing controllers enqueue and release at the
+    /// controller's rate via [`KIND_PACE`] timers.
+    fn dispatch_segments(
+        &mut self,
+        flow: usize,
+        sub: usize,
+        segs: &[Segment],
+        now: SimTime,
+        em: &mut Emitter,
+    ) {
+        if segs.is_empty() {
+            return;
+        }
+        if self.flows[flow].subflows[sub]
+            .tx
+            .pacing_rate_bps()
+            .is_none()
+            && self.flows[flow].subflows[sub].pace_q.is_empty()
+        {
+            self.emit_segments(flow, sub, segs, now, em);
+            return;
+        }
+        self.flows[flow].subflows[sub]
+            .pace_q
+            .extend(segs.iter().copied());
+        self.pace_drain(flow, sub, now, em);
+    }
+
+    /// Emit queued paced segments whose release time has come; arm a
+    /// pacing timer for the rest. A controller that stops pacing mid-flow
+    /// gets its backlog flushed directly.
+    fn pace_drain(&mut self, flow: usize, sub: usize, now: SimTime, em: &mut Emitter) {
+        loop {
+            let seg = {
+                let Some(s) = self.flows[flow].subflows.get_mut(sub) else {
+                    return;
+                };
+                if s.pace_q.is_empty() {
+                    return;
+                }
+                if now < s.pace_next {
+                    if !s.pace_pending {
+                        s.pace_pending = true;
+                        em.set_timer(
+                            s.pace_next.saturating_since(now),
+                            token(flow, sub, 0, KIND_PACE),
+                        );
+                    }
+                    return;
+                }
+                match s.tx.pacing_rate_bps() {
+                    Some(rate) if rate > 0.0 => {
+                        let Some(seg) = s.pace_q.pop_front() else {
+                            return;
+                        };
+                        let wire_bits = (seg.len + WIRE_OVERHEAD) as f64 * 8.0;
+                        let gap_ns = wire_bits * 1e9 / rate;
+                        s.pace_next = now + SimDuration::from_nanos(gap_ns.ceil() as u64);
+                        seg
+                    }
+                    _ => {
+                        // No pacing rate any more: flush the backlog.
+                        let rest: Vec<Segment> = s.pace_q.drain(..).collect();
+                        self.emit_segments(flow, sub, &rest, now, em);
+                        return;
+                    }
+                }
+            };
+            self.emit_segments(flow, sub, &[seg], now, em);
         }
     }
 
@@ -470,7 +562,7 @@ impl TransportLayer {
                 }
             }
             if !segs.is_empty() {
-                self.emit_segments(flow, sub, &segs, now, em);
+                self.dispatch_segments(flow, sub, &segs, now, em);
                 self.arm_rto(flow, sub, now, false, em);
             }
         }
@@ -547,6 +639,12 @@ impl TransportLayer {
         let mut rx_bytes = 0u64;
         let mut subflows = 0u64;
         let mut tx_complete = 0u64;
+        // Retransmission-timer accounting is namespaced per controller:
+        // `cc.<name>.rto_fired` / `cc.<name>.fast_retx`, emitted only when
+        // nonzero. The aimd default keeps the historical flat
+        // `transport.rto_timeouts` / `transport.fast_retx` names so the
+        // pre-refactor golden reports stay byte-identical.
+        let mut cc_rto: BTreeMap<&'static str, (u64, u64)> = BTreeMap::new();
         for f in &self.flows {
             rx_bytes += f.cbr_delivered;
             tx_complete += f.tx_complete as u64;
@@ -557,8 +655,15 @@ impl TransportLayer {
                 // replicas and sum correctly without gating).
                 subflows += f.tx_local as u64;
                 bytes_retx += s.tx.bytes_retx;
-                rto_timeouts += s.tx.timeouts;
-                fast_retx += s.tx.fast_retx;
+                let name = s.tx.cc().name();
+                if name == "aimd" {
+                    rto_timeouts += s.tx.timeouts;
+                    fast_retx += s.tx.fast_retx;
+                } else {
+                    let e = cc_rto.entry(name).or_default();
+                    e.0 += s.tx.timeouts;
+                    e.1 += s.tx.fast_retx;
+                }
                 recovery_entries += s.tx.recovery_entries;
                 recovery_exits += s.tx.recovery_exits;
                 rx_ooo += s.rx.ooo_segments;
@@ -576,6 +681,14 @@ impl TransportLayer {
         reg.set_counter("transport.recovery_exits", recovery_exits);
         reg.set_counter("transport.rx_ooo_segments", rx_ooo);
         reg.set_counter("transport.rx_bytes", rx_bytes);
+        for (name, (rto, fr)) in cc_rto {
+            if rto > 0 {
+                reg.set_counter(&format!("cc.{name}.rto_fired"), rto);
+            }
+            if fr > 0 {
+                reg.set_counter(&format!("cc.{name}.fast_retx"), fr);
+            }
+        }
     }
 }
 
@@ -597,6 +710,41 @@ impl HostAgent for TransportLayer {
             .count();
         if active > 0 {
             out.record("transport.active_flows", now, active as f64);
+        }
+        // Per-controller gauges for the non-default controllers: additive
+        // partial values (sums and counts, never means — fractions are
+        // derived after the domain merge). An all-aimd run records nothing
+        // here, keeping default-report series byte-identical to baseline.
+        let mut per: BTreeMap<&'static str, (f64, f64, f64, f64)> = BTreeMap::new();
+        for (f, r) in self.flows.iter().zip(&self.records) {
+            if !(f.tx_local && r.start <= now && !f.tx_complete) {
+                continue;
+            }
+            for s in &f.subflows {
+                let name = s.tx.cc().name();
+                if name == "aimd" {
+                    continue;
+                }
+                let e = per.entry(name).or_default();
+                e.0 += s.tx.cwnd();
+                e.1 += 1.0;
+                if let Some(a) = s.tx.cc().alpha() {
+                    e.2 += a;
+                }
+                if let Some(p) = s.tx.pacing_rate_bps() {
+                    e.3 += p;
+                }
+            }
+        }
+        for (name, (cwnd, n, alpha, pace)) in per {
+            out.record(&format!("cc.{name}.cwnd_bytes"), now, cwnd);
+            out.record(&format!("cc.{name}.subflows"), now, n);
+            if name == "dctcp" {
+                out.record("cc.dctcp.alpha_sum", now, alpha);
+            }
+            if name == "bbr" && pace > 0.0 {
+                out.record("cc.bbr.pacing_rate_bps", now, pace);
+            }
         }
     }
 
@@ -637,6 +785,9 @@ impl HostAgent for TransportLayer {
                     pkt.ts_echo,
                 );
                 ackp.sack = sack;
+                // ECN echo: reflect the data packet's CE mark back to the
+                // sender (a no-op when the dataplane never marks).
+                ackp.ecn_echo = pkt.ecn_ce;
                 em.send(ackp);
                 self.maybe_finish(flow, now);
             }
@@ -664,7 +815,15 @@ impl HostAgent for TransportLayer {
                     } else {
                         (0.0, 0)
                     };
-                    s.tx.on_ack(pkt.ack, pkt.ts_echo, now, lia, &pkt.sack, &mut segs);
+                    s.tx.on_ack(
+                        pkt.ack,
+                        pkt.ts_echo,
+                        now,
+                        lia,
+                        &pkt.sack,
+                        pkt.ecn_echo,
+                        &mut segs,
+                    );
                     progressed = s.tx.snd_una > prev_una;
                     if traced {
                         if s.tx.fast_retx > prev_fr {
@@ -689,7 +848,7 @@ impl HostAgent for TransportLayer {
                         }
                     }
                 }
-                self.emit_segments(flow, sub, &segs, now, em);
+                self.dispatch_segments(flow, sub, &segs, now, em);
                 self.scratch_segs = segs;
                 if is_mp {
                     self.mp_allocate_and_pump(flow, now, em);
@@ -744,6 +903,11 @@ impl HostAgent for TransportLayer {
                         self.scratch_segs = segs;
                         return;
                     }
+                    // Go-back-N rewinds the send point: queued paced
+                    // segments are stale, and the single retransmission
+                    // below goes out directly (never paced) so recovery is
+                    // not delayed behind a slack pacing schedule.
+                    s.pace_q.clear();
                     s.tx.on_rto(&mut segs);
                     if self.tracer.wants_flow(flow as u32) {
                         self.tracer.emit(
@@ -766,6 +930,16 @@ impl HostAgent for TransportLayer {
                 self.emit_segments(flow, sub, &segs, now, em);
                 self.scratch_segs = segs;
                 self.arm_rto(flow, sub, now, true, em);
+            }
+            KIND_PACE => {
+                if flow >= self.flows.len() {
+                    return;
+                }
+                let Some(s) = self.flows[flow].subflows.get_mut(sub) else {
+                    return;
+                };
+                s.pace_pending = false;
+                self.pace_drain(flow, sub, now, em);
             }
             KIND_CBR => self.cbr_emit(flow, now, em),
             KIND_START if flow < self.flows.len() => self.activate(flow, now, em),

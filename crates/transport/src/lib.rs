@@ -6,8 +6,10 @@
 //! subflows are both its strength (core load balancing) and weakness
 //! (Incast). This crate provides:
 //!
-//! * [`TcpTx`] / [`TcpRx`] — a NewReno-style TCP state machine (slow start,
-//!   AIMD, fast retransmit/recovery, RFC 6298 RTO with configurable minRTO);
+//! * [`TcpTx`] / [`TcpRx`] — a TCP state machine (slow start, fast
+//!   retransmit/recovery, RFC 6298 RTO with configurable minRTO) whose
+//!   congestion-window decisions are delegated to a pluggable
+//!   [`CongestionController`] ([`cc`] module: AIMD, DCTCP, CUBIC, BBR);
 //! * MPTCP — N subflows with distinct 5-tuple hashes and LIA coupled
 //!   congestion control, layered over the same state machine;
 //! * CBR senders for controlled micro-benchmarks;
@@ -16,10 +18,12 @@
 
 #![warn(missing_docs)]
 
+pub mod cc;
 mod config;
 mod layer;
 mod tcp;
 
+pub use cc::{AckCtx, Cc, CcKind, CongestionController};
 pub use config::{MptcpConfig, TcpConfig};
 pub use layer::{FlowRecord, FlowSource, FlowSpec, ListSource, TransportKind, TransportLayer};
 pub use tcp::{Lia, Segment, TcpRx, TcpTx};

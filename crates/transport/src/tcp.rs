@@ -1,6 +1,7 @@
-//! A per-packet TCP model: NewReno-style congestion control with slow
-//! start, AIMD congestion avoidance, fast retransmit/recovery, and an
-//! RFC 6298 retransmission timer with configurable minimum RTO.
+//! A per-packet TCP model: the loss-detection/recovery state machine
+//! (fast retransmit, NewReno recovery, SACK scoreboard repair, an RFC
+//! 6298 retransmission timer), with every congestion-window decision
+//! delegated to a pluggable [`CongestionController`] (see [`crate::cc`]).
 //!
 //! The machinery is split into a sender ([`TcpTx`]) and receiver
 //! ([`TcpRx`]) state machine that are *pure* — they know nothing about the
@@ -8,6 +9,7 @@
 //! MPTCP reuses `TcpTx` per subflow, injecting its coupled (LIA)
 //! congestion-avoidance increase through the [`Lia`] parameter.
 
+use crate::cc::{AckCtx, Cc, CongestionController};
 use crate::config::TcpConfig;
 use conga_net::SackBlocks;
 use conga_sim::{SimDuration, SimTime};
@@ -56,8 +58,7 @@ pub struct TcpTx {
     pub next_seq: u64,
     /// Highest cumulatively ACKed byte.
     pub snd_una: u64,
-    cwnd: f64,
-    ssthresh: f64,
+    cc: Cc,
     state: CcState,
     dup_acks: u32,
     srtt: Option<f64>,
@@ -93,8 +94,7 @@ impl TcpTx {
             finalized: true,
             next_seq: 0,
             snd_una: 0,
-            cwnd: (cfg.init_cwnd * cfg.mss) as f64,
-            ssthresh: f64::MAX,
+            cc: Cc::from_config(&cfg),
             state: CcState::Open,
             dup_acks: 0,
             srtt: None,
@@ -134,7 +134,32 @@ impl TcpTx {
     /// Current congestion window in bytes.
     #[inline]
     pub fn cwnd(&self) -> f64 {
-        self.cwnd
+        self.cc.cwnd()
+    }
+
+    /// Current slow-start threshold in bytes.
+    #[inline]
+    pub fn ssthresh(&self) -> f64 {
+        self.cc.ssthresh()
+    }
+
+    /// The congestion controller driving this sender (telemetry reads its
+    /// name, `alpha`, and pacing rate through this).
+    #[inline]
+    pub fn cc(&self) -> &Cc {
+        &self.cc
+    }
+
+    /// The pacing rate the controller requests, in bits per second.
+    /// `None` means ACK-clocked bursts (every window-driven controller).
+    #[inline]
+    pub fn pacing_rate_bps(&self) -> Option<f64> {
+        self.cc.pacing_rate_bps()
+    }
+
+    /// Overwrite the controller's window state (tests and diagnostics).
+    pub fn force_window(&mut self, cwnd: f64, ssthresh: f64) {
+        self.cc.force_window(cwnd, ssthresh);
     }
 
     /// Current retransmission timeout (with backoff applied).
@@ -153,7 +178,7 @@ impl TcpTx {
     /// receiver's advertised window.
     #[inline]
     fn send_window(&self) -> u64 {
-        (self.cwnd as u64).min(self.cfg.rwnd)
+        (self.cc.cwnd() as u64).min(self.cfg.rwnd)
     }
 
     /// Whether the window allows sending at least one new byte right now,
@@ -215,8 +240,10 @@ impl TcpTx {
     }
 
     /// Process a cumulative ACK for byte `ack`, where `ts_echo` is the send
-    /// timestamp echoed by the receiver. Returns segments to (re)transmit.
+    /// timestamp echoed by the receiver and `ecn_echo` its echoed
+    /// congestion-experienced mark. Returns segments to (re)transmit.
     /// `lia` switches congestion avoidance to MPTCP's coupled increase.
+    #[allow(clippy::too_many_arguments)]
     pub fn on_ack(
         &mut self,
         ack: u64,
@@ -224,9 +251,9 @@ impl TcpTx {
         now: SimTime,
         lia: Option<Lia>,
         sack: &SackBlocks,
+        ecn_echo: bool,
         out: &mut Vec<Segment>,
     ) {
-        let mss = self.cfg.mss as f64;
         self.absorb_sack(sack);
         if ack > self.snd_una {
             let acked = (ack - self.snd_una) as f64;
@@ -239,47 +266,45 @@ impl TcpTx {
             }
 
             // Karn: skip RTT samples while a retransmission is outstanding.
-            if !self.retx_since_ack {
-                self.update_rtt(now.saturating_since(ts_echo).as_nanos() as f64);
+            let rtt_ns = if !self.retx_since_ack {
+                let sample = now.saturating_since(ts_echo).as_nanos() as f64;
+                self.update_rtt(sample);
+                Some(sample)
             } else {
                 self.retx_since_ack = false;
+                None
+            };
+
+            let ctx = AckCtx {
+                acked,
+                ack,
+                next_seq: self.next_seq,
+                now,
+                rtt_ns,
+                ecn_echo,
+                lia,
+            };
+            if ecn_echo {
+                self.cc.on_ecn(&ctx);
             }
+            self.cc.on_bytes_acked(&ctx);
 
             match self.state {
                 CcState::Recovery { recover } if ack >= recover => {
                     // Full ACK: leave recovery, deflate to ssthresh.
                     self.state = CcState::Open;
                     self.recovery_exits += 1;
-                    self.cwnd = self.ssthresh;
+                    self.cc.on_recovery_exit();
                 }
                 CcState::Recovery { .. } => {
                     // Partial ACK: repair more holes, deflate by the amount
                     // ACKed (NewReno), stay in recovery.
                     self.repair_cursor = self.repair_cursor.max(self.snd_una);
                     self.sack_repair(2, out);
-                    self.cwnd = (self.cwnd - acked + mss).max(mss);
+                    self.cc.on_partial_ack(acked);
                 }
                 CcState::Open => {
-                    if self.cwnd < self.ssthresh {
-                        // Slow start: byte-counting increase.
-                        self.cwnd += acked;
-                        if self.cwnd > self.ssthresh {
-                            self.cwnd = self.ssthresh;
-                        }
-                    } else {
-                        // Congestion avoidance.
-                        let inc = match lia {
-                            // LIA: min(alpha·acked·mss / cwnd_total,
-                            //          acked·mss / cwnd_i)
-                            Some(l) => {
-                                let coupled = l.alpha * acked * mss / l.cwnd_total;
-                                let uncoupled = acked * mss / self.cwnd;
-                                coupled.min(uncoupled)
-                            }
-                            None => acked * mss / self.cwnd,
-                        };
-                        self.cwnd += inc;
-                    }
+                    self.cc.on_ack(&ctx);
                 }
             }
             self.pump(out);
@@ -290,11 +315,10 @@ impl TcpTx {
                 CcState::Open if self.dup_acks == self.cfg.dupack_thresh => {
                     // Fast retransmit + enter recovery.
                     let flight = self.in_flight() as f64;
-                    self.ssthresh = (flight / 2.0).max(2.0 * mss);
+                    self.cc.on_loss(flight);
                     self.state = CcState::Recovery {
                         recover: self.next_seq,
                     };
-                    self.cwnd = self.ssthresh;
                     self.repair_cursor = self.snd_una;
                     self.fast_retx += 1;
                     self.recovery_entries += 1;
@@ -408,10 +432,8 @@ impl TcpTx {
         if self.done() || self.in_flight() == 0 && self.next_seq >= self.total {
             return;
         }
-        let mss = self.cfg.mss as f64;
         let flight = self.in_flight() as f64;
-        self.ssthresh = (flight / 2.0).max(2.0 * mss);
-        self.cwnd = mss;
+        self.cc.on_rto(flight);
         if matches!(self.state, CcState::Recovery { .. }) {
             self.recovery_exits += 1;
         }
@@ -591,6 +613,7 @@ mod tests {
             t1,
             None,
             &SackBlocks::default(),
+            false,
             &mut out,
         );
         assert!((tx.cwnd() - 2.0 * before).abs() < 1.0, "cwnd {}", tx.cwnd());
@@ -602,8 +625,7 @@ mod tests {
         let mut out = Vec::new();
         tx.pump(&mut out);
         // Force CA by setting ssthresh below cwnd via an RTO + regrowth.
-        tx.ssthresh = 10.0 * 1460.0;
-        tx.cwnd = 20.0 * 1460.0;
+        tx.force_window(20.0 * 1460.0, 10.0 * 1460.0);
         let w0 = tx.cwnd();
         // One full window of ACKs in MSS-sized chunks ~= +1 MSS total.
         let mut acked = tx.snd_una;
@@ -615,6 +637,7 @@ mod tests {
                 SimTime::from_micros(50),
                 None,
                 &SackBlocks::default(),
+                false,
                 &mut out,
             );
         }
@@ -638,6 +661,7 @@ mod tests {
                 SimTime::from_micros(10),
                 None,
                 &SackBlocks::default(),
+                false,
                 &mut out,
             );
             assert!(out.iter().all(|s| !s.retx));
@@ -648,6 +672,7 @@ mod tests {
             SimTime::from_micros(10),
             None,
             &SackBlocks::default(),
+            false,
             &mut out,
         );
         let rtx: Vec<&Segment> = out.iter().filter(|s| s.retx).collect();
@@ -655,7 +680,7 @@ mod tests {
         assert_eq!(rtx[0].seq, 0, "retransmit the lost head segment");
         assert_eq!(tx.fast_retx, 1);
         // ssthresh = half the flight.
-        assert!((tx.ssthresh - 7300.0).abs() < 1.0);
+        assert!((tx.ssthresh() - 7300.0).abs() < 1.0);
     }
 
     #[test]
@@ -671,6 +696,7 @@ mod tests {
                 SimTime::from_micros(10),
                 None,
                 &SackBlocks::default(),
+                false,
                 &mut out,
             );
         }
@@ -682,6 +708,7 @@ mod tests {
             SimTime::from_micros(30),
             None,
             &SackBlocks::default(),
+            false,
             &mut out,
         );
         assert_eq!(tx.state, CcState::Open);
@@ -703,6 +730,7 @@ mod tests {
                 SimTime::from_micros(10),
                 None,
                 &SackBlocks::default(),
+                false,
                 &mut out,
             );
         }
@@ -715,6 +743,7 @@ mod tests {
             SimTime::from_micros(40),
             None,
             &SackBlocks::default(),
+            false,
             &mut out,
         );
         let rtx: Vec<&Segment> = out.iter().filter(|s| s.retx).collect();
@@ -754,6 +783,7 @@ mod tests {
                 SimTime::from_micros(i * 100 + 100),
                 None,
                 &SackBlocks::default(),
+                false,
                 &mut out,
             );
         }
@@ -766,8 +796,7 @@ mod tests {
         let mut a = TcpTx::new(cfg(), 100_000_000);
         let mut b = TcpTx::new(cfg(), 100_000_000);
         for t in [&mut a, &mut b] {
-            t.ssthresh = 1460.0;
-            t.cwnd = 14_600.0;
+            t.force_window(14_600.0, 1460.0);
         }
         let mut out = Vec::new();
         // Uncoupled CA increase.
@@ -777,6 +806,7 @@ mod tests {
             SimTime::from_micros(10),
             None,
             &SackBlocks::default(),
+            false,
             &mut out,
         );
         // Coupled with a huge alpha: capped at the uncoupled increase.
@@ -789,13 +819,13 @@ mod tests {
                 cwnd_total: 14_600.0 * 8.0,
             }),
             &SackBlocks::default(),
+            false,
             &mut out,
         );
         assert!((a.cwnd() - b.cwnd()).abs() < 1e-6);
         // Coupled with small alpha: strictly less aggressive.
         let mut c = TcpTx::new(cfg(), 100_000_000);
-        c.ssthresh = 1460.0;
-        c.cwnd = 14_600.0;
+        c.force_window(14_600.0, 1460.0);
         c.on_ack(
             1460,
             SimTime::ZERO,
@@ -805,6 +835,7 @@ mod tests {
                 cwnd_total: 14_600.0 * 8.0,
             }),
             &SackBlocks::default(),
+            false,
             &mut out,
         );
         assert!(c.cwnd() < a.cwnd());
@@ -827,6 +858,7 @@ mod tests {
             SimTime::from_micros(10),
             None,
             &SackBlocks::default(),
+            false,
             &mut out,
         );
         assert!(tx.done());
@@ -898,6 +930,7 @@ mod tests {
                 SimTime::from_micros(10),
                 None,
                 &SackBlocks::default(),
+                false,
                 &mut out,
             );
         }
@@ -913,6 +946,7 @@ mod tests {
             SimTime::from_millis(1),
             None,
             &SackBlocks::default(),
+            false,
             &mut fin,
         );
         assert!(tx.done());

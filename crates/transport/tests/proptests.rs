@@ -47,6 +47,7 @@ fn run_adversarial(total: u64, chaos: &[u8]) -> (bool, u64) {
                     now,
                     None,
                     &sack,
+                    false,
                     &mut out,
                 );
                 if v % 3 == 0 {
@@ -155,6 +156,7 @@ fn sender_window_invariants() {
                 now,
                 None,
                 &SackBlocks::default(),
+                false,
                 &mut out,
             );
             if a % 11 == 0 {

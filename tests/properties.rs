@@ -292,6 +292,7 @@ fn per_shard_event_streams_are_time_ordered() {
         42,
         2,
         QueueKind::Calendar,
+        None,
         Some(&trace),
         &[],
         &arrivals,
