@@ -62,10 +62,13 @@ impl FctSummary {
 
 /// Aggregate samples (plus a count of flows that never finished).
 ///
-/// Single pass: every mean is accumulated in sample order, which keeps
-/// the floating-point results bit-identical to the historical
+/// Means are accumulated in sample order in one pass, which keeps the
+/// floating-point results bit-identical to the historical
 /// collect-then-average implementation (f64 addition is performed in the
-/// same order) while allocating nothing.
+/// same order). Percentiles need the sorted distribution, so one FCT
+/// vector is collected and sorted **once**, with all three ranks read off
+/// it via [`crate::stats::percentile_sorted`] — not one clone-and-sort
+/// per rank.
 pub fn summarize(samples: &[FctSample], incomplete: usize) -> FctSummary {
     if samples.is_empty() {
         return FctSummary {
@@ -92,10 +95,12 @@ pub fn summarize(samples: &[FctSample], incomplete: usize) -> FctSummary {
         }
     }
     let n = samples.len() as f64;
-    // Tail percentiles need the full distribution; one allocation here is
-    // fine since the means above stay in their historical accumulation order.
-    let fcts: Vec<f64> = samples.iter().map(|s| s.fct_s).collect();
-    let pct = |p: f64| crate::stats::percentile(&fcts, p).unwrap_or(0.0);
+    // Tail percentiles need the full distribution: one allocation, one
+    // sort, three rank reads. (The means above stay in their historical
+    // accumulation order, so they are unaffected by the sort.)
+    let mut fcts: Vec<f64> = samples.iter().map(|s| s.fct_s).collect();
+    fcts.sort_by(f64::total_cmp);
+    let pct = |p: f64| crate::stats::percentile_sorted(&fcts, p).unwrap_or(0.0);
     FctSummary {
         n: samples.len(),
         avg_s: sum_all / n,

@@ -3,6 +3,10 @@
 //! * [`stats`] — means, percentiles, empirical CDFs, histograms;
 //! * [`fct`] — flow-completion-time aggregation in the paper's reporting
 //!   format (overall normalized to optimal, small < 100 KB, large > 10 MB);
+//! * [`sketch`] — streaming FCT aggregation for large-scale cells: a
+//!   deterministic log-bucketed percentile sketch plus exact fixed-point
+//!   running-mean accumulators (O(sketch) memory instead of
+//!   O(completed-flows));
 //! * [`imbalance`] — the `(MAX − MIN)/AVG` uplink throughput-imbalance
 //!   metric of Figure 12;
 //! * [`poa`] — the §6.1 bottleneck routing game: exact best responses,
@@ -18,5 +22,6 @@ pub mod fct;
 pub mod imbalance;
 pub mod model;
 pub mod poa;
+pub mod sketch;
 pub mod stats;
 pub mod tournament;

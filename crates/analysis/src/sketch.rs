@@ -1,0 +1,392 @@
+//! Streaming FCT aggregation: a deterministic log-bucketed percentile
+//! sketch plus exact running-mean accumulators.
+//!
+//! Large-scale cells (the three-tier fig15 fabrics) complete millions of
+//! flows; buffering one [`crate::fct::FctSample`] per flow for a
+//! collect-then-sort [`crate::fct::summarize`] is O(completed-flows)
+//! memory. The streaming path holds O(sketch) state instead:
+//!
+//! * [`FctSketch`] — percentiles. An HdrHistogram-style log-bucketed
+//!   histogram keyed by the top bits of the IEEE-754 representation:
+//!   bucket index = `value.to_bits() >> 44`, i.e. the sign-free exponent
+//!   plus the top 8 mantissa bits. Buckets are geometrically spaced with
+//!   relative width `2^(1/256) − 1 ≈ 0.27 %`, so reading a rank off the
+//!   bucket midpoints is within ~0.14 % relative error — comfortably
+//!   inside the 1 % differential-test budget. Bucket extraction is pure
+//!   integer bit manipulation (no `log`), and merging adds `u64` counts
+//!   bucket-wise, which is **exactly associative and commutative**: any
+//!   shard-merge order produces identical state, the property the
+//!   byte-identical-across-`--shards` contract rests on.
+//! * [`FctAccumulator`] — the means of the paper's reporting format.
+//!   Per-flow contributions are quantized to fixed-point integers (FCT in
+//!   nanoseconds, ideal FCT in picoseconds, slowdown in Q32) and summed
+//!   in `u128`, so integer addition — again exactly associative — replaces
+//!   the order-sensitive f64 accumulation of the buffered path. Floats
+//!   appear only once, in the final [`FctAccumulator::summary`] division.
+//!
+//! The streaming summary is *not* bit-identical to the exact
+//! [`crate::fct::summarize`] (quantized means, bucketed percentiles); it
+//! is a distinct opt-in mode, and every pre-existing figure keeps the
+//! exact path. Differential tests pin the two within 1 % of each other.
+
+use crate::fct::{FctSummary, LARGE_FLOW_BYTES, SMALL_FLOW_BYTES};
+use std::collections::BTreeMap;
+
+/// Bits dropped from an `f64` to form a bucket index: keep 11 exponent
+/// bits + the top 8 mantissa bits (256 sub-buckets per octave).
+const BUCKET_SHIFT: u32 = 52 - 8;
+
+/// A deterministic log-bucketed percentile sketch over non-negative
+/// values (seconds, here). See the module docs for the determinism and
+/// error analysis.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct FctSketch {
+    /// Bucket index → observation count. Sparse: FCTs span a few dozen
+    /// octaves at most, so this stays at a few thousand entries no matter
+    /// how many samples stream through.
+    bins: BTreeMap<u32, u64>,
+    n: u64,
+}
+
+impl FctSketch {
+    /// An empty sketch.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of observations recorded.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Number of occupied buckets — the sketch's memory footprint.
+    pub fn n_bins(&self) -> usize {
+        self.bins.len()
+    }
+
+    /// The bucket index for a value. Non-finite and negative inputs
+    /// clamp to 0.0 (bucket 0) rather than aborting: a malformed sample
+    /// must degrade one observation, not the run.
+    fn bucket_of(v: f64) -> u32 {
+        let v = if v.is_finite() && v > 0.0 { v } else { 0.0 };
+        (v.to_bits() >> BUCKET_SHIFT) as u32
+    }
+
+    /// The representative value of a bucket: the arithmetic midpoint of
+    /// its lower and upper bounds (reconstructed from the index by the
+    /// inverse bit shift).
+    fn value_of(idx: u32) -> f64 {
+        let lo = f64::from_bits((idx as u64) << BUCKET_SHIFT);
+        let hi = f64::from_bits(((idx as u64) + 1) << BUCKET_SHIFT);
+        (lo + hi) / 2.0
+    }
+
+    /// Record one observation.
+    pub fn add(&mut self, v: f64) {
+        *self.bins.entry(Self::bucket_of(v)).or_insert(0) += 1;
+        self.n += 1;
+    }
+
+    /// Merge another sketch into this one. Bucket-wise `u64` addition:
+    /// exactly associative and commutative, so any merge order over any
+    /// shard decomposition yields identical state.
+    pub fn merge(&mut self, other: &FctSketch) {
+        for (&k, &c) in &other.bins {
+            *self.bins.entry(k).or_insert(0) += c;
+        }
+        self.n += other.n;
+    }
+
+    /// The representative value of the `k`-th smallest observation
+    /// (0-indexed), or `None` for an empty sketch / out-of-range rank.
+    fn value_at_rank(&self, k: u64) -> Option<f64> {
+        if k >= self.n {
+            return None;
+        }
+        let mut seen = 0u64;
+        for (&idx, &c) in &self.bins {
+            seen += c;
+            if k < seen {
+                return Some(Self::value_of(idx));
+            }
+        }
+        None
+    }
+
+    /// The `p`-th percentile (0–100) using the same fractional-rank
+    /// convention as [`crate::stats::percentile`] (`rank = p/100·(n−1)`,
+    /// linear interpolation between adjacent ranks), read off bucket
+    /// midpoints. `None` for an empty sketch or out-of-range `p`.
+    pub fn quantile(&self, p: f64) -> Option<f64> {
+        if self.n == 0 || !(0.0..=100.0).contains(&p) {
+            return None;
+        }
+        let rank = p / 100.0 * (self.n - 1) as f64;
+        let lo = rank.floor() as u64;
+        let hi = rank.ceil() as u64;
+        let vlo = self.value_at_rank(lo)?;
+        if lo == hi {
+            return Some(vlo);
+        }
+        let vhi = self.value_at_rank(hi)?;
+        let f = rank - lo as f64;
+        Some(vlo * (1.0 - f) + vhi * f)
+    }
+
+    /// A deterministic canonical rendering — `n` then every
+    /// `bucket:count` pair in ascending bucket order — used by the
+    /// differential tests to assert byte-identical sketch state across
+    /// shard counts and merge orders.
+    pub fn canonical(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = format!("n={}", self.n);
+        for (&k, &c) in &self.bins {
+            let _ = write!(out, ";{k}:{c}");
+        }
+        out
+    }
+}
+
+/// Scale factor for Q32 fixed-point slowdown quantization.
+const Q32: f64 = 4294967296.0; // 2^32
+
+/// Streaming accumulator for the mean-based half of [`FctSummary`].
+/// All state is integer; see the module docs for why.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct FctAccumulator {
+    n: u64,
+    incomplete: u64,
+    sum_fct_ns: u128,
+    sum_ideal_ps: u128,
+    sum_slowdown_q32: u128,
+    sum_small_ns: u128,
+    n_small: u64,
+    sum_large_ns: u128,
+    n_large: u64,
+}
+
+impl FctAccumulator {
+    /// An empty accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Flows recorded so far (completed only).
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Record one completed flow: size in bytes, measured FCT in
+    /// nanoseconds (the engine's native unit — summed exactly), and the
+    /// ideal idle-network FCT in seconds (quantized to picoseconds).
+    pub fn add(&mut self, bytes: u64, fct_ns: u64, ideal_s: f64) {
+        let fct_s = fct_ns as f64 * 1e-9;
+        let slowdown = fct_s / ideal_s.max(1e-12);
+        self.n += 1;
+        self.sum_fct_ns += fct_ns as u128;
+        self.sum_ideal_ps += (ideal_s.max(0.0) * 1e12).round() as u128;
+        self.sum_slowdown_q32 += (slowdown.max(0.0) * Q32).round() as u128;
+        if bytes < SMALL_FLOW_BYTES {
+            self.sum_small_ns += fct_ns as u128;
+            self.n_small += 1;
+        }
+        if bytes > LARGE_FLOW_BYTES {
+            self.sum_large_ns += fct_ns as u128;
+            self.n_large += 1;
+        }
+    }
+
+    /// Record one flow that never completed within the drain bound.
+    pub fn add_incomplete(&mut self) {
+        self.incomplete += 1;
+    }
+
+    /// Merge another accumulator into this one (integer adds — exactly
+    /// associative and commutative).
+    pub fn merge(&mut self, other: &FctAccumulator) {
+        self.n += other.n;
+        self.incomplete += other.incomplete;
+        self.sum_fct_ns += other.sum_fct_ns;
+        self.sum_ideal_ps += other.sum_ideal_ps;
+        self.sum_slowdown_q32 += other.sum_slowdown_q32;
+        self.sum_small_ns += other.sum_small_ns;
+        self.n_small += other.n_small;
+        self.sum_large_ns += other.sum_large_ns;
+        self.n_large += other.n_large;
+    }
+
+    /// Assemble the [`FctSummary`], taking tail percentiles from the
+    /// sketch. The single place integer state meets floating point.
+    pub fn summary(&self, sketch: &FctSketch) -> FctSummary {
+        if self.n == 0 {
+            return FctSummary {
+                incomplete: self.incomplete as usize,
+                ..FctSummary::default()
+            };
+        }
+        let n = self.n as f64;
+        let avg_s = self.sum_fct_ns as f64 * 1e-9 / n;
+        let avg_ideal_s = self.sum_ideal_ps as f64 * 1e-12 / n;
+        let pct = |p: f64| sketch.quantile(p).unwrap_or(0.0);
+        FctSummary {
+            n: self.n as usize,
+            avg_s,
+            avg_norm_optimal: avg_s / avg_ideal_s.max(1e-12),
+            mean_slowdown: self.sum_slowdown_q32 as f64 / Q32 / n,
+            small_avg_s: (self.n_small > 0)
+                .then(|| self.sum_small_ns as f64 * 1e-9 / self.n_small as f64),
+            large_avg_s: (self.n_large > 0)
+                .then(|| self.sum_large_ns as f64 * 1e-9 / self.n_large as f64),
+            p50_s: pct(50.0),
+            p95_s: pct(95.0),
+            p99_s: pct(99.0),
+            incomplete: self.incomplete as usize,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fct::{summarize, FctSample};
+
+    fn sample_set(seed: u64, n: usize) -> Vec<FctSample> {
+        // A deterministic LCG spread over ~4 decades of FCTs with mixed
+        // flow sizes — no external RNG needed.
+        let mut state = seed.wrapping_mul(6364136223846793005).wrapping_add(1);
+        (0..n)
+            .map(|_| {
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                let u = (state >> 11) as f64 / (1u64 << 53) as f64;
+                let fct_s = 1e-5 * (10f64).powf(4.0 * u);
+                let bytes = 1_000 + (state % 20_000_000);
+                FctSample {
+                    bytes,
+                    fct_s,
+                    ideal_s: fct_s / (1.0 + 3.0 * u),
+                }
+            })
+            .collect()
+    }
+
+    fn stream(samples: &[FctSample]) -> (FctAccumulator, FctSketch) {
+        let mut acc = FctAccumulator::new();
+        let mut sk = FctSketch::new();
+        for s in samples {
+            acc.add(s.bytes, (s.fct_s * 1e9).round() as u64, s.ideal_s);
+            sk.add(s.fct_s);
+        }
+        (acc, sk)
+    }
+
+    fn rel_err(a: f64, b: f64) -> f64 {
+        (a - b).abs() / b.abs().max(1e-300)
+    }
+
+    #[test]
+    fn sketch_percentiles_within_one_percent_of_exact() {
+        for seed in [1u64, 7, 42] {
+            let samples = sample_set(seed, 5000);
+            let exact = summarize(&samples, 0);
+            let (acc, sk) = stream(&samples);
+            let s = acc.summary(&sk);
+            for (got, want, what) in [
+                (s.p50_s, exact.p50_s, "p50"),
+                (s.p95_s, exact.p95_s, "p95"),
+                (s.p99_s, exact.p99_s, "p99"),
+            ] {
+                assert!(
+                    rel_err(got, want) < 0.01,
+                    "seed {seed} {what}: sketch {got} vs exact {want}"
+                );
+            }
+            // Means agree far tighter than 1% (only quantization noise).
+            assert!(rel_err(s.avg_s, exact.avg_s) < 1e-6);
+            assert!(rel_err(s.avg_norm_optimal, exact.avg_norm_optimal) < 1e-6);
+            assert!(rel_err(s.mean_slowdown, exact.mean_slowdown) < 1e-6);
+            assert_eq!(s.n, exact.n);
+        }
+    }
+
+    #[test]
+    fn empty_and_single_sample_edges() {
+        let sk = FctSketch::new();
+        assert_eq!(sk.quantile(50.0), None);
+        let mut acc = FctAccumulator::new();
+        acc.add_incomplete();
+        let s = acc.summary(&sk);
+        assert_eq!(s.n, 0);
+        assert_eq!(s.incomplete, 1);
+        assert_eq!(s.p50_s, 0.0);
+        assert_eq!(s.small_avg_s, None);
+
+        let mut sk = FctSketch::new();
+        sk.add(0.003);
+        for p in [0.0, 50.0, 100.0] {
+            let q = sk.quantile(p).unwrap();
+            assert!(rel_err(q, 0.003) < 0.002, "p{p}: {q}");
+        }
+        // Out-of-range ranks degrade to None, like stats::percentile.
+        assert_eq!(sk.quantile(-1.0), None);
+        assert_eq!(sk.quantile(101.0), None);
+        // Non-finite observations clamp to the zero bucket.
+        let mut sk = FctSketch::new();
+        sk.add(f64::NAN);
+        sk.add(-3.0);
+        assert_eq!(sk.count(), 2);
+        assert_eq!(sk.quantile(100.0), sk.quantile(0.0));
+    }
+
+    #[test]
+    fn merge_is_associative_and_order_invariant() {
+        let samples = sample_set(9, 3000);
+        let parts: Vec<(FctAccumulator, FctSketch)> = samples.chunks(700).map(stream).collect();
+        // Left fold, right fold, and a shuffled order must agree exactly.
+        let fold = |order: &[usize]| {
+            let mut acc = FctAccumulator::new();
+            let mut sk = FctSketch::new();
+            for &i in order {
+                acc.merge(&parts[i].0);
+                sk.merge(&parts[i].1);
+            }
+            (acc, sk)
+        };
+        let idx: Vec<usize> = (0..parts.len()).collect();
+        let rev: Vec<usize> = idx.iter().rev().copied().collect();
+        let shuffled = vec![2, 0, 4, 1, 3];
+        let (a1, s1) = fold(&idx);
+        let (a2, s2) = fold(&rev);
+        let (a3, s3) = fold(&shuffled);
+        assert_eq!(a1, a2);
+        assert_eq!(a1, a3);
+        assert_eq!(s1, s2);
+        assert_eq!(s1, s3);
+        assert_eq!(s1.canonical(), s2.canonical());
+        // And the merged state equals the single-stream state.
+        let (aw, sw) = stream(&samples);
+        assert_eq!(a1, aw);
+        assert_eq!(s1.canonical(), sw.canonical());
+    }
+
+    #[test]
+    fn sketch_memory_is_bounded_by_bins_not_samples() {
+        let samples = sample_set(3, 20_000);
+        let (_, sk) = stream(&samples);
+        assert_eq!(sk.count(), 20_000);
+        // 4 decades of values at 256 sub-buckets/octave: a few thousand
+        // bins at most, far below the sample count.
+        assert!(sk.n_bins() < 4000, "{} bins", sk.n_bins());
+    }
+
+    #[test]
+    fn bucket_midpoint_error_is_within_spec() {
+        // Every bucket's relative half-width is (2^(1/256)-1)/2 < 0.14%.
+        for v in [1e-6, 3.7e-4, 0.042, 1.0, 913.5] {
+            let idx = FctSketch::bucket_of(v);
+            let rep = FctSketch::value_of(idx);
+            assert!(rel_err(rep, v) < 2.8e-3, "v={v} rep={rep}");
+        }
+    }
+}

@@ -20,17 +20,28 @@ pub fn std_dev(xs: &[f64]) -> f64 {
 }
 
 /// The `p`-th percentile (0–100) by linear interpolation on the sorted
-/// sample. Returns `None` for an empty sample (experiment cells can
-/// legitimately produce zero observations — e.g. no utilized windows, no
-/// completed flows — and must not take the whole run down). `p` outside
-/// [0, 100] is a caller bug and still asserts.
+/// sample. Returns `None` for an empty sample or an out-of-range rank
+/// (experiment cells can legitimately produce zero observations — e.g. no
+/// utilized windows, no completed flows — and a malformed rank from a CLI
+/// flag must degrade the cell, not abort the whole fleet run).
 pub fn percentile(xs: &[f64], p: f64) -> Option<f64> {
-    assert!((0.0..=100.0).contains(&p), "percentile rank out of range");
-    if xs.is_empty() {
+    if xs.is_empty() || !(0.0..=100.0).contains(&p) {
         return None;
     }
     let mut s: Vec<f64> = xs.to_vec();
     s.sort_by(f64::total_cmp);
+    percentile_sorted(&s, p)
+}
+
+/// [`percentile`] over an **already sorted** slice: no copy, no sort.
+/// Callers that need several ranks of the same distribution sort once and
+/// read each rank through this. Same `None` contract as [`percentile`];
+/// the interpolation arithmetic is identical, so the two agree bit-for-bit
+/// on sorted input.
+pub fn percentile_sorted(s: &[f64], p: f64) -> Option<f64> {
+    if s.is_empty() || !(0.0..=100.0).contains(&p) {
+        return None;
+    }
     let rank = p / 100.0 * (s.len() - 1) as f64;
     let lo = rank.floor() as usize;
     let hi = rank.ceil() as usize;
@@ -131,6 +142,26 @@ mod tests {
     fn percentile_of_empty_sample_is_none() {
         assert_eq!(percentile(&[], 50.0), None);
         assert_eq!(percentile(&[], 0.0), None);
+    }
+
+    #[test]
+    fn percentile_of_out_of_range_rank_is_none_not_a_panic() {
+        let xs = [1.0, 2.0, 3.0];
+        assert_eq!(percentile(&xs, -0.1), None);
+        assert_eq!(percentile(&xs, 100.1), None);
+        assert_eq!(percentile(&xs, f64::NAN), None);
+        assert_eq!(percentile_sorted(&xs, -5.0), None);
+        assert_eq!(percentile_sorted(&[], 50.0), None);
+    }
+
+    #[test]
+    fn percentile_sorted_matches_percentile() {
+        let xs = [40.0, 10.0, 30.0, 20.0];
+        let mut s = xs.to_vec();
+        s.sort_by(f64::total_cmp);
+        for p in [0.0, 12.5, 50.0, 90.0, 100.0] {
+            assert_eq!(percentile(&xs, p), percentile_sorted(&s, p));
+        }
     }
 
     #[test]

@@ -272,6 +272,7 @@ pub fn run_dynamic_failure(spec: &DynFailSpec) -> DynFailOutcome {
         None,
         spec.trace.as_ref(),
         &faults,
+        &[],
         &abs_arrivals,
     );
 

@@ -266,6 +266,12 @@ pub fn fct_sweep(
                 cfg.shards = args.shards;
                 cfg.cc = args.primary_cc();
                 cfg.ecn_threshold_pkts = args.ecn_threshold;
+                // Three-tier (fig15-scale) cells always stream their FCTs
+                // through the sketch — the whole point of running 10k+
+                // hosts is not buffering one sample per flow. Two-tier
+                // cells keep the exact path (and its goldens) unless
+                // `--sketch true` opts in.
+                cfg.sketch = topo.pods > 1 || args.get("sketch", false);
                 // The default controller keeps historical labels (and so
                 // sidecar paths) unchanged; alternates are called out.
                 let label = if cfg.cc == conga_transport::CcKind::Aimd {

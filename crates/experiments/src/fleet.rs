@@ -221,6 +221,35 @@ pub fn fct_scenario(figure: &str, label: &str, cfg: &FctRun, quick: bool) -> Sce
     if let Some(pkts) = cfg.effective_ecn_pkts() {
         s = s.with_extra("ecn_threshold_pkts", pkts);
     }
+    // Likewise the three-tier pod structure, core-link fault schedule and
+    // the streaming-sketch aggregation mode: stamped only when
+    // non-default, so every pre-existing two-tier scenario keeps its
+    // canonical form (modulo the version line).
+    if cfg.topo.pods > 1 {
+        s = s
+            .with_extra("topo.pods", cfg.topo.pods)
+            .with_extra("topo.cores", cfg.topo.cores);
+    }
+    if !cfg.core_faults.is_empty() {
+        let sched: Vec<String> = cfg
+            .core_faults
+            .iter()
+            .map(|f| {
+                format!(
+                    "{}@{}ns:{}:{}:{}",
+                    if f.up { "recover" } else { "fail" },
+                    f.at.as_nanos(),
+                    f.spine,
+                    f.core,
+                    f.parallel
+                )
+            })
+            .collect();
+        s = s.with_extra("core_faults", sched.join(","));
+    }
+    if cfg.sketch {
+        s = s.with_extra("fct_aggregation", "sketch");
+    }
     s
 }
 
@@ -345,6 +374,39 @@ mod tests {
         let canon = fct_scenario("figX", "a", &tiny_cfg(1), true).canonical();
         assert!(!canon.contains("x.cc="));
         assert!(!canon.contains("x.ecn_threshold_pkts="));
+    }
+
+    #[test]
+    fn three_tier_and_sketch_knobs_reach_the_scenario_hash() {
+        let base = fct_scenario("figX", "a", &tiny_cfg(1), true);
+        let base_hash = base.content_hash();
+        // Defaults stamp none of the new extras — pre-existing two-tier
+        // scenarios keep their canonical form (modulo the version line).
+        let canon = base.canonical();
+        assert!(!canon.contains("x.topo.pods="));
+        assert!(!canon.contains("x.core_faults="));
+        assert!(!canon.contains("x.fct_aggregation="));
+
+        let mut cfg = tiny_cfg(1);
+        cfg.topo = TestbedOpts::three_tier(2, 2, 1, 2, 4);
+        let tri = fct_scenario("figX", "a", &cfg, true).content_hash();
+        assert_ne!(base_hash, tri, "pod structure must reach the hash");
+        cfg.core_faults = vec![crate::runner::CoreLinkFaultSpec::fail(
+            conga_sim::SimTime::from_millis(3),
+            0,
+            0,
+            0,
+        )];
+        let faulted = fct_scenario("figX", "a", &cfg, true).content_hash();
+        assert_ne!(tri, faulted, "core faults must reach the hash");
+
+        let mut cfg = tiny_cfg(1);
+        cfg.sketch = true;
+        assert_ne!(
+            base_hash,
+            fct_scenario("figX", "a", &cfg, true).content_hash(),
+            "aggregation mode must reach the hash"
+        );
     }
 
     #[test]

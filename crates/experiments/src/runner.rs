@@ -2,10 +2,11 @@
 //! the open-loop FCT experiment of paper §5.2.
 
 use conga_analysis::fct::{ideal_fct_s, summarize, FctSample, FctSummary};
+use conga_analysis::sketch::{FctAccumulator, FctSketch};
 use conga_core::FabricPolicy;
 use conga_net::{
     ChannelId, EcnConfig, HostId, LeafSpineBuilder, Network, ShardedNetwork, Topology,
-    WIRE_OVERHEAD,
+    TopologyBuilder, WIRE_OVERHEAD,
 };
 use conga_sim::{QueueKind, SimDuration, SimRng, SimTime};
 use conga_telemetry::{RunReport, SeriesRegistry};
@@ -118,12 +119,13 @@ impl Scheme {
     }
 }
 
-/// Options for the paper's testbed topologies (Figure 7).
+/// Options for the paper's testbed topologies (Figure 7) and the
+/// large-scale three-tier fabrics (Figure 15).
 #[derive(Clone, Copy, Debug)]
 pub struct TestbedOpts {
-    /// Leaves.
+    /// Leaves (total, across all pods).
     pub leaves: u32,
-    /// Spines.
+    /// Spines (total, across all pods).
     pub spines: u32,
     /// Hosts per leaf.
     pub hosts_per_leaf: u32,
@@ -134,7 +136,16 @@ pub struct TestbedOpts {
     /// Parallel links per leaf-spine pair.
     pub parallel: u32,
     /// Fail one parallel link (leaf, spine, index) — Figure 7(b).
+    /// Two-tier fabrics only.
     pub fail: Option<(u32, u32, u32)>,
+    /// Pods. `1` (the default everywhere but fig15's large-scale cases)
+    /// keeps the two-tier leaf-spine fabric; `> 1` builds the
+    /// pod-structured three-tier Clos, with `leaves`/`spines` split
+    /// evenly across pods.
+    pub pods: u32,
+    /// Core switches above the spines (three-tier only; must be 0 when
+    /// `pods == 1`).
+    pub cores: u32,
 }
 
 impl TestbedOpts {
@@ -149,6 +160,8 @@ impl TestbedOpts {
             fabric_gbps: 40,
             parallel: 2,
             fail: None,
+            pods: 1,
+            cores: 0,
         }
     }
 
@@ -157,6 +170,29 @@ impl TestbedOpts {
         TestbedOpts {
             fail: Some((1, 1, 0)),
             ..Self::paper_baseline()
+        }
+    }
+
+    /// A pod-structured three-tier Clos (fig15's large-scale cases):
+    /// `pods × leaves_per_pod` leaves, `pods × spines_per_pod` spines,
+    /// `cores` core switches, 10 G hosts on 40 G fabric links.
+    pub fn three_tier(
+        pods: u32,
+        leaves_per_pod: u32,
+        spines_per_pod: u32,
+        cores: u32,
+        hosts_per_leaf: u32,
+    ) -> Self {
+        TestbedOpts {
+            leaves: pods * leaves_per_pod,
+            spines: pods * spines_per_pod,
+            hosts_per_leaf,
+            host_gbps: 10,
+            fabric_gbps: 40,
+            parallel: 1,
+            fail: None,
+            pods,
+            cores,
         }
     }
 
@@ -169,6 +205,32 @@ impl TestbedOpts {
 
 /// Build the topology for the given options.
 pub fn build_testbed(o: TestbedOpts) -> Topology {
+    if o.pods > 1 {
+        assert!(
+            o.leaves.is_multiple_of(o.pods) && o.spines.is_multiple_of(o.pods),
+            "leaves ({}) and spines ({}) must split evenly across {} pods",
+            o.leaves,
+            o.spines,
+            o.pods
+        );
+        assert!(
+            o.fail.is_none(),
+            "static link failure is a two-tier knob; use runtime fault schedules on three-tier fabrics"
+        );
+        return TopologyBuilder::three_tier(
+            o.pods,
+            o.leaves / o.pods,
+            o.spines / o.pods,
+            o.cores,
+            o.hosts_per_leaf,
+        )
+        .host_rate_gbps(o.host_gbps)
+        .fabric_rate_gbps(o.fabric_gbps)
+        .core_rate_gbps(o.fabric_gbps)
+        .parallel_links(o.parallel)
+        .build();
+    }
+    assert_eq!(o.cores, 0, "core switches require pods > 1");
     let mut b = LeafSpineBuilder::new(o.leaves, o.spines, o.hosts_per_leaf)
         .host_rate_gbps(o.host_gbps)
         .fabric_rate_gbps(o.fabric_gbps)
@@ -217,6 +279,49 @@ impl LinkFaultSpec {
             at,
             leaf,
             spine,
+            parallel,
+            up: true,
+        }
+    }
+}
+
+/// A scheduled runtime transition on a spine–core link of a three-tier
+/// fabric — the CAFT-style core failure scenario. Same semantics as
+/// [`LinkFaultSpec`]: both simplex channels transition at `at`, in-flight
+/// packets on a failing link are blackholed, and the FIB reconverges
+/// (inter-pod traffic detours through the surviving cores).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CoreLinkFaultSpec {
+    /// When the transition fires.
+    pub at: SimTime,
+    /// Spine side of the link.
+    pub spine: u32,
+    /// Core side of the link.
+    pub core: u32,
+    /// Parallel-link index within the spine–core pair.
+    pub parallel: u32,
+    /// `false` = fail, `true` = recover.
+    pub up: bool,
+}
+
+impl CoreLinkFaultSpec {
+    /// Fail link (spine, core, parallel) at `at`.
+    pub fn fail(at: SimTime, spine: u32, core: u32, parallel: u32) -> Self {
+        CoreLinkFaultSpec {
+            at,
+            spine,
+            core,
+            parallel,
+            up: false,
+        }
+    }
+
+    /// Recover link (spine, core, parallel) at `at`.
+    pub fn recover(at: SimTime, spine: u32, core: u32, parallel: u32) -> Self {
+        CoreLinkFaultSpec {
+            at,
+            spine,
+            core,
             parallel,
             up: true,
         }
@@ -281,6 +386,16 @@ pub struct FctRun {
     pub sample_uplinks: bool,
     /// Runtime link fail/recover events, applied in order mid-run.
     pub faults: Vec<LinkFaultSpec>,
+    /// Runtime spine–core link fail/recover events (three-tier fabrics).
+    pub core_faults: Vec<CoreLinkFaultSpec>,
+    /// Stream completed flows into the deterministic
+    /// [`FctSketch`]/[`FctAccumulator`] pair instead of buffering one
+    /// [`FctSample`] per flow for a collect-then-sort summary. Memory
+    /// drops from O(completed flows) to O(sketch bins); percentiles come
+    /// off bucket midpoints (within 1 % of exact — `tests/shards.rs`
+    /// pins the differential). Off by default: every pre-existing figure
+    /// keeps the exact path and its byte-identical goldens.
+    pub sketch: bool,
     /// Structured event tracing (`None` = disabled; zero overhead).
     pub trace: Option<TraceSpec>,
     /// Future-event-list implementation. Purely a performance knob —
@@ -311,6 +426,8 @@ impl FctRun {
             ecn_threshold_pkts: None,
             sample_uplinks: false,
             faults: Vec::new(),
+            core_faults: Vec::new(),
+            sketch: false,
             trace: None,
             // The calendar queue is the production default; the heap is
             // the reference implementation (tests/hotpath.rs proves the
@@ -376,6 +493,10 @@ pub struct FctOutcome {
     /// The trace recorder handle, if tracing was requested. Export with
     /// [`conga_trace::TraceHandle::export_jsonl`] / `export_chrome`.
     pub trace: Option<conga_trace::TraceHandle>,
+    /// The streaming percentile sketch, when [`FctRun::sketch`] was set
+    /// (`None` on the exact path). Its [`FctSketch::canonical`] form is
+    /// byte-identical across `--shards` and merge orders.
+    pub sketch: Option<FctSketch>,
 }
 
 /// Convert a [`PoissonPlan`] into a single time-ordered arrival list over
@@ -493,6 +614,7 @@ impl ShardedRun {
         ecn: Option<EcnConfig>,
         trace: Option<&TraceSpec>,
         faults: &[LinkFaultSpec],
+        core_faults: &[CoreLinkFaultSpec],
         arrivals: &[(SimTime, FlowSpec)],
     ) -> Self {
         let trace_cfg = trace.map(|t| t.config());
@@ -518,6 +640,14 @@ impl ShardedRun {
                     n.schedule_link_recovery(f.at, leaf, spine, f.parallel as usize);
                 } else {
                     n.schedule_link_fault(f.at, leaf, spine, f.parallel as usize);
+                }
+            }
+            for f in core_faults {
+                let (spine, core) = (conga_net::SpineId(f.spine), conga_net::CoreId(f.core));
+                if f.up {
+                    n.schedule_core_link_recovery(f.at, spine, core, f.parallel as usize);
+                } else {
+                    n.schedule_core_link_fault(f.at, spine, core, f.parallel as usize);
                 }
             }
             for (start, spec) in arrivals {
@@ -550,18 +680,22 @@ impl ShardedRun {
     /// `rx_done` taken from the receiver's domain.
     pub fn merged_records(&self, topo: &Topology) -> Vec<FlowRecord> {
         let n = self.net.domain(0).agent.records.len();
-        let mut out = Vec::with_capacity(n);
-        for i in 0..n {
-            let probe = self.net.domain(0).agent.records[i];
-            let src_d = topo.leaf_of(probe.src).0 as usize;
-            let dst_d = topo.leaf_of(probe.dst).0 as usize;
-            let mut r = self.net.domain(src_d).agent.records[i];
-            if dst_d != src_d {
-                r.rx_done = self.net.domain(dst_d).agent.records[i].rx_done;
-            }
-            out.push(r);
+        (0..n).map(|i| self.merged_record(topo, i)).collect()
+    }
+
+    /// The per-index form of [`Self::merged_records`]: one flow's record
+    /// with `rx_done` merged from the receiver's domain. The streaming
+    /// drain uses this to consume completions incrementally without
+    /// materializing the full record list every slice.
+    pub fn merged_record(&self, topo: &Topology, i: usize) -> FlowRecord {
+        let probe = self.net.domain(0).agent.records[i];
+        let src_d = topo.leaf_of(probe.src).0 as usize;
+        let dst_d = topo.leaf_of(probe.dst).0 as usize;
+        let mut r = self.net.domain(src_d).agent.records[i];
+        if dst_d != src_d {
+            r.rx_done = self.net.domain(dst_d).agent.records[i].rx_done;
         }
-        out
+        r
     }
 
     /// Sum an [`EngineStats`] counter across domains (ownership gating in
@@ -667,6 +801,7 @@ pub fn run_fct_with_policy(cfg: &FctRun, policy: FabricPolicy) -> FctOutcome {
         cfg.ecn_config(),
         cfg.trace.as_ref(),
         &cfg.faults,
+        &cfg.core_faults,
         &abs_arrivals,
     );
     if cfg.sample_uplinks {
@@ -684,12 +819,53 @@ pub fn run_fct_with_policy(cfg: &FctRun, policy: FabricPolicy) -> FctOutcome {
         }
     }
 
-    // Run in slices until every flow completes (or the drain bound).
+    // Ideal FCT model parameters from the topology. Intra-leaf flows
+    // traverse 2 hops, cross-leaf 4 (leaf–spine–leaf), inter-pod 6
+    // (leaf–spine–core–spine–leaf); two-tier fabrics are one pod, so the
+    // pre-existing 2/4 split — and every golden — is unchanged.
+    let edge_bps = cfg.topo.host_gbps * 1_000_000_000;
+    let mss = cfg.tcp.mss;
+    let ideal_of = |r: &FlowRecord| {
+        let (sl, dl) = (topo.leaf_of(r.src), topo.leaf_of(r.dst));
+        let hops = if sl == dl {
+            2
+        } else if topo.pod_of_leaf(sl) != topo.pod_of_leaf(dl) {
+            6
+        } else {
+            4
+        };
+        ideal_fct_s(r.bytes, edge_bps, hops, 2.5e-6, mss, WIRE_OVERHEAD)
+    };
+    // Only flows that start while the offered load is still arriving are
+    // measured: flows arriving near or after the end of the Poisson window
+    // would finish in a draining (emptying) fabric and dilute every
+    // congestion effect. The last 30% of the window is the guard band.
+    let measure_until = SimTime::from_nanos((span_ns as f64 * 0.7) as u64);
+
+    // Run in slices until every flow completes (or the drain bound). In
+    // sketch mode each slice also consumes newly-completed flows into the
+    // streaming accumulators, so no per-flow sample list ever builds up.
     let total_flows = cfg.n_flows * 2;
     let drain_bound = SimTime::from_nanos(span_ns) + SimDuration::from_secs(8);
+    let mut consumed = vec![false; if cfg.sketch { abs_arrivals.len() } else { 0 }];
+    let mut acc = FctAccumulator::new();
+    let mut sk = FctSketch::new();
     loop {
         let t = run.net.now() + SimDuration::from_millis(50);
         run.net.run_until(t);
+        for (i, done) in consumed.iter_mut().enumerate() {
+            if *done {
+                continue;
+            }
+            let r = run.merged_record(&topo, i);
+            if let Some(f) = r.fct() {
+                *done = true;
+                if r.start <= measure_until {
+                    acc.add(r.bytes, f.as_nanos(), ideal_of(&r));
+                    sk.add(f.as_secs_f64());
+                }
+            }
+        }
         if run.completed_rx() >= total_flows {
             break;
         }
@@ -699,32 +875,33 @@ pub fn run_fct_with_policy(cfg: &FctRun, policy: FabricPolicy) -> FctOutcome {
     }
     let records = run.merged_records(&topo);
 
-    // Ideal FCT model parameters from the topology.
-    let edge_bps = cfg.topo.host_gbps * 1_000_000_000;
-    let mss = cfg.tcp.mss;
-    let mut samples = Vec::new();
-    let mut incomplete = 0;
-    // Only flows that start while the offered load is still arriving are
-    // measured: flows arriving near or after the end of the Poisson window
-    // would finish in a draining (emptying) fabric and dilute every
-    // congestion effect. The last 30% of the window is the guard band.
-    let measure_until = SimTime::from_nanos((span_ns as f64 * 0.7) as u64);
-    for r in &records {
-        if r.start > measure_until {
-            continue;
+    let summary = if cfg.sketch {
+        // Whatever the slice drain never consumed missed the drain bound;
+        // count it incomplete if it was inside the measure window.
+        for (i, done) in consumed.iter().enumerate() {
+            if !done && records[i].start <= measure_until {
+                acc.add_incomplete();
+            }
         }
-        let cross_leaf = topo.leaf_of(r.src) != topo.leaf_of(r.dst);
-        let hops = if cross_leaf { 4 } else { 2 };
-        match r.fct() {
-            Some(f) => samples.push(FctSample {
-                bytes: r.bytes,
-                fct_s: f.as_secs_f64(),
-                ideal_s: ideal_fct_s(r.bytes, edge_bps, hops, 2.5e-6, mss, WIRE_OVERHEAD),
-            }),
-            None => incomplete += 1,
+        acc.summary(&sk)
+    } else {
+        let mut samples = Vec::new();
+        let mut incomplete = 0;
+        for r in &records {
+            if r.start > measure_until {
+                continue;
+            }
+            match r.fct() {
+                Some(f) => samples.push(FctSample {
+                    bytes: r.bytes,
+                    fct_s: f.as_secs_f64(),
+                    ideal_s: ideal_of(r),
+                }),
+                None => incomplete += 1,
+            }
         }
-    }
-    let summary = summarize(&samples, incomplete);
+        summarize(&samples, incomplete)
+    };
 
     let retx_bytes = records.iter().map(|r| r.retx_bytes).sum();
     let timeouts = records.iter().map(|r| r.timeouts).sum();
@@ -776,6 +953,7 @@ pub fn run_fct_with_policy(cfg: &FctRun, policy: FabricPolicy) -> FctOutcome {
         report,
         series,
         trace,
+        sketch: cfg.sketch.then_some(sk),
     }
 }
 
@@ -805,18 +983,41 @@ fn fct_meta(cfg: &FctRun, policy_name: &str, end: SimTime) -> RunReport {
     if let Some(pkts) = cfg.effective_ecn_pkts() {
         report.set_meta("ecn_threshold_pkts", pkts.to_string());
     }
-    report.set_meta(
-        "topology",
-        format!(
-            "{}x{}x{}@{}G/{}G par{}",
-            cfg.topo.leaves,
-            cfg.topo.spines,
-            cfg.topo.hosts_per_leaf,
-            cfg.topo.host_gbps,
-            cfg.topo.fabric_gbps,
-            cfg.topo.parallel
-        ),
-    );
+    // Two-tier fabrics keep the historical topology string (and their
+    // byte-identical goldens); three-tier fabrics get an extended form
+    // that names the pod structure and core tier.
+    if cfg.topo.pods > 1 {
+        report.set_meta(
+            "topology",
+            format!(
+                "{}pods:{}x{}x{}+{}cores@{}G/{}G par{}",
+                cfg.topo.pods,
+                cfg.topo.leaves,
+                cfg.topo.spines,
+                cfg.topo.hosts_per_leaf,
+                cfg.topo.cores,
+                cfg.topo.host_gbps,
+                cfg.topo.fabric_gbps,
+                cfg.topo.parallel
+            ),
+        );
+    } else {
+        report.set_meta(
+            "topology",
+            format!(
+                "{}x{}x{}@{}G/{}G par{}",
+                cfg.topo.leaves,
+                cfg.topo.spines,
+                cfg.topo.hosts_per_leaf,
+                cfg.topo.host_gbps,
+                cfg.topo.fabric_gbps,
+                cfg.topo.parallel
+            ),
+        );
+    }
+    if cfg.sketch {
+        report.set_meta("fct_aggregation", "sketch");
+    }
     if let Some((l, s, p)) = cfg.topo.fail {
         report.set_meta("failed_link", format!("leaf{l}-spine{s}#{p}"));
     }
@@ -836,6 +1037,23 @@ fn fct_meta(cfg: &FctRun, policy_name: &str, end: SimTime) -> RunReport {
             })
             .collect();
         report.set_meta("fault_schedule", sched.join(","));
+    }
+    if !cfg.core_faults.is_empty() {
+        let sched: Vec<String> = cfg
+            .core_faults
+            .iter()
+            .map(|f| {
+                format!(
+                    "{}@{}ns:spine{}-core{}#{}",
+                    if f.up { "recover" } else { "fail" },
+                    f.at.as_nanos(),
+                    f.spine,
+                    f.core,
+                    f.parallel
+                )
+            })
+            .collect();
+        report.set_meta("core_fault_schedule", sched.join(","));
     }
     report.set_meta("end_time_ns", end.as_nanos().to_string());
     report
@@ -903,6 +1121,40 @@ mod tests {
                 assert!(spec.dst.0 < 4);
             }
         }
+    }
+
+    #[test]
+    fn three_tier_testbed_builds_the_pod_structure() {
+        let o = TestbedOpts::three_tier(2, 2, 2, 3, 4);
+        assert_eq!((o.leaves, o.spines, o.pods, o.cores), (4, 4, 2, 3));
+        let t = build_testbed(o);
+        assert_eq!(t.n_hosts, 16);
+        assert_eq!(t.n_pods, 2);
+        assert_eq!(t.n_cores, 3);
+        // Pod-local mesh only: each leaf sees its pod's 2 spines.
+        assert_eq!(t.fib().leaf_uplinks[0].len(), 2);
+    }
+
+    #[test]
+    fn small_three_tier_sketch_run_completes_all_flows() {
+        let mut cfg = FctRun::new(
+            TestbedOpts::three_tier(2, 2, 1, 2, 4),
+            Scheme::Conga,
+            FlowSizeDist::enterprise(),
+            0.3,
+        );
+        cfg.n_flows = 30;
+        cfg.sketch = true;
+        let out = run_fct(&cfg);
+        assert_eq!(out.summary.incomplete, 0);
+        assert!(out.summary.avg_norm_optimal >= 1.0, "can't beat optimal");
+        let sk = out.sketch.expect("sketch mode returns the sketch");
+        assert_eq!(sk.count() as usize, out.summary.n);
+        // Three-tier reports use the extended topology string and declare
+        // the aggregation mode.
+        let json = out.report.to_json();
+        assert!(json.contains("2pods:4x2x4+2cores@10G/40G par1"), "{json}");
+        assert!(json.contains("\"fct_aggregation\": \"sketch\""));
     }
 
     #[test]

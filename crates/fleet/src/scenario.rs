@@ -31,7 +31,11 @@ use std::fmt::Write as _;
 ///
 /// v5: pluggable congestion controllers (`x.cc`) and ECN marking
 /// (`x.ecn_threshold_pkts`) reach the dataplane.
-pub const CACHE_FORMAT_VERSION: u32 = 5;
+///
+/// v6: three-tier Clos fabrics (`x.topo.pods`/`x.topo.cores`), spine–core
+/// fault schedules (`x.core_faults`), and the streaming FCT sketch
+/// aggregation path (`x.fct_aggregation`).
+pub const CACHE_FORMAT_VERSION: u32 = 6;
 
 /// The topology of a cell, mirroring the experiment harness's testbed
 /// options as plain data.

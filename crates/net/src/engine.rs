@@ -26,8 +26,8 @@
 //! fold the link's congestion into the packet's CE field — exactly the
 //! hop-by-hop CE update of paper §3.3.
 
-use crate::ids::{ChannelId, LeafId, NodeId, SpineId};
-use crate::packet::{Overlay, Packet};
+use crate::ids::{ChannelId, CoreId, LeafId, NodeId, SpineId};
+use crate::packet::{ecmp_mix, Overlay, Packet};
 use crate::port::{Enqueue, TxPort};
 use crate::topology::{Fib, Topology};
 use conga_sim::{EventQueue, SimDuration, SimRng, SimTime};
@@ -68,6 +68,41 @@ pub trait Dataplane {
         now: SimTime,
         rng: &mut SimRng,
     ) -> ChannelId;
+
+    /// A packet at a spine has no direct downlink to its destination leaf
+    /// (inter-pod traffic in a three-tier Clos, or every pod downlink
+    /// failed): pick among the live spine→core channels. The tier above
+    /// the leaves stays congestion-oblivious — paper footnote 3 has spines
+    /// use ECMP regardless of the leaf policy — so the default flow-hashes
+    /// across the candidates and no policy needs to override it.
+    fn spine_up_forward(
+        &mut self,
+        spine: SpineId,
+        pkt: &mut Packet,
+        candidates: &[ChannelId],
+        _now: SimTime,
+        _rng: &mut SimRng,
+    ) -> ChannelId {
+        let i =
+            (ecmp_mix(pkt.flow_hash, 0x50000 + spine.0 as u64) % candidates.len() as u64) as usize;
+        candidates[i]
+    }
+
+    /// A packet at a core switch must descend toward its destination leaf;
+    /// pick among the live core→spine channels that still reach it. ECMP
+    /// by default, like [`Dataplane::spine_up_forward`].
+    fn core_forward(
+        &mut self,
+        core: CoreId,
+        pkt: &mut Packet,
+        candidates: &[ChannelId],
+        _now: SimTime,
+        _rng: &mut SimRng,
+    ) -> ChannelId {
+        let i =
+            (ecmp_mix(pkt.flow_hash, 0xC0000 + core.0 as u64) % candidates.len() as u64) as usize;
+        candidates[i]
+    }
 
     /// A packet starts transmission on a fabric channel: update the
     /// channel's congestion estimate and fold it into the packet's CE.
@@ -592,6 +627,47 @@ impl<D: Dataplane, A: HostAgent> Network<D, A> {
         pairs[p]
     }
 
+    /// Schedule both directions of the `p`-th link between `spine` and
+    /// `core` to fail at `at` — the three-tier (CAFT-style) analogue of
+    /// [`Network::schedule_link_fault`]. Panics if no such link exists.
+    pub fn schedule_core_link_fault(
+        &mut self,
+        at: SimTime,
+        spine: SpineId,
+        core: CoreId,
+        p: usize,
+    ) {
+        let (upch, downch) = self.resolve_core_link(spine, core, p);
+        self.schedule_channel_fault(at, upch, false);
+        self.schedule_channel_fault(at, downch, false);
+    }
+
+    /// Schedule both directions of the `p`-th link between `spine` and
+    /// `core` to come back up at `at`.
+    pub fn schedule_core_link_recovery(
+        &mut self,
+        at: SimTime,
+        spine: SpineId,
+        core: CoreId,
+        p: usize,
+    ) {
+        let (upch, downch) = self.resolve_core_link(spine, core, p);
+        self.schedule_channel_fault(at, upch, true);
+        self.schedule_channel_fault(at, downch, true);
+    }
+
+    fn resolve_core_link(&self, spine: SpineId, core: CoreId, p: usize) -> (ChannelId, ChannelId) {
+        let pairs = self.topo.core_link_channels(spine, core);
+        assert!(
+            p < pairs.len(),
+            "spine{}-core{} has {} links, no parallel index {p}",
+            spine.0,
+            core.0,
+            pairs.len()
+        );
+        pairs[p]
+    }
+
     /// Whether a channel is currently up.
     #[inline]
     pub fn link_is_up(&self, ch: ChannelId) -> bool {
@@ -931,6 +1007,38 @@ impl<D: Dataplane, A: HostAgent> Network<D, A> {
                     .expect("fabric packet without overlay at spine")
                     .dst_tep;
                 let cands = &self.fib.spine_down[s.idx()][dst_leaf.idx()];
+                if !cands.is_empty() {
+                    let chosen = {
+                        let _t = profile::timer(Phase::Route);
+                        self.dataplane
+                            .spine_forward(s, &mut pkt, cands, self.now, &mut self.rng)
+                    };
+                    debug_assert!(cands.contains(&chosen), "dataplane chose a non-candidate");
+                    self.enqueue(chosen, pkt);
+                    return;
+                }
+                // No direct downlink: detour through the core tier
+                // (inter-pod traffic, or a pod downlink failure).
+                let ups = &self.fib.spine_up_candidates[s.idx()][dst_leaf.idx()];
+                if ups.is_empty() {
+                    self.stats.unroutable += 1;
+                    return;
+                }
+                let chosen = {
+                    let _t = profile::timer(Phase::Route);
+                    self.dataplane
+                        .spine_up_forward(s, &mut pkt, ups, self.now, &mut self.rng)
+                };
+                debug_assert!(ups.contains(&chosen), "dataplane chose a non-candidate");
+                self.enqueue(chosen, pkt);
+            }
+            NodeId::Core(co) => {
+                let dst_leaf = pkt
+                    .overlay
+                    .as_ref()
+                    .expect("fabric packet without overlay at core")
+                    .dst_tep;
+                let cands = &self.fib.core_down[co.idx()][dst_leaf.idx()];
                 if cands.is_empty() {
                     self.stats.unroutable += 1;
                     return;
@@ -938,7 +1046,7 @@ impl<D: Dataplane, A: HostAgent> Network<D, A> {
                 let chosen = {
                     let _t = profile::timer(Phase::Route);
                     self.dataplane
-                        .spine_forward(s, &mut pkt, cands, self.now, &mut self.rng)
+                        .core_forward(co, &mut pkt, cands, self.now, &mut self.rng)
                 };
                 debug_assert!(cands.contains(&chosen), "dataplane chose a non-candidate");
                 self.enqueue(chosen, pkt);
@@ -1064,7 +1172,7 @@ mod tests {
     use super::*;
     use crate::ids::HostId;
     use crate::packet::{ecmp_mix, PacketKind};
-    use crate::topology::LeafSpineBuilder;
+    use crate::topology::{ChannelKind, LeafSpineBuilder, TopologyBuilder};
 
     /// Minimal ECMP-only dataplane for engine tests (the real policies live
     /// in conga-core).
@@ -1369,6 +1477,118 @@ mod tests {
             (times, net.stats.blackholed, net.stats.delivered_pkts)
         };
         assert_eq!(run(), run());
+    }
+
+    /// 2 pods x (2 leaves + 2 spines), 2 cores, 2 hosts/leaf. Host 0 is
+    /// under leaf 0 (pod 0); host 4 is under leaf 2 (pod 1).
+    fn three_tier_net() -> Network<TestEcmp, SinkAgent> {
+        let topo = TopologyBuilder::three_tier(2, 2, 2, 2, 2).build();
+        Network::new(topo, TestEcmp, SinkAgent::default(), 1)
+    }
+
+    #[test]
+    fn three_tier_inter_pod_traffic_rides_the_core() {
+        let mut net = three_tier_net();
+        inject(
+            &mut net,
+            Packet::data(0, 0, 7, HostId(0), HostId(4), 0, 1460, SimTime::ZERO),
+        );
+        net.run_to_quiescence();
+        assert_eq!(net.agent.received.len(), 1);
+        assert!(
+            net.agent.received[0].1.overlay.is_none(),
+            "decapped at dst leaf"
+        );
+        // The packet must have crossed one spine-up and one core-down hop.
+        let (mut spine_up_tx, mut core_down_tx) = (0, 0);
+        for (i, c) in net.topo.channels.clone().iter().enumerate() {
+            match c.kind {
+                ChannelKind::SpineUp => spine_up_tx += net.port(ChannelId(i as u32)).tx_pkts,
+                ChannelKind::CoreDown => core_down_tx += net.port(ChannelId(i as u32)).tx_pkts,
+                _ => {}
+            }
+        }
+        assert_eq!(spine_up_tx, 1);
+        assert_eq!(core_down_tx, 1);
+    }
+
+    #[test]
+    fn three_tier_intra_pod_traffic_skips_the_core() {
+        let mut net = three_tier_net();
+        // Host 0 (leaf 0) → host 2 (leaf 1), same pod.
+        inject(
+            &mut net,
+            Packet::data(0, 0, 7, HostId(0), HostId(2), 0, 1460, SimTime::ZERO),
+        );
+        net.run_to_quiescence();
+        assert_eq!(net.agent.received.len(), 1);
+        for (i, c) in net.topo.channels.clone().iter().enumerate() {
+            if matches!(c.kind, ChannelKind::SpineUp | ChannelKind::CoreDown) {
+                assert_eq!(net.port(ChannelId(i as u32)).tx_pkts, 0);
+            }
+        }
+    }
+
+    #[test]
+    fn core_link_fault_conserves_packets_and_recovery_restores_paths() {
+        let mut net = three_tier_net();
+        // Kill every core link of spine 0 and spine 1 toward core 0 early,
+        // recover later; traffic in between survives via core 1.
+        for s in [SpineId(0), SpineId(1)] {
+            net.schedule_core_link_fault(SimTime::from_micros(1), s, CoreId(0), 0);
+            net.schedule_core_link_recovery(SimTime::from_millis(2), s, CoreId(0), 0);
+        }
+        net.run_until(SimTime::from_micros(10));
+        // During the outage: pod-0 spines detour only through core 1.
+        assert_eq!(net.fib.spine_up_candidates[0][2].len(), 1);
+        for f in 0..20u32 {
+            inject(
+                &mut net,
+                Packet::data(
+                    f,
+                    0,
+                    ecmp_mix(f as u64, 0xAB),
+                    HostId(0),
+                    HostId(4),
+                    0,
+                    1460,
+                    SimTime::ZERO,
+                ),
+            );
+        }
+        net.run_to_quiescence();
+        let s = net.stats;
+        assert_eq!(
+            s.injected_pkts,
+            s.delivered_pkts + s.unroutable + s.blackholed + net.total_drops(),
+            "conservation through a core fault"
+        );
+        assert_eq!(s.delivered_pkts, 20, "core 1 carries everything");
+        // After recovery the full candidate set is back.
+        assert_eq!(net.fib.spine_up_candidates[0][2].len(), 2);
+        assert_eq!(s.fault_transitions, 8, "4 fail + 4 recover");
+    }
+
+    #[test]
+    fn core_partition_counts_unroutable() {
+        let mut net = three_tier_net();
+        // Kill every spine-up link in pod 0: inter-pod traffic is stranded
+        // at the spines.
+        for s in [SpineId(0), SpineId(1)] {
+            for c in [CoreId(0), CoreId(1)] {
+                net.schedule_core_link_fault(SimTime::from_nanos(1), s, c, 0);
+            }
+        }
+        net.run_until(SimTime::from_micros(1));
+        inject(
+            &mut net,
+            Packet::data(0, 0, 7, HostId(0), HostId(4), 0, 1460, SimTime::ZERO),
+        );
+        net.run_to_quiescence();
+        // The leaf sees no viable uplink at all (candidates prune through
+        // the recursion), so the packet is unroutable at the source leaf.
+        assert_eq!(net.stats.unroutable, 1);
+        assert!(net.agent.received.is_empty());
     }
 
     #[test]

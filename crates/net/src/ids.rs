@@ -14,9 +14,14 @@ pub struct HostId(pub u32);
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
 pub struct LeafId(pub u32);
 
-/// Identifies a spine (core) switch.
+/// Identifies a spine (pod aggregation) switch.
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
 pub struct SpineId(pub u32);
+
+/// Identifies a core switch (the third tier above the pod spines in a
+/// three-tier Clos; absent from two-tier leaf-spine fabrics).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct CoreId(pub u32);
 
 /// Identifies a simplex channel (one direction of a physical link). The
 /// transmit queue, rate and propagation delay live per-channel.
@@ -55,6 +60,14 @@ impl SpineId {
     }
 }
 
+impl CoreId {
+    /// Flat index for vector storage.
+    #[inline]
+    pub fn idx(self) -> usize {
+        self.0 as usize
+    }
+}
+
 /// Any node in the fabric.
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
 pub enum NodeId {
@@ -62,8 +75,10 @@ pub enum NodeId {
     Host(HostId),
     /// A top-of-rack switch.
     Leaf(LeafId),
-    /// A core switch.
+    /// A pod aggregation (spine) switch.
     Spine(SpineId),
+    /// A third-tier core switch.
+    Core(CoreId),
 }
 
 impl fmt::Display for NodeId {
@@ -72,6 +87,7 @@ impl fmt::Display for NodeId {
             NodeId::Host(h) => write!(f, "host{}", h.0),
             NodeId::Leaf(l) => write!(f, "leaf{}", l.0),
             NodeId::Spine(s) => write!(f, "spine{}", s.0),
+            NodeId::Core(c) => write!(f, "core{}", c.0),
         }
     }
 }
@@ -85,6 +101,7 @@ mod tests {
         assert_eq!(NodeId::Host(HostId(3)).to_string(), "host3");
         assert_eq!(NodeId::Leaf(LeafId(0)).to_string(), "leaf0");
         assert_eq!(NodeId::Spine(SpineId(7)).to_string(), "spine7");
+        assert_eq!(NodeId::Core(CoreId(2)).to_string(), "core2");
     }
 
     #[test]

@@ -20,11 +20,14 @@ pub use engine::{
     inject, Dataplane, EcnConfig, Emitter, EngineStats, HostAgent, Network, SampleLog, ShardCtx,
     SinkAgent,
 };
-pub use ids::{ChannelId, HostId, LeafId, NodeId, SpineId};
+pub use ids::{ChannelId, CoreId, HostId, LeafId, NodeId, SpineId};
 pub use packet::{
     ecmp_mix, flow_tuple_hash, Overlay, Packet, PacketKind, SackBlocks, ACK_WIRE_BYTES, MAX_LBTAG,
     WIRE_OVERHEAD,
 };
 pub use port::{Enqueue, TxPort};
 pub use shard::ShardedNetwork;
-pub use topology::{Channel, ChannelKind, Fib, LeafSpineBuilder, QueueProfile, Topology};
+pub use topology::{
+    Channel, ChannelKind, Fib, LeafSpineBuilder, QueueProfile, ThreeTierBuilder, Topology,
+    TopologyBuilder,
+};

@@ -4,10 +4,13 @@
 //!
 //! ## Decomposition
 //!
-//! A run over a leaf-spine fabric is split into `n_leaves` *domains*.
-//! Domain `d` owns leaf `d`, every host under it, and the spines with
-//! `spine % n_leaves == d` (spines are stateless ECMP hops plus their DREs,
-//! so any fixed assignment works). Each domain holds a **full replica** of
+//! A run over a fabric is split into `n_leaves` *domains*. Domain `d`
+//! owns leaf `d`, every host under it, and a fixed share of the upper
+//! tiers: spines round-robin over the leaves *of their own pod* (which in
+//! a two-tier fabric reduces exactly to `spine % n_leaves`), and core
+//! switches round-robin over all leaves (spines and cores are stateless
+//! ECMP hops plus their DREs, so any fixed assignment works). Each domain
+//! holds a **full replica** of
 //! the [`crate::Network`] over the same topology — same FIB, same fault
 //! schedule — but with a [`ShardCtx`] mask: it only ever *transmits* on
 //! channels whose source node it owns, and an owned channel whose
@@ -56,12 +59,25 @@ use std::sync::{Barrier, Mutex};
 type Mail = (SimTime, ChannelId, Packet, u32);
 
 /// Domain that owns a node: hosts and leaves by leaf index, spines
-/// round-robin across leaves.
+/// round-robin across the leaves of their own pod, cores round-robin
+/// across all leaves.
 fn domain_of(topo: &Topology, node: NodeId) -> u8 {
     match node {
         NodeId::Host(h) => topo.leaf_of(h).0 as u8,
         NodeId::Leaf(l) => l.0 as u8,
-        NodeId::Spine(s) => (s.0 as usize % topo.n_leaves as usize) as u8,
+        NodeId::Spine(s) => {
+            // Pod-local round-robin: spine with pod-local index `sl` in pod
+            // `p` lands on leaf `p*leaves_per_pod + sl % leaves_per_pod`.
+            // With n_pods == 1 this is exactly the historical
+            // `spine % n_leaves` assignment, so two-tier runs keep their
+            // byte-identical domain decomposition.
+            let lpp = topo.leaves_per_pod().max(1);
+            let spp = topo.spines_per_pod().max(1);
+            let pod = s.0 / spp;
+            let sl = s.0 % spp;
+            (pod * lpp + sl % lpp) as u8
+        }
+        NodeId::Core(c) => (c.0 as usize % topo.n_leaves as usize) as u8,
     }
 }
 
@@ -510,6 +526,72 @@ mod tests {
         let b = net.domain(0).agent.received[0].1.id;
         assert_eq!(a >> 48, 0, "domain 0 mints ids in 0 << 48 ..");
         assert_eq!(b >> 48, 1, "domain 1 mints ids in 1 << 48 ..");
+    }
+
+    #[test]
+    fn three_tier_worker_count_does_not_change_the_run() {
+        use crate::topology::TopologyBuilder;
+        // 2 pods x (2 leaves + 2 spines), 2 cores, 2 hosts/leaf; host 0
+        // (pod 0) → host 4 (leaf 2, pod 1) crosses the core tier.
+        let run = |workers: usize| {
+            let topo = TopologyBuilder::three_tier(2, 2, 2, 2, 2).build();
+            let mut net =
+                ShardedNetwork::new(&topo, 1, workers, |_| (TestEcmp, SinkAgent::default()));
+            for f in 0..30u32 {
+                let pkt = Packet::data(
+                    f,
+                    0,
+                    ecmp_mix(f as u64, 0xEE),
+                    HostId(0),
+                    HostId(4),
+                    f as u64,
+                    1460,
+                    SimTime::ZERO,
+                );
+                crate::engine::inject(net.domain_mut(0), pkt);
+            }
+            net.run_until(SimTime::from_millis(10));
+            let mut got: Vec<Delivery> = Vec::new();
+            let (mut injected, mut delivered) = (0, 0);
+            for d in 0..net.n_domains() {
+                let dom = net.domain(d);
+                injected += dom.stats.injected_pkts;
+                delivered += dom.stats.delivered_pkts;
+                for (t, p) in &dom.agent.received {
+                    got.push((t.as_nanos(), d, p.id, p.seq));
+                }
+            }
+            (got, injected, delivered)
+        };
+        let one = run(1);
+        assert_eq!(one.1, 30);
+        assert_eq!(one.2, 30, "all inter-pod packets delivered");
+        assert!(
+            one.0.iter().all(|&(_, d, _, _)| d == 2),
+            "host 4 lives in domain 2"
+        );
+        assert_eq!(one, run(2));
+        assert_eq!(one, run(4));
+    }
+
+    #[test]
+    fn three_tier_domain_assignment_reduces_to_two_tier_rule() {
+        use crate::ids::SpineId;
+        // Two-tier fabric: historical spine % n_leaves.
+        let two = topo();
+        assert_eq!(super::domain_of(&two, NodeId::Spine(SpineId(0))), 0);
+        assert_eq!(super::domain_of(&two, NodeId::Spine(SpineId(1))), 1);
+        // Three-tier: spines stay inside their pod's leaf range, cores
+        // round-robin over all leaves.
+        use crate::ids::CoreId;
+        use crate::topology::TopologyBuilder;
+        let three = TopologyBuilder::three_tier(2, 2, 2, 3, 2).build();
+        assert_eq!(super::domain_of(&three, NodeId::Spine(SpineId(0))), 0);
+        assert_eq!(super::domain_of(&three, NodeId::Spine(SpineId(1))), 1);
+        assert_eq!(super::domain_of(&three, NodeId::Spine(SpineId(2))), 2);
+        assert_eq!(super::domain_of(&three, NodeId::Spine(SpineId(3))), 3);
+        assert_eq!(super::domain_of(&three, NodeId::Core(CoreId(0))), 0);
+        assert_eq!(super::domain_of(&three, NodeId::Core(CoreId(2))), 2);
     }
 
     #[test]

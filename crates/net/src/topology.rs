@@ -7,14 +7,29 @@
 //! constructs these, including the asymmetric variants the paper studies
 //! (failed links, degraded link rates, mixed speeds).
 //!
+//! [`ThreeTierBuilder`] (entry point [`TopologyBuilder::three_tier`])
+//! generalizes to the pod-structured three-tier Clos of larger deployments
+//! (and of CAFT's fault studies): `n_pods` pods, each with its own leaves
+//! and pod-local spines fully meshed, plus a core tier above connecting
+//! every spine. CONGA's congestion-aware choice stays at the leaf (the
+//! LBTag still names a leaf uplink); spines and cores forward with ECMP,
+//! exactly as the paper's footnote on overlay deployments prescribes.
+//!
 //! After construction the [`Topology`] precomputes a forwarding information
 //! base ([`Fib`]): for every (leaf, destination-leaf) the candidate uplink
 //! channels, and for every (spine, destination-leaf) the candidate downlink
 //! channels. A candidate uplink is only valid for a destination if the spine
 //! it reaches still has at least one live link to that destination leaf —
 //! this is how routing (as opposed to load balancing) reacts to failures.
+//! In a three-tier fabric the reachability condition recurses one tier up:
+//! a spine that has lost (or never had) a downlink to the destination leaf
+//! is still a candidate if it can reach a core that can reach a spine that
+//! can — candidate tables are computed top-down (`spine_down` →
+//! `core_down` → `spine_up_candidates` → `up_candidates`), so every
+//! forwarding step strictly decreases the remaining hop count and no
+//! routing loops are possible.
 
-use crate::ids::{ChannelId, HostId, LeafId, NodeId, SpineId};
+use crate::ids::{ChannelId, CoreId, HostId, LeafId, NodeId, SpineId};
 use crate::packet::MAX_LBTAG;
 use conga_sim::SimDuration;
 
@@ -30,13 +45,23 @@ pub enum ChannelKind {
     LeafUp,
     /// Spine → leaf (a spine *downlink*).
     SpineDown,
+    /// Spine → core (three-tier fabrics only; ECMP, no LBTag).
+    SpineUp,
+    /// Core → spine (three-tier fabrics only; ECMP, no LBTag).
+    CoreDown,
 }
 
 impl ChannelKind {
     /// Fabric channels are the ones CONGA measures with DREs and marks CE on.
     #[inline]
     pub fn is_fabric(self) -> bool {
-        matches!(self, ChannelKind::LeafUp | ChannelKind::SpineDown)
+        matches!(
+            self,
+            ChannelKind::LeafUp
+                | ChannelKind::SpineDown
+                | ChannelKind::SpineUp
+                | ChannelKind::CoreDown
+        )
     }
 }
 
@@ -95,6 +120,10 @@ pub struct Topology {
     pub n_leaves: u32,
     /// Number of spine switches.
     pub n_spines: u32,
+    /// Number of core switches (0 in two-tier leaf-spine fabrics).
+    pub n_cores: u32,
+    /// Number of pods (1 in two-tier fabrics: every spine sees every leaf).
+    pub n_pods: u32,
     /// The leaf each host attaches to.
     pub host_leaf: Vec<LeafId>,
     /// All simplex channels.
@@ -138,6 +167,30 @@ impl Topology {
         Fib::build_live(self, Some(live))
     }
 
+    /// Leaves per pod (`n_leaves` itself in a two-tier fabric).
+    #[inline]
+    pub fn leaves_per_pod(&self) -> u32 {
+        self.n_leaves / self.n_pods.max(1)
+    }
+
+    /// Spines per pod (`n_spines` itself in a two-tier fabric).
+    #[inline]
+    pub fn spines_per_pod(&self) -> u32 {
+        self.n_spines / self.n_pods.max(1)
+    }
+
+    /// The pod a leaf belongs to (pod-major numbering).
+    #[inline]
+    pub fn pod_of_leaf(&self, l: LeafId) -> u32 {
+        l.0 / self.leaves_per_pod().max(1)
+    }
+
+    /// The pod a spine belongs to (pod-major numbering).
+    #[inline]
+    pub fn pod_of_spine(&self, s: SpineId) -> u32 {
+        s.0 / self.spines_per_pod().max(1)
+    }
+
     /// The simplex channel pairs forming the parallel links between `leaf`
     /// and `spine`, in parallel-link order: `(leaf→spine, spine→leaf)`.
     /// Links removed at build time (static failures) do not appear.
@@ -152,6 +205,25 @@ impl Topology {
             (c.kind == ChannelKind::SpineDown
                 && c.src == NodeId::Spine(spine)
                 && c.dst == NodeId::Leaf(leaf))
+            .then_some(ChannelId(i as u32))
+        });
+        ups.zip(downs).collect()
+    }
+
+    /// The simplex channel pairs forming the parallel links between `spine`
+    /// and `core`, in parallel-link order: `(spine→core, core→spine)`.
+    /// Empty in two-tier fabrics.
+    pub fn core_link_channels(&self, spine: SpineId, core: CoreId) -> Vec<(ChannelId, ChannelId)> {
+        let ups = self.channels.iter().enumerate().filter_map(|(i, c)| {
+            (c.kind == ChannelKind::SpineUp
+                && c.src == NodeId::Spine(spine)
+                && c.dst == NodeId::Core(core))
+            .then_some(ChannelId(i as u32))
+        });
+        let downs = self.channels.iter().enumerate().filter_map(|(i, c)| {
+            (c.kind == ChannelKind::CoreDown
+                && c.src == NodeId::Core(core)
+                && c.dst == NodeId::Spine(spine))
             .then_some(ChannelId(i as u32))
         });
         ups.zip(downs).collect()
@@ -199,6 +271,19 @@ pub struct Fib {
     pub up_candidates: Vec<Vec<Vec<ChannelId>>>,
     /// `spine_down[spine][dst_leaf]` — live parallel channels spine→leaf.
     pub spine_down: Vec<Vec<Vec<ChannelId>>>,
+    /// All spine→core channels of each spine, in build order. Like
+    /// `leaf_uplinks`, dead channels keep their slot so runtime
+    /// fail/recover transitions never reorder the list. Empty per spine in
+    /// two-tier fabrics.
+    pub spine_up: Vec<Vec<ChannelId>>,
+    /// `spine_up_candidates[spine][dst_leaf]` — live spine→core channels
+    /// whose core can still reach `dst_leaf` (some live core→spine→leaf
+    /// path exists). Consulted only when `spine_down[spine][dst_leaf]` is
+    /// empty — the inter-pod (or pod-downlink-failure) detour.
+    pub spine_up_candidates: Vec<Vec<Vec<ChannelId>>>,
+    /// `core_down[core][dst_leaf]` — live core→spine channels toward spines
+    /// that still have a live downlink to `dst_leaf`.
+    pub core_down: Vec<Vec<Vec<ChannelId>>>,
     /// LBTag of each leaf-up channel (reverse map), indexed by channel.
     pub lbtag_of: Vec<u8>,
 }
@@ -207,6 +292,7 @@ impl Fib {
     fn build_live(t: &Topology, live: Option<&[bool]>) -> Fib {
         let nl = t.n_leaves as usize;
         let ns = t.n_spines as usize;
+        let ncore = t.n_cores as usize;
         let nc = t.channels.len();
         let is_live = |ch: ChannelId| live.map(|m| m[ch.idx()]).unwrap_or(true);
 
@@ -214,6 +300,7 @@ impl Fib {
         let mut host_down = vec![ChannelId(u32::MAX); t.n_hosts as usize];
         let mut leaf_uplinks: Vec<Vec<ChannelId>> = vec![Vec::new(); nl];
         let mut spine_down: Vec<Vec<Vec<ChannelId>>> = vec![vec![Vec::new(); nl]; ns];
+        let mut spine_up: Vec<Vec<ChannelId>> = vec![Vec::new(); ns];
         let mut lbtag_of = vec![u8::MAX; nc];
 
         for (i, c) in t.channels.iter().enumerate() {
@@ -235,6 +322,15 @@ impl Fib {
                         spine_down[s.idx()][m.idx()].push(id);
                     }
                 }
+                (ChannelKind::SpineUp, NodeId::Spine(s), NodeId::Core(_)) => {
+                    // Like leaf uplinks: dead channels keep their slot so
+                    // the list order is stable across transitions.
+                    spine_up[s.idx()].push(id);
+                }
+                (ChannelKind::CoreDown, NodeId::Core(_), NodeId::Spine(_)) => {
+                    // Destination-dependent reachability is resolved below,
+                    // once spine_down is complete.
+                }
                 _ => panic!("inconsistent channel: {c:?}"),
             }
         }
@@ -253,9 +349,50 @@ impl Fib {
             }
         }
 
+        // Candidate tables are computed top-down so each tier's
+        // reachability question reduces to the tier below it.
+        //
+        // A core→spine channel is a candidate for dst leaf m iff it is live
+        // and its spine still has a live downlink to m.
+        let mut core_down: Vec<Vec<Vec<ChannelId>>> = vec![vec![Vec::new(); nl]; ncore];
+        for (i, c) in t.channels.iter().enumerate() {
+            if let (ChannelKind::CoreDown, NodeId::Core(co), NodeId::Spine(s)) =
+                (c.kind, c.src, c.dst)
+            {
+                let id = ChannelId(i as u32);
+                if !is_live(id) {
+                    continue;
+                }
+                for m in 0..nl {
+                    if !spine_down[s.idx()][m].is_empty() {
+                        core_down[co.idx()][m].push(id);
+                    }
+                }
+            }
+        }
+
+        // A spine→core channel is a candidate for dst leaf m iff it is live
+        // and its core can still descend toward m.
+        let mut spine_up_candidates: Vec<Vec<Vec<ChannelId>>> = vec![vec![Vec::new(); nl]; ns];
+        for (s, ups) in spine_up.iter().enumerate() {
+            for &u in ups {
+                if !is_live(u) {
+                    continue;
+                }
+                let NodeId::Core(co) = t.channel(u).dst else {
+                    unreachable!()
+                };
+                for m in 0..nl {
+                    if !core_down[co.idx()][m].is_empty() {
+                        spine_up_candidates[s][m].push(u);
+                    }
+                }
+            }
+        }
+
         // An uplink leaf→spine s is a candidate for dst leaf m iff the
-        // uplink itself is live and spine s still has at least one live
-        // channel to m.
+        // uplink itself is live and spine s can still reach m — directly
+        // (live downlink) or via the core tier.
         let mut up_candidates = vec![vec![Vec::new(); nl]; nl];
         for (l, ups) in leaf_uplinks.iter().enumerate() {
             for m in 0..nl {
@@ -269,7 +406,9 @@ impl Fib {
                     let NodeId::Spine(s) = t.channel(u).dst else {
                         unreachable!()
                     };
-                    if !spine_down[s.idx()][m].is_empty() {
+                    if !spine_down[s.idx()][m].is_empty()
+                        || !spine_up_candidates[s.idx()][m].is_empty()
+                    {
                         up_candidates[l][m].push(u);
                     }
                 }
@@ -282,20 +421,33 @@ impl Fib {
             leaf_uplinks,
             up_candidates,
             spine_down,
+            spine_up,
+            spine_up_candidates,
+            core_down,
             lbtag_of,
         }
     }
 
-    /// Recompute the liveness-dependent tables (`spine_down` and
-    /// `up_candidates`) in place for a new liveness mask, reusing every
-    /// existing allocation. The static tables — `host_access`, `host_down`,
-    /// `leaf_uplinks`, `lbtag_of` — do not depend on liveness and are left
-    /// untouched, so a runtime link-state transition never renumbers LBTags.
-    /// Produces candidate lists identical to a fresh
-    /// [`Topology::fib_live`] build.
+    /// Recompute the liveness-dependent tables (`spine_down`, `core_down`,
+    /// `spine_up_candidates` and `up_candidates`) in place for a new
+    /// liveness mask, reusing every existing allocation. The static tables —
+    /// `host_access`, `host_down`, `leaf_uplinks`, `spine_up`, `lbtag_of` —
+    /// do not depend on liveness and are left untouched, so a runtime
+    /// link-state transition never renumbers LBTags. Produces candidate
+    /// lists identical to a fresh [`Topology::fib_live`] build.
     pub fn refresh_live(&mut self, t: &Topology, live: &[bool]) {
         assert_eq!(live.len(), t.channels.len(), "liveness mask size");
         for per_spine in &mut self.spine_down {
+            for v in per_spine {
+                v.clear();
+            }
+        }
+        for per_core in &mut self.core_down {
+            for v in per_core {
+                v.clear();
+            }
+        }
+        for per_spine in &mut self.spine_up_candidates {
             for v in per_spine {
                 v.clear();
             }
@@ -315,6 +467,36 @@ impl Fib {
             }
         }
         let nl = t.n_leaves as usize;
+        for (i, c) in t.channels.iter().enumerate() {
+            if let (ChannelKind::CoreDown, NodeId::Core(co), NodeId::Spine(s)) =
+                (c.kind, c.src, c.dst)
+            {
+                if !live[i] {
+                    continue;
+                }
+                for m in 0..nl {
+                    if !self.spine_down[s.idx()][m].is_empty() {
+                        self.core_down[co.idx()][m].push(ChannelId(i as u32));
+                    }
+                }
+            }
+        }
+        for s in 0..self.spine_up.len() {
+            for k in 0..self.spine_up[s].len() {
+                let u = self.spine_up[s][k];
+                if !live[u.idx()] {
+                    continue;
+                }
+                let NodeId::Core(co) = t.channel(u).dst else {
+                    unreachable!()
+                };
+                for m in 0..nl {
+                    if !self.core_down[co.idx()][m].is_empty() {
+                        self.spine_up_candidates[s][m].push(u);
+                    }
+                }
+            }
+        }
         for l in 0..nl {
             for k in 0..self.leaf_uplinks[l].len() {
                 let u = self.leaf_uplinks[l][k];
@@ -325,7 +507,10 @@ impl Fib {
                     unreachable!()
                 };
                 for m in 0..nl {
-                    if m != l && !self.spine_down[s.idx()][m].is_empty() {
+                    if m != l
+                        && (!self.spine_down[s.idx()][m].is_empty()
+                            || !self.spine_up_candidates[s.idx()][m].is_empty())
+                    {
                         self.up_candidates[l][m].push(u);
                     }
                 }
@@ -333,8 +518,11 @@ impl Fib {
         }
     }
 
-    /// Number of distinct leaf-to-leaf paths from `l` to `m` (through any
-    /// spine and any parallel link pair).
+    /// Number of distinct leaf-to-leaf paths from `l` to `m`: direct
+    /// two-hop paths through a pod spine plus (in three-tier fabrics)
+    /// four-hop detours through the core tier, counted only from spines
+    /// with no direct downlink to `m` — the paths the dataplane can
+    /// actually take, since spines prefer the direct descent.
     pub fn path_count(&self, t: &Topology, l: LeafId, m: LeafId) -> usize {
         self.up_candidates[l.idx()][m.idx()]
             .iter()
@@ -342,7 +530,27 @@ impl Fib {
                 let NodeId::Spine(s) = t.channel(u).dst else {
                     unreachable!()
                 };
-                self.spine_down[s.idx()][m.idx()].len()
+                let direct = self.spine_down[s.idx()][m.idx()].len();
+                if direct > 0 {
+                    return direct;
+                }
+                self.spine_up_candidates[s.idx()][m.idx()]
+                    .iter()
+                    .map(|&su| {
+                        let NodeId::Core(co) = t.channel(su).dst else {
+                            unreachable!()
+                        };
+                        self.core_down[co.idx()][m.idx()]
+                            .iter()
+                            .map(|&cd| {
+                                let NodeId::Spine(s2) = t.channel(cd).dst else {
+                                    unreachable!()
+                                };
+                                self.spine_down[s2.idx()][m.idx()].len()
+                            })
+                            .sum::<usize>()
+                    })
+                    .sum()
             })
             .sum()
     }
@@ -524,6 +732,234 @@ impl LeafSpineBuilder {
             n_hosts,
             n_leaves: self.n_leaves,
             n_spines: self.n_spines,
+            n_cores: 0,
+            n_pods: 1,
+            host_leaf,
+            channels,
+        }
+    }
+}
+
+/// Entry point for topology construction: the two-tier leaf-spine builder
+/// the paper's testbed uses, or the pod-structured three-tier Clos for
+/// large-scale cells.
+pub struct TopologyBuilder;
+
+impl TopologyBuilder {
+    /// A two-tier leaf-spine fabric — identical to [`LeafSpineBuilder::new`].
+    pub fn leaf_spine(n_leaves: u32, n_spines: u32, hosts_per_leaf: u32) -> LeafSpineBuilder {
+        LeafSpineBuilder::new(n_leaves, n_spines, hosts_per_leaf)
+    }
+
+    /// A pod-structured three-tier Clos: `n_pods` pods of
+    /// `leaves_per_pod` leaves fully meshed with `spines_per_pod` pod-local
+    /// spines, plus `n_cores` core switches each connected to every spine.
+    pub fn three_tier(
+        n_pods: u32,
+        leaves_per_pod: u32,
+        spines_per_pod: u32,
+        n_cores: u32,
+        hosts_per_leaf: u32,
+    ) -> ThreeTierBuilder {
+        ThreeTierBuilder::new(
+            n_pods,
+            leaves_per_pod,
+            spines_per_pod,
+            n_cores,
+            hosts_per_leaf,
+        )
+    }
+}
+
+/// Builder for pod-structured three-tier Clos fabrics.
+///
+/// Numbering is pod-major: pod `p` owns leaves
+/// `p*leaves_per_pod .. (p+1)*leaves_per_pod` and spines
+/// `p*spines_per_pod .. (p+1)*spines_per_pod`; cores are global. With
+/// `n_pods == 1` and `n_cores == 0` the construction degenerates to the
+/// two-tier leaf-spine fabric (every spine sees every leaf, no core
+/// channels) — the channel list is then identical to
+/// [`LeafSpineBuilder::build`]'s.
+///
+/// ```
+/// use conga_net::TopologyBuilder;
+///
+/// // 2 pods x (2 leaves + 2 spines), 2 cores, 4 hosts per leaf.
+/// let topo = TopologyBuilder::three_tier(2, 2, 2, 2, 4).build();
+/// assert_eq!(topo.n_hosts, 16);
+/// assert_eq!(topo.n_leaves, 4);
+/// assert_eq!(topo.n_spines, 4);
+/// assert_eq!(topo.n_cores, 2);
+/// let fib = topo.fib();
+/// // Each leaf meshes only with its pod's 2 spines.
+/// assert_eq!(fib.leaf_uplinks[0].len(), 2);
+/// ```
+#[derive(Clone, Debug)]
+pub struct ThreeTierBuilder {
+    n_pods: u32,
+    leaves_per_pod: u32,
+    spines_per_pod: u32,
+    n_cores: u32,
+    hosts_per_leaf: u32,
+    host_rate: u64,
+    fabric_rate: u64,
+    core_rate: u64,
+    parallel: u32,
+    host_delay: SimDuration,
+    fabric_delay: SimDuration,
+    queues: QueueProfile,
+}
+
+impl ThreeTierBuilder {
+    /// Start a three-tier fabric with the given pod structure.
+    pub fn new(
+        n_pods: u32,
+        leaves_per_pod: u32,
+        spines_per_pod: u32,
+        n_cores: u32,
+        hosts_per_leaf: u32,
+    ) -> Self {
+        assert!(n_pods >= 1 && leaves_per_pod >= 1 && spines_per_pod >= 1);
+        assert!(
+            n_pods == 1 || n_cores >= 1,
+            "a multi-pod fabric needs at least one core switch"
+        );
+        ThreeTierBuilder {
+            n_pods,
+            leaves_per_pod,
+            spines_per_pod,
+            n_cores,
+            hosts_per_leaf,
+            host_rate: 10_000_000_000,
+            fabric_rate: 40_000_000_000,
+            core_rate: 40_000_000_000,
+            parallel: 1,
+            host_delay: SimDuration::from_nanos(4_000),
+            fabric_delay: SimDuration::from_nanos(1_000),
+            queues: QueueProfile::default(),
+        }
+    }
+
+    /// Host NIC rate in Gbps.
+    pub fn host_rate_gbps(mut self, g: u64) -> Self {
+        self.host_rate = g * 1_000_000_000;
+        self
+    }
+
+    /// Leaf-spine fabric link rate in Gbps.
+    pub fn fabric_rate_gbps(mut self, g: u64) -> Self {
+        self.fabric_rate = g * 1_000_000_000;
+        self
+    }
+
+    /// Spine-core link rate in Gbps (defaults to the fabric rate).
+    pub fn core_rate_gbps(mut self, g: u64) -> Self {
+        self.core_rate = g * 1_000_000_000;
+        self
+    }
+
+    /// Number of parallel links between each pod-local leaf-spine pair.
+    pub fn parallel_links(mut self, k: u32) -> Self {
+        self.parallel = k;
+        self
+    }
+
+    /// Queue capacities.
+    pub fn queue_profile(mut self, q: QueueProfile) -> Self {
+        self.queues = q;
+        self
+    }
+
+    /// Construct the topology. Channel order: access pairs per host, then
+    /// pod-local `(leaf, spine, parallel)`-ordered LeafUp/SpineDown pairs,
+    /// then `(spine, core)`-ordered SpineUp/CoreDown pairs.
+    pub fn build(self) -> Topology {
+        let n_leaves = self.n_pods * self.leaves_per_pod;
+        let n_spines = self.n_pods * self.spines_per_pod;
+        let n_hosts = n_leaves * self.hosts_per_leaf;
+        let mut host_leaf = Vec::with_capacity(n_hosts as usize);
+        let mut channels = Vec::new();
+
+        for l in 0..n_leaves {
+            for _ in 0..self.hosts_per_leaf {
+                host_leaf.push(LeafId(l));
+            }
+        }
+
+        for h in 0..n_hosts {
+            let l = host_leaf[h as usize];
+            channels.push(Channel {
+                src: NodeId::Host(HostId(h)),
+                dst: NodeId::Leaf(l),
+                rate_bps: self.host_rate,
+                delay: self.host_delay,
+                queue_cap: self.queues.host_nic_bytes,
+                kind: ChannelKind::AccessUp,
+            });
+            channels.push(Channel {
+                src: NodeId::Leaf(l),
+                dst: NodeId::Host(HostId(h)),
+                rate_bps: self.host_rate,
+                delay: self.host_delay,
+                queue_cap: self.queues.access_bytes,
+                kind: ChannelKind::AccessDown,
+            });
+        }
+
+        // Pod-local leaf-spine mesh.
+        for l in 0..n_leaves {
+            let pod = l / self.leaves_per_pod;
+            for sl in 0..self.spines_per_pod {
+                let s = pod * self.spines_per_pod + sl;
+                for _ in 0..self.parallel {
+                    channels.push(Channel {
+                        src: NodeId::Leaf(LeafId(l)),
+                        dst: NodeId::Spine(SpineId(s)),
+                        rate_bps: self.fabric_rate,
+                        delay: self.fabric_delay,
+                        queue_cap: self.queues.fabric_bytes,
+                        kind: ChannelKind::LeafUp,
+                    });
+                    channels.push(Channel {
+                        src: NodeId::Spine(SpineId(s)),
+                        dst: NodeId::Leaf(LeafId(l)),
+                        rate_bps: self.fabric_rate,
+                        delay: self.fabric_delay,
+                        queue_cap: self.queues.fabric_bytes,
+                        kind: ChannelKind::SpineDown,
+                    });
+                }
+            }
+        }
+
+        // Core tier: every spine connects to every core.
+        for s in 0..n_spines {
+            for c in 0..self.n_cores {
+                channels.push(Channel {
+                    src: NodeId::Spine(SpineId(s)),
+                    dst: NodeId::Core(CoreId(c)),
+                    rate_bps: self.core_rate,
+                    delay: self.fabric_delay,
+                    queue_cap: self.queues.fabric_bytes,
+                    kind: ChannelKind::SpineUp,
+                });
+                channels.push(Channel {
+                    src: NodeId::Core(CoreId(c)),
+                    dst: NodeId::Spine(SpineId(s)),
+                    rate_bps: self.core_rate,
+                    delay: self.fabric_delay,
+                    queue_cap: self.queues.fabric_bytes,
+                    kind: ChannelKind::CoreDown,
+                });
+            }
+        }
+
+        Topology {
+            n_hosts,
+            n_leaves,
+            n_spines,
+            n_cores: self.n_cores,
+            n_pods: self.n_pods,
             host_leaf,
             channels,
         }
@@ -725,5 +1161,147 @@ mod tests {
             assert_eq!(fib.leaf_uplinks[l].len(), 12);
         }
         assert_eq!(fib.path_count(&t, LeafId(0), LeafId(5)), 12 * 3);
+    }
+
+    fn three_tier() -> Topology {
+        // 2 pods x (2 leaves + 2 spines), 2 cores, 4 hosts/leaf.
+        TopologyBuilder::three_tier(2, 2, 2, 2, 4).build()
+    }
+
+    #[test]
+    fn three_tier_shape_and_pod_structure() {
+        let t = three_tier();
+        assert_eq!(
+            (t.n_hosts, t.n_leaves, t.n_spines, t.n_cores),
+            (16, 4, 4, 2)
+        );
+        assert_eq!(t.n_pods, 2);
+        assert_eq!(t.leaves_per_pod(), 2);
+        assert_eq!(t.spines_per_pod(), 2);
+        assert_eq!(t.pod_of_leaf(LeafId(1)), 0);
+        assert_eq!(t.pod_of_leaf(LeafId(2)), 1);
+        assert_eq!(t.pod_of_spine(SpineId(3)), 1);
+        // Channels: 16 access pairs + 4 leaves x 2 pod spines pairs
+        // + 4 spines x 2 cores pairs.
+        assert_eq!(t.channels.len(), 16 * 2 + 4 * 2 * 2 + 4 * 2 * 2);
+        // Leaf 0 meshes only with pod-0 spines.
+        let fib = t.fib();
+        for &u in &fib.leaf_uplinks[0] {
+            let NodeId::Spine(s) = t.channel(u).dst else {
+                panic!("uplink must end at a spine")
+            };
+            assert_eq!(t.pod_of_spine(s), 0);
+        }
+        assert_eq!(fib.spine_up[0].len(), 2, "each spine sees both cores");
+        assert_eq!(t.core_link_channels(SpineId(1), CoreId(0)).len(), 1);
+    }
+
+    #[test]
+    fn three_tier_routes_inter_pod_via_core_only() {
+        let t = three_tier();
+        let fib = t.fib();
+        // Intra-pod dst: direct spine descent; spine-up detour not needed
+        // but spines can still reach it through the core.
+        assert!(!fib.spine_down[0][1].is_empty());
+        // Inter-pod dst (leaf 2 in pod 1): pod-0 spines have NO direct
+        // downlink and must go through the core tier.
+        assert!(fib.spine_down[0][2].is_empty());
+        assert_eq!(fib.spine_up_candidates[0][2].len(), 2);
+        assert_eq!(
+            fib.core_down[0][2].len(),
+            2,
+            "both pod-1 spines reach leaf 2"
+        );
+        // All of leaf 0's uplinks remain candidates for the inter-pod dst.
+        assert_eq!(fib.up_candidates[0][2].len(), 2);
+        // Inter-pod paths: 2 uplinks x 2 cores x 2 down-spines x 1 downlink.
+        assert_eq!(fib.path_count(&t, LeafId(0), LeafId(2)), 8);
+        // Intra-pod paths look exactly like a two-tier fabric's.
+        assert_eq!(fib.path_count(&t, LeafId(0), LeafId(1)), 2);
+    }
+
+    #[test]
+    fn three_tier_refresh_live_matches_fresh_build() {
+        let t = three_tier();
+        let mut fib = t.fib();
+        let (su, cd) = t.core_link_channels(SpineId(2), CoreId(0))[0];
+        let (lu, sd) = t.link_channels(LeafId(2), SpineId(2))[0];
+        let mut live = vec![true; t.channels.len()];
+        let transitions: [(&[ChannelId], bool); 3] =
+            [(&[su, cd], false), (&[lu, sd], false), (&[su, cd], true)];
+        for (chs, state) in transitions {
+            for ch in chs {
+                live[ch.idx()] = state;
+            }
+            fib.refresh_live(&t, &live);
+            let fresh = t.fib_live(&live);
+            assert_eq!(fib.up_candidates, fresh.up_candidates);
+            assert_eq!(fib.spine_down, fresh.spine_down);
+            assert_eq!(fib.spine_up_candidates, fresh.spine_up_candidates);
+            assert_eq!(fib.core_down, fresh.core_down);
+            assert_eq!(fib.spine_up, fresh.spine_up);
+        }
+    }
+
+    #[test]
+    fn three_tier_core_failure_prunes_detours_not_tags() {
+        let t = three_tier();
+        let full = t.fib();
+        // Kill core 0 entirely (all its links, both directions).
+        let mut live = vec![true; t.channels.len()];
+        for s in 0..t.n_spines {
+            for (su, cd) in t.core_link_channels(SpineId(s), CoreId(0)) {
+                live[su.idx()] = false;
+                live[cd.idx()] = false;
+            }
+        }
+        let fib = t.fib_live(&live);
+        // LBTags and uplink slots are untouched.
+        assert_eq!(fib.leaf_uplinks, full.leaf_uplinks);
+        assert_eq!(fib.lbtag_of, full.lbtag_of);
+        assert_eq!(fib.spine_up, full.spine_up);
+        // Inter-pod candidates survive through core 1, at half the paths.
+        assert_eq!(fib.spine_up_candidates[0][2].len(), 1);
+        assert_eq!(fib.up_candidates[0][2].len(), 2);
+        assert_eq!(fib.path_count(&t, LeafId(0), LeafId(2)), 4);
+    }
+
+    #[test]
+    fn three_tier_pod_downlink_failure_detours_through_core() {
+        // Kill spine 0's only downlink to leaf 1 (same pod): leaf 0's
+        // uplink to spine 0 must stay a candidate for leaf 1, because the
+        // spine can detour up through a core and down via spine 1.
+        let t = three_tier();
+        let (lu, sd) = t.link_channels(LeafId(1), SpineId(0))[0];
+        let mut live = vec![true; t.channels.len()];
+        live[lu.idx()] = false;
+        live[sd.idx()] = false;
+        let fib = t.fib_live(&live);
+        assert!(fib.spine_down[0][1].is_empty());
+        assert_eq!(fib.spine_up_candidates[0][1].len(), 2);
+        assert_eq!(fib.up_candidates[0][1].len(), 2);
+        // Paths 0→1: spine0 detour (2 cores x 1 spine x 1 downlink = 2)
+        // plus spine1 direct (1).
+        assert_eq!(fib.path_count(&t, LeafId(0), LeafId(1)), 3);
+    }
+
+    #[test]
+    fn single_pod_three_tier_matches_leaf_spine_channels() {
+        // n_pods == 1, n_cores == 0 degenerates to the two-tier builder.
+        let a = TopologyBuilder::three_tier(1, 2, 2, 0, 4).build();
+        let b = LeafSpineBuilder::new(2, 2, 4).build();
+        assert_eq!(a.channels.len(), b.channels.len());
+        for (x, y) in a.channels.iter().zip(&b.channels) {
+            assert_eq!((x.src, x.dst, x.kind), (y.src, y.dst, y.kind));
+            assert_eq!(
+                (x.rate_bps, x.delay, x.queue_cap),
+                (y.rate_bps, y.delay, y.queue_cap)
+            );
+        }
+        let fa = a.fib();
+        let fb = b.fib();
+        assert_eq!(fa.up_candidates, fb.up_candidates);
+        assert_eq!(fa.spine_down, fb.spine_down);
+        assert_eq!(fa.lbtag_of, fb.lbtag_of);
     }
 }

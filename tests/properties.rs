@@ -295,6 +295,7 @@ fn per_shard_event_streams_are_time_ordered() {
         None,
         Some(&trace),
         &[],
+        &[],
         &arrivals,
     );
     run.net.run_until(SimTime::from_secs(2));

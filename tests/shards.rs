@@ -226,3 +226,106 @@ fn tournament_table_identical_across_shard_counts() {
         assert!(table_1.contains(scheme.key()), "{} missing", scheme.key());
     }
 }
+
+/// A three-tier sketch cell: 2 pods × (2 leaves + 1 spine), 2 cores,
+/// streaming FCT aggregation. The reusable base for the sketch battery.
+fn three_tier_sketch_cell(shards: usize) -> FctRun {
+    let mut cfg = FctRun::new(
+        TestbedOpts::three_tier(2, 2, 1, 2, 4),
+        Scheme::Conga,
+        FlowSizeDist::enterprise(),
+        0.3,
+    );
+    cfg.n_flows = 30;
+    cfg.seed = 17;
+    cfg.sketch = true;
+    cfg.shards = shards;
+    cfg
+}
+
+/// The streaming path on the three-tier fabric at `--shards 1/2/4`: the
+/// report JSON, the rendered summary, and the sketch's canonical state
+/// must all be byte-identical — the accumulators are integer-summed and
+/// the sketch merge is exactly associative, so no shard decomposition may
+/// move a byte.
+#[test]
+fn three_tier_sketch_artifacts_identical_across_shard_counts() {
+    let run = |shards: usize| {
+        let out = run_fct_with_policy(&three_tier_sketch_cell(shards), FabricPolicy::conga());
+        let sk = out.sketch.expect("sketch mode was on");
+        (
+            out.report.to_json(),
+            format!("{:?}", out.summary),
+            sk.canonical(),
+        )
+    };
+    let (report_1, summary_1, sk_1) = run(1);
+    assert!(
+        sk_1.starts_with("n=") && !sk_1.starts_with("n=0"),
+        "sketch recorded nothing: {sk_1}"
+    );
+    assert!(report_1.contains("\"fct_aggregation\": \"sketch\""));
+    for shards in [2, 4] {
+        let (report_n, summary_n, sk_n) = run(shards);
+        assert!(
+            report_n == report_1,
+            "three-tier report diverged between --shards 1 and --shards {shards}"
+        );
+        assert_eq!(
+            summary_n, summary_1,
+            "summary diverged between --shards 1 and --shards {shards}"
+        );
+        assert_eq!(
+            sk_n, sk_1,
+            "sketch state diverged between --shards 1 and --shards {shards}"
+        );
+    }
+}
+
+/// Sketch vs exact on the same cell: toggling `sketch` must not perturb
+/// the simulation (the drain only reads records), so flow counts match
+/// exactly; the streamed means agree to quantization noise and the
+/// bucketed percentiles land within the documented 1 % budget.
+#[test]
+fn sketch_summary_tracks_exact_summary_within_budget() {
+    let rel = |got: f64, want: f64| (got - want).abs() / want.abs().max(1e-12);
+    for mk in [three_tier_sketch_cell as fn(usize) -> FctRun, |shards| {
+        // The two-tier quick baseline through the same toggle.
+        let mut cfg = fct_cell(shards);
+        cfg.trace = None;
+        cfg.sample_uplinks = false;
+        cfg.sketch = true;
+        cfg
+    }] {
+        let mut exact_cfg = mk(1);
+        exact_cfg.sketch = false;
+        let exact = run_fct_with_policy(&exact_cfg, FabricPolicy::conga()).summary;
+        let streamed = run_fct_with_policy(&mk(1), FabricPolicy::conga()).summary;
+        assert_eq!(streamed.n, exact.n, "sketch toggle perturbed the run");
+        assert_eq!(streamed.incomplete, exact.incomplete);
+        for (got, want, what) in [
+            (streamed.avg_s, exact.avg_s, "avg_s"),
+            (streamed.mean_slowdown, exact.mean_slowdown, "mean_slowdown"),
+            (
+                streamed.avg_norm_optimal,
+                exact.avg_norm_optimal,
+                "avg_norm_optimal",
+            ),
+        ] {
+            assert!(
+                rel(got, want) < 1e-6,
+                "{what}: streamed {got} vs exact {want}"
+            );
+        }
+        for (got, want, what) in [
+            (streamed.p50_s, exact.p50_s, "p50"),
+            (streamed.p95_s, exact.p95_s, "p95"),
+            (streamed.p99_s, exact.p99_s, "p99"),
+        ] {
+            assert!(
+                rel(got, want) < 0.01,
+                "{what}: streamed {got} vs exact {want}"
+            );
+        }
+    }
+}
